@@ -1,0 +1,249 @@
+(* Benchmark harness: one Bechamel micro-benchmark per experiment of
+   EXPERIMENTS.md, so the cost of every checker and simulator in the
+   reproduction is tracked.  Estimates are printed as a plain table
+   (monotonic clock, OLS against run count).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Bechamel.Toolkit
+open Relax_core
+open Relax_objects
+open Relax_quorum
+
+let universe = Queue_ops.universe 2
+let alphabet = Queue_ops.alphabet universe
+
+(* ------------------------------------------------------------------ *)
+(* F2-1 / F2-3: trait engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bag_theory = Relax_larch.Theories.mbag ()
+let fifo_theory = Relax_larch.Theories.fifoq ()
+
+let bag_term =
+  Relax_larch.Parser.expr_of_string
+    "del(ins(ins(ins(ins(emp, 4), 2), 7), 2), 2)"
+
+let fifo_term =
+  Relax_larch.Parser.expr_of_string "first(rest(ins(ins(ins(emp, 3), 1), 2)))"
+
+let bench_larch =
+  [
+    Test.make ~name:"larch/normalize-bag (F2-1)"
+      (Staged.stage (fun () ->
+           ignore (Relax_larch.Trait.normalize bag_theory bag_term)));
+    Test.make ~name:"larch/normalize-fifo (F2-3)"
+      (Staged.stage (fun () ->
+           ignore (Relax_larch.Trait.normalize fifo_theory fifo_term)));
+    Test.make ~name:"larch/parse-and-elaborate-Bag"
+      (Staged.stage (fun () ->
+           let ast =
+             Relax_larch.Parser.trait_of_string Relax_larch.Theories.bag_src
+           in
+           ignore (Relax_larch.Trait.elaborate [] ast)));
+  ]
+
+(* F2-2: conformance of the bag model against Figure 2-2. *)
+let bench_conformance =
+  [
+    Test.make ~name:"larch/conformance-bag (F2-2)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_larch.Conformance.check ~mode:Relax_larch.Conformance.Sound
+                ~theory:bag_theory ~iface:(Relax_larch.Theories.bag_iface ())
+                ~reify:Relax_larch.Reify.multiset ~automaton:Bag.automaton
+                ~alphabet ~depth:3 ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Core machinery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_history =
+  [
+    Queue_ops.enq_int 1; Queue_ops.enq_int 2; Queue_ops.deq_int 2;
+    Queue_ops.enq_int 1; Queue_ops.deq_int 1;
+  ]
+
+let qca_q1 = Qca.automaton Instances.pq_spec_eta Instances.q1
+
+let bench_core =
+  [
+    Test.make ~name:"core/enumerate-PQ-depth4"
+      (Staged.stage (fun () ->
+           ignore (Language.enumerate Pqueue.automaton ~alphabet ~depth:4)));
+    Test.make ~name:"core/fig42-behavior-classes (F4-2)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relaxation.behavior_classes (Lattices.semiqueue ~n:3) ~alphabet
+                ~depth:3)));
+    Test.make ~name:"qca/accept-history (T4 membership)"
+      (Staged.stage (fun () ->
+           ignore (Automaton.accepts qca_q1 fixed_history)));
+    Test.make ~name:"qca/theorem4-equivalence-depth3 (T4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Language.equivalent_bool qca_q1 Mpq.automaton ~alphabet ~depth:3)));
+    Test.make ~name:"quorum/serial-dependency-depth3"
+      (Staged.stage (fun () ->
+           ignore
+             (Serial.is_serial_dependency Pqueue.automaton
+                (Relation.union Instances.q1 Instances.q2)
+                ~alphabet ~depth:3)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Probabilistic models                                                *)
+(* ------------------------------------------------------------------ *)
+
+let updown =
+  Relax_prob.Markov.create ~labels:[| "up"; "down" |]
+    ~p:(Relax_prob.Matrix.of_rows [ [ 0.9; 0.1 ]; [ 0.5; 0.5 ] ])
+
+let bench_prob =
+  [
+    Test.make ~name:"prob/topn-montecarlo-10k (P3-3)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_prob.Topn.estimate ~trials:10_000 ~miss_probability:0.1
+                ~pending:8 2)));
+    Test.make ~name:"prob/availability-exact-table (X-av)"
+      (Staged.stage (fun () ->
+           ignore (Relax_experiments.Availability.exact_table ())));
+    Test.make ~name:"prob/markov-stationary"
+      (Staged.stage (fun () -> ignore (Relax_prob.Markov.stationary updown)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulators and case studies                                         *)
+(* ------------------------------------------------------------------ *)
+
+let small_taxi_params =
+  { Relax_experiments.Taxi.default_params with requests = 10; seed = 3 }
+
+let taxi_point = List.hd (Relax_experiments.Taxi.points ~n:5)
+
+let small_atm_params =
+  { Relax_experiments.Atm.default_params with rounds = 5; seed = 3 }
+
+let bench_sim =
+  [
+    Test.make ~name:"sim/engine-1k-events"
+      (Staged.stage (fun () ->
+           let e = Relax_sim.Engine.create () in
+           for i = 1 to 1_000 do
+             Relax_sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> ())
+           done;
+           Relax_sim.Engine.run e));
+    Test.make ~name:"sim/rng-10k-draws"
+      (Staged.stage (fun () ->
+           let r = Relax_sim.Rng.create ~seed:1 in
+           for _ = 1 to 10_000 do
+             ignore (Relax_sim.Rng.int r 100)
+           done));
+    Test.make ~name:"replica/taxi-point-10req (X-deg)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_experiments.Taxi.run_point ~params:small_taxi_params
+                taxi_point)));
+    Test.make ~name:"replica/atm-5rounds (B3-4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_experiments.Atm.run_once ~params:small_atm_params
+                ~relax_a2:false ~think_time:10.0 ())));
+    Test.make ~name:"txn/spooler-run+atomic-check (A4-2, X-conc)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_experiments.Spooler.run_one ~items:8 ~seed:4
+                Relax_txn.Spool.Optimistic ~k:2)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Extensions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fifo_qca = Qca.automaton Instances.fifo_spec_eta Instances.q1
+
+let bench_extensions =
+  [
+    Test.make ~name:"fifo/rfq-equivalence-depth3 (X-fifo)"
+      (Staged.stage (fun () ->
+           ignore
+             (Language.equivalent_bool fifo_qca Rfq.automaton ~alphabet
+                ~depth:3)));
+    Test.make ~name:"weighted/exact-availability (X-av)"
+      (Staged.stage (fun () ->
+           ignore (Relax_experiments.Availability.weighted_comparison ())));
+    Test.make ~name:"txn/atomic-automaton-accept (A4-2)"
+      (Staged.stage
+         (let sched =
+            Relax_txn.Atomic_automaton.encode
+              (Relax_txn.Schedule.of_list
+                 [
+                   Relax_txn.Schedule.Exec
+                     (Relax_txn.Tid.of_int 1, Queue_ops.enq_int 1);
+                   Relax_txn.Schedule.Commit (Relax_txn.Tid.of_int 1);
+                   Relax_txn.Schedule.Exec
+                     (Relax_txn.Tid.of_int 2, Queue_ops.deq_int 1);
+                   Relax_txn.Schedule.Commit (Relax_txn.Tid.of_int 2);
+                 ])
+          in
+          let atomic = Relax_txn.Atomic_automaton.automaton Fifo.automaton in
+          fun () -> ignore (Automaton.accepts atomic sched)));
+    Test.make ~name:"replica/adaptive-run (X-adapt)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_experiments.Adaptive.run_once
+                ~params:
+                  {
+                    Relax_experiments.Adaptive.default_params with
+                    requests = 8;
+                    seed = 5;
+                  }
+                ())));
+    Test.make ~name:"replica/partition-run (X-part)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_experiments.Partition.run_point
+                (List.hd (Relax_experiments.Taxi.points ~n:5)))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_tests =
+  Test.make_grouped ~name:"relax"
+    (bench_larch @ bench_conformance @ bench_core @ bench_prob @ bench_sim
+   @ bench_extensions)
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let () =
+  Fmt.pr "== relax benchmark harness (ns per run, OLS) ==@.";
+  let results = benchmark () in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Fmt.pr "%-55s %14.1f ns/run@." name est
+      | Some _ | None -> Fmt.pr "%-55s %14s@." name "n/a")
+    rows;
+  Fmt.pr "@.done: %d benchmarks@." (List.length rows)

@@ -1,0 +1,288 @@
+(* rlx — the relaxation-lattice toolkit command line.
+
+   Every experiment of EXPERIMENTS.md is reachable from here:
+
+     rlx check all        run every mechanized claim check
+     rlx check pq         the Section 3.3 lattice equalities (incl. Theorem 4)
+     rlx check collapses  the Section 4.2 family collapses
+     rlx check fifo       the Section 3.1 queue, characterized
+     rlx check account    the Section 3.4 account lattice
+     rlx check prob       the 0.1^n probabilistic claim
+     rlx check markov     probabilistic/functional model composition
+     rlx figure 4-2       regenerate Figure 4-2
+     rlx figure 5-1       regenerate Figure 5-1 with measured costs
+     rlx simulate taxi    the taxi-dispatch case study
+     rlx simulate adaptive  Section 2.3's combined automaton, live
+     rlx simulate partition majority/minority network split
+     rlx simulate amnesia   stable storage as a load-bearing assumption
+     rlx simulate atm     the bank-account case study
+     rlx simulate spooler the print-spooler case study
+     rlx availability     availability of every lattice point
+     rlx compare PQ MPQ   Section 5's comparison of specifications
+     rlx trait ...        inspect/normalize the standard traits
+*)
+
+open Cmdliner
+
+let out = Fmt.stdout
+
+let exit_of b = if b then 0 else 1
+
+let run_check what depth =
+  let alphabet =
+    Relax_objects.Queue_ops.alphabet (Relax_objects.Queue_ops.universe 2)
+  in
+  match what with
+  | "pq" -> exit_of (Relax_experiments.Pq_checks.run ~alphabet ~depth out ())
+  | "collapses" ->
+    exit_of (Relax_experiments.Collapse_checks.run ~alphabet ~depth out ())
+  | "prob" -> exit_of (Relax_experiments.Topn_check.run out ())
+  | "account" -> exit_of (Relax_experiments.Account_checks.run out ())
+  | "markov" -> exit_of (Relax_experiments.Markov_env.run out ())
+  | "fifo" -> exit_of (Relax_experiments.Fifo_checks.run ~alphabet ~depth out ())
+  | "all" ->
+    let ok1 = Relax_experiments.Pq_checks.run ~alphabet ~depth out () in
+    let ok2 = Relax_experiments.Collapse_checks.run ~alphabet ~depth out () in
+    let ok3 = Relax_experiments.Account_checks.run out () in
+    let ok4 = Relax_experiments.Topn_check.run out () in
+    let ok5 = Relax_experiments.Fig42.run out () in
+    let ok6 = Relax_experiments.Availability.run out () in
+    let ok7 = Relax_experiments.Taxi.run out () in
+    let ok8 = Relax_experiments.Atm.run out () in
+    let ok9 = Relax_experiments.Spooler.run out () in
+    let ok10 = Relax_experiments.Markov_env.run out () in
+    let ok11 = Relax_experiments.Fifo_checks.run ~alphabet ~depth out () in
+    exit_of
+      (ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8 && ok9 && ok10
+     && ok11)
+  | other ->
+    Fmt.epr
+      "unknown check %S (expected pq | collapses | account | fifo | prob | markov | all)@."
+      other;
+    2
+
+(* The trait/interface figures print their checked sources; 4-2 and 5-1
+   are regenerated from the lattice machinery and the case studies. *)
+let run_figure which =
+  let show_trait src =
+    Fmt.pr "%a@." Relax_larch.Printer.pp_trait
+      (Relax_larch.Parser.trait_of_string src);
+    0
+  in
+  let show_iface src =
+    Fmt.pr "%a@." Relax_larch.Printer.pp_iface
+      (Relax_larch.Parser.iface_of_string src);
+    0
+  in
+  match which with
+  | "2-1" -> show_trait Relax_larch.Theories.bag_src
+  | "2-2" -> show_iface Relax_larch.Theories.bag_iface_src
+  | "2-3" -> show_trait Relax_larch.Theories.fifoq_src
+  | "2-4" -> show_iface Relax_larch.Theories.fifo_iface_src
+  | "3-1" -> show_trait Relax_larch.Theories.pqueue_src
+  | "3-2" -> show_iface Relax_larch.Theories.pqueue_iface_src
+  | "3-3" -> show_iface Relax_larch.Theories.mpq_iface_src
+  | "3-4" -> show_iface Relax_larch.Theories.bag_iface_src
+  | "3-5" -> show_iface Relax_larch.Theories.degen_iface_src
+  | "4-1" -> show_iface (Relax_larch.Theories.semiqueue_iface_src ~k:2)
+  | "4-3" -> show_iface (Relax_larch.Theories.stuttering_iface_src ~j:2)
+  | "4-2" -> exit_of (Relax_experiments.Fig42.run out ())
+  | "5-1" -> exit_of (Relax_experiments.Fig51.run out ())
+  | other ->
+    Fmt.epr
+      "unknown figure %S (expected 2-1..2-4 | 3-1..3-5 | 4-1..4-3 | 5-1)@."
+      other;
+    2
+
+let run_simulate which =
+  match which with
+  | "taxi" -> exit_of (Relax_experiments.Taxi.run out ())
+  | "partition" -> exit_of (Relax_experiments.Partition.run out ())
+  | "adaptive" -> exit_of (Relax_experiments.Adaptive.run out ())
+  | "amnesia" -> exit_of (Relax_experiments.Amnesia.run out ())
+  | "atm" -> exit_of (Relax_experiments.Atm.run out ())
+  | "spooler" -> exit_of (Relax_experiments.Spooler.run out ())
+  | other ->
+    Fmt.epr "unknown simulation %S (expected taxi | partition | adaptive | amnesia | atm | spooler)@." other;
+    2
+
+let depth_arg =
+  let doc = "Exploration depth for bounded language checks." in
+  Arg.(value & opt int 5 & info [ "depth"; "d" ] ~doc)
+
+let what_arg ~doc =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WHAT" ~doc)
+
+let check_cmd =
+  let doc =
+    "Run the mechanized claim checks (pq | collapses | account | fifo | \
+     prob | markov | all)."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run_check $ what_arg ~doc $ depth_arg)
+
+let figure_cmd =
+  let doc =
+    "Regenerate a figure of the paper (2-1..2-4 | 3-1..3-5 | 4-1..4-3 | 5-1)."
+  in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run_figure $ what_arg ~doc)
+
+let simulate_cmd =
+  let doc =
+    "Run a case-study simulation (taxi | partition | adaptive | amnesia | \
+     atm | spooler)."
+  in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run_simulate $ what_arg ~doc)
+
+let availability_cmd =
+  let doc = "Availability of every lattice point (exact + Monte Carlo)." in
+  Cmd.v
+    (Cmd.info "availability" ~doc)
+    Term.(const (fun () -> exit_of (Relax_experiments.Availability.run out ())) $ const ())
+
+let lattice_cmd =
+  let doc = "Print and check the replicated-PQ relaxation lattice." in
+  Cmd.v
+    (Cmd.info "lattice" ~doc)
+    Term.(
+      const (fun depth ->
+          let alphabet =
+            Relax_objects.Queue_ops.alphabet
+              (Relax_objects.Queue_ops.universe 2)
+          in
+          exit_of (Relax_experiments.Pq_checks.run ~alphabet ~depth out ()))
+      $ depth_arg)
+
+(* rlx trait show Bag / rlx trait theory Bag / rlx trait normalize Bag "expr" *)
+let run_trait action name expr =
+  let std =
+    [ "Bag"; "MBag"; "FifoQ"; "PQueue"; "MPQueue"; "SetE"; "SemiQ"; "StutQ";
+      "DPQ"; "RFQ" ]
+  in
+  if not (List.mem name std) then begin
+    Fmt.epr "unknown trait %S (expected one of %s)@." name
+      (String.concat ", " std);
+    2
+  end
+  else
+    let source =
+      match name with
+      | "Bag" -> Relax_larch.Theories.bag_src
+      | "MBag" -> Relax_larch.Theories.mbag_src
+      | "FifoQ" -> Relax_larch.Theories.fifoq_src
+      | "PQueue" -> Relax_larch.Theories.pqueue_src
+      | "MPQueue" -> Relax_larch.Theories.mpqueue_src
+      | "SetE" -> Relax_larch.Theories.set_src
+      | "SemiQ" -> Relax_larch.Theories.semiq_src
+      | "DPQ" -> Relax_larch.Theories.dpq_src
+      | "RFQ" -> Relax_larch.Theories.rfq_src
+      | _ -> Relax_larch.Theories.stutq_src
+    in
+    match action with
+    | "show" ->
+      Fmt.pr "%a@."
+        Relax_larch.Printer.pp_trait
+        (Relax_larch.Parser.trait_of_string source);
+      0
+    | "theory" ->
+      Fmt.pr "%a@." Relax_larch.Printer.pp_theory
+        (Relax_larch.Theories.find name);
+      0
+    | "normalize" -> (
+      match expr with
+      | None ->
+        Fmt.epr "normalize needs an expression argument@.";
+        2
+      | Some src -> (
+        try
+          let t = Relax_larch.Parser.expr_of_string src in
+          let theory = Relax_larch.Theories.find name in
+          Fmt.pr "%a@." Relax_larch.Term.pp
+            (Relax_larch.Trait.normalize theory t);
+          0
+        with
+        | Relax_larch.Parser.Error e | Relax_larch.Lexer.Error e ->
+          Fmt.epr "parse error: %s@." e;
+          2
+        | Relax_larch.Rewrite.Out_of_fuel ->
+          Fmt.epr "normalization did not terminate within the fuel bound@.";
+          2))
+    | other ->
+      Fmt.epr "unknown action %S (expected show | theory | normalize)@." other;
+      2
+
+let trait_cmd =
+  let doc =
+    "Inspect the standard traits: show the source, print the elaborated \
+     theory, or normalize a ground expression."
+  in
+  let action_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION" ~doc)
+  in
+  let name_arg =
+    Arg.(
+      required & pos 1 (some string) None & info [] ~docv:"TRAIT"
+        ~doc:"Trait name (Bag, MBag, FifoQ, PQueue, MPQueue, SetE, SemiQ, StutQ, DPQ, RFQ).")
+  in
+  let expr_arg =
+    Arg.(
+      value & pos 2 (some string) None & info [] ~docv:"EXPR"
+        ~doc:"Expression to normalize (for the normalize action).")
+  in
+  Cmd.v (Cmd.info "trait" ~doc)
+    Term.(const run_trait $ action_arg $ name_arg $ expr_arg)
+
+(* rlx compare PQ MPQ: classify two named behaviors by bounded language
+   comparison (Section 5's comparison of specifications). *)
+let run_compare a b depth =
+  let alphabet =
+    Relax_objects.Queue_ops.alphabet (Relax_objects.Queue_ops.universe 2)
+  in
+  match Relax_objects.Registry.classify ~alphabet ~depth a b with
+  | Some c ->
+    Fmt.pr "%s vs %s (depth %d): %a@." a b depth
+      Relax_core.Language.pp_classification c;
+    0
+  | None ->
+    Fmt.epr "unknown behavior (known: %s)@."
+      (String.concat ", " Relax_objects.Registry.names);
+    2
+
+let compare_cmd =
+  let doc =
+    "Compare two named behaviors by bounded language inclusion (e.g. rlx \
+     compare PQ MPQ)."
+  in
+  let a_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LEFT" ~doc)
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"RIGHT" ~doc)
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run_compare $ a_arg $ b_arg $ depth_arg)
+
+let behaviors_cmd =
+  let doc = "List the named behaviors available to 'rlx compare'." in
+  Cmd.v (Cmd.info "behaviors" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun e ->
+              Fmt.pr "%-14s %s@." e.Relax_objects.Registry.name
+                e.Relax_objects.Registry.description)
+            Relax_objects.Registry.entries;
+          0)
+      $ const ())
+
+let main =
+  let doc = "relaxation-lattice toolkit (Herlihy & Wing, PODC 1987)" in
+  Cmd.group
+    (Cmd.info "rlx" ~version:"1.0.0" ~doc)
+    [
+      check_cmd; figure_cmd; simulate_cmd; availability_cmd; lattice_cmd;
+      trait_cmd; compare_cmd; behaviors_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

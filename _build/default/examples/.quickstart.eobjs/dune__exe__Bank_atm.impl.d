@@ -1,0 +1,1 @@
+examples/bank_atm.ml: Fmt List Relax_experiments

@@ -1,0 +1,1 @@
+examples/print_spooler.ml: Fmt List Relax_experiments Relax_txn Spool

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Automaton Cset Environment Fmt History Int Language List Op Relax_core Relaxation Set String Value

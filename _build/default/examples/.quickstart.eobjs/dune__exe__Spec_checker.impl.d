@@ -1,0 +1,1 @@
+examples/spec_checker.ml: Automaton Conformance Fmt Interface List Op Parser Relax_core Relax_larch Term Trait Value

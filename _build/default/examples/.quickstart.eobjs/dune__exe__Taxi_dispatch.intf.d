@@ -1,0 +1,1 @@
+examples/taxi_dispatch.mli:

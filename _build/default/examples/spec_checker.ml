@@ -1,0 +1,120 @@
+(* Using the Larch engine as a standalone specification checker.
+
+   The relaxation-lattice method rests on a two-tiered specification: a
+   trait fixes the value theory, an interface fixes operation pre/post
+   semantics, and an executable model either conforms or does not.  This
+   example specifies a stack from scratch in the concrete trait syntax,
+   checks a correct OCaml model against it, and then shows the checker
+   catching a deliberately buggy model.
+
+   Run with:  dune exec examples/spec_checker.exe *)
+
+open Relax_core
+open Relax_larch
+
+let stack_trait_src =
+  {|
+trait Stack
+  includes Boolean
+  introduces
+    empty : -> St
+    push : St, E -> St
+    pop : St -> St
+    top : St -> E
+    isEmpty : St -> Bool
+  generated St by empty, push
+  axioms forall s : St, e : E
+    pop(push(s, e)) = s
+    top(push(s, e)) = e
+    isEmpty(empty) = true
+    isEmpty(push(s, e)) = false
+end
+|}
+
+let stack_iface_src =
+  {|
+interface StackObject
+  uses Stack
+  object s : St
+  operation Push(e : E) / Ok()
+    ensures s' = push(s, e)
+  operation Pop() / Ok(e : E)
+    requires ~ isEmpty(s)
+    ensures e = top(s) /\ s' = pop(s)
+end
+|}
+
+(* The executable model: a plain list, top at the head. *)
+let push e = Op.make "Push" ~args:[ e ]
+let pop e = Op.make "Pop" ~results:[ e ]
+
+let good_model =
+  Automaton.make ~name:"list-stack" ~init:[]
+    ~equal:(fun a b -> a = b)
+    (fun st op ->
+      match (Op.name op, Op.args op, Op.results op) with
+      | "Push", [ e ], [] -> [ e :: st ]
+      | "Pop", [], [ e ] -> (
+        match st with
+        | top :: rest when Value.equal top e -> [ rest ]
+        | _ -> [])
+      | _ -> [])
+
+(* The buggy model: Pop forgets to remove the element. *)
+let buggy_model =
+  Automaton.make ~name:"buggy-stack" ~init:[]
+    ~equal:(fun a b -> a = b)
+    (fun st op ->
+      match (Op.name op, Op.args op, Op.results op) with
+      | "Push", [ e ], [] -> [ e :: st ]
+      | "Pop", [], [ e ] -> (
+        match st with
+        | top :: _ when Value.equal top e -> [ st ] (* bug: no removal *)
+        | _ -> [])
+      | _ -> [])
+
+(* Reify a model state into the trait's term language. *)
+let reify st =
+  List.fold_left
+    (fun acc v -> Term.app "push" [ acc; Interface.term_of_value v ])
+    (Term.const "empty") (List.rev st)
+
+let () =
+  Fmt.pr "=== the Larch engine as a spec checker ===@.@.";
+  (* 1. Parse and elaborate the trait. *)
+  let ast = Parser.trait_of_string stack_trait_src in
+  let theory = Trait.elaborate [] ast in
+  Fmt.pr "parsed trait %s: %d operators, %d rewrite rules@."
+    theory.Trait.name
+    (List.length theory.Trait.decls)
+    (List.length theory.Trait.rules);
+
+  (* 2. Prove a few consequences by normalization. *)
+  let show src =
+    let t = Parser.expr_of_string src in
+    Fmt.pr "  %-32s ~~>  %a@." src Term.pp (Trait.normalize theory t)
+  in
+  show "top(push(push(empty, 1), 2))";
+  show "pop(pop(push(push(empty, 1), 2)))";
+  show "isEmpty(pop(push(empty, 7)))";
+
+  (* 3. Check the models against the interface. *)
+  let iface = Parser.iface_of_string stack_iface_src in
+  let alphabet =
+    List.concat_map
+      (fun i -> [ push (Value.int i); pop (Value.int i) ])
+      [ 1; 2 ]
+  in
+  let check name model =
+    let report =
+      Conformance.check ~mode:Conformance.Exact ~theory ~iface ~reify
+        ~automaton:model ~alphabet ~depth:4 ()
+    in
+    Fmt.pr "@.%s: %a@." name Conformance.pp_report report
+  in
+  check "correct model" good_model;
+  check "buggy model (Pop forgets to remove)" buggy_model;
+  Fmt.pr
+    "@.The checker pinpoints the state and operation where the buggy model@.";
+  Fmt.pr "violates the ensures clause — this is the machinery every@.";
+  Fmt.pr "figure-level conformance test in the repository runs on.@."

@@ -1,0 +1,46 @@
+(* The taxicab company of Section 3.3, end to end.
+
+   An urban taxi company replicates its dispatch queue at five sites
+   connected by unreliable packet radio.  Dispatchers enqueue prioritized
+   requests; idle drivers dequeue the highest-priority pending one.  This
+   example runs the same fault trace against all four points of the
+   relaxation lattice {QCA(PQ, Q, eta) | Q ⊆ {Q1, Q2}} and shows the
+   trade the paper describes: relaxing quorum intersection buys
+   availability and latency, and the behavior degrades exactly to the
+   automaton the lattice predicts — never further.
+
+   Run with:  dune exec examples/taxi_dispatch.exe *)
+
+let () =
+  Fmt.pr "=== taxi dispatch: graceful degradation in action ===@.@.";
+  Fmt.pr
+    "Five replicated sites, crash probability 0.15 per site per request,@.";
+  Fmt.pr "forty prioritized requests, identical fault trace per lattice point.@.@.";
+  let params =
+    {
+      Relax_experiments.Taxi.default_params with
+      requests = 40;
+      crash_probability = 0.15;
+      seed = 42;
+    }
+  in
+  let outcomes = Relax_experiments.Taxi.run_all ~params () in
+  Fmt.pr "%-34s %7s %7s %5s %4s %4s %7s  %s@." "lattice point" "served"
+    "unavail" "empty" "dup" "inv" "latency" "history check";
+  List.iter
+    (fun (o : Relax_experiments.Taxi.outcome) ->
+      Fmt.pr "%-34s %4d/%-3d %7d %5d %4d %4d %7.1f  %s@." o.label o.served
+        o.requests o.unavailable o.empty_views o.duplicates o.inversions
+        o.mean_latency
+        (if o.history_ok then "within predicted behavior"
+         else "OUTSIDE predicted behavior!"))
+    outcomes;
+  Fmt.pr "@.Reading the table:@.";
+  Fmt.pr "  - the preferred point pays with unavailability and latency;@.";
+  Fmt.pr
+    "  - {Q1} keeps priority order but may dispatch two cabs to one fare;@.";
+  Fmt.pr "  - {Q2} serves each fare once but possibly out of order;@.";
+  Fmt.pr "  - {} is always available and pays with both anomalies.@.";
+  Fmt.pr
+    "Every run stays inside the behavior its lattice point predicts —@.";
+  Fmt.pr "that is the relaxation-lattice guarantee.@."

@@ -1,0 +1,1 @@
+lib/core/automaton.ml: Fmt List Op

@@ -1,0 +1,1 @@
+lib/core/cset.ml: Fmt List Set Stdlib String

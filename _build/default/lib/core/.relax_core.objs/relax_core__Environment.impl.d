@@ -1,0 +1,1 @@
+lib/core/environment.ml: Automaton Cset Fmt List Op Relaxation

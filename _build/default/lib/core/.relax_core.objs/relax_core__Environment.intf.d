@@ -1,0 +1,1 @@
+lib/core/environment.mli: Automaton Cset Op Relaxation

@@ -1,0 +1,1 @@
+lib/core/language.ml: Array Automaton Fmt History List Op

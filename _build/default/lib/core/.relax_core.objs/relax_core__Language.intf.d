@@ -1,0 +1,1 @@
+lib/core/language.mli: Automaton Fmt History Op

@@ -1,0 +1,1 @@
+lib/core/relaxation.ml: Automaton Cset Fmt History Language List String

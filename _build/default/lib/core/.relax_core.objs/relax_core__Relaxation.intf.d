@@ -1,0 +1,1 @@
+lib/core/relaxation.mli: Automaton Cset Fmt History Language

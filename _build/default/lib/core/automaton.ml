@@ -1,0 +1,89 @@
+(* Simple object automata (Section 2.1).
+
+   An automaton is <STATE, s0, OP, delta> with a possibly nondeterministic
+   partial transition function.  We represent delta intensionally:
+   [step s p] returns the (finite) list of successor states, empty when the
+   transition is undefined, so automata over infinite state spaces (queues,
+   logs, histories) are expressed directly. *)
+
+type 'v t = {
+  name : string;
+  init : 'v;
+  step : 'v -> Op.t -> 'v list;
+  equal : 'v -> 'v -> bool;
+  pp_state : 'v Fmt.t;
+}
+
+let make ?(pp_state = fun ppf _ -> Fmt.string ppf "<state>") ~name ~init
+    ~equal step =
+  { name; init; step; equal; pp_state }
+
+let deterministic ?pp_state ~name ~init ~equal step =
+  let step s p = match step s p with None -> [] | Some s' -> [ s' ] in
+  make ?pp_state ~name ~init ~equal step
+
+let name t = t.name
+let init t = t.init
+let equal_state t = t.equal
+let pp_state t = t.pp_state
+let step t s p = t.step s p
+
+let dedup equal states =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      if List.exists (equal s) acc then go acc rest else go (s :: acc) rest
+  in
+  go [] states
+
+(* One transition applied to a set of states: the union of successor sets,
+   deduplicated so nondeterministic branching does not blow up the frontier
+   when branches reconverge. *)
+let step_set t states p =
+  dedup t.equal (List.concat_map (fun s -> t.step s p) states)
+
+(* delta* extended to histories (Section 2.1): the set of states reachable
+   from the initial state by the whole history, empty iff rejected. *)
+let run t h = List.fold_left (fun states p -> step_set t states p) [ t.init ] h
+
+let accepts t h = run t h <> []
+
+(* [rename t name] is [t] with a different display name; used when one
+   behavior appears at several lattice points. *)
+let rename t name = { t with name }
+
+(* [restrict t pred] removes transitions into states violating [pred];
+   used to impose environment-style side conditions. *)
+let restrict t pred =
+  { t with step = (fun s p -> List.filter pred (t.step s p)) }
+
+(* Product of two automata accepting the intersection of their languages. *)
+let product ~name a b =
+  {
+    name;
+    init = (a.init, b.init);
+    equal = (fun (s1, s2) (t1, t2) -> a.equal s1 t1 && b.equal s2 t2);
+    pp_state =
+      (fun ppf (s1, s2) ->
+        Fmt.pf ppf "(%a, %a)" a.pp_state s1 b.pp_state s2);
+    step =
+      (fun (s1, s2) p ->
+        let n1 = a.step s1 p and n2 = b.step s2 p in
+        List.concat_map (fun x -> List.map (fun y -> (x, y)) n2) n1);
+  }
+
+(* Maps the state space through an isomorphism-like pair of functions.
+   [backward] must be a right inverse of [forward] on reachable states. *)
+let map_state ~name ~forward ~backward ~equal ?pp_state t =
+  let pp_state =
+    match pp_state with
+    | Some pp -> pp
+    | None -> fun ppf s -> t.pp_state ppf (backward s)
+  in
+  {
+    name;
+    init = forward t.init;
+    equal;
+    pp_state;
+    step = (fun s p -> List.map forward (t.step (backward s) p));
+  }

@@ -1,0 +1,68 @@
+(** Simple object automata (Section 2.1 of the paper).
+
+    An automaton is [<STATE, s0, OP, delta>] with a possibly
+    nondeterministic partial transition function.  The transition function
+    is represented intensionally — [step s p] returns the finite list of
+    successor states, empty when undefined — so automata over infinite
+    state spaces (queues, logs, histories) are expressed directly. *)
+
+type 'v t
+
+(** [make ~name ~init ~equal step] builds an automaton.  [equal] decides
+    state equality (used to deduplicate nondeterministic frontiers);
+    [pp_state] is used by diagnostics. *)
+val make :
+  ?pp_state:'v Fmt.t ->
+  name:string ->
+  init:'v ->
+  equal:('v -> 'v -> bool) ->
+  ('v -> Op.t -> 'v list) ->
+  'v t
+
+(** Convenience wrapper for deterministic transition functions. *)
+val deterministic :
+  ?pp_state:'v Fmt.t ->
+  name:string ->
+  init:'v ->
+  equal:('v -> 'v -> bool) ->
+  ('v -> Op.t -> 'v option) ->
+  'v t
+
+val name : 'v t -> string
+val init : 'v t -> 'v
+val equal_state : 'v t -> 'v -> 'v -> bool
+val pp_state : 'v t -> 'v Fmt.t
+
+(** [step t s p] is [delta(s, p)], empty iff the transition is undefined. *)
+val step : 'v t -> 'v -> Op.t -> 'v list
+
+(** One transition applied to a set of states: the deduplicated union of
+    the successor sets. *)
+val step_set : 'v t -> 'v list -> Op.t -> 'v list
+
+(** [run t h] is [delta*(s0, h)]: every state reachable by [h], empty iff
+    [h] is rejected. *)
+val run : 'v t -> History.t -> 'v list
+
+(** [accepts t h] holds iff [h] is in [L(t)]. *)
+val accepts : 'v t -> History.t -> bool
+
+(** [rename t name] is [t] under a different display name. *)
+val rename : 'v t -> string -> 'v t
+
+(** [restrict t pred] removes transitions into states violating [pred]. *)
+val restrict : 'v t -> ('v -> bool) -> 'v t
+
+(** Product automaton accepting the intersection of the two languages. *)
+val product : name:string -> 'a t -> 'b t -> ('a * 'b) t
+
+(** Transport an automaton along a state-space bijection.  [backward] must
+    be a right inverse of [forward] on reachable states. *)
+val map_state :
+  name:string ->
+  forward:('a -> 'b) ->
+  backward:('b -> 'a) ->
+  equal:('b -> 'b -> bool) ->
+  ?pp_state:'b Fmt.t ->
+  'a t ->
+  'b t

@@ -1,0 +1,49 @@
+(* Finite sets of named constraints.  A relaxation lattice is indexed by
+   2^C for a finite constraint vocabulary C (Section 2.2); constraints are
+   identified by name and left uninterpreted at this level — their meaning
+   is supplied by the domain (quorum intersection, concurrency bounds...). *)
+
+module S = Set.Make (String)
+
+type t = S.t
+
+let empty = S.empty
+let of_list = S.of_list
+let to_list = S.elements
+let singleton = S.singleton
+let add = S.add
+let mem = S.mem
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let equal = S.equal
+let compare = S.compare
+let cardinal = S.cardinal
+let is_empty = S.is_empty
+let for_all = S.for_all
+
+(* Proper subset. *)
+let strict_subset a b = S.subset a b && not (S.equal a b)
+
+(* All subsets of the given constraint vocabulary, smallest first.  The
+   vocabulary is expected to be small (the paper's examples use |C| <= 3);
+   bounded at 20 constraints to guard against accidental blow-up. *)
+let subsets names =
+  let names = List.sort_uniq String.compare names in
+  if List.length names > 20 then invalid_arg "Cset.subsets: vocabulary too large";
+  let add_name subs name =
+    subs @ List.map (fun s -> S.add name s) subs
+  in
+  let all = List.fold_left add_name [ S.empty ] names in
+  List.sort
+    (fun a b ->
+      let c = Stdlib.compare (S.cardinal a) (S.cardinal b) in
+      if c <> 0 then c else S.compare a b)
+    all
+
+let pp ppf t =
+  if S.is_empty t then Fmt.string ppf "{}"
+  else Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) (S.elements t)
+
+let to_string t = Fmt.str "%a" pp t

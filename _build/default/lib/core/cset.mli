@@ -1,0 +1,32 @@
+(** Finite sets of named constraints.
+
+    A relaxation lattice is indexed by [2^C] for a finite constraint
+    vocabulary [C] (Section 2.2 of the paper).  Constraints are identified
+    by name and left uninterpreted at this level; their meaning is supplied
+    by the domain (quorum intersection, concurrency bounds, ...). *)
+
+type t
+
+val empty : t
+val of_list : string list -> t
+val to_list : t -> string list
+val singleton : string -> t
+val add : string -> t -> t
+val mem : string -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val strict_subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+val for_all : (string -> bool) -> t -> bool
+
+(** All subsets of the given vocabulary, ordered by cardinality (smallest
+    first).  Raises [Invalid_argument] on vocabularies larger than 20. *)
+val subsets : string list -> t list
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,71 @@
+(* The environment automaton of Section 2.3.
+
+   The environment is a deterministic automaton <2^C, c0, EVENT, deltaE>
+   whose state is the set of constraints currently satisfied, and whose
+   input events model changes to that set (crashes, recoveries, premature
+   reads, commits...).  Events are represented as Op.t so that EVENT and OP
+   may overlap, exactly as in the bank-account and atomic-queue examples. *)
+
+type t = {
+  name : string;
+  init : Cset.t;
+  is_event : Op.t -> bool;
+  step : Cset.t -> Op.t -> Cset.t;
+}
+
+let make ~name ~init ~is_event step = { name; init; is_event; step }
+
+(* An environment whose events are identified by operation name alone —
+   the common case (crash/recover, commit/abort). *)
+let of_event_names ~name ~init ~events step =
+  let is_event p = List.mem (Op.name p) events in
+  { name; init; is_event; step }
+
+(* The static environment: constraints never change.  Useful as the
+   identity element when testing the combined automaton. *)
+let static ~init =
+  {
+    name = "static";
+    init;
+    is_event = (fun _ -> false);
+    step = (fun c _ -> c);
+  }
+
+let name t = t.name
+let init t = t.init
+let is_event t p = t.is_event p
+
+(* delta1 of Section 2.3: events update the constraint state, pure
+   operations leave it unchanged. *)
+let apply t c p = if t.is_event p then t.step c p else c
+
+(* The combined automaton <2^C x STATE, (c0, s0), EVENT ∪ OP, delta> of
+   Section 2.3.  When the input is an event the environment state changes;
+   when it is an operation the object steps under the transition function
+   phi(c') selected by the *updated* environment ("the environment changes
+   before the transition function is selected"); an input that is both does
+   both. *)
+let combine env (lattice : 'v Relaxation.t) ~is_operation =
+  let init = (env.init, Automaton.init (Relaxation.phi lattice env.init)) in
+  let equal (c1, s1) (c2, s2) =
+    Cset.equal c1 c2
+    && Automaton.equal_state (Relaxation.phi lattice c1) s1 s2
+  in
+  let pp_state ppf (c, s) =
+    Fmt.pf ppf "<%a, %a>" Cset.pp c
+      (Automaton.pp_state (Relaxation.phi lattice c))
+      s
+  in
+  let step (c, s) p =
+    let event = env.is_event p and operation = is_operation p in
+    if (not event) && not operation then []
+    else
+      let c' = apply env c p in
+      if operation then
+        let a = Relaxation.phi lattice c' in
+        List.map (fun s' -> (c', s')) (Automaton.step a s p)
+      else [ (c', s) ]
+  in
+  Automaton.make ~pp_state
+    ~name:(Fmt.str "%s |> %s" env.name (Relaxation.name lattice))
+    ~init ~equal step

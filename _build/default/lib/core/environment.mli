@@ -1,0 +1,44 @@
+(** The environment automaton of Section 2.3 of the paper.
+
+    The environment is a deterministic automaton [<2^C, c0, EVENT, deltaE>]
+    whose state is the set of constraints currently satisfied and whose
+    input events (crashes, recoveries, premature reads, commits, ...) move
+    that set around the lattice.  Events are represented as {!Op.t} values
+    so that the event and operation alphabets may overlap, as in the
+    bank-account and atomic-queue examples. *)
+
+type t
+
+val make :
+  name:string ->
+  init:Cset.t ->
+  is_event:(Op.t -> bool) ->
+  (Cset.t -> Op.t -> Cset.t) ->
+  t
+
+(** Environment whose events are identified by operation name alone. *)
+val of_event_names :
+  name:string ->
+  init:Cset.t ->
+  events:string list ->
+  (Cset.t -> Op.t -> Cset.t) ->
+  t
+
+(** The environment in which constraints never change. *)
+val static : init:Cset.t -> t
+
+val name : t -> string
+val init : t -> Cset.t
+val is_event : t -> Op.t -> bool
+
+(** [apply t c p] is [delta1]: events update the constraint state, pure
+    operations leave it unchanged. *)
+val apply : t -> Cset.t -> Op.t -> Cset.t
+
+(** [combine env lattice ~is_operation] is the combined automaton
+    [<2^C x STATE, (c0, s0), EVENT ∪ OP, delta>] of Section 2.3.  Events
+    update the environment state; operations step the object under the
+    automaton selected by the {e updated} environment; inputs that are both
+    do both.  Inputs that are neither are rejected. *)
+val combine :
+  t -> 'v Relaxation.t -> is_operation:(Op.t -> bool) -> (Cset.t * 'v) Automaton.t

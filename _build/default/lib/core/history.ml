@@ -1,0 +1,79 @@
+(* A history is a finite sequence of operation executions (Section 2).
+   The head of the list is the earliest operation. *)
+
+type t = Op.t list
+
+let empty = []
+let append h p = h @ [ p ]
+let of_list ops = ops
+let to_list h = h
+let length = List.length
+let is_empty h = h = []
+
+let equal a b = List.length a = List.length b && List.for_all2 Op.equal a b
+
+let compare a b =
+  let rec go a b =
+    match a, b with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: a', y :: b' ->
+      let c = Op.compare x y in
+      if c <> 0 then c else go a' b'
+  in
+  go a b
+
+(* [is_subhistory g h] holds when [g] is a (not necessarily contiguous)
+   subsequence of [h]. *)
+let is_subhistory g h =
+  let rec go g h =
+    match g, h with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: g', y :: h' -> if Op.equal x y then go g' h' else go g h'
+  in
+  go g h
+
+(* All subsequences of [h], preserving order.  Exponential: intended for
+   the bounded-depth model checking this library performs. *)
+let subsequences h =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      List.rev_append (List.rev_map (fun s -> x :: s) subs) subs
+  in
+  go h
+
+let prefixes h =
+  let rec go acc rev_prefix = function
+    | [] -> List.rev acc
+    | x :: rest -> go (List.rev (x :: rev_prefix) :: acc) (x :: rev_prefix) rest
+  in
+  go [ [] ] [] h
+
+let filter = List.filter
+let for_all = List.for_all
+let exists = List.exists
+
+(* Operations strictly earlier than position [i]. *)
+let before h i =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take i h
+
+let pp ppf h =
+  if h = [] then Fmt.string ppf "<empty>"
+  else Fmt.list ~sep:(Fmt.any " . ") Op.pp ppf h
+
+let to_string h = Fmt.str "%a" pp h
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,40 @@
+(** Histories: finite sequences of operation executions (Section 2 of the
+    paper).  The head of the underlying list is the earliest operation. *)
+
+type t = Op.t list
+
+val empty : t
+
+(** [append h p] is [h . p]. *)
+val append : t -> Op.t -> t
+
+val of_list : Op.t list -> t
+val to_list : t -> Op.t list
+val length : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [is_subhistory g h] holds when [g] is a (not necessarily contiguous)
+    subsequence of [h]. *)
+val is_subhistory : t -> t -> bool
+
+(** All order-preserving subsequences of a history.  Exponential; intended
+    for bounded-depth model checking. *)
+val subsequences : t -> t list
+
+(** All prefixes, shortest first (the first element is [empty]). *)
+val prefixes : t -> t list
+
+val filter : (Op.t -> bool) -> t -> t
+val for_all : (Op.t -> bool) -> t -> bool
+val exists : (Op.t -> bool) -> t -> bool
+
+(** [before h i] is the prefix of [h] of length [i] (the operations
+    strictly earlier than position [i]). *)
+val before : t -> int -> t
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Stdlib.Set.S with type elt = t

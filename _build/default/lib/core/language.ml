@@ -1,0 +1,140 @@
+(* Bounded exploration of automaton languages.
+
+   The languages in the paper (L(A), Section 2.1) are prefix-closed sets of
+   histories over an operation alphabet.  All the paper's claims —
+   inclusions between lattice points, Theorem 4, the Semiqueue_1 = FIFO
+   collapses — are decided here by breadth-first enumeration over a finite
+   alphabet up to a depth bound, reporting counterexample histories on
+   failure. *)
+
+type alphabet = Op.t list
+
+type 'v frontier = { history : History.t; states : 'v list }
+
+(* All accepted histories of length <= depth, shortest first.  Prefix
+   closure of the languages involved means we only ever extend accepted
+   prefixes, which prunes the |alphabet|^depth search tree to the size of
+   the language itself. *)
+let enumerate (a : 'v Automaton.t) ~(alphabet : alphabet) ~depth =
+  let rec go level acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let extend f =
+        List.filter_map
+          (fun p ->
+            match Automaton.step_set a f.states p with
+            | [] -> None
+            | states -> Some { history = History.append f.history p; states })
+          alphabet
+      in
+      let next = List.concat_map extend level in
+      let acc = List.fold_left (fun acc f -> f.history :: acc) acc next in
+      if next = [] then List.rev acc else go next acc (remaining - 1)
+  in
+  let root = { history = History.empty; states = [ Automaton.init a ] } in
+  go [ root ] [ History.empty ] depth
+
+let language_set a ~alphabet ~depth =
+  History.Set.of_list (enumerate a ~alphabet ~depth)
+
+let size a ~alphabet ~depth = List.length (enumerate a ~alphabet ~depth)
+
+(* Per-depth census of the language: element [i] is the number of accepted
+   histories of length exactly [i]. *)
+let census a ~alphabet ~depth =
+  let counts = Array.make (depth + 1) 0 in
+  List.iter
+    (fun h -> counts.(History.length h) <- counts.(History.length h) + 1)
+    (enumerate a ~alphabet ~depth);
+  Array.to_list counts
+
+type counterexample = { history : History.t; holds_in : string; fails_in : string }
+
+let pp_counterexample ppf c =
+  Fmt.pf ppf "%a accepted by %s but rejected by %s" History.pp c.history
+    c.holds_in c.fails_in
+
+(* L(a) `subseteq` L(b) up to [depth]: every accepted history of [a] is
+   replayed through [b].  Because both languages are prefix-closed we stop
+   extending a history as soon as [a] rejects it. *)
+let included (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
+  let exception Fail of counterexample in
+  try
+    let rec go level remaining =
+      if remaining = 0 then ()
+      else
+        let extend (f, bstates) =
+          List.filter_map
+            (fun p ->
+              match Automaton.step_set a f.states p with
+              | [] -> None
+              | states ->
+                let history = History.append f.history p in
+                let bstates = Automaton.step_set b bstates p in
+                if bstates = [] then
+                  raise
+                    (Fail
+                       {
+                         history;
+                         holds_in = Automaton.name a;
+                         fails_in = Automaton.name b;
+                       });
+                Some ({ history; states }, bstates))
+            alphabet
+        in
+        let next = List.concat_map extend level in
+        if next = [] then () else go next (remaining - 1)
+    in
+    let root = { history = History.empty; states = [ Automaton.init a ] } in
+    go [ (root, [ Automaton.init b ]) ] depth;
+    Ok ()
+  with Fail c -> Error c
+
+let equivalent a b ~alphabet ~depth =
+  match included a b ~alphabet ~depth with
+  | Error c -> Error c
+  | Ok () -> included b a ~alphabet ~depth
+
+(* Strict inclusion: a `subseteq` b and some history of b is rejected by a.
+   Returns a witness of strictness on success. *)
+let strictly_included a b ~alphabet ~depth =
+  match included a b ~alphabet ~depth with
+  | Error c -> Error c
+  | Ok () -> (
+    match included b a ~alphabet ~depth with
+    | Error witness -> Ok (Some witness.history)
+    | Ok () -> Ok None)
+
+let included_bool a b ~alphabet ~depth =
+  match included a b ~alphabet ~depth with Ok () -> true | Error _ -> false
+
+let equivalent_bool a b ~alphabet ~depth =
+  match equivalent a b ~alphabet ~depth with Ok () -> true | Error _ -> false
+
+(* Full classification of two specifications by their bounded languages —
+   the comparison of specifications the paper's Section 5 envisions for
+   lattices of theories.  Witnesses are histories separating the
+   languages. *)
+type classification =
+  | Equal
+  | Left_below_right of History.t (* L(a) ⊂ L(b); witness in b \ a *)
+  | Right_below_left of History.t (* L(b) ⊂ L(a); witness in a \ b *)
+  | Incomparable of History.t * History.t
+    (* (in a \ b, in b \ a) *)
+
+let pp_classification ppf = function
+  | Equal -> Fmt.string ppf "equal languages"
+  | Left_below_right w ->
+    Fmt.pf ppf "strictly below (missing e.g. %a)" History.pp w
+  | Right_below_left w ->
+    Fmt.pf ppf "strictly above (additionally accepts e.g. %a)" History.pp w
+  | Incomparable (wa, wb) ->
+    Fmt.pf ppf "incomparable (only left: %a; only right: %a)" History.pp wa
+      History.pp wb
+
+let classify a b ~alphabet ~depth =
+  match (included a b ~alphabet ~depth, included b a ~alphabet ~depth) with
+  | Ok (), Ok () -> Equal
+  | Ok (), Error c -> Left_below_right c.history
+  | Error c, Ok () -> Right_below_left c.history
+  | Error ca, Error cb -> Incomparable (ca.history, cb.history)

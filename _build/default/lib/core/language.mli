@@ -1,0 +1,81 @@
+(** Bounded exploration of automaton languages.
+
+    The languages of the paper (prefix-closed sets of histories over an
+    operation alphabet) are compared by breadth-first enumeration over a
+    finite alphabet up to a depth bound, reporting counterexample histories
+    on failure.  All of the paper's language claims — lattice inclusions,
+    Theorem 4, the Semiqueue_1 = FIFO collapse — are decided with these
+    functions. *)
+
+type alphabet = Op.t list
+
+(** All accepted histories of length [<= depth], shortest first. *)
+val enumerate : 'v Automaton.t -> alphabet:alphabet -> depth:int -> History.t list
+
+val language_set :
+  'v Automaton.t -> alphabet:alphabet -> depth:int -> History.Set.t
+
+(** Number of accepted histories of length [<= depth]. *)
+val size : 'v Automaton.t -> alphabet:alphabet -> depth:int -> int
+
+(** Per-depth census: element [i] is the number of accepted histories of
+    length exactly [i]. *)
+val census : 'v Automaton.t -> alphabet:alphabet -> depth:int -> int list
+
+type counterexample = {
+  history : History.t;
+  holds_in : string;  (** name of the accepting automaton *)
+  fails_in : string;  (** name of the rejecting automaton *)
+}
+
+val pp_counterexample : counterexample Fmt.t
+
+(** [included a b] checks [L(a) ⊆ L(b)] up to [depth]. *)
+val included :
+  'v Automaton.t ->
+  'w Automaton.t ->
+  alphabet:alphabet ->
+  depth:int ->
+  (unit, counterexample) result
+
+(** [equivalent a b] checks [L(a) = L(b)] up to [depth]. *)
+val equivalent :
+  'v Automaton.t ->
+  'w Automaton.t ->
+  alphabet:alphabet ->
+  depth:int ->
+  (unit, counterexample) result
+
+(** [strictly_included a b] checks [L(a) ⊆ L(b)]; on success returns
+    [Some h] for a witness [h ∈ L(b) \ L(a)], or [None] if the languages
+    coincide up to the bound. *)
+val strictly_included :
+  'v Automaton.t ->
+  'w Automaton.t ->
+  alphabet:alphabet ->
+  depth:int ->
+  (History.t option, counterexample) result
+
+val included_bool :
+  'v Automaton.t -> 'w Automaton.t -> alphabet:alphabet -> depth:int -> bool
+
+val equivalent_bool :
+  'v Automaton.t -> 'w Automaton.t -> alphabet:alphabet -> depth:int -> bool
+
+(** Full classification of two specifications by their bounded languages —
+    the comparison of specifications the paper's Section 5 envisions.
+    Witness histories separate the languages. *)
+type classification =
+  | Equal
+  | Left_below_right of History.t  (** [L(a) ⊂ L(b)]; witness in b \ a *)
+  | Right_below_left of History.t  (** [L(b) ⊂ L(a)]; witness in a \ b *)
+  | Incomparable of History.t * History.t  (** (in a \ b, in b \ a) *)
+
+val pp_classification : classification Fmt.t
+
+val classify :
+  'v Automaton.t ->
+  'w Automaton.t ->
+  alphabet:alphabet ->
+  depth:int ->
+  classification

@@ -1,0 +1,56 @@
+(** Operation executions.
+
+    An operation execution [op(args)/term(res)] in the sense of Section 2
+    of the paper.  The operation name and argument values form the
+    {e invocation}; the termination condition and result values form the
+    {e response}. *)
+
+type t = {
+  name : string;
+  args : Value.t list;
+  term : string;
+  results : Value.t list;
+}
+
+(** The normal termination condition ["Ok"]. *)
+val ok : string
+
+(** [make ?term ?args ?results name] builds an execution; [term] defaults
+    to {!ok}, [args] and [results] to [[]]. *)
+val make :
+  ?term:string -> ?args:Value.t list -> ?results:Value.t list -> string -> t
+
+val name : t -> string
+val args : t -> Value.t list
+val term : t -> string
+val results : t -> Value.t list
+
+(** {1 Invocations} *)
+
+type invocation
+
+(** [inv ?args name] is the invocation [name(args)]. *)
+val inv : ?args:Value.t list -> string -> invocation
+
+(** The invocation part of an execution. *)
+val invocation : t -> invocation
+
+val invocation_name : invocation -> string
+val invocation_args : invocation -> Value.t list
+
+(** [with_response i ~term ~results] completes an invocation into an
+    execution. *)
+val with_response : invocation -> term:string -> results:Value.t list -> t
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val compare_invocation : invocation -> invocation -> int
+val equal_invocation : invocation -> invocation -> bool
+
+(** {1 Printing} *)
+
+val pp : t Fmt.t
+val pp_invocation : invocation Fmt.t
+val to_string : t -> string

@@ -1,0 +1,135 @@
+(* Relaxation lattices (Section 2.2).
+
+   A relaxation lattice is a set of constraints C, a lattice of automata A
+   (same states, initial state and operations, different transition
+   functions), and a lattice homomorphism phi : 2^C -> A, oriented so that
+   the strongest constraint set maps to the smallest ("preferred")
+   language.  phi may be defined only over a sublattice of 2^C (the bank
+   account relaxes A1 but never A2; the semiqueue lattice excludes the
+   empty constraint set). *)
+
+type 'v t = {
+  name : string;
+  constraints : string list;
+  in_domain : Cset.t -> bool;
+  phi : Cset.t -> 'v Automaton.t;
+}
+
+let make ?(in_domain = fun _ -> true) ~name ~constraints phi =
+  let constraints = List.sort_uniq String.compare constraints in
+  { name; constraints; in_domain; phi }
+
+let name t = t.name
+let constraints t = t.constraints
+
+let domain t = List.filter t.in_domain (Cset.subsets t.constraints)
+
+let phi t c =
+  if not (t.in_domain c) then
+    invalid_arg
+      (Fmt.str "Relaxation.phi: %a outside the domain of lattice %s" Cset.pp c
+         t.name);
+  t.phi c
+
+(* The behavior at the top of the lattice: phi applied to the strongest
+   constraint set in the domain (the full vocabulary when the domain is all
+   of 2^C). *)
+let preferred t =
+  let top =
+    List.fold_left
+      (fun best c -> if Cset.cardinal c > Cset.cardinal best then c else best)
+      Cset.empty (domain t)
+  in
+  t.phi top
+
+type violation = {
+  weaker : Cset.t;
+  stronger : Cset.t;
+  counterexample : Language.counterexample;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "monotonicity %a <= %a violated: %a" Cset.pp v.weaker Cset.pp
+    v.stronger Language.pp_counterexample v.counterexample
+
+(* The defining property of a relaxation lattice: a stronger constraint set
+   accepts fewer histories.  For every comparable pair C1 `subset` C2 in the
+   domain we check L(phi(C2)) `subseteq` L(phi(C1)) up to the bound. *)
+let check_monotone t ~alphabet ~depth =
+  let dom = domain t in
+  let pairs =
+    List.concat_map
+      (fun c1 ->
+        List.filter_map
+          (fun c2 ->
+            if Cset.strict_subset c1 c2 then Some (c1, c2) else None)
+          dom)
+      dom
+  in
+  List.filter_map
+    (fun (weaker, stronger) ->
+      match
+        Language.included (t.phi stronger) (t.phi weaker) ~alphabet ~depth
+      with
+      | Ok () -> None
+      | Error counterexample -> Some { weaker; stronger; counterexample })
+    pairs
+
+(* The bounded language table of the whole lattice: one entry per domain
+   point.  Used both by the homomorphism check and by the figure
+   generators. *)
+let language_table t ~alphabet ~depth =
+  List.map
+    (fun c -> (c, Language.language_set (t.phi c) ~alphabet ~depth))
+    (domain t)
+
+(* Groups domain points whose behaviors coincide up to the bound — this is
+   exactly the shape of the paper's Figure 4-2, which maps the seven
+   nonempty constraint sets of a three-item semiqueue onto three
+   behaviors. *)
+let behavior_classes t ~alphabet ~depth =
+  let table = language_table t ~alphabet ~depth in
+  let rec group = function
+    | [] -> []
+    | (c, lang) :: rest ->
+      let same, different =
+        List.partition (fun (_, l) -> History.Set.equal lang l) rest
+      in
+      (c :: List.map fst same, Automaton.name (t.phi c)) :: group different
+  in
+  group table
+
+(* Checks that phi maps lattice meets and joins in 2^C to meets and joins
+   of bounded languages: under reverse inclusion the join of two lattice
+   points is phi(C1 ∪ C2) and must accept exactly the histories accepted by
+   both, restricted to the image; dually for meets.  Since the image may be
+   a proper sublattice we verify the weaker, always-necessary conditions
+   L(phi(C1 ∪ C2)) ⊆ L(phi(Ci)) ⊆ L(phi(C1 ∩ C2)) and that phi is
+   well-defined up to language equality on equal constraint sets. *)
+let check_lattice_shape t ~alphabet ~depth =
+  let dom = domain t in
+  let find c = List.exists (Cset.equal c) dom in
+  let errors = ref [] in
+  List.iter
+    (fun c1 ->
+      List.iter
+        (fun c2 ->
+          let join = Cset.union c1 c2 and meet = Cset.inter c1 c2 in
+          let check_incl stronger weaker =
+            if find stronger && find weaker then
+              match
+                Language.included (t.phi stronger) (t.phi weaker) ~alphabet
+                  ~depth
+              with
+              | Ok () -> ()
+              | Error counterexample ->
+                errors :=
+                  { weaker; stronger; counterexample } :: !errors
+          in
+          check_incl join c1;
+          check_incl join c2;
+          check_incl c1 meet;
+          check_incl c2 meet)
+        dom)
+    dom;
+  List.rev !errors

@@ -1,0 +1,54 @@
+(** Universal value domain.
+
+    Operation arguments, operation results and (where convenient) object
+    states are all drawn from this single closed type so that languages,
+    alphabets and relaxation lattices built over heterogeneous object types
+    can be enumerated, compared and printed uniformly. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+(** {1 Comparison} *)
+
+(** Total order on values; values of different constructors are ordered by
+    constructor. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Lexicographic order on value lists. *)
+val compare_lists : t list -> t list -> int
+
+(** {1 Projections} *)
+
+val to_int : t -> int option
+val to_bool : t -> bool option
+
+(** [get_int v] is the payload of [Int]; raises [Invalid_argument]
+    otherwise. *)
+val get_int : t -> int
+
+(** {1 Printing} *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** {1 Collections} *)
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t

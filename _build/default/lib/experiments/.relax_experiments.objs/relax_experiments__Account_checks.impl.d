@@ -1,0 +1,1 @@
+lib/experiments/account_checks.ml: Account Automaton Fmt History Instances Language List Pq_checks Qca Relation Relax_core Relax_objects Relax_quorum Relaxation

@@ -1,0 +1,1 @@
+lib/experiments/account_checks.mli: Format Pq_checks

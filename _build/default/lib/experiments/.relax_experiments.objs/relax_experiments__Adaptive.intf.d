@@ -1,0 +1,1 @@
+lib/experiments/adaptive.mli: Automaton Cset Fmt Format History Op Relax_core Relax_objects

@@ -1,0 +1,1 @@
+lib/experiments/amnesia.ml: Array Automaton Choosers Fmt History List Op Pqueue Queue_ops Relax_core Relax_objects Relax_quorum Relax_replica Relax_sim Replica Value

@@ -1,0 +1,1 @@
+lib/experiments/amnesia.mli: Fmt Format History Relax_core

@@ -1,0 +1,1 @@
+lib/experiments/atm.ml: Account Assignment Choosers Fmt History Instances List Op Relax_core Relax_objects Relax_quorum Relax_replica Relax_sim Replica Value

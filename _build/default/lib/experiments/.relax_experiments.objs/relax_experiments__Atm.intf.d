@@ -1,0 +1,1 @@
+lib/experiments/atm.mli: Assignment Fmt Format Relax_quorum

@@ -1,0 +1,1 @@
+lib/experiments/availability.ml: Array Assignment Binomial Fmt List Montecarlo Queue_ops Relax_objects Relax_prob Relax_quorum Relax_sim Taxi Weighted

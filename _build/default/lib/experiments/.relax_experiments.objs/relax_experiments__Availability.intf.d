@@ -1,0 +1,1 @@
+lib/experiments/availability.mli: Assignment Format Montecarlo Relax_prob Relax_quorum

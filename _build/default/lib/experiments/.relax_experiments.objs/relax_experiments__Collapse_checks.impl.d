@@ -1,0 +1,1 @@
+lib/experiments/collapse_checks.ml: Automaton Bag Fifo Fmt History Language List Multiset Pq_checks Queue_ops Relax_core Relax_objects Semiqueue Ssqueue Stuttering

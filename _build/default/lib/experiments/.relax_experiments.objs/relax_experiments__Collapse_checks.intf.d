@@ -1,0 +1,1 @@
+lib/experiments/collapse_checks.mli: Format Language Pq_checks Relax_core

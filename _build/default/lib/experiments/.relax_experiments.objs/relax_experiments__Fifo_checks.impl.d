@@ -1,0 +1,1 @@
+lib/experiments/fifo_checks.ml: Bag Degen Fifo Fmt Instances List Pq_checks Qca Queue_ops Relation Relax_core Relax_objects Relax_quorum Relaxation Rfq Serial

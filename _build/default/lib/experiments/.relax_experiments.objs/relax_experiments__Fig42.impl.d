@@ -1,0 +1,1 @@
+lib/experiments/fig42.ml: Cset Fmt Int Lattices List Queue_ops Relax_core Relax_objects Relaxation String

@@ -1,0 +1,1 @@
+lib/experiments/fig42.mli: Format Language Relax_core

@@ -1,0 +1,1 @@
+lib/experiments/fig51.ml: Atm Availability Fmt List Relax_objects Relax_txn Spooler Taxi

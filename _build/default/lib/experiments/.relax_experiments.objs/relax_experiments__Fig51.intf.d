@@ -1,0 +1,1 @@
+lib/experiments/fig51.mli: Format

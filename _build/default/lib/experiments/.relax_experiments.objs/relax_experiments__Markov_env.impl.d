@@ -1,0 +1,1 @@
+lib/experiments/markov_env.ml: Array Availability Float Fmt List Markov Matrix Queue_ops Relax_objects Relax_prob Taxi

@@ -1,0 +1,1 @@
+lib/experiments/markov_env.mli: Format Markov Relax_prob

@@ -1,0 +1,1 @@
+lib/experiments/partition.ml: Choosers Fmt List Op Queue_ops Relax_core Relax_objects Relax_replica Relax_sim Replica Taxi Value

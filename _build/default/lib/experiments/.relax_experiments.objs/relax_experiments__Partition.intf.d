@@ -1,0 +1,1 @@
+lib/experiments/partition.mli: Fmt Format Taxi

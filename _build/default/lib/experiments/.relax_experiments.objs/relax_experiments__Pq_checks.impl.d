@@ -1,0 +1,1 @@
+lib/experiments/pq_checks.ml: Degen Dpq Fmt Instances Language List Mpq Opq Pqueue Qca Queue_ops Relation Relax_core Relax_objects Relax_quorum Relaxation Serial

@@ -1,0 +1,1 @@
+lib/experiments/pq_checks.mli: Automaton Fmt Format Language Relax_core

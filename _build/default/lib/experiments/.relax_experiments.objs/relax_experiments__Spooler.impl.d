@@ -1,0 +1,1 @@
+lib/experiments/spooler.ml: Atomicity Fifo Fmt List Relax_objects Relax_txn Semiqueue Spool Stuttering Workload

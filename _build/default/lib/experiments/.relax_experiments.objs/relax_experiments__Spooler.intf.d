@@ -1,0 +1,1 @@
+lib/experiments/spooler.mli: Fmt Format Relax_txn Schedule Spool

@@ -1,0 +1,1 @@
+lib/experiments/taxi.mli: Assignment Cset Fmt Format History Relax_core Relax_quorum

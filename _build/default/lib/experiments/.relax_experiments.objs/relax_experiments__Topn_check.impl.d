@@ -1,0 +1,1 @@
+lib/experiments/topn_check.ml: Fmt List Montecarlo Relax_prob Topn

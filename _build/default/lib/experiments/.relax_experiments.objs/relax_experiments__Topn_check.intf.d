@@ -1,0 +1,1 @@
+lib/experiments/topn_check.mli: Format

@@ -1,0 +1,102 @@
+open Relax_core
+open Relax_objects
+open Relax_quorum
+
+(* Experiment B3-4 (combinatorial side): the bank-account lattice of
+   Section 3.4 checked at the language level, complementing the runtime
+   simulation in Atm.
+
+   The paper's claims:
+
+     - {A1, A2} is (with the analogous credit constraints elided) the
+       preferred point: one-copy serializable account behavior;
+     - the bank relaxes A1 but never A2, accepting spurious bounces while
+       guaranteeing the account is never overdrawn;
+     - relaxing A2 admits genuine overdrafts.
+
+   Checked here by bounded enumeration: at {A1,A2} the QCA language
+   equals the account automaton's; at {A2} the language strictly contains
+   it (the extra histories are exactly spurious bounces) but every
+   history keeps a non-negative true balance at every prefix; at {A1} and
+   {} some history overdraws. *)
+
+type check = Pq_checks.check = { name : string; ok : bool; detail : string }
+
+let amounts = [ 1; 2 ]
+let alphabet = Account.alphabet amounts
+
+let qca rel = Qca.automaton Instances.account_spec rel
+
+let a1_a2 = Relation.union Instances.a1 Instances.a2
+
+(* A "spurious bounce" history: one rejected by the single-copy account
+   (which knows the true balance) yet present in the relaxed language. *)
+let is_spurious_bounce_witness h =
+  (not (Automaton.accepts Account.automaton h))
+  && List.exists Account.is_debit_bounced h
+
+let never_overdrawn_language a ~depth =
+  List.for_all Instances.never_overdrawn (Language.enumerate a ~alphabet ~depth)
+
+let exists_overdraft a ~depth =
+  List.exists
+    (fun h -> not (Instances.never_overdrawn h))
+    (Language.enumerate a ~alphabet ~depth)
+
+let all ?(depth = 4) () =
+  let top = qca a1_a2 in
+  let a2_only = qca Instances.a2 in
+  let a1_only = qca Instances.a1 in
+  let bottom = qca Relation.empty in
+  let top_equal =
+    Pq_checks.equivalence "L(QCA(Account,{A1,A2},eta)) = L(Account)" top
+      Account.automaton ~alphabet ~depth
+  in
+  let strict_at_a2 =
+    match Language.strictly_included top a2_only ~alphabet ~depth with
+    | Ok (Some w) ->
+      {
+        name = "{A2} strictly relaxes the account";
+        ok = is_spurious_bounce_witness w;
+        detail = Fmt.str "witness: %a" History.pp w;
+      }
+    | Ok None ->
+      { name = "{A2} strictly relaxes the account"; ok = false;
+        detail = "languages coincide at this bound" }
+    | Error c ->
+      { name = "{A2} strictly relaxes the account"; ok = false;
+        detail = Fmt.str "%a" Language.pp_counterexample c }
+  in
+  [
+    top_equal;
+    strict_at_a2;
+    {
+      name = "every history at {A2} keeps the account solvent";
+      ok = never_overdrawn_language a2_only ~depth;
+      detail = "";
+    };
+    {
+      name = "relaxing A2 admits overdrafts ({A1} point)";
+      ok = exists_overdraft a1_only ~depth;
+      detail = "";
+    };
+    {
+      name = "relaxing A2 admits overdrafts ({} point)";
+      ok = exists_overdraft bottom ~depth;
+      detail = "";
+    };
+    {
+      name = "account lattice (sublattice retaining A2) is monotone";
+      ok =
+        Relaxation.check_monotone (Instances.account_lattice ()) ~alphabet
+          ~depth
+        = [];
+      detail = "";
+    };
+  ]
+
+let run ?depth ppf () =
+  let checks = all ?depth () in
+  Fmt.pf ppf "== Section 3.4: bank-account lattice (language level) ==@\n";
+  List.iter (fun c -> Fmt.pf ppf "%a@\n" Pq_checks.pp_check c) checks;
+  List.for_all (fun c -> c.ok) checks

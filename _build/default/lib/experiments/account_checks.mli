@@ -1,0 +1,10 @@
+(** Experiment B3-4 (combinatorial side) of EXPERIMENTS.md: the
+    bank-account lattice of Section 3.4 at the language level — the top
+    equals the single-copy account, {A2} strictly relaxes it with only
+    spurious bounces (never an overdraft), and relaxing A2 admits real
+    overdrafts. *)
+
+type check = Pq_checks.check = { name : string; ok : bool; detail : string }
+
+val all : ?depth:int -> unit -> check list
+val run : ?depth:int -> Format.formatter -> unit -> bool

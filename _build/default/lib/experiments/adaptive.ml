@@ -1,0 +1,276 @@
+open Relax_core
+open Relax_objects
+open Relax_quorum
+open Relax_replica
+
+(* Experiment X-adapt: the combined environment+object automaton of
+   Section 2.3, realized end to end.
+
+   An adaptive taxi-dispatch client runs at the top of the lattice while
+   a majority of sites is reachable and the logs have reconverged, and
+   degrades to the bottom ("any available site") otherwise.  The mode
+   changes are recorded as environment events interleaved with the
+   operations:
+
+     Degrade()/Ok()   subsequent operations run at the bottom
+     Restore()/Ok()   propagation caught up; the preferred constraints
+                      hold again
+
+   Restore fires only after anti-entropy has reconverged the logs: the
+   paper's constraints are about intersection with *past* final quorums,
+   so a majority being up again does not by itself restore Q2 — degraded
+   writes must first propagate.
+
+   The event+operation history is then replayed through the combined
+   automaton <2^C x STATE, (c0,s0), EVENT ∪ OP, delta>.  The lattice's
+   two automata share the present/absent state space of the MPQ (so the
+   object state survives mode changes):
+
+     preferred:  Enq inserts into present; Deq transfers best(present)
+                 (the priority queue);
+     degraded:   Enq inserts into present; Deq transfers any present item
+                 or replays any absent one (language-equal to DegenPQ,
+                 but tracking which requests are outstanding). *)
+
+let degrade_event = Op.make "Degrade"
+let restore_event = Op.make "Restore"
+
+(* Preferred behavior on the shared state: exactly the priority queue. *)
+let preferred_tracking =
+  Automaton.make ~name:"PQ/tracking" ~init:Mpq.init ~equal:Mpq.equal
+    ~pp_state:Mpq.pp (fun (s : Mpq.state) p ->
+      match Queue_ops.element p with
+      | None -> []
+      | Some e ->
+        if Queue_ops.is_enq p then
+          [ { s with present = Multiset.ins s.present e } ]
+        else if Queue_ops.is_deq p then
+          match Multiset.best s.present with
+          | Some b when Value.equal b e ->
+            [
+              {
+                Mpq.present = Multiset.del s.present e;
+                absent = Multiset.ins s.absent e;
+              };
+            ]
+          | Some _ | None -> []
+        else [])
+
+(* Degraded behavior on the shared state: serve anything ever enqueued. *)
+let degraded_tracking =
+  Automaton.make ~name:"Degen/tracking" ~init:Mpq.init ~equal:Mpq.equal
+    ~pp_state:Mpq.pp (fun (s : Mpq.state) p ->
+      match Queue_ops.element p with
+      | None -> []
+      | Some e ->
+        if Queue_ops.is_enq p then
+          [ { s with present = Multiset.ins s.present e } ]
+        else if Queue_ops.is_deq p then
+          (if Multiset.mem s.present e then
+             [
+               {
+                 Mpq.present = Multiset.del s.present e;
+                 absent = Multiset.ins s.absent e;
+               };
+             ]
+           else [])
+          @ (if Multiset.mem s.absent e then [ s ] else [])
+        else [])
+
+let adaptive_lattice =
+  Relaxation.make ~name:"adaptive-PQ" ~constraints:[ "Q1"; "Q2" ]
+    ~in_domain:(fun c -> Cset.is_empty c || Cset.cardinal c = 2)
+    (fun c ->
+      if Cset.cardinal c = 2 then preferred_tracking else degraded_tracking)
+
+let environment =
+  Environment.of_event_names ~name:"quorum-weather"
+    ~init:(Cset.of_list [ "Q1"; "Q2" ])
+    ~events:[ "Degrade"; "Restore" ]
+    (fun c p ->
+      match Op.name p with
+      | "Degrade" -> Cset.empty
+      | "Restore" -> Cset.of_list [ "Q1"; "Q2" ]
+      | _ -> c)
+
+let combined =
+  Environment.combine environment adaptive_lattice ~is_operation:(fun p ->
+      Queue_ops.is_enq p || Queue_ops.is_deq p)
+
+type outcome = {
+  operations : int;
+  degraded_ops : int;
+  mode_switches : int;
+  accepted_by_combined : bool;
+  first_rejection : History.t option;
+      (** shortest rejected prefix, for diagnostics *)
+}
+
+(* The shortest prefix of [h] the combined automaton rejects, if any. *)
+let first_rejected_prefix h =
+  List.find_opt
+    (fun prefix -> not (Automaton.accepts combined prefix))
+    (History.prefixes h)
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%d operations (%d served degraded, %d mode switches): %s"
+    o.operations o.degraded_ops o.mode_switches
+    (if o.accepted_by_combined then "accepted by the combined automaton"
+     else "REJECTED by the combined automaton")
+
+type params = {
+  sites : int;
+  requests : int;
+  crash_probability : float;
+  recover_probability : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    sites = 5;
+    requests = 30;
+    crash_probability = 0.25;
+    recover_probability = 0.4;
+    seed = 31;
+  }
+
+(* The replica always runs with "any available site" thresholds; strict
+   mode is enforced by the client, which only claims it while a majority
+   is up and the logs are fully reconverged (and re-syncs after every
+   strict operation, mirroring the majority-intersection guarantee). *)
+let relaxed_assignment ~n =
+  Assignment.make ~n
+    [
+      (Queue_ops.enq_name, { Assignment.initial = 0; final = 1 });
+      (Queue_ops.deq_name, { Assignment.initial = 1; final = 1 });
+    ]
+
+let run_once ?(params = default_params) () =
+  let engine = Relax_sim.Engine.create ~seed:params.seed () in
+  let net =
+    Relax_sim.Network.create ~mean_latency:3.0 engine ~sites:params.sites
+  in
+  let replica =
+    Replica.create ~timeout:80.0 engine net
+      (relaxed_assignment ~n:params.sites)
+      ~respond:Choosers.pq_eta
+  in
+  let rng = Relax_sim.Rng.create ~seed:(params.seed + 3) in
+  let maj = (params.sites / 2) + 1 in
+  let history = ref [] (* events and operations, reversed *) in
+  let degraded = ref false and degraded_ops = ref 0 and switches = ref 0 in
+  let emit op = history := op :: !history in
+  let set_mode d =
+    if d <> !degraded then begin
+      degraded := d;
+      incr switches;
+      emit (if d then degrade_event else restore_event)
+    end
+  in
+  let crash_round () =
+    for s = 0 to params.sites - 1 do
+      if Relax_sim.Network.is_up net s then begin
+        if Relax_sim.Rng.bool rng params.crash_probability then
+          Relax_sim.Network.crash net s
+      end
+      else if Relax_sim.Rng.bool rng params.recover_probability then
+        Relax_sim.Network.recover net s
+    done;
+    if Relax_sim.Network.up_count net = 0 then Relax_sim.Network.recover net 0
+  in
+  let synced () =
+    let global = Replica.global_log replica in
+    List.for_all
+      (fun s -> Log.equal (Replica.site_log replica s) global)
+      (Relax_sim.Network.up_sites net)
+  in
+  let reconverge () =
+    let rec go n =
+      if n > 0 && not (synced ()) then begin
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 300.0)
+          engine;
+        go (n - 1)
+      end
+    in
+    go 5
+  in
+  let priorities =
+    let arr = Array.init params.requests (fun i -> i + 1) in
+    Relax_sim.Rng.shuffle rng arr;
+    Array.to_list arr
+  in
+  let ops = ref [] in
+  List.iter
+    (fun prio ->
+      ops := `Enq prio :: !ops;
+      if Relax_sim.Rng.bool rng 0.6 then ops := `Deq :: !ops)
+    priorities;
+  List.iter
+    (fun op ->
+      crash_round ();
+      (* Mode selection, re-evaluated before every operation: strict mode
+         needs a majority up AND converged logs.  The convergence check
+         must be repeated even while nominally strict — a site that
+         crashed earlier can recover here with a stale log, which
+         silently breaks the intersection guarantee until anti-entropy
+         catches it up. *)
+      (if Relax_sim.Network.up_count net >= maj then begin
+         if not (synced ()) then reconverge ();
+         if synced () && Relax_sim.Network.up_count net >= maj then
+           set_mode false
+         else set_mode true
+       end
+       else set_mode true);
+      let inv =
+        match op with
+        | `Enq prio -> Op.inv Queue_ops.enq_name ~args:[ Value.int prio ]
+        | `Deq -> Op.inv Queue_ops.deq_name
+      in
+      let client_site =
+        Relax_sim.Rng.pick rng (Relax_sim.Network.up_sites net)
+      in
+      let completed = ref None in
+      Replica.execute replica ~client_site inv (fun r -> completed := Some r);
+      Relax_sim.Engine.run
+        ~until:(Relax_sim.Engine.now engine +. 400.0)
+        engine;
+      match !completed with
+      | Some (Replica.Completed (p, _)) ->
+        if !degraded then incr degraded_ops;
+        emit p;
+        if not !degraded then begin
+          (* keep the strict-mode invariant for the next operation *)
+          reconverge ();
+          if not (synced ()) then set_mode true
+        end
+      | Some (Replica.Unavailable _) | None ->
+        (* failed even under relaxed thresholds: the request is lost and
+           the system is (or stays) degraded *)
+        set_mode true)
+    (List.rev !ops);
+  let h = List.rev !history in
+  let is_event p = List.mem (Op.name p) [ "Degrade"; "Restore" ] in
+  let accepted = Automaton.accepts combined h in
+  {
+    operations = List.length (List.filter (fun p -> not (is_event p)) h);
+    degraded_ops = !degraded_ops;
+    mode_switches = !switches;
+    accepted_by_combined = accepted;
+    first_rejection = (if accepted then None else first_rejected_prefix h);
+  }
+
+let run ?params ppf () =
+  let o = run_once ?params () in
+  Fmt.pf ppf
+    "== Section 2.3: adaptive replica vs the combined automaton ==@\n";
+  Fmt.pf ppf "%a@\n" pp_outcome o;
+  Option.iter
+    (fun prefix ->
+      Fmt.pf ppf "first rejected prefix:@\n  %a@\n" History.pp prefix)
+    o.first_rejection;
+  let interesting = o.mode_switches >= 2 && o.degraded_ops > 0 in
+  Fmt.pf ppf "run exercised both modes: %b@\n" interesting;
+  o.accepted_by_combined && interesting

@@ -1,0 +1,37 @@
+open Relax_core
+
+(** Experiment X-adapt of EXPERIMENTS.md: the combined environment+object
+    automaton of Section 2.3, realized end to end.  An adaptive client
+    degrades to "any available site" when quorums are unobtainable and
+    restores the preferred mode only after anti-entropy reconverges the
+    logs; the event+operation history must be accepted by the combined
+    automaton over the two-point sublattice (PQ / tracking-DegenPQ on a
+    shared present/absent state space). *)
+
+val degrade_event : Op.t
+val restore_event : Op.t
+
+(** The combined automaton the run is replayed through. *)
+val combined : (Cset.t * Relax_objects.Mpq.state) Automaton.t
+
+type outcome = {
+  operations : int;
+  degraded_ops : int;
+  mode_switches : int;
+  accepted_by_combined : bool;
+  first_rejection : History.t option;
+}
+
+val pp_outcome : outcome Fmt.t
+
+type params = {
+  sites : int;
+  requests : int;
+  crash_probability : float;
+  recover_probability : float;
+  seed : int;
+}
+
+val default_params : params
+val run_once : ?params:params -> unit -> outcome
+val run : ?params:params -> Format.formatter -> unit -> bool

@@ -1,0 +1,21 @@
+open Relax_core
+
+(** Experiment X-amnesia of EXPERIMENTS.md: the stable-storage assumption
+    is load-bearing.  The same serial workload against the preferred
+    assignment, with crash-recovery semantics (logs survive) versus
+    amnesia (a crashed site loses its log): crash-recovery keeps every
+    history in [L(PQ)]; amnesia produces violations. *)
+
+type outcome = {
+  amnesia : bool;
+  served : int;
+  violations_found : bool;
+  witness : History.t option;
+}
+
+val pp_outcome : outcome Fmt.t
+val run_once : amnesia:bool -> seed:int -> outcome
+
+(** [true] when crash-recovery is safe at every seed and amnesia breaks
+    at least one. *)
+val run : ?seeds:int list -> Format.formatter -> unit -> bool

@@ -1,0 +1,70 @@
+open Relax_core
+open Relax_objects
+
+(* Experiments F4-1 / F4-3 and the Section 4.2.2 combination claims: the
+   boundary collapses of the semiqueue / stuttering / SSqueue families.
+
+     Semiqueue_1   = FIFO queue          Semiqueue_n = Bag (n-item queues)
+     Stuttering_1  = FIFO queue
+     SSqueue_{1,1} = FIFO queue
+     SSqueue_{1,k} = Semiqueue_k         SSqueue_{j,1} = Stuttering_j
+
+   plus the strict inclusion chains between consecutive family members. *)
+
+type check = Pq_checks.check = { name : string; ok : bool; detail : string }
+
+let equivalence = Pq_checks.equivalence
+
+let strict name small big ~alphabet ~depth =
+  match Language.strictly_included small big ~alphabet ~depth with
+  | Ok (Some witness) ->
+    {
+      name;
+      ok = true;
+      detail = Fmt.str "witness: %a" History.pp witness;
+    }
+  | Ok None -> { name; ok = false; detail = "languages coincide at this bound" }
+  | Error c ->
+    { name; ok = false; detail = Fmt.str "%a" Language.pp_counterexample c }
+
+(* A bag restricted to at most [n] elements, for the Semiqueue_n = Bag
+   claim about n-item queues. *)
+let bounded_bag n =
+  Automaton.restrict Bag.automaton (fun b -> Multiset.cardinal b <= n)
+  |> fun a -> Automaton.rename a (Fmt.str "Bag<=%d" n)
+
+let bounded_semiqueue ~k ~n =
+  Automaton.restrict (Semiqueue.automaton k) (fun q -> List.length q <= n)
+  |> fun a -> Automaton.rename a (Fmt.str "Semiqueue(%d)<=%d" k n)
+
+let all ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5) ()
+    =
+  [
+    equivalence "Semiqueue_1 = FIFO queue" (Semiqueue.automaton 1)
+      Fifo.automaton ~alphabet ~depth;
+    equivalence "Stuttering_1 = FIFO queue" (Stuttering.automaton 1)
+      Fifo.automaton ~alphabet ~depth;
+    equivalence "SSqueue_{1,1} = FIFO queue" (Ssqueue.automaton ~j:1 ~k:1)
+      Fifo.automaton ~alphabet ~depth;
+    equivalence "SSqueue_{1,3} = Semiqueue_3" (Ssqueue.automaton ~j:1 ~k:3)
+      (Semiqueue.automaton 3) ~alphabet ~depth;
+    equivalence "SSqueue_{3,1} = Stuttering_3" (Ssqueue.automaton ~j:3 ~k:1)
+      (Stuttering.automaton 3) ~alphabet ~depth;
+    (* Figure 4-2's top row: a three-item Semiqueue_3 behaves as a bag. *)
+    equivalence "three-item Semiqueue_3 = three-item Bag"
+      (bounded_semiqueue ~k:3 ~n:3) (bounded_bag 3) ~alphabet ~depth;
+    strict "Semiqueue_1 ⊂ Semiqueue_2" (Semiqueue.automaton 1)
+      (Semiqueue.automaton 2) ~alphabet ~depth;
+    strict "Semiqueue_2 ⊂ Semiqueue_3" (Semiqueue.automaton 2)
+      (Semiqueue.automaton 3) ~alphabet ~depth;
+    strict "Stuttering_1 ⊂ Stuttering_2" (Stuttering.automaton 1)
+      (Stuttering.automaton 2) ~alphabet ~depth;
+    strict "Stuttering_2 ⊂ Stuttering_3" (Stuttering.automaton 2)
+      (Stuttering.automaton 3) ~alphabet ~depth;
+  ]
+
+let run ?alphabet ?depth ppf () =
+  let checks = all ?alphabet ?depth () in
+  Fmt.pf ppf "== Section 4.2: semiqueue / stuttering collapses ==@\n";
+  List.iter (fun c -> Fmt.pf ppf "%a@\n" Pq_checks.pp_check c) checks;
+  List.for_all (fun c -> c.ok) checks

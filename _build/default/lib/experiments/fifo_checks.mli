@@ -1,0 +1,13 @@
+open Relax_core
+
+(** Experiment X-fifo of EXPERIMENTS.md: the replicated FIFO queue —
+    the paper's Section 3.1 motivating example — fully characterized:
+    {Q1,Q2} -> FIFO, {Q1} -> RFQ (replayable FIFO), {Q2} -> Bag,
+    {} -> DegenPQ, plus serial-dependency and monotonicity checks. *)
+
+type check = Pq_checks.check = { name : string; ok : bool; detail : string }
+
+val all : ?alphabet:Language.alphabet -> ?depth:int -> unit -> check list
+
+val run :
+  ?alphabet:Language.alphabet -> ?depth:int -> Format.formatter -> unit -> bool

@@ -1,0 +1,15 @@
+(** Experiment F5-1 of EXPERIMENTS.md: the paper's Figure 5-1 summary
+    chart with the Cost column backed by measurements from the three case
+    studies. *)
+
+type row = {
+  correctness : string;
+  preferred : string;
+  constraints : string;
+  cost : string;
+  events : string;
+  measured : string;
+}
+
+val rows : unit -> row list
+val run : Format.formatter -> unit -> bool

@@ -1,0 +1,18 @@
+(** Experiment X-part of EXPERIMENTS.md: a network partition splits the
+    five sites into majority and minority cells.  The preferred lattice
+    point sacrifices minority-side availability and never diverges; the
+    fully relaxed point serves both sides and pays with cross-partition
+    duplicates; both merged histories stay within their predicted
+    behaviors after healing. *)
+
+type outcome = {
+  label : string;
+  minority_failures : int;
+  majority_failures : int;
+  cross_partition_duplicates : int;
+  history_ok : bool;
+}
+
+val pp_outcome : outcome Fmt.t
+val run_point : ?seed:int -> Taxi.point -> outcome
+val run : ?seed:int -> Format.formatter -> unit -> bool

@@ -1,0 +1,26 @@
+open Relax_core
+
+(** Experiments T4 / C3-O / C3-D / L3-3 / C3-eta' of EXPERIMENTS.md:
+    mechanized checks of every Section 3.3 claim about the replicated
+    priority queue lattice, including Theorem 4 and our DPQ
+    characterization of the [eta'] variant. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+val pp_check : check Fmt.t
+
+(** Bounded language equivalence packaged as a named check. *)
+val equivalence :
+  string ->
+  'v Automaton.t ->
+  'w Automaton.t ->
+  alphabet:Language.alphabet ->
+  depth:int ->
+  check
+
+(** All checks; defaults: universe {1,2}, depth 5. *)
+val all : ?alphabet:Language.alphabet -> ?depth:int -> unit -> check list
+
+(** Print every check; [true] when all pass. *)
+val run :
+  ?alphabet:Language.alphabet -> ?depth:int -> Format.formatter -> unit -> bool

@@ -1,0 +1,58 @@
+open Relax_core
+open Relax_quorum
+
+(** Experiment X-deg of EXPERIMENTS.md: the taxicab company of
+    Section 3.3 on the message-passing replica runtime with injected
+    crashes, one run per lattice point under an identical fault trace. *)
+
+(** A lattice point: its constraint set and a voting assignment realizing
+    it. *)
+type point = { label : string; cset : Cset.t; assignment : Assignment.t }
+
+(** The four points over [n] sites ({Q1,Q2}, {Q1}, {Q2}, {}). *)
+val points : n:int -> point list
+
+type outcome = {
+  label : string;
+  requests : int;
+  attempted : int;  (** total operations attempted *)
+  served : int;
+  unavailable : int;  (** quorum not assemblable before the timeout *)
+  empty_views : int;  (** Deqs whose view showed nothing to dispatch *)
+  duplicates : int;
+  inversions : int;
+  mean_latency : float;
+  history_ok : bool;  (** completed history accepted by the prediction *)
+}
+
+val pp_outcome : outcome Fmt.t
+
+(** Extra services of an already-serviced request. *)
+val count_duplicates : History.t -> int
+
+(** Deqs that passed over a strictly better pending request. *)
+val count_inversions : History.t -> int
+
+(** Acceptance by the behavior the lattice predicts for the constraint
+    set (PQ / MPQ / OPQ / DegenPQ). *)
+val predicted_accepts : Cset.t -> History.t -> bool
+
+type params = {
+  sites : int;
+  requests : int;
+  crash_probability : float;
+  recover_probability : float;
+  mean_latency : float;
+  seed : int;
+}
+
+val default_params : params
+
+(** One lattice point under one (seed-determined) fault trace. *)
+val run_point : ?params:params -> point -> outcome
+
+(** All four points under the same fault trace. *)
+val run_all : ?params:params -> unit -> outcome list
+
+(** Print the table; [true] when every history matches its prediction. *)
+val run : ?params:params -> Format.formatter -> unit -> bool

@@ -1,0 +1,6 @@
+(** Experiment P3-3 of EXPERIMENTS.md: the Section 3.3 probability claim
+    — P(Deq misses the top-n priorities) = 0.1^n — as a paper-vs-measured
+    table with Wilson intervals. *)
+
+val run :
+  ?trials:int -> ?max_n:int -> Format.formatter -> unit -> bool

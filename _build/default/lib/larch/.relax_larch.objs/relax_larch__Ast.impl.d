@@ -1,0 +1,1 @@
+lib/larch/ast.ml: Term

@@ -1,0 +1,1 @@
+lib/larch/conformance.ml: Automaton Fmt Interface List Op Relax_core Term Trait

@@ -1,0 +1,1 @@
+lib/larch/conformance.mli: Ast Automaton Fmt Language Op Relax_core Term Trait

@@ -1,0 +1,1 @@
+lib/larch/interface.ml: Ast Fmt List Op Option Relax_core String Term Trait Value

@@ -1,0 +1,1 @@
+lib/larch/interface.mli: Ast Fmt Op Relax_core Term Trait Value

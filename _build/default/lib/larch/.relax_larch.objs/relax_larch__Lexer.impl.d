@@ -1,0 +1,1 @@
+lib/larch/lexer.ml: Fmt List String Token

@@ -1,0 +1,1 @@
+lib/larch/lexer.mli: Token

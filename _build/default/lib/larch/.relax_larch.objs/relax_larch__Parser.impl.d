@@ -1,0 +1,1 @@
+lib/larch/parser.ml: Array Ast Fmt Lexer List String Term Token

@@ -1,0 +1,1 @@
+lib/larch/parser.mli: Ast Term

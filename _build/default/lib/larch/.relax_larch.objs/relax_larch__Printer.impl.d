@@ -1,0 +1,1 @@
+lib/larch/printer.ml: Ast Fmt List Option Rewrite Term Trait

@@ -1,0 +1,1 @@
+lib/larch/printer.mli: Ast Fmt Term Trait

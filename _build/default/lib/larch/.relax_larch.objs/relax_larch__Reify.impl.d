@@ -1,0 +1,1 @@
+lib/larch/reify.ml: Account Dpq Fifo Interface List Mpq Multiset Relax_core Relax_objects Rfq Semiqueue Stuttering Term Value

@@ -1,0 +1,1 @@
+lib/larch/reify.mli: Account Dpq Fifo Mpq Multiset Relax_core Relax_objects Rfq Semiqueue Stuttering Term Value

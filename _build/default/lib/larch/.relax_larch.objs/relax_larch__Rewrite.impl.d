@@ -1,0 +1,1 @@
+lib/larch/rewrite.ml: Fmt List String Term

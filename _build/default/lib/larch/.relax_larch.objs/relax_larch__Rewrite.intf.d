@@ -1,0 +1,1 @@
+lib/larch/rewrite.mli: Fmt Term

@@ -1,0 +1,1 @@
+lib/larch/term.ml: Bool Fmt Int List String

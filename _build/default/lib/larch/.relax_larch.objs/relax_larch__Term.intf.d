@@ -1,0 +1,1 @@
+lib/larch/term.mli: Fmt

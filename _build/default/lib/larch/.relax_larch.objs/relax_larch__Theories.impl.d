@@ -1,0 +1,1 @@
+lib/larch/theories.ml: Fmt Lazy List Parser Trait

@@ -1,0 +1,1 @@
+lib/larch/theories.mli: Ast Trait

@@ -1,0 +1,1 @@
+lib/larch/token.ml: Fmt List

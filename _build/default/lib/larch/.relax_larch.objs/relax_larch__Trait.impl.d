@@ -1,0 +1,1 @@
+lib/larch/trait.ml: Ast Fmt List Rewrite String Term

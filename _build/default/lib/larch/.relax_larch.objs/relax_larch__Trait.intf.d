@@ -1,0 +1,1 @@
+lib/larch/trait.mli: Ast Rewrite Term

@@ -1,0 +1,36 @@
+(* Abstract syntax of trait and interface sources. *)
+
+type renaming = { fresh : string; old : string } (* "with Q for B" *)
+
+type decl = {
+  op : string;
+  arg_sorts : string list;
+  result_sort : string;
+}
+
+type equation = { lhs : Term.t; rhs : Term.t }
+
+type trait = {
+  t_name : string;
+  t_includes : (string * renaming list) list;
+  t_decls : decl list;
+  t_generated : (string * string list) list; (* sort, generators *)
+  t_vars : (string * string) list; (* forall-bound variables with sorts *)
+  t_equations : equation list;
+}
+
+type iface_op = {
+  o_name : string;
+  o_args : (string * string) list; (* formal, sort *)
+  o_term : string; (* termination condition name *)
+  o_results : (string * string) list;
+  o_requires : Term.t option;
+  o_ensures : Term.t;
+}
+
+type iface = {
+  i_name : string;
+  i_uses : string list;
+  i_object : string * string; (* formal, sort *)
+  i_ops : iface_op list;
+}

@@ -1,0 +1,135 @@
+open Relax_core
+
+(* Conformance checking: does an executable model (a simple object
+   automaton) satisfy a Larch interface over a trait theory?
+
+   This mechanizes the two-tiered Larch method the paper builds on: the
+   trait fixes the value theory, the interface fixes the pre/post
+   semantics of operations, and the model supplies the transitions.  The
+   reachable fragment of the model (over a finite alphabet, up to a depth
+   bound) is explored and each transition is judged against the interface:
+
+   - [Sound] mode checks that every model transition satisfies the
+     interface (requires holds in the source state and ensures across the
+     transition) — the direction needed when the paper's spec is
+     deliberately loose (StutQ).
+   - [Exact] mode additionally checks completeness over the explored
+     state universe: whenever requires-and-ensures hold between two
+     reachable states, the model must offer that transition; and whenever
+     the interface's precondition holds, the model must accept at least
+     one response. *)
+
+type mode = Sound | Exact
+
+type failure = {
+  state : Term.t;
+  op : Op.t;
+  kind : string;
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s at state %a on %a" f.kind Term.pp f.state Op.pp f.op
+
+type report = {
+  states : int;
+  transitions : int;
+  failures : failure list;
+}
+
+let ok r = r.failures = []
+
+let pp_report ppf r =
+  if ok r then
+    Fmt.pf ppf "conforms (%d states, %d transitions checked)" r.states
+      r.transitions
+  else
+    Fmt.pf ppf "%d failure(s) over %d states:@\n%a" (List.length r.failures)
+      r.states
+      (Fmt.list ~sep:(Fmt.any "@\n") pp_failure)
+      (List.filteri (fun i _ -> i < 10) r.failures)
+
+(* Reachable states of the automaton over the alphabet, up to depth. *)
+let reachable automaton ~alphabet ~depth =
+  let equal = Automaton.equal_state automaton in
+  let rec go seen frontier remaining =
+    if remaining = 0 || frontier = [] then seen
+    else
+      let next =
+        List.concat_map
+          (fun s -> List.concat_map (Automaton.step automaton s) alphabet)
+          frontier
+      in
+      let fresh =
+        List.fold_left
+          (fun fresh s ->
+            if List.exists (equal s) seen || List.exists (equal s) fresh then
+              fresh
+            else s :: fresh)
+          [] next
+      in
+      go (seen @ List.rev fresh) (List.rev fresh) (remaining - 1)
+  in
+  go [ Automaton.init automaton ] [ Automaton.init automaton ] depth
+
+(* [admissible] filters the (state, op) pairs subject to the completeness
+   direction: when exploration is restricted by a monitor (e.g. to
+   distinct-value runs), transitions the monitor forbids are not
+   completeness obligations. *)
+let check ?(mode = Sound) ?(admissible = fun _ _ -> true) ~theory ~iface
+    ~reify ~automaton ~alphabet ~depth () =
+  let states = reachable automaton ~alphabet ~depth in
+  let failures = ref [] in
+  let transitions = ref 0 in
+  let fail state op kind = failures := { state = reify state; op; kind } :: !failures in
+  List.iter
+    (fun s ->
+      let pre_state = reify s in
+      List.iter
+        (fun op ->
+          let successors = Automaton.step automaton s op in
+          (* Soundness: every model transition satisfies the interface. *)
+          List.iter
+            (fun s' ->
+              incr transitions;
+              match
+                Interface.check_transition theory iface ~pre_state
+                  ~post_state:(reify s') op
+              with
+              | `Holds -> ()
+              | `Unknown_op -> fail s op "operation not covered by interface"
+              | `Requires_fails ->
+                fail s op "model transition violates requires"
+              | `Ensures_fails -> fail s op "model transition violates ensures"
+              | `Undecided t ->
+                fail s op (Fmt.str "undecided clause: %a" Term.pp t))
+            successors;
+          (* Completeness over the explored universe: transitions the
+             interface admits must exist in the model.  States are
+             compared through their reified values — the only view the
+             interface has — so monitor components and other
+             spec-invisible state do not cause spurious mismatches. *)
+          if mode = Exact && admissible s op then
+            let successor_terms = List.map reify successors in
+            List.iter
+              (fun s' ->
+                let post = reify s' in
+                match
+                  Interface.check_transition theory iface ~pre_state
+                    ~post_state:post op
+                with
+                | `Holds
+                  when not
+                         (List.exists
+                            (fun t ->
+                              Term.equal
+                                (Trait.normalize theory t)
+                                (Trait.normalize theory post))
+                            successor_terms) ->
+                  fail s op
+                    (Fmt.str "interface admits transition to %a, model refuses"
+                       Term.pp post)
+                | _ -> ())
+              states)
+        alphabet)
+    states;
+  { states = List.length states; transitions = !transitions; failures = List.rev !failures }

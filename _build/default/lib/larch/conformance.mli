@@ -1,0 +1,42 @@
+open Relax_core
+
+(** Conformance checking: does an executable model (a simple object
+    automaton) satisfy a Larch interface over a trait theory?
+
+    The reachable fragment of the model is explored over a finite
+    alphabet up to a depth bound and each transition is judged against
+    the interface.  [Sound] checks that every model transition satisfies
+    the interface; [Exact] additionally checks completeness over the
+    explored state universe (interface-admitted transitions must exist in
+    the model, compared through reified values). *)
+
+type mode = Sound | Exact
+
+type failure = { state : Term.t; op : Op.t; kind : string }
+
+val pp_failure : failure Fmt.t
+
+type report = { states : int; transitions : int; failures : failure list }
+
+val ok : report -> bool
+val pp_report : report Fmt.t
+
+(** Reachable states over the alphabet up to the depth, initial state
+    first. *)
+val reachable :
+  'v Automaton.t -> alphabet:Language.alphabet -> depth:int -> 'v list
+
+(** [admissible] filters the (state, op) pairs subject to the
+    completeness direction — used when exploration is restricted by a
+    monitor (e.g. distinct-value runs). *)
+val check :
+  ?mode:mode ->
+  ?admissible:('v -> Op.t -> bool) ->
+  theory:Trait.t ->
+  iface:Ast.iface ->
+  reify:('v -> Term.t) ->
+  automaton:'v Automaton.t ->
+  alphabet:Language.alphabet ->
+  depth:int ->
+  unit ->
+  report

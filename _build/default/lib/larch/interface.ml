@@ -1,0 +1,124 @@
+open Relax_core
+
+(* Evaluation of Larch interfaces (Section 2.4).
+
+   An interface's requires/ensures clauses are boolean terms over the
+   object formal (q), its primed post-state (q'), and the operation's
+   argument and result formals.  Given reified pre- and post-state terms
+   and an operation execution, the clauses are instantiated and normalized
+   in the trait's theory; a transition satisfies the interface when the
+   ensures normalizes to true (and the requires to true in the
+   pre-state). *)
+
+type verdict = Holds | Fails | Undecided of Term.t
+
+let pp_verdict ppf = function
+  | Holds -> Fmt.string ppf "holds"
+  | Fails -> Fmt.string ppf "fails"
+  | Undecided t -> Fmt.pf ppf "undecided (stuck on %a)" Term.pp t
+
+(* Values appearing as operation arguments/results, as terms. *)
+let term_of_value = function
+  | Value.Int i -> Term.int i
+  | Value.Bool b -> Term.bool b
+  | v ->
+    invalid_arg
+      (Fmt.str "Interface.term_of_value: unsupported value %a" Value.pp v)
+
+let find_op (iface : Ast.iface) (op : Op.t) =
+  List.find_opt
+    (fun (o : Ast.iface_op) ->
+      String.equal o.o_name (Op.name op)
+      && String.equal o.o_term (Op.term op)
+      && List.length o.o_args = List.length (Op.args op)
+      && List.length o.o_results = List.length (Op.results op))
+    iface.i_ops
+
+(* The substitution binding formals for one execution. *)
+let bindings (iface : Ast.iface) (o : Ast.iface_op) ~pre_state ~post_state
+    (op : Op.t) =
+  let obj = fst iface.i_object in
+  let args = List.map2 (fun (f, _) v -> (f, term_of_value v)) o.o_args (Op.args op) in
+  let results =
+    List.map2 (fun (f, _) v -> (f, term_of_value v)) o.o_results (Op.results op)
+  in
+  ((obj, pre_state) :: (obj ^ "'", post_state) :: args) @ results
+
+let eval_clause theory subst clause =
+  let instantiated = Term.apply_subst subst clause in
+  match Trait.normalize theory instantiated with
+  | Term.Bool true -> Holds
+  | Term.Bool false -> Fails
+  | stuck -> Undecided stuck
+
+(* Does the execution [op], taking the reified [pre_state] to
+   [post_state], satisfy the interface?  Checks requires in the pre-state
+   and ensures across the transition.  [`Unknown_op] when the interface
+   has no clause for this operation/termination. *)
+let check_transition theory (iface : Ast.iface) ~pre_state ~post_state op =
+  match find_op iface op with
+  | None -> `Unknown_op
+  | Some o -> (
+    let subst = bindings iface o ~pre_state ~post_state op in
+    match
+      Option.map (eval_clause theory subst) o.o_requires
+      |> Option.value ~default:Holds
+    with
+    | Fails -> `Requires_fails
+    | Undecided t -> `Undecided t
+    | Holds -> (
+      match eval_clause theory subst o.o_ensures with
+      | Holds -> `Holds
+      | Fails -> `Ensures_fails
+      | Undecided t -> `Undecided t))
+
+(* Static well-formedness of an interface against a theory: every formal
+   has a known sort vocabulary, requires/ensures are boolean, and the
+   terms inside are well-sorted.  The sort environment binds the object
+   formal and its primed variant at the object sort, and each
+   argument/result formal at its declared sort; element sorts (e.g. E)
+   are taken at face value since traits leave them abstract. *)
+let check_well_sorted theory (iface : Ast.iface) =
+  let obj, obj_sort = iface.i_object in
+  List.iter
+    (fun (o : Ast.iface_op) ->
+      let vars =
+        ((obj, obj_sort) :: (obj ^ "'", obj_sort) :: o.o_args) @ o.o_results
+      in
+      let check_bool label clause =
+        let sort =
+          Trait.sort_of theory.Trait.decls
+            ~trait:(Fmt.str "%s.%s/%s" iface.i_name o.o_name label)
+            vars clause
+        in
+        if not (String.equal sort "Bool") then
+          raise
+            (Trait.Error
+               (Fmt.str "interface %s: %s clause of %s has sort %s, not Bool"
+                  iface.i_name label o.o_name sort))
+      in
+      Option.iter (check_bool "requires") o.o_requires;
+      check_bool "ensures" o.o_ensures)
+    iface.i_ops
+
+(* Does the invocation's precondition hold in [pre_state]?  The requires
+   clauses of the paper never mention result formals, so they can be
+   checked before choosing a response. *)
+let check_precondition theory (iface : Ast.iface) ~pre_state op =
+  match find_op iface op with
+  | None -> `Unknown_op
+  | Some o -> (
+    match o.o_requires with
+    | None -> `Holds
+    | Some r -> (
+      let obj = fst iface.i_object in
+      let args =
+        List.map2
+          (fun (f, _) v -> (f, term_of_value v))
+          o.o_args (Op.args op)
+      in
+      let subst = (obj, pre_state) :: args in
+      match eval_clause theory subst r with
+      | Holds -> `Holds
+      | Fails -> `Requires_fails
+      | Undecided t -> `Undecided t))

@@ -1,0 +1,44 @@
+open Relax_core
+
+(** Evaluation of Larch interfaces (Section 2.4 of the paper): the
+    requires/ensures clauses are boolean terms over the object formal,
+    its primed post-state and the operation's argument/result formals,
+    instantiated with reified states and normalized in the trait's
+    theory. *)
+
+type verdict = Holds | Fails | Undecided of Term.t
+
+val pp_verdict : verdict Fmt.t
+
+(** Operation arguments/results as terms (integers and booleans only);
+    raises [Invalid_argument] on other value shapes. *)
+val term_of_value : Value.t -> Term.t
+
+(** The interface clause matching an execution's name, termination and
+    arities, if any. *)
+val find_op : Ast.iface -> Op.t -> Ast.iface_op option
+
+(** Static well-formedness against a theory: requires/ensures clauses
+    must be well-sorted booleans over the object and operation formals.
+    Raises {!Trait.Error} otherwise. *)
+val check_well_sorted : Trait.t -> Ast.iface -> unit
+
+(** Judge one transition: requires in the pre-state, ensures across the
+    transition. *)
+val check_transition :
+  Trait.t ->
+  Ast.iface ->
+  pre_state:Term.t ->
+  post_state:Term.t ->
+  Op.t ->
+  [ `Holds | `Requires_fails | `Ensures_fails | `Undecided of Term.t
+  | `Unknown_op ]
+
+(** Judge only the precondition (requires clauses never mention result
+    formals). *)
+val check_precondition :
+  Trait.t ->
+  Ast.iface ->
+  pre_state:Term.t ->
+  Op.t ->
+  [ `Holds | `Requires_fails | `Undecided of Term.t | `Unknown_op ]

@@ -1,0 +1,124 @@
+(* Hand-written lexer for the trait / interface concrete syntax.
+
+   Identifiers are [A-Za-z][A-Za-z0-9_']* — the trailing prime spells the
+   post-state formal (q') of interface assertions.  Comments run from '%'
+   to end of line, as in Larch. *)
+
+exception Error of string
+
+let error ~line ~col fmt =
+  Fmt.kstr (fun msg -> raise (Error (Fmt.str "%d:%d: %s" line col msg))) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : Token.located list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit token = tokens := { Token.token; line = !line; col = !col } :: !tokens in
+  let advance k =
+    for _ = 1 to k do
+      if !i < n && src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    done
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '%' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance 1
+      done;
+      let word = String.sub src start (!i - start) in
+      if Token.is_keyword word then emit (Token.KW word)
+      else emit (Token.IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance 1
+      done;
+      emit (Token.INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else
+      match (c, peek 1) with
+      | '-', Some '>' ->
+        emit Token.ARROW;
+        advance 2
+      | '<', Some '>' ->
+        emit Token.NEQ;
+        advance 2
+      | '<', Some '=' ->
+        emit Token.LE;
+        advance 2
+      | '>', Some '=' ->
+        emit Token.GE;
+        advance 2
+      | '=', Some '>' ->
+        emit Token.IMPLIES;
+        advance 2
+      | '\\', Some '/' ->
+        emit Token.OR;
+        advance 2
+      | '/', Some '\\' ->
+        emit Token.AND;
+        advance 2
+      | ':', _ ->
+        emit Token.COLON;
+        advance 1
+      | ',', _ ->
+        emit Token.COMMA;
+        advance 1
+      | '(', _ ->
+        emit Token.LPAREN;
+        advance 1
+      | ')', _ ->
+        emit Token.RPAREN;
+        advance 1
+      | '=', _ ->
+        emit Token.EQUAL;
+        advance 1
+      | '<', _ ->
+        emit Token.LT;
+        advance 1
+      | '>', _ ->
+        emit Token.GT;
+        advance 1
+      | '+', _ ->
+        emit Token.PLUS;
+        advance 1
+      | '-', _ ->
+        emit Token.MINUS;
+        advance 1
+      | '~', _ ->
+        emit Token.NOT;
+        advance 1
+      | '/', _ ->
+        emit Token.SLASH;
+        advance 1
+      | ';', _ ->
+        emit Token.SEMI;
+        advance 1
+      | _ -> error ~line:!line ~col:!col "unexpected character %C" c
+  done;
+  emit Token.EOF;
+  List.rev !tokens

@@ -1,0 +1,7 @@
+(** Lexer for the trait / interface concrete syntax.  Identifiers are
+    [A-Za-z][A-Za-z0-9_']*; comments run from ['%'] to end of line. *)
+
+exception Error of string
+
+(** Raises {!Error} with a line:column prefix on unexpected characters. *)
+val tokenize : string -> Token.located list

@@ -1,0 +1,452 @@
+(* Recursive-descent parser for the trait / interface concrete syntax.
+
+   Trait grammar (adapted from Larch, Section 2.4):
+
+     trait NAME
+       { includes NAME [with ID for ID {, ID for ID}] }
+       [ introduces { OP : [SORT {, SORT}] -> SORT } ]
+       { generated SORT by OP {, OP} }
+       [ axioms forall VAR : SORT {, VAR : SORT}
+           { TERM = EXPR [;] } ]
+     end
+
+   Interface grammar:
+
+     interface NAME
+       uses NAME {, NAME}
+       object VAR : SORT
+       { operation NAME ( [VAR : SORT {, ...}] ) / NAME ( [VAR : SORT ...] )
+           [ requires EXPR ]
+           ensures EXPR }
+     end
+
+   Expressions support if/then/else, \/, /\, ~ (and the keyword not),
+   comparisons (= <> < > <= >=), + and -, application and literals, with
+   OCaml-like precedence.  Identifiers bound by forall (or interface
+   formals) parse to variables; everything else to operators. *)
+
+exception Error of string
+
+type state = { tokens : Token.located array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos).Token.token
+
+let located st = st.tokens.(st.pos)
+
+let fail st fmt =
+  let { Token.token; line; col } = located st in
+  Fmt.kstr
+    (fun msg ->
+      raise (Error (Fmt.str "%d:%d: %s (found %a)" line col msg Token.pp token)))
+    fmt
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st expected =
+  if peek st = expected then advance st
+  else fail st "expected %a" Token.pp expected
+
+let eat_kw st kw =
+  match peek st with
+  | Token.KW k when String.equal k kw -> advance st
+  | _ -> fail st "expected keyword %S" kw
+
+let try_kw st kw =
+  match peek st with
+  | Token.KW k when String.equal k kw ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected an identifier"
+
+(* ---------------- expressions ---------------- *)
+
+(* [vars] is the set of identifiers that parse as pattern variables. *)
+let rec parse_expr st ~vars =
+  if try_kw st "if" then begin
+    let cond = parse_expr st ~vars in
+    eat_kw st "then";
+    let thn = parse_expr st ~vars in
+    eat_kw st "else";
+    let els = parse_expr st ~vars in
+    Term.app "ite" [ cond; thn; els ]
+  end
+  else parse_implies st ~vars
+
+and parse_implies st ~vars =
+  let lhs = parse_or st ~vars in
+  if peek st = Token.IMPLIES then begin
+    advance st;
+    Term.app "implies" [ lhs; parse_implies st ~vars ]
+  end
+  else lhs
+
+and parse_or st ~vars =
+  let lhs = parse_and st ~vars in
+  if peek st = Token.OR then begin
+    advance st;
+    Term.app "or" [ lhs; parse_or st ~vars ]
+  end
+  else lhs
+
+and parse_and st ~vars =
+  let lhs = parse_not st ~vars in
+  if peek st = Token.AND then begin
+    advance st;
+    Term.app "and" [ lhs; parse_and st ~vars ]
+  end
+  else lhs
+
+and parse_not st ~vars =
+  match peek st with
+  | Token.NOT ->
+    advance st;
+    Term.app "not" [ parse_not st ~vars ]
+  | Token.KW "not" ->
+    advance st;
+    Term.app "not" [ parse_not st ~vars ]
+  | _ -> parse_cmp st ~vars
+
+and parse_cmp st ~vars =
+  let lhs = parse_add st ~vars in
+  let binop name =
+    advance st;
+    (* the right-hand side of a comparison may itself be a conditional,
+       e.g. "best(ins(q,e)) = if isEmp(q) then e else ..." *)
+    let rhs =
+      if peek st = Token.KW "if" then parse_expr st ~vars
+      else parse_add st ~vars
+    in
+    match name with
+    | "neq" -> Term.app "not" [ Term.app "eq" [ lhs; rhs ] ]
+    | _ -> Term.app name [ lhs; rhs ]
+  in
+  match peek st with
+  | Token.EQUAL -> binop "eq"
+  | Token.NEQ -> binop "neq"
+  | Token.LT -> binop "lt"
+  | Token.GT -> binop "gt"
+  | Token.LE -> binop "le"
+  | Token.GE -> binop "ge"
+  | _ -> lhs
+
+and parse_add st ~vars =
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      go (Term.app "add" [ lhs; parse_atom st ~vars ])
+    | Token.MINUS ->
+      advance st;
+      go (Term.app "sub" [ lhs; parse_atom st ~vars ])
+    | _ -> lhs
+  in
+  go (parse_atom st ~vars)
+
+and parse_atom st ~vars =
+  match peek st with
+  | Token.INT i ->
+    advance st;
+    Term.int i
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args =
+        if peek st = Token.RPAREN then []
+        else
+          let rec more acc =
+            let acc = parse_expr st ~vars :: acc in
+            if peek st = Token.COMMA then begin
+              advance st;
+              more acc
+            end
+            else List.rev acc
+          in
+          more []
+      in
+      eat st Token.RPAREN;
+      Term.app name args
+    end
+    else if String.equal name "true" then Term.bool true
+    else if String.equal name "false" then Term.bool false
+    else if List.mem name vars then Term.var name
+    else Term.const name
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st ~vars in
+    eat st Token.RPAREN;
+    e
+  | Token.KW "if" -> parse_expr st ~vars
+  | _ -> fail st "expected an expression"
+
+(* ---------------- traits ---------------- *)
+
+(* After a renaming pair, a comma may introduce either another renaming
+   pair or (in a comma-separated includes list) another trait name; the
+   two are distinguished by the "for" keyword one token ahead. *)
+let parse_renamings st =
+  if try_kw st "with" then begin
+    let rec go acc =
+      let fresh = ident st in
+      eat_kw st "for";
+      let old = ident st in
+      let acc = { Ast.fresh; old } :: acc in
+      if
+        peek st = Token.COMMA
+        && st.pos + 2 < Array.length st.tokens
+        && st.tokens.(st.pos + 2).Token.token = Token.KW "for"
+      then begin
+        advance st;
+        go acc
+      end
+      else List.rev acc
+    in
+    go []
+  end
+  else []
+
+let parse_includes st =
+  let rec go acc =
+    if try_kw st "includes" || try_kw st "assumes" || try_kw st "imports" then begin
+      let rec names acc =
+        let name = ident st in
+        let renamings = parse_renamings st in
+        let acc = (name, renamings) :: acc in
+        if peek st = Token.COMMA then begin
+          advance st;
+          names acc
+        end
+        else acc
+      in
+      go (names acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let parse_decls st =
+  if try_kw st "introduces" then begin
+    let rec go acc =
+      match peek st with
+      | Token.IDENT _ when st.tokens.(st.pos + 1).Token.token = Token.COLON ->
+        let op = ident st in
+        eat st Token.COLON;
+        let rec sorts acc =
+          match peek st with
+          | Token.IDENT s ->
+            advance st;
+            if peek st = Token.COMMA then begin
+              advance st;
+              sorts (s :: acc)
+            end
+            else List.rev (s :: acc)
+          | _ -> List.rev acc
+        in
+        let arg_sorts = sorts [] in
+        eat st Token.ARROW;
+        let result_sort = ident st in
+        go ({ Ast.op; arg_sorts; result_sort } :: acc)
+      | _ -> List.rev acc
+    in
+    go []
+  end
+  else []
+
+let parse_generated st =
+  let rec go acc =
+    if try_kw st "generated" then begin
+      let sort = ident st in
+      eat_kw st "by";
+      let rec ops acc =
+        let o = ident st in
+        if peek st = Token.COMMA then begin
+          advance st;
+          ops (o :: acc)
+        end
+        else List.rev (o :: acc)
+      in
+      go ((sort, ops []) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+(* "forall b : B, e, e1 : E": within a group, commas separate names until
+   the colon introduces the group's sort; a comma after a sort starts the
+   next group — so commas never need lookahead. *)
+let parse_forall_vars st =
+  eat_kw st "forall";
+  let rec go acc =
+    let rec names acc_names =
+      let v = ident st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        names (v :: acc_names)
+      end
+      else List.rev (v :: acc_names)
+    in
+    let group = names [] in
+    eat st Token.COLON;
+    let sort = ident st in
+    let acc = acc @ List.map (fun v -> (v, sort)) group in
+    if peek st = Token.COMMA then begin
+      advance st;
+      go acc
+    end
+    else acc
+  in
+  go []
+
+(* The top-level '=' of an axiom binds loosest, so the left-hand side is
+   parsed as a bare application and the right-hand side as a full
+   expression: "isIn(ins(b,e),e1) = (e = e1) \/ isIn(b,e1)" groups as
+   lhs = (or ...). *)
+let parse_equations st ~vars =
+  let rec go acc =
+    match peek st with
+    | Token.IDENT _ ->
+      let lhs = parse_atom st ~vars in
+      eat st Token.EQUAL;
+      let rhs = parse_expr st ~vars in
+      if peek st = Token.SEMI then advance st;
+      go ({ Ast.lhs; rhs } :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_trait st =
+  eat_kw st "trait";
+  let t_name = ident st in
+  let t_includes = parse_includes st in
+  let t_decls = parse_decls st in
+  let t_generated = parse_generated st in
+  let t_vars, t_equations =
+    if try_kw st "axioms" then begin
+      (* rewind: parse_forall_vars expects the forall keyword *)
+      let vars =
+        if peek st = Token.KW "forall" then parse_forall_vars st else []
+      in
+      let eqs = parse_equations st ~vars:(List.map fst vars) in
+      (vars, eqs)
+    end
+    else ([], [])
+  in
+  eat_kw st "end";
+  { Ast.t_name; t_includes; t_decls; t_generated; t_vars; t_equations }
+
+(* ---------------- interfaces ---------------- *)
+
+let parse_formals st =
+  eat st Token.LPAREN;
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let v = ident st in
+      eat st Token.COLON;
+      let sort = ident st in
+      let acc = (v, sort) :: acc in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go acc
+      end
+      else begin
+        eat st Token.RPAREN;
+        List.rev acc
+      end
+    in
+    go []
+  end
+
+let parse_iface_op st ~object_formal =
+  eat_kw st "operation";
+  let o_name = ident st in
+  let o_args = parse_formals st in
+  eat st Token.SLASH;
+  let o_term = ident st in
+  let o_results = parse_formals st in
+  let formals =
+    (fst object_formal :: (fst object_formal ^ "'")
+    :: List.map fst o_args)
+    @ List.map fst o_results
+  in
+  let o_requires =
+    if try_kw st "requires" then Some (parse_expr st ~vars:formals) else None
+  in
+  eat_kw st "ensures";
+  let o_ensures = parse_expr st ~vars:formals in
+  { Ast.o_name; o_args; o_term; o_results; o_requires; o_ensures }
+
+let parse_iface st =
+  eat_kw st "interface";
+  let i_name = ident st in
+  eat_kw st "uses";
+  let i_uses =
+    let rec go acc =
+      let u = ident st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (u :: acc)
+      end
+      else List.rev (u :: acc)
+    in
+    go []
+  in
+  eat_kw st "object";
+  let obj = ident st in
+  eat st Token.COLON;
+  let sort = ident st in
+  let i_object = (obj, sort) in
+  let rec ops acc =
+    if peek st = Token.KW "operation" then
+      ops (parse_iface_op st ~object_formal:i_object :: acc)
+    else List.rev acc
+  in
+  let i_ops = ops [] in
+  eat_kw st "end";
+  { Ast.i_name; i_uses; i_object; i_ops }
+
+(* ---------------- entry points ---------------- *)
+
+let state_of_string src =
+  { tokens = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+let trait_of_string src =
+  let st = state_of_string src in
+  let t = parse_trait st in
+  eat st Token.EOF;
+  t
+
+let iface_of_string src =
+  let st = state_of_string src in
+  let i = parse_iface st in
+  eat st Token.EOF;
+  i
+
+(* A standalone expression; identifiers in [vars] parse as variables. *)
+let expr_of_string ?(vars = []) src =
+  let st = state_of_string src in
+  let e = parse_expr st ~vars in
+  eat st Token.EOF;
+  e
+
+(* Several traits and interfaces in one source file. *)
+let file_of_string src =
+  let st = state_of_string src in
+  let rec go traits ifaces =
+    match peek st with
+    | Token.EOF -> (List.rev traits, List.rev ifaces)
+    | Token.KW "trait" -> go (parse_trait st :: traits) ifaces
+    | Token.KW "interface" -> go traits (parse_iface st :: ifaces)
+    | _ -> fail st "expected 'trait' or 'interface'"
+  in
+  go [] []

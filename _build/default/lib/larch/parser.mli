@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the trait / interface concrete syntax
+    (see the module implementation header for the grammar).
+
+    Identifiers bound by [forall] (or interface formals) parse to pattern
+    variables; everything else parses to operators.  The top-level [=] of
+    an axiom binds loosest. *)
+
+exception Error of string
+
+(** Parse one trait.  Raises {!Error} or {!Lexer.Error} on bad input. *)
+val trait_of_string : string -> Ast.trait
+
+(** Parse one interface. *)
+val iface_of_string : string -> Ast.iface
+
+(** Parse a standalone expression; identifiers in [vars] become pattern
+    variables. *)
+val expr_of_string : ?vars:string list -> string -> Term.t
+
+(** Parse a file of several traits and interfaces, in order. *)
+val file_of_string : string -> Ast.trait list * Ast.iface list

@@ -1,0 +1,16 @@
+(** Pretty-printing of trait and interface ASTs back to concrete syntax;
+    print-then-parse is the identity on ASTs (property-tested). *)
+
+(** Terms in concrete syntax: built-ins recover their infix form, [ite]
+    recovers if/then/else; infix sub-expressions are parenthesized. *)
+val pp_term : Term.t Fmt.t
+
+val pp_decl : Ast.decl Fmt.t
+val pp_trait : Ast.trait Fmt.t
+val pp_iface : Ast.iface Fmt.t
+val trait_to_string : Ast.trait -> string
+val iface_to_string : Ast.iface -> string
+
+(** An elaborated theory rendered for humans: flattened signature and
+    rewrite system. *)
+val pp_theory : Trait.t Fmt.t

@@ -1,0 +1,34 @@
+open Relax_core
+open Relax_objects
+
+(* Reification of executable model states into canonical terms of the
+   trait theories, the bridge the conformance checker crosses. *)
+
+let value = Interface.term_of_value
+
+(* A sequence as an ins-chain with the head innermost:
+   [1; 2] becomes ins(ins(emp, 1), 2), so first/rest recurse correctly. *)
+let seq (items : Value.t list) =
+  List.fold_left (fun acc v -> Term.app "ins" [ acc; value v ]) (Term.const "emp")
+    items
+
+(* A multiset as the ins-chain of its ascending enumeration — exactly the
+   canonical form the permutative ins-commutativity rule sorts into. *)
+let multiset (m : Multiset.t) = seq (Multiset.to_list m)
+
+let fifo (q : Fifo.state) = seq q
+
+let mpq (s : Mpq.state) =
+  Term.app "mpq" [ multiset s.Mpq.present; multiset s.Mpq.absent ]
+
+let semiqueue (q : Semiqueue.state) = seq q
+
+let stuttering (s : Stuttering.state) =
+  Term.app "stq" [ seq s.Stuttering.items; Term.int s.Stuttering.count ]
+
+let account (balance : Account.state) = Term.int balance
+
+let dpq (q : Dpq.state) = multiset q
+
+let rfq (s : Rfq.state) =
+  Term.app "rfq" [ seq s.Rfq.items; Term.int s.Rfq.boundary ]

@@ -1,0 +1,22 @@
+open Relax_core
+open Relax_objects
+
+(** Reification of executable model states into canonical terms of the
+    trait theories — the bridge the conformance checker crosses. *)
+
+val value : Value.t -> Term.t
+
+(** A sequence as an ins-chain with the head innermost. *)
+val seq : Value.t list -> Term.t
+
+(** A multiset as the ins-chain of its ascending enumeration — the
+    canonical form of the MBag commutativity discipline. *)
+val multiset : Multiset.t -> Term.t
+
+val fifo : Fifo.state -> Term.t
+val mpq : Mpq.state -> Term.t
+val semiqueue : Semiqueue.state -> Term.t
+val stuttering : Stuttering.state -> Term.t
+val account : Account.state -> Term.t
+val dpq : Dpq.state -> Term.t
+val rfq : Rfq.state -> Term.t

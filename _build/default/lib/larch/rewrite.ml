@@ -1,0 +1,137 @@
+(* Ground normalization by term rewriting.
+
+   Axioms are used as left-to-right rewrite rules.  Rules whose two sides
+   have identical symbol multisets (permutative rules, e.g. the
+   commutativity of bag insertion) would loop under naive rewriting; they
+   are applied only when they strictly decrease the term in the total term
+   order, which turns them into a sorting discipline yielding canonical
+   forms.  The built-in operators (boolean connectives, integer
+   comparisons and arithmetic, if-then-else) are evaluated on literals
+   directly. *)
+
+type rule = { lhs : Term.t; rhs : Term.t; permutative : bool }
+
+let rule lhs rhs =
+  let extra =
+    List.filter (fun v -> not (List.mem v (Term.vars lhs))) (Term.vars rhs)
+  in
+  if extra <> [] then
+    invalid_arg
+      (Fmt.str "Rewrite.rule: rhs variables %a not bound by lhs"
+         (Fmt.list ~sep:Fmt.comma Fmt.string)
+         extra);
+  let permutative = Term.symbol_multiset lhs = Term.symbol_multiset rhs in
+  { lhs; rhs; permutative }
+
+let pp_rule ppf r =
+  Fmt.pf ppf "%a -> %a%s" Term.pp r.lhs Term.pp r.rhs
+    (if r.permutative then " (permutative)" else "")
+
+(* Built-in evaluation on literal arguments.  Returns [None] when the
+   operator is not built-in or its arguments are not sufficiently
+   evaluated. *)
+let builtin f args =
+  match (f, args) with
+  | "ite", [ Term.Bool true; t; _ ] -> Some t
+  | "ite", [ Term.Bool false; _; e ] -> Some e
+  | "not", [ Term.Bool b ] -> Some (Term.Bool (not b))
+  | "and", [ Term.Bool a; Term.Bool b ] -> Some (Term.Bool (a && b))
+  | "and", [ Term.Bool false; _ ] | "and", [ _; Term.Bool false ] ->
+    Some (Term.Bool false)
+  | "or", [ Term.Bool a; Term.Bool b ] -> Some (Term.Bool (a || b))
+  | "or", [ Term.Bool true; _ ] | "or", [ _; Term.Bool true ] ->
+    Some (Term.Bool true)
+  | "implies", [ Term.Bool a; Term.Bool b ] -> Some (Term.Bool ((not a) || b))
+  | "add", [ Term.Int a; Term.Int b ] -> Some (Term.Int (a + b))
+  | "sub", [ Term.Int a; Term.Int b ] -> Some (Term.Int (a - b))
+  | "lt", [ Term.Int a; Term.Int b ] -> Some (Term.Bool (a < b))
+  | "gt", [ Term.Int a; Term.Int b ] -> Some (Term.Bool (a > b))
+  | "le", [ Term.Int a; Term.Int b ] -> Some (Term.Bool (a <= b))
+  | "ge", [ Term.Int a; Term.Int b ] -> Some (Term.Bool (a >= b))
+  | _ -> None
+
+(* eq on distinct normal forms: decided negatively only by [normalize],
+   which knows the arguments are in normal form. *)
+let eq_on_normal_forms a b =
+  if Term.equal a b then Some (Term.Bool true)
+  else if Term.is_ground a && Term.is_ground b then Some (Term.Bool false)
+  else None
+
+exception Out_of_fuel
+
+(* Innermost (call-by-value) normalization.  Every subterm is normalized
+   before its parent, so built-in evaluation and negative eq-decisions
+   only ever see normal forms.  [fuel] bounds the number of rewrite steps
+   to guard against accidental divergence in user-supplied traits. *)
+let normalize ?(fuel = 100_000) rules t =
+  let budget = ref fuel in
+  let spend () =
+    decr budget;
+    if !budget <= 0 then raise Out_of_fuel
+  in
+  let rec norm t =
+    match t with
+    | Term.Var _ | Term.Int _ | Term.Bool _ -> t
+    | Term.App ("ite", [ c; a; b ]) -> (
+      (* if-then-else is lazy: only the selected branch is normalized, so
+         recursive definitions guarded by a condition (SemiQ's prefix)
+         terminate under innermost evaluation. *)
+      spend ();
+      match norm c with
+      | Term.Bool true -> norm a
+      | Term.Bool false -> norm b
+      | c' ->
+        (* Stuck condition (open term): leave the branches untouched —
+           normalizing them could unfold a recursive definition forever. *)
+        Term.App ("ite", [ c'; a; b ]))
+    | Term.App (f, args) ->
+      let args = List.map norm args in
+      reduce_head (Term.App (f, args))
+  and reduce_head t =
+    match t with
+    | Term.Var _ | Term.Int _ | Term.Bool _ -> t
+    | Term.App (f, args) -> (
+      match builtin f args with
+      | Some t' ->
+        spend ();
+        norm t'
+      | None -> (
+        match
+          if String.equal f "eq" then
+            match args with
+            | [ a; b ] -> eq_on_normal_forms a b
+            | _ -> None
+          else None
+        with
+        | Some t' ->
+          spend ();
+          t'
+        | None -> try_rules t)
+    )
+  and try_rules t =
+    let rec go = function
+      | [] -> t
+      | r :: rest -> (
+        match Term.matches ~pattern:r.lhs ~subject:t with
+        | None -> go rest
+        | Some s ->
+          let t' = Term.apply_subst s r.rhs in
+          if r.permutative && Term.compare t' t >= 0 then go rest
+          else begin
+            spend ();
+            norm t'
+          end)
+    in
+    go rules
+  in
+  norm t
+
+(* Decide provable ground equality: both sides normalize to the same
+   form.  [`Unequal] is reported for distinct ground normal forms (sound
+   for the canonical-form theories used here); [`Unknown] when variables
+   survive. *)
+let decide_equal ?fuel rules a b =
+  let na = normalize ?fuel rules a and nb = normalize ?fuel rules b in
+  if Term.equal na nb then `Equal
+  else if Term.is_ground na && Term.is_ground nb then `Unequal
+  else `Unknown

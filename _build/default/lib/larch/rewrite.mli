@@ -1,0 +1,27 @@
+(** Ground normalization by term rewriting.
+
+    Axioms are used as left-to-right rewrite rules.  Permutative rules
+    (identical symbol multisets on both sides, e.g. commutativity of bag
+    insertion) are applied only when they strictly decrease the term in
+    the total term order, yielding canonical forms.  Built-in boolean,
+    integer and if-then-else operators are evaluated on literals. *)
+
+type rule = { lhs : Term.t; rhs : Term.t; permutative : bool }
+
+(** Builds a rule, classifying it as permutative automatically.  Raises
+    [Invalid_argument] when the rhs has variables the lhs does not bind. *)
+val rule : Term.t -> Term.t -> rule
+
+val pp_rule : rule Fmt.t
+
+exception Out_of_fuel
+
+(** Innermost normalization; [fuel] bounds rewrite steps (default 1e5) and
+    {!Out_of_fuel} is raised when exhausted.  [eq] subterms on distinct
+    ground normal forms evaluate to [false] (sound for canonical-form
+    theories). *)
+val normalize : ?fuel:int -> rule list -> Term.t -> Term.t
+
+(** Decide provable ground equality by comparing normal forms. *)
+val decide_equal :
+  ?fuel:int -> rule list -> Term.t -> Term.t -> [ `Equal | `Unequal | `Unknown ]

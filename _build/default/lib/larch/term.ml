@@ -1,0 +1,130 @@
+(* First-order terms over a sorted signature, the carrier of the Larch
+   trait engine (Section 2.4).  Integers and booleans are built-in
+   literals so the equational theories of the paper's traits can assume
+   Integer and TotalOrder without axiomatizing arithmetic. *)
+
+type t =
+  | Var of string (* pattern variables of axioms *)
+  | Int of int
+  | Bool of bool
+  | App of string * t list
+
+let var x = Var x
+let int i = Int i
+let bool b = Bool b
+let app f args = App (f, args)
+let const f = App (f, [])
+
+let rec equal a b =
+  match (a, b) with
+  | Var x, Var y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | App (f, xs), App (g, ys) ->
+    String.equal f g
+    && List.length xs = List.length ys
+    && List.for_all2 equal xs ys
+  | (Var _ | Int _ | Bool _ | App _), _ -> false
+
+let rec size = function
+  | Var _ | Int _ | Bool _ -> 1
+  | App (_, args) -> 1 + List.fold_left (fun acc a -> acc + size a) 0 args
+
+(* A total order on terms used by the permutative-rule discipline: first
+   by size, then structurally.  Any total order compatible with strict
+   subterm decrease would do; this one orders the canonical forms of bags
+   with smaller literals innermost. *)
+let rec compare a b =
+  let c = Int.compare (size a) (size b) in
+  if c <> 0 then c
+  else
+    match (a, b) with
+    | Var x, Var y -> String.compare x y
+    | Var _, _ -> -1
+    | _, Var _ -> 1
+    | Int x, Int y -> Int.compare x y
+    | Int _, _ -> -1
+    | _, Int _ -> 1
+    | Bool x, Bool y -> Bool.compare x y
+    | Bool _, _ -> -1
+    | _, Bool _ -> 1
+    | App (f, xs), App (g, ys) ->
+      let c = String.compare f g in
+      if c <> 0 then c else compare_lists xs ys
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+(* Free pattern variables, left to right, without duplicates. *)
+let vars t =
+  let rec go acc = function
+    | Var x -> if List.mem x acc then acc else acc @ [ x ]
+    | Int _ | Bool _ -> acc
+    | App (_, args) -> List.fold_left go acc args
+  in
+  go [] t
+
+let is_ground t = vars t = []
+
+(* Multiset of symbols (operators and variables), used to detect
+   permutative axioms: an equation whose two sides contain exactly the
+   same symbols the same number of times can only permute structure. *)
+let symbol_multiset t =
+  let rec go acc = function
+    | Var x -> ("var:" ^ x) :: acc
+    | Int i -> ("int:" ^ string_of_int i) :: acc
+    | Bool b -> ("bool:" ^ string_of_bool b) :: acc
+    | App (f, args) -> List.fold_left go (("app:" ^ f) :: acc) args
+  in
+  List.sort String.compare (go [] t)
+
+(* Substitutions: finite maps from pattern variables to terms. *)
+module Subst = struct
+  type binding = (string * t) list
+
+  let empty = []
+  let find = List.assoc_opt
+
+  let extend s x t =
+    match find x s with
+    | None -> Some ((x, t) :: s)
+    | Some existing -> if equal existing t then Some s else None
+end
+
+let rec apply_subst (s : Subst.binding) = function
+  | Var x as v -> ( match Subst.find x s with Some t -> t | None -> v)
+  | (Int _ | Bool _) as lit -> lit
+  | App (f, args) -> App (f, List.map (apply_subst s) args)
+
+(* First-order matching: a substitution making [pattern] equal [subject],
+   if any.  Subjects are not required to be ground. *)
+let matches ~pattern ~subject =
+  let rec go s pattern subject =
+    match (pattern, subject) with
+    | Var x, _ -> Subst.extend s x subject
+    | Int a, Int b when a = b -> Some s
+    | Bool a, Bool b when a = b -> Some s
+    | App (f, ps), App (g, qs)
+      when String.equal f g && List.length ps = List.length qs ->
+      List.fold_left2
+        (fun acc p q -> match acc with None -> None | Some s -> go s p q)
+        (Some s) ps qs
+    | (Int _ | Bool _ | App _), _ -> None
+  in
+  go Subst.empty pattern subject
+
+let rec pp ppf = function
+  | Var x -> Fmt.string ppf x
+  | Int i -> Fmt.int ppf i
+  | Bool b -> Fmt.bool ppf b
+  | App (f, []) -> Fmt.string ppf f
+  | App (f, args) ->
+    Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") pp) args
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,52 @@
+(** First-order terms over a sorted signature: the carrier of the Larch
+    trait engine (Section 2.4 of the paper).  Integers and booleans are
+    built-in literals. *)
+
+type t =
+  | Var of string  (** pattern variables of axioms *)
+  | Int of int
+  | Bool of bool
+  | App of string * t list
+
+val var : string -> t
+val int : int -> t
+val bool : bool -> t
+val app : string -> t list -> t
+val const : string -> t
+val equal : t -> t -> bool
+val size : t -> int
+
+(** A total order on terms (by size, then structurally), used by the
+    permutative-rule discipline of the rewriter. *)
+val compare : t -> t -> int
+
+val compare_lists : t list -> t list -> int
+
+(** Free pattern variables, left to right, deduplicated. *)
+val vars : t -> string list
+
+val is_ground : t -> bool
+
+(** Sorted multiset of symbols; two sides of an equation with equal symbol
+    multisets can only permute structure. *)
+val symbol_multiset : t -> string list
+
+module Subst : sig
+  type binding = (string * t) list
+
+  val empty : binding
+  val find : string -> binding -> t option
+
+  (** Consistent extension: [None] when the variable is already bound to a
+      different term. *)
+  val extend : binding -> string -> t -> binding option
+end
+
+val apply_subst : Subst.binding -> t -> t
+
+(** First-order matching: a substitution making [pattern] equal
+    [subject]. *)
+val matches : pattern:t -> subject:t -> Subst.binding option
+
+val pp : t Fmt.t
+val to_string : t -> string

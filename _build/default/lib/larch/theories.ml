@@ -1,0 +1,384 @@
+(* The paper's traits and interfaces as sources in the concrete syntax,
+   elaborated once at load time.
+
+   Deviations from the paper's figures, all recorded here:
+
+   - Figure 2-3 declares [rest : Q -> E] and axiomatizes
+     [rest(ins(q,e)) = if isEmp(q) then emp else rest(q)]; both are typos
+     (the sort must be Q, and the else-branch must re-append e).  We
+     implement the evident intent.
+   - The Bag trait of Figure 2-1 does not prove commutativity of [ins],
+     yet the paper treats bag values as multisets (e.g. the Deq
+     postcondition [q' = del(q,e)] compares values modulo reordering).
+     The [MBag] trait below adds the permutative axiom
+     [ins(ins(b,e),e1) = ins(ins(b,e1),e)], which the rewriter applies as
+     a sorting discipline; bag-valued objects conform against MBag-based
+     theories, while FifoQ builds on the free Bag exactly as in the
+     paper.
+   - Records (MPQ, StQ) are encoded as a constructor with projection
+     operators ([mpq/present/absent], [stq/items/count]).
+   - MPQueue gains [allBelow] so the Deq postcondition is well-defined
+     when [present] is empty (the paper's [e > best(present)] is stuck on
+     the undefined [best(emp)]). *)
+
+let bag_src =
+  {|
+trait Bag
+  includes Boolean
+  introduces
+    emp : -> B
+    ins : B, E -> B
+    del : B, E -> B
+    isEmp : B -> Bool
+    isIn : B, E -> Bool
+  generated B by emp, ins
+  axioms forall b : B, e, e1 : E
+    del(emp, e) = emp
+    del(ins(b, e), e1) = if e = e1 then b else ins(del(b, e1), e)
+    isEmp(emp) = true
+    isEmp(ins(b, e)) = false
+    isIn(emp, e) = false
+    isIn(ins(b, e), e1) = (e = e1) \/ isIn(b, e1)
+end
+|}
+
+let mbag_src =
+  {|
+trait MBag
+  includes Bag
+  axioms forall b : B, e, e1 : E
+    ins(ins(b, e), e1) = ins(ins(b, e1), e)
+end
+|}
+
+let fifoq_src =
+  {|
+trait FifoQ
+  includes Bag with Q for B
+  introduces
+    first : Q -> E
+    rest : Q -> Q
+  axioms forall q : Q, e : E
+    first(ins(q, e)) = if isEmp(q) then e else first(q)
+    rest(ins(q, e)) = if isEmp(q) then emp else ins(rest(q), e)
+end
+|}
+
+let pqueue_src =
+  {|
+trait PQueue
+  assumes TotalOrder
+  includes MBag with PQ for B
+  introduces
+    best : PQ -> E
+  axioms forall q : PQ, e : E
+    best(ins(q, e)) = if isEmp(q) then e else if e > best(q) then e else best(q)
+end
+|}
+
+let mpqueue_src =
+  {|
+trait MPQueue
+  assumes TotalOrder
+  includes PQueue
+  introduces
+    mpq : PQ, PQ -> M
+    present : M -> PQ
+    absent : M -> PQ
+    allBelow : PQ, E -> Bool
+  generated M by mpq
+  axioms forall p, a : PQ, e, e1 : E
+    present(mpq(p, a)) = p
+    absent(mpq(p, a)) = a
+    allBelow(emp, e) = true
+    allBelow(ins(p, e1), e) = (e1 < e) /\ allBelow(p, e)
+end
+|}
+
+let set_src =
+  {|
+trait SetE
+  includes Boolean
+  introduces
+    setEmp : -> S
+    setIns : S, E -> S
+    member : E, S -> Bool
+    setUnion : S, S -> S
+  generated S by setEmp, setIns
+  axioms forall s, s1 : S, e, e1 : E
+    member(e, setEmp) = false
+    member(e, setIns(s, e1)) = (e = e1) \/ member(e, s)
+    setUnion(setEmp, s) = s
+    setUnion(setIns(s, e), s1) = setUnion(s, setIns(s1, e))
+    setIns(setIns(s, e), e) = setIns(s, e)
+    setIns(setIns(s, e), e1) = setIns(setIns(s, e1), e)
+end
+|}
+
+let semiq_src =
+  {|
+trait SemiQ
+  imports Integer
+  includes FifoQ, SetE
+  introduces
+    prefix : Q, Int -> S
+  axioms forall q : Q, i : Int
+    prefix(q, i) = if (i = 0) \/ isEmp(q) then setEmp
+                   else setUnion(prefix(rest(q), i - 1), setIns(setEmp, first(q)))
+end
+|}
+
+let stutq_src =
+  {|
+trait StutQ
+  imports Integer
+  includes FifoQ
+  introduces
+    stq : Q, Int -> SQ
+    items : SQ -> Q
+    count : SQ -> Int
+  generated SQ by stq
+  axioms forall q : Q, c : Int
+    items(stq(q, c)) = q
+    count(stq(q, c)) = c
+end
+|}
+
+(* Traits for the behaviors this reproduction characterizes beyond the
+   paper (the dropping priority queue and the replayable FIFO queue), so
+   the new automata are conformance-checked exactly like the paper's. *)
+
+let dpq_src =
+  {|
+trait DPQ
+  assumes TotalOrder
+  includes MBag
+  introduces
+    dropAbove : B, E -> B
+  axioms forall b : B, e, e1 : E
+    dropAbove(emp, e) = emp
+    dropAbove(ins(b, e1), e) = if e1 > e then dropAbove(b, e)
+                               else ins(dropAbove(b, e), e1)
+end
+|}
+
+let rfq_src =
+  {|
+trait RFQ
+  imports Integer
+  includes SemiQ
+  introduces
+    rfq : Q, Int -> R
+    items : R -> Q
+    boundary : R -> Int
+    len : Q -> Int
+    ith : Q, Int -> E
+  generated R by rfq
+  axioms forall q : Q, b : Int, e : E, i : Int
+    items(rfq(q, b)) = q
+    boundary(rfq(q, b)) = b
+    len(emp) = 0
+    len(ins(q, e)) = len(q) + 1
+    ith(ins(q, e), i) = if i = len(q) then e else ith(q, i)
+end
+|}
+
+let all_sources =
+  [
+    bag_src; mbag_src; fifoq_src; pqueue_src; mpqueue_src; set_src; semiq_src;
+    stutq_src; dpq_src; rfq_src;
+  ]
+
+(* The elaborated standard environment, computed once. *)
+let env =
+  lazy
+    (let asts = List.map Parser.trait_of_string all_sources in
+     Trait.elaborate_all asts)
+
+let find name = Trait.find (Lazy.force env) name
+let bag () = find "Bag"
+let dpq () = find "DPQ"
+let rfq () = find "RFQ"
+let mbag () = find "MBag"
+let fifoq () = find "FifoQ"
+let pqueue () = find "PQueue"
+let mpqueue () = find "MPQueue"
+let set_e () = find "SetE"
+let semiq () = find "SemiQ"
+let stutq () = find "StutQ"
+
+(* ---------------- interfaces ---------------- *)
+
+(* Figure 2-2 (bag) / Figure 3-4 (out-of-order priority queue): Enq
+   inserts, Deq removes an arbitrary present item. *)
+let bag_iface_src =
+  {|
+interface BagObject
+  uses MBag
+  object q : B
+  operation Enq(e : E) / Ok()
+    ensures q' = ins(q, e)
+  operation Deq() / Ok(e : E)
+    requires ~ isEmp(q)
+    ensures isIn(q, e) /\ q' = del(q, e)
+end
+|}
+
+(* Figure 2-4: FIFO queue. *)
+let fifo_iface_src =
+  {|
+interface FifoQueue
+  uses FifoQ
+  object q : Q
+  operation Enq(e : E) / Ok()
+    ensures q' = ins(q, e)
+  operation Deq() / Ok(e : E)
+    requires ~ isEmp(q)
+    ensures e = first(q) /\ q' = rest(q)
+end
+|}
+
+(* Figure 3-2: priority queue. *)
+let pqueue_iface_src =
+  {|
+interface PriorityQueue
+  uses PQueue
+  object q : PQ
+  operation Enq(e : E) / Ok()
+    ensures q' = ins(q, e)
+  operation Deq() / Ok(e : E)
+    requires ~ isEmp(q)
+    ensures e = best(q) /\ q' = del(q, e)
+end
+|}
+
+(* Figure 3-3: multi-priority queue (tight reading: the replay disjunct
+   leaves the state unchanged, and Enq leaves absent unchanged). *)
+let mpq_iface_src =
+  {|
+interface MultiPriorityQueue
+  uses MPQueue
+  object q : M
+  operation Enq(e : E) / Ok()
+    ensures present(q') = ins(present(q), e) /\ absent(q') = absent(q)
+  operation Deq() / Ok(e : E)
+    ensures (isIn(absent(q), e) /\ allBelow(present(q), e) /\ q' = q)
+         \/ (~ isEmp(present(q)) /\ e = best(present(q))
+             /\ absent(q') = ins(absent(q), e)
+             /\ present(q') = del(present(q), e))
+end
+|}
+
+(* Figure 3-5: degenerate priority queue. *)
+let degen_iface_src =
+  {|
+interface DegeneratePQ
+  uses MBag
+  object q : B
+  operation Enq(e : E) / Ok()
+    ensures q' = ins(q, e)
+  operation Deq() / Ok(e : E)
+    requires ~ isEmp(q)
+    ensures isIn(q, e) /\ q' = q
+end
+|}
+
+(* Figure 4-1, instantiated at a concrete k. *)
+let semiqueue_iface_src ~k =
+  Fmt.str
+    {|
+interface Semiqueue
+  uses SemiQ
+  object q : Q
+  operation Enq(e : E) / Ok()
+    ensures q' = ins(q, e)
+  operation Deq() / Ok(e : E)
+    requires ~ isEmp(q)
+    ensures q' = del(q, e) /\ member(e, prefix(q, %d))
+end
+|}
+    k
+
+(* Figure 4-3, instantiated at a concrete j — the paper's loose ensures,
+   kept verbatim (model conformance is checked in Sound mode). *)
+let stuttering_iface_src ~j =
+  Fmt.str
+    {|
+interface StutteringQueue
+  uses StutQ
+  object q : SQ
+  operation Enq(e : E) / Ok()
+    ensures items(q') = ins(items(q), e) /\ count(q') = count(q)
+  operation Deq() / Ok(e : E)
+    requires ~ isEmp(items(q))
+    ensures count(q) < %d => (e = first(items(q))
+        /\ ((count(q') = count(q) + 1 /\ items(q') = items(q))
+         \/ (count(q') = 0 /\ items(q') = rest(items(q)))))
+end
+|}
+    j
+
+(* Section 3.4: the bank account over built-in integers. *)
+let account_iface_src =
+  {|
+interface BankAccount
+  uses Integer
+  object b : Int
+  operation Credit(n : Int) / Ok()
+    requires n > 0
+    ensures b' = b + n
+  operation Debit(n : Int) / Ok()
+    requires n > 0
+    ensures b >= n /\ b' = b - n
+  operation Debit(n : Int) / Overdraft()
+    requires n > 0
+    ensures b < n /\ b' = b
+end
+|}
+
+(* Interface for the dropping priority queue (our characterization of the
+   eta' lattice's Q2 point): a dequeue removes the returned item and
+   silently drops every pending item of strictly higher priority. *)
+let dpq_iface_src =
+  {|
+interface DroppingPQ
+  uses DPQ
+  object q : B
+  operation Enq(e : E) / Ok()
+    ensures q' = ins(q, e)
+  operation Deq() / Ok(e : E)
+    requires ~ isEmp(q)
+    ensures isIn(q, e) /\ q' = dropAbove(del(q, e), e)
+end
+|}
+
+(* Interface for the replayable FIFO queue (our characterization of the
+   replicated FIFO queue's {Q1} point): Deq either serves the item at the
+   boundary position (advancing it) or replays something from the served
+   prefix. *)
+let rfq_iface_src =
+  {|
+interface ReplayableFifo
+  uses RFQ
+  object q : R
+  operation Enq(e : E) / Ok()
+    ensures items(q') = ins(items(q), e) /\ boundary(q') = boundary(q)
+  operation Deq() / Ok(e : E)
+    ensures (boundary(q) < len(items(q)) /\ e = ith(items(q), boundary(q))
+             /\ items(q') = items(q) /\ boundary(q') = boundary(q) + 1)
+         \/ (member(e, prefix(items(q), boundary(q))) /\ q' = q)
+end
+|}
+
+let parse_iface = Parser.iface_of_string
+
+let bag_iface () = parse_iface bag_iface_src
+let fifo_iface () = parse_iface fifo_iface_src
+let pqueue_iface () = parse_iface pqueue_iface_src
+let mpq_iface () = parse_iface mpq_iface_src
+let degen_iface () = parse_iface degen_iface_src
+let semiqueue_iface ~k = parse_iface (semiqueue_iface_src ~k)
+let stuttering_iface ~j = parse_iface (stuttering_iface_src ~j)
+let account_iface () = parse_iface account_iface_src
+let dpq_iface () = parse_iface dpq_iface_src
+let rfq_iface () = parse_iface rfq_iface_src

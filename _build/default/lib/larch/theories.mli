@@ -1,0 +1,64 @@
+(** The paper's traits and interfaces as sources in the concrete syntax,
+    elaborated once at load time.  Deviations from the paper's figures are
+    documented in the implementation header and in DESIGN.md (the MBag
+    commutativity extension, the Figure 2-3 typo fixes, the record
+    encodings, [allBelow]). *)
+
+(** {1 Trait sources} *)
+
+val bag_src : string
+val mbag_src : string
+val fifoq_src : string
+val pqueue_src : string
+val mpqueue_src : string
+val set_src : string
+val semiq_src : string
+val stutq_src : string
+
+(** Traits for the behaviors this reproduction characterizes beyond the
+    paper: the dropping priority queue and the replayable FIFO queue. *)
+val dpq_src : string
+
+val rfq_src : string
+val all_sources : string list
+
+(** {1 Elaborated theories} *)
+
+(** Raises {!Trait.Error} on unknown names. *)
+val find : string -> Trait.t
+
+val bag : unit -> Trait.t
+val mbag : unit -> Trait.t
+val fifoq : unit -> Trait.t
+val pqueue : unit -> Trait.t
+val mpqueue : unit -> Trait.t
+val set_e : unit -> Trait.t
+val semiq : unit -> Trait.t
+val stutq : unit -> Trait.t
+val dpq : unit -> Trait.t
+val rfq : unit -> Trait.t
+
+(** {1 Interface sources and parsed interfaces} *)
+
+val bag_iface_src : string
+val fifo_iface_src : string
+val pqueue_iface_src : string
+val mpq_iface_src : string
+val degen_iface_src : string
+val account_iface_src : string
+val dpq_iface_src : string
+val rfq_iface_src : string
+
+val semiqueue_iface_src : k:int -> string
+val stuttering_iface_src : j:int -> string
+
+val bag_iface : unit -> Ast.iface
+val fifo_iface : unit -> Ast.iface
+val pqueue_iface : unit -> Ast.iface
+val mpq_iface : unit -> Ast.iface
+val degen_iface : unit -> Ast.iface
+val semiqueue_iface : k:int -> Ast.iface
+val stuttering_iface : j:int -> Ast.iface
+val account_iface : unit -> Ast.iface
+val dpq_iface : unit -> Ast.iface
+val rfq_iface : unit -> Ast.iface

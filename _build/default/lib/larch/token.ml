@@ -1,0 +1,81 @@
+(* Tokens of the trait / interface concrete syntax. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | KW of string (* recognized keyword *)
+  | COLON
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | ARROW (* -> *)
+  | EQUAL
+  | NEQ (* <> *)
+  | LT
+  | GT
+  | LE
+  | GE
+  | PLUS
+  | MINUS
+  | OR (* \/ *)
+  | AND (* /\ *)
+  | IMPLIES (* => *)
+  | NOT (* ~ *)
+  | SLASH (* / separating invocation and response *)
+  | SEMI
+  | EOF
+
+let keywords =
+  [
+    "trait";
+    "includes";
+    "assumes";
+    "imports";
+    "with";
+    "for";
+    "introduces";
+    "generated";
+    "by";
+    "axioms";
+    "forall";
+    "if";
+    "then";
+    "else";
+    "end";
+    "interface";
+    "uses";
+    "object";
+    "operation";
+    "requires";
+    "ensures";
+    "not";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let pp ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | KW s -> Fmt.pf ppf "keyword %S" s
+  | COLON -> Fmt.string ppf "':'"
+  | COMMA -> Fmt.string ppf "','"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | ARROW -> Fmt.string ppf "'->'"
+  | EQUAL -> Fmt.string ppf "'='"
+  | NEQ -> Fmt.string ppf "'<>'"
+  | LT -> Fmt.string ppf "'<'"
+  | GT -> Fmt.string ppf "'>'"
+  | LE -> Fmt.string ppf "'<='"
+  | GE -> Fmt.string ppf "'>='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | OR -> Fmt.string ppf "'\\/'"
+  | AND -> Fmt.string ppf "'/\\'"
+  | IMPLIES -> Fmt.string ppf "'=>'"
+  | NOT -> Fmt.string ppf "'~'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | SEMI -> Fmt.string ppf "';'"
+  | EOF -> Fmt.string ppf "end of input"
+
+type located = { token : t; line : int; col : int }

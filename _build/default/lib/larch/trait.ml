@@ -1,0 +1,196 @@
+(* Trait elaboration: resolving includes/assumes/imports with renaming
+   into a flat theory — a signature, a rewrite system and the generated-by
+   information (Section 2.4).
+
+   The three reuse forms of Larch (include / import / assume) differ in
+   proof obligations, not in the theory they make available, so the
+   elaborator treats them alike and the conformance checker discharges the
+   obligations empirically.  Renamings apply to both sorts and operator
+   names, as in the paper's "with [Q for B]". *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
+
+type t = {
+  name : string;
+  decls : Ast.decl list;
+  rules : Rewrite.rule list;
+  generated : (string * string list) list;
+}
+
+(* Built-in theories: their operators are interpreted directly by the
+   rewriter, so their elaboration is empty. *)
+let builtin_names = [ "Boolean"; "Integer"; "TotalOrder" ]
+
+let rename_with (renamings : Ast.renaming list) name =
+  match List.find_opt (fun r -> String.equal r.Ast.old name) renamings with
+  | Some r -> r.Ast.fresh
+  | None -> name
+
+let rename_decl renamings (d : Ast.decl) =
+  {
+    Ast.op = rename_with renamings d.op;
+    arg_sorts = List.map (rename_with renamings) d.arg_sorts;
+    result_sort = rename_with renamings d.result_sort;
+  }
+
+let rec rename_term renamings = function
+  | Term.Var _ as v -> v
+  | (Term.Int _ | Term.Bool _) as lit -> lit
+  | Term.App (f, args) ->
+    Term.App (rename_with renamings f, List.map (rename_term renamings) args)
+
+let rename_rule renamings (r : Rewrite.rule) =
+  Rewrite.rule (rename_term renamings r.lhs) (rename_term renamings r.rhs)
+
+let builtin_ops =
+  [ "eq"; "neq"; "lt"; "gt"; "le"; "ge"; "add"; "sub"; "ite"; "and"; "or";
+    "not"; "implies" ]
+
+let find_decl decls op = List.find_opt (fun d -> String.equal d.Ast.op op) decls
+
+(* Merge declarations, rejecting conflicting signatures for one name. *)
+let merge_decls base extra =
+  List.fold_left
+    (fun acc d ->
+      match find_decl acc d.Ast.op with
+      | None -> acc @ [ d ]
+      | Some existing ->
+        if existing = d then acc
+        else error "conflicting declarations for operator %s" d.Ast.op)
+    base extra
+
+(* Sort inference and checking.  Variables carry declared sorts; integer
+   and boolean literals have the built-in sorts; the polymorphic built-ins
+   are handled schematically (eq and the comparisons require both
+   arguments at one sort, ite requires a Bool condition and equal
+   branches).  Undeclared operators, arity mismatches and sort clashes all
+   raise {!Error} at elaboration time, so trait sources are checked before
+   any rewriting happens. *)
+let rec sort_of decls ~trait vars t =
+  match t with
+  | Term.Var x -> (
+    match List.assoc_opt x vars with
+    | Some sort -> sort
+    | None -> error "trait %s: unbound variable %s" trait x)
+  | Term.Int _ -> "Int"
+  | Term.Bool _ -> "Bool"
+  | Term.App (f, args) -> (
+    let sorts = List.map (sort_of decls ~trait vars) args in
+    let same_pair kind =
+      match sorts with
+      | [ a; b ] when String.equal a b -> a
+      | [ a; b ] ->
+        error "trait %s: %s compares %s with %s" trait kind a b
+      | _ -> error "trait %s: %s expects two arguments" trait kind
+    in
+    match f with
+    | "eq" ->
+      ignore (same_pair "equality");
+      "Bool"
+    | "lt" | "gt" | "le" | "ge" ->
+      ignore (same_pair "comparison");
+      "Bool"
+    | "add" | "sub" -> (
+      match sorts with
+      | [ "Int"; "Int" ] -> "Int"
+      | _ -> error "trait %s: arithmetic on non-integers" trait)
+    | "and" | "or" | "implies" -> (
+      match sorts with
+      | [ "Bool"; "Bool" ] -> "Bool"
+      | _ -> error "trait %s: boolean connective on non-booleans" trait)
+    | "not" -> (
+      match sorts with
+      | [ "Bool" ] -> "Bool"
+      | _ -> error "trait %s: negation of a non-boolean" trait)
+    | "ite" -> (
+      match sorts with
+      | [ "Bool"; a; b ] when String.equal a b -> a
+      | [ "Bool"; a; b ] ->
+        error "trait %s: if-branches have sorts %s and %s" trait a b
+      | _ -> error "trait %s: if-condition must be boolean" trait)
+    | _ -> (
+      match find_decl decls f with
+      | None -> error "trait %s: undeclared operator %s" trait f
+      | Some d ->
+        if List.length d.Ast.arg_sorts <> List.length sorts then
+          error "trait %s: operator %s applied to %d arguments, expects %d"
+            trait f (List.length sorts)
+            (List.length d.Ast.arg_sorts);
+        List.iteri
+          (fun i (expected, actual) ->
+            if not (String.equal expected actual) then
+              error "trait %s: argument %d of %s has sort %s, expected %s"
+                trait (i + 1) f actual expected)
+          (List.combine d.Ast.arg_sorts sorts);
+        d.Ast.result_sort))
+
+(* An equation is well-sorted when both sides infer to the same sort. *)
+let check_equation decls ~trait vars (eq : Ast.equation) =
+  let ls = sort_of decls ~trait vars eq.lhs in
+  let rs = sort_of decls ~trait vars eq.rhs in
+  if not (String.equal ls rs) then
+    error "trait %s: equation relates sort %s to sort %s (%s = %s)" trait ls
+      rs (Term.to_string eq.lhs) (Term.to_string eq.rhs)
+
+(* Elaborate one trait AST against an environment of already-elaborated
+   traits. *)
+let elaborate env (ast : Ast.trait) =
+  let included =
+    List.map
+      (fun (name, renamings) ->
+        if List.mem name builtin_names then
+          { name; decls = []; rules = []; generated = [] }
+        else
+          match List.find_opt (fun t -> String.equal t.name name) env with
+          | Some t ->
+            {
+              t with
+              decls = List.map (rename_decl renamings) t.decls;
+              rules = List.map (rename_rule renamings) t.rules;
+              generated =
+                List.map
+                  (fun (sort, ops) ->
+                    ( rename_with renamings sort,
+                      List.map (rename_with renamings) ops ))
+                  t.generated;
+            }
+          | None -> error "trait %s includes unknown trait %s" ast.t_name name)
+      ast.t_includes
+  in
+  let decls =
+    List.fold_left
+      (fun acc t -> merge_decls acc t.decls)
+      [] included
+    |> fun base -> merge_decls base ast.t_decls
+  in
+  List.iter
+    (fun eq -> check_equation decls ~trait:ast.t_name ast.t_vars eq)
+    ast.t_equations;
+  let own_rules =
+    List.map (fun (eq : Ast.equation) -> Rewrite.rule eq.lhs eq.rhs) ast.t_equations
+  in
+  let rules = List.concat_map (fun t -> t.rules) included @ own_rules in
+  let generated =
+    List.concat_map (fun t -> t.generated) included @ ast.t_generated
+  in
+  { name = ast.t_name; decls; rules; generated }
+
+(* Elaborate a whole file of traits in order, each seeing its
+   predecessors; returns the environment. *)
+let elaborate_all asts =
+  List.fold_left (fun env ast -> env @ [ elaborate env ast ]) [] asts
+
+let find env name =
+  match List.find_opt (fun t -> String.equal t.name name) env with
+  | Some t -> t
+  | None -> error "unknown trait %s" name
+
+(* Constructors of a sort per generated-by, used to recognize canonical
+   constructor terms. *)
+let generators t sort =
+  match List.assoc_opt sort t.generated with Some ops -> ops | None -> []
+
+let normalize ?fuel t term = Rewrite.normalize ?fuel t.rules term
+let decide_equal ?fuel t a b = Rewrite.decide_equal ?fuel t.rules a b

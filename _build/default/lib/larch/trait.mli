@@ -1,0 +1,53 @@
+(** Trait elaboration (Section 2.4 of the paper): resolving
+    includes/assumes/imports with renaming into a flat theory — a
+    signature, a rewrite system and the generated-by information. *)
+
+exception Error of string
+
+type t = {
+  name : string;
+  decls : Ast.decl list;
+  rules : Rewrite.rule list;
+  generated : (string * string list) list;
+}
+
+(** Built-in theory names (Boolean, Integer, TotalOrder) whose operators
+    the rewriter interprets directly. *)
+val builtin_names : string list
+
+(** Operator names interpreted by the rewriter. *)
+val builtin_ops : string list
+
+(** Sort inference for a term over declarations and sorted variables.
+    Raises {!Error} on unbound variables, undeclared operators, arity or
+    sort mismatches. *)
+val sort_of :
+  Ast.decl list -> trait:string -> (string * string) list -> Term.t -> string
+
+(** Both sides of the equation must infer to one sort. *)
+val check_equation :
+  Ast.decl list ->
+  trait:string ->
+  (string * string) list ->
+  Ast.equation ->
+  unit
+
+(** Elaborate one trait AST against already-elaborated traits.  Raises
+    {!Error} on unknown includes, conflicting or undeclared operators and
+    unbound variables. *)
+val elaborate : t list -> Ast.trait -> t
+
+(** Elaborate a list of trait ASTs in order, each seeing its
+    predecessors. *)
+val elaborate_all : Ast.trait list -> t list
+
+(** Raises {!Error} when absent. *)
+val find : t list -> string -> t
+
+(** Constructors of a sort per generated-by (empty when unspecified). *)
+val generators : t -> string -> string list
+
+val normalize : ?fuel:int -> t -> Term.t -> Term.t
+
+val decide_equal :
+  ?fuel:int -> t -> Term.t -> Term.t -> [ `Equal | `Unequal | `Unknown ]

@@ -1,0 +1,1 @@
+lib/objects/account.ml: Automaton Fmt History Int List Op Relax_core String Value

@@ -1,0 +1,1 @@
+lib/objects/account.mli: Automaton History Language Op Relax_core

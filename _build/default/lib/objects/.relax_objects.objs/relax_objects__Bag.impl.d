@@ -1,0 +1,1 @@
+lib/objects/bag.ml: Automaton Multiset Queue_ops Relax_core

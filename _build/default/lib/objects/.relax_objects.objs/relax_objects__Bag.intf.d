@@ -1,0 +1,1 @@
+lib/objects/bag.mli: Automaton Multiset Op Relax_core

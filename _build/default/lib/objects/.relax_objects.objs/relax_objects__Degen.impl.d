@@ -1,0 +1,1 @@
+lib/objects/degen.ml: Automaton Multiset Queue_ops Relax_core

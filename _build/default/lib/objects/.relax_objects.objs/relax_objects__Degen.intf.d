@@ -1,0 +1,1 @@
+lib/objects/degen.mli: Automaton Multiset Op Relax_core

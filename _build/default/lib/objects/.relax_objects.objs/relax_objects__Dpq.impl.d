@@ -1,0 +1,1 @@
+lib/objects/dpq.ml: Automaton Multiset Queue_ops Relax_core Value

@@ -1,0 +1,1 @@
+lib/objects/dpq.mli: Automaton Multiset Op Relax_core

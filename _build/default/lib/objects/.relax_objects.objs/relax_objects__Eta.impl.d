@@ -1,0 +1,1 @@
+lib/objects/eta.ml: History List Multiset Queue_ops Relax_core Value

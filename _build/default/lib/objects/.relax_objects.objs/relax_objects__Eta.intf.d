@@ -1,0 +1,1 @@
+lib/objects/eta.mli: History Multiset Relax_core Value

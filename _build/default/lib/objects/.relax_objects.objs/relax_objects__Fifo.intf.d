@@ -1,0 +1,1 @@
+lib/objects/fifo.mli: Automaton Fmt Op Relax_core Value

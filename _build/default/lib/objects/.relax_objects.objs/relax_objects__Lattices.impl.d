@@ -1,0 +1,1 @@
+lib/objects/lattices.ml: Cset Fmt List Option Relax_core Relaxation Semiqueue Ssqueue String Stuttering

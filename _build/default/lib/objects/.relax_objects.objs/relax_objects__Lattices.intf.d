@@ -1,0 +1,1 @@
+lib/objects/lattices.mli: Automaton Cset Relax_core Relaxation Semiqueue Ssqueue Stuttering

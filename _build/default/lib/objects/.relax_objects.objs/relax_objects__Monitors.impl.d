@@ -1,0 +1,1 @@
+lib/objects/monitors.ml: Automaton Fmt Queue_ops Relax_core Value

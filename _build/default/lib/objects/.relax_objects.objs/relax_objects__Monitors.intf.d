@@ -1,0 +1,1 @@
+lib/objects/monitors.mli: Automaton Relax_core Value

@@ -1,0 +1,1 @@
+lib/objects/mpq.ml: Automaton Fmt Multiset Queue_ops Relax_core Value

@@ -1,0 +1,1 @@
+lib/objects/mpq.mli: Automaton Fmt Multiset Op Relax_core

@@ -1,0 +1,1 @@
+lib/objects/multiset.ml: Fmt List Relax_core Value

@@ -1,0 +1,1 @@
+lib/objects/multiset.mli: Fmt Relax_core Value

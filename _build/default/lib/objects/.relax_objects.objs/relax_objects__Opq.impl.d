@@ -1,0 +1,1 @@
+lib/objects/opq.ml: Automaton Bag Multiset Relax_core

@@ -1,0 +1,1 @@
+lib/objects/opq.mli: Automaton Multiset Op Relax_core

@@ -1,0 +1,1 @@
+lib/objects/pqueue.ml: Automaton Multiset Queue_ops Relax_core Value

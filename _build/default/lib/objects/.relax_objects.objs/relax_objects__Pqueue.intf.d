@@ -1,0 +1,1 @@
+lib/objects/pqueue.mli: Automaton Multiset Op Relax_core

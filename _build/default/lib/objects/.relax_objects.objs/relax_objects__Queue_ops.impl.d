@@ -1,0 +1,1 @@
+lib/objects/queue_ops.ml: List Op Relax_core String Value

@@ -1,0 +1,1 @@
+lib/objects/queue_ops.mli: Language Op Relax_core Value

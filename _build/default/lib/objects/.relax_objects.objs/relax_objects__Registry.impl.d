@@ -1,0 +1,1 @@
+lib/objects/registry.ml: Automaton Bag Degen Dpq Fifo Language List Mpq Opq Pqueue Relax_core Rfq Semiqueue Ssqueue String Stuttering

@@ -1,0 +1,1 @@
+lib/objects/registry.mli: Automaton Language Relax_core

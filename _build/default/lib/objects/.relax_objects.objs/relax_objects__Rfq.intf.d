@@ -1,0 +1,1 @@
+lib/objects/rfq.mli: Automaton Fmt Op Relax_core Value

@@ -1,0 +1,1 @@
+lib/objects/semiqueue.ml: Automaton Fifo Fmt List Queue_ops Relax_core Value

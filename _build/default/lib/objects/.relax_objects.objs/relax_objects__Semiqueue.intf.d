@@ -1,0 +1,1 @@
+lib/objects/semiqueue.mli: Automaton Fmt Op Relax_core Value

@@ -1,0 +1,1 @@
+lib/objects/ssqueue.ml: Automaton Fmt List Queue_ops Relax_core Value

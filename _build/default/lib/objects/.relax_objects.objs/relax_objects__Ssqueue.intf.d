@@ -1,0 +1,1 @@
+lib/objects/ssqueue.mli: Automaton Fmt Op Relax_core Value

@@ -1,0 +1,1 @@
+lib/objects/stuttering.ml: Automaton Fifo Fmt Queue_ops Relax_core Value

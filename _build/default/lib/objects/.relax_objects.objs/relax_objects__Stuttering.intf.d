@@ -1,0 +1,1 @@
+lib/objects/stuttering.mli: Automaton Fmt Op Relax_core Value

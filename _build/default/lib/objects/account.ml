@@ -1,0 +1,63 @@
+open Relax_core
+
+(* The bank account of Section 3.4.  Credit(n)/Ok() deposits n; Debit(n)
+   returns Ok() and withdraws n when the balance suffices, and returns
+   Overdraft() leaving the balance unchanged otherwise.  Amounts are
+   strictly positive. *)
+
+let credit_name = "Credit"
+let debit_name = "Debit"
+let overdraft = "Overdraft"
+
+let credit n = Op.make credit_name ~args:[ Value.int n ]
+let debit n = Op.make debit_name ~args:[ Value.int n ]
+
+let debit_bounced n =
+  Op.make debit_name ~args:[ Value.int n ] ~term:overdraft
+
+let amount p =
+  match Op.args p with [ Value.Int n ] -> Some n | _ -> None
+
+let is_credit p = String.equal (Op.name p) credit_name && Op.term p = Op.ok
+let is_debit_ok p = String.equal (Op.name p) debit_name && Op.term p = Op.ok
+
+let is_debit_bounced p =
+  String.equal (Op.name p) debit_name && String.equal (Op.term p) overdraft
+
+type state = int
+
+let step (balance : state) p =
+  match amount p with
+  | None -> []
+  | Some n ->
+    if n <= 0 then []
+    else if is_credit p then [ balance + n ]
+    else if is_debit_ok p && balance >= n then [ balance - n ]
+    else if is_debit_bounced p && balance < n then [ balance ]
+    else []
+
+let automaton =
+  Automaton.make ~name:"Account" ~init:0 ~equal:Int.equal ~pp_state:Fmt.int
+    step
+
+(* The alphabet over a finite set of amounts: every credit, successful
+   debit and bounced debit. *)
+let alphabet amounts =
+  List.concat_map
+    (fun n -> [ credit n; debit n; debit_bounced n ])
+    amounts
+
+(* The balance a client would compute from an arbitrary sequence of
+   account operations: credits minus successful debits (the account's
+   evaluation function in the sense of Section 3.2).  Bounced debits do
+   not move money. *)
+let eval_balance (h : History.t) =
+  List.fold_left
+    (fun bal p ->
+      match amount p with
+      | None -> bal
+      | Some n ->
+        if is_credit p then bal + n
+        else if is_debit_ok p then bal - n
+        else bal)
+    0 h

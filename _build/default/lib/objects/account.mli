@@ -1,0 +1,34 @@
+open Relax_core
+
+(** The bank account of Section 3.4 of the paper.  [Credit(n)/Ok()]
+    deposits [n]; [Debit(n)/Ok()] withdraws [n] when the balance suffices;
+    [Debit(n)/Overdraft()] reports insufficient funds and leaves the
+    balance unchanged.  Amounts are strictly positive. *)
+
+val credit_name : string
+val debit_name : string
+
+(** The [Overdraft] termination condition. *)
+val overdraft : string
+
+val credit : int -> Op.t
+val debit : int -> Op.t
+val debit_bounced : int -> Op.t
+
+val amount : Op.t -> int option
+val is_credit : Op.t -> bool
+val is_debit_ok : Op.t -> bool
+val is_debit_bounced : Op.t -> bool
+
+type state = int
+
+val step : state -> Op.t -> state list
+val automaton : state Automaton.t
+
+(** The alphabet over a finite set of amounts. *)
+val alphabet : int list -> Language.alphabet
+
+(** The balance computed from an arbitrary operation sequence: credits
+    minus successful debits (the account's evaluation function in the
+    sense of Section 3.2). *)
+val eval_balance : History.t -> int

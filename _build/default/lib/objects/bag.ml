@@ -1,0 +1,18 @@
+open Relax_core
+
+(* The bag (multiset) object of Figures 2-1 and 2-2: Enq inserts an item,
+   Deq removes and returns an arbitrary item. *)
+
+type state = Multiset.t
+
+let step (q : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ Multiset.ins q e ]
+    else if Queue_ops.is_deq p && Multiset.mem q e then [ Multiset.del q e ]
+    else []
+
+let automaton =
+  Automaton.make ~name:"Bag" ~init:Multiset.empty ~equal:Multiset.equal
+    ~pp_state:Multiset.pp step

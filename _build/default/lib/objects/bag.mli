@@ -1,0 +1,11 @@
+open Relax_core
+
+(** The bag (multiset) object of Figures 2-1 and 2-2 of the paper: Enq
+    inserts an item, Deq removes and returns an arbitrary item. *)
+
+type state = Multiset.t
+
+(** The transition function, exposed for reuse by derived objects. *)
+val step : state -> Op.t -> state list
+
+val automaton : state Automaton.t

@@ -1,0 +1,26 @@
+open Relax_core
+
+(* The degenerate priority queue of Figure 3-5: both quorum constraints
+   relaxed.  Enq inserts an item; Deq returns some item of the bag without
+   necessarily removing it, so requests may be serviced repeatedly and out
+   of order.
+
+   The ensures clause in the paper (isIn(q, e) with no constraint on q')
+   admits both keeping and deleting the item; keeping it yields the same
+   language (deleting only restricts future behavior, and any history
+   accepted through a deleting run is accepted through a keeping run), so
+   the automaton keeps the state unchanged and stays deterministic. *)
+
+type state = Multiset.t
+
+let step (q : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ Multiset.ins q e ]
+    else if Queue_ops.is_deq p && Multiset.mem q e then [ q ]
+    else []
+
+let automaton =
+  Automaton.make ~name:"DegenPQ" ~init:Multiset.empty ~equal:Multiset.equal
+    ~pp_state:Multiset.pp step

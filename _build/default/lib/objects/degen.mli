@@ -1,0 +1,10 @@
+open Relax_core
+
+(** The degenerate priority queue of Figure 3-5 of the paper: both quorum
+    constraints relaxed, so Deq returns some enqueued item without removing
+    it — requests may be serviced repeatedly and out of order. *)
+
+type state = Multiset.t
+
+val step : state -> Op.t -> state list
+val automaton : state Automaton.t

@@ -1,0 +1,35 @@
+open Relax_core
+
+(* The dropping priority queue: our characterization of the Q2 point of
+   the eta' lattice that Section 3.3 sketches but does not name.
+
+   Under eta', a dequeue deletes the returned item and silently drops
+   every pending item of strictly higher priority (they were "skipped
+   over").  With Q2 kept (every Deq view contains all earlier Deqs) and Q1
+   relaxed (views may miss Enqs), a dequeuer may return any pending item e
+   — by a view missing the Enqs of everything better — after which the
+   better pending items are permanently invisible to all later dequeuers,
+   whose views contain this Deq.  Hence:
+
+     Enq(e)/Ok()   inserts e;
+     Deq()/Ok(e)   requires e pending, removes e and drops every pending
+                   item of strictly higher priority.
+
+   Requests are never serviced out of order (a skipped request is never
+   serviced later), but requests may be ignored.  The bounded equality
+   L(QCA(PQ, Q2, eta')) = L(DPQ) is checked in the test-suite. *)
+
+type state = Multiset.t
+
+let step (q : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ Multiset.ins q e ]
+    else if Queue_ops.is_deq p && Multiset.mem q e then
+      [ Multiset.filter (fun x -> Value.compare x e <= 0) (Multiset.del q e) ]
+    else []
+
+let automaton =
+  Automaton.make ~name:"DPQ" ~init:Multiset.empty ~equal:Multiset.equal
+    ~pp_state:Multiset.pp step

@@ -1,0 +1,12 @@
+open Relax_core
+
+(** The dropping priority queue: the characterization of the Q2 point of
+    the [eta'] lattice sketched in Section 3.3 of the paper.  Deq returns
+    any pending item, removing it and dropping every pending item of
+    strictly higher priority — never out of order, but requests may be
+    ignored. *)
+
+type state = Multiset.t
+
+val step : state -> Op.t -> state list
+val automaton : state Automaton.t

@@ -1,0 +1,71 @@
+open Relax_core
+
+(* The evaluation functions of Section 3.3.
+
+   An evaluation function eta extends a simple object automaton's delta* to
+   arbitrary operation sequences, assigning an application-specific meaning
+   to histories outside L(A).  For the replicated priority queue the paper
+   uses
+
+     eta(Lambda)            = emp
+     eta(H . Enq(e)/Ok())   = ins(eta(H), e)
+     eta(H . Deq()/Ok(e))   = del(eta(H), e)
+
+   and sketches a variant eta' that, upon a dequeue, also deletes the
+   higher-priority requests that were skipped over — producing a lattice
+   whose relaxed points never service requests out of order but may ignore
+   requests. *)
+
+let eta (h : History.t) : Multiset.t =
+  List.fold_left
+    (fun q p ->
+      match Queue_ops.element p with
+      | None -> q
+      | Some e ->
+        if Queue_ops.is_enq p then Multiset.ins q e
+        else if Queue_ops.is_deq p then Multiset.del q e
+        else q)
+    Multiset.empty h
+
+let eta' (h : History.t) : Multiset.t =
+  List.fold_left
+    (fun q p ->
+      match Queue_ops.element p with
+      | None -> q
+      | Some e ->
+        if Queue_ops.is_enq p then Multiset.ins q e
+        else if Queue_ops.is_deq p then
+          (* Delete the dequeued occurrence, then drop every request that
+             was skipped over (priority strictly above e). *)
+          Multiset.filter
+            (fun x -> Value.compare x e <= 0)
+            (Multiset.del q e)
+        else q)
+    Multiset.empty h
+
+(* Both evaluation functions agree with the priority queue's delta* on
+   legal priority-queue histories; the test-suite checks this agreement by
+   enumeration. *)
+
+(* The sequence-valued evaluation function for the replicated FIFO queue
+   (the paper's Section 3.1 example): Enq appends at the tail, Deq
+   deletes the earliest occurrence of the returned value (a no-op when
+   the value is not present, mirroring del on bags).  Total on arbitrary
+   sequences; agrees with the FIFO queue's delta* on legal histories. *)
+let eta_fifo (h : History.t) : Value.t list =
+  let remove_first v q =
+    let rec go = function
+      | [] -> []
+      | x :: rest -> if Value.equal x v then rest else x :: go rest
+    in
+    go q
+  in
+  List.fold_left
+    (fun q p ->
+      match Queue_ops.element p with
+      | None -> q
+      | Some e ->
+        if Queue_ops.is_enq p then q @ [ e ]
+        else if Queue_ops.is_deq p then remove_first e q
+        else q)
+    [] h

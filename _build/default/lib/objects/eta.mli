@@ -1,0 +1,19 @@
+open Relax_core
+
+(** Evaluation functions for the replicated priority queue (Section 3.3 of
+    the paper).  An evaluation function extends [delta*] to arbitrary
+    operation sequences, assigning an application-specific meaning to
+    histories outside [L(A)]. *)
+
+(** The paper's [eta]: Enq inserts, Deq deletes; total on all sequences. *)
+val eta : History.t -> Multiset.t
+
+(** The paper's variant [eta']: a dequeue also deletes the higher-priority
+    requests that were skipped over, so relaxed behaviors never service
+    requests out of order but may ignore requests. *)
+val eta' : History.t -> Multiset.t
+
+(** The sequence-valued evaluation function for the replicated FIFO queue
+    (Section 3.1's motivating example): Enq appends, Deq deletes the
+    earliest occurrence of the returned value. *)
+val eta_fifo : History.t -> Value.t list

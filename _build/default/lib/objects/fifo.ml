@@ -1,0 +1,24 @@
+open Relax_core
+
+(* The FIFO queue of Figures 2-3 and 2-4: Enq appends at the tail, Deq
+   removes and returns the item at the head.  The state is the sequence of
+   items, head first. *)
+
+type state = Value.t list
+
+let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+let pp ppf q = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Value.pp) q
+
+let step (q : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ q @ [ e ] ]
+    else if Queue_ops.is_deq p then
+      match q with
+      | first :: rest when Value.equal first e -> [ rest ]
+      | _ -> []
+    else []
+
+let automaton =
+  Automaton.make ~name:"FifoQ" ~init:[] ~equal ~pp_state:pp step

@@ -1,0 +1,12 @@
+open Relax_core
+
+(** The FIFO queue of Figures 2-3 and 2-4 of the paper: Enq appends at the
+    tail, Deq removes and returns the head.  The state is the sequence of
+    items, head first. *)
+
+type state = Value.t list
+
+val equal : state -> state -> bool
+val pp : state Fmt.t
+val step : state -> Op.t -> state list
+val automaton : state Automaton.t

@@ -1,0 +1,86 @@
+open Relax_core
+
+(* The atomic-queue relaxation lattices of Section 4.2.
+
+   The constraint C_k states that no more than k active transactions have
+   executed Deq operations.  Over the sublattice of nonempty constraint
+   subsets B, the lattice homomorphism maps B to the behavior indexed by
+   the *lowest* index present: as long as C_k holds, the optimistic
+   implementation behaves like Semiqueue_k and the pessimistic one like
+   Stuttering_k (Figure 4-2). *)
+
+let constraint_name k = Fmt.str "C%d" k
+
+(* Parses "C3" back to 3. *)
+let constraint_index name =
+  if String.length name < 2 || name.[0] <> 'C' then None
+  else
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some k when k > 0 -> Some k
+    | _ -> None
+
+let lowest_index c =
+  Cset.to_list c
+  |> List.filter_map constraint_index
+  |> List.fold_left
+       (fun acc k -> match acc with None -> Some k | Some a -> Some (min a k))
+       None
+
+(* A lattice over constraints C_1 .. C_n whose phi picks the behavior of
+   the lowest index present; the domain is the nonempty subsets. *)
+let of_indexed_family ~name ~n behavior =
+  Relaxation.make ~name
+    ~constraints:(List.init n (fun i -> constraint_name (i + 1)))
+    ~in_domain:(fun c -> not (Cset.is_empty c))
+    (fun c ->
+      match lowest_index c with
+      | Some k -> behavior k
+      | None -> invalid_arg "Lattices: empty constraint set")
+
+(* The "optimistic" lattice of Section 4.2.1: phi(B) = Semiqueue_k where
+   C_k is the element of B with the lowest index. *)
+let semiqueue ~n = of_indexed_family ~name:"semiqueue" ~n Semiqueue.automaton
+
+(* The "pessimistic" lattice of Section 4.2.2: phi(B) = Stuttering_j queue
+   where C_j is the element of B with the lowest index. *)
+let stuttering ~n = of_indexed_family ~name:"stuttering" ~n Stuttering.automaton
+
+(* The combined lattice: phi(B) = SSqueue_{k,k}.  Also exposed with an
+   independent stutter bound for experimentation. *)
+let ssqueue ?j ~n () =
+  of_indexed_family ~name:"ssqueue" ~n (fun k ->
+      let j = Option.value j ~default:k in
+      Ssqueue.automaton ~j ~k)
+
+(* The two-dimensional combined lattice of Section 4.2.2's closing remark:
+   stutter constraints S_j ("no item is returned more than j times") and
+   window constraints W_k ("no more than k concurrent dequeuers") vary
+   independently, and phi(B) = SSqueue_{j,k} with j (k) the lowest stutter
+   (window) index present.  The domain is the subsets containing at least
+   one constraint of each family; SSqueue_{1,1} at the top is the FIFO
+   queue. *)
+let indexed_name prefix k = Fmt.str "%s%d" prefix k
+
+let lowest_indexed prefix c =
+  Cset.to_list c
+  |> List.filter_map (fun name ->
+         let pl = String.length prefix in
+         if
+           String.length name > pl
+           && String.equal (String.sub name 0 pl) prefix
+         then int_of_string_opt (String.sub name pl (String.length name - pl))
+         else None)
+  |> List.fold_left
+       (fun acc k -> match acc with None -> Some k | Some a -> Some (min a k))
+       None
+
+let ssqueue2d ~n =
+  let stutters = List.init n (fun i -> indexed_name "S" (i + 1)) in
+  let windows = List.init n (fun i -> indexed_name "W" (i + 1)) in
+  Relaxation.make ~name:"ssqueue-2d" ~constraints:(stutters @ windows)
+    ~in_domain:(fun c ->
+      lowest_indexed "S" c <> None && lowest_indexed "W" c <> None)
+    (fun c ->
+      match (lowest_indexed "S" c, lowest_indexed "W" c) with
+      | Some j, Some k -> Ssqueue.automaton ~j ~k
+      | None, _ | _, None -> invalid_arg "Lattices.ssqueue2d: outside domain")

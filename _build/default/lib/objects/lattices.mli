@@ -1,0 +1,44 @@
+open Relax_core
+
+(** The atomic-queue relaxation lattices of Section 4.2 of the paper.
+
+    The constraint [C_k] states that no more than [k] active transactions
+    have executed Deq operations.  Over the sublattice of nonempty
+    constraint subsets [B], the lattice homomorphism maps [B] to the
+    behavior indexed by the {e lowest} index present (Figure 4-2). *)
+
+(** [constraint_name k] is ["Ck"]. *)
+val constraint_name : int -> string
+
+(** Parses ["C3"] back to [3]; [None] on malformed names. *)
+val constraint_index : string -> int option
+
+(** The lowest constraint index present in a set. *)
+val lowest_index : Cset.t -> int option
+
+(** Generic lowest-index lattice over [C_1 .. C_n]. *)
+val of_indexed_family :
+  name:string -> n:int -> (int -> 'v Automaton.t) -> 'v Relaxation.t
+
+(** The optimistic lattice of Section 4.2.1: [phi(B) = Semiqueue_k]. *)
+val semiqueue : n:int -> Semiqueue.state Relaxation.t
+
+(** The pessimistic lattice of Section 4.2.2: [phi(B) = Stuttering_j]. *)
+val stuttering : n:int -> Stuttering.state Relaxation.t
+
+(** The combined lattice: [phi(B) = SSqueue_{j,k}] with [j] defaulting to
+    [k]. *)
+val ssqueue : ?j:int -> n:int -> unit -> Ssqueue.state Relaxation.t
+
+(** ["S3"], ["W2"], ... *)
+val indexed_name : string -> int -> string
+
+(** Lowest index among constraints carrying the given prefix. *)
+val lowest_indexed : string -> Cset.t -> int option
+
+(** The two-dimensional combined lattice of Section 4.2.2's closing
+    remark: stutter constraints [S_j] and window constraints [W_k] vary
+    independently and [phi(B) = SSqueue_{j,k}] picks the lowest index of
+    each family; the domain requires one constraint of each family.
+    [SSqueue_{1,1}] at the top is the FIFO queue. *)
+val ssqueue2d : n:int -> Ssqueue.state Relaxation.t

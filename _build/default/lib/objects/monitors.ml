@@ -1,0 +1,34 @@
+open Relax_core
+
+(* Monitor automata: product with one of these restricts exploration to a
+   disciplined sub-language.
+
+   [distinct_enqueues] rejects a second Enq of a value already enqueued.
+   Sequence specifications written with the Bag [del] operator (Figure 4-1)
+   are ambiguous about *which* occurrence of a duplicated value a dequeue
+   removes; over distinct-value runs the ambiguity vanishes, so conformance
+   of the Semiqueue model is checked against the product with this
+   monitor (see DESIGN.md). *)
+
+let distinct_enqueues =
+  let step (seen : Value.Set.t) p =
+    match Queue_ops.element p with
+    | None -> []
+    | Some e ->
+      if Queue_ops.is_enq p then
+        if Value.Set.mem e seen then [] else [ Value.Set.add e seen ]
+      else [ seen ]
+  in
+  Automaton.make ~name:"distinct-enqueues" ~init:Value.Set.empty
+    ~equal:Value.Set.equal
+    ~pp_state:(fun ppf s ->
+      Fmt.pf ppf "{%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") Value.pp)
+        (Value.Set.elements s))
+    step
+
+(* Restrict any queue-family automaton to distinct-value runs. *)
+let with_distinct_enqueues a =
+  Automaton.product
+    ~name:(Automaton.name a ^ "/distinct")
+    a distinct_enqueues

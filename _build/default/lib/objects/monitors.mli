@@ -1,0 +1,10 @@
+open Relax_core
+
+(** Monitor automata restricting exploration to disciplined
+    sub-languages. *)
+
+(** Rejects a second Enq of an already-enqueued value. *)
+val distinct_enqueues : Value.Set.t Automaton.t
+
+(** Product of a queue-family automaton with {!distinct_enqueues}. *)
+val with_distinct_enqueues : 'v Automaton.t -> ('v * Value.Set.t) Automaton.t

@@ -1,0 +1,53 @@
+open Relax_core
+
+(* The multi-priority queue of Figure 3-3: the degraded behavior of the
+   replicated priority queue when Deq quorums need not intersect (Q2
+   relaxed, Q1 kept).  Requests may be serviced several times, but no
+   unserviced higher-priority request is ever passed over: Deq either
+   transfers the best item of [present] to [absent] and returns it, or
+   re-returns an item from [absent] whose priority exceeds everything in
+   [present]. *)
+
+type state = { present : Multiset.t; absent : Multiset.t }
+
+let init = { present = Multiset.empty; absent = Multiset.empty }
+
+let equal a b =
+  Multiset.equal a.present b.present && Multiset.equal a.absent b.absent
+
+let pp ppf s =
+  Fmt.pf ppf "<present=%a, absent=%a>" Multiset.pp s.present Multiset.pp
+    s.absent
+
+let step (s : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then
+      [ { s with present = Multiset.ins s.present e } ]
+    else if Queue_ops.is_deq p then begin
+      (* First disjunct of the Deq postcondition: e previously dequeued and
+         better than everything pending; state unchanged. *)
+      let replay =
+        if Multiset.mem s.absent e && Multiset.all_less_than s.present e then
+          [ s ]
+        else []
+      in
+      (* Second disjunct: e is the best pending item; transfer it. *)
+      let transfer =
+        match Multiset.best s.present with
+        | Some b when Value.equal b e ->
+          [
+            {
+              present = Multiset.del s.present e;
+              absent = Multiset.ins s.absent e;
+            };
+          ]
+        | Some _ | None -> []
+      in
+      replay @ transfer
+    end
+    else []
+
+let automaton =
+  Automaton.make ~name:"MPQ" ~init ~equal ~pp_state:pp step

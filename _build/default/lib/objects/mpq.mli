@@ -1,0 +1,18 @@
+open Relax_core
+
+(** The multi-priority queue of Figure 3-3 of the paper: the degraded
+    behavior of the replicated priority queue when Deq quorums need not
+    intersect (constraint Q2 relaxed, Q1 kept).  Requests may be serviced
+    several times, but no unserviced higher-priority request is ever passed
+    over in favor of a lower-priority one. *)
+
+type state = {
+  present : Multiset.t;  (** enqueued but not yet dequeued *)
+  absent : Multiset.t;  (** previously dequeued *)
+}
+
+val init : state
+val equal : state -> state -> bool
+val pp : state Fmt.t
+val step : state -> Op.t -> state list
+val automaton : state Automaton.t

@@ -1,0 +1,50 @@
+open Relax_core
+
+(* Finite multisets of values, the semantic model of the Bag trait
+   (Figure 2-1).  Represented as a sorted list so that structural equality
+   coincides with multiset equality. *)
+
+type t = Value.t list
+
+let empty = []
+let is_empty b = b = []
+
+let rec ins b e =
+  match b with
+  | [] -> [ e ]
+  | x :: rest -> if Value.compare e x <= 0 then e :: b else x :: ins rest e
+
+(* del removes one occurrence; absent elements are ignored, matching the
+   Bag axiom del(emp, e) = emp. *)
+let rec del b e =
+  match b with
+  | [] -> []
+  | x :: rest -> if Value.equal x e then rest else x :: del rest e
+
+let mem b e = List.exists (Value.equal e) b
+let count b e = List.length (List.filter (Value.equal e) b)
+let cardinal = List.length
+let of_list vs = List.sort Value.compare vs
+let to_list b = b
+let elements b = List.sort_uniq Value.compare b
+
+(* The highest-priority element (the PQueue trait's [best]); the list is
+   sorted ascending so best is the last element. *)
+let best b =
+  match b with
+  | [] -> None
+  | _ :: _ -> Some (List.nth b (List.length b - 1))
+
+(* [all_greater b e] holds when e is strictly greater than every element of
+   [b]; vacuously true on the empty multiset. *)
+let all_less_than b e = List.for_all (fun x -> Value.compare x e < 0) b
+
+let union a b = List.fold_left ins a b
+let filter = List.filter
+let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+let compare = Value.compare_lists
+
+let pp ppf b =
+  Fmt.pf ppf "{|%a|}" (Fmt.list ~sep:(Fmt.any ", ") Value.pp) b
+
+let to_string b = Fmt.str "%a" pp b

@@ -1,0 +1,42 @@
+open Relax_core
+
+(** Finite multisets of values: the semantic model of the Bag trait
+    (Figure 2-1 of the paper).  Represented canonically (sorted) so that
+    structural equality coincides with multiset equality. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** Insert one occurrence. *)
+val ins : t -> Value.t -> t
+
+(** Remove one occurrence; absent elements are ignored, matching the Bag
+    axiom [del(emp, e) = emp]. *)
+val del : t -> Value.t -> t
+
+val mem : t -> Value.t -> bool
+val count : t -> Value.t -> int
+val cardinal : t -> int
+val of_list : Value.t list -> t
+
+(** Occurrences in ascending order. *)
+val to_list : t -> Value.t list
+
+(** Distinct elements in ascending order. *)
+val elements : t -> Value.t list
+
+(** The maximum element (the PQueue trait's [best]), [None] when empty. *)
+val best : t -> Value.t option
+
+(** [all_less_than b e] holds when [e] is strictly greater than every
+    element of [b]; vacuously true on the empty multiset. *)
+val all_less_than : t -> Value.t -> bool
+
+val union : t -> t -> t
+val filter : (Value.t -> bool) -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,12 @@
+open Relax_core
+
+(* The out-of-order priority queue of Figure 3-4: the degraded behavior of
+   the replicated priority queue when Enq and Deq quorums need not
+   intersect (Q1 relaxed, Q2 kept).  Requests may be serviced out of order
+   but never more than once — behaviorally a bag. *)
+
+type state = Multiset.t
+
+let step = Bag.step
+
+let automaton = Automaton.rename Bag.automaton "OPQ"

@@ -1,0 +1,22 @@
+open Relax_core
+
+(* The priority queue of Figures 3-1 and 3-2: Enq inserts an item, Deq
+   removes and returns the best (highest-priority) item.  Priorities are
+   the total order on values. *)
+
+type state = Multiset.t
+
+let step (q : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ Multiset.ins q e ]
+    else if Queue_ops.is_deq p then
+      match Multiset.best q with
+      | Some b when Value.equal b e -> [ Multiset.del q e ]
+      | Some _ | None -> []
+    else []
+
+let automaton =
+  Automaton.make ~name:"PQ" ~init:Multiset.empty ~equal:Multiset.equal
+    ~pp_state:Multiset.pp step

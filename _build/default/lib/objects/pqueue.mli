@@ -1,0 +1,10 @@
+open Relax_core
+
+(** The priority queue of Figures 3-1 and 3-2 of the paper: Enq inserts an
+    item, Deq removes and returns the best (highest-priority) item.
+    Priorities are the total order on values. *)
+
+type state = Multiset.t
+
+val step : state -> Op.t -> state list
+val automaton : state Automaton.t

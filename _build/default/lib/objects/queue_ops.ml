@@ -1,0 +1,35 @@
+open Relax_core
+
+(* Operation constructors and finite alphabets for the queue family.  All
+   queue-like objects in the paper share the Enq/Deq vocabulary, which lets
+   their languages be compared directly. *)
+
+let enq_name = "Enq"
+let deq_name = "Deq"
+
+(* Enq(e)/Ok() *)
+let enq e = Op.make enq_name ~args:[ e ] ~results:[]
+
+(* Deq()/Ok(e) *)
+let deq e = Op.make deq_name ~args:[] ~results:[ e ]
+
+let enq_int i = enq (Value.int i)
+let deq_int i = deq (Value.int i)
+
+let is_enq p = String.equal (Op.name p) enq_name && Op.term p = Op.ok
+let is_deq p = String.equal (Op.name p) deq_name && Op.term p = Op.ok
+
+(* The enqueued element of an Enq, the returned element of a Deq. *)
+let element p =
+  if is_enq p then
+    match Op.args p with [ e ] -> Some e | _ -> None
+  else if is_deq p then
+    match Op.results p with [ e ] -> Some e | _ -> None
+  else None
+
+(* The full Enq/Deq alphabet over a finite element universe. *)
+let alphabet elems = List.map enq elems @ List.map deq elems
+
+(* The canonical small universes used throughout the test-suite and the
+   experiment harness. *)
+let universe n = List.init n (fun i -> Value.int (i + 1))

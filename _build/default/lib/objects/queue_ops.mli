@@ -1,0 +1,30 @@
+open Relax_core
+
+(** Operation constructors and finite alphabets for the queue family.
+
+    All queue-like objects in the paper share the Enq/Deq vocabulary, which
+    lets their languages be compared directly. *)
+
+val enq_name : string
+val deq_name : string
+
+(** [enq e] is the execution [Enq(e)/Ok()]. *)
+val enq : Value.t -> Op.t
+
+(** [deq e] is the execution [Deq()/Ok(e)]. *)
+val deq : Value.t -> Op.t
+
+val enq_int : int -> Op.t
+val deq_int : int -> Op.t
+val is_enq : Op.t -> bool
+val is_deq : Op.t -> bool
+
+(** The enqueued element of an Enq, the returned element of a Deq, [None]
+    for foreign operations. *)
+val element : Op.t -> Value.t option
+
+(** The full Enq/Deq alphabet over a finite element universe. *)
+val alphabet : Value.t list -> Language.alphabet
+
+(** [universe n] is the element universe [{1, ..., n}]. *)
+val universe : int -> Value.t list

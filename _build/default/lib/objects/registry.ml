@@ -1,0 +1,57 @@
+open Relax_core
+
+(* A registry of the named behaviors in this reproduction, packaged
+   existentially so heterogeneous state types can be enumerated, compared
+   (Language.classify) and referenced from the command line. *)
+
+type packed = Packed : 'v Automaton.t -> packed
+
+type entry = {
+  name : string;
+  description : string;
+  behavior : packed;
+}
+
+let entries =
+  [
+    { name = "FIFO"; description = "FIFO queue (Figures 2-3/2-4)";
+      behavior = Packed Fifo.automaton };
+    { name = "Bag"; description = "bag / out-of-order PQ (Figures 2-1/3-4)";
+      behavior = Packed Bag.automaton };
+    { name = "PQ"; description = "priority queue (Figures 3-1/3-2)";
+      behavior = Packed Pqueue.automaton };
+    { name = "MPQ"; description = "multi-priority queue (Figure 3-3)";
+      behavior = Packed Mpq.automaton };
+    { name = "OPQ"; description = "out-of-order priority queue (Figure 3-4)";
+      behavior = Packed Opq.automaton };
+    { name = "DegenPQ"; description = "degenerate priority queue (Figure 3-5)";
+      behavior = Packed Degen.automaton };
+    { name = "DPQ"; description = "dropping priority queue (eta' at {Q2})";
+      behavior = Packed Dpq.automaton };
+    { name = "RFQ"; description = "replayable FIFO queue (eta_fifo at {Q1})";
+      behavior = Packed Rfq.automaton };
+    { name = "Semiqueue2"; description = "Semiqueue_2 (Figure 4-1)";
+      behavior = Packed (Semiqueue.automaton 2) };
+    { name = "Semiqueue3"; description = "Semiqueue_3 (Figure 4-1)";
+      behavior = Packed (Semiqueue.automaton 3) };
+    { name = "Stuttering2"; description = "Stuttering_2 queue (Figure 4-3)";
+      behavior = Packed (Stuttering.automaton 2) };
+    { name = "Stuttering3"; description = "Stuttering_3 queue (Figure 4-3)";
+      behavior = Packed (Stuttering.automaton 3) };
+    { name = "SSqueue22"; description = "SSqueue_{2,2} (Section 4.2.2)";
+      behavior = Packed (Ssqueue.automaton ~j:2 ~k:2) };
+  ]
+
+let names = List.map (fun e -> e.name) entries
+
+let find name =
+  List.find_opt (fun e -> String.equal e.name name) entries
+
+(* Compare two registered behaviors by bounded language classification. *)
+let classify ~alphabet ~depth a b =
+  match (find a, find b) with
+  | Some ea, Some eb ->
+    let (Packed aa) = ea.behavior in
+    let (Packed ab) = eb.behavior in
+    Some (Language.classify aa ab ~alphabet ~depth)
+  | _ -> None

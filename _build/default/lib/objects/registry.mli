@@ -1,0 +1,27 @@
+open Relax_core
+
+(** A registry of the named behaviors in this reproduction, packaged
+    existentially so heterogeneous state types can be enumerated and
+    compared from the command line (Section 5's comparison of
+    specifications). *)
+
+type packed = Packed : 'v Automaton.t -> packed
+
+type entry = {
+  name : string;
+  description : string;
+  behavior : packed;
+}
+
+val entries : entry list
+val names : string list
+val find : string -> entry option
+
+(** Bounded language classification of two registered behaviors; [None]
+    when a name is unknown. *)
+val classify :
+  alphabet:Language.alphabet ->
+  depth:int ->
+  string ->
+  string ->
+  Language.classification option

@@ -1,0 +1,59 @@
+open Relax_core
+
+(* The replayable FIFO queue: our characterization of the {Q1}-point of
+   the replicated FIFO queue lattice (the paper's Section 3.1 motivating
+   example — the three-site queue log — which the paper replicates but
+   never characterizes).
+
+   With Q1 kept (every Deq view contains every Enq) and Q2 relaxed (views
+   may miss Deqs), a dequeuer always returns the enqueue-earliest item
+   not served *in its view*: either the true head, or a replay of an
+   already-served item all of whose enqueue-predecessors were served.  By
+   induction the set of served positions is always a prefix of the
+   enqueue order, so the behavior is:
+
+     Enq(e)/Ok()   appends e;
+     Deq()/Ok(e)   returns the item at some position p <= boundary, where
+                   boundary = number of distinct positions served so far;
+                   p = boundary serves a new item (advancing the
+                   boundary), p < boundary replays.
+
+   Items are served in FIFO order, but may be served repeatedly — the
+   replication-side mirror of the stuttering queue of Section 4.2, with
+   an unbounded replay window.  The bounded equality
+   L(QCA(FIFO, Q1, eta_fifo)) = L(RFQ) is checked in the experiments. *)
+
+type state = { items : Value.t list; boundary : int }
+
+let init = { items = []; boundary = 0 }
+
+let equal a b = a.boundary = b.boundary && Fifo.equal a.items b.items
+
+let pp ppf s =
+  Fmt.pf ppf "<items=%a, served<%d>" Fifo.pp s.items s.boundary
+
+let step (s : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ { s with items = s.items @ [ e ] } ]
+    else if Queue_ops.is_deq p then begin
+      let replay =
+        (* any already-served position holding e *)
+        if
+          List.exists
+            (fun (i, x) -> i < s.boundary && Value.equal x e)
+            (List.mapi (fun i x -> (i, x)) s.items)
+        then [ s ]
+        else []
+      in
+      let advance =
+        match List.nth_opt s.items s.boundary with
+        | Some x when Value.equal x e -> [ { s with boundary = s.boundary + 1 } ]
+        | Some _ | None -> []
+      in
+      replay @ advance
+    end
+    else []
+
+let automaton = Automaton.make ~name:"RFQ" ~init ~equal ~pp_state:pp step

@@ -1,0 +1,17 @@
+open Relax_core
+
+(** The replayable FIFO queue: the characterization of the {Q1} point of
+    the replicated FIFO queue lattice (the paper's Section 3.1 motivating
+    example).  Items are served in FIFO order but the served prefix may
+    be replayed — the replication-side mirror of the stuttering queue. *)
+
+type state = {
+  items : Value.t list;  (** every item ever enqueued, in order *)
+  boundary : int;  (** number of distinct positions served *)
+}
+
+val init : state
+val equal : state -> state -> bool
+val pp : state Fmt.t
+val step : state -> Op.t -> state list
+val automaton : state Automaton.t

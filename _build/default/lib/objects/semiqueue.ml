@@ -1,0 +1,39 @@
+open Relax_core
+
+(* Semiqueue_k (Figure 4-1): a sequence in which Enq appends at the tail
+   and Deq deletes and returns any of the first k items.  Semiqueue_1 is
+   the FIFO queue; Semiqueue_n for n at least the queue length is the bag.
+   This is the "optimistic" relaxation of the atomic FIFO queue: a
+   dequeuer skips items tentatively dequeued by at most k-1 concurrent
+   transactions. *)
+
+type state = Value.t list
+
+let equal = Fifo.equal
+let pp = Fifo.pp
+
+(* Removing position i from q.  Distinct positions holding equal values
+   yield distinct successor sequences, so every qualifying position
+   produces a transition (deduplicated by the automaton machinery). *)
+let remove_at q i =
+  List.filteri (fun j _ -> j <> i) q
+
+let step ~k (q : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ q @ [ e ] ]
+    else if Queue_ops.is_deq p then
+      let positions =
+        List.mapi (fun i x -> (i, x)) q
+        |> List.filter (fun (i, x) -> i < k && Value.equal x e)
+        |> List.map fst
+      in
+      List.map (remove_at q) positions
+    else []
+
+let automaton k =
+  if k < 1 then invalid_arg "Semiqueue.automaton: k must be positive";
+  Automaton.make
+    ~name:(Fmt.str "Semiqueue(%d)" k)
+    ~init:[] ~equal ~pp_state:pp (step ~k)

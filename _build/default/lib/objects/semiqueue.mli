@@ -1,0 +1,15 @@
+open Relax_core
+
+(** Semiqueue_k (Figure 4-1 of the paper): Enq appends at the tail, Deq
+    deletes and returns any of the first [k] items.  [Semiqueue_1] is the
+    FIFO queue; [Semiqueue_n] for [n] at least the queue length is the bag.
+    This is the "optimistic" relaxation of the atomic FIFO queue. *)
+
+type state = Value.t list
+
+val equal : state -> state -> bool
+val pp : state Fmt.t
+val step : k:int -> state -> Op.t -> state list
+
+(** [automaton k] raises [Invalid_argument] when [k < 1]. *)
+val automaton : int -> state Automaton.t

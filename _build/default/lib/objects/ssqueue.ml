@@ -1,0 +1,51 @@
+open Relax_core
+
+(* SSqueue_{j,k} (Section 4.2.2): the combination of the semiqueue and
+   stuttering relaxations — any of the first k items may be returned up to
+   j times, the last time upon removal.  SSqueue_{1,1} is the FIFO queue,
+   SSqueue_{1,k} is Semiqueue_k and SSqueue_{j,1} is Stuttering_j (all
+   three collapses are checked in the test-suite by bounded language
+   equivalence).  Each item carries its own stutter counter. *)
+
+type state = (Value.t * int) list
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x, c) (y, d) -> Value.equal x y && c = d)
+       a b
+
+let pp ppf s =
+  let item ppf (v, c) =
+    if c = 0 then Value.pp ppf v else Fmt.pf ppf "%a^%d" Value.pp v c
+  in
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") item) s
+
+let remove_at q i = List.filteri (fun j _ -> j <> i) q
+
+let bump_at q i =
+  List.mapi (fun j (v, c) -> if j = i then (v, c + 1) else (v, c)) q
+
+let step ~j ~k (s : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ s @ [ (e, 0) ] ]
+    else if Queue_ops.is_deq p then
+      let positions =
+        List.mapi (fun i x -> (i, x)) s
+        |> List.filter (fun (i, (v, _)) -> i < k && Value.equal v e)
+      in
+      List.concat_map
+        (fun (i, (_, c)) ->
+          let remove = remove_at s i in
+          if c < j - 1 then [ remove; bump_at s i ] else [ remove ])
+        positions
+    else []
+
+let automaton ~j ~k =
+  if j < 1 || k < 1 then
+    invalid_arg "Ssqueue.automaton: j and k must be positive";
+  Automaton.make
+    ~name:(Fmt.str "SSqueue(%d,%d)" j k)
+    ~init:[] ~equal ~pp_state:pp (step ~j ~k)

@@ -1,0 +1,16 @@
+open Relax_core
+
+(** SSqueue_{j,k} (Section 4.2.2 of the paper): the combination of the
+    semiqueue and stuttering relaxations — any of the first [k] items may
+    be returned up to [j] times, the last time upon removal.
+    [SSqueue_{1,1}] is the FIFO queue, [SSqueue_{1,k}] is [Semiqueue_k],
+    and [SSqueue_{j,1}] is [Stuttering_j]. *)
+
+type state = (Value.t * int) list
+
+val equal : state -> state -> bool
+val pp : state Fmt.t
+val step : j:int -> k:int -> state -> Op.t -> state list
+
+(** [automaton ~j ~k] raises [Invalid_argument] when [j < 1] or [k < 1]. *)
+val automaton : j:int -> k:int -> state Automaton.t

@@ -1,0 +1,41 @@
+open Relax_core
+
+(* Stuttering_j queue (Figure 4-3): a FIFO queue whose head may be returned
+   up to j times before it is removed.  This is the "pessimistic"
+   relaxation of the atomic FIFO queue: a dequeuer assumes concurrent
+   dequeuers will abort and re-returns the same head.
+
+   The paper's ensures clause is vacuous once count = j; we implement the
+   tight reading recorded in DESIGN.md, which makes Stuttering_1 exactly
+   the FIFO queue: Deq either removes the head (resetting the count) or,
+   when count < j - 1, returns the head in place and increments the count,
+   so the head is returned at most j times in total, the last time upon
+   removal. *)
+
+type state = { items : Value.t list; count : int }
+
+let init = { items = []; count = 0 }
+
+let equal a b = a.count = b.count && Fifo.equal a.items b.items
+
+let pp ppf s = Fmt.pf ppf "<items=%a, count=%d>" Fifo.pp s.items s.count
+
+let step ~j (s : state) p =
+  match Queue_ops.element p with
+  | None -> []
+  | Some e ->
+    if Queue_ops.is_enq p then [ { s with items = s.items @ [ e ] } ]
+    else if Queue_ops.is_deq p then
+      match s.items with
+      | first :: rest when Value.equal first e ->
+        let remove = { items = rest; count = 0 } in
+        if s.count < j - 1 then [ remove; { s with count = s.count + 1 } ]
+        else [ remove ]
+      | _ -> []
+    else []
+
+let automaton j =
+  if j < 1 then invalid_arg "Stuttering.automaton: j must be positive";
+  Automaton.make
+    ~name:(Fmt.str "Stuttering(%d)" j)
+    ~init ~equal ~pp_state:pp (step ~j)

@@ -1,0 +1,17 @@
+open Relax_core
+
+(** Stuttering_j queue (Figure 4-3 of the paper): a FIFO queue whose head
+    may be returned up to [j] times before it is removed — the
+    "pessimistic" relaxation of the atomic FIFO queue.  [Stuttering_1] is
+    the FIFO queue.  See DESIGN.md for the tight reading of the paper's
+    ensures clause implemented here. *)
+
+type state = { items : Value.t list; count : int }
+
+val init : state
+val equal : state -> state -> bool
+val pp : state Fmt.t
+val step : j:int -> state -> Op.t -> state list
+
+(** [automaton j] raises [Invalid_argument] when [j < 1]. *)
+val automaton : int -> state Automaton.t

@@ -1,0 +1,1 @@
+lib/prob/markov.ml: Array Float Fmt List Matrix Relax_sim String

@@ -1,0 +1,1 @@
+lib/prob/markov.mli: Matrix Relax_sim

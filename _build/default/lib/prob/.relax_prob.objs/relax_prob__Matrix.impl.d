@@ -1,0 +1,1 @@
+lib/prob/matrix.ml: Array Float Fmt List

@@ -1,0 +1,1 @@
+lib/prob/montecarlo.ml: Fmt List Relax_sim Stats

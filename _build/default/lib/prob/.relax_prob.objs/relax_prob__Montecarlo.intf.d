@@ -1,0 +1,1 @@
+lib/prob/montecarlo.mli: Fmt Relax_sim

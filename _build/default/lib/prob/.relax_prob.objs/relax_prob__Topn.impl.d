@@ -1,0 +1,1 @@
+lib/prob/topn.ml: List Montecarlo Relax_sim

@@ -1,0 +1,1 @@
+lib/prob/topn.mli: Montecarlo Relax_sim

@@ -1,0 +1,46 @@
+(* Exact binomial computations for quorum availability.
+
+   With n sites each independently up with probability p, the probability
+   that an operation with vote threshold m can muster a quorum is the
+   binomial tail P(X >= m).  Computed with running products (no factorial
+   overflow) — exact up to floating-point rounding for the n <= 64 range
+   replication experiments use. *)
+
+let check_p p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial: probability out of range"
+
+(* C(n, k) as a float, by a numerically-stable running product. *)
+let choose n k =
+  if k < 0 || k > n then 0.0
+  else
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else go (acc *. float_of_int (n - k + i) /. float_of_int i) (i + 1)
+    in
+    go 1.0 1
+
+(* P(X = k) for X ~ Binomial(n, p). *)
+let pmf ~n ~p k =
+  check_p p;
+  if k < 0 || k > n then 0.0
+  else choose n k *. (p ** float_of_int k) *. ((1.0 -. p) ** float_of_int (n - k))
+
+(* P(X >= m). *)
+let tail ~n ~p m =
+  check_p p;
+  if m <= 0 then 1.0
+  else if m > n then 0.0
+  else
+    let rec go acc k = if k > n then acc else go (acc +. pmf ~n ~p k) (k + 1) in
+    go 0.0 m
+
+(* P(X <= m). *)
+let cdf ~n ~p m =
+  check_p p;
+  1.0 -. tail ~n ~p (m + 1)
+
+(* Expected value of X. *)
+let expectation ~n ~p =
+  check_p p;
+  float_of_int n *. p

@@ -1,0 +1,19 @@
+(** Exact binomial computations for quorum availability.
+
+    With [n] sites independently up with probability [p], the probability
+    that an operation with vote threshold [m] can muster a quorum is the
+    tail [P(X >= m)]. *)
+
+(** Binomial coefficient as a float (numerically stable running product). *)
+val choose : int -> int -> float
+
+(** [pmf ~n ~p k] is [P(X = k)]. *)
+val pmf : n:int -> p:float -> int -> float
+
+(** [tail ~n ~p m] is [P(X >= m)]. *)
+val tail : n:int -> p:float -> int -> float
+
+(** [cdf ~n ~p m] is [P(X <= m)]. *)
+val cdf : n:int -> p:float -> int -> float
+
+val expectation : n:int -> p:float -> float

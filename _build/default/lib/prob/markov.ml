@@ -1,0 +1,135 @@
+(* Finite discrete-time Markov chains.
+
+   Section 2.3 of the paper proposes characterizing the likelihood of
+   constraint sets with an independent probabilistic model (citing
+   denumerable Markov chains); the environments our experiments use are
+   finite-state, so the classical finite theory suffices: stationary
+   distributions for long-run constraint availability, and absorption
+   probabilities/hitting times for reliability questions. *)
+
+type t = {
+  labels : string array;
+  p : Matrix.t; (* row-stochastic transition matrix *)
+}
+
+let create ~labels ~p =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Markov.create: no states";
+  if Matrix.rows p <> n || Matrix.cols p <> n then
+    invalid_arg "Markov.create: matrix dimension mismatch";
+  Array.iteri
+    (fun i row ->
+      let s = Array.fold_left ( +. ) 0.0 row in
+      if Float.abs (s -. 1.0) > 1e-9 then
+        invalid_arg (Fmt.str "Markov.create: row %d sums to %f" i s);
+      Array.iter
+        (fun x ->
+          if x < 0.0 then invalid_arg "Markov.create: negative probability")
+        row)
+    p;
+  { labels; p }
+
+let size t = Array.length t.labels
+let labels t = t.labels
+let transition t i j = Matrix.get t.p i j
+
+let state_index t label =
+  let rec go i =
+    if i >= Array.length t.labels then
+      invalid_arg (Fmt.str "Markov.state_index: unknown state %s" label)
+    else if String.equal t.labels.(i) label then i
+    else go (i + 1)
+  in
+  go 0
+
+(* One step of the distribution: d' = d P. *)
+let step t d = Matrix.mul_vec (Matrix.transpose t.p) d
+
+(* Stationary distribution by solving (P^T - I) pi = 0 with the
+   normalisation constraint sum(pi) = 1 substituted for the last row.
+   Requires the chain to have a unique stationary distribution (e.g. it is
+   irreducible); otherwise the linear system is singular and we fall back
+   to power iteration from the uniform distribution. *)
+let stationary t =
+  let n = size t in
+  let a = Matrix.transpose t.p in
+  for i = 0 to n - 1 do
+    Matrix.set a i i (Matrix.get a i i -. 1.0)
+  done;
+  for j = 0 to n - 1 do
+    Matrix.set a (n - 1) j 1.0
+  done;
+  let b = Array.make n 0.0 in
+  b.(n - 1) <- 1.0;
+  match Matrix.solve a b with
+  | x -> x
+  | exception Failure _ ->
+    let d = ref (Array.make n (1.0 /. float_of_int n)) in
+    for _ = 1 to 10_000 do
+      d := step t !d
+    done;
+    !d
+
+(* Probability of being absorbed in [target] starting from each state,
+   where [target] and any other absorbing states trap the chain.  Solves
+   the standard first-step equations. *)
+let absorption_probability t ~target =
+  let n = size t in
+  let is_absorbing i =
+    Float.abs (transition t i i -. 1.0) < 1e-12
+  in
+  let a = Matrix.identity n in
+  let b = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if i = target then begin
+      b.(i) <- 1.0 (* row: x_i = 1 *)
+    end
+    else if is_absorbing i then b.(i) <- 0.0 (* x_i = 0 *)
+    else begin
+      (* x_i - sum_j p_ij x_j = 0 *)
+      for j = 0 to n - 1 do
+        Matrix.set a i j ((if i = j then 1.0 else 0.0) -. transition t i j)
+      done;
+      b.(i) <- 0.0
+    end
+  done;
+  Matrix.solve a b
+
+(* Expected number of steps to reach [target] from each state (infinite if
+   unreachable; the solve will fail in that case). *)
+let expected_hitting_time t ~target =
+  let n = size t in
+  let a = Matrix.identity n and b = Array.make n 1.0 in
+  for i = 0 to n - 1 do
+    if i = target then begin
+      for j = 0 to n - 1 do
+        Matrix.set a i j (if i = j then 1.0 else 0.0)
+      done;
+      b.(i) <- 0.0
+    end
+    else
+      for j = 0 to n - 1 do
+        Matrix.set a i j ((if i = j then 1.0 else 0.0) -. transition t i j)
+      done
+  done;
+  Matrix.solve a b
+
+(* Simulate one trajectory of [steps] states starting from [start]. *)
+let simulate t rng ~start ~steps =
+  let n = size t in
+  if start < 0 || start >= n then invalid_arg "Markov.simulate";
+  let rec go acc state remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let u = Relax_sim.Rng.unit_float rng in
+      let rec pick j acc_p =
+        if j >= n - 1 then j
+        else
+          let acc_p = acc_p +. transition t state j in
+          if u < acc_p then j else pick (j + 1) acc_p
+      in
+      let next = pick 0 0.0 in
+      go (next :: acc) next (remaining - 1)
+    end
+  in
+  go [ start ] start steps

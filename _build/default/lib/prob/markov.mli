@@ -1,0 +1,36 @@
+(** Finite discrete-time Markov chains.
+
+    Section 2.3 of the paper proposes characterizing the likelihood of
+    constraint sets with an independent probabilistic model; the
+    environments used by the experiments are finite-state, so the
+    classical finite theory suffices. *)
+
+type t
+
+(** Raises unless [p] is row-stochastic and square over [labels]. *)
+val create : labels:string array -> p:Matrix.t -> t
+
+val size : t -> int
+val labels : t -> string array
+val transition : t -> int -> int -> float
+
+(** Raises on unknown labels. *)
+val state_index : t -> string -> int
+
+(** One step of a distribution: [d' = d P]. *)
+val step : t -> float array -> float array
+
+(** The stationary distribution (unique for irreducible chains; falls back
+    to power iteration on singular systems). *)
+val stationary : t -> float array
+
+(** Probability of absorption in [target] from each state. *)
+val absorption_probability : t -> target:int -> float array
+
+(** Expected steps to reach [target] from each state; raises [Failure]
+    when unreachable. *)
+val expected_hitting_time : t -> target:int -> float array
+
+(** One random trajectory of [steps] transitions, including the start
+    state. *)
+val simulate : t -> Relax_sim.Rng.t -> start:int -> steps:int -> int list

@@ -1,0 +1,112 @@
+(* Dense float matrices with just enough linear algebra for finite Markov
+   chains: multiplication, Gaussian elimination with partial pivoting, and
+   linear-system solving. *)
+
+type t = float array array
+
+let make ~rows ~cols v =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.make";
+  Array.init rows (fun _ -> Array.make cols v)
+
+let of_rows rows =
+  match rows with
+  | [] -> invalid_arg "Matrix.of_rows: empty"
+  | r0 :: _ ->
+    let cols = List.length r0 in
+    if cols = 0 || List.exists (fun r -> List.length r <> cols) rows then
+      invalid_arg "Matrix.of_rows: ragged rows";
+    Array.of_list (List.map Array.of_list rows)
+
+let rows m = Array.length m
+let cols m = Array.length m.(0)
+let get m i j = m.(i).(j)
+let set m i j v = m.(i).(j) <- v
+let copy m = Array.map Array.copy m
+
+let identity n =
+  let m = make ~rows:n ~cols:n 0.0 in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- 1.0
+  done;
+  m
+
+let transpose m =
+  let r = rows m and c = cols m in
+  Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Matrix.mul: dimension mismatch";
+  let n = rows a and k = cols a and p = cols b in
+  let out = make ~rows:n ~cols:p 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to p - 1 do
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc := !acc +. (a.(i).(l) *. b.(l).(j))
+      done;
+      out.(i).(j) <- !acc
+    done
+  done;
+  out
+
+let mul_vec a v =
+  if cols a <> Array.length v then invalid_arg "Matrix.mul_vec";
+  Array.init (rows a) (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to cols a - 1 do
+        acc := !acc +. (a.(i).(j) *. v.(j))
+      done;
+      !acc)
+
+(* Solve A x = b by Gaussian elimination with partial pivoting.  Raises
+   [Failure] on (numerically) singular systems. *)
+let solve a b =
+  let n = rows a in
+  if cols a <> n || Array.length b <> n then invalid_arg "Matrix.solve";
+  let m = copy a and x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!pivot).(col) then pivot := r
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-12 then failwith "Matrix.solve: singular";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tb
+    end;
+    (* eliminate below *)
+    for r = col + 1 to n - 1 do
+      let f = m.(r).(col) /. m.(col).(col) in
+      if f <> 0.0 then begin
+        for c = col to n - 1 do
+          m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+        done;
+        x.(r) <- x.(r) -. (f *. x.(col))
+      end
+    done
+  done;
+  (* back substitution *)
+  for col = n - 1 downto 0 do
+    for r = 0 to col - 1 do
+      let f = m.(r).(col) /. m.(col).(col) in
+      if f <> 0.0 then begin
+        m.(r).(col) <- 0.0;
+        x.(r) <- x.(r) -. (f *. x.(col))
+      end
+    done;
+    x.(col) <- x.(col) /. m.(col).(col)
+  done;
+  x
+
+let pp ppf m =
+  Array.iter
+    (fun row ->
+      Fmt.pf ppf "[%a]@\n"
+        (Fmt.array ~sep:(Fmt.any ", ") (fun ppf v -> Fmt.pf ppf "%.4f" v))
+        row)
+    m

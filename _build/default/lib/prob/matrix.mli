@@ -1,0 +1,28 @@
+(** Dense float matrices with just enough linear algebra for finite Markov
+    chains. *)
+
+type t = float array array
+
+val make : rows:int -> cols:int -> float -> t
+
+(** Raises on empty or ragged input. *)
+val of_rows : float list list -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val identity : int -> t
+val transpose : t -> t
+
+(** Raises on dimension mismatch. *)
+val mul : t -> t -> t
+
+val mul_vec : t -> float array -> float array
+
+(** Solve [A x = b] by Gaussian elimination with partial pivoting; raises
+    [Failure] on singular systems. *)
+val solve : t -> float array -> float array
+
+val pp : t Fmt.t

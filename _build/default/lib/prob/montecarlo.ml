@@ -1,0 +1,42 @@
+(* Monte Carlo estimation with deterministic seeding. *)
+
+type estimate = {
+  successes : int;
+  trials : int;
+  p_hat : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+let pp_estimate ppf e =
+  Fmt.pf ppf "%.6f [%.6f, %.6f] (%d/%d)" e.p_hat e.ci_low e.ci_high
+    e.successes e.trials
+
+(* Estimate P(experiment = true) over [trials] independent runs. *)
+let probability ?(seed = 7) ~trials experiment =
+  if trials <= 0 then invalid_arg "Montecarlo.probability";
+  let rng = Relax_sim.Rng.create ~seed in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if experiment (Relax_sim.Rng.split rng) then incr successes
+  done;
+  let p_hat = float_of_int !successes /. float_of_int trials in
+  let ci_low, ci_high =
+    Stats.wilson_interval ~successes:!successes ~trials
+  in
+  { successes = !successes; trials; p_hat; ci_low; ci_high }
+
+(* Estimate E[experiment] with a 95% confidence half-width. *)
+let expectation ?(seed = 7) ~trials experiment =
+  if trials <= 1 then invalid_arg "Montecarlo.expectation";
+  let rng = Relax_sim.Rng.create ~seed in
+  let samples =
+    List.init trials (fun _ -> experiment (Relax_sim.Rng.split rng))
+  in
+  (Stats.mean samples, Stats.ci95_halfwidth samples)
+
+(* Whether the estimate is consistent with a theoretical value: the value
+   lies inside the (slightly widened) confidence interval. *)
+let consistent_with e ~theory =
+  let slack = 0.10 *. (e.ci_high -. e.ci_low) +. 1e-9 in
+  theory >= e.ci_low -. slack && theory <= e.ci_high +. slack

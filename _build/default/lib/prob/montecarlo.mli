@@ -1,0 +1,24 @@
+(** Monte Carlo estimation with deterministic seeding. *)
+
+type estimate = {
+  successes : int;
+  trials : int;
+  p_hat : float;
+  ci_low : float;  (** Wilson 95% lower bound *)
+  ci_high : float;  (** Wilson 95% upper bound *)
+}
+
+val pp_estimate : estimate Fmt.t
+
+(** Estimate [P(experiment rng = true)] over independent trials, each with
+    a split random stream. *)
+val probability :
+  ?seed:int -> trials:int -> (Relax_sim.Rng.t -> bool) -> estimate
+
+(** Estimate an expectation; returns [(mean, ci95 half-width)]. *)
+val expectation :
+  ?seed:int -> trials:int -> (Relax_sim.Rng.t -> float) -> float * float
+
+(** Whether a theoretical value lies inside the (slightly widened)
+    confidence interval. *)
+val consistent_with : estimate -> theory:float -> bool

@@ -1,0 +1,53 @@
+(* Summary statistics for experiment outputs. *)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Unbiased sample variance. *)
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> invalid_arg "Stats.variance: need at least two samples"
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    ss /. float_of_int (List.length xs - 1)
+
+let stddev xs = sqrt (variance xs)
+
+(* Normal-approximation 95% confidence half-width for the sample mean. *)
+let ci95_halfwidth xs =
+  1.96 *. stddev xs /. sqrt (float_of_int (List.length xs))
+
+(* Wilson score interval for a Bernoulli proportion — far better behaved
+   than the normal approximation for probabilities near 0 or 1, which is
+   exactly where the paper's 0.1^n claim lives. *)
+let wilson_interval ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: no trials";
+  let n = float_of_int trials and s = float_of_int successes in
+  let z = 1.96 in
+  let phat = s /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (phat +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z
+    *. sqrt ((phat *. (1.0 -. phat) /. n) +. (z2 /. (4.0 *. n *. n)))
+    /. denom
+  in
+  (max 0.0 (centre -. half), min 1.0 (centre +. half))
+
+(* Fixed-width histogram over [lo, hi) with [bins] buckets; values outside
+   the range are clamped into the end buckets. *)
+let histogram ~lo ~hi ~bins xs =
+  if bins <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  List.iter
+    (fun x ->
+      let idx = int_of_float ((x -. lo) /. width) in
+      let idx = max 0 (min (bins - 1) idx) in
+      counts.(idx) <- counts.(idx) + 1)
+    xs;
+  counts

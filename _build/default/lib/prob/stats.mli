@@ -1,0 +1,20 @@
+(** Summary statistics for experiment outputs. *)
+
+(** Raises on the empty sample. *)
+val mean : float list -> float
+
+(** Unbiased sample variance; raises on samples of size < 2. *)
+val variance : float list -> float
+
+val stddev : float list -> float
+
+(** Normal-approximation 95% confidence half-width for the sample mean. *)
+val ci95_halfwidth : float list -> float
+
+(** Wilson score 95% interval for a Bernoulli proportion — well behaved
+    near 0 and 1. *)
+val wilson_interval : successes:int -> trials:int -> float * float
+
+(** Fixed-width histogram over [\[lo, hi)]; out-of-range values clamp into
+    the end buckets. *)
+val histogram : lo:float -> hi:float -> bins:int -> float list -> int array

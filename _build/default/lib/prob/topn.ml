@@ -1,0 +1,48 @@
+(* The probabilistic claim of Section 3.3.
+
+   "Suppose the environment is such that each queue operation satisfies Q1
+    with independent probability 0.9, and Deq operations are certain to
+    satisfy Q2.  The likelihood a Deq will fail to return an item whose
+    priority is within the top n is (0.1)^n."
+
+   Interpretation: a Deq's view is certain to contain all earlier Deqs
+   (Q2), and contains each earlier Enq independently with probability 0.9.
+   The Deq returns the best unserviced item it sees; it returns an item
+   below the top n pending items exactly when it misses all n better
+   pending items, i.e. with probability 0.1^n.  Both the exact model and a
+   Monte Carlo simulation of the view process are provided; the experiment
+   harness prints them side by side. *)
+
+let theory ~miss_probability n = miss_probability ** float_of_int n
+
+(* One simulated Deq against a queue holding [pending] items of distinct
+   priorities: each item is visible with probability (1 - miss); the Deq
+   returns the best visible item.  The event of interest is "the returned
+   item is not within the top n" — equivalently, the n best items are all
+   invisible (when nothing is visible we count a miss at every rank). *)
+let simulate_rank_miss rng ~miss_probability ~pending ~n =
+  if n < 1 || n > pending then invalid_arg "Topn.simulate_rank_miss";
+  (* visibility of the items, best first *)
+  let visible =
+    List.init pending (fun _ ->
+        not (Relax_sim.Rng.bool rng miss_probability))
+  in
+  let rec returned_rank rank = function
+    | [] -> None
+    | v :: rest -> if v then Some rank else returned_rank (rank + 1) rest
+  in
+  match returned_rank 1 visible with
+  | None -> true (* nothing visible: certainly not within the top n *)
+  | Some r -> r > n
+
+let estimate ?(seed = 11) ?(trials = 200_000) ~miss_probability ~pending n =
+  Montecarlo.probability ~seed ~trials (fun rng ->
+      simulate_rank_miss rng ~miss_probability ~pending ~n)
+
+(* The full paper-vs-measured table for ranks 1..max_n. *)
+let table ?(seed = 11) ?(trials = 200_000) ?(miss_probability = 0.1)
+    ?(pending = 8) ~max_n () =
+  List.init max_n (fun i ->
+      let n = i + 1 in
+      let e = estimate ~seed:(seed + n) ~trials ~miss_probability ~pending n in
+      (n, theory ~miss_probability n, e))

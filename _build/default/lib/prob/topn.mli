@@ -1,0 +1,31 @@
+(** The probabilistic claim of Section 3.3 of the paper: with each Enq
+    visible to a Deq independently with probability 0.9 (and Q2 certain),
+    the likelihood a Deq fails to return an item within the top [n] is
+    [0.1^n]. *)
+
+(** [theory ~miss_probability n] is [miss_probability^n]. *)
+val theory : miss_probability:float -> int -> float
+
+(** One simulated Deq against [pending] distinct-priority items; [true]
+    when the returned item is not within the top [n]. *)
+val simulate_rank_miss :
+  Relax_sim.Rng.t -> miss_probability:float -> pending:int -> n:int -> bool
+
+val estimate :
+  ?seed:int ->
+  ?trials:int ->
+  miss_probability:float ->
+  pending:int ->
+  int ->
+  Montecarlo.estimate
+
+(** The paper-vs-measured table for ranks [1..max_n]:
+    [(n, theory, estimate)]. *)
+val table :
+  ?seed:int ->
+  ?trials:int ->
+  ?miss_probability:float ->
+  ?pending:int ->
+  max_n:int ->
+  unit ->
+  (int * float * Montecarlo.estimate) list

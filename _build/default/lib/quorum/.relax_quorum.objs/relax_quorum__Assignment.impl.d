@@ -1,0 +1,1 @@
+lib/quorum/assignment.ml: Fmt Fun List Relation

@@ -1,0 +1,1 @@
+lib/quorum/assignment.mli: Fmt Relation

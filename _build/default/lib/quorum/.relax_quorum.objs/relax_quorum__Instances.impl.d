@@ -1,0 +1,1 @@
+lib/quorum/instances.ml: Account Automaton Cset Degen Eta Fifo History Int List Mpq Multiset Op Opq Pqueue Qca Queue_ops Relation Relax_core Relax_objects Relaxation String Value

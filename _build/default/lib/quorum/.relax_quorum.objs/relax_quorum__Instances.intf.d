@@ -1,0 +1,1 @@
+lib/quorum/instances.mli: Cset History Multiset Op Qca Relation Relax_core Relax_objects Relaxation Value

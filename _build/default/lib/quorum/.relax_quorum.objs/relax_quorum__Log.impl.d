@@ -1,0 +1,1 @@
+lib/quorum/log.ml: Fmt History List Op Relax_core Timestamp

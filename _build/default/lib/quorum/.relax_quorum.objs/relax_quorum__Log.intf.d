@@ -1,0 +1,1 @@
+lib/quorum/log.mli: Fmt History Op Relax_core Timestamp

@@ -1,0 +1,1 @@
+lib/quorum/qca.ml: Automaton Fmt History List Op Relation Relax_core View

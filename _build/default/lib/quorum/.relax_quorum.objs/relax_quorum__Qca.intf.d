@@ -1,0 +1,1 @@
+lib/quorum/qca.mli: Automaton History Op Relation Relax_core

@@ -1,0 +1,1 @@
+lib/quorum/relation.ml: Fmt List Op Relax_core Stdlib String

@@ -1,0 +1,1 @@
+lib/quorum/relation.mli: Fmt Op Relax_core

@@ -1,0 +1,1 @@
+lib/quorum/serial.ml: Automaton Fmt History Language List Op Relation Relax_core View

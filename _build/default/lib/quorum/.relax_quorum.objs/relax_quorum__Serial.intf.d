@@ -1,0 +1,1 @@
+lib/quorum/serial.mli: Automaton Fmt History Language Op Relation Relax_core

@@ -1,0 +1,1 @@
+lib/quorum/timestamp.ml: Fmt Int

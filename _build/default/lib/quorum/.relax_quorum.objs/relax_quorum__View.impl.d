@@ -1,0 +1,1 @@
+lib/quorum/view.ml: Array Fun History Int List Op Relation Relax_core

@@ -1,0 +1,1 @@
+lib/quorum/view.mli: History Op Relation Relax_core

@@ -1,0 +1,1 @@
+lib/quorum/weighted.ml: Array Assignment Fmt List Relation

@@ -1,0 +1,1 @@
+lib/quorum/weighted.mli: Assignment Fmt Relation

@@ -1,0 +1,111 @@
+(* Voting quorum assignments (Gifford 79, as used in Section 3.3).
+
+   Each site holds one vote; an operation's initial (final) quorums are all
+   site sets holding at least the configured threshold of votes.  Two
+   quorums with thresholds i and f are guaranteed to intersect iff
+   i + f > n.  An assignment therefore *forces* exactly the intersection
+   relation its thresholds imply, which ties the combinatorial relations of
+   `Relation` to a deployable configuration. *)
+
+type thresholds = { initial : int; final : int }
+
+type t = { n : int; ops : (string * thresholds) list }
+
+let make ~n ops =
+  if n <= 0 then invalid_arg "Assignment.make: n must be positive";
+  List.iter
+    (fun (op, { initial; final }) ->
+      if initial < 0 || initial > n || final < 0 || final > n then
+        invalid_arg
+          (Fmt.str "Assignment.make: thresholds for %s out of range" op))
+    ops;
+  { n; ops }
+
+let sites t = t.n
+let operations t = List.map fst t.ops
+
+let thresholds t op =
+  match List.assoc_opt op t.ops with
+  | Some th -> th
+  | None -> invalid_arg (Fmt.str "Assignment.thresholds: unknown operation %s" op)
+
+let initial_threshold t op = (thresholds t op).initial
+let final_threshold t op = (thresholds t op).final
+
+(* Whether every initial quorum of [inv] must intersect every final quorum
+   of [op] under this assignment. *)
+let forces_intersection t ~inv ~op =
+  initial_threshold t inv + final_threshold t op > t.n
+
+(* The quorum intersection relation this assignment realizes. *)
+let induced_relation ?(name = "induced") t =
+  let pairs =
+    List.concat_map
+      (fun (inv, _) ->
+        List.filter_map
+          (fun (op, _) ->
+            if forces_intersection t ~inv ~op then Some (inv, op) else None)
+          t.ops)
+      t.ops
+  in
+  Relation.of_pairs ~name pairs
+
+(* Whether this assignment realizes at least the given relation. *)
+let satisfies t rel =
+  List.for_all
+    (fun (inv, op) -> forces_intersection t ~inv ~op)
+    (Relation.pairs rel)
+
+(* An operation is executable when an initial and a final quorum can both
+   be mustered from the [up] sites (the same up-set serves both roles). *)
+let available t ~up op =
+  let th = thresholds t op in
+  up >= th.initial && up >= th.final
+
+(* All assignments over the given operations satisfying [rel], optionally
+   filtered to Pareto-minimal ones (no assignment with pointwise smaller
+   thresholds also satisfies the relation).  Search space is (n+1)^(2k). *)
+let enumerate_satisfying ?(minimal_only = false) ~n ~ops rel =
+  let rec thresh_choices = function
+    | [] -> [ [] ]
+    | op :: rest ->
+      let tails = thresh_choices rest in
+      List.concat_map
+        (fun initial ->
+          List.concat_map
+            (fun final ->
+              List.map (fun tl -> (op, { initial; final }) :: tl) tails)
+            (List.init (n + 1) Fun.id))
+        (List.init (n + 1) Fun.id)
+  in
+  let all =
+    thresh_choices ops
+    |> List.map (fun ops -> { n; ops })
+    |> List.filter (fun t -> satisfies t rel)
+  in
+  if not minimal_only then all
+  else
+    let dominates a b =
+      (* a pointwise <= b and strictly smaller somewhere *)
+      let le =
+        List.for_all
+          (fun (op, tb) ->
+            let ta = thresholds a op in
+            ta.initial <= tb.initial && ta.final <= tb.final)
+          b.ops
+      in
+      le
+      && List.exists
+           (fun (op, tb) ->
+             let ta = thresholds a op in
+             ta.initial < tb.initial || ta.final < tb.final)
+           b.ops
+    in
+    List.filter (fun t -> not (List.exists (fun o -> dominates o t) all)) all
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d:" t.n;
+  List.iter
+    (fun (op, { initial; final }) ->
+      Fmt.pf ppf " %s(i=%d,f=%d)" op initial final)
+    t.ops

@@ -1,0 +1,45 @@
+(** Voting quorum assignments (Gifford 79, as used in Section 3.3 of the
+    paper).
+
+    Each site holds one vote; an operation's initial (final) quorums are
+    all site sets holding at least the configured threshold of votes.
+    Thresholds [i] and [f] guarantee intersection iff [i + f > n], tying
+    the combinatorial relations of {!Relation} to deployable
+    configurations. *)
+
+type thresholds = { initial : int; final : int }
+type t
+
+(** Raises [Invalid_argument] on non-positive [n] or out-of-range
+    thresholds. *)
+val make : n:int -> (string * thresholds) list -> t
+
+val sites : t -> int
+val operations : t -> string list
+
+(** Raises [Invalid_argument] on unknown operations. *)
+val thresholds : t -> string -> thresholds
+
+val initial_threshold : t -> string -> int
+val final_threshold : t -> string -> int
+
+(** Whether every initial quorum of [inv] must intersect every final
+    quorum of [op] under this assignment. *)
+val forces_intersection : t -> inv:string -> op:string -> bool
+
+(** The quorum intersection relation this assignment realizes. *)
+val induced_relation : ?name:string -> t -> Relation.t
+
+(** Whether this assignment realizes at least the given relation. *)
+val satisfies : t -> Relation.t -> bool
+
+(** [available t ~up op]: can both an initial and a final quorum for [op]
+    be mustered from [up] live sites? *)
+val available : t -> up:int -> string -> bool
+
+(** All assignments over the given operations satisfying [rel];
+    [minimal_only] keeps the Pareto-minimal ones. *)
+val enumerate_satisfying :
+  ?minimal_only:bool -> n:int -> ops:string list -> Relation.t -> t list
+
+val pp : t Fmt.t

@@ -1,0 +1,167 @@
+open Relax_core
+open Relax_objects
+
+(* The paper's two quorum-consensus case studies, packaged as relaxation
+   lattices (Sections 3.3 and 3.4). *)
+
+(* ------------------------------------------------------------------ *)
+(* Replicated priority queue (Section 3.3)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Q1: each initial Deq quorum intersects each final Enq quorum.
+   Q2: each initial Deq quorum intersects each final Deq quorum. *)
+let q1 = Relation.of_pairs ~name:"Q1" [ (Queue_ops.deq_name, Queue_ops.enq_name) ]
+let q2 = Relation.of_pairs ~name:"Q2" [ (Queue_ops.deq_name, Queue_ops.deq_name) ]
+
+let q1_constraint = "Q1"
+let q2_constraint = "Q2"
+
+let relation_of_cset c =
+  let pairs =
+    (if Cset.mem q1_constraint c then Relation.pairs q1 else [])
+    @ if Cset.mem q2_constraint c then Relation.pairs q2 else []
+  in
+  Relation.of_pairs ~name:(Cset.to_string c) pairs
+
+(* The priority queue's pre- and postconditions (Figure 3-2), evaluated on
+   multiset values. *)
+let pq_pre (v : Multiset.t) i =
+  if String.equal (Op.invocation_name i) Queue_ops.deq_name then
+    not (Multiset.is_empty v)
+  else String.equal (Op.invocation_name i) Queue_ops.enq_name
+
+let pq_post (v : Multiset.t) p (v' : Multiset.t) =
+  match Queue_ops.element p with
+  | None -> false
+  | Some e ->
+    if Queue_ops.is_enq p then Multiset.equal v' (Multiset.ins v e)
+    else if Queue_ops.is_deq p then
+      (match Multiset.best v with
+      | Some b -> Value.equal b e && Multiset.equal v' (Multiset.del v e)
+      | None -> false)
+    else false
+
+let pq_spec_eta =
+  Qca.spec_with_eta ~eta:Eta.eta ~pre:pq_pre ~post:pq_post
+    ~equal:Multiset.equal ~name:"PQ/eta"
+
+let pq_spec_eta' =
+  Qca.spec_with_eta ~eta:Eta.eta' ~pre:pq_pre ~post:pq_post
+    ~equal:Multiset.equal ~name:"PQ/eta'"
+
+(* The relaxation lattice {QCA(PQ, Q, eta) | Q ⊆ {Q1, Q2}}. *)
+let pq_lattice ?(spec = pq_spec_eta) () =
+  Relaxation.make ~name:"replicated-PQ"
+    ~constraints:[ q1_constraint; q2_constraint ] (fun c ->
+      Qca.automaton spec (relation_of_cset c))
+
+(* The behaviors the paper claims for each lattice point; the test-suite
+   checks each equality by bounded enumeration. *)
+let claimed_behavior c =
+  match (Cset.mem q1_constraint c, Cset.mem q2_constraint c) with
+  | true, true -> Automaton.name Pqueue.automaton
+  | true, false -> Automaton.name Mpq.automaton
+  | false, true -> Automaton.name Opq.automaton
+  | false, false -> Automaton.name Degen.automaton
+
+(* ------------------------------------------------------------------ *)
+(* Replicated FIFO queue (Section 3.1's motivating example)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's first example of a replicated object is a FIFO queue log
+   at three sites; it is replicated but never characterized.  Its
+   pre/postconditions (Figure 2-4) over sequence values, with the
+   sequence-valued evaluation function: *)
+let fifo_pre (v : Value.t list) i =
+  if String.equal (Op.invocation_name i) Queue_ops.deq_name then v <> []
+  else String.equal (Op.invocation_name i) Queue_ops.enq_name
+
+let fifo_post (v : Value.t list) p (v' : Value.t list) =
+  match Queue_ops.element p with
+  | None -> false
+  | Some e ->
+    if Queue_ops.is_enq p then Fifo.equal v' (v @ [ e ])
+    else if Queue_ops.is_deq p then
+      match v with
+      | first :: rest -> Value.equal first e && Fifo.equal v' rest
+      | [] -> false
+    else false
+
+let fifo_spec_eta =
+  Qca.spec_with_eta ~eta:Eta.eta_fifo ~pre:fifo_pre ~post:fifo_post
+    ~equal:Fifo.equal ~name:"FIFO/eta"
+
+(* The relaxation lattice {QCA(FifoQ, Q, eta_fifo) | Q ⊆ {Q1, Q2}}; the
+   constraint names coincide with the priority queue's because the same
+   intersection requirements apply (Deq must see Enqs / Deqs). *)
+let fifo_lattice () =
+  Relaxation.make ~name:"replicated-FIFO"
+    ~constraints:[ q1_constraint; q2_constraint ] (fun c ->
+      Qca.automaton fifo_spec_eta (relation_of_cset c))
+
+(* ------------------------------------------------------------------ *)
+(* Replicated bank account (Section 3.4)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A1: each initial Debit quorum intersects each final Credit quorum.
+   A2: each initial Debit quorum intersects each final Debit quorum. *)
+let a1 =
+  Relation.of_pairs ~name:"A1" [ (Account.debit_name, Account.credit_name) ]
+
+let a2 =
+  Relation.of_pairs ~name:"A2" [ (Account.debit_name, Account.debit_name) ]
+
+let a1_constraint = "A1"
+let a2_constraint = "A2"
+
+let account_relation_of_cset c =
+  let pairs =
+    (if Cset.mem a1_constraint c then Relation.pairs a1 else [])
+    @ if Cset.mem a2_constraint c then Relation.pairs a2 else []
+  in
+  Relation.of_pairs ~name:(Cset.to_string c) pairs
+
+(* Account pre/post evaluated on balances.  Credits always apply; a
+   successful debit requires sufficient funds in the view; a bounced debit
+   requires insufficient funds in the view. *)
+let account_pre (_ : int) (_ : Op.invocation) = true
+
+let account_post (bal : int) p (bal' : int) =
+  match Account.amount p with
+  | None -> false
+  | Some n ->
+    if n <= 0 then false
+    else if Account.is_credit p then bal' = bal + n
+    else if Account.is_debit_ok p then bal >= n && bal' = bal - n
+    else if Account.is_debit_bounced p then bal < n && bal' = bal
+    else false
+
+let account_spec =
+  Qca.spec_with_eta
+    ~eta:(fun h -> Account.eval_balance h)
+    ~pre:account_pre ~post:account_post ~equal:Int.equal ~name:"Account/eta"
+
+(* The account lattice is defined over the sublattice of 2^{A1,A2} that
+   retains A2: the bank accepts spurious bounces but never overdrafts
+   (Section 3.4). *)
+let account_lattice () =
+  Relaxation.make ~name:"replicated-account"
+    ~constraints:[ a1_constraint; a2_constraint ]
+    ~in_domain:(fun c -> Cset.mem a2_constraint c)
+    (fun c -> Qca.automaton account_spec (account_relation_of_cset c))
+
+(* The full account lattice including the unsafe points, used to
+   demonstrate *why* the bank insists on A2: relaxing it admits real
+   overdrafts. *)
+let account_lattice_unrestricted () =
+  Relaxation.make ~name:"replicated-account-unrestricted"
+    ~constraints:[ a1_constraint; a2_constraint ] (fun c ->
+      Qca.automaton account_spec (account_relation_of_cset c))
+
+(* The semantic safety property of Section 3.4: the *true* balance (all
+   credits minus all successful debits) never goes negative anywhere in
+   the history. *)
+let never_overdrawn (h : History.t) =
+  List.for_all
+    (fun prefix -> Account.eval_balance prefix >= 0)
+    (History.prefixes h)

@@ -1,0 +1,77 @@
+open Relax_core
+open Relax_objects
+
+(** The paper's two quorum-consensus case studies packaged as relaxation
+    lattices (Sections 3.3 and 3.4). *)
+
+(** {1 Replicated priority queue (Section 3.3)} *)
+
+(** Q1: each initial Deq quorum intersects each final Enq quorum. *)
+val q1 : Relation.t
+
+(** Q2: each initial Deq quorum intersects each final Deq quorum. *)
+val q2 : Relation.t
+
+val q1_constraint : string
+val q2_constraint : string
+
+(** The quorum intersection relation named by a constraint set over
+    [{Q1, Q2}]. *)
+val relation_of_cset : Cset.t -> Relation.t
+
+(** Priority-queue pre/postconditions (Figure 3-2) on multiset values. *)
+val pq_pre : Multiset.t -> Op.invocation -> bool
+
+val pq_post : Multiset.t -> Op.t -> Multiset.t -> bool
+
+(** [QCA] specification of the priority queue under the paper's [eta]. *)
+val pq_spec_eta : Multiset.t Qca.spec
+
+(** Same under the variant [eta'] (never out of order, may drop). *)
+val pq_spec_eta' : Multiset.t Qca.spec
+
+(** The relaxation lattice [{QCA(PQ, Q, eta) | Q ⊆ {Q1, Q2}}]. *)
+val pq_lattice : ?spec:Multiset.t Qca.spec -> unit -> History.t Relaxation.t
+
+(** The behavior the paper claims for each lattice point (PQ, MPQ, OPQ or
+    DegenPQ), by automaton name. *)
+val claimed_behavior : Cset.t -> string
+
+(** {1 Replicated FIFO queue (Section 3.1's motivating example)} *)
+
+(** FIFO pre/postconditions (Figure 2-4) over sequence values. *)
+val fifo_pre : Value.t list -> Op.invocation -> bool
+
+val fifo_post : Value.t list -> Op.t -> Value.t list -> bool
+
+(** [QCA] specification of the FIFO queue under the sequence-valued
+    [eta_fifo]. *)
+val fifo_spec_eta : Value.t list Qca.spec
+
+(** The relaxation lattice [{QCA(FifoQ, Q, eta_fifo) | Q ⊆ {Q1, Q2}}]. *)
+val fifo_lattice : unit -> History.t Relaxation.t
+
+(** {1 Replicated bank account (Section 3.4)} *)
+
+(** A1: each initial Debit quorum intersects each final Credit quorum. *)
+val a1 : Relation.t
+
+(** A2: each initial Debit quorum intersects each final Debit quorum. *)
+val a2 : Relation.t
+
+val a1_constraint : string
+val a2_constraint : string
+val account_relation_of_cset : Cset.t -> Relation.t
+val account_spec : int Qca.spec
+
+(** The account lattice over the sublattice retaining A2 (spurious bounces
+    tolerated, overdrafts not). *)
+val account_lattice : unit -> History.t Relaxation.t
+
+(** The full account lattice including the unsafe points, demonstrating
+    why the bank insists on A2. *)
+val account_lattice_unrestricted : unit -> History.t Relaxation.t
+
+(** The semantic safety property of Section 3.4: the true balance never
+    goes negative at any prefix. *)
+val never_overdrawn : History.t -> bool

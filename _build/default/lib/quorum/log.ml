@@ -1,0 +1,88 @@
+open Relax_core
+
+(* Replicated-object logs (Section 3.1): a log is a set of timestamped
+   operation entries kept sorted by timestamp.  A replicated object's
+   current value is reconstructed by merging the logs of a quorum of sites
+   in timestamp order, discarding duplicates. *)
+
+type entry = { ts : Timestamp.t; op : Op.t }
+
+let entry ~ts op = { ts; op }
+let entry_ts e = e.ts
+let entry_op e = e.op
+
+let compare_entry a b =
+  let c = Timestamp.compare a.ts b.ts in
+  if c <> 0 then c else Op.compare a.op b.op
+
+let equal_entry a b = compare_entry a b = 0
+
+type t = entry list (* sorted by timestamp, duplicates removed *)
+
+let empty = []
+let is_empty l = l = []
+let length = List.length
+let entries l = l
+
+let rec insert l e =
+  match l with
+  | [] -> [ e ]
+  | x :: rest ->
+    let c = compare_entry e x in
+    if c = 0 then l
+    else if c < 0 then e :: l
+    else x :: insert rest e
+
+let of_entries es = List.fold_left insert [] es
+
+(* Merge discards duplicate entries: the same timestamped operation
+   recorded at several sites is one event. *)
+let merge a b = List.fold_left insert a b
+
+let mem l e = List.exists (equal_entry e) l
+
+(* The history a log denotes: its operations in timestamp order. *)
+let to_history (l : t) : History.t = List.map (fun e -> e.op) l
+
+(* The largest timestamp present, used by sites to advance their clocks. *)
+let max_ts l =
+  List.fold_left (fun acc e -> Timestamp.merge acc e.ts) Timestamp.zero l
+
+let filter = List.filter
+
+(* Split into the entries at or before the watermark and the rest;
+   both sides stay sorted. *)
+let split_at_watermark (l : t) ts =
+  List.partition (fun e -> Timestamp.compare e.ts ts <= 0) l
+
+(* Checkpointing (log compaction): replace the prefix at or before
+   [watermark] with synthetic entries reconstructing its effect.  The
+   synthetic operations are supplied by the caller (they are
+   domain-specific: re-enqueues for a queue, one credit for an account)
+   and are stamped with small timestamps at site 0, which cannot collide
+   with the surviving suffix (everything there is beyond the watermark)
+   nor with removed entries (they are gone from every log that applies
+   the same checkpoint).  Lamport time grows by at least one per
+   operation, so the prefix's max time bounds the number of synthetic
+   entries; violating that invariant raises. *)
+let compact (l : t) ~watermark ~summary =
+  let prefix, rest = split_at_watermark l watermark in
+  if prefix = [] then l
+  else begin
+    if List.length summary > Timestamp.time watermark then
+      invalid_arg "Log.compact: summary longer than the time budget";
+    let synthetic =
+      List.mapi
+        (fun i op -> { ts = Timestamp.make ~time:(i + 1) ~site:0; op })
+        summary
+    in
+    of_entries (synthetic @ rest)
+  end
+
+let pp_entry ppf e = Fmt.pf ppf "%a %a" Timestamp.pp e.ts Op.pp e.op
+
+let pp ppf l =
+  if l = [] then Fmt.string ppf "<empty log>"
+  else Fmt.list ~sep:(Fmt.any "@\n") pp_entry ppf l
+
+let equal a b = List.length a = List.length b && List.for_all2 equal_entry a b

@@ -1,0 +1,64 @@
+open Relax_core
+
+(* Quorum consensus automata (Section 3.2).
+
+   Given a specification of a simple object automaton A (its pre- and
+   postconditions and an evaluation of histories to states) and a quorum
+   intersection relation Q, QCA(A,Q) accepts H . p whenever some Q-view G
+   of H for p admits states s ∈ eval(G) and s' ∈ eval(G . p) with
+   p.pre(s) and p.post(s, s').  The automaton's own state is the history
+   accepted so far.
+
+   With eval = delta*, this is the paper's QCA(A,Q); substituting an
+   evaluation function eta (total on all sequences) gives QCA(A,Q,eta). *)
+
+type 'v spec = {
+  spec_name : string;
+  eval : History.t -> 'v list;
+  pre : 'v -> Op.invocation -> bool;
+  post : 'v -> Op.t -> 'v -> bool;
+  equal : 'v -> 'v -> bool;
+}
+
+let make_spec ~name ~eval ~pre ~post ~equal =
+  { spec_name = name; eval; pre; post; equal }
+
+(* The specification induced by an automaton: eval is delta*, and the
+   pre/post conjunction is exactly the transition relation. *)
+let spec_of_automaton (a : 'v Automaton.t) =
+  {
+    spec_name = Automaton.name a;
+    eval = Automaton.run a;
+    pre = (fun _ _ -> true);
+    post =
+      (fun s p s' ->
+        List.exists (Automaton.equal_state a s') (Automaton.step a s p));
+    equal = Automaton.equal_state a;
+  }
+
+(* The specification of an automaton A with its delta* replaced by an
+   evaluation function eta total on arbitrary sequences. *)
+let spec_with_eta ~eta ~pre ~post ~equal ~name =
+  { spec_name = name; eval = (fun h -> [ eta h ]); pre; post; equal }
+
+let accepts_next spec rel (h : History.t) (p : Op.t) =
+  let i = Op.invocation p in
+  List.exists
+    (fun g ->
+      let before = spec.eval g and after = spec.eval (History.append g p) in
+      List.exists
+        (fun s ->
+          spec.pre s i
+          && List.exists (fun s' -> spec.post s p s') after)
+        before)
+    (View.views rel h i)
+
+let automaton ?name spec rel : History.t Automaton.t =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Fmt.str "QCA(%s,%s)" spec.spec_name (Relation.name rel)
+  in
+  Automaton.make ~name ~init:History.empty ~equal:History.equal
+    ~pp_state:History.pp (fun h p ->
+      if accepts_next spec rel h p then [ History.append h p ] else [])

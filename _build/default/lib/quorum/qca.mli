@@ -1,0 +1,41 @@
+open Relax_core
+
+(** Quorum consensus automata (Section 3.2 of the paper).
+
+    Given the specification of a simple object automaton [A] and a quorum
+    intersection relation [Q], [QCA(A,Q)] accepts [H . p] whenever some
+    Q-view [G] of [H] for [p] admits states [s ∈ eval(G)] and
+    [s' ∈ eval(G . p)] satisfying [p]'s pre- and postconditions.  The
+    automaton's state is the history accepted so far.  With
+    [eval = delta*] this is [QCA(A,Q)]; substituting an evaluation
+    function [eta] gives [QCA(A,Q,eta)]. *)
+
+type 'v spec
+
+val make_spec :
+  name:string ->
+  eval:(History.t -> 'v list) ->
+  pre:('v -> Op.invocation -> bool) ->
+  post:('v -> Op.t -> 'v -> bool) ->
+  equal:('v -> 'v -> bool) ->
+  'v spec
+
+(** The specification induced by an automaton: [eval] is [delta*] and the
+    pre/post conjunction is exactly the transition relation. *)
+val spec_of_automaton : 'v Automaton.t -> 'v spec
+
+(** The specification of an automaton with [delta*] replaced by a total
+    evaluation function [eta]. *)
+val spec_with_eta :
+  eta:(History.t -> 'v) ->
+  pre:('v -> Op.invocation -> bool) ->
+  post:('v -> Op.t -> 'v -> bool) ->
+  equal:('v -> 'v -> bool) ->
+  name:string ->
+  'v spec
+
+(** [accepts_next spec rel h p] decides whether [QCA] extends [h] by [p]. *)
+val accepts_next : 'v spec -> Relation.t -> History.t -> Op.t -> bool
+
+(** The quorum consensus automaton itself. *)
+val automaton : ?name:string -> 'v spec -> Relation.t -> History.t Automaton.t

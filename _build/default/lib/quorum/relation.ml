@@ -1,0 +1,83 @@
+open Relax_core
+
+(* Quorum intersection relations (Section 3.1): a relation Q between
+   invocations and operations.  inv(p) Q q holds when every initial quorum
+   for the invocation of p must intersect every final quorum for the
+   operation q.  Relations are kept as named pairs of operation names —
+   the form every example in the paper uses — so they can be enumerated,
+   compared and printed; an escape hatch admits arbitrary predicates. *)
+
+type t = {
+  name : string;
+  pairs : (string * string) list;
+  extra : (Op.invocation -> Op.t -> bool) option;
+}
+
+let empty = { name = "{}"; pairs = []; extra = None }
+
+let of_pairs ~name pairs =
+  { name; pairs = List.sort_uniq compare pairs; extra = None }
+
+let of_predicate ~name pred = { name; pairs = []; extra = Some pred }
+
+let name t = t.name
+let pairs t = t.pairs
+
+let related t i q =
+  List.exists
+    (fun (inv_name, op_name) ->
+      String.equal inv_name (Op.invocation_name i)
+      && String.equal op_name (Op.name q))
+    t.pairs
+  || match t.extra with None -> false | Some pred -> pred i q
+
+(* Set-like operations on the named-pair representation (predicates do not
+   combine; raising keeps the algebra honest). *)
+let check_pure t op =
+  if t.extra <> None then
+    invalid_arg (op ^ ": not available on predicate-based relations")
+
+let union a b =
+  check_pure a "Relation.union";
+  check_pure b "Relation.union";
+  of_pairs
+    ~name:(Fmt.str "%s ∪ %s" a.name b.name)
+    (a.pairs @ b.pairs)
+
+let subrelation a b =
+  check_pure a "Relation.subrelation";
+  check_pure b "Relation.subrelation";
+  List.for_all (fun p -> List.mem p b.pairs) a.pairs
+
+(* All subrelations of a named-pair relation, smallest first — the index
+   set of a quorum-consensus relaxation lattice {QCA(A,R,eta) | R ⊆ Q}. *)
+let subrelations t =
+  check_pure t "Relation.subrelations";
+  let rec go = function
+    | [] -> [ [] ]
+    | pair :: rest ->
+      let subs = go rest in
+      subs @ List.map (fun s -> pair :: s) subs
+  in
+  go t.pairs
+  |> List.map (fun pairs ->
+         let label =
+           if pairs = [] then "{}"
+           else
+             Fmt.str "{%a}"
+               (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (i, o) ->
+                    Fmt.pf ppf "%s→%s" i o))
+               pairs
+         in
+         of_pairs ~name:label pairs)
+  |> List.sort (fun a b ->
+         Stdlib.compare (List.length a.pairs) (List.length b.pairs))
+
+let pp ppf t =
+  if t.pairs = [] && t.extra = None then Fmt.string ppf "{}"
+  else if t.extra <> None then Fmt.pf ppf "%s<pred>" t.name
+  else
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (i, o) ->
+           Fmt.pf ppf "inv(%s) Q %s" i o))
+      t.pairs

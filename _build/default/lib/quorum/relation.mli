@@ -1,0 +1,38 @@
+open Relax_core
+
+(** Quorum intersection relations (Section 3.1 of the paper): a relation
+    [Q] between invocations and operations.  [inv(p) Q q] holds when every
+    initial quorum for the invocation of [p] must intersect every final
+    quorum for the operation [q]. *)
+
+type t
+
+(** The empty relation (no intersection requirements at all). *)
+val empty : t
+
+(** A relation as a set of (invocation name, operation name) pairs — the
+    form used by every example in the paper. *)
+val of_pairs : name:string -> (string * string) list -> t
+
+(** An arbitrary predicate relation.  Such relations cannot be combined or
+    enumerated. *)
+val of_predicate : name:string -> (Op.invocation -> Op.t -> bool) -> t
+
+val name : t -> string
+val pairs : t -> (string * string) list
+
+(** [related t i q] decides [i Q q]. *)
+val related : t -> Op.invocation -> Op.t -> bool
+
+(** Union of two named-pair relations.  Raises [Invalid_argument] on
+    predicate-based relations. *)
+val union : t -> t -> t
+
+(** [subrelation a b] decides [a ⊆ b] on named-pair relations. *)
+val subrelation : t -> t -> bool
+
+(** All subrelations, smallest first — the index set of a quorum-consensus
+    relaxation lattice [{QCA(A,R,eta) | R ⊆ Q}]. *)
+val subrelations : t -> t list
+
+val pp : t Fmt.t

@@ -1,0 +1,62 @@
+open Relax_core
+
+(* Serial dependency relations (Definition 3).
+
+   Q is a serial dependency relation for A if for all histories G, H in
+   L(A) such that G is a Q-view of H for p:
+
+       G . p ∈ L(A)  ⇒  H . p ∈ L(A).
+
+   Quorum consensus replication guarantees one-copy serializability iff Q
+   is a serial dependency relation, so this check certifies the top of a
+   quorum-consensus relaxation lattice.  The check is bounded: H ranges
+   over L(A) up to [depth], p over the alphabet, G over the Q-views of H. *)
+
+type counterexample = {
+  history : History.t;
+  view : History.t;
+  op : Op.t;
+}
+
+let pp_counterexample ppf c =
+  Fmt.pf ppf
+    "H = %a;@ G = %a is a Q-view for %a;@ G.p is accepted but H.p is not"
+    History.pp c.history History.pp c.view Op.pp c.op
+
+(* Find a violation of Definition 3 for A up to the given bound; [None]
+   means Q is a serial dependency relation for A at this bound. *)
+let find_violation (a : 'v Automaton.t) rel ~alphabet ~depth =
+  let histories = Language.enumerate a ~alphabet ~depth in
+  let exception Found of counterexample in
+  try
+    List.iter
+      (fun h ->
+        List.iter
+          (fun p ->
+            if not (Automaton.accepts a (History.append h p)) then
+              let i = Op.invocation p in
+              let views = View.views rel h i in
+              List.iter
+                (fun g ->
+                  if
+                    Automaton.accepts a g
+                    && Automaton.accepts a (History.append g p)
+                  then raise (Found { history = h; view = g; op = p }))
+                views)
+          alphabet)
+      histories;
+    None
+  with Found c -> Some c
+
+let is_serial_dependency a rel ~alphabet ~depth =
+  find_violation a rel ~alphabet ~depth = None
+
+(* A relation Q is minimal for A when no proper subrelation is itself a
+   serial dependency relation (bounded check).  Returns the offending
+   proper subrelations that still guarantee one-copy serializability, so
+   minimality holds iff the list is empty. *)
+let non_minimal_witnesses a rel ~alphabet ~depth =
+  Relation.subrelations rel
+  |> List.filter (fun r ->
+         Relation.pairs r <> Relation.pairs rel
+         && is_serial_dependency a r ~alphabet ~depth)

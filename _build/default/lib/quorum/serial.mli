@@ -1,0 +1,42 @@
+open Relax_core
+
+(** Serial dependency relations (Definition 3 of the paper).
+
+    [Q] is a serial dependency relation for [A] if for all histories
+    [G, H ∈ L(A)] such that [G] is a Q-view of [H] for [p],
+    [G . p ∈ L(A)] implies [H . p ∈ L(A)].  Quorum consensus replication
+    guarantees one-copy serializability iff [Q] is a serial dependency
+    relation. *)
+
+type counterexample = {
+  history : History.t;
+  view : History.t;
+  op : Op.t;
+}
+
+val pp_counterexample : counterexample Fmt.t
+
+(** Bounded search for a violation of Definition 3; [None] certifies the
+    relation up to the bound. *)
+val find_violation :
+  'v Automaton.t ->
+  Relation.t ->
+  alphabet:Language.alphabet ->
+  depth:int ->
+  counterexample option
+
+val is_serial_dependency :
+  'v Automaton.t ->
+  Relation.t ->
+  alphabet:Language.alphabet ->
+  depth:int ->
+  bool
+
+(** Proper subrelations that are still serial dependency relations at this
+    bound; the relation is minimal iff the result is empty. *)
+val non_minimal_witnesses :
+  'v Automaton.t ->
+  Relation.t ->
+  alphabet:Language.alphabet ->
+  depth:int ->
+  Relation.t list

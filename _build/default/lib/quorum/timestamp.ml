@@ -1,0 +1,28 @@
+(* Lamport logical-clock timestamps (Section 3.1; Lamport 78).  Entries in
+   replicated logs are ordered by (time, site), which is a total order when
+   each site tags entries with its own identifier. *)
+
+type t = { time : int; site : int }
+
+let make ~time ~site =
+  if time < 0 || site < 0 then invalid_arg "Timestamp.make";
+  { time; site }
+
+let zero = { time = 0; site = 0 }
+let time t = t.time
+let site t = t.site
+
+let compare a b =
+  let c = Int.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.site b.site
+
+let equal a b = compare a b = 0
+
+(* The successor timestamp a site generates after observing [t]. *)
+let tick t ~site = { time = t.time + 1; site }
+
+(* Clock synchronisation on message receipt. *)
+let merge a b = if compare a b >= 0 then a else b
+
+let pp ppf t = Fmt.pf ppf "%d:%02d" t.time t.site
+let to_string t = Fmt.str "%a" pp t

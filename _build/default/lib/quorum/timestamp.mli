@@ -1,0 +1,24 @@
+(** Lamport logical-clock timestamps (Section 3.1 of the paper).
+
+    Entries in replicated logs are ordered by [(time, site)], a total order
+    when each site tags entries with its own identifier. *)
+
+type t
+
+(** Raises [Invalid_argument] on negative components. *)
+val make : time:int -> site:int -> t
+
+val zero : t
+val time : t -> int
+val site : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** The successor timestamp a site generates after observing [t]. *)
+val tick : t -> site:int -> t
+
+(** Clock synchronisation on message receipt: the larger of the two. *)
+val merge : t -> t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,86 @@
+open Relax_core
+
+(* Q-closed subhistories and Q-views (Definitions 1 and 2).
+
+   G is a Q-closed subhistory of H if whenever G contains an operation p it
+   also contains every earlier operation q of H with inv(p) Q q.  G is a
+   Q-view of H for an invocation i if additionally G contains every
+   operation q of H with i Q q.  Views are what an initial quorum of sites
+   can jointly report: operations the relation forces the quorums to have
+   recorded must appear; anything else may be missing, subject to closure.
+
+   Subhistories are manipulated as sorted lists of positions into H, so
+   distinct occurrences of the same operation stay distinct. *)
+
+let ops_array (h : History.t) = Array.of_list (History.to_list h)
+
+(* Positions of H that the invocation [i] is required to observe. *)
+let required rel (h : Op.t array) i =
+  let out = ref [] in
+  for pos = Array.length h - 1 downto 0 do
+    if Relation.related rel i h.(pos) then out := pos :: !out
+  done;
+  !out
+
+(* Is the position set [g] (sorted) Q-closed in H? *)
+let closed rel (h : Op.t array) (g : int list) =
+  (* every earlier H-position related to inv(h.(pos)) must be in g *)
+  List.for_all
+    (fun pos ->
+      let i = Op.invocation h.(pos) in
+      let ok = ref true in
+      for q = 0 to pos - 1 do
+        if Relation.related rel i h.(q) && not (List.mem q g) then ok := false
+      done;
+      !ok)
+    g
+
+(* The Q-closure of a position set: repeatedly add earlier positions
+   demanded by membership, until a fixpoint.  Terminates because position
+   sets only grow and are bounded by |H|. *)
+let closure rel (h : Op.t array) (g : int list) =
+  let rec fix g =
+    let missing =
+      List.concat_map
+        (fun pos ->
+          let i = Op.invocation h.(pos) in
+          let out = ref [] in
+          for q = 0 to pos - 1 do
+            if Relation.related rel i h.(q) && not (List.mem q g) then
+              out := q :: !out
+          done;
+          !out)
+        g
+    in
+    match List.sort_uniq Int.compare missing with
+    | [] -> g
+    | missing -> fix (List.sort_uniq Int.compare (missing @ g))
+  in
+  fix (List.sort_uniq Int.compare g)
+
+(* All sorted subsets of positions 0..n-1 that contain [base]. *)
+let subsets_containing n base =
+  let optional = List.filter (fun i -> not (List.mem i base)) (List.init n Fun.id) in
+  let rec go = function
+    | [] -> [ base ]
+    | x :: rest ->
+      let subs = go rest in
+      subs @ List.map (fun s -> List.sort Int.compare (x :: s)) subs
+  in
+  go optional
+
+(* All Q-views of H for invocation [i], as histories.  Exponential in |H|;
+   intended for the bounded-depth model checking this library performs. *)
+let views rel (h : History.t) i : History.t list =
+  let arr = ops_array h in
+  let n = Array.length arr in
+  let base = closure rel arr (required rel arr i) in
+  subsets_containing n base
+  |> List.filter (closed rel arr)
+  |> List.map (fun positions -> List.map (fun pos -> arr.(pos)) positions)
+
+(* [is_view rel h i g] decides whether [g] (a subsequence of [h]) is a
+   Q-view of [h] for [i]; positions are recovered greedily, preferring the
+   earliest embedding, and all embeddings are tried. *)
+let is_view rel (h : History.t) i (g : History.t) =
+  List.exists (History.equal g) (views rel h i)

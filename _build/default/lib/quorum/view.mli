@@ -1,0 +1,16 @@
+open Relax_core
+
+(** Q-closed subhistories and Q-views (Definitions 1 and 2 of the paper).
+
+    [G] is a {e Q-closed} subhistory of [H] if whenever [G] contains an
+    operation [p] it also contains every earlier operation [q] of [H] with
+    [inv(p) Q q].  [G] is a {e Q-view} of [H] for an invocation [i] if
+    additionally [G] contains every operation [q] of [H] with [i Q q].
+    Views model what an initial quorum of sites can jointly report. *)
+
+(** All Q-views of [h] for invocation [i].  Exponential in [|h|]; intended
+    for bounded-depth model checking. *)
+val views : Relation.t -> History.t -> Op.invocation -> History.t list
+
+(** [is_view rel h i g] decides whether [g] is a Q-view of [h] for [i]. *)
+val is_view : Relation.t -> History.t -> Op.invocation -> History.t -> bool

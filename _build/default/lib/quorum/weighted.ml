@@ -1,0 +1,108 @@
+(* Weighted voting (Gifford 79, reference [10] of the paper).
+
+   Uniform voting gives every site one vote; weighted voting assigns each
+   site a vote weight, and a quorum is any site set whose total weight
+   reaches the operation's threshold.  Two thresholds i and f guarantee
+   intersection iff i + f > total weight.  Weighting lets a well-connected
+   or reliable site carry more of the quorum burden: the availability
+   experiments compare uniform and weighted assignments realizing the same
+   intersection relation. *)
+
+type t = {
+  weights : int array; (* per-site vote weights, all positive *)
+  ops : (string * Assignment.thresholds) list;
+}
+
+let make ~weights ops =
+  if Array.length weights = 0 then invalid_arg "Weighted.make: no sites";
+  Array.iter
+    (fun w -> if w <= 0 then invalid_arg "Weighted.make: weights must be positive")
+    weights;
+  let total = Array.fold_left ( + ) 0 weights in
+  List.iter
+    (fun (op, { Assignment.initial; final }) ->
+      if initial < 0 || initial > total || final < 0 || final > total then
+        invalid_arg
+          (Fmt.str "Weighted.make: thresholds for %s out of range" op))
+    ops;
+  { weights; ops }
+
+(* A uniform assignment embeds as weight-1 everywhere. *)
+let of_uniform a =
+  {
+    weights = Array.make (Assignment.sites a) 1;
+    ops =
+      List.map (fun op -> (op, Assignment.thresholds a op)) (Assignment.operations a);
+  }
+
+let sites t = Array.length t.weights
+let weight t s = t.weights.(s)
+let total_weight t = Array.fold_left ( + ) 0 t.weights
+let operations t = List.map fst t.ops
+
+let thresholds t op =
+  match List.assoc_opt op t.ops with
+  | Some th -> th
+  | None -> invalid_arg (Fmt.str "Weighted.thresholds: unknown operation %s" op)
+
+let forces_intersection t ~inv ~op =
+  (thresholds t inv).Assignment.initial + (thresholds t op).Assignment.final
+  > total_weight t
+
+let induced_relation ?(name = "induced") t =
+  let pairs =
+    List.concat_map
+      (fun (inv, _) ->
+        List.filter_map
+          (fun (op, _) ->
+            if forces_intersection t ~inv ~op then Some (inv, op) else None)
+          t.ops)
+      t.ops
+  in
+  Relation.of_pairs ~name pairs
+
+let satisfies t rel =
+  List.for_all
+    (fun (inv, op) -> forces_intersection t ~inv ~op)
+    (Relation.pairs rel)
+
+(* The votes held by an up-set. *)
+let votes t up_sites = List.fold_left (fun acc s -> acc + t.weights.(s)) 0 up_sites
+
+(* An operation is executable from [up_sites] when both its thresholds can
+   be mustered (the same up-set serves both roles). *)
+let available t ~up_sites op =
+  let th = thresholds t op and v = votes t up_sites in
+  v >= th.Assignment.initial && v >= th.Assignment.final
+
+(* Exact availability of an operation when site [s] is up independently
+   with probability [p.(s)]: enumerates the 2^n up-sets.  n is bounded at
+   20 to keep the enumeration sane. *)
+let exact_availability t ~p op =
+  let n = sites t in
+  if Array.length p <> n then invalid_arg "Weighted.exact_availability";
+  if n > 20 then invalid_arg "Weighted.exact_availability: too many sites";
+  let th = thresholds t op in
+  let need = max th.Assignment.initial th.Assignment.final in
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let votes = ref 0 and prob = ref 1.0 in
+    for s = 0 to n - 1 do
+      if mask land (1 lsl s) <> 0 then begin
+        votes := !votes + t.weights.(s);
+        prob := !prob *. p.(s)
+      end
+      else prob := !prob *. (1.0 -. p.(s))
+    done;
+    if !votes >= need then total := !total +. !prob
+  done;
+  !total
+
+let pp ppf t =
+  Fmt.pf ppf "weights=[%a]:"
+    (Fmt.array ~sep:(Fmt.any ", ") Fmt.int)
+    t.weights;
+  List.iter
+    (fun (op, { Assignment.initial; final }) ->
+      Fmt.pf ppf " %s(i=%d,f=%d)" op initial final)
+    t.ops

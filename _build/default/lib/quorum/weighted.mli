@@ -1,0 +1,35 @@
+(** Weighted voting (Gifford 79, reference [10] of the paper).
+
+    Each site holds a positive vote weight; a quorum is any site set whose
+    total weight reaches the operation's threshold.  Thresholds [i] and
+    [f] guarantee intersection iff [i + f] exceeds the total weight. *)
+
+type t
+
+(** Raises [Invalid_argument] on empty or non-positive weights or
+    out-of-range thresholds. *)
+val make : weights:int array -> (string * Assignment.thresholds) list -> t
+
+(** A uniform assignment embeds as weight 1 everywhere. *)
+val of_uniform : Assignment.t -> t
+
+val sites : t -> int
+val weight : t -> int -> int
+val total_weight : t -> int
+val operations : t -> string list
+val thresholds : t -> string -> Assignment.thresholds
+val forces_intersection : t -> inv:string -> op:string -> bool
+val induced_relation : ?name:string -> t -> Relation.t
+val satisfies : t -> Relation.t -> bool
+
+(** Votes held by a set of up sites. *)
+val votes : t -> int list -> int
+
+(** Can the operation muster both its quorums from [up_sites]? *)
+val available : t -> up_sites:int list -> string -> bool
+
+(** Exact availability with per-site up-probabilities, by enumerating the
+    [2^n] up-sets (n capped at 20). *)
+val exact_availability : t -> p:float array -> string -> float
+
+val pp : t Fmt.t

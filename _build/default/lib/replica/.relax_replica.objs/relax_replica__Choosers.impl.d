@@ -1,0 +1,1 @@
+lib/replica/choosers.ml: Account Eta History List Multiset Op Queue_ops Relax_core Relax_objects Replica String Value

@@ -1,0 +1,1 @@
+lib/replica/choosers.mli: Relax_core Replica

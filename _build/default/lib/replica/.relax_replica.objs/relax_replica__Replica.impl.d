@@ -1,0 +1,1 @@
+lib/replica/replica.ml: Array Assignment Fmt Fun History List Log Op Option Relax_core Relax_quorum Relax_sim Timestamp

@@ -1,0 +1,1 @@
+lib/replica/replica.mli: Assignment History Log Op Relax_core Relax_quorum Relax_sim Timestamp

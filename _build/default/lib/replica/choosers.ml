@@ -1,0 +1,72 @@
+open Relax_core
+open Relax_objects
+
+(* Response choosers: the executable form of the evaluation functions.
+   Each maps a merged view and an invocation to the response the client
+   announces, mirroring exactly the eta-based pre/postconditions used by
+   the combinatorial QCA automata, so runtime histories can be replayed
+   against the same lattice points. *)
+
+(* Priority queue under eta: Deq returns the best item that appears not to
+   have been served in the view. *)
+let pq_eta : Replica.response_chooser =
+ fun view inv ->
+  let name = Op.invocation_name inv in
+  if String.equal name Queue_ops.enq_name then
+    match Op.invocation_args inv with
+    | [ _ ] -> Some (Op.with_response inv ~term:Op.ok ~results:[])
+    | _ -> None
+  else if String.equal name Queue_ops.deq_name then
+    match Multiset.best (Eta.eta view) with
+    | Some e -> Some (Op.with_response inv ~term:Op.ok ~results:[ e ])
+    | None -> None
+  else None
+
+(* Priority queue under eta': identical choice of response (the best
+   apparently-unserved item), but the evaluation deletes skipped items. *)
+let pq_eta' : Replica.response_chooser =
+ fun view inv ->
+  let name = Op.invocation_name inv in
+  if String.equal name Queue_ops.enq_name then
+    match Op.invocation_args inv with
+    | [ _ ] -> Some (Op.with_response inv ~term:Op.ok ~results:[])
+    | _ -> None
+  else if String.equal name Queue_ops.deq_name then
+    match Multiset.best (Eta.eta' view) with
+    | Some e -> Some (Op.with_response inv ~term:Op.ok ~results:[ e ])
+    | None -> None
+  else None
+
+(* Checkpoint summarizers (see Replica.checkpoint): synthetic operations
+   reconstructing a stable prefix's effect. *)
+
+(* Priority queue under eta: the pending items re-enqueued. *)
+let pq_summarize (prefix : History.t) : Op.t list =
+  List.map Queue_ops.enq (Multiset.to_list (Eta.eta prefix))
+
+(* Bank account: a single credit of the balance (nothing when zero; a
+   negative balance cannot arise from account operations). *)
+let account_summarize (prefix : History.t) : Op.t list =
+  let balance = Account.eval_balance prefix in
+  if balance > 0 then [ Account.credit balance ] else []
+
+(* Bank account: a credit always succeeds; a debit succeeds iff the view's
+   balance covers it and bounces otherwise. *)
+let account : Replica.response_chooser =
+ fun view inv ->
+  let name = Op.invocation_name inv in
+  let amount =
+    match Op.invocation_args inv with
+    | [ Value.Int n ] when n > 0 -> Some n
+    | _ -> None
+  in
+  match amount with
+  | None -> None
+  | Some n ->
+    if String.equal name Account.credit_name then
+      Some (Op.with_response inv ~term:Op.ok ~results:[])
+    else if String.equal name Account.debit_name then
+      if Account.eval_balance view >= n then
+        Some (Op.with_response inv ~term:Op.ok ~results:[])
+      else Some (Op.with_response inv ~term:Account.overdraft ~results:[])
+    else None

@@ -1,0 +1,21 @@
+(** Response choosers: the executable form of the evaluation functions of
+    Section 3.3/3.4 of the paper, mirroring the eta-based pre- and
+    postconditions used by the combinatorial QCA automata. *)
+
+(** Priority queue under [eta]: Deq returns the best apparently-unserved
+    item in the view. *)
+val pq_eta : Replica.response_chooser
+
+(** Priority queue under [eta'] (skipped items are dropped). *)
+val pq_eta' : Replica.response_chooser
+
+(** Bank account: debits succeed iff the view's balance covers them and
+    bounce otherwise. *)
+val account : Replica.response_chooser
+
+(** Checkpoint summarizer for the priority queue: the pending items (under
+    [eta]) re-enqueued. *)
+val pq_summarize : Relax_core.History.t -> Relax_core.Op.t list
+
+(** Checkpoint summarizer for the account: one credit of the balance. *)
+val account_summarize : Relax_core.History.t -> Relax_core.Op.t list

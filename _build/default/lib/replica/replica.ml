@@ -1,0 +1,248 @@
+open Relax_core
+open Relax_quorum
+
+(* The quorum-consensus replica runtime (Section 3.1, executed for real).
+
+   Each site holds a log of timestamped entries and a Lamport clock.  A
+   client executes an operation in the paper's three steps:
+
+     1. broadcast read requests; when logs from an initial quorum of sites
+        have arrived, merge them into a view;
+     2. choose a response consistent with the view (via a domain-supplied
+        response chooser — the evaluation function eta in executable
+        form) and append the new timestamped entry;
+     3. broadcast the updated log; the operation completes when a final
+        quorum of sites has acknowledged the merge, and remaining updates
+        keep propagating in the background (quorums "grow in time", as in
+        the bank-account example).
+
+   Crashes, partitions and message loss come from the underlying network
+   model; an operation that cannot assemble its quorums before the timeout
+   reports Unavailable.  Completed operations are recorded in completion
+   order — the history the verification experiments replay through the
+   relaxation lattice's predicted behavior. *)
+
+type result = Completed of Op.t * float | Unavailable of string
+
+(* Chooses the response to an invocation given the merged view, or [None]
+   when no response is consistent (e.g. Deq on an empty view). *)
+type response_chooser = History.t -> Op.invocation -> Op.t option
+
+type site = { mutable log : Log.t; mutable clock : Timestamp.t }
+
+type t = {
+  engine : Relax_sim.Engine.t;
+  net : Relax_sim.Network.t;
+  assignment : Assignment.t;
+  respond : response_chooser;
+  timeout : float;
+  sites : site array;
+  mutable completed : (float * Op.t) list; (* reverse completion order *)
+  mutable unavailable : int;
+  mutable op_latencies : float list;
+  (* Entries of operations that timed out.  The underlying replication
+     method (Herlihy '86) runs each operation inside a transaction with
+     two-phase commit, so a failed operation aborts and its tentative log
+     entries are discarded everywhere; tombstones model the abort records
+     and are honored by [absorb]. *)
+  mutable tombstones : Log.entry list;
+}
+
+let create ?(timeout = 200.0) engine net assignment ~respond =
+  let n = Relax_sim.Network.sites net in
+  if n <> Assignment.sites assignment then
+    invalid_arg "Replica.create: network/assignment size mismatch";
+  {
+    engine;
+    net;
+    assignment;
+    respond;
+    timeout;
+    sites = Array.init n (fun _ -> { log = Log.empty; clock = Timestamp.zero });
+    completed = [];
+    unavailable = 0;
+    op_latencies = [];
+    tombstones = [];
+  }
+
+let engine t = t.engine
+let network t = t.net
+let site_log t s = t.sites.(s).log
+
+(* The union of all site logs: what an omniscient observer knows. *)
+let global_log t =
+  Array.fold_left (fun acc s -> Log.merge acc s.log) Log.empty t.sites
+
+(* Completed operations in completion-time order. *)
+let completed t = List.rev t.completed
+
+let completed_history t : History.t = List.map snd (completed t)
+
+let unavailable_count t = t.unavailable
+let op_latencies t = List.rev t.op_latencies
+
+let is_tombstoned t e = List.exists (Log.equal_entry e) t.tombstones
+
+(* Merge [log] into site [s], advancing its clock past everything seen;
+   aborted entries are filtered out. *)
+let absorb t s log =
+  let site = t.sites.(s) in
+  site.log <-
+    Log.filter (fun e -> not (is_tombstoned t e)) (Log.merge site.log log);
+  site.clock <- Timestamp.merge site.clock (Log.max_ts site.log)
+
+(* Abort an operation's tentative entry everywhere. *)
+let abort_entry t entry =
+  t.tombstones <- entry :: t.tombstones;
+  Array.iter
+    (fun site ->
+      site.log <- Log.filter (fun e -> not (Log.equal_entry e entry)) site.log)
+    t.sites
+
+(* Simulated stable-storage loss: the site forgets its log and clock, as
+   a crash would wipe them if logs were kept in volatile memory.  The
+   quorum-consensus guarantees assume logs survive crashes; the amnesia
+   experiment uses this to demonstrate that the assumption is
+   load-bearing. *)
+let wipe_site t s =
+  t.sites.(s).log <- Log.empty;
+  t.sites.(s).clock <- Timestamp.zero
+
+(* One anti-entropy round: every up site pushes its log to every other
+   reachable site.  Called by experiments to model background update
+   propagation while the system is quiet. *)
+let gossip t =
+  let n = Array.length t.sites in
+  for src = 0 to n - 1 do
+    if Relax_sim.Network.is_up t.net src then
+      for dst = 0 to n - 1 do
+        if dst <> src then begin
+          let log = t.sites.(src).log in
+          Relax_sim.Network.send t.net ~src ~dst (fun () -> absorb t dst log)
+        end
+      done
+  done
+
+(* Checkpointing: once a log prefix is stable — identical at every site —
+   it can be replaced everywhere by a summary reconstructing its effect
+   (log compaction, as in the underlying replication method).  The
+   [summarize] function maps the stable prefix's history to equivalent
+   synthetic operations (e.g. re-enqueues of the still-pending items).
+   Returns the number of entries reclaimed per site, or [None] when the
+   prefix is not yet stable everywhere. *)
+let checkpoint t ~watermark ~summarize =
+  let prefixes =
+    Array.map (fun site -> fst (Log.split_at_watermark site.log watermark)) t.sites
+  in
+  let reference = prefixes.(0) in
+  let stable =
+    Array.for_all
+      (fun p ->
+        List.length p = List.length reference
+        && List.for_all2 Log.equal_entry p reference)
+      prefixes
+  in
+  if not stable then None
+  else begin
+    let history = List.map Log.entry_op reference in
+    let summary = summarize history in
+    let reclaimed = List.length reference - List.length summary in
+    Array.iter
+      (fun site -> site.log <- Log.compact site.log ~watermark ~summary)
+      t.sites;
+    Some reclaimed
+  end
+
+(* Executes one invocation on behalf of a client attached to
+   [client_site].  [callback] fires exactly once, with the response and
+   its latency or with Unavailable. *)
+let execute t ~client_site inv callback =
+  let op_name = Op.invocation_name inv in
+  let initial_need = Assignment.initial_threshold t.assignment op_name in
+  let final_need = Assignment.final_threshold t.assignment op_name in
+  let started = Relax_sim.Engine.now t.engine in
+  let n = Array.length t.sites in
+  let finished = ref false in
+  let written_entry = ref None in
+  let finish r =
+    if not !finished then begin
+      finished := true;
+      (match r with
+      | Completed (op, latency) ->
+        t.completed <- (Relax_sim.Engine.now t.engine, op) :: t.completed;
+        t.op_latencies <- latency :: t.op_latencies
+      | Unavailable _ ->
+        t.unavailable <- t.unavailable + 1;
+        (* abort: the tentative entry (if any) is discarded everywhere *)
+        Option.iter (abort_entry t) !written_entry);
+      callback r
+    end
+  in
+  (* Phase 2+3, entered once the view is assembled. *)
+  let write_phase view_log =
+    match t.respond (Log.to_history view_log) inv with
+    | None ->
+      finish
+        (Unavailable
+           (Fmt.str "no response consistent with the view for %s" op_name))
+    | Some op ->
+      (* Lamport discipline: the new entry's timestamp dominates
+         everything the client observed (its view) and everything its
+         attached site has seen; the site's clock advances in turn.
+         Timestamps need not be globally unique — entries are identified
+         by (timestamp, operation), and the total (ts, op) order keeps
+         log merges deterministic. *)
+      let site = t.sites.(client_site) in
+      let ts =
+        Timestamp.tick
+          (Timestamp.merge (Log.max_ts view_log) site.clock)
+          ~site:client_site
+      in
+      site.clock <- Timestamp.merge site.clock ts;
+      let entry = Log.entry ~ts op in
+      written_entry := Some entry;
+      let updated = Log.insert view_log entry in
+      let acks = ref 0 in
+      (* The update is pushed only to a final quorum's worth of sites the
+         client can currently reach; everybody else learns of it through
+         background gossip.  This is the lazy-propagation model of Locus
+         and Grapevine that the bank-account example relies on: final
+         quorums "grow in time". *)
+      let targets =
+        List.filter
+          (fun s -> Relax_sim.Network.reachable t.net ~src:client_site ~dst:s)
+          (List.init n Fun.id)
+        |> List.filteri (fun i _ -> i < max final_need 1)
+      in
+      if final_need = 0 then
+        finish (Completed (op, Relax_sim.Engine.now t.engine -. started))
+      else
+        List.iter
+          (fun s ->
+            Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
+                absorb t s updated;
+                (* acknowledgement travelling back *)
+                Relax_sim.Network.send t.net ~src:s ~dst:client_site (fun () ->
+                    incr acks;
+                    if !acks = final_need then
+                      finish
+                        (Completed
+                           (op, Relax_sim.Engine.now t.engine -. started)))))
+          targets
+  in
+  (* Phase 1: gather an initial quorum of logs. *)
+  let replies = ref 0 in
+  let view = ref Log.empty in
+  if initial_need = 0 then write_phase Log.empty
+  else
+    for s = 0 to n - 1 do
+      Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
+          let log = t.sites.(s).log in
+          Relax_sim.Network.send t.net ~src:s ~dst:client_site (fun () ->
+              incr replies;
+              view := Log.merge !view log;
+              if !replies = initial_need then write_phase !view))
+    done;
+  (* Timeout watchdog. *)
+  Relax_sim.Engine.schedule t.engine ~delay:t.timeout (fun () ->
+      finish (Unavailable (Fmt.str "timeout after %.0f" t.timeout)))

@@ -1,0 +1,72 @@
+open Relax_core
+open Relax_quorum
+
+(** The quorum-consensus replica runtime (Section 3.1 of the paper,
+    executed for real over the discrete-event network).
+
+    A client executes an operation in the paper's three steps: merge the
+    logs of an initial quorum into a view; choose a response consistent
+    with the view; record the new entry at a final quorum, with remaining
+    updates propagating in the background.  Crashes, partitions and
+    message loss come from the network model; operations that cannot
+    assemble quorums before the timeout report [Unavailable]. *)
+
+type result = Completed of Op.t * float  (** response, latency *)
+            | Unavailable of string
+
+(** Chooses the response to an invocation given the merged view ([None]
+    when no response is consistent) — the executable form of the
+    evaluation function [eta]. *)
+type response_chooser = History.t -> Op.invocation -> Op.t option
+
+type t
+
+(** Raises when the network and assignment disagree on the site count. *)
+val create :
+  ?timeout:float ->
+  Relax_sim.Engine.t ->
+  Relax_sim.Network.t ->
+  Assignment.t ->
+  respond:response_chooser ->
+  t
+
+val engine : t -> Relax_sim.Engine.t
+val network : t -> Relax_sim.Network.t
+val site_log : t -> int -> Log.t
+
+(** The union of all site logs. *)
+val global_log : t -> Log.t
+
+(** Completed operations in completion-time order, with their times. *)
+val completed : t -> (float * Op.t) list
+
+(** Just the operations, in completion order — the history the
+    verification experiments replay through the predicted behavior. *)
+val completed_history : t -> History.t
+
+val unavailable_count : t -> int
+val op_latencies : t -> float list
+
+(** One anti-entropy round: every up site pushes its log to every
+    reachable peer. *)
+val gossip : t -> unit
+
+(** Simulated stable-storage loss: the site forgets its log and clock.
+    The quorum-consensus guarantees assume logs survive crashes; see the
+    amnesia experiment. *)
+val wipe_site : t -> int -> unit
+
+(** Log compaction: when the prefix at or before [watermark] is identical
+    at every site, replace it everywhere by [summarize prefix-history]
+    (synthetic operations reconstructing its effect) and return the
+    number of entries reclaimed per site; [None] when the prefix is not
+    yet stable. *)
+val checkpoint :
+  t ->
+  watermark:Timestamp.t ->
+  summarize:(History.t -> Op.t list) ->
+  int option
+
+(** Execute one invocation for a client attached to [client_site];
+    [callback] fires exactly once. *)
+val execute : t -> client_site:int -> Op.invocation -> (result -> unit) -> unit

@@ -1,0 +1,63 @@
+(* The discrete-event simulation engine.
+
+   Time is a float of abstract "milliseconds".  Events are closures
+   scheduled at absolute times and executed in (time, sequence) order, the
+   sequence number breaking ties FIFO so same-instant events run in the
+   order they were scheduled — which keeps runs deterministic. *)
+
+type event = { at : float; seq : int; run : unit -> unit }
+
+let compare_event a b =
+  let c = Float.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  mutable executed : int;
+  queue : event Heap.t;
+  rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  {
+    now = 0.0;
+    next_seq = 0;
+    executed = 0;
+    queue = Heap.create ~compare:compare_event ();
+    rng = Rng.create ~seed;
+  }
+
+let now t = t.now
+let rng t = t.rng
+let executed_events t = t.executed
+let pending_events t = Heap.size t.queue
+
+let schedule_at t ~at run =
+  if at < t.now then invalid_arg "Engine.schedule_at: event in the past";
+  Heap.push t.queue { at; seq = t.next_seq; run };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay run =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.now +. delay) run
+
+(* Runs until the queue drains, [until] is reached, or [max_events] have
+   executed.  Events scheduled while running are processed in turn. *)
+let run ?until ?max_events t =
+  let continue () =
+    (match max_events with Some m -> t.executed < m | None -> true)
+    &&
+    match Heap.peek t.queue with
+    | None -> false
+    | Some e -> ( match until with Some u -> e.at <= u | None -> true)
+  in
+  while continue () do
+    match Heap.pop t.queue with
+    | None -> ()
+    | Some e ->
+      t.now <- e.at;
+      t.executed <- t.executed + 1;
+      e.run ()
+  done;
+  match until with Some u when Heap.is_empty t.queue -> t.now <- max t.now u | _ -> ()

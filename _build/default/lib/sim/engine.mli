@@ -1,0 +1,28 @@
+(** The discrete-event simulation engine.
+
+    Time is a float of abstract milliseconds.  Events are closures
+    scheduled at absolute times and executed in (time, sequence) order;
+    the sequence number breaks ties FIFO, keeping runs deterministic. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+(** Current simulation time. *)
+val now : t -> float
+
+(** The engine's root random stream (split it per process). *)
+val rng : t -> Rng.t
+
+val executed_events : t -> int
+val pending_events : t -> int
+
+(** Schedule at an absolute time.  Raises if the time is in the past. *)
+val schedule_at : t -> at:float -> (unit -> unit) -> unit
+
+(** Schedule after a delay.  Raises on negative delays. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** Runs until the queue drains, [until] is reached, or [max_events] have
+    executed. *)
+val run : ?until:float -> ?max_events:int -> t -> unit

@@ -1,0 +1,77 @@
+(* A polymorphic binary min-heap backed by a growable array.  Used as the
+   pending-event queue of the discrete-event engine, where it must support
+   millions of schedule/pop pairs without allocation churn. *)
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~compare () = { compare; data = [||]; size = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let grow t witness =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let data = Array.make ncap witness in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.compare t.data.(l) t.data.(!smallest) < 0 then
+    smallest := l;
+  if r < t.size && t.compare t.data.(r) t.data.(!smallest) < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+(* Drains the heap in order; mostly for tests. *)
+let to_sorted_list t =
+  let copy = { t with data = Array.copy t.data } in
+  let rec go acc =
+    match pop copy with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []

@@ -1,0 +1,18 @@
+(** A polymorphic binary min-heap backed by a growable array; the
+    pending-event queue of the discrete-event engine. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** The minimum element, without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Removes and returns the minimum element. *)
+val pop : 'a t -> 'a option
+
+(** Non-destructively drains a copy in ascending order (for tests). *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,27 @@
+(** Lightweight metrics for simulation experiments: named counters and
+    float series with summary statistics. *)
+
+type t
+
+val create : unit -> t
+
+(** Increment a named counter (created at zero on first use). *)
+val incr : ?by:int -> t -> string -> unit
+
+val count : t -> string -> int
+
+(** Record one observation in a named series. *)
+val observe : t -> string -> float -> unit
+
+(** Observations in insertion order. *)
+val observations : t -> string -> float list
+
+(** [None] when the series is empty. *)
+val mean : t -> string -> float option
+
+(** Nearest-rank quantile, [q] in [\[0, 1\]]. *)
+val quantile : t -> string -> float -> float option
+
+val counter_names : t -> string list
+val series_names : t -> string list
+val pp : t Fmt.t

@@ -1,0 +1,87 @@
+(* The fault-injecting network model.
+
+   Sites are numbered 0..n-1.  Messages are closures delivered after a
+   randomized latency, subject to loss; delivery is suppressed when the
+   destination is crashed or the two endpoints are in different partition
+   cells *at delivery time* — matching the packet-radio intuition of the
+   taxi example, where a message sent before a partition may still be lost
+   to it. *)
+
+type t = {
+  engine : Engine.t;
+  n : int;
+  rng : Rng.t;
+  mutable up : bool array;
+  mutable cell : int array; (* partition cell of each site *)
+  mean_latency : float;
+  drop_probability : float;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ?(mean_latency = 5.0) ?(drop_probability = 0.0) engine ~sites =
+  if sites <= 0 then invalid_arg "Network.create: sites must be positive";
+  if drop_probability < 0.0 || drop_probability > 1.0 then
+    invalid_arg "Network.create: drop_probability out of range";
+  {
+    engine;
+    n = sites;
+    rng = Rng.split (Engine.rng engine);
+    up = Array.make sites true;
+    cell = Array.make sites 0;
+    mean_latency;
+    drop_probability;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let sites t = t.n
+let is_up t s = t.up.(s)
+let up_sites t = List.filter (fun s -> t.up.(s)) (List.init t.n Fun.id)
+let up_count t = List.length (up_sites t)
+
+let crash t s = t.up.(s) <- false
+let recover t s = t.up.(s) <- true
+
+(* Partition the network into the given cells; unassigned sites go to cell
+   0.  [heal] restores full connectivity. *)
+let partition t cells =
+  Array.fill t.cell 0 t.n 0;
+  List.iteri
+    (fun cell_id members ->
+      List.iter
+        (fun s ->
+          if s < 0 || s >= t.n then invalid_arg "Network.partition: bad site";
+          t.cell.(s) <- cell_id + 1)
+        members)
+    cells
+
+let heal t = Array.fill t.cell 0 t.n 0
+
+let connected t a b = t.cell.(a) = t.cell.(b)
+
+(* Can [src] currently reach [dst]?  Used by clients to select quorums. *)
+let reachable t ~src ~dst =
+  t.up.(src) && t.up.(dst) && connected t src dst
+
+let stats t = (t.sent, t.delivered, t.dropped)
+
+(* Latency model: exponential around the configured mean, so bursts of
+   reordering occur naturally. *)
+let draw_latency t =
+  if t.mean_latency <= 0.0 then 0.0
+  else Rng.exponential t.rng ~rate:(1.0 /. t.mean_latency)
+
+let send t ~src ~dst deliver =
+  t.sent <- t.sent + 1;
+  if Rng.bool t.rng t.drop_probability then t.dropped <- t.dropped + 1
+  else
+    let latency = draw_latency t in
+    Engine.schedule t.engine ~delay:latency (fun () ->
+        if reachable t ~src ~dst then begin
+          t.delivered <- t.delivered + 1;
+          deliver ()
+        end
+        else t.dropped <- t.dropped + 1)

@@ -1,0 +1,36 @@
+(** Fault-injecting network model over {!Engine}.
+
+    Sites are numbered [0..n-1].  Messages are closures delivered after a
+    randomized (exponential) latency, subject to loss; delivery is
+    suppressed when the destination is crashed or the endpoints are in
+    different partition cells at delivery time. *)
+
+type t
+
+val create :
+  ?mean_latency:float -> ?drop_probability:float -> Engine.t -> sites:int -> t
+
+val sites : t -> int
+val is_up : t -> int -> bool
+val up_sites : t -> int list
+val up_count : t -> int
+val crash : t -> int -> unit
+val recover : t -> int -> unit
+
+(** Split the network into cells; unlisted sites share cell 0. *)
+val partition : t -> int list list -> unit
+
+(** Restore full connectivity. *)
+val heal : t -> unit
+
+val connected : t -> int -> int -> bool
+
+(** Can [src] currently reach [dst]?  (Both up and same cell.) *)
+val reachable : t -> src:int -> dst:int -> bool
+
+(** [(sent, delivered, dropped)] counters. *)
+val stats : t -> int * int * int
+
+(** [send t ~src ~dst deliver] schedules [deliver] after the drawn latency
+    unless the message is lost. *)
+val send : t -> src:int -> dst:int -> (unit -> unit) -> unit

@@ -1,0 +1,73 @@
+(* Deterministic splittable pseudo-random numbers (SplitMix64).
+
+   The simulator must be reproducible from a single seed: every run of an
+   experiment with the same parameters prints the same numbers.  SplitMix64
+   passes BigCrush, is trivially seedable and supports cheap splitting, so
+   independent processes (sites, clients, the network) can draw from
+   decorrelated streams. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* A decorrelated child stream. *)
+let split t = { state = next_int64 t }
+
+let copy t = { state = t.state }
+
+(* Uniform integer in [0, bound).  The draw is truncated to 62 bits so
+   Int64.to_int can never wrap negative on 63-bit OCaml ints. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(* Uniform float in [0, 1). *)
+let unit_float t =
+  let r = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float r /. 9007199254740992.0 (* 2^53 *)
+
+let float t bound =
+  if bound <= 0.0 then invalid_arg "Rng.float: bound must be positive";
+  unit_float t *. bound
+
+(* Bernoulli draw: true with probability p. *)
+let bool t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Rng.bool: p out of range";
+  unit_float t < p
+
+(* Exponential inter-arrival times with the given rate. *)
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1.0 -. unit_float t) /. rate
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(* In-place Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* A uniformly random subset of size k. *)
+let sample t k l =
+  if k < 0 || k > List.length l then invalid_arg "Rng.sample";
+  let arr = Array.of_list l in
+  shuffle t arr;
+  Array.to_list (Array.sub arr 0 k)

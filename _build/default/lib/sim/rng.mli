@@ -1,0 +1,40 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Every simulator run is reproducible from a single seed; {!split}
+    produces decorrelated child streams for independent processes. *)
+
+type t
+
+val create : seed:int -> t
+
+(** A decorrelated child stream (advances the parent). *)
+val split : t -> t
+
+(** An independent copy at the current position. *)
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+(** Uniform integer in [\[0, bound)].  Raises on non-positive bounds. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val unit_float : t -> float
+
+(** Uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** Bernoulli draw: [true] with probability [p]. *)
+val bool : t -> float -> bool
+
+(** Exponential variate with the given rate. *)
+val exponential : t -> rate:float -> float
+
+(** Uniform choice.  Raises on the empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** A uniformly random sublist of size [k]. *)
+val sample : t -> int -> 'a list -> 'a list

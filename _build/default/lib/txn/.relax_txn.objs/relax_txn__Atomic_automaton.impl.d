@@ -1,0 +1,1 @@
+lib/txn/atomic_automaton.ml: Atomicity Automaton Fmt History Language List Op Relax_core Schedule String Tid Value

@@ -1,0 +1,1 @@
+lib/txn/atomic_automaton.mli: Automaton History Language Op Relax_core Schedule Tid

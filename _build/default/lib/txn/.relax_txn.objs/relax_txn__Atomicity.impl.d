@@ -1,0 +1,1 @@
+lib/txn/atomicity.ml: Automaton List Relax_core Schedule Tid

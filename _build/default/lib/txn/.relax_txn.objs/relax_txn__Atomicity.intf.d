@@ -1,0 +1,1 @@
+lib/txn/atomicity.mli: Automaton Relax_core Schedule Tid

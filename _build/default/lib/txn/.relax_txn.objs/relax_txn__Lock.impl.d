@@ -1,0 +1,1 @@
+lib/txn/lock.ml: Fmt Hashtbl List String Tid

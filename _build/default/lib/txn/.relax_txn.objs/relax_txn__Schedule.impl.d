@@ -1,0 +1,1 @@
+lib/txn/schedule.ml: Fmt Hashtbl History List Op Relax_core Tid

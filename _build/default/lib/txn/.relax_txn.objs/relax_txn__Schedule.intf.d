@@ -1,0 +1,1 @@
+lib/txn/schedule.mli: Fmt History Op Relax_core Tid

@@ -1,0 +1,1 @@
+lib/txn/spool.ml: Fmt List Relax_core Relax_objects Schedule Tid Value

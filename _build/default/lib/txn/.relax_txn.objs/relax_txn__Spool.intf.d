@@ -1,0 +1,1 @@
+lib/txn/spool.mli: Fmt Relax_core Schedule Tid Value

@@ -1,0 +1,1 @@
+lib/txn/tid.ml: Fmt Int Stdlib

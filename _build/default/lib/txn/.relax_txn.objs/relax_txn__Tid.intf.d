@@ -1,0 +1,1 @@
+lib/txn/tid.mli: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/txn/workload.ml: Hashtbl List Option Relax_core Relax_objects Relax_sim Schedule Spool Tid Value

@@ -1,0 +1,1 @@
+lib/txn/workload.mli: Relax_core Schedule Spool Value

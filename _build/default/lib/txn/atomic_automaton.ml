@@ -1,0 +1,94 @@
+open Relax_core
+
+(* Atomic object automata (Section 4.1) as actual automata.
+
+   Atomic(A) accepts the well-formed, on-line atomic schedules of A.  The
+   checkers in [Atomicity] decide membership for a whole schedule; this
+   module packages the same decision as an incremental automaton over
+   schedule steps, so the bounded language machinery of [Language] —
+   enumeration, inclusion, the relaxation lattices themselves — applies to
+   atomic objects exactly as it does to simple ones.
+
+   Schedule steps are encoded as operations:
+     <p, P>       -->  the operation p with the transaction id prepended
+                       to its arguments
+     <commit, P>  -->  Commit(P)/Ok()
+     <abort, P>   -->  Abort(P)/Ok()
+
+   The automaton's state is the schedule accepted so far (as QCA's state
+   is its history); each extension re-checks well-formedness and on-line
+   atomicity, so acceptance of a word equals membership of the decoded
+   schedule in L(Atomic(A)) — at an exponential cost that is fine for the
+   bounded exploration this library performs. *)
+
+let commit_name = "Commit"
+let abort_name = "Abort"
+
+let encode_step (step : Schedule.step) : Op.t =
+  match step with
+  | Schedule.Exec (p, op) ->
+    Op.make (Op.name op)
+      ~args:(Value.int (Tid.to_int p) :: Op.args op)
+      ~term:(Op.term op) ~results:(Op.results op)
+  | Schedule.Commit p ->
+    Op.make commit_name ~args:[ Value.int (Tid.to_int p) ]
+  | Schedule.Abort p -> Op.make abort_name ~args:[ Value.int (Tid.to_int p) ]
+
+let decode_step (op : Op.t) : Schedule.step option =
+  match Op.args op with
+  | Value.Int tid :: rest when tid >= 0 ->
+    let p = Tid.of_int tid in
+    if String.equal (Op.name op) commit_name && rest = [] then
+      Some (Schedule.Commit p)
+    else if String.equal (Op.name op) abort_name && rest = [] then
+      Some (Schedule.Abort p)
+    else
+      Some
+        (Schedule.Exec
+           ( p,
+             Op.make (Op.name op) ~args:rest ~term:(Op.term op)
+               ~results:(Op.results op) ))
+  | _ -> None
+
+let encode (s : Schedule.t) : History.t = List.map encode_step s
+
+let decode (h : History.t) : Schedule.t option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | op :: rest -> (
+      match decode_step op with
+      | Some step -> go (step :: acc) rest
+      | None -> None)
+  in
+  go [] h
+
+(* Atomic(A): accepts encoded schedules that are well-formed and on-line
+   atomic.  [max_nodes] bounds each incremental serializability search. *)
+let automaton ?max_nodes (a : 'v Automaton.t) =
+  Automaton.make
+    ~name:(Fmt.str "Atomic(%s)" (Automaton.name a))
+    ~init:[]
+    ~equal:Schedule.equal
+    ~pp_state:Schedule.pp
+    (fun sched op ->
+      match decode_step op with
+      | None -> []
+      | Some step ->
+        let sched' = sched @ [ step ] in
+        if
+          Schedule.well_formed sched'
+          && Atomicity.online_atomic ?max_nodes a sched'
+        then [ sched' ]
+        else [])
+
+(* The schedule-step alphabet over [tids] transactions and an underlying
+   operation alphabet. *)
+let alphabet ~tids (ops : Language.alphabet) : Language.alphabet =
+  List.concat_map
+    (fun p ->
+      List.map (fun op -> encode_step (Schedule.Exec (p, op))) ops
+      @ [
+          encode_step (Schedule.Commit p);
+          encode_step (Schedule.Abort p);
+        ])
+    tids

@@ -1,0 +1,27 @@
+open Relax_core
+
+(** Atomic object automata (Section 4.1 of the paper) as actual automata:
+    [Atomic(A)] accepts the well-formed, on-line atomic schedules of [A],
+    with schedule steps encoded as operations so the bounded language
+    machinery applies to atomic objects exactly as to simple ones. *)
+
+val commit_name : string
+val abort_name : string
+
+(** [<p, P>] becomes [p] with the transaction id prepended to its
+    arguments; commit/abort become [Commit(P)] / [Abort(P)]. *)
+val encode_step : Schedule.step -> Op.t
+
+val decode_step : Op.t -> Schedule.step option
+val encode : Schedule.t -> History.t
+
+(** [None] when some operation is not a valid encoded step. *)
+val decode : History.t -> Schedule.t option
+
+(** [Atomic(A)].  [max_nodes] bounds each incremental serializability
+    search (see {!Atomicity.find_serialization}). *)
+val automaton : ?max_nodes:int -> 'v Automaton.t -> Schedule.t Automaton.t
+
+(** The schedule-step alphabet over the given transactions and underlying
+    operation alphabet. *)
+val alphabet : tids:Tid.t list -> Language.alphabet -> Language.alphabet

@@ -1,0 +1,102 @@
+open Relax_core
+
+(* Serializability and atomicity (Definitions 5-7).
+
+   A schedule is serializable when some total order on its transactions
+   concatenates their projections into a history of the underlying simple
+   object automaton; atomic when its committed subschedule is serializable;
+   on-line atomic when committing any subset of active transactions
+   preserves atomicity; hybrid atomic when committed transactions serialize
+   in commit order.  Orders are searched by DFS with prefix pruning: a
+   partial concatenation that the automaton already rejects cannot be
+   completed. *)
+
+(* Is H1 . H2 . ... accepted, where the Hi are the projections taken in
+   the order given? *)
+let accepts_in_order (a : 'v Automaton.t) (s : Schedule.t) order =
+  let h = List.concat_map (fun p -> Schedule.projection s p) order in
+  Automaton.accepts a h
+
+exception Search_budget_exhausted
+
+(* Search for a serialization order of all transactions of [s].  States
+   are threaded through the search so each projection is replayed at most
+   once per partial order considered, and rejected prefixes prune the
+   subtree.  The search is still exponential when no order exists;
+   [max_nodes] bounds it (default 200k nodes) and
+   {!Search_budget_exhausted} is raised when the bound is hit, so an
+   undecided answer is never silently reported as "not serializable". *)
+let find_serialization ?(max_nodes = 200_000) (a : 'v Automaton.t)
+    (s : Schedule.t) =
+  let txns = Schedule.transactions s in
+  let budget = ref max_nodes in
+  let rec go states order remaining =
+    decr budget;
+    if !budget <= 0 then raise Search_budget_exhausted;
+    match remaining with
+    | [] -> Some (List.rev order)
+    | _ ->
+      List.find_map
+        (fun p ->
+          let h = Schedule.projection s p in
+          match
+            List.fold_left (fun sts op -> Automaton.step_set a sts op) states h
+          with
+          | [] -> None
+          | states' ->
+            let remaining' =
+              List.filter (fun q -> not (Tid.equal p q)) remaining
+            in
+            go states' (p :: order) remaining')
+        remaining
+  in
+  go [ Automaton.init a ] [] txns
+
+let serializable ?max_nodes a s = find_serialization ?max_nodes a s <> None
+
+(* Definition 6: H is atomic if perm(H) is serializable. *)
+let atomic ?max_nodes a s = serializable ?max_nodes a (Schedule.perm s)
+
+(* Definition 7: on-line atomicity.  Every subset of active transactions
+   must be committable: for each subset S, appending commits for S yields
+   an atomic schedule.  Equivalently, perm(H) extended by the operations of
+   S must be serializable. *)
+let subsets l =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let subs = go rest in
+      subs @ List.map (fun s -> x :: s) subs
+  in
+  go l
+
+let online_atomic ?max_nodes a s =
+  let commits ps = List.map (fun p -> Schedule.Commit p) ps in
+  List.for_all
+    (fun some_active -> atomic ?max_nodes a (s @ commits some_active))
+    (subsets (Schedule.active s))
+
+(* Hybrid atomicity (Weihl): committed transactions serialize in commit
+   order.  This is the property guaranteed by strict two-phase locking
+   with commit-time timestamps. *)
+let hybrid_atomic a s =
+  Schedule.well_formed s
+  && accepts_in_order a (Schedule.perm s) (Schedule.commit_order s)
+
+(* The language test of Atomic(A): well-formed and on-line atomic
+   (Section 4.1). *)
+let in_atomic a s = Schedule.well_formed s && online_atomic a s
+
+(* Brute-force reference for the serializability checker: try every
+   permutation.  Exponential; used only by the cross-validation tests. *)
+let serializable_brute_force a s =
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> not (Tid.equal x y)) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+  in
+  List.exists (accepts_in_order a s) (permutations (Schedule.transactions s))

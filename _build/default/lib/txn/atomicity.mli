@@ -1,0 +1,38 @@
+open Relax_core
+
+(** Serializability and atomicity (Definitions 5-7 of the paper). *)
+
+(** Does the concatenation of per-transaction projections, in the given
+    order, form a history of [a]? *)
+val accepts_in_order : 'v Automaton.t -> Schedule.t -> Tid.t list -> bool
+
+(** Raised when a serialization search exceeds its node budget: the
+    answer is undecided, not "no". *)
+exception Search_budget_exhausted
+
+(** A serialization order of all transactions of the schedule, if any
+    (Definition 5).  DFS with prefix pruning, bounded by [max_nodes]
+    (default 200k); raises {!Search_budget_exhausted} when the budget is
+    hit. *)
+val find_serialization :
+  ?max_nodes:int -> 'v Automaton.t -> Schedule.t -> Tid.t list option
+
+val serializable : ?max_nodes:int -> 'v Automaton.t -> Schedule.t -> bool
+
+(** Definition 6: the committed subschedule is serializable. *)
+val atomic : ?max_nodes:int -> 'v Automaton.t -> Schedule.t -> bool
+
+(** Definition 7: committing any subset of active transactions preserves
+    atomicity. *)
+val online_atomic : ?max_nodes:int -> 'v Automaton.t -> Schedule.t -> bool
+
+(** Committed transactions serialize in commit order (the property
+    guaranteed by strict two-phase locking). *)
+val hybrid_atomic : 'v Automaton.t -> Schedule.t -> bool
+
+(** Membership in [L(Atomic(A))]: well-formed and on-line atomic. *)
+val in_atomic : 'v Automaton.t -> Schedule.t -> bool
+
+(** Permutation-enumeration reference implementation, for cross-validation
+    tests only. *)
+val serializable_brute_force : 'v Automaton.t -> Schedule.t -> bool

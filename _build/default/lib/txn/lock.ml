@@ -1,0 +1,180 @@
+(* A strict two-phase-locking manager with deadlock detection.
+
+   Strict 2PL is the paper's canonical mechanism for hybrid atomicity
+   (Section 4.1, ref [7]): a transaction acquires locks as it goes and
+   releases everything only at commit/abort.  The manager tracks shared
+   and exclusive locks per resource with FIFO wait queues, and detects
+   deadlock by cycle search in the waits-for graph, returning the cycle
+   so the caller can pick a victim.
+
+   This is the substrate a *blocking* (non-degrading) spooler builds on;
+   the experiments use it to quantify what the relaxed policies buy. *)
+
+type mode = Shared | Exclusive
+
+let pp_mode ppf = function
+  | Shared -> Fmt.string ppf "S"
+  | Exclusive -> Fmt.string ppf "X"
+
+type outcome =
+  | Granted
+  | Waiting
+  | Deadlock of Tid.t list (* the cycle, starting with the requester *)
+
+type request = { tid : Tid.t; mode : mode }
+
+type resource = {
+  mutable holders : request list; (* compatible set currently holding *)
+  mutable queue : request list; (* FIFO wait queue *)
+}
+
+type t = { resources : (string, resource) Hashtbl.t }
+
+let create () = { resources = Hashtbl.create 16 }
+
+let resource t name =
+  match Hashtbl.find_opt t.resources name with
+  | Some r -> r
+  | None ->
+    let r = { holders = []; queue = [] } in
+    Hashtbl.add t.resources name r;
+    r
+
+let compatible a b =
+  match (a, b) with Shared, Shared -> true | _, _ -> false
+
+let holds_resource r tid = List.exists (fun h -> Tid.equal h.tid tid) r.holders
+
+let holds t ~tid ~resource:name =
+  match Hashtbl.find_opt t.resources name with
+  | None -> false
+  | Some r -> holds_resource r tid
+
+(* The waits-for graph: an edge P -> Q when P waits behind Q, either
+   because Q holds the resource in a conflicting mode or because Q is an
+   earlier conflicting waiter in the FIFO queue. *)
+let waits_for t =
+  Hashtbl.fold
+    (fun _ r edges ->
+      let rec walk earlier edges = function
+        | [] -> edges
+        | w :: rest ->
+          let holder_blockers =
+            List.filter
+              (fun h ->
+                (not (Tid.equal h.tid w.tid))
+                && not (compatible w.mode h.mode))
+              r.holders
+          in
+          let waiter_blockers =
+            List.filter
+              (fun q ->
+                (not (Tid.equal q.tid w.tid))
+                && not (compatible w.mode q.mode))
+              earlier
+          in
+          let edges =
+            List.fold_left
+              (fun edges b -> (w.tid, b.tid) :: edges)
+              edges
+              (holder_blockers @ waiter_blockers)
+          in
+          walk (earlier @ [ w ]) edges rest
+      in
+      walk [] edges r.queue)
+    t.resources []
+
+(* DFS cycle search from [start]. *)
+let find_cycle t start =
+  let edges = waits_for t in
+  let succ p =
+    List.filter_map
+      (fun (a, b) -> if Tid.equal a p then Some b else None)
+      edges
+  in
+  let rec go path p =
+    if List.exists (Tid.equal p) path then Some (List.rev (p :: path))
+    else List.find_map (fun q -> go (p :: path) q) (succ p)
+  in
+  go [] start
+
+(* Acquire, with upgrade handling: a lone shared holder requesting
+   exclusive access is upgraded immediately. *)
+let acquire t ~tid ~resource:name mode =
+  let r = resource t name in
+  match List.find_opt (fun h -> Tid.equal h.tid tid) r.holders with
+  | Some h when h.mode = Exclusive || mode = Shared -> Granted
+  | Some _ when List.length r.holders = 1 ->
+    r.holders <- [ { tid; mode = Exclusive } ];
+    Granted
+  | held ->
+    let holder_conflict =
+      List.exists
+        (fun h -> (not (Tid.equal h.tid tid)) && not (compatible mode h.mode))
+        r.holders
+      || (held <> None && mode = Exclusive)
+      (* upgrade wanted but other holders present *)
+    in
+    let waiter_conflict =
+      (* fairness: a new request waits behind conflicting waiters *)
+      List.exists (fun w -> not (compatible mode w.mode)) r.queue
+    in
+    if (not holder_conflict) && not waiter_conflict then begin
+      r.holders <- r.holders @ [ { tid; mode } ];
+      Granted
+    end
+    else begin
+      if not (List.exists (fun w -> Tid.equal w.tid tid) r.queue) then
+        r.queue <- r.queue @ [ { tid; mode } ];
+      match find_cycle t tid with
+      | Some cycle ->
+        (* withdraw the request so the victim can abort cleanly *)
+        r.queue <- List.filter (fun w -> not (Tid.equal w.tid tid)) r.queue;
+        Deadlock cycle
+      | None -> Waiting
+    end
+
+(* Grant queued requests in FIFO order while compatible. *)
+let promote r =
+  let rec go acc =
+    match r.queue with
+    | w :: rest
+      when List.for_all (fun h -> compatible w.mode h.mode) r.holders ->
+      r.queue <- rest;
+      r.holders <- r.holders @ [ w ];
+      go (w.tid :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* Strict 2PL: all locks release together at transaction end.  Returns
+   the transactions whose queued requests became granted. *)
+let release_all t ~tid =
+  let granted = ref [] in
+  Hashtbl.iter
+    (fun _ r ->
+      r.holders <- List.filter (fun h -> not (Tid.equal h.tid tid)) r.holders;
+      r.queue <- List.filter (fun w -> not (Tid.equal w.tid tid)) r.queue;
+      granted := !granted @ promote r)
+    t.resources;
+  List.sort_uniq Tid.compare !granted
+
+let waiting t ~tid =
+  Hashtbl.fold
+    (fun name r acc ->
+      if List.exists (fun w -> Tid.equal w.tid tid) r.queue then name :: acc
+      else acc)
+    t.resources []
+  |> List.sort String.compare
+
+let pp ppf t =
+  Hashtbl.iter
+    (fun name r ->
+      Fmt.pf ppf "%s: holders=[%a] queue=[%a]@\n" name
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf h ->
+             Fmt.pf ppf "%a:%a" Tid.pp h.tid pp_mode h.mode))
+        r.holders
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf w ->
+             Fmt.pf ppf "%a:%a" Tid.pp w.tid pp_mode w.mode))
+        r.queue)
+    t.resources

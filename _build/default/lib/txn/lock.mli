@@ -1,0 +1,42 @@
+(** A strict two-phase-locking manager with deadlock detection
+    (Section 4.1 of the paper, ref [7]).
+
+    Shared/exclusive locks per named resource with FIFO wait queues;
+    deadlock is detected by cycle search in the waits-for graph (holders
+    and earlier conflicting waiters both count as blockers). *)
+
+type mode = Shared | Exclusive
+
+val pp_mode : mode Fmt.t
+
+type outcome =
+  | Granted
+  | Waiting
+  | Deadlock of Tid.t list
+      (** the waits-for cycle, starting with the requester; the request
+          has been withdrawn so the victim can abort cleanly *)
+
+type t
+
+val create : unit -> t
+
+(** [acquire t ~tid ~resource mode].  Re-acquiring a held lock is
+    granted; a lone shared holder upgrades to exclusive in place; new
+    requests queue FIFO behind conflicting waiters. *)
+val acquire : t -> tid:Tid.t -> resource:string -> mode -> outcome
+
+(** Does the transaction currently hold any lock on the resource? *)
+val holds : t -> tid:Tid.t -> resource:string -> bool
+
+(** Release every lock and queued request of the transaction (strict
+    2PL); returns the transactions whose queued requests became granted,
+    deduplicated. *)
+val release_all : t -> tid:Tid.t -> Tid.t list
+
+(** Resources the transaction is currently queued on. *)
+val waiting : t -> tid:Tid.t -> string list
+
+(** The waits-for edges (waiter, blocker); exposed for tests. *)
+val waits_for : t -> (Tid.t * Tid.t) list
+
+val pp : t Fmt.t

@@ -1,0 +1,97 @@
+open Relax_core
+
+(* Transaction schedules (Section 4.1).
+
+   A schedule is a sequence of steps <p, P> where p is an object operation,
+   commit, or abort, and P a transaction identifier.  A schedule is
+   well-formed when no transaction both commits and aborts, and no
+   transaction executes anything after committing or aborting. *)
+
+type step =
+  | Exec of Tid.t * Op.t
+  | Commit of Tid.t
+  | Abort of Tid.t
+
+type t = step list
+
+let empty = []
+let append s step = s @ [ step ]
+let of_list steps = steps
+let to_list s = s
+let length = List.length
+
+let step_tid = function Exec (p, _) -> p | Commit p -> p | Abort p -> p
+
+let pp_step ppf = function
+  | Exec (p, op) -> Fmt.pf ppf "<%a, %a>" Op.pp op Tid.pp p
+  | Commit p -> Fmt.pf ppf "<commit, %a>" Tid.pp p
+  | Abort p -> Fmt.pf ppf "<abort, %a>" Tid.pp p
+
+let pp ppf s =
+  if s = [] then Fmt.string ppf "<empty>"
+  else Fmt.list ~sep:(Fmt.any " . ") pp_step ppf s
+
+(* Transactions appearing in the schedule, in order of first appearance. *)
+let transactions s =
+  List.fold_left
+    (fun acc step ->
+      let p = step_tid step in
+      if List.exists (Tid.equal p) acc then acc else acc @ [ p ])
+    [] s
+
+let committed s =
+  List.filter_map (function Commit p -> Some p | _ -> None) s
+
+let aborted s = List.filter_map (function Abort p -> Some p | _ -> None) s
+
+let is_committed s p = List.exists (Tid.equal p) (committed s)
+let is_aborted s p = List.exists (Tid.equal p) (aborted s)
+
+(* Transactions that are neither committed nor aborted. *)
+let active s =
+  List.filter
+    (fun p -> not (is_committed s p || is_aborted s p))
+    (transactions s)
+
+(* H|P: the history of object operations executed by P (Section 4.1). *)
+let projection s p : History.t =
+  List.filter_map
+    (function
+      | Exec (q, op) when Tid.equal q p -> Some op
+      | Exec _ | Commit _ | Abort _ -> None)
+    s
+
+(* perm(H): the subschedule of operations of committed transactions. *)
+let perm s =
+  let committed_set = committed s in
+  let is_comm p = List.exists (Tid.equal p) committed_set in
+  List.filter (fun step -> is_comm (step_tid step)) s
+
+(* Well-formedness (Section 4.1): a transaction never executes after
+   committing or aborting, and never both commits and aborts. *)
+let well_formed s =
+  let finished = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iter
+    (fun step ->
+      let p = Tid.to_int (step_tid step) in
+      if Hashtbl.mem finished p then ok := false
+      else
+        match step with
+        | Commit _ | Abort _ -> Hashtbl.add finished p ()
+        | Exec _ -> ())
+    s;
+  !ok
+
+(* The commit order: committed transactions ordered by commit position. *)
+let commit_order s = committed s
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Exec (p, op), Exec (q, oq) -> Tid.equal p q && Op.equal op oq
+         | Commit p, Commit q | Abort p, Abort q -> Tid.equal p q
+         | _ -> false)
+       a b

@@ -1,0 +1,48 @@
+open Relax_core
+
+(** Transaction schedules (Section 4.1 of the paper).
+
+    A schedule is a sequence of steps [<p, P>] where [p] is an object
+    operation, commit, or abort, and [P] a transaction identifier. *)
+
+type step =
+  | Exec of Tid.t * Op.t
+  | Commit of Tid.t
+  | Abort of Tid.t
+
+type t = step list
+
+val empty : t
+val append : t -> step -> t
+val of_list : step list -> t
+val to_list : t -> step list
+val length : t -> int
+val step_tid : step -> Tid.t
+val pp_step : step Fmt.t
+val pp : t Fmt.t
+
+(** Transactions in order of first appearance. *)
+val transactions : t -> Tid.t list
+
+val committed : t -> Tid.t list
+val aborted : t -> Tid.t list
+val is_committed : t -> Tid.t -> bool
+val is_aborted : t -> Tid.t -> bool
+
+(** Transactions that are neither committed nor aborted. *)
+val active : t -> Tid.t list
+
+(** [projection s p] is [H|P]: the operations executed by [p]. *)
+val projection : t -> Tid.t -> History.t
+
+(** [perm s]: the subschedule of committed transactions. *)
+val perm : t -> t
+
+(** No transaction executes after finishing, and none both commits and
+    aborts. *)
+val well_formed : t -> bool
+
+(** Committed transactions in commit order. *)
+val commit_order : t -> Tid.t list
+
+val equal : t -> t -> bool

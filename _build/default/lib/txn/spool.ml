@@ -1,0 +1,135 @@
+open Relax_core
+
+(* The shared printing-service queue of Section 4.2, with the three
+   concurrency-control policies the paper discusses:
+
+   - [Locking]: strict FIFO; a dequeuer that finds the head tentatively
+     dequeued by another active transaction must wait (Deq refuses).
+   - [Optimistic]: assumes the earlier dequeuer will commit — skips
+     tentatively dequeued items and takes the next available one.  While
+     at most k transactions dequeue concurrently this implements
+     Semiqueue_k.
+   - [Pessimistic]: assumes the earlier dequeuer will abort — returns the
+     same head item again.  While at most j transactions dequeue
+     concurrently this implements Stuttering_j.
+
+   Enqueued items become visible to dequeuers only once the enqueuing
+   transaction commits (recoverability); tentative state is rolled back on
+   abort.  Every successful operation, commit and abort is recorded in a
+   schedule consumed by the atomicity checkers. *)
+
+type policy = Locking | Optimistic | Pessimistic
+
+let pp_policy ppf = function
+  | Locking -> Fmt.string ppf "locking"
+  | Optimistic -> Fmt.string ppf "optimistic"
+  | Pessimistic -> Fmt.string ppf "pessimistic"
+
+type entry = {
+  value : Value.t;
+  mutable enq_status : [ `Tentative of Tid.t | `Committed | `Gone ];
+  mutable claims : Tid.t list; (* active transactions that returned it *)
+}
+
+type t = {
+  policy : policy;
+  mutable entries : entry list; (* in enqueue order *)
+  mutable rev_schedule : Schedule.step list;
+  mutable active_dequeuers : Tid.Set.t;
+  mutable max_concurrent_dequeuers : int;
+}
+
+let create policy =
+  {
+    policy;
+    entries = [];
+    rev_schedule = [];
+    active_dequeuers = Tid.Set.empty;
+    max_concurrent_dequeuers = 0;
+  }
+
+let policy t = t.policy
+let schedule t = List.rev t.rev_schedule
+let max_concurrent_dequeuers t = t.max_concurrent_dequeuers
+
+let record t step = t.rev_schedule <- step :: t.rev_schedule
+
+let note_dequeuer t p =
+  t.active_dequeuers <- Tid.Set.add p t.active_dequeuers;
+  t.max_concurrent_dequeuers <-
+    max t.max_concurrent_dequeuers (Tid.Set.cardinal t.active_dequeuers)
+
+let enq t p v =
+  t.entries <- t.entries @ [ { value = v; enq_status = `Tentative p; claims = [] } ];
+  record t (Schedule.Exec (p, Relax_objects.Queue_ops.enq v))
+
+(* Entries a dequeuer may observe: enqueue committed and not yet consumed. *)
+let visible t =
+  List.filter (fun e -> e.enq_status = `Committed) t.entries
+
+let claimed_by_other e p =
+  List.exists (fun q -> not (Tid.equal q p)) e.claims
+
+let claimed_by_self e p = List.exists (Tid.equal p) e.claims
+
+(* One dequeue attempt by transaction [p].  [None] means the operation
+   cannot proceed right now (empty queue, or — under locking — the head is
+   held by a concurrent transaction). *)
+let deq t p =
+  let pickable =
+    match t.policy with
+    | Locking -> (
+      (* Strict FIFO: only the head, and only if unclaimed by others. *)
+      match visible t with
+      | [] -> None
+      | head :: _ ->
+        if claimed_by_other head p || claimed_by_self head p then None
+        else Some head)
+    | Optimistic ->
+      (* Skip items claimed by anyone still active. *)
+      List.find_opt (fun e -> e.claims = []) (visible t)
+    | Pessimistic ->
+      (* Return the first item this transaction has not yet returned,
+         regardless of other transactions' tentative dequeues. *)
+      List.find_opt (fun e -> not (claimed_by_self e p)) (visible t)
+  in
+  match pickable with
+  | None -> None
+  | Some e ->
+    e.claims <- p :: e.claims;
+    note_dequeuer t p;
+    record t (Schedule.Exec (p, Relax_objects.Queue_ops.deq e.value));
+    Some e.value
+
+let forget_txn t p =
+  t.active_dequeuers <- Tid.Set.remove p t.active_dequeuers
+
+let commit t p =
+  List.iter
+    (fun e ->
+      (match e.enq_status with
+      | `Tentative q when Tid.equal p q -> e.enq_status <- `Committed
+      | `Tentative _ | `Committed | `Gone -> ());
+      if claimed_by_self e p then e.enq_status <- `Gone)
+    t.entries;
+  t.entries <- List.filter (fun e -> e.enq_status <> `Gone) t.entries;
+  List.iter
+    (fun e -> e.claims <- List.filter (fun q -> not (Tid.equal p q)) e.claims)
+    t.entries;
+  forget_txn t p;
+  record t (Schedule.Commit p)
+
+let abort t p =
+  (* Undo tentative enqueues; release claims. *)
+  t.entries <-
+    List.filter
+      (fun e ->
+        match e.enq_status with
+        | `Tentative q when Tid.equal p q -> false
+        | `Tentative _ | `Committed | `Gone -> true)
+      t.entries;
+  List.iter
+    (fun e -> e.claims <- List.filter (fun q -> not (Tid.equal p q)) e.claims)
+    t.entries;
+  forget_txn t p;
+  record t (Schedule.Abort p)

@@ -1,0 +1,41 @@
+open Relax_core
+
+(** The shared printing-service queue of Section 4.2 of the paper, with
+    the three concurrency-control policies the paper discusses.
+
+    - [Locking]: strict FIFO; a dequeuer blocks while the head is
+      tentatively dequeued by another active transaction.
+    - [Optimistic]: skips tentatively dequeued items (implements
+      [Semiqueue_k] while at most [k] transactions dequeue concurrently).
+    - [Pessimistic]: re-returns the tentatively dequeued head (implements
+      [Stuttering_j] while at most [j] transactions dequeue concurrently).
+
+    Enqueued items become visible to dequeuers only once the enqueuing
+    transaction commits; tentative state is rolled back on abort.  Every
+    successful operation, commit and abort is recorded in a schedule for
+    the atomicity checkers. *)
+
+type policy = Locking | Optimistic | Pessimistic
+
+val pp_policy : policy Fmt.t
+
+type t
+
+val create : policy -> t
+val policy : t -> policy
+
+(** The schedule recorded so far. *)
+val schedule : t -> Schedule.t
+
+(** The largest number of simultaneously active dequeuing transactions
+    observed — the index [k] of the environment constraint [C_k]. *)
+val max_concurrent_dequeuers : t -> int
+
+val enq : t -> Tid.t -> Value.t -> unit
+
+(** One dequeue attempt; [None] means the operation cannot proceed right
+    now (empty queue, or a locking conflict). *)
+val deq : t -> Tid.t -> Value.t option
+
+val commit : t -> Tid.t -> unit
+val abort : t -> Tid.t -> unit

@@ -1,0 +1,15 @@
+(* Transaction identifiers. *)
+
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Tid.of_int: negative id";
+  i
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf t = Fmt.pf ppf "T%d" t
+let to_string t = Fmt.str "%a" pp t
+
+module Set = Stdlib.Set.Make (Int)

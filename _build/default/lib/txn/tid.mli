@@ -1,0 +1,14 @@
+(** Transaction identifiers. *)
+
+type t
+
+(** Raises [Invalid_argument] on negative ids. *)
+val of_int : int -> t
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Stdlib.Set.S with type elt = t

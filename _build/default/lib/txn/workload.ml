@@ -1,0 +1,143 @@
+open Relax_core
+
+(* Randomized printing-service workloads (Section 4.2): clients spool
+   files, printer controllers dequeue-print-commit, with a bounded number
+   of concurrent dequeuers.  The result packages the recorded schedule
+   with the anomaly measurements the experiments report. *)
+
+type params = {
+  items : int;  (** files spooled (all enqueues commit) *)
+  max_dequeuers : int;  (** concurrency bound k of the environment *)
+  abort_probability : float;  (** printer transactions that abort *)
+  seed : int;
+}
+
+let default_params =
+  { items = 12; max_dequeuers = 2; abort_probability = 0.0; seed = 1 }
+
+type outcome = {
+  schedule : Schedule.t;
+  printed : Value.t list;
+      (** committed dequeue results in dequeue-execution order — the
+          physical print order, since a file is printed when dequeued *)
+  spooled : Value.t list;  (** enqueued values, enqueue order *)
+  observed_dequeuers : int;
+  blocked_attempts : int;  (** dequeue attempts refused by the object *)
+}
+
+(* Committed dequeue results in execution order, derived from the
+   schedule. *)
+let committed_prints (schedule : Schedule.t) =
+  List.filter_map
+    (function
+      | Schedule.Exec (p, op)
+        when Relax_objects.Queue_ops.is_deq op
+             && Schedule.is_committed schedule p ->
+        Relax_objects.Queue_ops.element op
+      | Schedule.Exec _ | Schedule.Commit _ | Schedule.Abort _ -> None)
+    schedule
+
+(* Number of pairs printed out of FIFO order: inversions between the print
+   sequence and the spool sequence. *)
+let inversions outcome =
+  let index v =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if Value.equal x v then Some i else go (i + 1) rest
+    in
+    go 0 outcome.spooled
+  in
+  let ranks = List.filter_map index outcome.printed in
+  let rec count = function
+    | [] -> 0
+    | r :: rest -> List.length (List.filter (fun r' -> r' < r) rest) + count rest
+  in
+  count ranks
+
+(* Number of extra copies printed (stuttering anomaly). *)
+let duplicates outcome =
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let k = Value.to_string v in
+      Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    outcome.printed;
+  Hashtbl.fold (fun _ n acc -> acc + max 0 (n - 1)) tally 0
+
+(* Items spooled but never printed (can happen only while transactions
+   remain active or abort). *)
+let unprinted outcome =
+  List.length outcome.spooled
+  - List.length (List.sort_uniq Value.compare outcome.printed)
+  |> max 0
+
+(* Run one workload.  Client transactions enqueue and commit immediately;
+   printer transactions are interleaved at random, each dequeuing one item
+   and then committing (or aborting with the configured probability).  The
+   interleaving keeps at most [max_dequeuers] printer transactions active
+   at once, modelling the environment constraint C_k. *)
+let run ?(params = default_params) policy =
+  if params.max_dequeuers < 1 then invalid_arg "Workload.run: max_dequeuers";
+  let rng = Relax_sim.Rng.create ~seed:params.seed in
+  let spool = Spool.create policy in
+  let next_tid = ref 0 in
+  let fresh_tid () =
+    let t = Tid.of_int !next_tid in
+    incr next_tid;
+    t
+  in
+  (* Spool all items up front, committed, in a known order. *)
+  let spooled =
+    List.init params.items (fun i ->
+        let v = Value.int (i + 1) in
+        let p = fresh_tid () in
+        Spool.enq spool p v;
+        Spool.commit spool p;
+        v)
+  in
+  let blocked = ref 0 in
+  (* (tid, item) of printer transactions that dequeued and have not yet
+     finished. *)
+  let in_flight = ref [] in
+  let remaining = ref params.items in
+  let finish (p, _v) aborted =
+    if aborted then Spool.abort spool p
+    else begin
+      Spool.commit spool p;
+      decr remaining
+    end;
+    in_flight := List.filter (fun (q, _) -> not (Tid.equal p q)) !in_flight
+  in
+  let start_printer () =
+    let p = fresh_tid () in
+    match Spool.deq spool p with
+    | None ->
+      incr blocked;
+      (* Nothing dequeuable: abort the empty transaction. *)
+      Spool.abort spool p
+    | Some v -> in_flight := (p, v) :: !in_flight
+  in
+  let steps = ref 0 in
+  let max_steps = 100 * (params.items + 1) in
+  while !remaining > 0 && !steps < max_steps do
+    incr steps;
+    let can_start = List.length !in_flight < params.max_dequeuers in
+    if can_start && (Relax_sim.Rng.bool rng 0.5 || !in_flight = []) then
+      start_printer ()
+    else
+      match !in_flight with
+      | [] -> ()
+      | flight ->
+        let victim = Relax_sim.Rng.pick rng flight in
+        finish victim (Relax_sim.Rng.bool rng params.abort_probability)
+  done;
+  (* Drain whatever is still active so the schedule is complete. *)
+  List.iter (fun flight -> finish flight false) !in_flight;
+  let schedule = Spool.schedule spool in
+  {
+    schedule;
+    printed = committed_prints schedule;
+    spooled;
+    observed_dequeuers = Spool.max_concurrent_dequeuers spool;
+    blocked_attempts = !blocked;
+  }

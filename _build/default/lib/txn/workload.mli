@@ -1,0 +1,39 @@
+open Relax_core
+
+(** Randomized printing-service workloads (Section 4.2 of the paper):
+    clients spool files, printer controllers dequeue-print-commit, with a
+    bounded number of concurrent dequeuers. *)
+
+type params = {
+  items : int;  (** files spooled (all enqueues commit) *)
+  max_dequeuers : int;  (** concurrency bound [k] of the environment *)
+  abort_probability : float;  (** printer transactions that abort *)
+  seed : int;
+}
+
+val default_params : params
+
+type outcome = {
+  schedule : Schedule.t;
+  printed : Value.t list;
+      (** committed dequeue results in dequeue-execution order — the
+          physical print order *)
+  spooled : Value.t list;  (** enqueued values, enqueue order *)
+  observed_dequeuers : int;
+  blocked_attempts : int;
+}
+
+(** Committed dequeue results of a schedule in execution order. *)
+val committed_prints : Schedule.t -> Value.t list
+
+(** Pairs printed out of FIFO order. *)
+val inversions : outcome -> int
+
+(** Extra copies printed (stuttering anomaly). *)
+val duplicates : outcome -> int
+
+(** Items spooled but never printed. *)
+val unprinted : outcome -> int
+
+(** Run one workload under the given policy. *)
+val run : ?params:params -> Spool.policy -> outcome

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Automaton Cset Environment Fmt History Int Language List Op QCheck QCheck_alcotest Relax_core Relaxation Value

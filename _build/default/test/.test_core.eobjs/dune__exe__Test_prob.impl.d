@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Binomial Float Fmt List Markov Matrix Montecarlo Relax_prob Relax_sim Stats Topn

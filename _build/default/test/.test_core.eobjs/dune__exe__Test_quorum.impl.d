@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Automaton Degen Instances Language List Mpq Multiset Op Opq Pqueue Qca Queue_ops Relation Relax_core Relax_larch Relax_objects Relax_quorum

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Fmt Fun Heap Int Int64 List Metrics Network QCheck QCheck_alcotest Relax_sim Rng

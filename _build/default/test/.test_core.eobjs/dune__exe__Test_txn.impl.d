@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Atomicity Fifo History List Lock Option QCheck QCheck_alcotest Queue_ops Relax_core Relax_objects Relax_txn Schedule Semiqueue Spool Tid Value Workload

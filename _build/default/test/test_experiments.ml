@@ -1,0 +1,107 @@
+open Relax_experiments
+
+(* Integration tests: every experiment of EXPERIMENTS.md must pass at
+   reduced scale.  These are the same entry points `rlx check all` runs;
+   keeping them in the test-suite means `dune runtest` certifies the whole
+   reproduction. *)
+
+let alphabet = Relax_objects.Queue_ops.alphabet (Relax_objects.Queue_ops.universe 2)
+let null = Fmt.with_buffer (Buffer.create 512)
+
+let check name f = Alcotest.test_case name `Slow (fun () ->
+    Alcotest.(check bool) "experiment passes" true (f ()))
+
+let experiment_tests =
+  [
+    check "Section 3.3 lattice checks (incl. Theorem 4 and DPQ)" (fun () ->
+        Pq_checks.run ~alphabet ~depth:4 null ());
+    check "Section 4.2 collapses" (fun () ->
+        Collapse_checks.run ~alphabet ~depth:4 null ());
+    check "Section 3.4 account lattice (language level)" (fun () ->
+        Account_checks.run ~depth:3 null ());
+    check "Section 3.1 replicated FIFO queue characterization" (fun () ->
+        Fifo_checks.run ~alphabet ~depth:4 null ());
+    check "Markov environment composes with the functional model" (fun () ->
+        Markov_env.run ~requests:120 null ());
+    check "partition: preferred blocks minority, relaxed diverges" (fun () ->
+        Partition.run null ());
+    check "stable storage is load-bearing (amnesia breaks the guarantee)"
+      (fun () -> Amnesia.run ~seeds:[ 41; 42; 43 ] null ());
+    Alcotest.test_case "adaptive runs are accepted by the combined automaton"
+      `Slow (fun () ->
+        (* several seeds: every adaptive run, whatever its mode switches,
+           must be accepted by the Section 2.3 combined automaton *)
+        List.iter
+          (fun seed ->
+            let o =
+              Adaptive.run_once
+                ~params:{ Adaptive.default_params with seed; requests = 20 }
+                ()
+            in
+            if not o.Adaptive.accepted_by_combined then
+              Alcotest.failf "seed %d rejected: %a" seed
+                Fmt.(option Relax_core.History.pp)
+                o.Adaptive.first_rejection)
+          [ 31; 32; 33; 34; 35 ]);
+    (* depth 4 is the least depth distinguishing Semiqueue_2 from
+       Semiqueue_3 (three enqueues plus a dequeue of the third item) *)
+    check "Figure 4-2 table" (fun () -> Fig42.run ~alphabet ~depth:4 null ());
+    check "0.1^n probabilistic claim (P3-3)" (fun () ->
+        Topn_check.run ~trials:40_000 ~max_n:3 null ());
+    check "availability table and cross-check (X-av)" (fun () ->
+        Availability.run null ());
+    check "taxi dispatch degradation (X-deg)" (fun () ->
+        let params = { Taxi.default_params with requests = 15; seed = 7 } in
+        let outcomes = Taxi.run_all ~params () in
+        List.for_all (fun o -> o.Taxi.history_ok) outcomes);
+    check "bank account safety (B3-4)" (fun () ->
+        let params = { Atm.default_params with rounds = 10; seed = 7 } in
+        let outcomes =
+          List.map
+            (fun tt -> Atm.run_once ~params ~relax_a2:false ~think_time:tt ())
+            [ 0.0; 100.0 ]
+        in
+        List.for_all (fun o -> o.Atm.never_overdrawn) outcomes);
+    check "spooler atomicity at predicted points (A4-2)" (fun () ->
+        List.for_all
+          (fun (policy, k) ->
+            let o = Spooler.run_one ~items:8 ~seed:19 policy ~k in
+            o.Spooler.atomic_predicted)
+          [
+            (Relax_txn.Spool.Locking, 2);
+            (Relax_txn.Spool.Optimistic, 2);
+            (Relax_txn.Spool.Optimistic, 3);
+            (Relax_txn.Spool.Pessimistic, 2);
+            (Relax_txn.Spool.Pessimistic, 3);
+          ]);
+    check "Figure 5-1 summary chart" (fun () -> Fig51.run null ());
+  ]
+
+(* Determinism: experiments are reproducible from their seeds. *)
+let determinism_tests =
+  [
+    Alcotest.test_case "taxi runs are deterministic" `Slow (fun () ->
+        let params = { Taxi.default_params with requests = 12; seed = 5 } in
+        let point = List.hd (Taxi.points ~n:5) in
+        let a = Taxi.run_point ~params point in
+        let b = Taxi.run_point ~params point in
+        Alcotest.(check int) "served" a.Taxi.served b.Taxi.served;
+        Alcotest.(check int) "unavailable" a.Taxi.unavailable b.Taxi.unavailable;
+        Alcotest.(check (float 1e-9)) "latency" a.Taxi.mean_latency
+          b.Taxi.mean_latency);
+    Alcotest.test_case "workload runs are deterministic" `Quick (fun () ->
+        let params =
+          { Relax_txn.Workload.items = 8; max_dequeuers = 3;
+            abort_probability = 0.3; seed = 23 }
+        in
+        let a = Relax_txn.Workload.run ~params Relax_txn.Spool.Optimistic in
+        let b = Relax_txn.Workload.run ~params Relax_txn.Spool.Optimistic in
+        Alcotest.(check bool)
+          "same schedule" true
+          (Relax_txn.Schedule.equal a.Relax_txn.Workload.schedule
+             b.Relax_txn.Workload.schedule));
+  ]
+
+let () =
+  Alcotest.run "experiments"
+    [ ("experiments", experiment_tests); ("determinism", determinism_tests) ]

@@ -1,0 +1,353 @@
+open Relax_core
+open Relax_objects
+open Relax_quorum
+open Relax_txn
+
+(* Tests for the extension features: the dropping priority queue (our
+   characterization of the eta' lattice's Q2 point), the two-dimensional
+   SSqueue lattice, weighted voting, the Atomic(A) automaton, and the
+   trait pretty-printer roundtrip. *)
+
+let universe = Queue_ops.universe 2
+let alphabet = Queue_ops.alphabet universe
+let enq = Queue_ops.enq_int
+let deq = Queue_ops.deq_int
+
+(* ------------------------------------------------------------------ *)
+(* DPQ (eta' characterization)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let dpq_tests =
+  [
+    Alcotest.test_case "skipped items are dropped" `Quick (fun () ->
+        (* dequeue 1 while 2 is pending: 2 is gone afterwards *)
+        Alcotest.(check bool)
+          "deq 1 then 2 rejected" false
+          (Automaton.accepts Dpq.automaton [ enq 1; enq 2; deq 1; deq 2 ]);
+        Alcotest.(check bool)
+          "deq 1 alone accepted" true
+          (Automaton.accepts Dpq.automaton [ enq 1; enq 2; deq 1 ]));
+    Alcotest.test_case "never out of order, may ignore" `Quick (fun () ->
+        (* after a drop, a re-enqueued better item is serviceable again *)
+        Alcotest.(check bool)
+          "re-enqueue works" true
+          (Automaton.accepts Dpq.automaton [ enq 1; enq 2; deq 1; enq 2; deq 2 ]);
+        Alcotest.(check bool)
+          "no duplicates" false
+          (Automaton.accepts Dpq.automaton [ enq 1; deq 1; deq 1 ]));
+    Alcotest.test_case "L(QCA(PQ,{Q2},eta')) = L(DPQ) (bounded)" `Slow
+      (fun () ->
+        let qca' = Qca.automaton Instances.pq_spec_eta' Instances.q2 in
+        match Language.equivalent qca' Dpq.automaton ~alphabet ~depth:5 with
+        | Ok () -> ()
+        | Error c -> Alcotest.failf "%a" Language.pp_counterexample c);
+    Alcotest.test_case "PQ ⊆ DPQ ⊆ ... not Degen? DPQ ⊆ Degen fails (drops)"
+      `Slow (fun () ->
+        Alcotest.(check bool)
+          "PQ ⊆ DPQ" true
+          (Language.included_bool Pqueue.automaton Dpq.automaton ~alphabet
+             ~depth:5);
+        (* DPQ is NOT below OPQ: dropping forbids some OPQ histories and
+           vice versa *)
+        Alcotest.(check bool)
+          "DPQ ⊆ OPQ" true
+          (Language.included_bool Dpq.automaton Opq.automaton ~alphabet
+             ~depth:5));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Two-dimensional SSqueue lattice                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ssqueue2d_tests =
+  let l = Lattices.ssqueue2d ~n:2 in
+  [
+    Alcotest.test_case "domain needs one constraint per family" `Quick
+      (fun () ->
+        (* subsets of {S1,S2,W1,W2} with >=1 S and >=1 W: (2^2-1)^2 = 9 *)
+        Alcotest.(check int) "9 points" 9 (List.length (Relaxation.domain l)));
+    Alcotest.test_case "top is the FIFO queue" `Slow (fun () ->
+        let top =
+          Relaxation.phi l (Cset.of_list [ "S1"; "S2"; "W1"; "W2" ])
+        in
+        match Language.equivalent top Fifo.automaton ~alphabet ~depth:4 with
+        | Ok () -> ()
+        | Error c -> Alcotest.failf "%a" Language.pp_counterexample c);
+    Alcotest.test_case "axes are independent" `Quick (fun () ->
+        Alcotest.(check string)
+          "S2,W1 -> SSqueue(2,1)" "SSqueue(2,1)"
+          (Automaton.name (Relaxation.phi l (Cset.of_list [ "S2"; "W1" ])));
+        Alcotest.(check string)
+          "S1,W2 -> SSqueue(1,2)" "SSqueue(1,2)"
+          (Automaton.name (Relaxation.phi l (Cset.of_list [ "S1"; "W2" ]))));
+    Alcotest.test_case "2-D lattice is monotone" `Slow (fun () ->
+        Alcotest.(check int)
+          "no violations" 0
+          (List.length (Relaxation.check_monotone l ~alphabet ~depth:4)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Weighted voting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let weighted_tests =
+  [
+    Alcotest.test_case "uniform embedding preserves the relation" `Quick
+      (fun () ->
+        let uniform =
+          Assignment.make ~n:5
+            [
+              (Queue_ops.enq_name, { Assignment.initial = 0; final = 3 });
+              (Queue_ops.deq_name, { Assignment.initial = 3; final = 3 });
+            ]
+        in
+        let w = Weighted.of_uniform uniform in
+        Alcotest.(check int) "total weight" 5 (Weighted.total_weight w);
+        Alcotest.(check bool)
+          "same relation" true
+          (Relation.pairs (Weighted.induced_relation w)
+          = Relation.pairs (Assignment.induced_relation uniform)));
+    Alcotest.test_case "a heavy site can carry a quorum alone" `Quick
+      (fun () ->
+        (* weights 3,1,1: total 5; threshold 3 is met by site 0 alone *)
+        let w =
+          Weighted.make ~weights:[| 3; 1; 1 |]
+            [ ("Deq", { Assignment.initial = 3; final = 3 }) ]
+        in
+        Alcotest.(check bool)
+          "site 0 alone" true
+          (Weighted.available w ~up_sites:[ 0 ] "Deq");
+        Alcotest.(check bool)
+          "sites 1,2 not enough" false
+          (Weighted.available w ~up_sites:[ 1; 2 ] "Deq"));
+    Alcotest.test_case "exact availability matches binomial for uniform"
+      `Quick (fun () ->
+        let uniform =
+          Assignment.make ~n:5
+            [ ("Deq", { Assignment.initial = 3; final = 3 }) ]
+        in
+        let w = Weighted.of_uniform uniform in
+        Alcotest.(check (float 1e-9))
+          "same as binomial tail"
+          (Relax_prob.Binomial.tail ~n:5 ~p:0.9 3)
+          (Weighted.exact_availability w ~p:(Array.make 5 0.9) "Deq"));
+    Alcotest.test_case "weighting a reliable site beats uniform" `Quick
+      (fun () ->
+        (* 5 sites; site 0 is reliable (p=0.99), others p=0.6.  Uniform
+           majority (3 of 5) vs weighted (site 0 has 3 of 7 votes,
+           threshold 4): the weighted scheme leans on the reliable site. *)
+        let ps = [| 0.99; 0.6; 0.6; 0.6; 0.6 |] in
+        let uniform =
+          Weighted.of_uniform
+            (Assignment.make ~n:5
+               [ ("Deq", { Assignment.initial = 3; final = 3 }) ])
+        in
+        let weighted =
+          Weighted.make ~weights:[| 3; 1; 1; 1; 1 |]
+            [ ("Deq", { Assignment.initial = 4; final = 4 }) ]
+        in
+        (* both force intersection: 3+3>5 and 4+4>7 *)
+        Alcotest.(check bool)
+          "uniform intersects" true
+          (Weighted.forces_intersection uniform ~inv:"Deq" ~op:"Deq");
+        Alcotest.(check bool)
+          "weighted intersects" true
+          (Weighted.forces_intersection weighted ~inv:"Deq" ~op:"Deq");
+        let au = Weighted.exact_availability uniform ~p:ps "Deq" in
+        let aw = Weighted.exact_availability weighted ~p:ps "Deq" in
+        Alcotest.(check bool)
+          (Fmt.str "weighted %.4f > uniform %.4f" aw au)
+          true (aw > au));
+    Alcotest.test_case "bad inputs are rejected" `Quick (fun () ->
+        (match Weighted.make ~weights:[| 0 |] [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "zero weight accepted");
+        match Weighted.make ~weights:[||] [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "empty weights accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Atomic(A) as an automaton                                           *)
+(* ------------------------------------------------------------------ *)
+
+let atomic_automaton_tests =
+  let t n = Tid.of_int n in
+  let fifo_atomic = Atomic_automaton.automaton Fifo.automaton in
+  let sched steps = Atomic_automaton.encode (Schedule.of_list steps) in
+  [
+    Alcotest.test_case "encode/decode roundtrip" `Quick (fun () ->
+        let s =
+          Schedule.of_list
+            [
+              Schedule.Exec (t 1, enq 1);
+              Schedule.Commit (t 1);
+              Schedule.Exec (t 2, deq 1);
+              Schedule.Abort (t 2);
+            ]
+        in
+        match Atomic_automaton.decode (Atomic_automaton.encode s) with
+        | Some s' -> Alcotest.(check bool) "equal" true (Schedule.equal s s')
+        | None -> Alcotest.fail "decode failed");
+    Alcotest.test_case "accepts interleavings that stay on-line atomic"
+      `Quick (fun () ->
+        Alcotest.(check bool)
+          "serial" true
+          (Automaton.accepts fifo_atomic
+             (sched
+                [
+                  Schedule.Exec (t 1, enq 1);
+                  Schedule.Commit (t 1);
+                  Schedule.Exec (t 2, deq 1);
+                  Schedule.Commit (t 2);
+                ])));
+    Alcotest.test_case "rejects double service of one item" `Quick (fun () ->
+        Alcotest.(check bool)
+          "two active dequeuers of one item" false
+          (Automaton.accepts fifo_atomic
+             (sched
+                [
+                  Schedule.Exec (t 1, enq 1);
+                  Schedule.Commit (t 1);
+                  Schedule.Exec (t 2, deq 1);
+                  Schedule.Exec (t 3, deq 1);
+                ])));
+    Alcotest.test_case "the same prefix is accepted by Atomic(Stuttering_2)"
+      `Quick (fun () ->
+        let stut_atomic =
+          Atomic_automaton.automaton (Stuttering.automaton 2)
+        in
+        Alcotest.(check bool)
+          "stuttering tolerates it" true
+          (Automaton.accepts stut_atomic
+             (sched
+                [
+                  Schedule.Exec (t 1, enq 1);
+                  Schedule.Commit (t 1);
+                  Schedule.Exec (t 2, deq 1);
+                  Schedule.Exec (t 3, deq 1);
+                ])));
+    Alcotest.test_case "malformed schedules are rejected" `Quick (fun () ->
+        Alcotest.(check bool)
+          "op after commit" false
+          (Automaton.accepts fifo_atomic
+             (sched
+                [
+                  Schedule.Exec (t 1, enq 1);
+                  Schedule.Commit (t 1);
+                  Schedule.Exec (t 1, enq 2);
+                ])));
+    Alcotest.test_case
+      "bounded language inclusion: Atomic(FIFO) ⊆ Atomic(Semiqueue_2)"
+      `Slow (fun () ->
+        let a1 = Atomic_automaton.automaton Fifo.automaton in
+        let a2 = Atomic_automaton.automaton (Semiqueue.automaton 2) in
+        let alphabet =
+          Atomic_automaton.alphabet
+            ~tids:[ t 1; t 2 ]
+            (Queue_ops.alphabet (Queue_ops.universe 1))
+        in
+        match Language.included a1 a2 ~alphabet ~depth:4 with
+        | Ok () -> ()
+        | Error c -> Alcotest.failf "%a" Language.pp_counterexample c);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Printer roundtrip                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let printer_tests =
+  let open Relax_larch in
+  let roundtrip_trait name src () =
+    let ast = Parser.trait_of_string src in
+    let printed = Printer.trait_to_string ast in
+    let ast' =
+      try Parser.trait_of_string printed
+      with Parser.Error e | Lexer.Error e ->
+        Alcotest.failf "re-parse of %s failed: %s@\n%s" name e printed
+    in
+    Alcotest.(check bool) (name ^ " roundtrips") true (ast = ast')
+  in
+  [
+    Alcotest.test_case "Bag roundtrips" `Quick
+      (roundtrip_trait "Bag" Theories.bag_src);
+    Alcotest.test_case "FifoQ roundtrips" `Quick
+      (roundtrip_trait "FifoQ" Theories.fifoq_src);
+    Alcotest.test_case "PQueue roundtrips" `Quick
+      (roundtrip_trait "PQueue" Theories.pqueue_src);
+    Alcotest.test_case "MPQueue roundtrips" `Quick
+      (roundtrip_trait "MPQueue" Theories.mpqueue_src);
+    Alcotest.test_case "SetE roundtrips" `Quick
+      (roundtrip_trait "SetE" Theories.set_src);
+    Alcotest.test_case "SemiQ roundtrips" `Quick
+      (roundtrip_trait "SemiQ" Theories.semiq_src);
+    Alcotest.test_case "StutQ roundtrips" `Quick
+      (roundtrip_trait "StutQ" Theories.stutq_src);
+    Alcotest.test_case "DPQ roundtrips" `Quick
+      (roundtrip_trait "DPQ" Theories.dpq_src);
+    Alcotest.test_case "RFQ roundtrips" `Quick
+      (roundtrip_trait "RFQ" Theories.rfq_src);
+    Alcotest.test_case "interface roundtrips" `Quick (fun () ->
+        let ast = Parser.iface_of_string Theories.mpq_iface_src in
+        let printed = Printer.iface_to_string ast in
+        let ast' = Parser.iface_of_string printed in
+        Alcotest.(check bool) "equal" true (ast = ast'));
+    (let open Relax_larch in
+     (* random terms over a small vocabulary roundtrip through the
+        pretty-printer and the expression parser *)
+     let term_gen =
+       let open QCheck.Gen in
+       sized
+         (fun n ->
+           fix
+             (fun self n ->
+               if n <= 1 then
+                 oneof
+                   [
+                     return (Term.const "emp");
+                     map Term.int (int_range 0 9);
+                     return (Term.bool true);
+                     map Term.var (oneofl [ "q"; "e"; "q'" ]);
+                   ]
+               else
+                 oneof
+                   [
+                     map2
+                       (fun a b -> Term.app "ins" [ a; b ])
+                       (self (n / 2)) (self (n / 2));
+                     map2
+                       (fun a b -> Term.app "eq" [ a; b ])
+                       (self (n / 2)) (self (n / 2));
+                     map2
+                       (fun a b -> Term.app "and" [ a; b ])
+                       (self (n / 2)) (self (n / 2));
+                     map2
+                       (fun a b -> Term.app "or" [ a; b ])
+                       (self (n / 2)) (self (n / 2));
+                     map3
+                       (fun c a b -> Term.app "ite" [ c; a; b ])
+                       (self (n / 3)) (self (n / 3)) (self (n / 3));
+                     map (fun a -> Term.app "not" [ a ]) (self (n - 1));
+                     map (fun a -> Term.app "isEmp" [ a ]) (self (n - 1));
+                   ])
+             (min n 20))
+     in
+     QCheck_alcotest.to_alcotest
+       (QCheck.Test.make ~name:"random terms roundtrip print-then-parse"
+          ~count:300
+          (QCheck.make ~print:Term.to_string term_gen)
+          (fun t ->
+            let printed = Fmt.str "%a" Printer.pp_term t in
+            Term.equal t
+              (Parser.expr_of_string ~vars:[ "q"; "e"; "q'" ] printed))));
+  ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ("dpq", dpq_tests);
+      ("ssqueue-2d", ssqueue2d_tests);
+      ("weighted-voting", weighted_tests);
+      ("atomic-automaton", atomic_automaton_tests);
+      ("printer", printer_tests);
+    ]

@@ -1,0 +1,299 @@
+open Relax_objects
+open Relax_larch
+
+(* The worked equalities of Section 2.4 and conformance of every
+   executable model against its Larch interface. *)
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let normalizes_to theory src expected () =
+  let t = Parser.expr_of_string src in
+  Alcotest.check term src expected (Trait.normalize theory t)
+
+let paper_equalities =
+  let bag = Theories.mbag () in
+  let fifo = Theories.fifoq () in
+  let pq = Theories.pqueue () in
+  [
+    Alcotest.test_case "del(ins(ins(emp,3),3),3) = ins(emp,3)" `Quick
+      (normalizes_to bag "del(ins(ins(emp, 3), 3), 3)"
+         (Term.app "ins" [ Term.const "emp"; Term.int 3 ]));
+    Alcotest.test_case "first(ins(ins(emp,3),7)) = 3" `Quick
+      (normalizes_to fifo "first(ins(ins(emp, 3), 7))" (Term.int 3));
+    Alcotest.test_case "rest keeps later items" `Quick
+      (normalizes_to fifo "rest(ins(ins(emp, 3), 7))"
+         (Term.app "ins" [ Term.const "emp"; Term.int 7 ]));
+    Alcotest.test_case "bags are unordered (MBag canonical forms)" `Quick
+      (normalizes_to bag "ins(ins(emp, 7), 3)"
+         (Term.app "ins"
+            [ Term.app "ins" [ Term.const "emp"; Term.int 3 ]; Term.int 7 ]));
+    Alcotest.test_case "best picks the maximum" `Quick
+      (normalizes_to pq "best(ins(ins(ins(emp, 2), 9), 4))" (Term.int 9));
+    Alcotest.test_case "isEmp(emp)" `Quick
+      (normalizes_to bag "isEmp(emp)" (Term.bool true));
+    Alcotest.test_case "isIn over duplicates" `Quick
+      (normalizes_to bag "isIn(del(ins(ins(emp, 3), 3), 3), 3)"
+         (Term.bool true));
+  ]
+
+let universe = Queue_ops.universe 2
+let alphabet = Queue_ops.alphabet universe
+let depth = 4
+
+let conformance_case name ?(mode = Conformance.Sound) ?admissible ~theory
+    ~iface ~reify automaton ~alphabet ~depth =
+  Alcotest.test_case name `Slow (fun () ->
+      let report =
+        Conformance.check ~mode ?admissible ~theory ~iface ~reify ~automaton
+          ~alphabet ~depth ()
+      in
+      if not (Conformance.ok report) then
+        Alcotest.failf "%a" Conformance.pp_report report;
+      if report.Conformance.transitions = 0 then
+        Alcotest.fail "no transitions were checked")
+
+let conformance =
+  [
+    conformance_case "Bag model conforms to Figure 2-2 (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.mbag ())
+      ~iface:(Theories.bag_iface ()) ~reify:Reify.multiset Bag.automaton
+      ~alphabet ~depth;
+    conformance_case "FIFO model conforms to Figure 2-4 (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.fifoq ())
+      ~iface:(Theories.fifo_iface ()) ~reify:Reify.fifo Fifo.automaton
+      ~alphabet ~depth;
+    conformance_case "PQ model conforms to Figure 3-2 (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.pqueue ())
+      ~iface:(Theories.pqueue_iface ()) ~reify:Reify.multiset Pqueue.automaton
+      ~alphabet ~depth;
+    conformance_case "MPQ model conforms to Figure 3-3 (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.mpqueue ())
+      ~iface:(Theories.mpq_iface ()) ~reify:Reify.mpq Mpq.automaton ~alphabet
+      ~depth;
+    conformance_case "OPQ model conforms to Figure 3-4 (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.mbag ())
+      ~iface:(Theories.bag_iface ()) ~reify:Reify.multiset Opq.automaton
+      ~alphabet ~depth;
+    conformance_case "Degenerate PQ conforms to Figure 3-5 (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.mbag ())
+      ~iface:(Theories.degen_iface ()) ~reify:Reify.multiset Degen.automaton
+      ~alphabet ~depth;
+    (* del-based sequence specs are ambiguous on duplicated values, so the
+       semiqueue is checked over distinct-value runs (DESIGN.md). *)
+    conformance_case "Semiqueue_2 conforms to Figure 4-1 (exact, distinct)"
+      ~mode:Conformance.Exact ~theory:(Theories.semiq ())
+      ~iface:(Theories.semiqueue_iface ~k:2)
+      ~reify:(fun ((q, _) : Semiqueue.state * Relax_core.Value.Set.t) ->
+        Reify.semiqueue q)
+      ~admissible:(fun (_, seen) op ->
+        match Queue_ops.element op with
+        | Some e when Queue_ops.is_enq op ->
+          not (Relax_core.Value.Set.mem e seen)
+        | _ -> true)
+      (Monitors.with_distinct_enqueues (Semiqueue.automaton 2))
+      ~alphabet:(Queue_ops.alphabet (Queue_ops.universe 3))
+      ~depth;
+    conformance_case "Stuttering_2 sound wrt Figure 4-3"
+      ~theory:(Theories.stutq ())
+      ~iface:(Theories.stuttering_iface ~j:2) ~reify:Reify.stuttering
+      (Stuttering.automaton 2) ~alphabet ~depth;
+    conformance_case "Account conforms to its interface (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.bag ())
+      ~iface:(Theories.account_iface ()) ~reify:Reify.account Account.automaton
+      ~alphabet:(Account.alphabet [ 1; 2 ]) ~depth;
+    (* our own characterizations get the same treatment as the paper's *)
+    conformance_case "DPQ model conforms to its interface (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.dpq ())
+      ~iface:(Theories.dpq_iface ()) ~reify:Reify.dpq Dpq.automaton ~alphabet
+      ~depth;
+    conformance_case "RFQ model conforms to its interface (exact)"
+      ~mode:Conformance.Exact ~theory:(Theories.rfq ())
+      ~iface:(Theories.rfq_iface ()) ~reify:Reify.rfq Rfq.automaton ~alphabet
+      ~depth;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration-time sort checking                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let ast = Parser.trait_of_string src in
+      match Trait.elaborate [] ast with
+      | exception Trait.Error _ -> ()
+      | _ -> Alcotest.fail "elaboration should have failed")
+
+let sort_checking =
+  [
+    rejects "equation relating different sorts"
+      {|
+trait Bad1
+  introduces
+    emp : -> B
+    size : B -> Int
+  axioms forall b : B
+    size(b) = emp
+end
+|};
+    rejects "operator applied at the wrong sort"
+      {|
+trait Bad2
+  introduces
+    emp : -> B
+    ins : B, E -> B
+  axioms forall b : B
+    ins(b, b) = b
+end
+|};
+    rejects "arity mismatch"
+      {|
+trait Bad3
+  introduces
+    emp : -> B
+    ins : B, E -> B
+  axioms forall b : B, e : E
+    ins(b) = b
+end
+|};
+    rejects "undeclared operator"
+      {|
+trait Bad4
+  introduces
+    emp : -> B
+  axioms forall b : B
+    mystery(b) = b
+end
+|};
+    rejects "unbound variable"
+      {|
+trait Bad5
+  introduces
+    emp : -> B
+    ins : B, E -> B
+  axioms forall b : B
+    ins(b, e) = b
+end
+|};
+    rejects "boolean connective on non-booleans"
+      {|
+trait Bad6
+  introduces
+    emp : -> B
+    isIn : B, E -> Bool
+  axioms forall b : B, e : E
+    isIn(b, e) = b \/ b
+end
+|};
+    rejects "if-branches of different sorts"
+      {|
+trait Bad7
+  introduces
+    emp : -> B
+    isEmp : B -> Bool
+  axioms forall b : B, e : E
+    isEmp(b) = if isEmp(b) then true else e
+end
+|};
+    Alcotest.test_case "all standard traits elaborate and sort-check" `Quick
+      (fun () ->
+        List.iter
+          (fun name -> ignore (Theories.find name))
+          [ "Bag"; "MBag"; "FifoQ"; "PQueue"; "MPQueue"; "SetE"; "SemiQ";
+            "StutQ" ]);
+    Alcotest.test_case "all standard interfaces are well-sorted" `Quick
+      (fun () ->
+        let check theory iface =
+          Interface.check_well_sorted theory iface
+        in
+        check (Theories.mbag ()) (Theories.bag_iface ());
+        check (Theories.fifoq ()) (Theories.fifo_iface ());
+        check (Theories.pqueue ()) (Theories.pqueue_iface ());
+        check (Theories.mpqueue ()) (Theories.mpq_iface ());
+        check (Theories.mbag ()) (Theories.degen_iface ());
+        check (Theories.semiq ()) (Theories.semiqueue_iface ~k:2);
+        check (Theories.stutq ()) (Theories.stuttering_iface ~j:2));
+    Alcotest.test_case "ill-sorted interface clause is rejected" `Quick
+      (fun () ->
+        let iface =
+          Parser.iface_of_string
+            {|
+interface Broken
+  uses Bag
+  object q : B
+  operation Enq(e : E) / Ok()
+    ensures ins(q, e)
+end
+|}
+        in
+        match Interface.check_well_sorted (Theories.bag ()) iface with
+        | exception Trait.Error _ -> ()
+        | _ -> Alcotest.fail "non-boolean ensures accepted");
+    Alcotest.test_case "conflicting re-declaration is rejected" `Quick
+      (fun () ->
+        let src =
+          {|
+trait Clash
+  includes Bag
+  introduces
+    ins : B -> B
+end
+|}
+        in
+        let env = [ Theories.bag () ] in
+        match Trait.elaborate env (Parser.trait_of_string src) with
+        | exception Trait.Error _ -> ()
+        | _ -> Alcotest.fail "conflicting declaration accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lexer / parser error paths                                          *)
+(* ------------------------------------------------------------------ *)
+
+let syntax_errors =
+  let lex_rejects name src =
+    Alcotest.test_case name `Quick (fun () ->
+        match Lexer.tokenize src with
+        | exception Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "lexing should have failed")
+  in
+  let parse_rejects name src =
+    Alcotest.test_case name `Quick (fun () ->
+        match Parser.trait_of_string src with
+        | exception Parser.Error _ -> ()
+        | _ -> Alcotest.fail "parsing should have failed")
+  in
+  [
+    lex_rejects "unexpected character" "trait T @ end";
+    parse_rejects "missing end" "trait T introduces f : -> B";
+    parse_rejects "equation without rhs"
+      "trait T introduces f : -> B axioms forall b : B f(b) = end";
+    parse_rejects "axioms without equality"
+      "trait T introduces f : B -> B axioms forall b : B f(b) end";
+    Alcotest.test_case "error messages carry positions" `Quick (fun () ->
+        match Parser.trait_of_string "trait T\n  junk\nend" with
+        | exception Parser.Error msg ->
+          Alcotest.(check bool)
+            (Fmt.str "message %S mentions a location" msg)
+            true
+            (String.contains msg ':')
+        | _ -> Alcotest.fail "expected a parse error");
+    Alcotest.test_case "comments are skipped" `Quick (fun () ->
+        let t =
+          Parser.trait_of_string
+            "trait T % a comment\n introduces f : -> B % another\nend"
+        in
+        Alcotest.(check int) "one decl" 1 (List.length t.Ast.t_decls));
+    Alcotest.test_case "primed identifiers lex as one token" `Quick
+      (fun () ->
+        let e = Parser.expr_of_string ~vars:[ "q'" ] "q'" in
+        Alcotest.(check bool) "is a variable" true (e = Term.var "q'"));
+  ]
+
+let () =
+  Alcotest.run "larch"
+    [
+      ("paper-equalities", paper_equalities);
+      ("conformance", conformance);
+      ("sort-checking", sort_checking);
+      ("syntax-errors", syntax_errors);
+    ]

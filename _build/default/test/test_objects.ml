@@ -1,0 +1,348 @@
+open Relax_core
+open Relax_objects
+
+(* Tests for the object zoo: the multiset model, each automaton's
+   characteristic behaviors and the language relationships between the
+   lattice members. *)
+
+let universe = Queue_ops.universe 2
+let alphabet = Queue_ops.alphabet universe
+let depth = 5
+
+let v = Value.int
+let enq = Queue_ops.enq_int
+let deq = Queue_ops.deq_int
+
+(* ------------------------------------------------------------------ *)
+(* Multiset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let arb_small_list =
+  QCheck.list_of_size (QCheck.Gen.int_bound 8) (QCheck.int_range 0 5)
+
+let multiset_qcheck =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"of_list is insertion-order independent"
+        ~count:200 arb_small_list (fun l ->
+          let a = Multiset.of_list (List.map v l) in
+          let b = Multiset.of_list (List.map v (List.rev l)) in
+          Multiset.equal a b);
+      QCheck.Test.make ~name:"ins increments count" ~count:200
+        (QCheck.pair arb_small_list QCheck.small_int) (fun (l, e) ->
+          let m = Multiset.of_list (List.map v l) in
+          Multiset.count (Multiset.ins m (v e)) (v e)
+          = Multiset.count m (v e) + 1);
+      QCheck.Test.make ~name:"del inverts ins" ~count:200
+        (QCheck.pair arb_small_list QCheck.small_int) (fun (l, e) ->
+          let m = Multiset.of_list (List.map v l) in
+          Multiset.equal (Multiset.del (Multiset.ins m (v e)) (v e)) m);
+      QCheck.Test.make ~name:"best is the maximum" ~count:200 arb_small_list
+        (fun l ->
+          match (l, Multiset.best (Multiset.of_list (List.map v l))) with
+          | [], None -> true
+          | [], Some _ | _ :: _, None -> false
+          | _ :: _, Some b ->
+            Value.equal b (v (List.fold_left max (List.hd l) l)));
+      QCheck.Test.make ~name:"union adds cardinalities" ~count:200
+        (QCheck.pair arb_small_list arb_small_list) (fun (a, b) ->
+          let ma = Multiset.of_list (List.map v a)
+          and mb = Multiset.of_list (List.map v b) in
+          Multiset.cardinal (Multiset.union ma mb)
+          = Multiset.cardinal ma + Multiset.cardinal mb);
+    ]
+
+let multiset_tests =
+  [
+    Alcotest.test_case "del of absent element is identity" `Quick (fun () ->
+        let m = Multiset.of_list [ v 1; v 2 ] in
+        Alcotest.(check bool)
+          "unchanged" true
+          (Multiset.equal m (Multiset.del m (v 9))));
+    Alcotest.test_case "all_less_than" `Quick (fun () ->
+        let m = Multiset.of_list [ v 1; v 2 ] in
+        Alcotest.(check bool) "3 above all" true (Multiset.all_less_than m (v 3));
+        Alcotest.(check bool) "2 not strictly" false (Multiset.all_less_than m (v 2));
+        Alcotest.(check bool)
+          "vacuous on empty" true
+          (Multiset.all_less_than Multiset.empty (v 0)));
+  ]
+  @ multiset_qcheck
+
+(* ------------------------------------------------------------------ *)
+(* Characteristic single-history behaviors                             *)
+(* ------------------------------------------------------------------ *)
+
+let accepts a h = Automaton.accepts a h
+let check_accepts name a h expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) "accepts" expected (accepts a h))
+
+let behavior_tests =
+  [
+    (* FIFO: strictly in order *)
+    check_accepts "FIFO services in order" Fifo.automaton
+      [ enq 2; enq 1; deq 2; deq 1 ]
+      true;
+    check_accepts "FIFO rejects reordering" Fifo.automaton
+      [ enq 2; enq 1; deq 1 ] false;
+    (* PQ: best first *)
+    check_accepts "PQ services best first" Pqueue.automaton
+      [ enq 1; enq 2; deq 2; deq 1 ]
+      true;
+    check_accepts "PQ rejects lower priority first" Pqueue.automaton
+      [ enq 1; enq 2; deq 1 ] false;
+    (* Bag/OPQ: any order, no duplicates *)
+    check_accepts "Bag allows any order" Bag.automaton
+      [ enq 1; enq 2; deq 1; deq 2 ]
+      true;
+    check_accepts "Bag rejects duplicates" Bag.automaton
+      [ enq 1; deq 1; deq 1 ] false;
+    (* MPQ: duplicates of the best, never passing over better pending *)
+    check_accepts "MPQ replays a served best item" Mpq.automaton
+      [ enq 2; deq 2; deq 2 ] true;
+    check_accepts "MPQ never passes over a better pending item" Mpq.automaton
+      [ enq 2; enq 1; deq 2; deq 1; deq 1 ]
+      true;
+    check_accepts "MPQ rejects replay below a pending better item"
+      Mpq.automaton
+      [ enq 1; deq 1; enq 2; deq 1 ]
+      false;
+    check_accepts "MPQ rejects out-of-order service" Mpq.automaton
+      [ enq 1; enq 2; deq 1 ] false;
+    (* Degenerate: duplicates and reordering *)
+    check_accepts "Degen allows duplicates out of order" Degen.automaton
+      [ enq 1; enq 2; deq 1; deq 1; deq 2 ]
+      true;
+    check_accepts "Degen still requires enqueue-before-dequeue"
+      Degen.automaton [ deq 1 ] false;
+    (* Semiqueue: window discipline *)
+    check_accepts "Semiqueue_2 dequeues the second item" (Semiqueue.automaton 2)
+      [ enq 1; enq 2; deq 2 ] true;
+    check_accepts "Semiqueue_2 cannot reach the third item"
+      (Semiqueue.automaton 2)
+      [ enq 1; enq 2; enq 3; deq 3 ]
+      false;
+    check_accepts "Semiqueue_2 window slides as items leave"
+      (Semiqueue.automaton 2)
+      [ enq 1; enq 2; enq 1; deq 1; deq 1 ]
+      true;
+    (* Stuttering: bounded consecutive repeats of the head *)
+    check_accepts "Stuttering_2 repeats the head twice" (Stuttering.automaton 2)
+      [ enq 1; deq 1; deq 1 ] true;
+    check_accepts "Stuttering_2 cannot repeat three times"
+      (Stuttering.automaton 2)
+      [ enq 1; deq 1; deq 1; deq 1 ]
+      false;
+    check_accepts "Stuttering repeats must be consecutive"
+      (Stuttering.automaton 3)
+      [ enq 1; enq 2; deq 1; deq 2; deq 1 ]
+      false;
+    (* SSqueue: both anomalies, bounded *)
+    check_accepts "SSqueue_{2,2} repeats within the window"
+      (Ssqueue.automaton ~j:2 ~k:2)
+      [ enq 1; enq 2; deq 2; deq 2; deq 1 ]
+      true;
+    check_accepts "SSqueue_{1,2} forbids repeats"
+      (Ssqueue.automaton ~j:1 ~k:2)
+      [ enq 1; enq 2; deq 2; deq 2 ]
+      false;
+    (* Replayable FIFO queue *)
+    check_accepts "RFQ replays the served prefix" Rfq.automaton
+      [ enq 1; enq 2; deq 1; deq 2; deq 1; deq 2 ]
+      true;
+    check_accepts "RFQ never serves ahead of the boundary" Rfq.automaton
+      [ enq 1; enq 2; deq 2 ] false;
+    check_accepts "RFQ serves in FIFO order" Rfq.automaton
+      [ enq 1; enq 2; deq 1; deq 2 ]
+      true;
+    (* Account *)
+    check_accepts "Account accepts covered debits" Account.automaton
+      [ Account.credit 5; Account.debit 3; Account.debit 2 ]
+      true;
+    check_accepts "Account rejects claiming Ok on an uncovered debit"
+      Account.automaton
+      [ Account.credit 5; Account.debit 6 ]
+      false;
+    check_accepts "Account bounces an uncovered debit" Account.automaton
+      [ Account.credit 5; Account.debit_bounced 6 ]
+      true;
+    check_accepts "Account rejects a spurious bounce at the object level"
+      Account.automaton
+      [ Account.credit 5; Account.debit_bounced 3 ]
+      false;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Language relationships                                              *)
+(* ------------------------------------------------------------------ *)
+
+let incl name a b expected =
+  Alcotest.test_case name `Slow (fun () ->
+      Alcotest.(check bool)
+        "included" expected
+        (Language.included_bool a b ~alphabet ~depth))
+
+let relationship_tests =
+  [
+    incl "PQ ⊆ MPQ" Pqueue.automaton Mpq.automaton true;
+    incl "PQ ⊆ OPQ" Pqueue.automaton Opq.automaton true;
+    incl "MPQ ⊆ Degen" Mpq.automaton Degen.automaton true;
+    incl "OPQ ⊆ Degen" Opq.automaton Degen.automaton true;
+    incl "MPQ ⊄ OPQ" Mpq.automaton Opq.automaton false;
+    incl "OPQ ⊄ MPQ" Opq.automaton Mpq.automaton false;
+    incl "FIFO ⊆ Semiqueue_2" Fifo.automaton (Semiqueue.automaton 2) true;
+    incl "FIFO ⊆ Stuttering_2" Fifo.automaton (Stuttering.automaton 2) true;
+    incl "Semiqueue_2 ⊆ SSqueue_{2,2}" (Semiqueue.automaton 2)
+      (Ssqueue.automaton ~j:2 ~k:2) true;
+    incl "Stuttering_2 ⊆ SSqueue_{2,2}" (Stuttering.automaton 2)
+      (Ssqueue.automaton ~j:2 ~k:2) true;
+    incl "Semiqueue_2 ⊄ Stuttering_2" (Semiqueue.automaton 2)
+      (Stuttering.automaton 2) false;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation functions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eta_tests =
+  [
+    Alcotest.test_case "eta agrees with PQ's delta* on legal histories"
+      `Slow (fun () ->
+        List.iter
+          (fun h ->
+            match Automaton.run Pqueue.automaton h with
+            | [ s ] ->
+              Alcotest.(check bool)
+                (Fmt.str "%a" History.pp h)
+                true
+                (Multiset.equal s (Eta.eta h))
+            | _ -> Alcotest.fail "PQ should be deterministic")
+          (Language.enumerate Pqueue.automaton ~alphabet ~depth));
+    Alcotest.test_case "eta' agrees with PQ's delta* on legal histories"
+      `Slow (fun () ->
+        List.iter
+          (fun h ->
+            match Automaton.run Pqueue.automaton h with
+            | [ s ] ->
+              Alcotest.(check bool)
+                (Fmt.str "%a" History.pp h)
+                true
+                (Multiset.equal s (Eta.eta' h))
+            | _ -> Alcotest.fail "PQ should be deterministic")
+          (Language.enumerate Pqueue.automaton ~alphabet ~depth));
+    Alcotest.test_case "eta is total on illegal histories" `Quick (fun () ->
+        let h = [ deq 1; deq 1; enq 2 ] in
+        Alcotest.(check bool)
+          "evaluates" true
+          (Multiset.equal (Eta.eta h) (Multiset.of_list [ v 2 ])));
+    Alcotest.test_case "eta' drops skipped better items" `Quick (fun () ->
+        (* enqueue 1 and 2, dequeue 1: eta keeps 2, eta' drops it *)
+        let h = [ enq 1; enq 2; deq 1 ] in
+        Alcotest.(check bool)
+          "eta keeps 2" true
+          (Multiset.mem (Eta.eta h) (v 2));
+        Alcotest.(check bool)
+          "eta' drops 2" true
+          (Multiset.is_empty (Eta.eta' h)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lattices (Section 4.2)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lattice_tests =
+  [
+    Alcotest.test_case "constraint names round-trip" `Quick (fun () ->
+        Alcotest.(check (option int))
+          "C3" (Some 3)
+          (Lattices.constraint_index (Lattices.constraint_name 3));
+        Alcotest.(check (option int)) "junk" None (Lattices.constraint_index "X3");
+        Alcotest.(check (option int)) "empty" None (Lattices.constraint_index ""));
+    Alcotest.test_case "lowest index drives phi" `Quick (fun () ->
+        let l = Lattices.semiqueue ~n:3 in
+        let a = Relaxation.phi l (Cset.of_list [ "C2"; "C3" ]) in
+        Alcotest.(check string) "name" "Semiqueue(2)" (Automaton.name a));
+    Alcotest.test_case "domain excludes the empty set" `Quick (fun () ->
+        let l = Lattices.stuttering ~n:3 in
+        Alcotest.(check int) "7 points" 7 (List.length (Relaxation.domain l)));
+    Alcotest.test_case "semiqueue lattice is monotone" `Slow (fun () ->
+        let l = Lattices.semiqueue ~n:3 in
+        Alcotest.(check int)
+          "no violations" 0
+          (List.length (Relaxation.check_monotone l ~alphabet ~depth:4)));
+    Alcotest.test_case "stuttering lattice is monotone" `Slow (fun () ->
+        let l = Lattices.stuttering ~n:3 in
+        Alcotest.(check int)
+          "no violations" 0
+          (List.length (Relaxation.check_monotone l ~alphabet ~depth:4)));
+    Alcotest.test_case "ssqueue lattice is monotone" `Slow (fun () ->
+        let l = Lattices.ssqueue ~n:3 () in
+        Alcotest.(check int)
+          "no violations" 0
+          (List.length (Relaxation.check_monotone l ~alphabet ~depth:4)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Monitors                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "classify recovers the lattice order" `Slow (fun () ->
+        let c a b =
+          match Registry.classify ~alphabet ~depth:4 a b with
+          | Some c -> c
+          | None -> Alcotest.fail "unknown name"
+        in
+        (match c "PQ" "MPQ" with
+        | Language.Left_below_right _ -> ()
+        | other ->
+          Alcotest.failf "PQ vs MPQ: %a" Language.pp_classification other);
+        (match c "MPQ" "PQ" with
+        | Language.Right_below_left _ -> ()
+        | other ->
+          Alcotest.failf "MPQ vs PQ: %a" Language.pp_classification other);
+        (match c "MPQ" "OPQ" with
+        | Language.Incomparable _ -> ()
+        | other ->
+          Alcotest.failf "MPQ vs OPQ: %a" Language.pp_classification other);
+        match c "Bag" "OPQ" with
+        | Language.Equal -> ()
+        | other ->
+          Alcotest.failf "Bag vs OPQ: %a" Language.pp_classification other);
+    Alcotest.test_case "unknown names are None" `Quick (fun () ->
+        Alcotest.(check bool)
+          "none" true
+          (Registry.classify ~alphabet ~depth:2 "PQ" "Nonsense" = None));
+    Alcotest.test_case "every entry resolves" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) n true (Registry.find n <> None))
+          Registry.names);
+  ]
+
+let monitor_tests =
+  [
+    Alcotest.test_case "distinct_enqueues rejects re-enqueue" `Quick
+      (fun () ->
+        let a = Monitors.with_distinct_enqueues Fifo.automaton in
+        Alcotest.(check bool)
+          "first enq ok" true
+          (Automaton.accepts a [ enq 1; deq 1 ]);
+        Alcotest.(check bool)
+          "re-enqueue rejected" false
+          (Automaton.accepts a [ enq 1; deq 1; enq 1 ]));
+  ]
+
+let () =
+  Alcotest.run "objects"
+    [
+      ("multiset", multiset_tests);
+      ("behaviors", behavior_tests);
+      ("relationships", relationship_tests);
+      ("eta", eta_tests);
+      ("lattices", lattice_tests);
+      ("registry", registry_tests);
+      ("monitors", monitor_tests);
+    ]

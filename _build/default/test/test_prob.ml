@@ -1,0 +1,198 @@
+open Relax_prob
+
+(* Tests for the probabilistic substrate: statistics, binomial tails,
+   linear algebra, Markov chains and the Section 3.3 top-n model. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "mean and variance" `Quick (fun () ->
+        let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+        Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+        Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance xs));
+    Alcotest.test_case "empty sample raises" `Quick (fun () ->
+        Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty sample")
+          (fun () -> ignore (Stats.mean [])));
+    Alcotest.test_case "wilson interval brackets the proportion" `Quick
+      (fun () ->
+        let lo, hi = Stats.wilson_interval ~successes:50 ~trials:100 in
+        Alcotest.(check bool) "contains 0.5" true (lo < 0.5 && 0.5 < hi);
+        Alcotest.(check bool) "tight-ish" true (hi -. lo < 0.25));
+    Alcotest.test_case "wilson interval at the extremes stays in [0,1]"
+      `Quick (fun () ->
+        let lo, hi = Stats.wilson_interval ~successes:0 ~trials:100 in
+        Alcotest.(check bool) "low edge" true (feq lo 0.0 && hi > 0.0);
+        let lo, hi = Stats.wilson_interval ~successes:100 ~trials:100 in
+        Alcotest.(check bool) "high edge" true (feq hi 1.0 && lo < 1.0));
+    Alcotest.test_case "histogram clamps and counts" `Quick (fun () ->
+        let h =
+          Stats.histogram ~lo:0.0 ~hi:10.0 ~bins:5
+            [ -1.0; 0.5; 3.0; 9.9; 42.0 ]
+        in
+        Alcotest.(check int) "total" 5 (Array.fold_left ( + ) 0 h);
+        Alcotest.(check int) "first bin" 2 h.(0);
+        Alcotest.(check int) "last bin" 2 h.(4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Binomial                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let binomial_tests =
+  [
+    Alcotest.test_case "choose" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "C(5,2)" 10.0 (Binomial.choose 5 2);
+        Alcotest.(check (float 1e-9)) "C(5,0)" 1.0 (Binomial.choose 5 0);
+        Alcotest.(check (float 1e-9)) "C(5,6)" 0.0 (Binomial.choose 5 6));
+    Alcotest.test_case "pmf sums to one" `Quick (fun () ->
+        let total = ref 0.0 in
+        for k = 0 to 10 do
+          total := !total +. Binomial.pmf ~n:10 ~p:0.3 k
+        done;
+        Alcotest.(check (float 1e-9)) "sum" 1.0 !total);
+    Alcotest.test_case "tail boundary cases" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "m<=0" 1.0 (Binomial.tail ~n:5 ~p:0.4 0);
+        Alcotest.(check (float 1e-9)) "m>n" 0.0 (Binomial.tail ~n:5 ~p:0.4 6));
+    Alcotest.test_case "majority quorum availability (n=5, p=0.9)" `Quick
+      (fun () ->
+        (* P(at least 3 of 5 up) with p = 0.9: 0.99144 *)
+        Alcotest.(check (float 1e-5))
+          "value" 0.99144
+          (Binomial.tail ~n:5 ~p:0.9 3));
+    Alcotest.test_case "tail + cdf = 1" `Quick (fun () ->
+        for m = 0 to 5 do
+          Alcotest.(check (float 1e-9))
+            "partition" 1.0
+            (Binomial.tail ~n:5 ~p:0.37 (m + 1) +. Binomial.cdf ~n:5 ~p:0.37 m)
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Matrix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_tests =
+  [
+    Alcotest.test_case "solve a 3x3 system" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 2.0; 1.0; -1.0 ]; [ -3.0; -1.0; 2.0 ]; [ -2.0; 1.0; 2.0 ] ] in
+        let x = Matrix.solve a [| 8.0; -11.0; -3.0 |] in
+        Alcotest.(check (array (float 1e-9))) "solution" [| 2.0; 3.0; -1.0 |] x);
+    Alcotest.test_case "singular system fails" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ] in
+        match Matrix.solve a [| 1.0; 2.0 |] with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure");
+    Alcotest.test_case "mul against identity" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+        let i = Matrix.identity 2 in
+        Alcotest.(check (float 1e-9)) "a*i = a" 4.0 (Matrix.get (Matrix.mul a i) 1 1));
+    Alcotest.test_case "transpose swaps" `Quick (fun () ->
+        let a = Matrix.of_rows [ [ 1.0; 2.0; 3.0 ] ] in
+        let t = Matrix.transpose a in
+        Alcotest.(check int) "rows" 3 (Matrix.rows t);
+        Alcotest.(check (float 1e-9)) "entry" 2.0 (Matrix.get t 1 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Markov                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash/recover chain: Up -> Down with 0.1, Down -> Up with 0.5. *)
+let updown =
+  Markov.create ~labels:[| "up"; "down" |]
+    ~p:(Matrix.of_rows [ [ 0.9; 0.1 ]; [ 0.5; 0.5 ] ])
+
+let markov_tests =
+  [
+    Alcotest.test_case "stationary distribution of up/down" `Quick (fun () ->
+        let pi = Markov.stationary updown in
+        (* balance: pi_up * 0.1 = pi_down * 0.5 => pi_up = 5/6 *)
+        Alcotest.(check (float 1e-9)) "up" (5.0 /. 6.0) pi.(0);
+        Alcotest.(check (float 1e-9)) "down" (1.0 /. 6.0) pi.(1));
+    Alcotest.test_case "step preserves mass" `Quick (fun () ->
+        let d = Markov.step updown [| 0.3; 0.7 |] in
+        Alcotest.(check (float 1e-9)) "mass" 1.0 (d.(0) +. d.(1)));
+    Alcotest.test_case "expected hitting time" `Quick (fun () ->
+        (* from down, E[steps to up] = 1/0.5 = 2 *)
+        let h = Markov.expected_hitting_time updown ~target:0 in
+        Alcotest.(check (float 1e-9)) "from down" 2.0 h.(1);
+        Alcotest.(check (float 1e-9)) "from up" 0.0 h.(0));
+    Alcotest.test_case "absorption probability" `Quick (fun () ->
+        (* gambler's ruin on {0,1,2} with absorbing ends and fair steps *)
+        let chain =
+          Markov.create ~labels:[| "lose"; "mid"; "win" |]
+            ~p:(Matrix.of_rows
+                  [ [ 1.0; 0.0; 0.0 ]; [ 0.5; 0.0; 0.5 ]; [ 0.0; 0.0; 1.0 ] ])
+        in
+        let x = Markov.absorption_probability chain ~target:2 in
+        Alcotest.(check (float 1e-9)) "from mid" 0.5 x.(1);
+        Alcotest.(check (float 1e-9)) "from lose" 0.0 x.(0));
+    Alcotest.test_case "bad rows are rejected" `Quick (fun () ->
+        match
+          Markov.create ~labels:[| "a" |] ~p:(Matrix.of_rows [ [ 0.5 ] ])
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "simulated frequencies approach stationarity" `Quick
+      (fun () ->
+        let rng = Relax_sim.Rng.create ~seed:17 in
+        let traj = Markov.simulate updown rng ~start:0 ~steps:20_000 in
+        let ups = List.length (List.filter (fun s -> s = 0) traj) in
+        let freq = float_of_int ups /. float_of_int (List.length traj) in
+        Alcotest.(check bool)
+          (Fmt.str "freq %.3f near 5/6" freq)
+          true
+          (Float.abs (freq -. (5.0 /. 6.0)) < 0.02));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo and the top-n claim                                     *)
+(* ------------------------------------------------------------------ *)
+
+let montecarlo_tests =
+  [
+    Alcotest.test_case "probability estimate of a fair coin" `Quick
+      (fun () ->
+        let e =
+          Montecarlo.probability ~trials:20_000 (fun rng ->
+              Relax_sim.Rng.bool rng 0.5)
+        in
+        Alcotest.(check bool)
+          "consistent with 0.5" true
+          (Montecarlo.consistent_with e ~theory:0.5));
+    Alcotest.test_case "expectation of a uniform variate" `Quick (fun () ->
+        let mean, hw =
+          Montecarlo.expectation ~trials:20_000 (fun rng ->
+              Relax_sim.Rng.unit_float rng)
+        in
+        Alcotest.(check bool)
+          "mean near 0.5" true
+          (Float.abs (mean -. 0.5) < 3.0 *. hw +. 0.01));
+    Alcotest.test_case "top-n theory is the power law" `Quick (fun () ->
+        Alcotest.(check (float 1e-12))
+          "0.1^3" 0.001
+          (Topn.theory ~miss_probability:0.1 3));
+    Alcotest.test_case "top-n simulation matches 0.1^n" `Slow (fun () ->
+        List.iter
+          (fun (n, theory, estimate) ->
+            Alcotest.(check bool)
+              (Fmt.str "n=%d" n)
+              true
+              (Montecarlo.consistent_with estimate ~theory))
+          (Topn.table ~trials:150_000 ~max_n:3 ()));
+  ]
+
+let () =
+  Alcotest.run "prob"
+    [
+      ("stats", stats_tests);
+      ("binomial", binomial_tests);
+      ("matrix", matrix_tests);
+      ("markov", markov_tests);
+      ("montecarlo", montecarlo_tests);
+    ]

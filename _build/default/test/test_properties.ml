@@ -1,0 +1,284 @@
+open Relax_core
+open Relax_objects
+open Relax_quorum
+open Relax_txn
+
+(* Cross-cutting property-based tests: random histories, schedules and
+   terms exercise the relationships between the executable models, the
+   term-level theories, the QCA construction and the atomicity checkers
+   from angles the exhaustive bounded checks do not reach (longer
+   histories, larger universes). *)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* Random queue-family histories over {1..3}: raw sequences, not
+   necessarily legal for any automaton. *)
+let arb_history =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 10)
+        (oneof
+           [
+             map (fun i -> Queue_ops.enq_int (1 + (i mod 3))) small_nat;
+             map (fun i -> Queue_ops.deq_int (1 + (i mod 3))) small_nat;
+           ]))
+  in
+  QCheck.make ~print:History.to_string gen
+
+(* ------------------------------------------------------------------ *)
+(* Lattice inclusions on random histories                              *)
+(* ------------------------------------------------------------------ *)
+
+let implies_accept name a b =
+  qtest
+    (QCheck.Test.make ~name ~count:500 arb_history (fun h ->
+         (not (Automaton.accepts a h)) || Automaton.accepts b h))
+
+let inclusion_tests =
+  [
+    implies_accept "PQ ⊆ MPQ (random)" Pqueue.automaton Mpq.automaton;
+    implies_accept "PQ ⊆ OPQ (random)" Pqueue.automaton Opq.automaton;
+    implies_accept "PQ ⊆ DPQ (random)" Pqueue.automaton Dpq.automaton;
+    implies_accept "MPQ ⊆ Degen (random)" Mpq.automaton Degen.automaton;
+    implies_accept "OPQ ⊆ Degen (random)" Opq.automaton Degen.automaton;
+    implies_accept "DPQ ⊆ OPQ (random)" Dpq.automaton Opq.automaton;
+    implies_accept "FIFO ⊆ Semiqueue_3 (random)" Fifo.automaton
+      (Semiqueue.automaton 3);
+    implies_accept "Semiqueue_2 ⊆ Semiqueue_3 (random)"
+      (Semiqueue.automaton 2) (Semiqueue.automaton 3);
+    implies_accept "Stuttering_2 ⊆ Stuttering_3 (random)"
+      (Stuttering.automaton 2) (Stuttering.automaton 3);
+    implies_accept "Semiqueue_2 ⊆ SSqueue_{2,2} (random)"
+      (Semiqueue.automaton 2)
+      (Ssqueue.automaton ~j:2 ~k:2);
+    implies_accept "Stuttering_2 ⊆ SSqueue_{2,2} (random)"
+      (Stuttering.automaton 2)
+      (Ssqueue.automaton ~j:2 ~k:2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* QCA structure on random histories                                   *)
+(* ------------------------------------------------------------------ *)
+
+let qca rel = Qca.automaton Instances.pq_spec_eta rel
+let q1_q2 = Relation.union Instances.q1 Instances.q2
+
+let qca_tests =
+  [
+    (* strengthening the relation shrinks the language *)
+    qtest
+      (QCheck.Test.make ~name:"QCA is antitone in the relation (random)"
+         ~count:200 arb_history (fun h ->
+           (not (Automaton.accepts (qca q1_q2) h))
+           || (Automaton.accepts (qca Instances.q1) h
+              && Automaton.accepts (qca Instances.q2) h)));
+    qtest
+      (QCheck.Test.make ~name:"QCA({}) accepts anything MPQ accepts (random)"
+         ~count:200 arb_history (fun h ->
+           (not (Automaton.accepts Mpq.automaton h))
+           || Automaton.accepts (qca Relation.empty) h));
+    (* every Q-view is Q-closed and contains the required operations *)
+    qtest
+      (QCheck.Test.make ~name:"Q-views satisfy Definitions 1 and 2"
+         ~count:150
+         (QCheck.map
+            (fun h -> List.filteri (fun i _ -> i < 7) h)
+            arb_history)
+         (fun h ->
+           let i = Op.inv Queue_ops.deq_name in
+           let views = View.views Instances.q1 h i in
+           List.for_all
+             (fun g ->
+               (* required: every Enq of h occurs in g *)
+               History.is_subhistory
+                 (History.filter Queue_ops.is_enq h)
+                 g
+               && History.is_subhistory g h)
+             views));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Model-vs-theory agreement                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Random ins/del programs evaluated both in the Multiset model and in
+   the MBag term theory must reify to the same canonical term. *)
+let arb_program =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map
+           (function `Ins e -> Fmt.str "ins %d" e | `Del e -> Fmt.str "del %d" e)
+           l))
+    QCheck.Gen.(
+      list_size (int_bound 10)
+        (oneof
+           [
+             map (fun i -> `Ins (1 + (i mod 4))) small_nat;
+             map (fun i -> `Del (1 + (i mod 4))) small_nat;
+           ]))
+
+let theory_tests =
+  let mbag = Relax_larch.Theories.mbag () in
+  let fifo_theory = Relax_larch.Theories.fifoq () in
+  [
+    qtest
+      (QCheck.Test.make ~name:"Multiset model = MBag theory (random programs)"
+         ~count:300 arb_program (fun prog ->
+           let model =
+             List.fold_left
+               (fun m step ->
+                 match step with
+                 | `Ins e -> Multiset.ins m (Value.int e)
+                 | `Del e -> Multiset.del m (Value.int e))
+               Multiset.empty prog
+           in
+           let term =
+             List.fold_left
+               (fun t step ->
+                 match step with
+                 | `Ins e -> Relax_larch.Term.app "ins" [ t; Relax_larch.Term.int e ]
+                 | `Del e -> Relax_larch.Term.app "del" [ t; Relax_larch.Term.int e ])
+               (Relax_larch.Term.const "emp")
+               prog
+           in
+           Relax_larch.Term.equal
+             (Relax_larch.Trait.normalize mbag term)
+             (Relax_larch.Reify.multiset model)));
+    qtest
+      (QCheck.Test.make ~name:"FIFO first/rest = FifoQ theory (random queues)"
+         ~count:300
+         (QCheck.list_of_size (QCheck.Gen.int_range 1 8)
+            (QCheck.int_range 1 4))
+         (fun items ->
+           let q = List.map Value.int items in
+           let term = Relax_larch.Reify.fifo q in
+           let first =
+             Relax_larch.Trait.normalize fifo_theory
+               (Relax_larch.Term.app "first" [ term ])
+           in
+           let rest =
+             Relax_larch.Trait.normalize fifo_theory
+               (Relax_larch.Term.app "rest" [ term ])
+           in
+           Relax_larch.Term.equal first (Relax_larch.Term.int (List.hd items))
+           && Relax_larch.Term.equal rest
+                (Relax_larch.Reify.fifo (List.tl q))));
+    qtest
+      (QCheck.Test.make ~name:"normalization is idempotent (random bag terms)"
+         ~count:300 arb_program (fun prog ->
+           let term =
+             List.fold_left
+               (fun t step ->
+                 match step with
+                 | `Ins e -> Relax_larch.Term.app "ins" [ t; Relax_larch.Term.int e ]
+                 | `Del e -> Relax_larch.Term.app "del" [ t; Relax_larch.Term.int e ])
+               (Relax_larch.Term.const "emp")
+               prog
+           in
+           let once = Relax_larch.Trait.normalize mbag term in
+           Relax_larch.Term.equal once (Relax_larch.Trait.normalize mbag once)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Atomicity structure on random schedules                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Random small schedules over 3 transactions: each transaction runs a
+   short op list; steps interleaved randomly; each transaction then
+   commits or aborts. *)
+let arb_schedule =
+  let gen =
+    QCheck.Gen.(
+      let* steps =
+        list_size (int_bound 8)
+          (pair (int_bound 2)
+             (oneof
+                [
+                  map (fun i -> Queue_ops.enq_int (1 + (i mod 2))) small_nat;
+                  map (fun i -> Queue_ops.deq_int (1 + (i mod 2))) small_nat;
+                ]))
+      in
+      let* outcomes = list_repeat 3 bool in
+      let body =
+        List.map (fun (p, op) -> Schedule.Exec (Tid.of_int p, op)) steps
+      in
+      let ends =
+        List.mapi
+          (fun p commit ->
+            if commit then Schedule.Commit (Tid.of_int p)
+            else Schedule.Abort (Tid.of_int p))
+          outcomes
+      in
+      return (Schedule.of_list (body @ ends)))
+  in
+  QCheck.make ~print:(Fmt.str "%a" Schedule.pp) gen
+
+let atomicity_property_tests =
+  [
+    qtest
+      (QCheck.Test.make ~name:"online atomic => atomic (random schedules)"
+         ~count:200 arb_schedule (fun s ->
+           (not (Atomicity.online_atomic Fifo.automaton s))
+           || Atomicity.atomic Fifo.automaton s));
+    qtest
+      (QCheck.Test.make ~name:"hybrid atomic => atomic (random schedules)"
+         ~count:200 arb_schedule (fun s ->
+           (not (Atomicity.hybrid_atomic Fifo.automaton s))
+           || Atomicity.atomic Fifo.automaton s));
+    qtest
+      (QCheck.Test.make
+         ~name:"atomic wrt FIFO => atomic wrt Semiqueue_2 (random schedules)"
+         ~count:200 arb_schedule (fun s ->
+           (not (Atomicity.atomic Fifo.automaton s))
+           || Atomicity.atomic (Semiqueue.automaton 2) s));
+    (* note: naively one might expect "aborting a committed transaction
+       preserves atomicity" — it does NOT (other transactions' recorded
+       responses may have depended on its operations); qcheck found the
+       counterexample.  What does hold is that aborted transactions'
+       steps are irrelevant to atomicity. *)
+    qtest
+      (QCheck.Test.make
+         ~name:"erasing aborted transactions' steps preserves atomicity"
+         ~count:200 arb_schedule (fun s ->
+           let aborted = Schedule.aborted s in
+           let is_aborted p = List.exists (Tid.equal p) aborted in
+           let s' =
+             List.filter
+               (fun step -> not (is_aborted (Schedule.step_tid step)))
+               s
+           in
+           Atomicity.atomic Fifo.automaton s
+           = Atomicity.atomic Fifo.automaton s'));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Atomic(A) automaton vs. the checkers                                *)
+(* ------------------------------------------------------------------ *)
+
+let atomic_agreement_tests =
+  [
+    qtest
+      (QCheck.Test.make
+         ~name:"Atomic(FIFO) automaton agrees with the checkers (random)"
+         ~count:100 arb_schedule (fun s ->
+           let automaton_accepts =
+             Automaton.accepts
+               (Atomic_automaton.automaton Fifo.automaton)
+               (Atomic_automaton.encode s)
+           in
+           (* the automaton checks every prefix; the whole-schedule
+              predicate only the final one, so automaton acceptance must
+              imply the predicate *)
+           (not automaton_accepts) || Atomicity.in_atomic Fifo.automaton s));
+  ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("inclusions", inclusion_tests);
+      ("qca", qca_tests);
+      ("model-vs-theory", theory_tests);
+      ("atomicity", atomicity_property_tests);
+      ("atomic-automaton", atomic_agreement_tests);
+    ]

@@ -1,0 +1,73 @@
+open Relax_core
+open Relax_objects
+open Relax_quorum
+
+(* Bounded model checking of the Section 3.3 claims: each point of the
+   replicated-priority-queue lattice is language-equal to the behavior the
+   paper names. *)
+
+let universe = Queue_ops.universe 2
+let alphabet = Queue_ops.alphabet universe
+let depth = 5
+
+let check_equiv name a b =
+  Alcotest.test_case name `Slow (fun () ->
+      match Language.equivalent a b ~alphabet ~depth with
+      | Ok () -> ()
+      | Error c -> Alcotest.failf "%a" Language.pp_counterexample c)
+
+let qca rel = Qca.automaton Instances.pq_spec_eta rel
+
+let q1_q2 = Relation.union Instances.q1 Instances.q2
+
+let lattice_tests =
+  [
+    check_equiv "QCA(PQ,{Q1,Q2},eta) = PQ" (qca q1_q2) Pqueue.automaton;
+    check_equiv "QCA(PQ,{Q1},eta) = MPQ (Theorem 4)" (qca Instances.q1)
+      Mpq.automaton;
+    check_equiv "QCA(PQ,{Q2},eta) = OPQ" (qca Instances.q2) Opq.automaton;
+    check_equiv "QCA(PQ,{},eta) = DegenPQ" (qca Relation.empty) Degen.automaton;
+  ]
+
+(* The proof of Theorem 4 rests on the value homomorphism
+   alpha : MPQ -> PQ, alpha(m) = m.present, satisfying
+   pre_PQ(alpha(m)) => pre_MPQ(m) and the corresponding postcondition
+   implication.  Operationally: every PQ transition available at
+   alpha(m) is matched by an MPQ transition at m whose target projects
+   correctly — alpha is a simulation.  Checked over the reachable MPQ
+   states. *)
+let theorem4_proof_tests =
+  [
+    Alcotest.test_case "alpha (projection on present) is a simulation" `Slow
+      (fun () ->
+        let states =
+          Relax_larch.Conformance.reachable Mpq.automaton ~alphabet ~depth:4
+        in
+        List.iter
+          (fun (m : Mpq.state) ->
+            List.iter
+              (fun p ->
+                List.iter
+                  (fun (pq' : Pqueue.state) ->
+                    (* some MPQ successor must project onto pq' *)
+                    let matched =
+                      List.exists
+                        (fun (m' : Mpq.state) ->
+                          Multiset.equal m'.Mpq.present pq')
+                        (Automaton.step Mpq.automaton m p)
+                    in
+                    if not matched then
+                      Alcotest.failf
+                        "PQ step %a at projected state %a has no MPQ match"
+                        Op.pp p Multiset.pp m.Mpq.present)
+                  (Automaton.step Pqueue.automaton m.Mpq.present p))
+              alphabet)
+          states);
+  ]
+
+let () =
+  Alcotest.run "quorum"
+    [
+      ("pq-lattice", lattice_tests);
+      ("theorem4-proof", theorem4_proof_tests);
+    ]

@@ -1,0 +1,270 @@
+open Relax_sim
+
+(* Tests for the simulation substrate: PRNG determinism and statistics,
+   heap ordering, engine scheduling semantics, and the network fault
+   model. *)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Rng.create ~seed:99 and b = Rng.create ~seed:99 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64)
+            "draw" (Rng.next_int64 a) (Rng.next_int64 b)
+        done);
+    Alcotest.test_case "different seeds diverge" `Quick (fun () ->
+        let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+        let same = ref 0 in
+        for _ = 1 to 50 do
+          if Int64.equal (Rng.next_int64 a) (Rng.next_int64 b) then incr same
+        done;
+        Alcotest.(check bool) "mostly different" true (!same < 3));
+    Alcotest.test_case "split decorrelates" `Quick (fun () ->
+        let parent = Rng.create ~seed:5 in
+        let child = Rng.split parent in
+        Alcotest.(check bool)
+          "differ" true
+          (not (Int64.equal (Rng.next_int64 parent) (Rng.next_int64 child))));
+    Alcotest.test_case "int respects bounds" `Quick (fun () ->
+        let r = Rng.create ~seed:3 in
+        for _ = 1 to 1000 do
+          let x = Rng.int r 7 in
+          Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+        done;
+        Alcotest.check_raises "zero bound"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Rng.int r 0)));
+    Alcotest.test_case "unit_float in [0,1)" `Quick (fun () ->
+        let r = Rng.create ~seed:4 in
+        for _ = 1 to 1000 do
+          let x = Rng.unit_float r in
+          Alcotest.(check bool) "in range" true (x >= 0.0 && x < 1.0)
+        done);
+    Alcotest.test_case "bool frequency tracks p" `Quick (fun () ->
+        let r = Rng.create ~seed:6 in
+        let hits = ref 0 in
+        let n = 20_000 in
+        for _ = 1 to n do
+          if Rng.bool r 0.3 then incr hits
+        done;
+        let freq = float_of_int !hits /. float_of_int n in
+        Alcotest.(check bool)
+          (Fmt.str "freq %.3f near 0.3" freq)
+          true
+          (Float.abs (freq -. 0.3) < 0.02));
+    Alcotest.test_case "exponential has the right mean" `Quick (fun () ->
+        let r = Rng.create ~seed:8 in
+        let n = 20_000 in
+        let total = ref 0.0 in
+        for _ = 1 to n do
+          total := !total +. Rng.exponential r ~rate:0.5
+        done;
+        let mean = !total /. float_of_int n in
+        Alcotest.(check bool)
+          (Fmt.str "mean %.3f near 2.0" mean)
+          true
+          (Float.abs (mean -. 2.0) < 0.1));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let r = Rng.create ~seed:9 in
+        let arr = Array.init 20 Fun.id in
+        Rng.shuffle r arr;
+        let sorted = Array.copy arr in
+        Array.sort Int.compare sorted;
+        Alcotest.(check (array int)) "same elements" (Array.init 20 Fun.id) sorted);
+    Alcotest.test_case "sample size and membership" `Quick (fun () ->
+        let r = Rng.create ~seed:10 in
+        let l = List.init 10 Fun.id in
+        let s = Rng.sample r 4 l in
+        Alcotest.(check int) "size" 4 (List.length s);
+        Alcotest.(check bool)
+          "subset" true
+          (List.for_all (fun x -> List.mem x l) s);
+        Alcotest.(check int)
+          "distinct" 4
+          (List.length (List.sort_uniq Int.compare s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let heap_tests =
+  [
+    Alcotest.test_case "pops in ascending order" `Quick (fun () ->
+        let h = Heap.create ~compare:Int.compare () in
+        List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+        Alcotest.(check (list int))
+          "sorted" [ 0; 1; 1; 3; 4; 5; 9 ]
+          (Heap.to_sorted_list h));
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let h = Heap.create ~compare:Int.compare () in
+        Heap.push h 2;
+        Heap.push h 1;
+        Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+        Alcotest.(check int) "size" 2 (Heap.size h));
+    Alcotest.test_case "empty heap" `Quick (fun () ->
+        let h = Heap.create ~compare:Int.compare () in
+        Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+        Alcotest.(check (option int)) "pop" None (Heap.pop h));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"heap sorts any input" ~count:100
+         (QCheck.list QCheck.small_int) (fun l ->
+           let h = Heap.create ~compare:Int.compare () in
+           List.iter (Heap.push h) l;
+           Heap.to_sorted_list h = List.sort Int.compare l));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "events run in time order" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        Engine.schedule e ~delay:10.0 (fun () -> log := "b" :: !log);
+        Engine.schedule e ~delay:5.0 (fun () -> log := "a" :: !log);
+        Engine.schedule e ~delay:20.0 (fun () -> log := "c" :: !log);
+        Engine.run e;
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log));
+    Alcotest.test_case "same-instant events run FIFO" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        for i = 1 to 5 do
+          Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+        done;
+        Engine.run e;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 4; 5 ] (List.rev !log));
+    Alcotest.test_case "events may schedule events" `Quick (fun () ->
+        let e = Engine.create () in
+        let count = ref 0 in
+        let rec chain n =
+          if n > 0 then
+            Engine.schedule e ~delay:1.0 (fun () ->
+                incr count;
+                chain (n - 1))
+        in
+        chain 5;
+        Engine.run e;
+        Alcotest.(check int) "all ran" 5 !count;
+        Alcotest.(check (float 0.001)) "time advanced" 5.0 (Engine.now e));
+    Alcotest.test_case "until stops early" `Quick (fun () ->
+        let e = Engine.create () in
+        let ran = ref false in
+        Engine.schedule e ~delay:100.0 (fun () -> ran := true);
+        Engine.run ~until:50.0 e;
+        Alcotest.(check bool) "not yet" false !ran;
+        Alcotest.(check int) "pending" 1 (Engine.pending_events e));
+    Alcotest.test_case "past scheduling raises" `Quick (fun () ->
+        let e = Engine.create () in
+        Alcotest.check_raises "negative delay"
+          (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+            Engine.schedule e ~delay:(-1.0) (fun () -> ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let network_tests =
+  [
+    Alcotest.test_case "delivery to an up site" `Quick (fun () ->
+        let e = Engine.create () in
+        let net = Network.create e ~sites:3 in
+        let got = ref false in
+        Network.send net ~src:0 ~dst:1 (fun () -> got := true);
+        Engine.run e;
+        Alcotest.(check bool) "delivered" true !got);
+    Alcotest.test_case "crashed destination drops" `Quick (fun () ->
+        let e = Engine.create () in
+        let net = Network.create e ~sites:3 in
+        Network.crash net 1;
+        let got = ref false in
+        Network.send net ~src:0 ~dst:1 (fun () -> got := true);
+        Engine.run e;
+        Alcotest.(check bool) "dropped" false !got;
+        let _, _, dropped = Network.stats net in
+        Alcotest.(check int) "counted" 1 dropped);
+    Alcotest.test_case "partition separates cells and heal restores" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let net = Network.create e ~sites:4 in
+        Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+        Alcotest.(check bool) "0-1 connected" true (Network.connected net 0 1);
+        Alcotest.(check bool) "0-2 separated" false (Network.connected net 0 2);
+        let got = ref false in
+        Network.send net ~src:0 ~dst:2 (fun () -> got := true);
+        Engine.run e;
+        Alcotest.(check bool) "cross-cell dropped" false !got;
+        Network.heal net;
+        Network.send net ~src:0 ~dst:2 (fun () -> got := true);
+        Engine.run e;
+        Alcotest.(check bool) "after heal" true !got);
+    Alcotest.test_case "partition state at delivery time decides" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let net = Network.create e ~sites:2 in
+        let got = ref false in
+        Network.send net ~src:0 ~dst:1 (fun () -> got := true);
+        (* partition immediately, before the in-flight message lands *)
+        Network.partition net [ [ 0 ]; [ 1 ] ];
+        Engine.run e;
+        Alcotest.(check bool) "in-flight message lost" false !got);
+    Alcotest.test_case "crash and recover flip up status" `Quick (fun () ->
+        let e = Engine.create () in
+        let net = Network.create e ~sites:3 in
+        Network.crash net 2;
+        Alcotest.(check (list int)) "up sites" [ 0; 1 ] (Network.up_sites net);
+        Network.recover net 2;
+        Alcotest.(check int) "up count" 3 (Network.up_count net));
+    Alcotest.test_case "loss probability drops everything at 1.0" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        let net = Network.create ~drop_probability:1.0 e ~sites:2 in
+        let got = ref false in
+        Network.send net ~src:0 ~dst:1 (fun () -> got := true);
+        Engine.run e;
+        Alcotest.(check bool) "lost" false !got);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counters accumulate" `Quick (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr m "x";
+        Metrics.incr ~by:4 m "x";
+        Alcotest.(check int) "count" 5 (Metrics.count m "x");
+        Alcotest.(check int) "fresh counter" 0 (Metrics.count m "y"));
+    Alcotest.test_case "series statistics" `Quick (fun () ->
+        let m = Metrics.create () in
+        List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 3.0; 4.0 ];
+        Alcotest.(check (option (float 0.001))) "mean" (Some 2.5) (Metrics.mean m "lat");
+        Alcotest.(check (option (float 0.001)))
+          "median" (Some 3.0)
+          (Metrics.quantile m "lat" 0.5);
+        Alcotest.(check (list (float 0.001)))
+          "insertion order" [ 1.0; 2.0; 3.0; 4.0 ]
+          (Metrics.observations m "lat"));
+    Alcotest.test_case "empty series" `Quick (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check (option (float 0.001))) "mean" None (Metrics.mean m "none"));
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ("rng", rng_tests);
+      ("heap", heap_tests);
+      ("engine", engine_tests);
+      ("network", network_tests);
+      ("metrics", metrics_tests);
+    ]

@@ -1,0 +1,384 @@
+open Relax_core
+open Relax_objects
+open Relax_txn
+
+(* Tests for the transaction substrate: schedules, the serializability /
+   atomicity checkers (cross-validated against brute force), the spool
+   object's three policies, and the workload generator's invariants. *)
+
+let t n = Tid.of_int n
+let enq i = Queue_ops.enq_int i
+let deq i = Queue_ops.deq_int i
+let ex n op = Schedule.Exec (t n, op)
+let commit n = Schedule.Commit (t n)
+let abort n = Schedule.Abort (t n)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_tests =
+  [
+    Alcotest.test_case "projection extracts one transaction" `Quick
+      (fun () ->
+        let s = [ ex 1 (enq 1); ex 2 (enq 2); ex 1 (deq 1); commit 1 ] in
+        Alcotest.(check int)
+          "two ops" 2
+          (History.length (Schedule.projection s (t 1))));
+    Alcotest.test_case "perm keeps only committed" `Quick (fun () ->
+        let s = [ ex 1 (enq 1); ex 2 (enq 2); commit 1; abort 2 ] in
+        let p = Schedule.perm s in
+        Alcotest.(check int) "steps" 2 (Schedule.length p);
+        Alcotest.(check bool)
+          "t2 gone" true
+          (List.for_all
+             (fun step -> Tid.equal (Schedule.step_tid step) (t 1))
+             p));
+    Alcotest.test_case "active excludes finished" `Quick (fun () ->
+        let s = [ ex 1 (enq 1); ex 2 (enq 2); ex 3 (enq 3); commit 1; abort 2 ] in
+        Alcotest.(check int) "one active" 1 (List.length (Schedule.active s)));
+    Alcotest.test_case "well-formedness" `Quick (fun () ->
+        Alcotest.(check bool)
+          "ok" true
+          (Schedule.well_formed [ ex 1 (enq 1); commit 1; ex 2 (enq 2) ]);
+        Alcotest.(check bool)
+          "op after commit" false
+          (Schedule.well_formed [ ex 1 (enq 1); commit 1; ex 1 (enq 2) ]);
+        Alcotest.(check bool)
+          "commit then abort" false
+          (Schedule.well_formed [ commit 1; abort 1 ]));
+    Alcotest.test_case "commit order" `Quick (fun () ->
+        let s = [ ex 2 (enq 2); ex 1 (enq 1); commit 2; commit 1 ] in
+        Alcotest.(check (list int))
+          "order" [ 2; 1 ]
+          (List.map Tid.to_int (Schedule.commit_order s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serializability and atomicity                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fifo = Fifo.automaton
+
+let atomicity_tests =
+  [
+    Alcotest.test_case "serializable in a non-execution order" `Quick
+      (fun () ->
+        (* T1 enqueues 1 then T2 enqueues 2, but T2's dequeue of 2 first is
+           serializable as T2 . T1? no — wrt FIFO, [Enq 2, Deq 2] then
+           [Enq 1, Deq 1] works *)
+        let s =
+          [
+            ex 1 (enq 1); ex 2 (enq 2); ex 2 (deq 2); ex 1 (deq 1);
+            commit 1; commit 2;
+          ]
+        in
+        (match Atomicity.find_serialization fifo s with
+        | Some order ->
+          Alcotest.(check bool)
+            "valid order" true
+            (Atomicity.accepts_in_order fifo s order)
+        | None -> Alcotest.fail "serialization exists");
+        Alcotest.(check bool) "atomic" true (Atomicity.atomic fifo s));
+    Alcotest.test_case "non-serializable schedule is rejected" `Quick
+      (fun () ->
+        (* both transactions dequeue the same single enqueued item *)
+        let s =
+          [ ex 1 (enq 1); commit 1; ex 2 (deq 1); ex 3 (deq 1); commit 2; commit 3 ]
+        in
+        Alcotest.(check bool) "not atomic" false (Atomicity.atomic fifo s));
+    Alcotest.test_case "atomicity ignores aborted transactions" `Quick
+      (fun () ->
+        let s =
+          [ ex 1 (enq 1); commit 1; ex 2 (deq 1); ex 3 (deq 1); commit 2; abort 3 ]
+        in
+        Alcotest.(check bool) "atomic" true (Atomicity.atomic fifo s));
+    Alcotest.test_case "online atomicity quantifies over active subsets"
+      `Quick (fun () ->
+        (* two active transactions have both dequeued the same item: each
+           alone could commit, but not both *)
+        let s = [ ex 1 (enq 1); commit 1; ex 2 (deq 1); ex 3 (deq 1) ] in
+        Alcotest.(check bool)
+          "not online atomic" false
+          (Atomicity.online_atomic fifo s);
+        let s' = [ ex 1 (enq 1); commit 1; ex 2 (deq 1) ] in
+        Alcotest.(check bool)
+          "single dequeuer is fine" true
+          (Atomicity.online_atomic fifo s'));
+    Alcotest.test_case "hybrid atomicity is commit-order sensitive" `Quick
+      (fun () ->
+        let s =
+          [
+            ex 1 (enq 1); commit 1; ex 2 (enq 2); commit 2;
+            ex 3 (deq 2); ex 4 (deq 1); commit 3; commit 4;
+          ]
+        in
+        (* wrt FIFO, commit order T3 (deq 2) before T4 (deq 1) is wrong *)
+        Alcotest.(check bool)
+          "not hybrid wrt FIFO" false
+          (Atomicity.hybrid_atomic fifo s);
+        (* but wrt a 2-window semiqueue it is fine *)
+        Alcotest.(check bool)
+          "hybrid wrt Semiqueue_2" true
+          (Atomicity.hybrid_atomic (Semiqueue.automaton 2) s));
+    Alcotest.test_case "in_atomic = well-formed + online atomic" `Quick
+      (fun () ->
+        let bad = [ ex 1 (enq 1); commit 1; ex 1 (enq 2) ] in
+        Alcotest.(check bool) "malformed" false (Atomicity.in_atomic fifo bad));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pruned search agrees with brute force"
+         ~count:60
+         (* random small schedules over 3 txns and 2 values *)
+         (QCheck.list_of_size
+            (QCheck.Gen.int_range 1 6)
+            (QCheck.oneofl
+               (List.concat_map
+                  (fun n ->
+                    [ ex n (enq 1); ex n (enq 2); ex n (deq 1); ex n (deq 2) ])
+                  [ 1; 2; 3 ])))
+         (fun steps ->
+           let s = steps @ [ commit 1; commit 2; commit 3 ] in
+           Atomicity.serializable fifo s
+           = Atomicity.serializable_brute_force fifo s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let v = Value.int
+
+let spool_tests =
+  [
+    Alcotest.test_case "uncommitted enqueues are invisible" `Quick (fun () ->
+        let s = Spool.create Spool.Optimistic in
+        Spool.enq s (t 1) (v 1);
+        Alcotest.(check (option int))
+          "nothing to deq" None
+          (Option.map Value.get_int (Spool.deq s (t 2)));
+        Spool.commit s (t 1);
+        Alcotest.(check (option int))
+          "visible now" (Some 1)
+          (Option.map Value.get_int (Spool.deq s (t 2))));
+    Alcotest.test_case "aborted enqueue disappears" `Quick (fun () ->
+        let s = Spool.create Spool.Optimistic in
+        Spool.enq s (t 1) (v 1);
+        Spool.abort s (t 1);
+        Alcotest.(check (option int))
+          "gone" None
+          (Option.map Value.get_int (Spool.deq s (t 2))));
+    Alcotest.test_case "locking blocks on a claimed head" `Quick (fun () ->
+        let s = Spool.create Spool.Locking in
+        Spool.enq s (t 1) (v 1);
+        Spool.commit s (t 1);
+        Alcotest.(check (option int))
+          "t2 takes head" (Some 1)
+          (Option.map Value.get_int (Spool.deq s (t 2)));
+        Alcotest.(check (option int))
+          "t3 blocks" None
+          (Option.map Value.get_int (Spool.deq s (t 3)));
+        Spool.commit s (t 2);
+        Spool.enq s (t 4) (v 2);
+        Spool.commit s (t 4);
+        Alcotest.(check (option int))
+          "t3 proceeds after commit" (Some 2)
+          (Option.map Value.get_int (Spool.deq s (t 3))));
+    Alcotest.test_case "optimistic skips claimed items" `Quick (fun () ->
+        let s = Spool.create Spool.Optimistic in
+        List.iter
+          (fun i ->
+            Spool.enq s (t i) (v i);
+            Spool.commit s (t i))
+          [ 1; 2 ];
+        Alcotest.(check (option int))
+          "t3 takes 1" (Some 1)
+          (Option.map Value.get_int (Spool.deq s (t 3)));
+        Alcotest.(check (option int))
+          "t4 skips to 2" (Some 2)
+          (Option.map Value.get_int (Spool.deq s (t 4))));
+    Alcotest.test_case "pessimistic re-returns the claimed head" `Quick
+      (fun () ->
+        let s = Spool.create Spool.Pessimistic in
+        Spool.enq s (t 1) (v 1);
+        Spool.commit s (t 1);
+        Alcotest.(check (option int))
+          "t2 takes 1" (Some 1)
+          (Option.map Value.get_int (Spool.deq s (t 2)));
+        Alcotest.(check (option int))
+          "t3 also gets 1" (Some 1)
+          (Option.map Value.get_int (Spool.deq s (t 3))));
+    Alcotest.test_case "abort releases an optimistic claim" `Quick (fun () ->
+        let s = Spool.create Spool.Optimistic in
+        Spool.enq s (t 1) (v 1);
+        Spool.commit s (t 1);
+        ignore (Spool.deq s (t 2));
+        Spool.abort s (t 2);
+        Alcotest.(check (option int))
+          "available again" (Some 1)
+          (Option.map Value.get_int (Spool.deq s (t 3))));
+    Alcotest.test_case "max concurrent dequeuers is tracked" `Quick
+      (fun () ->
+        let s = Spool.create Spool.Pessimistic in
+        Spool.enq s (t 1) (v 1);
+        Spool.commit s (t 1);
+        ignore (Spool.deq s (t 2));
+        ignore (Spool.deq s (t 3));
+        Spool.commit s (t 2);
+        ignore (Spool.deq s (t 4));
+        Alcotest.(check int) "max 2" 2 (Spool.max_concurrent_dequeuers s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload_tests =
+  let params k seed =
+    { Workload.items = 8; max_dequeuers = k; abort_probability = 0.15; seed }
+  in
+  let all_outcomes policy =
+    List.concat_map
+      (fun k -> List.map (fun seed -> Workload.run ~params:(params k seed) policy) [ 11; 12; 13 ])
+      [ 1; 2; 3 ]
+  in
+  [
+    Alcotest.test_case "schedules are well-formed" `Quick (fun () ->
+        List.iter
+          (fun policy ->
+            List.iter
+              (fun o ->
+                Alcotest.(check bool)
+                  "well formed" true
+                  (Schedule.well_formed o.Workload.schedule))
+              (all_outcomes policy))
+          [ Spool.Locking; Spool.Optimistic; Spool.Pessimistic ]);
+    Alcotest.test_case "locking outcomes are FIFO" `Quick (fun () ->
+        List.iter
+          (fun o ->
+            Alcotest.(check int) "no inversions" 0 (Workload.inversions o);
+            Alcotest.(check int) "no duplicates" 0 (Workload.duplicates o))
+          (all_outcomes Spool.Locking));
+    Alcotest.test_case "optimistic never duplicates" `Quick (fun () ->
+        List.iter
+          (fun o ->
+            Alcotest.(check int) "no duplicates" 0 (Workload.duplicates o))
+          (all_outcomes Spool.Optimistic));
+    Alcotest.test_case "pessimistic never reorders first prints" `Quick
+      (fun () ->
+        List.iter
+          (fun o ->
+            Alcotest.(check int) "no inversions" 0 (Workload.inversions o))
+          (all_outcomes Spool.Pessimistic));
+    Alcotest.test_case "observed dequeuers within the bound" `Quick
+      (fun () ->
+        List.iter
+          (fun policy ->
+            List.iter
+              (fun k ->
+                let o = Workload.run ~params:(params k 21) policy in
+                Alcotest.(check bool)
+                  "bounded" true
+                  (o.Workload.observed_dequeuers <= k))
+              [ 1; 2; 3 ])
+          [ Spool.Locking; Spool.Optimistic; Spool.Pessimistic ]);
+    Alcotest.test_case "k=1 optimistic schedule is FIFO-atomic" `Quick
+      (fun () ->
+        let o = Workload.run ~params:(params 1 31) Spool.Optimistic in
+        Alcotest.(check bool)
+          "atomic wrt FIFO" true
+          (Atomicity.atomic Fifo.automaton o.Workload.schedule));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lock manager                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lock_tests =
+  [
+    Alcotest.test_case "shared locks coexist, exclusive does not" `Quick
+      (fun () ->
+        let m = Lock.create () in
+        Alcotest.(check bool)
+          "t1 shared" true
+          (Lock.acquire m ~tid:(t 1) ~resource:"q" Lock.Shared = Lock.Granted);
+        Alcotest.(check bool)
+          "t2 shared" true
+          (Lock.acquire m ~tid:(t 2) ~resource:"q" Lock.Shared = Lock.Granted);
+        Alcotest.(check bool)
+          "t3 exclusive waits" true
+          (Lock.acquire m ~tid:(t 3) ~resource:"q" Lock.Exclusive
+          = Lock.Waiting));
+    Alcotest.test_case "re-acquire and lone-holder upgrade" `Quick (fun () ->
+        let m = Lock.create () in
+        ignore (Lock.acquire m ~tid:(t 1) ~resource:"q" Lock.Shared);
+        Alcotest.(check bool)
+          "re-acquire shared" true
+          (Lock.acquire m ~tid:(t 1) ~resource:"q" Lock.Shared = Lock.Granted);
+        Alcotest.(check bool)
+          "upgrade alone" true
+          (Lock.acquire m ~tid:(t 1) ~resource:"q" Lock.Exclusive
+          = Lock.Granted);
+        Alcotest.(check bool)
+          "now exclusive" true
+          (Lock.acquire m ~tid:(t 2) ~resource:"q" Lock.Shared = Lock.Waiting));
+    Alcotest.test_case "release grants FIFO" `Quick (fun () ->
+        let m = Lock.create () in
+        ignore (Lock.acquire m ~tid:(t 1) ~resource:"q" Lock.Exclusive);
+        ignore (Lock.acquire m ~tid:(t 2) ~resource:"q" Lock.Exclusive);
+        ignore (Lock.acquire m ~tid:(t 3) ~resource:"q" Lock.Exclusive);
+        let granted = Lock.release_all m ~tid:(t 1) in
+        Alcotest.(check (list int))
+          "t2 granted first" [ 2 ]
+          (List.map Tid.to_int granted);
+        Alcotest.(check bool)
+          "t2 holds" true
+          (Lock.holds m ~tid:(t 2) ~resource:"q");
+        Alcotest.(check bool)
+          "t3 still waits" true
+          (Lock.waiting m ~tid:(t 3) = [ "q" ]));
+    Alcotest.test_case "deadlock is detected with its cycle" `Quick
+      (fun () ->
+        let m = Lock.create () in
+        ignore (Lock.acquire m ~tid:(t 1) ~resource:"a" Lock.Exclusive);
+        ignore (Lock.acquire m ~tid:(t 2) ~resource:"b" Lock.Exclusive);
+        Alcotest.(check bool)
+          "t1 waits on b" true
+          (Lock.acquire m ~tid:(t 1) ~resource:"b" Lock.Exclusive
+          = Lock.Waiting);
+        match Lock.acquire m ~tid:(t 2) ~resource:"a" Lock.Exclusive with
+        | Lock.Deadlock cycle ->
+          Alcotest.(check bool)
+            "cycle mentions both" true
+            (List.exists (Tid.equal (t 1)) cycle
+            && List.exists (Tid.equal (t 2)) cycle);
+          (* the victim aborts; t1 can then proceed *)
+          let granted = Lock.release_all m ~tid:(t 2) in
+          Alcotest.(check (list int))
+            "t1 unblocked" [ 1 ]
+            (List.map Tid.to_int granted)
+        | _ -> Alcotest.fail "expected deadlock");
+    Alcotest.test_case "new shared request queues behind exclusive waiter"
+      `Quick (fun () ->
+        let m = Lock.create () in
+        ignore (Lock.acquire m ~tid:(t 1) ~resource:"q" Lock.Shared);
+        ignore (Lock.acquire m ~tid:(t 2) ~resource:"q" Lock.Exclusive);
+        Alcotest.(check bool)
+          "t3 shared must wait (fairness)" true
+          (Lock.acquire m ~tid:(t 3) ~resource:"q" Lock.Shared = Lock.Waiting);
+        (* and the waits-for graph knows t3 waits behind t2 *)
+        Alcotest.(check bool)
+          "edge t3->t2" true
+          (List.exists
+             (fun (a, b) -> Tid.equal a (t 3) && Tid.equal b (t 2))
+             (Lock.waits_for m)));
+  ]
+
+let () =
+  Alcotest.run "txn"
+    [
+      ("schedule", schedule_tests);
+      ("atomicity", atomicity_tests);
+      ("spool", spool_tests);
+      ("workload", workload_tests);
+      ("lock", lock_tests);
+    ]
