@@ -68,6 +68,25 @@ let fixed_history =
 
 let qca_q1 = Qca.automaton Instances.pq_spec_eta Instances.q1
 
+(* The seed checker for Theorem 4: naive per-step view regeneration plus
+   history enumeration.  Kept as the benchmark baseline the memoized
+   product-state checker is measured against (same depth, fresh automata
+   and caches inside every run for fairness). *)
+let theorem4_legacy depth () =
+  let naive =
+    Automaton.make ~name:"QCA-naive" ~init:History.empty ~equal:History.equal
+      ~hash:History.hash (fun h p ->
+        if Qca.accepts_next Instances.pq_spec_eta Instances.q1 h p then
+          [ History.append h p ]
+        else [])
+  in
+  ignore
+    (Result.is_ok (Language.equivalent_enum naive Mpq.automaton ~alphabet ~depth))
+
+let theorem4_memoized depth () =
+  let qca = Qca.automaton_views ~alphabet Instances.pq_spec_eta Instances.q1 in
+  ignore (Language.equivalent_bool qca Mpq.automaton ~alphabet ~depth)
+
 let bench_core =
   [
     Test.make ~name:"core/enumerate-PQ-depth4"
@@ -81,10 +100,14 @@ let bench_core =
     Test.make ~name:"qca/accept-history (T4 membership)"
       (Staged.stage (fun () ->
            ignore (Automaton.accepts qca_q1 fixed_history)));
+    Test.make ~name:"qca/theorem4-equivalence-depth3-legacy (T4)"
+      (Staged.stage (theorem4_legacy 3));
     Test.make ~name:"qca/theorem4-equivalence-depth3 (T4)"
-      (Staged.stage (fun () ->
-           ignore
-             (Language.equivalent_bool qca_q1 Mpq.automaton ~alphabet ~depth:3)));
+      (Staged.stage (theorem4_memoized 3));
+    Test.make ~name:"qca/theorem4-equivalence-depth8-legacy (T4)"
+      (Staged.stage (theorem4_legacy 8));
+    Test.make ~name:"qca/theorem4-equivalence-depth8 (T4)"
+      (Staged.stage (theorem4_memoized 8));
     Test.make ~name:"quorum/serial-dependency-depth3"
       (Staged.stage (fun () ->
            ignore
@@ -163,7 +186,7 @@ let bench_sim =
 (* Extensions                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let fifo_qca = Qca.automaton Instances.fifo_spec_eta Instances.q1
+let fifo_qca = Qca.automaton_views ~alphabet Instances.fifo_spec_eta Instances.q1
 
 let bench_extensions =
   [

@@ -28,7 +28,10 @@ let out = Fmt.stdout
 
 let exit_of b = if b then 0 else 1
 
-let run_check what depth =
+let apply_jobs jobs = Option.iter Relax_parallel.Pool.set_default_jobs jobs
+
+let run_check what depth jobs =
+  apply_jobs jobs;
   let alphabet =
     Relax_objects.Queue_ops.alphabet (Relax_objects.Queue_ops.universe 2)
   in
@@ -41,20 +44,38 @@ let run_check what depth =
   | "markov" -> exit_of (Relax_experiments.Markov_env.run out ())
   | "fifo" -> exit_of (Relax_experiments.Fifo_checks.run ~alphabet ~depth out ())
   | "all" ->
-    let ok1 = Relax_experiments.Pq_checks.run ~alphabet ~depth out () in
-    let ok2 = Relax_experiments.Collapse_checks.run ~alphabet ~depth out () in
-    let ok3 = Relax_experiments.Account_checks.run out () in
-    let ok4 = Relax_experiments.Topn_check.run out () in
-    let ok5 = Relax_experiments.Fig42.run out () in
-    let ok6 = Relax_experiments.Availability.run out () in
-    let ok7 = Relax_experiments.Taxi.run out () in
-    let ok8 = Relax_experiments.Atm.run out () in
-    let ok9 = Relax_experiments.Spooler.run out () in
-    let ok10 = Relax_experiments.Markov_env.run out () in
-    let ok11 = Relax_experiments.Fifo_checks.run ~alphabet ~depth out () in
-    exit_of
-      (ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8 && ok9 && ok10
-     && ok11)
+    (* The checks are independent; fan them out over domains, each
+       rendering into its own buffer, and print the buffers in the fixed
+       order below — the output is byte-identical at any degree of
+       parallelism.  Every check constructs its automata (and their
+       caches) inside its own task. *)
+    let checks : (Format.formatter -> unit -> bool) list =
+      [
+        Relax_experiments.Pq_checks.run ~alphabet ~depth;
+        Relax_experiments.Collapse_checks.run ~alphabet ~depth;
+        Relax_experiments.Account_checks.run;
+        Relax_experiments.Topn_check.run;
+        Relax_experiments.Fig42.run;
+        Relax_experiments.Availability.run;
+        Relax_experiments.Taxi.run;
+        Relax_experiments.Atm.run;
+        Relax_experiments.Spooler.run;
+        Relax_experiments.Markov_env.run;
+        Relax_experiments.Fifo_checks.run ~alphabet ~depth;
+      ]
+    in
+    let results =
+      Relax_parallel.Pool.map
+        (fun check ->
+          let buf = Buffer.create 4096 in
+          let ppf = Format.formatter_of_buffer buf in
+          let ok = check ppf () in
+          Format.pp_print_flush ppf ();
+          (ok, Buffer.contents buf))
+        checks
+    in
+    List.iter (fun (_, rendered) -> Fmt.string out rendered) results;
+    exit_of (List.for_all fst results)
   | other ->
     Fmt.epr
       "unknown check %S (expected pq | collapses | account | fifo | prob | markov | all)@."
@@ -108,7 +129,23 @@ let run_simulate which =
 
 let depth_arg =
   let doc = "Exploration depth for bounded language checks." in
-  Arg.(value & opt int 5 & info [ "depth"; "d" ] ~doc)
+  Arg.(value & opt int 7 & info [ "depth"; "d" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Number of domains for parallel fan-out (default: $(b,RLX_JOBS) or the \
+     recommended domain count)."
+  in
+  let positive =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok _ -> Error (`Msg "expected a positive number of jobs")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt (some positive) None & info [ "jobs"; "j" ] ~doc ~docv:"N")
 
 let what_arg ~doc =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WHAT" ~doc)
@@ -120,7 +157,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const run_check $ what_arg ~doc $ depth_arg)
+    Term.(const run_check $ what_arg ~doc $ depth_arg $ jobs_arg)
 
 let figure_cmd =
   let doc =
@@ -139,7 +176,11 @@ let availability_cmd =
   let doc = "Availability of every lattice point (exact + Monte Carlo)." in
   Cmd.v
     (Cmd.info "availability" ~doc)
-    Term.(const (fun () -> exit_of (Relax_experiments.Availability.run out ())) $ const ())
+    Term.(
+      const (fun jobs ->
+          apply_jobs jobs;
+          exit_of (Relax_experiments.Availability.run out ()))
+      $ jobs_arg)
 
 let lattice_cmd =
   let doc = "Print and check the replicated-PQ relaxation lattice." in

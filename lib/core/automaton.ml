@@ -4,27 +4,34 @@
    partial transition function.  We represent delta intensionally:
    [step s p] returns the (finite) list of successor states, empty when the
    transition is undefined, so automata over infinite state spaces (queues,
-   logs, histories) are expressed directly. *)
+   logs, histories) are expressed directly.
+
+   An automaton may carry a state hash function (consistent with [equal]).
+   Hashed automata get hashtable-backed frontier deduplication instead of
+   the quadratic pairwise scan, and the language checkers can memoize
+   reachable state-set pairs (see Language). *)
 
 type 'v t = {
   name : string;
   init : 'v;
   step : 'v -> Op.t -> 'v list;
   equal : 'v -> 'v -> bool;
+  hash : ('v -> int) option;
   pp_state : 'v Fmt.t;
 }
 
-let make ?(pp_state = fun ppf _ -> Fmt.string ppf "<state>") ~name ~init
+let make ?(pp_state = fun ppf _ -> Fmt.string ppf "<state>") ?hash ~name ~init
     ~equal step =
-  { name; init; step; equal; pp_state }
+  { name; init; step; equal; hash; pp_state }
 
-let deterministic ?pp_state ~name ~init ~equal step =
+let deterministic ?pp_state ?hash ~name ~init ~equal step =
   let step s p = match step s p with None -> [] | Some s' -> [ s' ] in
-  make ?pp_state ~name ~init ~equal step
+  make ?pp_state ?hash ~name ~init ~equal step
 
 let name t = t.name
 let init t = t.init
 let equal_state t = t.equal
+let hash_state t = t.hash
 let pp_state t = t.pp_state
 let step t s p = t.step s p
 
@@ -36,11 +43,35 @@ let dedup equal states =
   in
   go [] states
 
+(* Hashtable-backed canonicalizer: same first-occurrence order as [dedup],
+   but expected O(n).  Collisions fall back to [equal] within a bucket, so
+   an imperfect hash only costs time, never correctness. *)
+let dedup_hashed hash equal states =
+  let tbl = Hashtbl.create 16 in
+  List.filter
+    (fun s ->
+      let h = hash s in
+      let bucket = try Hashtbl.find tbl h with Not_found -> [] in
+      if List.exists (equal s) bucket then false
+      else begin
+        Hashtbl.replace tbl h (s :: bucket);
+        true
+      end)
+    states
+
 (* One transition applied to a set of states: the union of successor sets,
    deduplicated so nondeterministic branching does not blow up the frontier
-   when branches reconverge. *)
+   when branches reconverge.  Tiny frontiers keep the pairwise scan, which
+   beats a hashtable below a handful of states. *)
 let step_set t states p =
-  dedup t.equal (List.concat_map (fun s -> t.step s p) states)
+  let successors = List.concat_map (fun s -> t.step s p) states in
+  match successors with
+  | [] | [ _ ] -> successors
+  | _ -> (
+    match t.hash with
+    | Some hash when List.compare_length_with successors 4 > 0 ->
+      dedup_hashed hash t.equal successors
+    | _ -> dedup t.equal successors)
 
 (* delta* extended to histories (Section 2.1): the set of states reachable
    from the initial state by the whole history, empty iff rejected. *)
@@ -57,12 +88,17 @@ let rename t name = { t with name }
 let restrict t pred =
   { t with step = (fun s p -> List.filter pred (t.step s p)) }
 
-(* Product of two automata accepting the intersection of their languages. *)
+(* Product of two automata accepting the intersection of their languages.
+   The product is hashed whenever both factors are. *)
 let product ~name a b =
   {
     name;
     init = (a.init, b.init);
     equal = (fun (s1, s2) (t1, t2) -> a.equal s1 t1 && b.equal s2 t2);
+    hash =
+      (match (a.hash, b.hash) with
+      | Some ha, Some hb -> Some (fun (s1, s2) -> (ha s1 * 65599) + hb s2)
+      | _ -> None);
     pp_state =
       (fun ppf (s1, s2) ->
         Fmt.pf ppf "(%a, %a)" a.pp_state s1 b.pp_state s2);
@@ -74,7 +110,7 @@ let product ~name a b =
 
 (* Maps the state space through an isomorphism-like pair of functions.
    [backward] must be a right inverse of [forward] on reachable states. *)
-let map_state ~name ~forward ~backward ~equal ?pp_state t =
+let map_state ~name ~forward ~backward ~equal ?hash ?pp_state t =
   let pp_state =
     match pp_state with
     | Some pp -> pp
@@ -84,6 +120,7 @@ let map_state ~name ~forward ~backward ~equal ?pp_state t =
     name;
     init = forward t.init;
     equal;
+    hash;
     pp_state;
     step = (fun s p -> List.map forward (t.step (backward s) p));
   }

@@ -4,15 +4,22 @@
     nondeterministic partial transition function.  The transition function
     is represented intensionally — [step s p] returns the finite list of
     successor states, empty when undefined — so automata over infinite
-    state spaces (queues, logs, histories) are expressed directly. *)
+    state spaces (queues, logs, histories) are expressed directly.
+
+    An automaton may carry a state hash function consistent with [equal].
+    Hashed automata get hashtable-backed frontier deduplication, and the
+    language checkers memoize reachable state-set pairs (see
+    {!Language}). *)
 
 type 'v t
 
 (** [make ~name ~init ~equal step] builds an automaton.  [equal] decides
     state equality (used to deduplicate nondeterministic frontiers);
-    [pp_state] is used by diagnostics. *)
+    [hash], when given, must be consistent with [equal] and enables the
+    memoized checkers; [pp_state] is used by diagnostics. *)
 val make :
   ?pp_state:'v Fmt.t ->
+  ?hash:('v -> int) ->
   name:string ->
   init:'v ->
   equal:('v -> 'v -> bool) ->
@@ -22,6 +29,7 @@ val make :
 (** Convenience wrapper for deterministic transition functions. *)
 val deterministic :
   ?pp_state:'v Fmt.t ->
+  ?hash:('v -> int) ->
   name:string ->
   init:'v ->
   equal:('v -> 'v -> bool) ->
@@ -31,6 +39,10 @@ val deterministic :
 val name : 'v t -> string
 val init : 'v t -> 'v
 val equal_state : 'v t -> 'v -> 'v -> bool
+
+(** The state hash function, when the automaton carries one. *)
+val hash_state : 'v t -> ('v -> int) option
+
 val pp_state : 'v t -> 'v Fmt.t
 
 (** [step t s p] is [delta(s, p)], empty iff the transition is undefined. *)
@@ -53,7 +65,8 @@ val rename : 'v t -> string -> 'v t
 (** [restrict t pred] removes transitions into states violating [pred]. *)
 val restrict : 'v t -> ('v -> bool) -> 'v t
 
-(** Product automaton accepting the intersection of the two languages. *)
+(** Product automaton accepting the intersection of the two languages;
+    hashed whenever both factors are. *)
 val product : name:string -> 'a t -> 'b t -> ('a * 'b) t
 
 (** Transport an automaton along a state-space bijection.  [backward] must
@@ -63,6 +76,7 @@ val map_state :
   forward:('a -> 'b) ->
   backward:('b -> 'a) ->
   equal:('b -> 'b -> bool) ->
+  ?hash:('b -> int) ->
   ?pp_state:'b Fmt.t ->
   'a t ->
   'b t

@@ -72,8 +72,18 @@ let pp ppf h =
 
 let to_string h = Fmt.str "%a" pp h
 
+(* Hashing consistent with [equal], for hashtables keyed by histories. *)
+let hash h = List.fold_left (fun acc p -> (acc * 131) + Op.hash p) 7 h
+
 module Set = Stdlib.Set.Make (struct
   type nonrec t = t
 
   let compare = compare
+end)
+
+module Tbl = Stdlib.Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
 end)

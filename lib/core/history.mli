@@ -37,4 +37,10 @@ val before : t -> int -> t
 val pp : t Fmt.t
 val to_string : t -> string
 
+(** Hashing consistent with {!equal}. *)
+val hash : t -> int
+
 module Set : Stdlib.Set.S with type elt = t
+
+(** Hashtables keyed by histories (used by the memoizing checkers). *)
+module Tbl : Stdlib.Hashtbl.S with type key = t

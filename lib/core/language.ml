@@ -54,10 +54,13 @@ let pp_counterexample ppf c =
   Fmt.pf ppf "%a accepted by %s but rejected by %s" History.pp c.history
     c.holds_in c.fails_in
 
-(* L(a) `subseteq` L(b) up to [depth]: every accepted history of [a] is
-   replayed through [b].  Because both languages are prefix-closed we stop
-   extending a history as soon as [a] rejects it. *)
-let included (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
+(* L(a) `subseteq` L(b) up to [depth] by history enumeration: every
+   accepted history of [a] is replayed through [b].  Because both languages
+   are prefix-closed we stop extending a history as soon as [a] rejects it.
+   This is the reference implementation; it visits one node per accepted
+   history, so it also reconstructs the exact witness histories the
+   memoized checker below does not track. *)
+let included_enum (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
   let exception Fail of counterexample in
   try
     let rec go level remaining =
@@ -90,10 +93,112 @@ let included (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
     Ok ()
   with Fail c -> Error c
 
+(* Interning of states by (hash, equal), assigning dense integer ids so a
+   deduplicated state set canonicalizes to a sorted id list.  A collision
+   falls back to [equal] within its bucket, so an imperfect hash costs
+   time, never correctness. *)
+module Intern = struct
+  type 'v t = {
+    hash : 'v -> int;
+    equal : 'v -> 'v -> bool;
+    buckets : (int, ('v * int) list) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let create hash equal = { hash; equal; buckets = Hashtbl.create 256; next = 0 }
+
+  let id t s =
+    let h = t.hash s in
+    let bucket = try Hashtbl.find t.buckets h with Not_found -> [] in
+    match List.find_opt (fun (s', _) -> t.equal s s') bucket with
+    | Some (_, id) -> id
+    | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      Hashtbl.replace t.buckets h ((s, id) :: bucket);
+      id
+
+  let key t states = List.sort_uniq Int.compare (List.map (id t) states)
+end
+
+(* Memoized inclusion: a breadth-first fixpoint over the reachable
+   (A-state-set, B-state-set) pairs of the product of the determinized
+   automata, instead of one node per accepted history.  Many histories
+   reach the same state-set pair, so the frontier collapses to the number
+   of distinct pairs — for the queue-family automata this turns the
+   exponential history count into the (small) reachable product.
+
+   Soundness of the dedup: pairs are explored level by level, so a pair is
+   first visited with the largest remaining budget; later arrivals at the
+   same pair can only reach a subset of what the first visit explores.  A
+   failure — an extension accepted by [a] whose B-side empties — exists in
+   the product iff a counterexample history of length <= depth exists, in
+   which case the history enumeration above is replayed to reconstruct the
+   exact same witness the reference checker reports. *)
+let included_pairs (a : 'v Automaton.t) (b : 'w Automaton.t) ~ahash ~bhash
+    ~alphabet ~depth =
+  let ia = Intern.create ahash (Automaton.equal_state a) in
+  let ib = Intern.create bhash (Automaton.equal_state b) in
+  let visited : (int list * int list, unit) Hashtbl.t = Hashtbl.create 256 in
+  let exception Failed in
+  try
+    let rec go level remaining =
+      if remaining = 0 then ()
+      else
+        let extend (astates, bstates) =
+          List.filter_map
+            (fun p ->
+              match Automaton.step_set a astates p with
+              | [] -> None
+              | astates' ->
+                let bstates' = Automaton.step_set b bstates p in
+                if bstates' = [] then raise Failed;
+                let key = (Intern.key ia astates', Intern.key ib bstates') in
+                if Hashtbl.mem visited key then None
+                else begin
+                  Hashtbl.add visited key ();
+                  Some (astates', bstates')
+                end)
+            alphabet
+        in
+        match List.concat_map extend level with
+        | [] -> ()
+        | next -> go next (remaining - 1)
+    in
+    go [ ([ Automaton.init a ], [ Automaton.init b ]) ] depth;
+    Ok ()
+  with Failed -> (
+    match included_enum a b ~alphabet ~depth with
+    | Error _ as e -> e
+    | Ok () ->
+      (* Unreachable when the hash functions are consistent with equality:
+         the product fixpoint fails iff some bounded history separates the
+         languages. *)
+      invalid_arg
+        (Fmt.str
+           "Language.included: inconsistent state hashing on %s or %s"
+           (Automaton.name a) (Automaton.name b)))
+
+(* [included a b] dispatches to the memoized product fixpoint whenever
+   both automata carry state hashes, and to the reference enumeration
+   otherwise.  Both report identical results (and identical witnesses). *)
+let included (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
+  match (Automaton.hash_state a, Automaton.hash_state b) with
+  | Some ahash, Some bhash ->
+    included_pairs a b ~ahash ~bhash ~alphabet ~depth
+  | _ -> included_enum a b ~alphabet ~depth
+
 let equivalent a b ~alphabet ~depth =
   match included a b ~alphabet ~depth with
   | Error c -> Error c
   | Ok () -> included b a ~alphabet ~depth
+
+(* Reference equivalence by history enumeration in both directions; kept
+   for cross-validation and benchmarking of the memoized checker. *)
+let equivalent_enum a b ~alphabet ~depth =
+  match included_enum a b ~alphabet ~depth with
+  | Error c -> Error c
+  | Ok () -> included_enum b a ~alphabet ~depth
 
 (* Strict inclusion: a `subseteq` b and some history of b is rejected by a.
    Returns a witness of strictness on success. *)

@@ -30,8 +30,25 @@ type counterexample = {
 
 val pp_counterexample : counterexample Fmt.t
 
-(** [included a b] checks [L(a) ⊆ L(b)] up to [depth]. *)
+(** [included a b] checks [L(a) ⊆ L(b)] up to [depth].
+
+    When both automata carry state hashes (see {!Automaton.make}) the
+    check runs as a memoized breadth-first fixpoint over the reachable
+    (A-state-set, B-state-set) pairs of the product construction —
+    visiting each distinct pair once instead of each accepted history —
+    and falls back to history enumeration only to reconstruct the exact
+    counterexample on failure.  Unhashed automata use the reference
+    enumeration.  Results and witnesses are identical either way. *)
 val included :
+  'v Automaton.t ->
+  'w Automaton.t ->
+  alphabet:alphabet ->
+  depth:int ->
+  (unit, counterexample) result
+
+(** The reference history-enumeration implementation of {!included}; kept
+    for witness reconstruction, cross-validation and benchmarking. *)
+val included_enum :
   'v Automaton.t ->
   'w Automaton.t ->
   alphabet:alphabet ->
@@ -40,6 +57,14 @@ val included :
 
 (** [equivalent a b] checks [L(a) = L(b)] up to [depth]. *)
 val equivalent :
+  'v Automaton.t ->
+  'w Automaton.t ->
+  alphabet:alphabet ->
+  depth:int ->
+  (unit, counterexample) result
+
+(** The reference history-enumeration implementation of {!equivalent}. *)
+val equivalent_enum :
   'v Automaton.t ->
   'w Automaton.t ->
   alphabet:alphabet ->

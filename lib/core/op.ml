@@ -48,6 +48,19 @@ let compare_invocation a b =
 
 let equal_invocation a b = compare_invocation a b = 0
 
+(* Hashing consistent with [equal], for hashtables keyed by executions. *)
+let hash_values vs =
+  List.fold_left (fun acc v -> (acc * 131) + Value.hash v) 7 vs
+
+let hash t =
+  let h = Hashtbl.hash t.name in
+  let h = (h * 65599) + hash_values t.args in
+  let h = (h * 65599) + Hashtbl.hash t.term in
+  (h * 65599) + hash_values t.results
+
+let hash_invocation i =
+  (Hashtbl.hash i.inv_name * 65599) + hash_values i.inv_args
+
 let pp ppf t =
   Fmt.pf ppf "%s(%a)/%s(%a)" t.name
     (Fmt.list ~sep:(Fmt.any ", ") Value.pp)

@@ -49,6 +49,11 @@ val equal : t -> t -> bool
 val compare_invocation : invocation -> invocation -> int
 val equal_invocation : invocation -> invocation -> bool
 
+(** Hashing consistent with {!equal} / {!equal_invocation}. *)
+val hash : t -> int
+
+val hash_invocation : invocation -> int
+
 (** {1 Printing} *)
 
 val pp : t Fmt.t

@@ -17,6 +17,19 @@ type 'v t = {
 
 let make ?(in_domain = fun _ -> true) ~name ~constraints phi =
   let constraints = List.sort_uniq String.compare constraints in
+  (* phi is called repeatedly on the same constraint sets by the
+     monotonicity and lattice-shape checks; caching its results lets
+     memoizing automata (QCA) keep their step caches warm across checks. *)
+  let cache = Hashtbl.create 8 in
+  let phi c =
+    let key = Cset.to_string c in
+    match Hashtbl.find_opt cache key with
+    | Some a -> a
+    | None ->
+      let a = phi c in
+      Hashtbl.add cache key a;
+      a
+  in
   { name; constraints; in_domain; phi }
 
 let name t = t.name
@@ -116,7 +129,9 @@ let check_lattice_shape t ~alphabet ~depth =
         (fun c2 ->
           let join = Cset.union c1 c2 and meet = Cset.inter c1 c2 in
           let check_incl stronger weaker =
-            if find stronger && find weaker then
+            (* L(phi(c)) ⊆ L(phi(c)) is reflexively true at any bound. *)
+            if (not (Cset.equal stronger weaker)) && find stronger
+               && find weaker then
               match
                 Language.included (t.phi stronger) (t.phi weaker) ~alphabet
                   ~depth

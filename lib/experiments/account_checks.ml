@@ -25,7 +25,7 @@ type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 let amounts = [ 1; 2 ]
 let alphabet = Account.alphabet amounts
 
-let qca rel = Qca.automaton Instances.account_spec rel
+let qca rel = Qca.automaton_views ~alphabet Instances.account_spec rel
 
 let a1_a2 = Relation.union Instances.a1 Instances.a2
 
@@ -88,7 +88,8 @@ let all ?(depth = 4) () =
     {
       name = "account lattice (sublattice retaining A2) is monotone";
       ok =
-        Relaxation.check_monotone (Instances.account_lattice ()) ~alphabet
+        Relaxation.check_monotone (Instances.account_lattice ~alphabet ())
+          ~alphabet
           ~depth
         = [];
       detail = "";

@@ -38,7 +38,7 @@ let restore_event = Op.make "Restore"
 (* Preferred behavior on the shared state: exactly the priority queue. *)
 let preferred_tracking =
   Automaton.make ~name:"PQ/tracking" ~init:Mpq.init ~equal:Mpq.equal
-    ~pp_state:Mpq.pp (fun (s : Mpq.state) p ->
+    ~hash:Mpq.hash ~pp_state:Mpq.pp (fun (s : Mpq.state) p ->
       match Queue_ops.element p with
       | None -> []
       | Some e ->
@@ -59,7 +59,7 @@ let preferred_tracking =
 (* Degraded behavior on the shared state: serve anything ever enqueued. *)
 let degraded_tracking =
   Automaton.make ~name:"Degen/tracking" ~init:Mpq.init ~equal:Mpq.equal
-    ~pp_state:Mpq.pp (fun (s : Mpq.state) p ->
+    ~hash:Mpq.hash ~pp_state:Mpq.pp (fun (s : Mpq.state) p ->
       match Queue_ops.element p with
       | None -> []
       | Some e ->

@@ -27,8 +27,10 @@ let op_availability assignment ~p op =
   in
   Binomial.tail ~n:(Assignment.sites assignment) ~p need
 
+(* The sweep fans one task per lattice point out over domains; rows come
+   back in lattice order regardless of how many domains computed them. *)
 let exact_table ?(n = 5) ?(ps = [ 0.5; 0.7; 0.9; 0.99 ]) () =
-  List.concat_map
+  Relax_parallel.Pool.map
     (fun (point : Taxi.point) ->
       List.map
         (fun p ->
@@ -42,6 +44,7 @@ let exact_table ?(n = 5) ?(ps = [ 0.5; 0.7; 0.9; 0.99 ]) () =
           })
         ps)
     (Taxi.points ~n)
+  |> List.concat
 
 (* Monte Carlo cross-check of one cell. *)
 let simulate_cell ?(trials = 100_000) assignment ~p op =

@@ -23,12 +23,11 @@ open Relax_quorum
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 
-let qca rel = Qca.automaton Instances.fifo_spec_eta rel
-
 let q1_q2 = Relation.union Instances.q1 Instances.q2
 
 let all ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5) ()
     =
+  let qca rel = Qca.automaton_views ~alphabet Instances.fifo_spec_eta rel in
   [
     Pq_checks.equivalence "L(QCA(FIFO,{Q1,Q2},eta_fifo)) = L(FifoQ)"
       (qca q1_q2) Fifo.automaton ~alphabet ~depth;
@@ -65,7 +64,7 @@ let all ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5) ()
     {
       name = "replicated-FIFO lattice is monotone";
       ok =
-        Relaxation.check_monotone (Instances.fifo_lattice ()) ~alphabet
+        Relaxation.check_monotone (Instances.fifo_lattice ~alphabet ()) ~alphabet
           ~depth:(min depth 4)
         = [];
       detail = "";

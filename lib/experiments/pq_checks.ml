@@ -32,7 +32,7 @@ let q1_q2 = Relation.union Instances.q1 Instances.q2
 
 (* The four lattice points against the behaviors the paper names. *)
 let lattice_points ~alphabet ~depth =
-  let qca rel = Qca.automaton Instances.pq_spec_eta rel in
+  let qca rel = Qca.automaton_views ~alphabet Instances.pq_spec_eta rel in
   [
     equivalence "L(QCA(PQ,{Q1,Q2},eta)) = L(PQ)" (qca q1_q2) Pqueue.automaton
       ~alphabet ~depth;
@@ -54,7 +54,9 @@ let lattice_points ~alphabet ~depth =
 let serial_dependency ~alphabet ~depth =
   let sd a rel = Serial.is_serial_dependency a rel ~alphabet ~depth in
   let qca_mpq_q1 =
-    Qca.automaton (Qca.spec_of_automaton Mpq.automaton) Instances.q1
+    Qca.automaton_views ~alphabet
+      (Qca.spec_of_automaton Mpq.automaton)
+      Instances.q1
   in
   [
     {
@@ -83,7 +85,7 @@ let serial_dependency ~alphabet ~depth =
 
 (* Monotonicity and lattice shape of {QCA(PQ,Q,eta) | Q ⊆ {Q1,Q2}}. *)
 let lattice_structure ~alphabet ~depth =
-  let lattice = Instances.pq_lattice () in
+  let lattice = Instances.pq_lattice ~alphabet () in
   let monotone = Relaxation.check_monotone lattice ~alphabet ~depth in
   let shape = Relaxation.check_lattice_shape lattice ~alphabet ~depth in
   [
@@ -108,8 +110,8 @@ let lattice_structure ~alphabet ~depth =
    priority queue DPQ (see Dpq), checked by bounded language equality,
    plus the expected top-collapse and the strictness of the trade. *)
 let eta_prime ~alphabet ~depth =
-  let qca' rel = Qca.automaton Instances.pq_spec_eta' rel in
-  let qca = Qca.automaton Instances.pq_spec_eta Instances.q2 in
+  let qca' rel = Qca.automaton_views ~alphabet Instances.pq_spec_eta' rel in
+  let qca = Qca.automaton_views ~alphabet Instances.pq_spec_eta Instances.q2 in
   let incomparable =
     (not (Language.included_bool (qca' Instances.q2) qca ~alphabet ~depth))
     || not (Language.included_bool qca (qca' Instances.q2) ~alphabet ~depth)

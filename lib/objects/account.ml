@@ -37,8 +37,8 @@ let step (balance : state) p =
     else []
 
 let automaton =
-  Automaton.make ~name:"Account" ~init:0 ~equal:Int.equal ~pp_state:Fmt.int
-    step
+  Automaton.make ~name:"Account" ~init:0 ~equal:Int.equal ~hash:Hashtbl.hash
+    ~pp_state:Fmt.int step
 
 (* The alphabet over a finite set of amounts: every credit, successful
    debit and bounced debit. *)
@@ -51,13 +51,12 @@ let alphabet amounts =
    account operations: credits minus successful debits (the account's
    evaluation function in the sense of Section 3.2).  Bounced debits do
    not move money. *)
-let eval_balance (h : History.t) =
-  List.fold_left
-    (fun bal p ->
-      match amount p with
-      | None -> bal
-      | Some n ->
-        if is_credit p then bal + n
-        else if is_debit_ok p then bal - n
-        else bal)
-    0 h
+let balance_step bal p =
+  match amount p with
+  | None -> bal
+  | Some n ->
+    if is_credit p then bal + n
+    else if is_debit_ok p then bal - n
+    else bal
+
+let eval_balance (h : History.t) = List.fold_left balance_step 0 h

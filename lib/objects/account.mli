@@ -30,5 +30,8 @@ val alphabet : int list -> Language.alphabet
 
 (** The balance computed from an arbitrary operation sequence: credits
     minus successful debits (the account's evaluation function in the
-    sense of Section 3.2). *)
+    sense of Section 3.2).  [eval_balance] is the left fold of
+    [balance_step] from zero. *)
+val balance_step : int -> Op.t -> int
+
 val eval_balance : History.t -> int

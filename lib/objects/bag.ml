@@ -15,4 +15,4 @@ let step (q : state) p =
 
 let automaton =
   Automaton.make ~name:"Bag" ~init:Multiset.empty ~equal:Multiset.equal
-    ~pp_state:Multiset.pp step
+    ~hash:Multiset.hash ~pp_state:Multiset.pp step

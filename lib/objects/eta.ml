@@ -16,32 +16,33 @@ open Relax_core
    whose relaxed points never service requests out of order but may ignore
    requests. *)
 
-let eta (h : History.t) : Multiset.t =
-  List.fold_left
-    (fun q p ->
-      match Queue_ops.element p with
-      | None -> q
-      | Some e ->
-        if Queue_ops.is_enq p then Multiset.ins q e
-        else if Queue_ops.is_deq p then Multiset.del q e
-        else q)
-    Multiset.empty h
+(* The evaluation functions are exposed both as single-operation steps
+   (so QCA view evaluations can extend incrementally) and as their left
+   folds over whole histories. *)
+
+let eta_step (q : Multiset.t) p =
+  match Queue_ops.element p with
+  | None -> q
+  | Some e ->
+    if Queue_ops.is_enq p then Multiset.ins q e
+    else if Queue_ops.is_deq p then Multiset.del q e
+    else q
+
+let eta (h : History.t) : Multiset.t = List.fold_left eta_step Multiset.empty h
+
+let eta'_step (q : Multiset.t) p =
+  match Queue_ops.element p with
+  | None -> q
+  | Some e ->
+    if Queue_ops.is_enq p then Multiset.ins q e
+    else if Queue_ops.is_deq p then
+      (* Delete the dequeued occurrence, then drop every request that
+         was skipped over (priority strictly above e). *)
+      Multiset.filter (fun x -> Value.compare x e <= 0) (Multiset.del q e)
+    else q
 
 let eta' (h : History.t) : Multiset.t =
-  List.fold_left
-    (fun q p ->
-      match Queue_ops.element p with
-      | None -> q
-      | Some e ->
-        if Queue_ops.is_enq p then Multiset.ins q e
-        else if Queue_ops.is_deq p then
-          (* Delete the dequeued occurrence, then drop every request that
-             was skipped over (priority strictly above e). *)
-          Multiset.filter
-            (fun x -> Value.compare x e <= 0)
-            (Multiset.del q e)
-        else q)
-    Multiset.empty h
+  List.fold_left eta'_step Multiset.empty h
 
 (* Both evaluation functions agree with the priority queue's delta* on
    legal priority-queue histories; the test-suite checks this agreement by
@@ -52,7 +53,7 @@ let eta' (h : History.t) : Multiset.t =
    deletes the earliest occurrence of the returned value (a no-op when
    the value is not present, mirroring del on bags).  Total on arbitrary
    sequences; agrees with the FIFO queue's delta* on legal histories. *)
-let eta_fifo (h : History.t) : Value.t list =
+let eta_fifo_step (q : Value.t list) p =
   let remove_first v q =
     let rec go = function
       | [] -> []
@@ -60,12 +61,12 @@ let eta_fifo (h : History.t) : Value.t list =
     in
     go q
   in
-  List.fold_left
-    (fun q p ->
-      match Queue_ops.element p with
-      | None -> q
-      | Some e ->
-        if Queue_ops.is_enq p then q @ [ e ]
-        else if Queue_ops.is_deq p then remove_first e q
-        else q)
-    [] h
+  match Queue_ops.element p with
+  | None -> q
+  | Some e ->
+    if Queue_ops.is_enq p then q @ [ e ]
+    else if Queue_ops.is_deq p then remove_first e q
+    else q
+
+let eta_fifo (h : History.t) : Value.t list =
+  List.fold_left eta_fifo_step [] h

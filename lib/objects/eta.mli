@@ -5,15 +5,22 @@ open Relax_core
     operation sequences, assigning an application-specific meaning to
     histories outside [L(A)]. *)
 
-(** The paper's [eta]: Enq inserts, Deq deletes; total on all sequences. *)
+(** The paper's [eta]: Enq inserts, Deq deletes; total on all sequences.
+    [eta] is the left fold of [eta_step] from the empty multiset. *)
+val eta_step : Multiset.t -> Op.t -> Multiset.t
+
 val eta : History.t -> Multiset.t
 
 (** The paper's variant [eta']: a dequeue also deletes the higher-priority
     requests that were skipped over, so relaxed behaviors never service
     requests out of order but may ignore requests. *)
+val eta'_step : Multiset.t -> Op.t -> Multiset.t
+
 val eta' : History.t -> Multiset.t
 
 (** The sequence-valued evaluation function for the replicated FIFO queue
     (Section 3.1's motivating example): Enq appends, Deq deletes the
     earliest occurrence of the returned value. *)
+val eta_fifo_step : Value.t list -> Op.t -> Value.t list
+
 val eta_fifo : History.t -> Value.t list

@@ -7,6 +7,7 @@ open Relax_core
 type state = Value.t list
 
 let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+let hash q = List.fold_left (fun acc v -> (acc * 131) + Value.hash v) 7 q
 let pp ppf q = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Value.pp) q
 
 let step (q : state) p =
@@ -21,4 +22,4 @@ let step (q : state) p =
     else []
 
 let automaton =
-  Automaton.make ~name:"FifoQ" ~init:[] ~equal ~pp_state:pp step
+  Automaton.make ~name:"FifoQ" ~init:[] ~equal ~hash ~pp_state:pp step

@@ -7,6 +7,10 @@ open Relax_core
 type state = Value.t list
 
 val equal : state -> state -> bool
+
+(** Hashing consistent with {!equal}. *)
+val hash : state -> int
+
 val pp : state Fmt.t
 val step : state -> Op.t -> state list
 val automaton : state Automaton.t

@@ -21,6 +21,8 @@ let distinct_enqueues =
   in
   Automaton.make ~name:"distinct-enqueues" ~init:Value.Set.empty
     ~equal:Value.Set.equal
+    ~hash:(fun s ->
+      Value.Set.fold (fun v acc -> (acc * 131) + Value.hash v) s 7)
     ~pp_state:(fun ppf s ->
       Fmt.pf ppf "{%a}"
         (Fmt.list ~sep:(Fmt.any ", ") Value.pp)

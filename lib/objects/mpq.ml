@@ -15,6 +15,8 @@ let init = { present = Multiset.empty; absent = Multiset.empty }
 let equal a b =
   Multiset.equal a.present b.present && Multiset.equal a.absent b.absent
 
+let hash s = (Multiset.hash s.present * 65599) + Multiset.hash s.absent
+
 let pp ppf s =
   Fmt.pf ppf "<present=%a, absent=%a>" Multiset.pp s.present Multiset.pp
     s.absent
@@ -50,4 +52,4 @@ let step (s : state) p =
     else []
 
 let automaton =
-  Automaton.make ~name:"MPQ" ~init ~equal ~pp_state:pp step
+  Automaton.make ~name:"MPQ" ~init ~equal ~hash ~pp_state:pp step

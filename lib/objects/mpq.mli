@@ -13,6 +13,10 @@ type state = {
 
 val init : state
 val equal : state -> state -> bool
+
+(** Hashing consistent with {!equal}. *)
+val hash : state -> int
+
 val pp : state Fmt.t
 val step : state -> Op.t -> state list
 val automaton : state Automaton.t

@@ -44,6 +44,10 @@ let filter = List.filter
 let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
 let compare = Value.compare_lists
 
+(* The representation is canonical (sorted), so a fold over occurrences is
+   consistent with [equal]. *)
+let hash b = List.fold_left (fun acc v -> (acc * 131) + Value.hash v) 7 b
+
 let pp ppf b =
   Fmt.pf ppf "{|%a|}" (Fmt.list ~sep:(Fmt.any ", ") Value.pp) b
 

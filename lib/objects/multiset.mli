@@ -38,5 +38,9 @@ val union : t -> t -> t
 val filter : (Value.t -> bool) -> t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** Hashing consistent with {!equal}. *)
+val hash : t -> int
+
 val pp : t Fmt.t
 val to_string : t -> string

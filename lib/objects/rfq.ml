@@ -28,6 +28,7 @@ type state = { items : Value.t list; boundary : int }
 let init = { items = []; boundary = 0 }
 
 let equal a b = a.boundary = b.boundary && Fifo.equal a.items b.items
+let hash s = (Fifo.hash s.items * 65599) + s.boundary
 
 let pp ppf s =
   Fmt.pf ppf "<items=%a, served<%d>" Fifo.pp s.items s.boundary
@@ -56,4 +57,4 @@ let step (s : state) p =
     end
     else []
 
-let automaton = Automaton.make ~name:"RFQ" ~init ~equal ~pp_state:pp step
+let automaton = Automaton.make ~name:"RFQ" ~init ~equal ~hash ~pp_state:pp step

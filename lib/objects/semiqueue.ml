@@ -10,6 +10,7 @@ open Relax_core
 type state = Value.t list
 
 let equal = Fifo.equal
+let hash = Fifo.hash
 let pp = Fifo.pp
 
 (* Removing position i from q.  Distinct positions holding equal values
@@ -36,4 +37,4 @@ let automaton k =
   if k < 1 then invalid_arg "Semiqueue.automaton: k must be positive";
   Automaton.make
     ~name:(Fmt.str "Semiqueue(%d)" k)
-    ~init:[] ~equal ~pp_state:pp (step ~k)
+    ~init:[] ~equal ~hash ~pp_state:pp (step ~k)

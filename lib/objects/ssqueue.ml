@@ -15,6 +15,11 @@ let equal a b =
        (fun (x, c) (y, d) -> Value.equal x y && c = d)
        a b
 
+let hash s =
+  List.fold_left
+    (fun acc (v, c) -> (((acc * 131) + Value.hash v) * 131) + c)
+    7 s
+
 let pp ppf s =
   let item ppf (v, c) =
     if c = 0 then Value.pp ppf v else Fmt.pf ppf "%a^%d" Value.pp v c
@@ -48,4 +53,4 @@ let automaton ~j ~k =
     invalid_arg "Ssqueue.automaton: j and k must be positive";
   Automaton.make
     ~name:(Fmt.str "SSqueue(%d,%d)" j k)
-    ~init:[] ~equal ~pp_state:pp (step ~j ~k)
+    ~init:[] ~equal ~hash ~pp_state:pp (step ~j ~k)

@@ -17,6 +17,7 @@ type state = { items : Value.t list; count : int }
 let init = { items = []; count = 0 }
 
 let equal a b = a.count = b.count && Fifo.equal a.items b.items
+let hash s = (Fifo.hash s.items * 65599) + s.count
 
 let pp ppf s = Fmt.pf ppf "<items=%a, count=%d>" Fifo.pp s.items s.count
 
@@ -38,4 +39,4 @@ let automaton j =
   if j < 1 then invalid_arg "Stuttering.automaton: j must be positive";
   Automaton.make
     ~name:(Fmt.str "Stuttering(%d)" j)
-    ~init ~equal ~pp_state:pp (step ~j)
+    ~init ~equal ~hash ~pp_state:pp (step ~j)

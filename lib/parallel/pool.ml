@@ -1,0 +1,69 @@
+(* A small domain fan-out for independent work items.
+
+   The checkers and Monte Carlo estimators fan independent tasks out over
+   OCaml 5 domains.  Results are always collected in input order and every
+   task runs exactly once, so callers observe the same answers no matter
+   how many domains execute them; determinism is the caller's only
+   obligation (tasks must not share mutable state, which in this
+   repository means every task constructs its own automata).
+
+   Nested calls run sequentially: a worker domain that itself calls [map]
+   gets a plain [List.map], so parallel checks that internally use
+   parallel estimators do not multiply domains. *)
+
+let jobs_env = "RLX_JOBS"
+
+let override = ref None
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs";
+  override := Some n
+
+let default_jobs () =
+  match !override with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt jobs_env with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ())
+
+let map_seq f l = List.map f l
+
+let map ?jobs f l =
+  let n = List.length l in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs = min jobs n in
+  if jobs <= 1 || n <= 1 || not (Domain.is_main_domain ()) then map_seq f l
+  else begin
+    let inputs = Array.of_list l in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (match f inputs.(i) with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let rec spawn k acc =
+      if k = 0 then acc else spawn (k - 1) (Domain.spawn worker :: acc)
+    in
+    let domains = spawn (jobs - 1) [] in
+    worker ();
+    List.iter Domain.join domains;
+    (* surface the first failure in input order *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end

@@ -1,4 +1,10 @@
-(* Monte Carlo estimation with deterministic seeding. *)
+(* Monte Carlo estimation with deterministic seeding.
+
+   Trials fan out over domains, but the estimates are bit-identical for a
+   given seed no matter how many domains run them: every trial's random
+   stream is split from the parent sequentially, in trial order, before
+   any work is distributed, and per-chunk results are merged back in a
+   fixed chunk order independent of the degree of parallelism. *)
 
 type estimate = {
   successes : int;
@@ -12,26 +18,63 @@ let pp_estimate ppf e =
   Fmt.pf ppf "%.6f [%.6f, %.6f] (%d/%d)" e.p_hat e.ci_low e.ci_high
     e.successes e.trials
 
-(* Estimate P(experiment = true) over [trials] independent runs. *)
-let probability ?(seed = 7) ~trials experiment =
-  if trials <= 0 then invalid_arg "Montecarlo.probability";
-  let rng = Relax_sim.Rng.create ~seed in
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    if experiment (Relax_sim.Rng.split rng) then incr successes
+(* One child stream per trial, split from the parent in trial order. *)
+let split_streams rng trials =
+  let streams = Array.make trials rng in
+  for i = 0 to trials - 1 do
+    streams.(i) <- Relax_sim.Rng.split rng
   done;
-  let p_hat = float_of_int !successes /. float_of_int trials in
-  let ci_low, ci_high =
-    Stats.wilson_interval ~successes:!successes ~trials
-  in
-  { successes = !successes; trials; p_hat; ci_low; ci_high }
+  streams
 
-(* Estimate E[experiment] with a 95% confidence half-width. *)
-let expectation ?(seed = 7) ~trials experiment =
+(* Fixed-size chunks — the unit of fan-out.  The chunking depends only on
+   [trials], never on the number of domains. *)
+let chunk_size = 4096
+
+let chunks trials =
+  let rec go start acc =
+    if start >= trials then List.rev acc
+    else
+      let len = min chunk_size (trials - start) in
+      go (start + len) ((start, len) :: acc)
+  in
+  go 0 []
+
+(* Estimate P(experiment = true) over [trials] independent runs. *)
+let probability ?(seed = 7) ?jobs ~trials experiment =
+  if trials <= 0 then invalid_arg "Montecarlo.probability";
+  let streams = split_streams (Relax_sim.Rng.create ~seed) trials in
+  let successes =
+    Relax_parallel.Pool.map ?jobs
+      (fun (start, len) ->
+        let hits = ref 0 in
+        for i = start to start + len - 1 do
+          if experiment streams.(i) then incr hits
+        done;
+        !hits)
+      (chunks trials)
+    |> List.fold_left ( + ) 0
+  in
+  let p_hat = float_of_int successes /. float_of_int trials in
+  let ci_low, ci_high = Stats.wilson_interval ~successes ~trials in
+  { successes; trials; p_hat; ci_low; ci_high }
+
+(* Estimate E[experiment] with a 95% confidence half-width.  The sample
+   list is assembled in trial order — an explicit in-order loop, not
+   [List.init], whose application order is unspecified and must not be
+   relied on around a stateful RNG. *)
+let expectation ?(seed = 7) ?jobs ~trials experiment =
   if trials <= 1 then invalid_arg "Montecarlo.expectation";
-  let rng = Relax_sim.Rng.create ~seed in
+  let streams = split_streams (Relax_sim.Rng.create ~seed) trials in
   let samples =
-    List.init trials (fun _ -> experiment (Relax_sim.Rng.split rng))
+    Relax_parallel.Pool.map ?jobs
+      (fun (start, len) ->
+        let rec go i acc =
+          if i >= start + len then List.rev acc
+          else go (i + 1) (experiment streams.(i) :: acc)
+        in
+        go start [])
+      (chunks trials)
+    |> List.concat
   in
   (Stats.mean samples, Stats.ci95_halfwidth samples)
 

@@ -1,4 +1,10 @@
-(** Monte Carlo estimation with deterministic seeding. *)
+(** Monte Carlo estimation with deterministic seeding.
+
+    Trials fan out over domains ([jobs] defaults to
+    {!Relax_parallel.Pool.default_jobs}); estimates are bit-identical for
+    a given seed regardless of the number of domains, because trial
+    streams are pre-split in trial order and chunk results merge in fixed
+    order. *)
 
 type estimate = {
   successes : int;
@@ -13,11 +19,15 @@ val pp_estimate : estimate Fmt.t
 (** Estimate [P(experiment rng = true)] over independent trials, each with
     a split random stream. *)
 val probability :
-  ?seed:int -> trials:int -> (Relax_sim.Rng.t -> bool) -> estimate
+  ?seed:int -> ?jobs:int -> trials:int -> (Relax_sim.Rng.t -> bool) -> estimate
 
 (** Estimate an expectation; returns [(mean, ci95 half-width)]. *)
 val expectation :
-  ?seed:int -> trials:int -> (Relax_sim.Rng.t -> float) -> float * float
+  ?seed:int ->
+  ?jobs:int ->
+  trials:int ->
+  (Relax_sim.Rng.t -> float) ->
+  float * float
 
 (** Whether a theoretical value lies inside the (slightly widened)
     confidence interval. *)

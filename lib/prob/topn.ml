@@ -22,10 +22,14 @@ let theory ~miss_probability n = miss_probability ** float_of_int n
    invisible (when nothing is visible we count a miss at every rank). *)
 let simulate_rank_miss rng ~miss_probability ~pending ~n =
   if n < 1 || n > pending then invalid_arg "Topn.simulate_rank_miss";
-  (* visibility of the items, best first *)
+  (* visibility of the items, best first — drawn with an explicit in-order
+     loop ([List.init]'s application order is unspecified) *)
   let visible =
-    List.init pending (fun _ ->
-        not (Relax_sim.Rng.bool rng miss_probability))
+    let rec draw k acc =
+      if k = 0 then List.rev acc
+      else draw (k - 1) (not (Relax_sim.Rng.bool rng miss_probability) :: acc)
+    in
+    draw pending []
   in
   let rec returned_rank rank = function
     | [] -> None

@@ -42,18 +42,22 @@ let pq_post (v : Multiset.t) p (v' : Multiset.t) =
     else false
 
 let pq_spec_eta =
-  Qca.spec_with_eta ~eta:Eta.eta ~pre:pq_pre ~post:pq_post
-    ~equal:Multiset.equal ~name:"PQ/eta"
+  Qca.spec_with_eta ~hash:Multiset.hash ~init:Multiset.empty
+    ~step:Eta.eta_step ~pre:pq_pre ~post:pq_post ~equal:Multiset.equal
+    ~name:"PQ/eta" ()
 
 let pq_spec_eta' =
-  Qca.spec_with_eta ~eta:Eta.eta' ~pre:pq_pre ~post:pq_post
-    ~equal:Multiset.equal ~name:"PQ/eta'"
+  Qca.spec_with_eta ~hash:Multiset.hash ~init:Multiset.empty
+    ~step:Eta.eta'_step ~pre:pq_pre ~post:pq_post ~equal:Multiset.equal
+    ~name:"PQ/eta'" ()
 
-(* The relaxation lattice {QCA(PQ, Q, eta) | Q ⊆ {Q1, Q2}}. *)
-let pq_lattice ?(spec = pq_spec_eta) () =
+(* The relaxation lattice {QCA(PQ, Q, eta) | Q ⊆ {Q1, Q2}}, over the
+   views-abstracted automata so the memoized checker sees finitely many
+   states. *)
+let pq_lattice ?(spec = pq_spec_eta) ~alphabet () =
   Relaxation.make ~name:"replicated-PQ"
     ~constraints:[ q1_constraint; q2_constraint ] (fun c ->
-      Qca.automaton spec (relation_of_cset c))
+      Qca.automaton_views ~alphabet spec (relation_of_cset c))
 
 (* The behaviors the paper claims for each lattice point; the test-suite
    checks each equality by bounded enumeration. *)
@@ -88,16 +92,16 @@ let fifo_post (v : Value.t list) p (v' : Value.t list) =
     else false
 
 let fifo_spec_eta =
-  Qca.spec_with_eta ~eta:Eta.eta_fifo ~pre:fifo_pre ~post:fifo_post
-    ~equal:Fifo.equal ~name:"FIFO/eta"
+  Qca.spec_with_eta ~hash:Fifo.hash ~init:[] ~step:Eta.eta_fifo_step
+    ~pre:fifo_pre ~post:fifo_post ~equal:Fifo.equal ~name:"FIFO/eta" ()
 
 (* The relaxation lattice {QCA(FifoQ, Q, eta_fifo) | Q ⊆ {Q1, Q2}}; the
    constraint names coincide with the priority queue's because the same
    intersection requirements apply (Deq must see Enqs / Deqs). *)
-let fifo_lattice () =
+let fifo_lattice ~alphabet () =
   Relaxation.make ~name:"replicated-FIFO"
     ~constraints:[ q1_constraint; q2_constraint ] (fun c ->
-      Qca.automaton fifo_spec_eta (relation_of_cset c))
+      Qca.automaton_views ~alphabet fifo_spec_eta (relation_of_cset c))
 
 (* ------------------------------------------------------------------ *)
 (* Replicated bank account (Section 3.4)                              *)
@@ -137,26 +141,27 @@ let account_post (bal : int) p (bal' : int) =
     else false
 
 let account_spec =
-  Qca.spec_with_eta
-    ~eta:(fun h -> Account.eval_balance h)
+  Qca.spec_with_eta ~hash:Hashtbl.hash ~init:0 ~step:Account.balance_step
     ~pre:account_pre ~post:account_post ~equal:Int.equal ~name:"Account/eta"
+    ()
 
 (* The account lattice is defined over the sublattice of 2^{A1,A2} that
    retains A2: the bank accepts spurious bounces but never overdrafts
    (Section 3.4). *)
-let account_lattice () =
+let account_lattice ~alphabet () =
   Relaxation.make ~name:"replicated-account"
     ~constraints:[ a1_constraint; a2_constraint ]
     ~in_domain:(fun c -> Cset.mem a2_constraint c)
-    (fun c -> Qca.automaton account_spec (account_relation_of_cset c))
+    (fun c ->
+      Qca.automaton_views ~alphabet account_spec (account_relation_of_cset c))
 
 (* The full account lattice including the unsafe points, used to
    demonstrate *why* the bank insists on A2: relaxing it admits real
    overdrafts. *)
-let account_lattice_unrestricted () =
+let account_lattice_unrestricted ~alphabet () =
   Relaxation.make ~name:"replicated-account-unrestricted"
     ~constraints:[ a1_constraint; a2_constraint ] (fun c ->
-      Qca.automaton account_spec (account_relation_of_cset c))
+      Qca.automaton_views ~alphabet account_spec (account_relation_of_cset c))
 
 (* The semantic safety property of Section 3.4: the *true* balance (all
    credits minus all successful debits) never goes negative anywhere in

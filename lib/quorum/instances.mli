@@ -30,8 +30,15 @@ val pq_spec_eta : Multiset.t Qca.spec
 (** Same under the variant [eta'] (never out of order, may drop). *)
 val pq_spec_eta' : Multiset.t Qca.spec
 
-(** The relaxation lattice [{QCA(PQ, Q, eta) | Q ⊆ {Q1, Q2}}]. *)
-val pq_lattice : ?spec:Multiset.t Qca.spec -> unit -> History.t Relaxation.t
+(** The relaxation lattice [{QCA(PQ, Q, eta) | Q ⊆ {Q1, Q2}}], built over
+    the views-abstracted automata (finite-state for the memoized checker).
+    [alphabet] must cover every operation the lattice points will be
+    stepped with. *)
+val pq_lattice :
+  ?spec:Multiset.t Qca.spec ->
+  alphabet:Op.t list ->
+  unit ->
+  Multiset.t Qca.views_state Relaxation.t
 
 (** The behavior the paper claims for each lattice point (PQ, MPQ, OPQ or
     DegenPQ), by automaton name. *)
@@ -49,7 +56,8 @@ val fifo_post : Value.t list -> Op.t -> Value.t list -> bool
 val fifo_spec_eta : Value.t list Qca.spec
 
 (** The relaxation lattice [{QCA(FifoQ, Q, eta_fifo) | Q ⊆ {Q1, Q2}}]. *)
-val fifo_lattice : unit -> History.t Relaxation.t
+val fifo_lattice :
+  alphabet:Op.t list -> unit -> Value.t list Qca.views_state Relaxation.t
 
 (** {1 Replicated bank account (Section 3.4)} *)
 
@@ -66,11 +74,13 @@ val account_spec : int Qca.spec
 
 (** The account lattice over the sublattice retaining A2 (spurious bounces
     tolerated, overdrafts not). *)
-val account_lattice : unit -> History.t Relaxation.t
+val account_lattice :
+  alphabet:Op.t list -> unit -> int Qca.views_state Relaxation.t
 
 (** The full account lattice including the unsafe points, demonstrating
     why the bank insists on A2. *)
-val account_lattice_unrestricted : unit -> History.t Relaxation.t
+val account_lattice_unrestricted :
+  alphabet:Op.t list -> unit -> int Qca.views_state Relaxation.t
 
 (** The semantic safety property of Section 3.4: the true balance never
     goes negative at any prefix. *)

@@ -15,31 +15,47 @@ open Relax_core
 type 'v spec = {
   spec_name : string;
   eval : History.t -> 'v list;
+  (* When the evaluation is incremental — eval (G . p) = extend (eval G) p
+     — the spec supports the views-abstracted automaton below. *)
+  extend : ('v list -> Op.t -> 'v list) option;
   pre : 'v -> Op.invocation -> bool;
   post : 'v -> Op.t -> 'v -> bool;
   equal : 'v -> 'v -> bool;
+  hash : ('v -> int) option;
 }
 
-let make_spec ~name ~eval ~pre ~post ~equal =
-  { spec_name = name; eval; pre; post; equal }
+let make_spec ?hash ?extend ~name ~eval ~pre ~post ~equal () =
+  { spec_name = name; eval; extend; pre; post; equal; hash }
 
-(* The specification induced by an automaton: eval is delta*, and the
-   pre/post conjunction is exactly the transition relation. *)
+(* The specification induced by an automaton: eval is delta* (incremental
+   by definition), and the pre/post conjunction is exactly the transition
+   relation. *)
 let spec_of_automaton (a : 'v Automaton.t) =
   {
     spec_name = Automaton.name a;
     eval = Automaton.run a;
+    extend = Some (fun states p -> Automaton.step_set a states p);
     pre = (fun _ _ -> true);
     post =
       (fun s p s' ->
         List.exists (Automaton.equal_state a s') (Automaton.step a s p));
     equal = Automaton.equal_state a;
+    hash = Automaton.hash_state a;
   }
 
 (* The specification of an automaton A with its delta* replaced by an
-   evaluation function eta total on arbitrary sequences. *)
-let spec_with_eta ~eta ~pre ~post ~equal ~name =
-  { spec_name = name; eval = (fun h -> [ eta h ]); pre; post; equal }
+   evaluation function eta total on arbitrary sequences, given as a left
+   fold so it extends incrementally. *)
+let spec_with_eta ?hash ~init ~step ~pre ~post ~equal ~name () =
+  {
+    spec_name = name;
+    eval = (fun h -> [ List.fold_left step init h ]);
+    extend = Some (fun vs p -> List.map (fun v -> step v p) vs);
+    pre;
+    post;
+    equal;
+    hash;
+  }
 
 let accepts_next spec rel (h : History.t) (p : Op.t) =
   let i = Op.invocation p in
@@ -53,12 +69,244 @@ let accepts_next spec rel (h : History.t) (p : Op.t) =
         before)
     (View.views rel h i)
 
+(* The memoizing QCA automaton.
+
+   The naive [accepts_next] above regenerates and re-filters all 2^|H|
+   subsets of H on every step.  The automaton below instead maintains, per
+   accepted history, the list of its Q-closed position sets, extended
+   incrementally: a subset of [H . p] is Q-closed iff it is a Q-closed
+   subset of [H], or it is [G ∪ {|H|}] for a Q-closed [G] of [H] that
+   contains every earlier position related to [inv(p)].  The Q-views of
+   [H] for [i] are then exactly the Q-closed sets containing [i]'s
+   required positions (a closed superset of the required positions always
+   contains their Q-closure).  Evaluations of view histories — shared
+   massively between steps and between inclusion directions — are
+   memoized by history.
+
+   The caches are private to the returned automaton value, so the value
+   must not be shared across domains; every checker in this repository
+   constructs its automata inside the task that uses them. *)
+
+(* [is_sub_sorted a b]: a ⊆ b for sorted int lists. *)
+let rec is_sub_sorted a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: a', y :: b' ->
+    if x = y then is_sub_sorted a' b'
+    else if x > y then is_sub_sorted a b'
+    else false
+
 let automaton ?name spec rel : History.t Automaton.t =
   let name =
     match name with
     | Some n -> n
     | None -> Fmt.str "QCA(%s,%s)" spec.spec_name (Relation.name rel)
   in
+  (* history -> its Q-closed position sets (each sorted ascending) *)
+  let closed_cache : int list list History.Tbl.t = History.Tbl.create 64 in
+  History.Tbl.replace closed_cache History.empty [ [] ];
+  (* view history -> spec.eval *)
+  let eval_cache = History.Tbl.create 1024 in
+  let eval g =
+    match History.Tbl.find_opt eval_cache g with
+    | Some v -> v
+    | None ->
+      let v = spec.eval g in
+      History.Tbl.replace eval_cache g v;
+      v
+  in
+  let extend_closed prefix p =
+    let arr = Array.of_list (History.to_list prefix) in
+    let req = View.required_positions rel arr (Op.invocation p) in
+    let n = Array.length arr in
+    let cs = History.Tbl.find closed_cache prefix in
+    cs
+    @ List.filter_map
+        (fun g -> if is_sub_sorted req g then Some (g @ [ n ]) else None)
+        cs
+  in
+  (* Closed sets of [h], rebuilding prefix by prefix on a cache miss (the
+     miss only happens when a state is replayed cold, e.g. by
+     [Automaton.run] on a stored history). *)
+  let rec closed_sets h =
+    match History.Tbl.find_opt closed_cache h with
+    | Some cs -> cs
+    | None ->
+      let ops = History.to_list h in
+      let prefix = History.of_list (List.filteri (fun j _ -> j < List.length ops - 1) ops) in
+      ignore (closed_sets prefix);
+      let cs = extend_closed prefix (List.nth ops (List.length ops - 1)) in
+      History.Tbl.replace closed_cache h cs;
+      cs
+  in
+  let accepts_next_cached h p =
+    let i = Op.invocation p in
+    let arr = Array.of_list (History.to_list h) in
+    let req = View.required_positions rel arr i in
+    closed_sets h
+    |> List.exists (fun g ->
+           is_sub_sorted req g
+           &&
+           let view = History.of_list (List.map (fun pos -> arr.(pos)) g) in
+           let before = eval view and after = eval (History.append view p) in
+           List.exists
+             (fun s ->
+               spec.pre s i && List.exists (fun s' -> spec.post s p s') after)
+             before)
+  in
   Automaton.make ~name ~init:History.empty ~equal:History.equal
-    ~pp_state:History.pp (fun h p ->
-      if accepts_next spec rel h p then [ History.append h p ] else [])
+    ~hash:History.hash ~pp_state:History.pp (fun h p ->
+      if accepts_next_cached h p then begin
+        let h' = History.append h p in
+        if not (History.Tbl.mem closed_cache h') then
+          History.Tbl.replace closed_cache h' (extend_closed h p);
+        [ h' ]
+      end
+      else [])
+
+(* The views-abstracted QCA automaton.
+
+   The history-state automaton above still iterates every Q-closed subset
+   of its history on each step — exponential in the depth bound for
+   sparse relations, because almost every subset is Q-closed.  But
+   acceptance of the next operation only ever consults the *evaluations*
+   of views, never the views themselves, so for specs with an incremental
+   evaluation (eval (G . p) = extend (eval G) p — every eta in this
+   repository is a left fold, and delta* is one by definition) the
+   automaton can forget the history entirely.
+
+   Its state maps each subset S of the alphabet's invocation classes to
+
+     W(H, S) = { eval G | G Q-closed in H, G ⊇ ∪_{i∈S} required_i(H) }
+
+   — the distinct evaluations of the closed sets containing every
+   position S's invocations are required to observe.  The two facts that
+   make this a state:
+
+   - acceptance of p with invocation i needs exactly W(H, {i}) (a closed
+     superset of i's required positions is precisely a Q-view for i, and
+     before/after states are eval G and extend (eval G) p);
+   - W steps without the history: the Q-closed sets of H . p are the
+     Q-closed sets of H plus the sets G ∪ {|H|} for Q-closed G ⊇
+     required_{inv p}(H), so
+
+       W(H.p, S) = extend_p W(H, S ∪ {inv p})            if some i ∈ S
+                                                          relates to p
+                 | W(H, S) ∪ extend_p W(H, S ∪ {inv p})  otherwise.
+
+   Distinct histories with equal maps accept the same futures, so states
+   collapse to the order of the underlying object's state count and the
+   memoized pair checker in [Language] gets quotient-automaton leverage
+   instead of replaying every accepted history.
+
+   The invocation universe must cover every operation the automaton will
+   ever be stepped with; stepping outside it raises. *)
+
+type 'v views_state = 'v list list array
+
+let automaton_views ?name ~(alphabet : Op.t list) spec rel :
+    'v views_state Automaton.t =
+  let extend =
+    match spec.extend with
+    | Some f -> f
+    | None ->
+      invalid_arg "Qca.automaton_views: specification has no incremental eval"
+  in
+  let invs =
+    List.fold_left
+      (fun acc p ->
+        let i = Op.invocation p in
+        if List.exists (Op.equal_invocation i) acc then acc else acc @ [ i ])
+      [] alphabet
+    |> Array.of_list
+  in
+  let k = Array.length invs in
+  if k > 20 then invalid_arg "Qca.automaton_views: too many invocation classes";
+  let size = 1 lsl k in
+  let inv_index i =
+    let rec go j =
+      if j = k then
+        invalid_arg
+          (Fmt.str "Qca.automaton_views: operation outside the alphabet (%a)"
+             Op.pp_invocation i)
+      else if Op.equal_invocation invs.(j) i then j
+      else go (j + 1)
+    in
+    go 0
+  in
+  (* evaluations are compared as sets: delta* may list states of a view
+     in any order *)
+  let vlist_equal va vb =
+    List.for_all (fun a -> List.exists (spec.equal a) vb) va
+    && List.for_all (fun b -> List.exists (spec.equal b) va) vb
+  in
+  let add_vlist v w = if List.exists (vlist_equal v) w then w else v :: w in
+  let entry_equal ea eb =
+    List.for_all (fun v -> List.exists (vlist_equal v) eb) ea
+    && List.for_all (fun v -> List.exists (vlist_equal v) ea) eb
+  in
+  let state_equal (wa : 'v views_state) (wb : 'v views_state) =
+    let rec go s = s >= size || (entry_equal wa.(s) wb.(s) && go (s + 1)) in
+    go 0
+  in
+  let hash =
+    match spec.hash with
+    | None -> None
+    | Some hv ->
+      (* order-independent within entries, positional across them *)
+      Some
+        (fun (w : 'v views_state) ->
+          let h = ref 7 in
+          for s = 0 to size - 1 do
+            let eh =
+              List.fold_left
+                (fun acc v -> acc + List.fold_left (fun a x -> a + hv x) 17 v)
+                0 w.(s)
+            in
+            h := (!h * 131) + eh
+          done;
+          !h)
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Fmt.str "QCA(%s,%s)" spec.spec_name (Relation.name rel)
+  in
+  let init = Array.make size [ spec.eval History.empty ] in
+  let step (w : 'v views_state) p =
+    let i = Op.invocation p in
+    let pi = inv_index i in
+    let accepted =
+      List.exists
+        (fun before ->
+          let after = extend before p in
+          List.exists
+            (fun s ->
+              spec.pre s i && List.exists (fun s' -> spec.post s p s') after)
+            before)
+        w.(1 lsl pi)
+    in
+    if not accepted then []
+    else
+      [
+        Array.init size (fun mask ->
+            let extended =
+              List.fold_left
+                (fun acc v -> add_vlist (extend v p) acc)
+                []
+                w.(mask lor (1 lsl pi))
+            in
+            let s_relates =
+              let rec any j =
+                j < k
+                && (((mask lsr j) land 1 = 1 && Relation.related rel invs.(j) p)
+                   || any (j + 1))
+              in
+              any 0
+            in
+            if s_relates then extended
+            else List.fold_left (fun acc v -> add_vlist v acc) w.(mask) extended);
+      ]
+  in
+  Automaton.make ~name ~init ~equal:state_equal ?hash step

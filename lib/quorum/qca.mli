@@ -5,19 +5,21 @@ open Relax_core
     Given the specification of a simple object automaton [A] and a quorum
     intersection relation [Q], [QCA(A,Q)] accepts [H . p] whenever some
     Q-view [G] of [H] for [p] admits states [s ∈ eval(G)] and
-    [s' ∈ eval(G . p)] satisfying [p]'s pre- and postconditions.  The
-    automaton's state is the history accepted so far.  With
+    [s' ∈ eval(G . p)] satisfying [p]'s pre- and postconditions.  With
     [eval = delta*] this is [QCA(A,Q)]; substituting an evaluation
     function [eta] gives [QCA(A,Q,eta)]. *)
 
 type 'v spec
 
 val make_spec :
+  ?hash:('v -> int) ->
+  ?extend:('v list -> Op.t -> 'v list) ->
   name:string ->
   eval:(History.t -> 'v list) ->
   pre:('v -> Op.invocation -> bool) ->
   post:('v -> Op.t -> 'v -> bool) ->
   equal:('v -> 'v -> bool) ->
+  unit ->
   'v spec
 
 (** The specification induced by an automaton: [eval] is [delta*] and the
@@ -25,17 +27,45 @@ val make_spec :
 val spec_of_automaton : 'v Automaton.t -> 'v spec
 
 (** The specification of an automaton with [delta*] replaced by a total
-    evaluation function [eta]. *)
+    evaluation function [eta], given as a left fold
+    [eta h = fold_left step init h] so it extends incrementally. *)
 val spec_with_eta :
-  eta:(History.t -> 'v) ->
+  ?hash:('v -> int) ->
+  init:'v ->
+  step:('v -> Op.t -> 'v) ->
   pre:('v -> Op.invocation -> bool) ->
   post:('v -> Op.t -> 'v -> bool) ->
   equal:('v -> 'v -> bool) ->
   name:string ->
+  unit ->
   'v spec
 
-(** [accepts_next spec rel h p] decides whether [QCA] extends [h] by [p]. *)
+(** [accepts_next spec rel h p] decides whether [QCA] extends [h] by [p].
+    The reference implementation: regenerates every Q-view of [h]. *)
 val accepts_next : 'v spec -> Relation.t -> History.t -> Op.t -> bool
 
-(** The quorum consensus automaton itself. *)
+(** The history-state quorum consensus automaton: its state is the
+    accepted history, and per-history caches make repeated walks cheap.
+    Works for any spec; exponential per step in the depth bound. *)
 val automaton : ?name:string -> 'v spec -> Relation.t -> History.t Automaton.t
+
+(** The state of {!automaton_views}: for each subset [S] of the
+    alphabet's invocation classes, the distinct evaluations of the
+    Q-closed subhistories containing every position the invocations of
+    [S] are required to observe. *)
+type 'v views_state = 'v list list array
+
+(** The views-abstracted quorum consensus automaton — same bounded
+    language as {!automaton}, but the state forgets the history and keeps
+    only view evaluations, so distinct histories with the same
+    evaluations collapse to one state and the memoized checker in
+    {!Language} explores a quotient automaton.  Requires a spec with an
+    incremental evaluation ([spec_with_eta] or [spec_of_automaton]);
+    raises [Invalid_argument] otherwise, or when stepped with an
+    operation whose invocation is outside [alphabet]. *)
+val automaton_views :
+  ?name:string ->
+  alphabet:Op.t list ->
+  'v spec ->
+  Relation.t ->
+  'v views_state Automaton.t

@@ -22,6 +22,8 @@ let required rel (h : Op.t array) i =
   done;
   !out
 
+let required_positions = required
+
 (* Is the position set [g] (sorted) Q-closed in H? *)
 let closed rel (h : Op.t array) (g : int list) =
   (* every earlier H-position related to inv(h.(pos)) must be in g *)

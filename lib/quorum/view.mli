@@ -12,5 +12,10 @@ open Relax_core
     for bounded-depth model checking. *)
 val views : Relation.t -> History.t -> Op.invocation -> History.t list
 
+(** The positions of [h] (given as an operation array) that invocation [i]
+    is required to observe — the base every Q-view must contain.  Used by
+    the incremental view computation in {!Qca}. *)
+val required_positions : Relation.t -> Op.t array -> Op.invocation -> int list
+
 (** [is_view rel h i g] decides whether [g] is a Q-view of [h] for [i]. *)
 val is_view : Relation.t -> History.t -> Op.invocation -> History.t -> bool

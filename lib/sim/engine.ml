@@ -43,10 +43,19 @@ let schedule t ~delay run =
   schedule_at t ~at:(t.now +. delay) run
 
 (* Runs until the queue drains, [until] is reached, or [max_events] have
-   executed.  Events scheduled while running are processed in turn. *)
+   executed.  Events scheduled while running are processed in turn.
+
+   Whenever the run stops on the time bound — every event at or before
+   [until] has executed, whether or not later events remain queued — the
+   clock advances to [until], so a subsequent [schedule ~delay] measures
+   its delay from the bound, not from the last executed event.  A run cut
+   short by [max_events] leaves the clock at the last executed event. *)
 let run ?until ?max_events t =
+  let out_of_budget () =
+    match max_events with Some m -> t.executed >= m | None -> false
+  in
   let continue () =
-    (match max_events with Some m -> t.executed < m | None -> true)
+    (not (out_of_budget ()))
     &&
     match Heap.peek t.queue with
     | None -> false
@@ -60,4 +69,6 @@ let run ?until ?max_events t =
       t.executed <- t.executed + 1;
       e.run ()
   done;
-  match until with Some u when Heap.is_empty t.queue -> t.now <- max t.now u | _ -> ()
+  match until with
+  | Some u when not (out_of_budget ()) -> t.now <- max t.now u
+  | _ -> ()

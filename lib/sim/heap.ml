@@ -6,9 +6,15 @@ type 'a t = {
   compare : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  (* The first element ever pushed, kept to overwrite vacated slots:
+     popped elements must not stay reachable from the backing array
+     (events can close over large state).  The witness itself is the one
+     bounded exception — a single retained element, not a leak that grows
+     with traffic. *)
+  mutable witness : 'a option;
 }
 
-let create ~compare () = { compare; data = [||]; size = 0 }
+let create ~compare () = { compare; data = [||]; size = 0; witness = None }
 
 let size t = t.size
 let is_empty t = t.size = 0
@@ -50,6 +56,7 @@ let rec sift_down t i =
 
 let push t x =
   grow t x;
+  if t.witness = None then t.witness <- Some x;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -65,8 +72,23 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    (* clear the vacated slot — it must not keep [top] (or a moved
+       element) reachable after the caller drops it *)
+    (match t.witness with
+    | Some w -> t.data.(t.size) <- w
+    | None -> ());
     Some top
   end
+
+(* How many physical slots (live or stale) hold an element satisfying
+   [pred].  Exposed so tests can assert popped elements are no longer
+   reachable from the backing array. *)
+let slots_retaining t pred =
+  let count = ref 0 in
+  for i = 0 to Array.length t.data - 1 do
+    if pred t.data.(i) then incr count
+  done;
+  !count
 
 (* Drains the heap in order; mostly for tests. *)
 let to_sorted_list t =

@@ -16,3 +16,8 @@ val pop : 'a t -> 'a option
 
 (** Non-destructively drains a copy in ascending order (for tests). *)
 val to_sorted_list : 'a t -> 'a list
+
+(** How many physical slots of the backing array — live or stale — hold an
+    element satisfying the predicate.  For tests asserting that [pop]
+    clears vacated slots instead of retaining popped elements. *)
+val slots_retaining : 'a t -> ('a -> bool) -> int

@@ -69,6 +69,10 @@ let automaton ?max_nodes (a : 'v Automaton.t) =
     ~name:(Fmt.str "Atomic(%s)" (Automaton.name a))
     ~init:[]
     ~equal:Schedule.equal
+    ~hash:(fun sched ->
+      List.fold_left
+        (fun acc step -> (acc * 131) + Op.hash (encode_step step))
+        7 sched)
     ~pp_state:Schedule.pp
     (fun sched op ->
       match decode_step op with

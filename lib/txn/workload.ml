@@ -86,14 +86,21 @@ let run ?(params = default_params) policy =
     incr next_tid;
     t
   in
-  (* Spool all items up front, committed, in a known order. *)
+  (* Spool all items up front, committed, in a known order — an explicit
+     in-order loop, since [List.init]'s application order is unspecified
+     and both the spool and the tid counter are stateful. *)
   let spooled =
-    List.init params.items (fun i ->
+    let rec go i acc =
+      if i >= params.items then List.rev acc
+      else begin
         let v = Value.int (i + 1) in
         let p = fresh_tid () in
         Spool.enq spool p v;
         Spool.commit spool p;
-        v)
+        go (i + 1) (v :: acc)
+      end
+    in
+    go 0 []
   in
   let blocked = ref 0 in
   (* (tid, item) of printer transactions that dequeued and have not yet

@@ -173,6 +173,41 @@ let montecarlo_tests =
         Alcotest.(check bool)
           "mean near 0.5" true
           (Float.abs (mean -. 0.5) < 3.0 *. hw +. 0.01));
+    Alcotest.test_case "probability is bit-identical across job counts"
+      `Quick (fun () ->
+        (* same seed => same estimate, no matter how many domains run the
+           trials (trial streams are pre-split in order, chunks merge in
+           fixed order) *)
+        let experiment rng = Relax_sim.Rng.bool rng 0.3 in
+        let run jobs =
+          Montecarlo.probability ~seed:17 ~jobs ~trials:10_000 experiment
+        in
+        let reference = run 1 in
+        List.iter
+          (fun jobs ->
+            let e = run jobs in
+            Alcotest.(check int)
+              (Fmt.str "successes at jobs=%d" jobs)
+              reference.Montecarlo.successes e.Montecarlo.successes;
+            Alcotest.(check (float 0.0))
+              (Fmt.str "p_hat at jobs=%d" jobs)
+              reference.Montecarlo.p_hat e.Montecarlo.p_hat)
+          [ 2; 3; 8 ]);
+    Alcotest.test_case "expectation is bit-identical across job counts"
+      `Quick (fun () ->
+        let experiment rng = Relax_sim.Rng.unit_float rng in
+        let run jobs =
+          Montecarlo.expectation ~seed:23 ~jobs ~trials:10_000 experiment
+        in
+        let m1, hw1 = run 1 in
+        List.iter
+          (fun jobs ->
+            let m, hw = run jobs in
+            Alcotest.(check (float 0.0)) (Fmt.str "mean at jobs=%d" jobs) m1 m;
+            Alcotest.(check (float 0.0))
+              (Fmt.str "halfwidth at jobs=%d" jobs)
+              hw1 hw)
+          [ 2; 5 ]);
     Alcotest.test_case "top-n theory is the power law" `Quick (fun () ->
         Alcotest.(check (float 1e-12))
           "0.1^3" 0.001

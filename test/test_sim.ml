@@ -116,6 +116,23 @@ let heap_tests =
            let h = Heap.create ~compare:Int.compare () in
            List.iter (Heap.push h) l;
            Heap.to_sorted_list h = List.sort Int.compare l));
+    Alcotest.test_case "pop clears the vacated slot" `Quick (fun () ->
+        (* boxed elements so aliasing is observable by physical equality;
+           the first push is deliberately not the minimum, since the
+           first-ever element is the retained witness *)
+        let h = Heap.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) () in
+        let popped = (1, "min") in
+        Heap.push h (5, "witness");
+        Heap.push h popped;
+        Heap.push h (9, "rest");
+        Alcotest.(check (option (pair int string)))
+          "pop min" (Some popped) (Heap.pop h);
+        Alcotest.(check int)
+          "no slot aliases the popped element" 0
+          (Heap.slots_retaining h (fun x -> x == popped));
+        (* remaining elements still pop correctly *)
+        Alcotest.(check (option (pair int string)))
+          "next" (Some (5, "witness")) (Heap.pop h));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -165,6 +182,31 @@ let engine_tests =
         Alcotest.check_raises "negative delay"
           (Invalid_argument "Engine.schedule: negative delay") (fun () ->
             Engine.schedule e ~delay:(-1.0) (fun () -> ())));
+    Alcotest.test_case "until advances the clock past queued events" `Quick
+      (fun () ->
+        (* run ~until must leave now = until even when later events remain
+           queued, so an interleaved schedule ~delay measures from the
+           bound, not from the last executed event *)
+        let e = Engine.create () in
+        let log = ref [] in
+        Engine.schedule e ~delay:5.0 (fun () -> log := (5, Engine.now e) :: !log);
+        Engine.schedule e ~delay:100.0 (fun () ->
+            log := (100, Engine.now e) :: !log);
+        Engine.run ~until:50.0 e;
+        Alcotest.(check (float 0.001)) "clock at bound" 50.0 (Engine.now e);
+        Engine.schedule e ~delay:10.0 (fun () -> log := (60, Engine.now e) :: !log);
+        Engine.run e;
+        Alcotest.(check (list (pair int (float 0.001))))
+          "delays measured from the bound"
+          [ (5, 5.0); (60, 60.0); (100, 100.0) ]
+          (List.rev !log));
+    Alcotest.test_case "max_events stop leaves the clock at the last event"
+      `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.schedule e ~delay:1.0 (fun () -> ());
+        Engine.schedule e ~delay:2.0 (fun () -> ());
+        Engine.run ~until:50.0 ~max_events:1 e;
+        Alcotest.(check (float 0.001)) "clock at event" 1.0 (Engine.now e));
   ]
 
 (* ------------------------------------------------------------------ *)
