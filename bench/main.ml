@@ -233,13 +233,56 @@ let bench_extensions =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Claim registry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One entry per claim of the memoized language-level groups, at a small
+   depth: tracks the per-claim cost of the checks the registry schedules.
+   Claim thunks construct their automata and caches internally, so every
+   run is cold and comparable. *)
+let bench_claims =
+  let memoized = [ "pq"; "collapses"; "account"; "fifo" ] in
+  let registry = Relax_experiments.Catalog.registry ~alphabet ~depth:3 () in
+  Relax_claims.Registry.groups registry
+  |> List.filter (fun g -> List.mem g.Relax_claims.Registry.gid memoized)
+  |> List.concat_map (fun g -> g.Relax_claims.Registry.claims)
+  |> List.map (fun (c : Relax_claims.Claim.t) ->
+         Test.make ~name:(Fmt.str "claims/%s (depth 3)" c.Relax_claims.Claim.id)
+           (Staged.stage (fun () -> ignore (c.Relax_claims.Claim.check ()))))
+
+(* The whole registry once, with verdict statistics: how much work each
+   claim's checker did (histories enumerated, product states visited,
+   memo hits) and how long it took. *)
+let print_claim_stats () =
+  let open Relax_claims in
+  Fmt.pr "@.== claim verdicts (registry at depth 4) ==@.";
+  Fmt.pr "%-34s %-6s %10s %10s %10s %10s@." "claim" "status" "histories"
+    "visited" "memo-hits" "wall-ms";
+  let results =
+    Engine.run (Relax_experiments.Catalog.registry ~alphabet ~depth:4 ())
+  in
+  List.iter
+    (fun (_, outcomes) ->
+      List.iter
+        (fun (o : Engine.outcome) ->
+          let v = o.Engine.verdict in
+          let s = v.Verdict.stats in
+          Fmt.pr "%-34s %-6s %10d %10d %10d %10.2f@."
+            o.Engine.claim.Claim.id
+            (Verdict.status_to_string v.Verdict.status)
+            s.Verdict.histories s.Verdict.visited s.Verdict.memo_hits
+            (s.Verdict.wall_s *. 1000.))
+        outcomes)
+    results
+
+(* ------------------------------------------------------------------ *)
 (* Harness                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let all_tests =
   Test.make_grouped ~name:"relax"
     (bench_larch @ bench_conformance @ bench_core @ bench_prob @ bench_sim
-   @ bench_extensions)
+   @ bench_extensions @ bench_claims)
 
 let benchmark () =
   let ols =
@@ -269,4 +312,5 @@ let () =
       | Some [ est ] -> Fmt.pr "%-55s %14.1f ns/run@." name est
       | Some _ | None -> Fmt.pr "%-55s %14s@." name "n/a")
     rows;
+  print_claim_stats ();
   Fmt.pr "@.done: %d benchmarks@." (List.length rows)

@@ -2,13 +2,13 @@
 
    Every experiment of EXPERIMENTS.md is reachable from here:
 
-     rlx check all        run every mechanized claim check
-     rlx check pq         the Section 3.3 lattice equalities (incl. Theorem 4)
-     rlx check collapses  the Section 4.2 family collapses
-     rlx check fifo       the Section 3.1 queue, characterized
-     rlx check account    the Section 3.4 account lattice
-     rlx check prob       the 0.1^n probabilistic claim
-     rlx check markov     probabilistic/functional model composition
+     rlx check [all]      run every registered claim (default)
+     rlx check <group>    one claim group (pq, collapses, account, prob,
+                          fig42, availability, taxi, atm, spooler, markov,
+                          fifo)
+     rlx check list       list every claim id in the registry
+     rlx check --only 'pq/*'         select claims by id glob
+     rlx check all --format json     machine-readable verdicts (or tap)
      rlx figure 4-2       regenerate Figure 4-2
      rlx figure 5-1       regenerate Figure 5-1 with measured costs
      rlx simulate taxi    the taxi-dispatch case study
@@ -30,57 +30,59 @@ let exit_of b = if b then 0 else 1
 
 let apply_jobs jobs = Option.iter Relax_parallel.Pool.set_default_jobs jobs
 
-let run_check what depth jobs =
+(* The check command is entirely registry-driven: group dispatch, the
+   unknown-check hint and the listing all derive from the claim catalog,
+   so a new group registers itself everywhere at once.  Claims are fanned
+   out over domains by the engine and rendered by the selected reporter;
+   the human format is byte-identical to the historical output at any
+   degree of parallelism. *)
+let run_check what only format depth jobs =
   apply_jobs jobs;
-  let alphabet =
-    Relax_objects.Queue_ops.alphabet (Relax_objects.Queue_ops.universe 2)
-  in
-  match what with
-  | "pq" -> exit_of (Relax_experiments.Pq_checks.run ~alphabet ~depth out ())
-  | "collapses" ->
-    exit_of (Relax_experiments.Collapse_checks.run ~alphabet ~depth out ())
-  | "prob" -> exit_of (Relax_experiments.Topn_check.run out ())
-  | "account" -> exit_of (Relax_experiments.Account_checks.run out ())
-  | "markov" -> exit_of (Relax_experiments.Markov_env.run out ())
-  | "fifo" -> exit_of (Relax_experiments.Fifo_checks.run ~alphabet ~depth out ())
-  | "all" ->
-    (* The checks are independent; fan them out over domains, each
-       rendering into its own buffer, and print the buffers in the fixed
-       order below — the output is byte-identical at any degree of
-       parallelism.  Every check constructs its automata (and their
-       caches) inside its own task. *)
-    let checks : (Format.formatter -> unit -> bool) list =
-      [
-        Relax_experiments.Pq_checks.run ~alphabet ~depth;
-        Relax_experiments.Collapse_checks.run ~alphabet ~depth;
-        Relax_experiments.Account_checks.run;
-        Relax_experiments.Topn_check.run;
-        Relax_experiments.Fig42.run;
-        Relax_experiments.Availability.run;
-        Relax_experiments.Taxi.run;
-        Relax_experiments.Atm.run;
-        Relax_experiments.Spooler.run;
-        Relax_experiments.Markov_env.run;
-        Relax_experiments.Fifo_checks.run ~alphabet ~depth;
-      ]
-    in
-    let results =
-      Relax_parallel.Pool.map
-        (fun check ->
-          let buf = Buffer.create 4096 in
-          let ppf = Format.formatter_of_buffer buf in
-          let ok = check ppf () in
-          Format.pp_print_flush ppf ();
-          (ok, Buffer.contents buf))
-        checks
-    in
-    List.iter (fun (_, rendered) -> Fmt.string out rendered) results;
-    exit_of (List.for_all fst results)
-  | other ->
-    Fmt.epr
-      "unknown check %S (expected pq | collapses | account | fifo | prob | markov | all)@."
-      other;
-    2
+  let module R = Relax_claims.Registry in
+  let module C = Relax_claims.Claim in
+  let registry = Relax_experiments.Catalog.registry ~depth () in
+  if what = "list" then begin
+    List.iter
+      (fun (g : R.group) ->
+        Fmt.pr "%s — %s@." g.R.gid g.R.title;
+        List.iter
+          (fun (c : C.t) ->
+            Fmt.pr "  %-32s %-17s %s  [%s]@." c.C.id
+              (C.kind_to_string c.C.kind)
+              c.C.description c.C.paper)
+          g.R.claims)
+      (R.groups registry);
+    0
+  end
+  else
+    let known = R.group_ids registry in
+    if what <> "all" && not (List.mem what known) then begin
+      Fmt.epr "unknown check %S (expected %s | all | list)@." what
+        (String.concat " | " known);
+      2
+    end
+    else
+      let selected =
+        let by_group =
+          if what = "all" then registry
+          else R.select registry ~pattern:(what ^ "/*")
+        in
+        match only with
+        | None -> by_group
+        | Some pattern -> R.select by_group ~pattern
+      in
+      if R.all_claims selected = [] then begin
+        (match only with
+        | Some pattern ->
+          Fmt.epr "no claims match --only %S (see 'rlx check list')@." pattern
+        | None -> Fmt.epr "no claims selected@.");
+        2
+      end
+      else begin
+        let results = Relax_claims.Engine.run selected in
+        Relax_claims.Reporter.pp format out results;
+        exit_of (Relax_claims.Engine.ok results)
+      end
 
 (* The trait/interface figures print their checked sources; 4-2 and 5-1
    are regenerated from the lattice machinery and the case studies. *)
@@ -151,13 +153,53 @@ let what_arg ~doc =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WHAT" ~doc)
 
 let check_cmd =
-  let doc =
-    "Run the mechanized claim checks (pq | collapses | account | fifo | \
-     prob | markov | all)."
+  let doc = "Run the registered claim checks." in
+  let what =
+    let doc =
+      "What to check: a claim group (pq | collapses | account | prob | \
+       fig42 | availability | taxi | atm | spooler | markov | fifo), \
+       $(b,all) (the default), or $(b,list) to list every claim id."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc)
+  in
+  let only =
+    let doc =
+      "Only run claims whose id matches $(docv) ($(b,*) matches any \
+       substring), e.g. $(b,--only 'pq/*') or $(b,--only '*/monotone')."
+    in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"GLOB" ~doc)
+  in
+  let format =
+    let doc =
+      "Output format: $(b,human) (the legacy report), $(b,json) (one \
+       document with per-claim status, counterexample and checker stats) \
+       or $(b,tap) (TAP v14)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("human", Relax_claims.Reporter.Human);
+               ("json", Relax_claims.Reporter.Json);
+               ("tap", Relax_claims.Reporter.Tap);
+             ])
+          Relax_claims.Reporter.Human
+      & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+  in
+  let exits =
+    Cmd.Exit.info ~doc:"every selected claim passed." 0
+    :: Cmd.Exit.info ~doc:"at least one claim failed or raised." 1
+    :: Cmd.Exit.info
+         ~doc:
+           "usage error: unknown check group, or an $(b,--only) glob \
+            matching no claim."
+         2
+    :: List.filter (fun i -> Cmd.Exit.info_code i > 2) Cmd.Exit.defaults
   in
   Cmd.v
-    (Cmd.info "check" ~doc)
-    Term.(const run_check $ what_arg ~doc $ depth_arg $ jobs_arg)
+    (Cmd.info "check" ~doc ~exits)
+    Term.(const run_check $ what $ only $ format $ depth_arg $ jobs_arg)
 
 let figure_cmd =
   let doc =

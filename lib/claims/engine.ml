@@ -1,0 +1,73 @@
+(* The claim engine: schedules claims over the domain pool and attaches
+   measured stats to their verdicts.
+
+   Claims are flattened in registry order and fanned out one task per
+   claim; [Relax_parallel.Pool.map] returns results in input order, so
+   reporting is deterministic at any degree of parallelism.  Around each
+   thunk the engine resets the domain-local {!Relax_core.Language.Stats}
+   counters and snapshots them afterwards together with the wall clock —
+   a thunk runs entirely on one domain (nested pool calls degrade to
+   sequential), so the counters observe exactly that claim's work. *)
+
+open Relax_core
+
+type outcome = { claim : Claim.t; verdict : Verdict.t }
+
+let run_claim (claim : Claim.t) =
+  Language.Stats.reset ();
+  let t0 = Unix.gettimeofday () in
+  let verdict =
+    match claim.check () with
+    | v -> v
+    | exception e ->
+      let msg = Printexc.to_string e in
+      Verdict.error ~detail:msg
+        ~human:(Fmt.str "[FAIL] %s — raised %s@\n" claim.description msg)
+        msg
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let s = Language.Stats.read () in
+  {
+    claim;
+    verdict =
+      Verdict.with_stats verdict
+        {
+          Verdict.histories = s.Language.Stats.histories;
+          visited = s.Language.Stats.visited;
+          memo_hits = s.Language.Stats.memo_hits;
+          wall_s;
+        };
+  }
+
+let run ?jobs registry =
+  let groups = Registry.groups registry in
+  let claims = List.concat_map (fun (g : Registry.group) -> g.claims) groups in
+  let outcomes = Relax_parallel.Pool.map ?jobs run_claim claims in
+  (* stitch the flat outcome list back into registry groups *)
+  let rec regroup groups outcomes =
+    match groups with
+    | [] -> []
+    | (g : Registry.group) :: rest ->
+      let n = List.length g.claims in
+      let mine = List.filteri (fun i _ -> i < n) outcomes in
+      let others = List.filteri (fun i _ -> i >= n) outcomes in
+      (g, mine) :: regroup rest others
+  in
+  regroup groups outcomes
+
+let ok results =
+  List.for_all
+    (fun (_, outcomes) -> List.for_all (fun o -> Verdict.ok o.verdict) outcomes)
+    results
+
+(* Sequential render of one group — the legacy [run ppf] entry points of
+   the experiment modules are thin wrappers over this, so `rlx simulate`
+   and the integration tests keep their exact output. *)
+let run_print (g : Registry.group) ppf =
+  if g.header <> "" then Fmt.string ppf g.header;
+  List.fold_left
+    (fun acc claim ->
+      let o = run_claim claim in
+      Fmt.string ppf o.verdict.Verdict.human;
+      acc && Verdict.ok o.verdict)
+    true g.claims

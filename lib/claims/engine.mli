@@ -1,0 +1,21 @@
+(** The claim engine: runs claims over the domain pool, deterministic
+    order, measured stats attached to each verdict. *)
+
+type outcome = { claim : Claim.t; verdict : Verdict.t }
+
+(** Run one claim on the calling domain: resets the domain-local
+    {!Relax_core.Language.Stats} counters, times the thunk, converts a
+    raised exception into an [Error] verdict, and attaches the stats. *)
+val run_claim : Claim.t -> outcome
+
+(** Run every claim of the registry, one pool task per claim; results
+    come back grouped, in registry order, whatever the job count. *)
+val run :
+  ?jobs:int -> Registry.t -> (Registry.group * outcome list) list
+
+(** [true] iff every verdict passed. *)
+val ok : (Registry.group * outcome list) list -> bool
+
+(** Sequentially run and print one group in the legacy human format
+    (banner, then each claim's rendering); [true] when all pass. *)
+val run_print : Registry.group -> Format.formatter -> bool

@@ -1,0 +1,31 @@
+(** The claim registry: ordered check groups, each owning addressable
+    claims.  The groups' order is the order `rlx check all` reports. *)
+
+type group = {
+  gid : string;  (** stable group id — the name [rlx check <gid>] uses *)
+  title : string;  (** one-line description for listings *)
+  header : string;
+      (** human-mode banner printed before the group's claims,
+          newline-terminated; [""] when the group's claims carry their
+          own banner (dynamic headers) *)
+  claims : Claim.t list;
+}
+
+type t
+
+(** Validates ids: lowercase [a-z0-9/-], group ids unique, claim ids
+    unique and prefixed ["<gid>/"].  Raises [Invalid_argument]
+    otherwise. *)
+val create : group list -> t
+
+val groups : t -> group list
+val group_ids : t -> string list
+val find_group : t -> string -> group option
+val all_claims : t -> Claim.t list
+val claim_ids : t -> string list
+
+(** ['*'] matches any substring; other characters match themselves. *)
+val glob_matches : pattern:string -> string -> bool
+
+(** Keep only claims whose id matches; empty groups are dropped. *)
+val select : t -> pattern:string -> t

@@ -1,0 +1,51 @@
+(* Structured verdicts: the result of checking one claim.
+
+   A verdict separates what the old print-driven checkers interleaved:
+   the machine-readable outcome (status, detail, optional counterexample,
+   checker statistics) from the exact human rendering the legacy
+   reporters printed.  Keeping the rendering inside the verdict is what
+   lets the human reporter reproduce the pre-refactor `rlx check all`
+   output byte for byte while the same verdicts feed JSON and TAP. *)
+
+type status = Pass | Fail | Error of string
+
+type stats = {
+  histories : int;  (* histories enumerated while deciding the claim *)
+  visited : int;    (* distinct product state-set pairs visited *)
+  memo_hits : int;  (* product pairs deduplicated by the memo table *)
+  wall_s : float;   (* wall-clock seconds spent in the claim thunk *)
+}
+
+let no_stats = { histories = 0; visited = 0; memo_hits = 0; wall_s = 0.0 }
+
+type t = {
+  status : status;
+  detail : string;
+  counterexample : string option;
+  human : string;
+  stats : stats;
+}
+
+let make ?(detail = "") ?counterexample ~human status =
+  { status; detail; counterexample; human; stats = no_stats }
+
+let of_bool ?detail ?counterexample ~human ok =
+  make ?detail ?counterexample ~human (if ok then Pass else Fail)
+
+let error ?detail ?counterexample ~human msg =
+  make ?detail ?counterexample ~human (Error msg)
+
+let with_stats v stats = { v with stats }
+
+let ok v = match v.status with Pass -> true | Fail | Error _ -> false
+
+let status_to_string = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Error _ -> "error"
+
+let pp_status ppf s = Fmt.string ppf (status_to_string s)
+
+let pp ppf v =
+  Fmt.pf ppf "%a%s" pp_status v.status
+    (if v.detail = "" then "" else " — " ^ v.detail)

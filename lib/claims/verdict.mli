@@ -1,0 +1,49 @@
+(** Structured verdicts: the result of checking one claim.
+
+    A verdict carries the machine-readable outcome — status, a short
+    detail, an optional counterexample history (rendered), and checker
+    statistics — together with the exact human rendering the legacy
+    print-driven checkers produced, so the human reporter stays
+    byte-identical to the pre-registry output while JSON/TAP reporters
+    read the structure. *)
+
+type status =
+  | Pass
+  | Fail
+  | Error of string  (** the claim thunk raised; carries the message *)
+
+type stats = {
+  histories : int;  (** histories enumerated while deciding the claim *)
+  visited : int;  (** distinct product state-set pairs visited *)
+  memo_hits : int;  (** product pairs deduplicated by the memo table *)
+  wall_s : float;  (** wall-clock seconds spent in the claim thunk *)
+}
+
+val no_stats : stats
+
+type t = {
+  status : status;
+  detail : string;  (** one-line elaboration ("209 histories, depth 5") *)
+  counterexample : string option;  (** rendered separating history *)
+  human : string;
+      (** the exact line(s) the legacy reporter printed for this claim,
+          newline-terminated; [""] when the claim has no legacy line *)
+  stats : stats;
+}
+
+val make : ?detail:string -> ?counterexample:string -> human:string -> status -> t
+
+(** [of_bool ok] is [Pass] when [ok], else [Fail]. *)
+val of_bool : ?detail:string -> ?counterexample:string -> human:string -> bool -> t
+
+val error : ?detail:string -> ?counterexample:string -> human:string -> string -> t
+
+(** Replace the stats (the engine measures them around the thunk). *)
+val with_stats : t -> stats -> t
+
+(** [true] iff the status is [Pass]. *)
+val ok : t -> bool
+
+val status_to_string : status -> string
+val pp_status : status Fmt.t
+val pp : t Fmt.t

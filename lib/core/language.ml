@@ -9,6 +9,30 @@
 
 type alphabet = Op.t list
 
+(* Domain-local checker counters, surfaced per claim by the claim
+   engine.  Each counter cell belongs to the domain that runs the check
+   (nested pool calls degrade to sequential, so a check's whole
+   exploration stays on one domain); incrementing is branch-free and
+   does not perturb any result.  [reset] before a check, [read] after. *)
+module Stats = struct
+  type t = { mutable histories : int; mutable visited : int; mutable memo_hits : int }
+
+  let key =
+    Domain.DLS.new_key (fun () -> { histories = 0; visited = 0; memo_hits = 0 })
+
+  let cell () = Domain.DLS.get key
+
+  let reset () =
+    let c = cell () in
+    c.histories <- 0;
+    c.visited <- 0;
+    c.memo_hits <- 0
+
+  let read () =
+    let c = cell () in
+    { histories = c.histories; visited = c.visited; memo_hits = c.memo_hits }
+end
+
 type 'v frontier = { history : History.t; states : 'v list }
 
 (* All accepted histories of length <= depth, shortest first.  Prefix
@@ -16,6 +40,7 @@ type 'v frontier = { history : History.t; states : 'v list }
    prefixes, which prunes the |alphabet|^depth search tree to the size of
    the language itself. *)
 let enumerate (a : 'v Automaton.t) ~(alphabet : alphabet) ~depth =
+  let stats = Stats.cell () in
   let rec go level acc remaining =
     if remaining = 0 then List.rev acc
     else
@@ -28,10 +53,12 @@ let enumerate (a : 'v Automaton.t) ~(alphabet : alphabet) ~depth =
           alphabet
       in
       let next = List.concat_map extend level in
+      stats.Stats.histories <- stats.Stats.histories + List.length next;
       let acc = List.fold_left (fun acc f -> f.history :: acc) acc next in
       if next = [] then List.rev acc else go next acc (remaining - 1)
   in
   let root = { history = History.empty; states = [ Automaton.init a ] } in
+  stats.Stats.histories <- stats.Stats.histories + 1;
   go [ root ] [ History.empty ] depth
 
 let language_set a ~alphabet ~depth =
@@ -61,6 +88,7 @@ let pp_counterexample ppf c =
    history, so it also reconstructs the exact witness histories the
    memoized checker below does not track. *)
 let included_enum (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
+  let stats = Stats.cell () in
   let exception Fail of counterexample in
   try
     let rec go level remaining =
@@ -86,6 +114,7 @@ let included_enum (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
             alphabet
         in
         let next = List.concat_map extend level in
+        stats.Stats.histories <- stats.Stats.histories + List.length next;
         if next = [] then () else go next (remaining - 1)
     in
     let root = { history = History.empty; states = [ Automaton.init a ] } in
@@ -137,6 +166,7 @@ end
    exact same witness the reference checker reports. *)
 let included_pairs (a : 'v Automaton.t) (b : 'w Automaton.t) ~ahash ~bhash
     ~alphabet ~depth =
+  let stats = Stats.cell () in
   let ia = Intern.create ahash (Automaton.equal_state a) in
   let ib = Intern.create bhash (Automaton.equal_state b) in
   let visited : (int list * int list, unit) Hashtbl.t = Hashtbl.create 256 in
@@ -154,9 +184,13 @@ let included_pairs (a : 'v Automaton.t) (b : 'w Automaton.t) ~ahash ~bhash
                 let bstates' = Automaton.step_set b bstates p in
                 if bstates' = [] then raise Failed;
                 let key = (Intern.key ia astates', Intern.key ib bstates') in
-                if Hashtbl.mem visited key then None
+                if Hashtbl.mem visited key then begin
+                  stats.Stats.memo_hits <- stats.Stats.memo_hits + 1;
+                  None
+                end
                 else begin
                   Hashtbl.add visited key ();
+                  stats.Stats.visited <- stats.Stats.visited + 1;
                   Some (astates', bstates')
                 end)
             alphabet
@@ -165,6 +199,7 @@ let included_pairs (a : 'v Automaton.t) (b : 'w Automaton.t) ~ahash ~bhash
         | [] -> ()
         | next -> go next (remaining - 1)
     in
+    stats.Stats.visited <- stats.Stats.visited + 1;
     go [ ([ Automaton.init a ], [ Automaton.init b ]) ] depth;
     Ok ()
   with Failed -> (

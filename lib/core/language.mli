@@ -9,6 +9,30 @@
 
 type alphabet = Op.t list
 
+(** Domain-local checker counters, surfaced per claim by the claim
+    engine of [relax_claims].  Counters belong to the domain running the
+    check (a check's whole exploration stays on one domain, nested pool
+    calls being sequential), so [reset] before and [read] after a check
+    observe exactly that check's work.  Instrumentation never changes
+    any checker result. *)
+module Stats : sig
+  type t = {
+    mutable histories : int;
+        (** histories enumerated ({!enumerate} and {!included_enum}) *)
+    mutable visited : int;
+        (** distinct product state-set pairs visited by the memoized
+            fixpoint of {!included} *)
+    mutable memo_hits : int;
+        (** product pairs skipped because already visited *)
+  }
+
+  (** Zero this domain's counters. *)
+  val reset : unit -> unit
+
+  (** A snapshot copy of this domain's counters. *)
+  val read : unit -> t
+end
+
 (** All accepted histories of length [<= depth], shortest first. *)
 val enumerate : 'v Automaton.t -> alphabet:alphabet -> depth:int -> History.t list
 

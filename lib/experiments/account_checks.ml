@@ -18,7 +18,7 @@ open Relax_quorum
    equals the account automaton's; at {A2} the language strictly contains
    it (the extra histories are exactly spurious bounces) but every
    history keeps a non-negative true balance at every prefix; at {A1} and
-   {} some history overdraws. *)
+   {} some history overdraws.  Claims live under "account/". *)
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 
@@ -43,61 +43,58 @@ let exists_overdraft a ~depth =
     (fun h -> not (Instances.never_overdrawn h))
     (Language.enumerate a ~alphabet ~depth)
 
-let all ?(depth = 4) () =
-  let top = qca a1_a2 in
-  let a2_only = qca Instances.a2 in
-  let a1_only = qca Instances.a1 in
-  let bottom = qca Relation.empty in
-  let top_equal =
-    Pq_checks.equivalence "L(QCA(Account,{A1,A2},eta)) = L(Account)" top
-      Account.automaton ~alphabet ~depth
-  in
-  let strict_at_a2 =
-    match Language.strictly_included top a2_only ~alphabet ~depth with
-    | Ok (Some w) ->
-      {
-        name = "{A2} strictly relaxes the account";
-        ok = is_spurious_bounce_witness w;
-        detail = Fmt.str "witness: %a" History.pp w;
-      }
-    | Ok None ->
-      { name = "{A2} strictly relaxes the account"; ok = false;
-        detail = "languages coincide at this bound" }
-    | Error c ->
-      { name = "{A2} strictly relaxes the account"; ok = false;
-        detail = Fmt.str "%a" Language.pp_counterexample c }
-  in
+let claims ?(depth = 4) () =
+  let paper = "Section 3.4" in
   [
-    top_equal;
-    strict_at_a2;
-    {
-      name = "every history at {A2} keeps the account solvent";
-      ok = never_overdrawn_language a2_only ~depth;
-      detail = "";
-    };
-    {
-      name = "relaxing A2 admits overdrafts ({A1} point)";
-      ok = exists_overdraft a1_only ~depth;
-      detail = "";
-    };
-    {
-      name = "relaxing A2 admits overdrafts ({} point)";
-      ok = exists_overdraft bottom ~depth;
-      detail = "";
-    };
-    {
-      name = "account lattice (sublattice retaining A2) is monotone";
-      ok =
-        Relaxation.check_monotone (Instances.account_lattice ~alphabet ())
-          ~alphabet
-          ~depth
-        = [];
-      detail = "";
-    };
+    Pq_checks.equivalence_claim ~id:"account/top" ~paper
+      "L(QCA(Account,{A1,A2},eta)) = L(Account)"
+      (fun () -> (qca a1_a2, Account.automaton))
+      ~alphabet ~depth;
+    Pq_checks.check_claim ~id:"account/a2-strict" ~kind:Inclusion ~paper
+      ~description:"{A2} strictly relaxes the account" (fun () ->
+        let name = "{A2} strictly relaxes the account" in
+        match
+          Language.strictly_included (qca a1_a2) (qca Instances.a2) ~alphabet
+            ~depth
+        with
+        | Ok (Some w) ->
+          ( {
+              name;
+              ok = is_spurious_bounce_witness w;
+              detail = Fmt.str "witness: %a" History.pp w;
+            },
+            Some (History.to_string w) )
+        | Ok None ->
+          ( { name; ok = false; detail = "languages coincide at this bound" },
+            None )
+        | Error c ->
+          ( { name; ok = false; detail = Fmt.str "%a" Language.pp_counterexample c },
+            Some (History.to_string c.Language.history) ))
+      ;
+    Pq_checks.bool_claim ~id:"account/a2-solvent" ~kind:Characterization ~paper
+      "every history at {A2} keeps the account solvent" (fun () ->
+        never_overdrawn_language (qca Instances.a2) ~depth);
+    Pq_checks.bool_claim ~id:"account/a1-overdrafts" ~kind:Characterization
+      ~paper "relaxing A2 admits overdrafts ({A1} point)" (fun () ->
+        exists_overdraft (qca Instances.a1) ~depth);
+    Pq_checks.bool_claim ~id:"account/bottom-overdrafts" ~kind:Characterization
+      ~paper "relaxing A2 admits overdrafts ({} point)" (fun () ->
+        exists_overdraft (qca Relation.empty) ~depth);
+    Pq_checks.bool_claim ~id:"account/monotone" ~kind:Monotone ~paper
+      "account lattice (sublattice retaining A2) is monotone" (fun () ->
+        Relaxation.check_monotone
+          (Instances.account_lattice ~alphabet ())
+          ~alphabet ~depth
+        = []);
   ]
 
+let group ?depth () =
+  {
+    Relax_claims.Registry.gid = "account";
+    title = "Section 3.4 bank-account lattice at the language level";
+    header = "== Section 3.4: bank-account lattice (language level) ==\n";
+    claims = claims ?depth ();
+  }
+
 let run ?depth ppf () =
-  let checks = all ?depth () in
-  Fmt.pf ppf "== Section 3.4: bank-account lattice (language level) ==@\n";
-  List.iter (fun c -> Fmt.pf ppf "%a@\n" Pq_checks.pp_check c) checks;
-  List.for_all (fun c -> c.ok) checks
+  Relax_claims.Engine.run_print (group ?depth ()) ppf

@@ -2,9 +2,10 @@
     bank-account lattice of Section 3.4 at the language level — the top
     equals the single-copy account, {A2} strictly relaxes it with only
     spurious bounces (never an overdraft), and relaxing A2 admits real
-    overdrafts. *)
+    overdrafts — claims under ["account/"]. *)
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 
-val all : ?depth:int -> unit -> check list
+val claims : ?depth:int -> unit -> Relax_claims.Claim.t list
+val group : ?depth:int -> unit -> Relax_claims.Registry.group
 val run : ?depth:int -> Format.formatter -> unit -> bool

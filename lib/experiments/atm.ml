@@ -143,9 +143,8 @@ let sweep ?(params = default_params) ?(think_times = [ 0.0; 10.0; 40.0; 150.0 ])
     (fun tt -> run_once ~params ~relax_a2:false ~think_time:tt ())
     think_times
 
-let run ?params ppf () =
+let run_body ?params ppf =
   let outcomes = sweep ?params () in
-  Fmt.pf ppf "== Section 3.4: replicated bank account (A2 kept, A1 relaxed) ==@\n";
   List.iter (fun o -> Fmt.pf ppf "%a@\n" pp_outcome o) outcomes;
   let safe = List.for_all (fun o -> o.never_overdrawn) outcomes in
   (* bounce rate should not increase with think time *)
@@ -166,3 +165,25 @@ let run ?params ppf () =
     (if unsafe.never_overdrawn then "no overdraft observed at this seed"
      else Fmt.str "OVERDRAFT OBSERVED (%d bad prefixes)" unsafe.overdrafts);
   safe && monotone_decreasing
+
+let claims ?params () =
+  [
+    Relax_claims.Claim.report ~id:"atm/safety" ~kind:Characterization
+      ~paper:"Section 3.4 (ATM example)"
+      ~description:
+        "with A2 kept the account is never overdrawn, and spurious bounces \
+         diminish with think time"
+      ~detail:"replica runtime, think-time sweep plus relax-A2 control"
+      (run_body ?params);
+  ]
+
+let group ?params () =
+  {
+    Relax_claims.Registry.gid = "atm";
+    title = "Section 3.4 replicated bank account on the replica runtime";
+    header =
+      "== Section 3.4: replicated bank account (A2 kept, A1 relaxed) ==\n";
+    claims = claims ?params ();
+  }
+
+let run ?params ppf () = Relax_claims.Engine.run_print (group ?params ()) ppf

@@ -37,6 +37,9 @@ val run_once :
 (** Sweep the think time (A2 kept). *)
 val sweep : ?params:params -> ?think_times:float list -> unit -> outcome list
 
+val claims : ?params:params -> unit -> Relax_claims.Claim.t list
+val group : ?params:params -> unit -> Relax_claims.Registry.group
+
 (** Print the sweep and the relax-A2 control; [true] when safety and the
     diminishing-bounce trend hold. *)
 val run : ?params:params -> Format.formatter -> unit -> bool

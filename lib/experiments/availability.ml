@@ -76,9 +76,8 @@ let weighted_comparison ?(site_ps = [| 0.99; 0.6; 0.6; 0.6; 0.6 |]) () =
   in
   (a_uniform, a_weighted)
 
-let run ppf () =
+let run_body ppf =
   let rows = exact_table () in
-  Fmt.pf ppf "== Availability of each lattice point (n=5 voting sites) ==@\n";
   Fmt.pf ppf "%-34s %-6s %-10s %-10s@\n" "Lattice point" "p(up)" "Enq avail"
     "Deq avail";
   List.iter
@@ -124,3 +123,24 @@ let run ppf () =
     "weighted voting (reliable site carries 3 votes): uniform %.4f vs weighted %.4f@\n"
     a_uniform a_weighted;
   consistent && monotone && a_weighted > a_uniform
+
+let claims () =
+  [
+    Relax_claims.Claim.report ~id:"availability/lattice" ~kind:Numeric
+      ~paper:"Section 3.3 (availability/consistency trade-off)"
+      ~description:
+        "availability of each lattice point: exact binomial vs Monte Carlo, \
+         plus weighted voting"
+      ~detail:"n = 5 voting sites, p(up) in {0.5, 0.7, 0.9, 0.99}" (fun ppf ->
+        run_body ppf);
+  ]
+
+let group () =
+  {
+    Relax_claims.Registry.gid = "availability";
+    title = "availability of each lattice point (n=5 voting sites)";
+    header = "== Availability of each lattice point (n=5 voting sites) ==\n";
+    claims = claims ();
+  }
+
+let run ppf () = Relax_claims.Engine.run_print (group ()) ppf

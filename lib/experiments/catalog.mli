@@ -1,0 +1,12 @@
+open Relax_core
+
+(** The claim catalog: every checkable claim of the reproduction,
+    registered in the order the legacy [rlx check all] printed its
+    groups (pq, collapses, account, prob, fig42, availability, taxi,
+    atm, spooler, markov, fifo).
+
+    [depth] reaches the groups that honor the CLI depth bound (pq,
+    collapses, fifo); the other groups keep their own defaults, exactly
+    as [check all] always ran them.  Defaults: universe {1,2}, depth 5. *)
+val registry :
+  ?alphabet:Language.alphabet -> ?depth:int -> unit -> Relax_claims.Registry.t

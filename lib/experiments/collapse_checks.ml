@@ -9,23 +9,25 @@ open Relax_objects
      SSqueue_{1,1} = FIFO queue
      SSqueue_{1,k} = Semiqueue_k         SSqueue_{j,1} = Stuttering_j
 
-   plus the strict inclusion chains between consecutive family members. *)
+   plus the strict inclusion chains between consecutive family members,
+   as claims under "collapses/". *)
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
-
-let equivalence = Pq_checks.equivalence
 
 let strict name small big ~alphabet ~depth =
   match Language.strictly_included small big ~alphabet ~depth with
   | Ok (Some witness) ->
-    {
-      name;
-      ok = true;
-      detail = Fmt.str "witness: %a" History.pp witness;
-    }
-  | Ok None -> { name; ok = false; detail = "languages coincide at this bound" }
+    ( {
+        name;
+        ok = true;
+        detail = Fmt.str "witness: %a" History.pp witness;
+      },
+      Some (History.to_string witness) )
+  | Ok None ->
+    ({ name; ok = false; detail = "languages coincide at this bound" }, None)
   | Error c ->
-    { name; ok = false; detail = Fmt.str "%a" Language.pp_counterexample c }
+    ( { name; ok = false; detail = Fmt.str "%a" Language.pp_counterexample c },
+      Some (History.to_string c.Language.history) )
 
 (* A bag restricted to at most [n] elements, for the Semiqueue_n = Bag
    claim about n-item queues. *)
@@ -37,34 +39,52 @@ let bounded_semiqueue ~k ~n =
   Automaton.restrict (Semiqueue.automaton k) (fun q -> List.length q <= n)
   |> fun a -> Automaton.rename a (Fmt.str "Semiqueue(%d)<=%d" k n)
 
-let all ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5) ()
-    =
+let claims ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5)
+    () =
+  let collapse ~id name mk =
+    Pq_checks.equivalence_claim ~id ~paper:"Section 4.2" name mk ~alphabet
+      ~depth
+  in
+  let chain ~id name small big =
+    Pq_checks.check_claim ~id ~kind:Inclusion ~paper:"Section 4.2"
+      ~description:name (fun () -> strict name (small ()) (big ()) ~alphabet ~depth)
+  in
   [
-    equivalence "Semiqueue_1 = FIFO queue" (Semiqueue.automaton 1)
-      Fifo.automaton ~alphabet ~depth;
-    equivalence "Stuttering_1 = FIFO queue" (Stuttering.automaton 1)
-      Fifo.automaton ~alphabet ~depth;
-    equivalence "SSqueue_{1,1} = FIFO queue" (Ssqueue.automaton ~j:1 ~k:1)
-      Fifo.automaton ~alphabet ~depth;
-    equivalence "SSqueue_{1,3} = Semiqueue_3" (Ssqueue.automaton ~j:1 ~k:3)
-      (Semiqueue.automaton 3) ~alphabet ~depth;
-    equivalence "SSqueue_{3,1} = Stuttering_3" (Ssqueue.automaton ~j:3 ~k:1)
-      (Stuttering.automaton 3) ~alphabet ~depth;
+    collapse ~id:"collapses/semiqueue1-fifo" "Semiqueue_1 = FIFO queue"
+      (fun () -> (Semiqueue.automaton 1, Fifo.automaton));
+    collapse ~id:"collapses/stuttering1-fifo" "Stuttering_1 = FIFO queue"
+      (fun () -> (Stuttering.automaton 1, Fifo.automaton));
+    collapse ~id:"collapses/ssqueue11-fifo" "SSqueue_{1,1} = FIFO queue"
+      (fun () -> (Ssqueue.automaton ~j:1 ~k:1, Fifo.automaton));
+    collapse ~id:"collapses/ssqueue13-semiqueue3" "SSqueue_{1,3} = Semiqueue_3"
+      (fun () -> (Ssqueue.automaton ~j:1 ~k:3, Semiqueue.automaton 3));
+    collapse ~id:"collapses/ssqueue31-stuttering3"
+      "SSqueue_{3,1} = Stuttering_3"
+      (fun () -> (Ssqueue.automaton ~j:3 ~k:1, Stuttering.automaton 3));
     (* Figure 4-2's top row: a three-item Semiqueue_3 behaves as a bag. *)
-    equivalence "three-item Semiqueue_3 = three-item Bag"
-      (bounded_semiqueue ~k:3 ~n:3) (bounded_bag 3) ~alphabet ~depth;
-    strict "Semiqueue_1 ⊂ Semiqueue_2" (Semiqueue.automaton 1)
-      (Semiqueue.automaton 2) ~alphabet ~depth;
-    strict "Semiqueue_2 ⊂ Semiqueue_3" (Semiqueue.automaton 2)
-      (Semiqueue.automaton 3) ~alphabet ~depth;
-    strict "Stuttering_1 ⊂ Stuttering_2" (Stuttering.automaton 1)
-      (Stuttering.automaton 2) ~alphabet ~depth;
-    strict "Stuttering_2 ⊂ Stuttering_3" (Stuttering.automaton 2)
-      (Stuttering.automaton 3) ~alphabet ~depth;
+    collapse ~id:"collapses/semiqueue3-bag" "three-item Semiqueue_3 = three-item Bag"
+      (fun () -> (bounded_semiqueue ~k:3 ~n:3, bounded_bag 3));
+    chain ~id:"collapses/semiqueue1-below-2" "Semiqueue_1 ⊂ Semiqueue_2"
+      (fun () -> Semiqueue.automaton 1)
+      (fun () -> Semiqueue.automaton 2);
+    chain ~id:"collapses/semiqueue2-below-3" "Semiqueue_2 ⊂ Semiqueue_3"
+      (fun () -> Semiqueue.automaton 2)
+      (fun () -> Semiqueue.automaton 3);
+    chain ~id:"collapses/stuttering1-below-2" "Stuttering_1 ⊂ Stuttering_2"
+      (fun () -> Stuttering.automaton 1)
+      (fun () -> Stuttering.automaton 2);
+    chain ~id:"collapses/stuttering2-below-3" "Stuttering_2 ⊂ Stuttering_3"
+      (fun () -> Stuttering.automaton 2)
+      (fun () -> Stuttering.automaton 3);
   ]
 
+let group ?alphabet ?depth () =
+  {
+    Relax_claims.Registry.gid = "collapses";
+    title = "Section 4.2 semiqueue / stuttering / SSqueue boundary collapses";
+    header = "== Section 4.2: semiqueue / stuttering collapses ==\n";
+    claims = claims ?alphabet ?depth ();
+  }
+
 let run ?alphabet ?depth ppf () =
-  let checks = all ?alphabet ?depth () in
-  Fmt.pf ppf "== Section 4.2: semiqueue / stuttering collapses ==@\n";
-  List.iter (fun c -> Fmt.pf ppf "%a@\n" Pq_checks.pp_check c) checks;
-  List.for_all (fun c -> c.ok) checks
+  Relax_claims.Engine.run_print (group ?alphabet ?depth ()) ppf

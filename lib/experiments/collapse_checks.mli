@@ -3,11 +3,18 @@ open Relax_core
 (** Experiments F4-1 / F4-3 of EXPERIMENTS.md: the boundary collapses of
     the semiqueue / stuttering / SSqueue families (Semiqueue_1 = FIFO,
     SSqueue_{1,1} = FIFO, ...) and the strict inclusion chains between
-    consecutive members, with witnesses. *)
+    consecutive members, with witnesses — claims under ["collapses/"]. *)
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 
-val all : ?alphabet:Language.alphabet -> ?depth:int -> unit -> check list
+val claims :
+  ?alphabet:Language.alphabet -> ?depth:int -> unit -> Relax_claims.Claim.t list
+
+val group :
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  unit ->
+  Relax_claims.Registry.group
 
 val run :
   ?alphabet:Language.alphabet -> ?depth:int -> Format.formatter -> unit -> bool

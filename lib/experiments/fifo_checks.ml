@@ -19,61 +19,55 @@ open Relax_quorum
    so the two halves of the paper meet: the quorum relaxations of the
    replicated FIFO queue produce exactly the anomaly split (duplicates
    vs. reordering) that Section 4.2 obtains from concurrency
-   relaxations. *)
+   relaxations.  Claims live under "fifo/". *)
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 
 let q1_q2 = Relation.union Instances.q1 Instances.q2
 
-let all ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5) ()
-    =
-  let qca rel = Qca.automaton_views ~alphabet Instances.fifo_spec_eta rel in
+let claims ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5)
+    () =
+  let qca rel () = Qca.automaton_views ~alphabet Instances.fifo_spec_eta rel in
+  let point ~id name mk = Pq_checks.equivalence_claim ~id ~paper:"Section 3.1" name mk ~alphabet ~depth in
+  let sd rel () =
+    Serial.is_serial_dependency Fifo.automaton rel ~alphabet
+      ~depth:(min depth 4)
+  in
   [
-    Pq_checks.equivalence "L(QCA(FIFO,{Q1,Q2},eta_fifo)) = L(FifoQ)"
-      (qca q1_q2) Fifo.automaton ~alphabet ~depth;
-    Pq_checks.equivalence
-      "L(QCA(FIFO,{Q1},eta_fifo)) = L(RFQ) (our characterization)"
-      (qca Instances.q1) Rfq.automaton ~alphabet ~depth;
-    Pq_checks.equivalence "L(QCA(FIFO,{Q2},eta_fifo)) = L(Bag)"
-      (qca Instances.q2) Bag.automaton ~alphabet ~depth;
-    Pq_checks.equivalence "L(QCA(FIFO,{},eta_fifo)) = L(DegenPQ)"
-      (qca Relation.empty) Degen.automaton ~alphabet ~depth;
-    {
-      name = "{Q1,Q2} is a serial dependency relation for FifoQ";
-      ok =
-        Serial.is_serial_dependency Fifo.automaton q1_q2 ~alphabet
-          ~depth:(min depth 4);
-      detail = "";
-    };
-    {
-      name = "{Q1} alone is NOT a serial dependency relation for FifoQ";
-      ok =
-        not
-          (Serial.is_serial_dependency Fifo.automaton Instances.q1 ~alphabet
-             ~depth:(min depth 4));
-      detail = "";
-    };
-    {
-      name = "{Q2} alone is NOT a serial dependency relation for FifoQ";
-      ok =
-        not
-          (Serial.is_serial_dependency Fifo.automaton Instances.q2 ~alphabet
-             ~depth:(min depth 4));
-      detail = "";
-    };
-    {
-      name = "replicated-FIFO lattice is monotone";
-      ok =
-        Relaxation.check_monotone (Instances.fifo_lattice ~alphabet ()) ~alphabet
-          ~depth:(min depth 4)
-        = [];
-      detail = "";
-    };
+    point ~id:"fifo/top" "L(QCA(FIFO,{Q1,Q2},eta_fifo)) = L(FifoQ)" (fun () ->
+        (qca q1_q2 (), Fifo.automaton));
+    point ~id:"fifo/rfq" "L(QCA(FIFO,{Q1},eta_fifo)) = L(RFQ) (our characterization)"
+      (fun () -> (qca Instances.q1 (), Rfq.automaton));
+    point ~id:"fifo/bag" "L(QCA(FIFO,{Q2},eta_fifo)) = L(Bag)" (fun () ->
+        (qca Instances.q2 (), Bag.automaton));
+    point ~id:"fifo/bottom" "L(QCA(FIFO,{},eta_fifo)) = L(DegenPQ)" (fun () ->
+        (qca Relation.empty (), Degen.automaton));
+    Pq_checks.bool_claim ~id:"fifo/sd-q1q2" ~kind:Serial_dependency
+      ~paper:"Definition 3" "{Q1,Q2} is a serial dependency relation for FifoQ"
+      (sd q1_q2);
+    Pq_checks.bool_claim ~id:"fifo/sd-q1-insufficient" ~kind:Serial_dependency
+      ~paper:"Definition 3"
+      "{Q1} alone is NOT a serial dependency relation for FifoQ" (fun () ->
+        not (sd Instances.q1 ()));
+    Pq_checks.bool_claim ~id:"fifo/sd-q2-insufficient" ~kind:Serial_dependency
+      ~paper:"Definition 3"
+      "{Q2} alone is NOT a serial dependency relation for FifoQ" (fun () ->
+        not (sd Instances.q2 ()));
+    Pq_checks.bool_claim ~id:"fifo/monotone" ~kind:Monotone
+      ~paper:"Section 3.1" "replicated-FIFO lattice is monotone" (fun () ->
+        Relaxation.check_monotone
+          (Instances.fifo_lattice ~alphabet ())
+          ~alphabet ~depth:(min depth 4)
+        = []);
   ]
 
+let group ?alphabet ?depth () =
+  {
+    Relax_claims.Registry.gid = "fifo";
+    title = "Section 3.1 replicated FIFO queue, fully characterized";
+    header = "== Section 3.1: the replicated FIFO queue, fully characterized ==\n";
+    claims = claims ?alphabet ?depth ();
+  }
+
 let run ?alphabet ?depth ppf () =
-  let checks = all ?alphabet ?depth () in
-  Fmt.pf ppf
-    "== Section 3.1: the replicated FIFO queue, fully characterized ==@\n";
-  List.iter (fun c -> Fmt.pf ppf "%a@\n" Pq_checks.pp_check c) checks;
-  List.for_all (fun c -> c.ok) checks
+  Relax_claims.Engine.run_print (group ?alphabet ?depth ()) ppf

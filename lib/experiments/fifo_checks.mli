@@ -3,11 +3,19 @@ open Relax_core
 (** Experiment X-fifo of EXPERIMENTS.md: the replicated FIFO queue —
     the paper's Section 3.1 motivating example — fully characterized:
     {Q1,Q2} -> FIFO, {Q1} -> RFQ (replayable FIFO), {Q2} -> Bag,
-    {} -> DegenPQ, plus serial-dependency and monotonicity checks. *)
+    {} -> DegenPQ, plus serial-dependency and monotonicity checks —
+    claims under ["fifo/"]. *)
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 
-val all : ?alphabet:Language.alphabet -> ?depth:int -> unit -> check list
+val claims :
+  ?alphabet:Language.alphabet -> ?depth:int -> unit -> Relax_claims.Claim.t list
+
+val group :
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  unit ->
+  Relax_claims.Registry.group
 
 val run :
   ?alphabet:Language.alphabet -> ?depth:int -> Format.formatter -> unit -> bool

@@ -54,9 +54,8 @@ let expected_rows n =
          in
          (k, count))
 
-let run ?alphabet ?depth ?(n = 3) ppf () =
+let run_body ?alphabet ?depth ~n ppf =
   let rows = compute ?alphabet ?depth ~n () in
-  Fmt.pf ppf "== Figure 4-2: relaxation lattice for a %d-item semiqueue ==@\n" n;
   Fmt.pf ppf "%-42s %s@\n" "Constraints" "Behavior";
   List.iter
     (fun r ->
@@ -68,3 +67,28 @@ let run ?alphabet ?depth ?(n = 3) ppf () =
   let sizes = List.map (fun r -> List.length r.constraint_sets) rows in
   let expected = List.map snd (expected_rows n) in
   sizes = expected
+
+let claims ?alphabet ?depth ?(n = 3) () =
+  [
+    Relax_claims.Claim.report ~id:"fig42/lattice" ~kind:Characterization
+      ~paper:"Figure 4-2"
+      ~description:
+        (Fmt.str "Figure 4-2 relaxation lattice for a %d-item semiqueue" n)
+      ~detail:
+        (Fmt.str "behavior classes grouped by lowest constraint index, n = %d"
+           n)
+      (run_body ?alphabet ?depth ~n);
+  ]
+
+let group ?alphabet ?depth ?(n = 3) () =
+  {
+    Relax_claims.Registry.gid = "fig42";
+    title = "Figure 4-2 relaxation lattice, regenerated";
+    header =
+      Fmt.str "== Figure 4-2: relaxation lattice for a %d-item semiqueue ==\n"
+        n;
+    claims = claims ?alphabet ?depth ~n ();
+  }
+
+let run ?alphabet ?depth ?n ppf () =
+  Relax_claims.Engine.run_print (group ?alphabet ?depth ?n ()) ppf

@@ -18,6 +18,20 @@ val compute :
     [(k, 2^(n-k))]. *)
 val expected_rows : int -> (int * int) list
 
+val claims :
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  ?n:int ->
+  unit ->
+  Relax_claims.Claim.t list
+
+val group :
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  ?n:int ->
+  unit ->
+  Relax_claims.Registry.group
+
 (** Print the table; [true] when the grouping matches the closed form. *)
 val run :
   ?alphabet:Language.alphabet ->

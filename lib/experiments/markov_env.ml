@@ -59,12 +59,7 @@ let measured point ~crash ~recover ~requests ~seed =
   let completed = with_work - o.Taxi.unavailable in
   (float_of_int completed /. float_of_int (max 1 with_work), o)
 
-let run ?(crash = 0.3) ?(recover = 0.3) ?(requests = 200) ?(seed = 13) ppf ()
-    =
-  let p = stationary_up ~crash ~recover in
-  Fmt.pf ppf
-    "== Markov environment: crash %.2f / recover %.2f => stationary p(up) = %.3f ==@\n"
-    crash recover p;
+let run_body ~crash ~recover ~requests ~seed ppf =
   let chain = site_chain ~crash ~recover in
   let hitting = Markov.expected_hitting_time chain ~target:0 in
   Fmt.pf ppf "expected rounds to recover a down site: %.2f@\n" hitting.(1);
@@ -107,3 +102,31 @@ let run ?(crash = 0.3) ?(recover = 0.3) ?(requests = 200) ?(seed = 13) ppf ()
     tolerant;
   Fmt.pf ppf "availability never decreases down the lattice: %b@\n" monotone;
   tolerant && monotone
+
+let claims ?(crash = 0.3) ?(recover = 0.3) ?(requests = 200) ?(seed = 13) () =
+  [
+    Relax_claims.Claim.report ~id:"markov/compose" ~kind:Numeric
+      ~paper:"Section 2.3"
+      ~description:
+        "stationary site availability composes with the taxi workload"
+      ~detail:
+        (Fmt.str "crash %.2f / recover %.2f, %d requests, seed %d" crash
+           recover requests seed)
+      (run_body ~crash ~recover ~requests ~seed);
+  ]
+
+let group ?(crash = 0.3) ?(recover = 0.3) ?requests ?seed () =
+  {
+    Relax_claims.Registry.gid = "markov";
+    title = "Section 2.3 Markov environment composed with the workload";
+    header =
+      Fmt.str
+        "== Markov environment: crash %.2f / recover %.2f => stationary p(up) \
+         = %.3f ==\n"
+        crash recover
+        (stationary_up ~crash ~recover);
+    claims = claims ~crash ~recover ?requests ?seed ();
+  }
+
+let run ?crash ?recover ?requests ?seed ppf () =
+  Relax_claims.Engine.run_print (group ?crash ?recover ?requests ?seed ()) ppf

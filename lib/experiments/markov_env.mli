@@ -11,6 +11,22 @@ val site_chain : crash:float -> recover:float -> Markov.t
 (** Stationary per-site availability [recover / (crash + recover)]. *)
 val stationary_up : crash:float -> recover:float -> float
 
+val claims :
+  ?crash:float ->
+  ?recover:float ->
+  ?requests:int ->
+  ?seed:int ->
+  unit ->
+  Relax_claims.Claim.t list
+
+val group :
+  ?crash:float ->
+  ?recover:float ->
+  ?requests:int ->
+  ?seed:int ->
+  unit ->
+  Relax_claims.Registry.group
+
 val run :
   ?crash:float ->
   ?recover:float ->

@@ -4,7 +4,13 @@ open Relax_quorum
 
 (* Experiment L3-3 / T4 / C3-O / C3-D (see DESIGN.md): mechanized checks
    of every claim the paper makes about the replicated priority queue
-   lattice of Section 3.3. *)
+   lattice of Section 3.3 — expressed as addressable claims (ids under
+   "pq/") whose verdicts render exactly the lines the legacy
+   print-driven checker produced.
+
+   This module also hosts the check-record type and the claim
+   constructors the other language-level check modules (collapses,
+   fifo, account) share. *)
 
 type check = { name : string; ok : bool; detail : string }
 
@@ -14,130 +20,141 @@ let pp_check ppf c =
     c.name
     (if c.detail = "" then "" else " — " ^ c.detail)
 
+let verdict_of_check ?counterexample c =
+  Relax_claims.Verdict.of_bool c.ok ~detail:c.detail ?counterexample
+    ~human:(Fmt.str "%a@\n" pp_check c)
+
+let check_claim ~id ~kind ~paper ~description mk =
+  Relax_claims.Claim.make ~id ~kind ~paper ~description (fun () ->
+      let c, counterexample = mk () in
+      verdict_of_check ?counterexample c)
+
+let bool_claim ~id ~kind ~paper name f =
+  check_claim ~id ~kind ~paper ~description:name (fun () ->
+      ({ name; ok = f (); detail = "" }, None))
+
+(* Bounded language equivalence as a (check, separating history) pair;
+   the automata are built by the caller's thunk, inside the claim. *)
 let equivalence name a b ~alphabet ~depth =
   match Language.equivalent a b ~alphabet ~depth with
   | Ok () ->
-    {
-      name;
-      ok = true;
-      detail =
-        Fmt.str "%d histories, depth %d"
-          (Language.size a ~alphabet ~depth)
-          depth;
-    }
+    ( {
+        name;
+        ok = true;
+        detail =
+          Fmt.str "%d histories, depth %d"
+            (Language.size a ~alphabet ~depth)
+            depth;
+      },
+      None )
   | Error c ->
-    { name; ok = false; detail = Fmt.str "%a" Language.pp_counterexample c }
+    ( { name; ok = false; detail = Fmt.str "%a" Language.pp_counterexample c },
+      Some (History.to_string c.Language.history) )
+
+let equivalence_claim ~id ?(kind = Relax_claims.Claim.Equivalence) ~paper name
+    mk_pair ~alphabet ~depth =
+  check_claim ~id ~kind ~paper ~description:name (fun () ->
+      let a, b = mk_pair () in
+      equivalence name a b ~alphabet ~depth)
 
 let q1_q2 = Relation.union Instances.q1 Instances.q2
 
-(* The four lattice points against the behaviors the paper names. *)
-let lattice_points ~alphabet ~depth =
-  let qca rel = Qca.automaton_views ~alphabet Instances.pq_spec_eta rel in
+(* The four lattice points against the behaviors the paper names, the
+   serial-dependency obligations behind Theorem 4, the lattice shape,
+   and the eta' variant (closing remark of Section 3.3) characterized
+   as the dropping priority queue DPQ. *)
+let claims ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5)
+    () =
+  let qca rel () = Qca.automaton_views ~alphabet Instances.pq_spec_eta rel in
+  let qca' rel () = Qca.automaton_views ~alphabet Instances.pq_spec_eta' rel in
+  let sd a rel () = Serial.is_serial_dependency a rel ~alphabet ~depth in
   [
-    equivalence "L(QCA(PQ,{Q1,Q2},eta)) = L(PQ)" (qca q1_q2) Pqueue.automaton
+    equivalence_claim ~id:"pq/top" ~paper:"Section 3.3"
+      "L(QCA(PQ,{Q1,Q2},eta)) = L(PQ)"
+      (fun () -> (qca q1_q2 (), Pqueue.automaton))
       ~alphabet ~depth;
-    equivalence "Theorem 4: L(QCA(PQ,{Q1},eta)) = L(MPQ)" (qca Instances.q1)
-      Mpq.automaton ~alphabet ~depth;
-    equivalence "L(QCA(PQ,{Q2},eta)) = L(OPQ)" (qca Instances.q2)
-      Opq.automaton ~alphabet ~depth;
-    equivalence "L(QCA(PQ,{},eta)) = L(DegenPQ)" (qca Relation.empty)
-      Degen.automaton ~alphabet ~depth;
+    equivalence_claim ~id:"pq/theorem4" ~paper:"Theorem 4"
+      "Theorem 4: L(QCA(PQ,{Q1},eta)) = L(MPQ)"
+      (fun () -> (qca Instances.q1 (), Mpq.automaton))
+      ~alphabet ~depth;
+    equivalence_claim ~id:"pq/q2-opq" ~paper:"Section 3.3"
+      "L(QCA(PQ,{Q2},eta)) = L(OPQ)"
+      (fun () -> (qca Instances.q2 (), Opq.automaton))
+      ~alphabet ~depth;
+    equivalence_claim ~id:"pq/bottom-degen" ~paper:"Section 3.3"
+      "L(QCA(PQ,{},eta)) = L(DegenPQ)"
+      (fun () -> (qca Relation.empty (), Degen.automaton))
+      ~alphabet ~depth;
+    bool_claim ~id:"pq/sd-q1q2" ~kind:Serial_dependency ~paper:"Definition 3"
+      "{Q1,Q2} is a serial dependency relation for PQ"
+      (sd Pqueue.automaton q1_q2);
+    bool_claim ~id:"pq/sd-q1-insufficient" ~kind:Serial_dependency
+      ~paper:"Definition 3" "{Q1} alone is NOT a serial dependency relation"
+      (fun () -> not (sd Pqueue.automaton Instances.q1 ()));
+    bool_claim ~id:"pq/sd-q2-insufficient" ~kind:Serial_dependency
+      ~paper:"Definition 3" "{Q2} alone is NOT a serial dependency relation"
+      (fun () -> not (sd Pqueue.automaton Instances.q2 ()));
+    bool_claim ~id:"pq/theorem4-lemma" ~kind:Serial_dependency
+      ~paper:"Theorem 4 (proof lemma)"
+      "Theorem 4 lemma: {Q1} IS a serial dependency relation for MPQ"
+      (sd Mpq.automaton Instances.q1);
+    equivalence_claim ~id:"pq/theorem4-lemma-qca" ~paper:"Theorem 4 (proof lemma)"
+      "hence L(QCA(MPQ,{Q1})) = L(MPQ) (delta*-based QCA)"
+      (fun () ->
+        ( Qca.automaton_views ~alphabet
+            (Qca.spec_of_automaton Mpq.automaton)
+            Instances.q1,
+          Mpq.automaton ))
+      ~alphabet ~depth:(min depth 4);
+    check_claim ~id:"pq/monotone" ~kind:Monotone ~paper:"Section 3.3"
+      ~description:"relaxation lattice is monotone (stronger => smaller language)"
+      (fun () ->
+        let monotone =
+          Relaxation.check_monotone
+            (Instances.pq_lattice ~alphabet ())
+            ~alphabet ~depth
+        in
+        ( {
+            name =
+              "relaxation lattice is monotone (stronger => smaller language)";
+            ok = monotone = [];
+            detail =
+              (match monotone with
+              | [] -> ""
+              | v :: _ -> Fmt.str "%a" Relaxation.pp_violation v);
+          },
+          None ));
+    bool_claim ~id:"pq/lattice-shape" ~kind:Monotone ~paper:"Section 3.3"
+      "phi respects lattice meets/joins" (fun () ->
+        Relaxation.check_lattice_shape
+          (Instances.pq_lattice ~alphabet ())
+          ~alphabet ~depth
+        = []);
+    equivalence_claim ~id:"pq/eta-prime-top" ~paper:"Section 3.3 (eta')"
+      "L(QCA(PQ,{Q1,Q2},eta')) = L(PQ) (eta' agrees at the top)"
+      (fun () -> (qca' q1_q2 (), Pqueue.automaton))
+      ~alphabet ~depth;
+    equivalence_claim ~id:"pq/eta-prime-dpq" ~kind:Characterization
+      ~paper:"Section 3.3 (eta')"
+      "L(QCA(PQ,{Q2},eta')) = L(DPQ) (our characterization)"
+      (fun () -> (qca' Instances.q2 (), Dpq.automaton))
+      ~alphabet ~depth;
+    bool_claim ~id:"pq/eta-prime-incomparable" ~kind:Characterization
+      ~paper:"Section 3.3 (eta')"
+      "eta and eta' relax differently at {Q2} (incomparable languages)"
+      (fun () ->
+        let a = qca' Instances.q2 () and b = qca Instances.q2 () in
+        (not (Language.included_bool a b ~alphabet ~depth))
+        || not (Language.included_bool b a ~alphabet ~depth));
   ]
 
-(* {Q1,Q2} is a serial dependency relation for PQ (one-copy
-   serializability at the top of the lattice), and it is minimal: neither
-   Q1 nor Q2 alone suffices.  The proof of Theorem 4 additionally relies
-   on the lemma that Q1 alone IS a serial dependency relation for MPQ
-   (hence L(QCA(MPQ,Q1)) = L(MPQ)); both the lemma and its consequence —
-   via the delta*-based QCA(A,Q) of Section 3.2, no evaluation function —
-   are checked. *)
-let serial_dependency ~alphabet ~depth =
-  let sd a rel = Serial.is_serial_dependency a rel ~alphabet ~depth in
-  let qca_mpq_q1 =
-    Qca.automaton_views ~alphabet
-      (Qca.spec_of_automaton Mpq.automaton)
-      Instances.q1
-  in
-  [
-    {
-      name = "{Q1,Q2} is a serial dependency relation for PQ";
-      ok = sd Pqueue.automaton q1_q2;
-      detail = "";
-    };
-    {
-      name = "{Q1} alone is NOT a serial dependency relation";
-      ok = not (sd Pqueue.automaton Instances.q1);
-      detail = "";
-    };
-    {
-      name = "{Q2} alone is NOT a serial dependency relation";
-      ok = not (sd Pqueue.automaton Instances.q2);
-      detail = "";
-    };
-    {
-      name = "Theorem 4 lemma: {Q1} IS a serial dependency relation for MPQ";
-      ok = sd Mpq.automaton Instances.q1;
-      detail = "";
-    };
-    equivalence "hence L(QCA(MPQ,{Q1})) = L(MPQ) (delta*-based QCA)"
-      qca_mpq_q1 Mpq.automaton ~alphabet ~depth:(min depth 4);
-  ]
-
-(* Monotonicity and lattice shape of {QCA(PQ,Q,eta) | Q ⊆ {Q1,Q2}}. *)
-let lattice_structure ~alphabet ~depth =
-  let lattice = Instances.pq_lattice ~alphabet () in
-  let monotone = Relaxation.check_monotone lattice ~alphabet ~depth in
-  let shape = Relaxation.check_lattice_shape lattice ~alphabet ~depth in
-  [
-    {
-      name = "relaxation lattice is monotone (stronger => smaller language)";
-      ok = monotone = [];
-      detail =
-        (match monotone with
-        | [] -> ""
-        | v :: _ -> Fmt.str "%a" Relaxation.pp_violation v);
-    };
-    {
-      name = "phi respects lattice meets/joins";
-      ok = shape = [];
-      detail = "";
-    };
-  ]
-
-(* The eta' variant (Section 3.3's closing remark): the Q2 point never
-   services requests out of order but may ignore requests.  We go further
-   than the paper and characterize that point exactly as the dropping
-   priority queue DPQ (see Dpq), checked by bounded language equality,
-   plus the expected top-collapse and the strictness of the trade. *)
-let eta_prime ~alphabet ~depth =
-  let qca' rel = Qca.automaton_views ~alphabet Instances.pq_spec_eta' rel in
-  let qca = Qca.automaton_views ~alphabet Instances.pq_spec_eta Instances.q2 in
-  let incomparable =
-    (not (Language.included_bool (qca' Instances.q2) qca ~alphabet ~depth))
-    || not (Language.included_bool qca (qca' Instances.q2) ~alphabet ~depth)
-  in
-  equivalence "L(QCA(PQ,{Q1,Q2},eta')) = L(PQ) (eta' agrees at the top)"
-    (qca' q1_q2) Pqueue.automaton ~alphabet ~depth
-  :: equivalence "L(QCA(PQ,{Q2},eta')) = L(DPQ) (our characterization)"
-       (qca' Instances.q2) Dpq.automaton ~alphabet ~depth
-  :: [
-       {
-         name =
-           "eta and eta' relax differently at {Q2} (incomparable languages)";
-         ok = incomparable;
-         detail = "";
-       };
-     ]
-
-let all ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5) ()
-    =
-  lattice_points ~alphabet ~depth
-  @ serial_dependency ~alphabet ~depth
-  @ lattice_structure ~alphabet ~depth
-  @ eta_prime ~alphabet ~depth
+let group ?alphabet ?depth () =
+  {
+    Relax_claims.Registry.gid = "pq";
+    title = "Section 3.3 replicated priority-queue lattice (incl. Theorem 4)";
+    header = "== Section 3.3: replicated priority queue lattice ==\n";
+    claims = claims ?alphabet ?depth ();
+  }
 
 let run ?alphabet ?depth ppf () =
-  let checks = all ?alphabet ?depth () in
-  Fmt.pf ppf "== Section 3.3: replicated priority queue lattice ==@\n";
-  List.iter (fun c -> Fmt.pf ppf "%a@\n" pp_check c) checks;
-  List.for_all (fun c -> c.ok) checks
+  Relax_claims.Engine.run_print (group ?alphabet ?depth ()) ppf

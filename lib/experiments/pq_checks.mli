@@ -3,24 +3,59 @@ open Relax_core
 (** Experiments T4 / C3-O / C3-D / L3-3 / C3-eta' of EXPERIMENTS.md:
     mechanized checks of every Section 3.3 claim about the replicated
     priority queue lattice, including Theorem 4 and our DPQ
-    characterization of the [eta'] variant. *)
+    characterization of the [eta'] variant — as claims under ["pq/"].
+
+    This module also hosts the check-record type and the claim
+    constructors shared by the other language-level check modules. *)
 
 type check = { name : string; ok : bool; detail : string }
 
 val pp_check : check Fmt.t
 
-(** Bounded language equivalence packaged as a named check. *)
-val equivalence :
+(** A verdict whose human rendering is the legacy [pp_check] line. *)
+val verdict_of_check : ?counterexample:string -> check -> Relax_claims.Verdict.t
+
+(** A claim decided by a thunk returning a check and an optional rendered
+    separating history. *)
+val check_claim :
+  id:string ->
+  kind:Relax_claims.Claim.kind ->
+  paper:string ->
+  description:string ->
+  (unit -> check * string option) ->
+  Relax_claims.Claim.t
+
+(** A claim decided by a bare boolean thunk; the string names it. *)
+val bool_claim :
+  id:string ->
+  kind:Relax_claims.Claim.kind ->
+  paper:string ->
   string ->
-  'v Automaton.t ->
-  'w Automaton.t ->
+  (unit -> bool) ->
+  Relax_claims.Claim.t
+
+(** A bounded language-equivalence claim; the thunk builds both automata
+    inside the claim.  [kind] defaults to [Equivalence]. *)
+val equivalence_claim :
+  id:string ->
+  ?kind:Relax_claims.Claim.kind ->
+  paper:string ->
+  string ->
+  (unit -> 'v Automaton.t * 'w Automaton.t) ->
   alphabet:Language.alphabet ->
   depth:int ->
-  check
+  Relax_claims.Claim.t
 
-(** All checks; defaults: universe {1,2}, depth 5. *)
-val all : ?alphabet:Language.alphabet -> ?depth:int -> unit -> check list
+(** All claims; defaults: universe {1,2}, depth 5. *)
+val claims :
+  ?alphabet:Language.alphabet -> ?depth:int -> unit -> Relax_claims.Claim.t list
 
-(** Print every check; [true] when all pass. *)
+val group :
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  unit ->
+  Relax_claims.Registry.group
+
+(** Check and print every claim; [true] when all pass. *)
 val run :
   ?alphabet:Language.alphabet -> ?depth:int -> Format.formatter -> unit -> bool

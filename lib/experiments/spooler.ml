@@ -74,9 +74,8 @@ let sweep ?(ks = [ 1; 2; 3; 4 ]) ?(seeds = [ 5; 6; 7 ]) () =
         ks)
     [ Spool.Locking; Spool.Optimistic; Spool.Pessimistic ]
 
-let run ppf () =
+let run_body ppf =
   let outcomes = sweep () in
-  Fmt.pf ppf "== Section 4.2: print spooler under three policies ==@\n";
   List.iter (fun o -> Fmt.pf ppf "%a@\n" pp_outcome o) outcomes;
   let all_atomic = List.for_all (fun o -> o.atomic_predicted) outcomes in
   (* the trade-off signature: locking never reorders or duplicates but
@@ -98,3 +97,24 @@ let run ppf () =
   Fmt.pf ppf "optimistic never duplicates: %b@\n" optimistic_no_dup;
   Fmt.pf ppf "pessimistic never reorders: %b@\n" pessimistic_no_inv;
   all_atomic && locking_clean && optimistic_no_dup && pessimistic_no_inv
+
+let claims () =
+  [
+    Relax_claims.Claim.report ~id:"spooler/policies" ~kind:Characterization
+      ~paper:"Section 4.2 (printing service)"
+      ~description:
+        "each concurrency-control policy is atomic at its predicted lattice \
+         point with the predicted anomaly signature"
+      ~detail:"locking / optimistic / pessimistic, k = 1..4, 3 seeds"
+      (fun ppf -> run_body ppf);
+  ]
+
+let group () =
+  {
+    Relax_claims.Registry.gid = "spooler";
+    title = "Section 4.2 print spooler under three policies";
+    header = "== Section 4.2: print spooler under three policies ==\n";
+    claims = claims ();
+  }
+
+let run ppf () = Relax_claims.Engine.run_print (group ()) ppf

@@ -234,9 +234,30 @@ let run_point ?(params = default_params) point =
 let run_all ?(params = default_params) () =
   List.map (run_point ~params) (points ~n:params.sites)
 
-let run ?params ppf () =
+let run_body ?params ppf =
   let outcomes = run_all ?params () in
-  Fmt.pf ppf
-    "== Section 3.3: taxi dispatch on the replica runtime (crashes injected) ==@\n";
   List.iter (fun o -> Fmt.pf ppf "%a@\n" pp_outcome o) outcomes;
   List.for_all (fun o -> o.history_ok) outcomes
+
+let claims ?params () =
+  [
+    Relax_claims.Claim.report ~id:"taxi/degradation" ~kind:Characterization
+      ~paper:"Section 3.3 (taxicab example)"
+      ~description:
+        "each lattice point's completed history matches its predicted \
+         behavior under injected crashes"
+      ~detail:"replica runtime, 4 quorum assignments under one fault trace"
+      (run_body ?params);
+  ]
+
+let group ?params () =
+  {
+    Relax_claims.Registry.gid = "taxi";
+    title = "Section 3.3 taxi dispatch on the replica runtime";
+    header =
+      "== Section 3.3: taxi dispatch on the replica runtime (crashes \
+       injected) ==\n";
+    claims = claims ?params ();
+  }
+
+let run ?params ppf () = Relax_claims.Engine.run_print (group ?params ()) ppf

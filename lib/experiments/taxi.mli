@@ -54,5 +54,8 @@ val run_point : ?params:params -> point -> outcome
 (** All four points under the same fault trace. *)
 val run_all : ?params:params -> unit -> outcome list
 
+val claims : ?params:params -> unit -> Relax_claims.Claim.t list
+val group : ?params:params -> unit -> Relax_claims.Registry.group
+
 (** Print the table; [true] when every history matches its prediction. *)
 val run : ?params:params -> Format.formatter -> unit -> bool

@@ -153,6 +153,31 @@ let views_pairs =
       (hist Instances.account_spec Instances.a2);
   ]
 
+(* The memoized checker decides inclusion on the product state-set graph
+   and only falls back to enumeration to reconstruct a witness; that
+   witness — and its rendering — must be byte-identical to what the pure
+   enumeration checker reports. *)
+let witness_pairs =
+  let witness name a b =
+    Alcotest.test_case name `Quick (fun () ->
+        let depth = 5 in
+        let fast = Language.included a b ~alphabet:queue_alphabet ~depth
+        and slow = Language.included_enum a b ~alphabet:queue_alphabet ~depth in
+        match (fast, slow) with
+        | Error cf, Error cs ->
+          Alcotest.(check string)
+            (name ^ ": rendered witness identical")
+            (Fmt.str "%a" Language.pp_counterexample cs)
+            (Fmt.str "%a" Language.pp_counterexample cf)
+        | _ -> Alcotest.fail (name ^ ": expected a failing inclusion"))
+  in
+  [
+    witness "MPQ not below PQ" Mpq.automaton Pqueue.automaton;
+    witness "Bag not below FIFO" Bag.automaton Fifo.automaton;
+    witness "Semiqueue_2 not below Semiqueue_1" (Semiqueue.automaton 2)
+      (Semiqueue.automaton 1);
+  ]
+
 let () =
   Alcotest.run "language_fast"
     [
@@ -161,4 +186,5 @@ let () =
       ("collapses", collapse_pairs);
       ("account", account_pairs);
       ("views", views_pairs);
+      ("witness-fallback", witness_pairs);
     ]
