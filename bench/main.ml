@@ -233,6 +233,79 @@ let bench_extensions =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* X-chaos: the chaos engine                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos_x = Relax_experiments.Chaos_scenarios
+
+let chaos_trace =
+  match
+    Chaos_x.make_trace ~point:"top" ~nemeses:Chaos_x.default_nemeses
+      ~config:Relax_chaos.Runner.default_config
+  with
+  | Ok t -> t
+  | Error e -> failwith e
+
+(* One completed history plus its point's acceptance predicate, so the
+   oracle can be timed in isolation from the simulation that fed it. *)
+let chaos_history, chaos_accepts =
+  match (Chaos_x.run_trace chaos_trace, Chaos_x.find "top") with
+  | Ok (result, _), Ok scenario ->
+      (result.Relax_chaos.Runner.history, scenario.Chaos_x.accepts)
+  | Error e, _ | _, Error e -> failwith e
+
+let bench_chaos =
+  [
+    Test.make ~name:"chaos/nemesis-schedule (X-chaos)"
+      (Staged.stage (fun () ->
+           ignore
+             (Chaos_x.make_trace ~point:"top" ~nemeses:Chaos_x.default_nemeses
+                ~config:Relax_chaos.Runner.default_config)));
+    Test.make ~name:"chaos/single-run+oracle (X-chaos)"
+      (Staged.stage (fun () -> ignore (Chaos_x.run_trace chaos_trace)));
+    Test.make ~name:"chaos/oracle-check (X-chaos)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_chaos.Oracle.check ~accepts:chaos_accepts chaos_history)));
+    Test.make ~name:"chaos/trace-roundtrip (X-chaos)"
+      (Staged.stage (fun () ->
+           ignore
+             (Relax_chaos.Trace.of_string
+                (Relax_chaos.Trace.to_string chaos_trace))));
+  ]
+
+(* The CI sweep (`rlx chaos run --runs 200 --seed 42`), once, with the
+   oracle's share re-measured over the recorded histories: too coarse
+   for OLS, so it is reported as plain wall-clock. *)
+let print_chaos_sweep () =
+  Fmt.pr "@.== chaos sweep (200 runs, seed 42 — the CI job) ==@.";
+  let t0 = Unix.gettimeofday () in
+  match
+    Chaos_x.sweep ~runs:200 ~seed:42 ~nemeses:Chaos_x.default_nemeses
+      ~points:Chaos_x.names ()
+  with
+  | Error e -> Fmt.pr "sweep error: %s@." e
+  | Ok report ->
+      let wall = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      List.iter
+        (fun (r : Chaos_x.run_report) ->
+          match Chaos_x.find r.Chaos_x.trace.Relax_chaos.Trace.point with
+          | Ok s ->
+              ignore
+                (Relax_chaos.Oracle.check ~accepts:s.Chaos_x.accepts
+                   r.Chaos_x.result.Relax_chaos.Runner.history)
+          | Error e -> failwith e)
+        report.Chaos_x.reports;
+      let oracle = Unix.gettimeofday () -. t1 in
+      Fmt.pr "chaos/run-200 wall-clock %8.1f ms  (%d runs, %d violations)@."
+        (wall *. 1000.)
+        (List.length report.Chaos_x.reports)
+        (List.length report.Chaos_x.violations);
+      Fmt.pr "chaos/oracle-200         %8.1f ms  (conformance checks alone)@."
+        (oracle *. 1000.)
+
+(* ------------------------------------------------------------------ *)
 (* Claim registry                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -282,7 +355,7 @@ let print_claim_stats () =
 let all_tests =
   Test.make_grouped ~name:"relax"
     (bench_larch @ bench_conformance @ bench_core @ bench_prob @ bench_sim
-   @ bench_extensions @ bench_claims)
+   @ bench_extensions @ bench_chaos @ bench_claims)
 
 let benchmark () =
   let ols =
@@ -312,5 +385,6 @@ let () =
       | Some [ est ] -> Fmt.pr "%-55s %14.1f ns/run@." name est
       | Some _ | None -> Fmt.pr "%-55s %14s@." name "n/a")
     rows;
+  print_chaos_sweep ();
   print_claim_stats ();
   Fmt.pr "@.done: %d benchmarks@." (List.length rows)

@@ -17,6 +17,13 @@
      rlx simulate amnesia   stable storage as a load-bearing assumption
      rlx simulate atm     the bank-account case study
      rlx simulate spooler the print-spooler case study
+     rlx simulate ... --seed S   reseed any simulation's fault trace
+     rlx chaos run --runs N --seed S --nemesis LIST
+                          searched lattice conformance under composed
+                          fault injection; violations shrink to minimal
+                          replayable traces
+     rlx chaos replay FILE  deterministically replay a recorded trace
+     rlx chaos list       the known lattice points and nemeses
      rlx availability     availability of every lattice point
      rlx compare PQ MPQ   Section 5's comparison of specifications
      rlx trait ...        inspect/normalize the standard traits
@@ -117,14 +124,40 @@ let run_figure which =
       other;
     2
 
-let run_simulate which =
+(* Every simulation accepts --seed: the experiments default to their
+   historical seeds, so a bare `rlx simulate X` is byte-stable, while
+   --seed reseeds the whole fault trace (amnesia and spooler sweep a
+   window of consecutive seeds starting at the given one). *)
+let run_simulate which seed =
   match which with
-  | "taxi" -> exit_of (Relax_experiments.Taxi.run out ())
-  | "partition" -> exit_of (Relax_experiments.Partition.run out ())
-  | "adaptive" -> exit_of (Relax_experiments.Adaptive.run out ())
-  | "amnesia" -> exit_of (Relax_experiments.Amnesia.run out ())
-  | "atm" -> exit_of (Relax_experiments.Atm.run out ())
-  | "spooler" -> exit_of (Relax_experiments.Spooler.run out ())
+  | "taxi" ->
+    let params =
+      Option.map
+        (fun seed -> { Relax_experiments.Taxi.default_params with seed })
+        seed
+    in
+    exit_of (Relax_experiments.Taxi.run ?params out ())
+  | "partition" -> exit_of (Relax_experiments.Partition.run ?seed out ())
+  | "adaptive" ->
+    let params =
+      Option.map
+        (fun seed -> { Relax_experiments.Adaptive.default_params with seed })
+        seed
+    in
+    exit_of (Relax_experiments.Adaptive.run ?params out ())
+  | "amnesia" ->
+    let seeds = Option.map (fun s -> List.init 5 (fun i -> s + i)) seed in
+    exit_of (Relax_experiments.Amnesia.run ?seeds out ())
+  | "atm" ->
+    let params =
+      Option.map
+        (fun seed -> { Relax_experiments.Atm.default_params with seed })
+        seed
+    in
+    exit_of (Relax_experiments.Atm.run ?params out ())
+  | "spooler" ->
+    let seeds = Option.map (fun s -> List.init 3 (fun i -> s + i)) seed in
+    exit_of (Relax_experiments.Spooler.run ?seeds out ())
   | other ->
     Fmt.epr "unknown simulation %S (expected taxi | partition | adaptive | amnesia | atm | spooler)@." other;
     2
@@ -207,12 +240,175 @@ let figure_cmd =
   in
   Cmd.v (Cmd.info "figure" ~doc) Term.(const run_figure $ what_arg ~doc)
 
+let seed_arg =
+  let doc =
+    "Seed for the simulation's random streams (fault trace, workload, \
+     latencies).  Defaults to the experiment's historical seed, so runs \
+     without $(opt) are byte-stable."
+  in
+  Arg.(value & opt (some int) None & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
 let simulate_cmd =
   let doc =
     "Run a case-study simulation (taxi | partition | adaptive | amnesia | \
      atm | spooler)."
   in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run_simulate $ what_arg ~doc)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run_simulate $ what_arg ~doc $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rlx chaos                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let module_sep_list = Arg.list Arg.string
+
+let run_chaos_run runs seed nemeses points jobs no_shrink trace_prefix =
+  apply_jobs jobs;
+  let module X = Relax_experiments.Chaos_scenarios in
+  let nemeses =
+    if nemeses = [] then X.default_nemeses else nemeses
+  in
+  let points = if points = [] then X.names else points in
+  match
+    X.sweep ?jobs ~shrink:(not no_shrink) ~runs ~seed ~nemeses ~points ()
+  with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    2
+  | Ok report ->
+    Fmt.pr "== chaos: %d runs, seed %d, nemeses %s ==@\n" runs seed
+      (String.concat "," nemeses);
+    Fmt.pr "%a" X.pp_summary report;
+    List.iter
+      (fun (v : X.violation) ->
+        let path = Fmt.str "%s-%d.trace" trace_prefix v.report.X.index in
+        Relax_chaos.Trace.save path v.shrunk;
+        Fmt.pr "shrunken trace written to %s (replay with 'rlx chaos replay \
+                %s')@\n"
+          path path)
+      report.X.violations;
+    Fmt.pr "conformance: %d/%d runs in their predicted language@."
+      (List.length report.X.reports - List.length report.X.violations)
+      (List.length report.X.reports);
+    exit_of (report.X.violations = [])
+
+let run_chaos_replay file verbose =
+  let module X = Relax_experiments.Chaos_scenarios in
+  match Relax_chaos.Trace.load file with
+  | exception Sys_error e ->
+    Fmt.epr "cannot read trace: %s@." e;
+    2
+  | exception Relax_chaos.Sexp.Parse_error e ->
+    Fmt.epr "malformed trace %s: %s@." file e;
+    2
+  | trace -> (
+    match X.run_trace trace with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      2
+    | Ok (result, verdict) ->
+      if verbose then Fmt.pr "%a@\n" Relax_chaos.Trace.pp trace;
+      Fmt.pr "point %s, seed %d: %d completed, %d unavailable, %d retries, \
+              %d mode switches@\n"
+        trace.Relax_chaos.Trace.point
+        trace.Relax_chaos.Trace.config.Relax_chaos.Runner.seed result.Relax_chaos.Runner.completed
+        result.Relax_chaos.Runner.unavailable
+        result.Relax_chaos.Runner.retries_used
+        result.Relax_chaos.Runner.mode_switches;
+      Fmt.pr "digest: %s@\n" (Digest.to_hex (Digest.string result.Relax_chaos.Runner.digest));
+      Fmt.pr "%a@." Relax_chaos.Oracle.pp verdict;
+      exit_of (Relax_chaos.Oracle.conforms verdict))
+
+let run_chaos_list () =
+  let module X = Relax_experiments.Chaos_scenarios in
+  Fmt.pr "lattice points:@\n";
+  List.iter
+    (fun (s : X.scenario) -> Fmt.pr "  %-10s %s@\n" s.X.name s.X.description)
+    X.all;
+  Fmt.pr "nemeses:@\n";
+  List.iter
+    (fun (name, descr) -> Fmt.pr "  %-10s %s@\n" name descr)
+    Relax_chaos.Nemesis.known;
+  Fmt.pr "default mix: %s@." (String.concat "," X.default_nemeses);
+  0
+
+let chaos_cmd =
+  let runs_arg =
+    let doc = "Number of seeded runs (run $(i,i) uses seed $(i,SEED+i))." in
+    Arg.(value & opt int 50 & info [ "runs"; "n" ] ~docv:"N" ~doc)
+  in
+  let chaos_seed_arg =
+    let doc = "Root seed of the sweep." in
+    Arg.(
+      value
+      & opt int Relax_sim.Engine.default_seed
+      & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+  in
+  let nemesis_arg =
+    let doc =
+      "Comma-separated nemesis mix (crash | partition | drop | delay | dup \
+       | skew | rejoin | amnesia; see $(b,rlx chaos list)).  Defaults to \
+       every assumption-preserving nemesis — amnesia is opt-in because it \
+       deliberately violates the stable-storage assumption and SHOULD \
+       produce violations."
+    in
+    Arg.(value & opt module_sep_list [] & info [ "nemesis" ] ~docv:"LIST" ~doc)
+  in
+  let points_arg =
+    let doc =
+      "Comma-separated lattice points to cycle over (top | q1 | q2 | bottom \
+       | adaptive).  Defaults to all."
+    in
+    Arg.(value & opt module_sep_list [] & info [ "points" ] ~docv:"LIST" ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Report violations without shrinking them." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let trace_prefix_arg =
+    let doc = "Filename prefix for shrunken violation traces." in
+    Arg.(
+      value & opt string "chaos-violation"
+      & info [ "trace-prefix" ] ~docv:"PREFIX" ~doc)
+  in
+  let run_cmd =
+    let doc =
+      "Run seeded chaos sweeps: generate a nemesis fault schedule per run, \
+       execute it on the replica runtime, and check every completed \
+       history against its lattice point's predicted language.  Any \
+       violation is shrunk to a 1-minimal replayable trace and saved."
+    in
+    Cmd.v (Cmd.info "run" ~doc)
+      Term.(
+        const run_chaos_run $ runs_arg $ chaos_seed_arg $ nemesis_arg
+        $ points_arg $ jobs_arg $ no_shrink_arg $ trace_prefix_arg)
+  in
+  let replay_cmd =
+    let doc =
+      "Replay a recorded fault trace bit-for-bit and re-judge its history \
+       against the conformance oracle."
+    in
+    let file_arg =
+      Arg.(
+        required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    in
+    let verbose_arg =
+      let doc = "Also print the trace's fault schedule." in
+      Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+    in
+    Cmd.v (Cmd.info "replay" ~doc)
+      Term.(const run_chaos_replay $ file_arg $ verbose_arg)
+  in
+  let list_cmd =
+    let doc = "List the known lattice points and nemeses." in
+    Cmd.v (Cmd.info "list" ~doc) Term.(const run_chaos_list $ const ())
+  in
+  let doc =
+    "Deterministic chaos engine: composable fault injection with trace \
+     record/replay, a lattice-conformance oracle, and counterexample \
+     shrinking."
+  in
+  Cmd.group (Cmd.info "chaos" ~doc) [ run_cmd; replay_cmd; list_cmd ]
 
 let availability_cmd =
   let doc = "Availability of every lattice point (exact + Monte Carlo)." in
@@ -364,8 +560,8 @@ let main =
   Cmd.group
     (Cmd.info "rlx" ~version:"1.0.0" ~doc)
     [
-      check_cmd; figure_cmd; simulate_cmd; availability_cmd; lattice_cmd;
-      trait_cmd; compare_cmd; behaviors_cmd;
+      check_cmd; figure_cmd; simulate_cmd; chaos_cmd; availability_cmd;
+      lattice_cmd; trait_cmd; compare_cmd; behaviors_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

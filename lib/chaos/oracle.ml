@@ -1,0 +1,41 @@
+(* The conformance oracle: is the completed history of a chaos run in
+   the language of the behavior its lattice point predicts?
+
+   The oracle is parameterized by an acceptance predicate — for a fixed
+   lattice point, phi(C)'s automaton; for the adaptive scenario, the
+   Section 2.3 combined environment+object automaton over the history
+   with its interleaved Degrade/Restore events.  On rejection it
+   localizes the failure to the shortest rejected prefix, which is what
+   a human (and the shrinker's reporting) wants to look at. *)
+
+open Relax_core
+
+type verdict =
+  | Conforms
+  | Violation of { history : History.t; rejected_prefix : History.t }
+
+let check ~accepts history =
+  if accepts history then Conforms
+  else
+    let rejected_prefix =
+      match
+        List.find_opt
+          (fun prefix -> not (accepts prefix))
+          (History.prefixes history)
+      with
+      | Some p -> p
+      | None -> history
+    in
+    Violation { history; rejected_prefix }
+
+let conforms = function Conforms -> true | Violation _ -> false
+
+let pp ppf = function
+  | Conforms -> Fmt.string ppf "conforms"
+  | Violation { history; rejected_prefix } ->
+    Fmt.pf ppf
+      "@[<v>VIOLATION: history of %d operations rejected;@ shortest rejected \
+       prefix (%d ops): %a@]"
+      (List.length history)
+      (List.length rejected_prefix)
+      History.pp rejected_prefix

@@ -1,0 +1,17 @@
+(** The lattice-conformance oracle.
+
+    Checks a completed history against the language of the behavior its
+    lattice point predicts — the acceptance predicate is phi(C)'s
+    automaton for a fixed point, or the Section 2.3 combined automaton
+    for the adaptive scenario.  Violations localize to the shortest
+    rejected prefix. *)
+
+open Relax_core
+
+type verdict =
+  | Conforms
+  | Violation of { history : History.t; rejected_prefix : History.t }
+
+val check : accepts:(History.t -> bool) -> History.t -> verdict
+val conforms : verdict -> bool
+val pp : verdict Fmt.t

@@ -1,0 +1,228 @@
+(* The chaos run engine: one seeded workload over the replica runtime
+   under a pre-generated fault schedule.
+
+   The runner is deliberately generic — it knows nothing about lattice
+   points or predicted behaviors.  A scenario (lib/experiments wires
+   them) supplies the client: either a fixed quorum assignment, or an
+   adaptive client that moves between the preferred and degraded modes
+   of the Section 2.3 combined automaton, emitting Degrade/Restore
+   events into the history.  The caller then judges the returned history
+   with {!Oracle.check}.
+
+   Everything observable is deterministic in (config, events): the
+   engine, network and replica draw from streams derived from
+   [config.seed], the workload from [config.seed + 77], and the fault
+   schedule is data.  The [digest] field condenses the run into a
+   canonical string so replay equivalence is a string compare. *)
+
+open Relax_core
+open Relax_objects
+open Relax_quorum
+open Relax_replica
+
+type config = {
+  sites : int;
+  requests : int;
+  mean_latency : float;
+  timeout : float;
+  retries : int;
+  gossip_every : int;  (* anti-entropy cadence, in operations *)
+  op_window : float;  (* engine time budgeted per operation *)
+  seed : int;
+}
+
+let default_config =
+  {
+    sites = 5;
+    requests = 24;
+    mean_latency = 3.0;
+    timeout = 80.0;
+    retries = 2;
+    gossip_every = 5;
+    op_window = 400.0;
+    seed = Relax_sim.Engine.default_seed;
+  }
+
+(* Enough engine time for every operation window plus reconvergence and
+   the final drain — nemesis schedules are generated out to here. *)
+let horizon config = float_of_int ((2 * config.requests) + 4) *. config.op_window
+
+type client =
+  | Fixed of Assignment.t
+  | Adaptive of { assignment : Assignment.t; degrade : Op.t; restore : Op.t }
+
+type result = {
+  history : History.t;
+  completed : int;
+  unavailable : int;
+  empty_views : int;
+  mode_switches : int;
+  attempts : int;
+  retries_used : int;
+  metrics : Relax_sim.Metrics.t;
+  digest : string;
+}
+
+(* An Unavailable whose reason starts with "no" is a successful read of
+   an empty view, not a quorum failure (same convention as X-deg). *)
+let is_empty_view reason =
+  String.length reason >= 2 && reason.[0] = 'n' && reason.[1] = 'o'
+
+let run ?(config = default_config) ~client ~respond events =
+  let engine = Relax_sim.Engine.create ~seed:config.seed () in
+  let net =
+    Relax_sim.Network.create ~mean_latency:config.mean_latency engine
+      ~sites:config.sites
+  in
+  let metrics = Relax_sim.Metrics.create () in
+  let assignment =
+    match client with Fixed a -> a | Adaptive { assignment; _ } -> assignment
+  in
+  let replica =
+    Replica.create ~timeout:config.timeout ~retries:config.retries ~metrics
+      engine net assignment ~respond
+  in
+  Fault.install ~replica engine net events;
+  let rng = Relax_sim.Rng.create ~seed:(config.seed + 77) in
+  (* Distinct shuffled priorities; each enqueue is followed by a dequeue
+     with probability 0.7 (the X-deg workload). *)
+  let ops =
+    let priorities = Array.init config.requests (fun i -> i + 1) in
+    Relax_sim.Rng.shuffle rng priorities;
+    let acc = ref [] in
+    Array.iter
+      (fun prio ->
+        acc := `Enq prio :: !acc;
+        if Relax_sim.Rng.bool rng 0.7 then acc := `Deq :: !acc)
+      priorities;
+    List.rev !acc
+  in
+  let completed_ops = ref 0
+  and unavailable = ref 0
+  and empty_views = ref 0
+  and switches = ref 0 in
+  let degraded = ref false in
+  let adaptive_history = ref [] in
+  let emit p = adaptive_history := p :: !adaptive_history in
+  let set_mode d =
+    match client with
+    | Fixed _ -> ()
+    | Adaptive { degrade; restore; _ } ->
+      if d <> !degraded then begin
+        degraded := d;
+        incr switches;
+        emit (if d then degrade else restore)
+      end
+  in
+  let maj = (config.sites / 2) + 1 in
+  let synced () =
+    let global = Replica.global_log replica in
+    List.for_all
+      (fun s -> Log.equal (Replica.site_log replica s) global)
+      (Relax_sim.Network.up_sites net)
+  in
+  let reconverge () =
+    let rec go n =
+      if n > 0 && not (synced ()) then begin
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 300.0)
+          engine;
+        go (n - 1)
+      end
+    in
+    go 5
+  in
+  (* Adaptive mode selection before each operation: strict needs a
+     majority up AND reconverged logs (a stale rejoiner silently breaks
+     the intersection guarantee until anti-entropy catches it up). *)
+  let select_mode () =
+    if Relax_sim.Network.up_count net >= maj then begin
+      if not (synced ()) then reconverge ();
+      if synced () && Relax_sim.Network.up_count net >= maj then set_mode false
+      else set_mode true
+    end
+    else set_mode true
+  in
+  let ops_since_gossip = ref 0 in
+  let run_op op =
+    incr ops_since_gossip;
+    if !ops_since_gossip >= config.gossip_every then begin
+      ops_since_gossip := 0;
+      Replica.gossip replica
+    end;
+    (match client with Adaptive _ -> select_mode () | Fixed _ -> ());
+    match Relax_sim.Network.up_sites net with
+    | [] ->
+      (* a shrunken schedule may have dropped every Recover: nobody to
+         talk to, but time must still pass so later faults fire *)
+      incr unavailable;
+      set_mode true;
+      Relax_sim.Engine.run
+        ~until:(Relax_sim.Engine.now engine +. config.op_window)
+        engine
+    | up ->
+      let client_site = Relax_sim.Rng.pick rng up in
+      let inv =
+        match op with
+        | `Enq prio -> Op.inv Queue_ops.enq_name ~args:[ Value.int prio ]
+        | `Deq -> Op.inv Queue_ops.deq_name
+      in
+      let outcome = ref None in
+      Replica.execute replica ~client_site inv (fun r -> outcome := Some r);
+      Relax_sim.Engine.run
+        ~until:(Relax_sim.Engine.now engine +. config.op_window)
+        engine;
+      (match !outcome with
+      | Some (Replica.Completed (p, _)) ->
+        incr completed_ops;
+        (match client with
+        | Adaptive _ ->
+          emit p;
+          if not !degraded then begin
+            (* keep the strict-mode invariant for the next operation *)
+            reconverge ();
+            if not (synced ()) then set_mode true
+          end
+        | Fixed _ -> ())
+      | Some (Replica.Unavailable reason) ->
+        if is_empty_view reason then incr empty_views else incr unavailable;
+        set_mode true
+      | None ->
+        incr unavailable;
+        set_mode true)
+  in
+  List.iter run_op ops;
+  (* drain background propagation *)
+  Replica.gossip replica;
+  Relax_sim.Engine.run
+    ~until:(Relax_sim.Engine.now engine +. config.op_window)
+    engine;
+  let history =
+    match client with
+    | Fixed _ -> Replica.completed_history replica
+    | Adaptive _ -> List.rev !adaptive_history
+  in
+  let sent, delivered, dropped = Relax_sim.Network.stats net in
+  let digest =
+    Fmt.str
+      "completed=%d unavailable=%d empty=%d switches=%d attempts=%d \
+       retries=%d net=%d/%d/%d+%d history=%a"
+      !completed_ops !unavailable !empty_views !switches
+      (Replica.attempts_total replica)
+      (Replica.retries_total replica)
+      sent delivered dropped
+      (Relax_sim.Network.duplicated net)
+      History.pp history
+  in
+  {
+    history;
+    completed = !completed_ops;
+    unavailable = !unavailable;
+    empty_views = !empty_views;
+    mode_switches = !switches;
+    attempts = Replica.attempts_total replica;
+    retries_used = Replica.retries_total replica;
+    metrics;
+    digest;
+  }

@@ -1,0 +1,58 @@
+(** The chaos run engine: one seeded workload over the replica runtime
+    under a pre-generated fault schedule.
+
+    The runner is scenario-agnostic: the caller supplies the client (a
+    fixed quorum assignment, or an adaptive client that emits
+    Degrade/Restore events as it moves between modes) and judges the
+    returned history with {!Oracle.check}.  Everything observable is
+    deterministic in [(config, events)]. *)
+
+open Relax_core
+open Relax_quorum
+
+type config = {
+  sites : int;
+  requests : int;
+  mean_latency : float;
+  timeout : float;
+  retries : int;
+  gossip_every : int;  (** anti-entropy cadence, in operations *)
+  op_window : float;  (** engine time budgeted per operation *)
+  seed : int;
+}
+
+val default_config : config
+
+(** The engine-time extent of a run — generate nemesis schedules out to
+    here. *)
+val horizon : config -> float
+
+type client =
+  | Fixed of Assignment.t
+  | Adaptive of { assignment : Assignment.t; degrade : Op.t; restore : Op.t }
+      (** runs relaxed thresholds; the client claims the preferred mode
+          only while a majority is up and the logs have reconverged,
+          recording mode changes as events in the history *)
+
+type result = {
+  history : History.t;
+      (** completed operations (with interleaved mode events for an
+          adaptive client), in completion order *)
+  completed : int;
+  unavailable : int;
+  empty_views : int;
+  mode_switches : int;
+  attempts : int;
+  retries_used : int;
+  metrics : Relax_sim.Metrics.t;
+  digest : string;
+      (** canonical condensation of the run — replay equivalence is
+          string equality of digests *)
+}
+
+val run :
+  ?config:config ->
+  client:client ->
+  respond:Relax_replica.Replica.response_chooser ->
+  Fault.event list ->
+  result

@@ -1,0 +1,175 @@
+(* Minimal canonical s-expressions for fault traces.
+
+   Traces must replay bit-for-bit, so the printer is canonical (one
+   space between siblings, floats printed with 17 significant digits —
+   enough to round-trip any double) and the reader accepts exactly what
+   the printer emits plus arbitrary whitespace, so hand-edited traces
+   still load. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let atom s = Atom s
+let int n = Atom (string_of_int n)
+
+(* %.17g round-trips every finite double through float_of_string. *)
+let float f = Atom (Printf.sprintf "%.17g" f)
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true
+         | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_buffer buf = function
+  | Atom s -> Buffer.add_string buf (if needs_quoting s then quote s else s)
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ' ';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+(* Recursive-descent reader. *)
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      while !pos < n && s.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let read_quoted () =
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some c -> Buffer.add_char buf c
+        | None -> raise (Parse_error "unterminated escape"));
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let read_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    if !pos = start then raise (Parse_error "empty atom");
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec read () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec items_loop () =
+        skip_ws ();
+        match peek () with
+        | None -> raise (Parse_error "unterminated list")
+        | Some ')' -> advance ()
+        | Some _ ->
+          items := read () :: !items;
+          items_loop ()
+      in
+      items_loop ();
+      List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' -> read_quoted ()
+    | Some _ -> read_atom ()
+  in
+  let t = read () in
+  skip_ws ();
+  if !pos <> n then raise (Parse_error "trailing garbage after s-expression");
+  t
+
+(* Field access over association-shaped lists: (name v1 v2 ...). *)
+let assoc name = function
+  | List items ->
+    List.find_map
+      (function
+        | List (Atom k :: rest) when String.equal k name -> Some rest
+        | _ -> None)
+      items
+  | Atom _ -> None
+
+let get_int name sx =
+  match assoc name sx with
+  | Some [ Atom v ] -> (
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> raise (Parse_error (name ^ ": not an integer")))
+  | _ -> raise (Parse_error ("missing field " ^ name))
+
+let get_float name sx =
+  match assoc name sx with
+  | Some [ Atom v ] -> (
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> raise (Parse_error (name ^ ": not a float")))
+  | _ -> raise (Parse_error ("missing field " ^ name))
+
+let get_atom name sx =
+  match assoc name sx with
+  | Some [ Atom v ] -> v
+  | _ -> raise (Parse_error ("missing field " ^ name))
+
+let get_list name sx =
+  match assoc name sx with
+  | Some items -> items
+  | None -> raise (Parse_error ("missing field " ^ name))

@@ -1,0 +1,31 @@
+(** Minimal canonical s-expressions for fault traces.
+
+    The printer is canonical (single spaces, floats with 17 significant
+    digits so every double round-trips); the reader additionally accepts
+    arbitrary whitespace and [;] line comments, so hand-edited traces
+    still load. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val atom : string -> t
+val int : int -> t
+val float : float -> t
+
+val to_string : t -> string
+
+(** Raises {!Parse_error} on malformed input. *)
+val of_string : string -> t
+
+(** {1 Field access}
+
+    Over association-shaped lists [((name v ...) ...)]; the [get_*]
+    accessors raise {!Parse_error} when the field is missing or
+    ill-typed. *)
+
+val assoc : string -> t -> t list option
+val get_int : string -> t -> int
+val get_float : string -> t -> float
+val get_atom : string -> t -> string
+val get_list : string -> t -> t list

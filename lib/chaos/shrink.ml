@@ -1,0 +1,104 @@
+(* Counterexample shrinking: reduce a violating fault schedule to a
+   1-minimal one, in the delta-debugging (ddmin) style.
+
+   The caller supplies [violates : event list -> bool] — typically
+   "replay the trace with this schedule substituted and check the
+   oracle" — which is deterministic, so shrinking is too.  [minimize]
+   runs ddmin, then halves the magnitudes of the knob faults that
+   survive (a drop window at p=0.25 may violate just as well at 0.125,
+   and the smaller number is the better story), then ddmin again in case
+   weakening made more events removable. *)
+
+(* Split [l] into [n] contiguous chunks, sizes as equal as possible. *)
+let chunk l n =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec go acc l i =
+    if i >= n then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let rec take k acc l =
+        if k = 0 then (List.rev acc, l)
+        else
+          match l with
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let c, rest = take size [] l in
+      go (c :: acc) rest (i + 1)
+  in
+  go [] l 0
+
+let remove_nth n l = List.concat (List.filteri (fun i _ -> i <> n) l)
+
+(* Classic ddmin.  The result still violates, and at exit granularity
+   n = length no single remaining event can be removed (1-minimality).
+   Counts probes into [probes]. *)
+let ddmin_counted ~probes ~violates events =
+  let test l =
+    incr probes;
+    violates l
+  in
+  if test [] then []
+  else
+    let rec go events n =
+      let len = List.length events in
+      if len <= 1 then events
+      else
+        let chunks = chunk events n in
+        match List.find_opt test chunks with
+        | Some c -> go c 2
+        | None -> (
+          let complements =
+            List.mapi (fun i _ -> remove_nth i chunks) chunks
+          in
+          match List.find_opt test complements with
+          | Some c -> go c (max (n - 1) 2)
+          | None -> if n < len then go events (min len (2 * n)) else events)
+    in
+    go events 2
+
+let ddmin ~violates events =
+  let probes = ref 0 in
+  let result = ddmin_counted ~probes ~violates events in
+  (result, !probes)
+
+(* Halve a knob fault's magnitude, down to a floor below which the fault
+   is as good as off. *)
+let weaken_action = function
+  | Fault.Drop p when p > 0.02 -> Some (Fault.Drop (p /. 2.0))
+  | Fault.Duplicate p when p > 0.02 -> Some (Fault.Duplicate (p /. 2.0))
+  | Fault.Delay d when d > 0.5 -> Some (Fault.Delay (d /. 2.0))
+  | Fault.Skew (s, d) when d > 0.5 -> Some (Fault.Skew (s, d /. 2.0))
+  | _ -> None
+
+(* Repeatedly halve surviving knob magnitudes while the schedule still
+   violates, to a fixpoint. *)
+let weaken_counted ~probes ~violates events =
+  let test l =
+    incr probes;
+    violates l
+  in
+  let arr = Array.of_list events in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i e ->
+        match weaken_action e.Fault.action with
+        | None -> ()
+        | Some action' ->
+          let old = arr.(i) in
+          arr.(i) <- { e with action = action' };
+          if test (Array.to_list arr) then changed := true
+          else arr.(i) <- old)
+      arr
+  done;
+  Array.to_list arr
+
+let minimize ~violates events =
+  let probes = ref 0 in
+  let reduced = ddmin_counted ~probes ~violates events in
+  let weakened = weaken_counted ~probes ~violates reduced in
+  let final = ddmin_counted ~probes ~violates weakened in
+  (final, !probes)

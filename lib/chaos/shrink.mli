@@ -1,0 +1,20 @@
+(** Delta-debugging counterexample shrinking over fault schedules.
+
+    [violates] must be deterministic (replay the run with the candidate
+    schedule and check the oracle); both functions return the shrunken
+    schedule — which still violates — together with the number of
+    probes ([violates] calls) spent. *)
+
+(** Classic ddmin: a 1-minimal violating sub-schedule — removing any
+    single remaining event stops the violation. *)
+val ddmin :
+  violates:(Fault.event list -> bool) ->
+  Fault.event list ->
+  Fault.event list * int
+
+(** ddmin, then halve the magnitudes of surviving knob faults (drop,
+    dup, delay, skew) to a fixpoint, then ddmin again. *)
+val minimize :
+  violates:(Fault.event list -> bool) ->
+  Fault.event list ->
+  Fault.event list * int

@@ -1,0 +1,98 @@
+(* Fault traces: the complete, self-contained record of one chaos run —
+   scenario name, runner configuration, the nemesis mix that generated
+   the schedule, and the schedule itself.
+
+   The serialized form is a canonical s-expression, so a trace written
+   by `rlx chaos run` replays bit-for-bit with `rlx chaos replay FILE`
+   (and survives hand editing: the reader tolerates whitespace and [;]
+   comments). *)
+
+type t = {
+  point : string;  (* scenario name, resolved by lib/experiments *)
+  nemeses : string list;
+  config : Runner.config;
+  events : Fault.event list;
+}
+
+let version = 1
+
+let to_sexp t =
+  let open Sexp in
+  List
+    [
+      atom "chaos-trace";
+      List [ atom "version"; int version ];
+      List [ atom "point"; atom t.point ];
+      List (atom "nemeses" :: List.map atom t.nemeses);
+      List [ atom "seed"; int t.config.Runner.seed ];
+      List [ atom "sites"; int t.config.Runner.sites ];
+      List [ atom "requests"; int t.config.Runner.requests ];
+      List [ atom "mean-latency"; float t.config.Runner.mean_latency ];
+      List [ atom "timeout"; float t.config.Runner.timeout ];
+      List [ atom "retries"; int t.config.Runner.retries ];
+      List [ atom "gossip-every"; int t.config.Runner.gossip_every ];
+      List [ atom "op-window"; float t.config.Runner.op_window ];
+      List (atom "events" :: List.map Fault.event_to_sexp t.events);
+    ]
+
+let of_sexp sx =
+  (match sx with
+  | Sexp.List (Sexp.Atom "chaos-trace" :: _) -> ()
+  | _ -> raise (Sexp.Parse_error "not a chaos-trace"));
+  let v = Sexp.get_int "version" sx in
+  if v <> version then
+    raise (Sexp.Parse_error (Fmt.str "unsupported trace version %d" v));
+  let atoms name =
+    List.map
+      (function
+        | Sexp.Atom a -> a
+        | Sexp.List _ -> raise (Sexp.Parse_error (name ^ ": expected atoms")))
+      (Sexp.get_list name sx)
+  in
+  {
+    point = Sexp.get_atom "point" sx;
+    nemeses = atoms "nemeses";
+    config =
+      {
+        Runner.seed = Sexp.get_int "seed" sx;
+        sites = Sexp.get_int "sites" sx;
+        requests = Sexp.get_int "requests" sx;
+        mean_latency = Sexp.get_float "mean-latency" sx;
+        timeout = Sexp.get_float "timeout" sx;
+        retries = Sexp.get_int "retries" sx;
+        gossip_every = Sexp.get_int "gossip-every" sx;
+        op_window = Sexp.get_float "op-window" sx;
+      };
+    events = List.map Fault.event_of_sexp (Sexp.get_list "events" sx);
+  }
+
+let to_string t = Sexp.to_string (to_sexp t)
+let of_string s = of_sexp (Sexp.of_string s)
+
+let equal a b =
+  a.point = b.point && a.nemeses = b.nemeses && a.config = b.config
+  && List.length a.events = List.length b.events
+  && List.for_all2 Fault.equal_event a.events b.events
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>point %s, seed %d, %d sites, %d requests, nemeses [%s]:@,%a@]"
+    t.point t.config.Runner.seed t.config.Runner.sites t.config.Runner.requests
+    (String.concat ", " t.nemeses)
+    (Fmt.list ~sep:Fmt.cut Fault.pp_event)
+    t.events

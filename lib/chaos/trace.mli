@@ -1,0 +1,30 @@
+(** Fault traces: the complete, self-contained record of one chaos run.
+
+    A trace carries everything replay needs — the scenario name, the
+    runner configuration (including the seed), the nemesis mix, and the
+    timed fault schedule.  Serialization is a canonical s-expression:
+    [of_string (to_string t)] is the identity, and two runs of the same
+    trace produce byte-identical digests. *)
+
+type t = {
+  point : string;  (** scenario name, resolved by lib/experiments *)
+  nemeses : string list;
+  config : Runner.config;
+  events : Fault.event list;
+}
+
+val to_string : t -> string
+
+(** Raises {!Sexp.Parse_error} on malformed input or an unsupported
+    version. *)
+val of_string : string -> t
+
+val equal : t -> t -> bool
+
+(** File round-trip; [save] appends a trailing newline, which [load]
+    tolerates. *)
+val save : string -> t -> unit
+
+val load : string -> t
+
+val pp : t Fmt.t

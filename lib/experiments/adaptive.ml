@@ -168,16 +168,15 @@ let run_once ?(params = default_params) () =
       emit (if d then degrade_event else restore_event)
     end
   in
+  let nemesis =
+    Relax_chaos.Nemesis.crash_recover ~crash_p:params.crash_probability
+      ~recover_p:params.recover_probability ()
+  in
   let crash_round () =
-    for s = 0 to params.sites - 1 do
-      if Relax_sim.Network.is_up net s then begin
-        if Relax_sim.Rng.bool rng params.crash_probability then
-          Relax_sim.Network.crash net s
-      end
-      else if Relax_sim.Rng.bool rng params.recover_probability then
-        Relax_sim.Network.recover net s
-    done;
-    if Relax_sim.Network.up_count net = 0 then Relax_sim.Network.recover net 0
+    let shadow = Relax_chaos.Fault.Shadow.of_network net in
+    List.iter
+      (Relax_chaos.Fault.apply ~replica net)
+      (Relax_chaos.Nemesis.step nemesis rng shadow)
   in
   let synced () =
     let global = Replica.global_log replica in

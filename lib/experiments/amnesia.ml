@@ -51,17 +51,17 @@ let run_once ~amnesia ~seed =
   in
   let rng = Relax_sim.Rng.create ~seed:(seed + 1) in
   let served = ref 0 in
+  (* The only difference between the two regimes is the nemesis: the
+     amnesia combinator wipes stable storage on every crash. *)
+  let nemesis =
+    if amnesia then Relax_chaos.Nemesis.amnesia ~crash_p:0.25 ~recover_p:0.5 ()
+    else Relax_chaos.Nemesis.crash_recover ~crash_p:0.25 ~recover_p:0.5 ()
+  in
   let crash_round () =
-    for s = 0 to 4 do
-      if Relax_sim.Network.is_up net s then begin
-        if Relax_sim.Rng.bool rng 0.25 then begin
-          Relax_sim.Network.crash net s;
-          if amnesia then Replica.wipe_site replica s
-        end
-      end
-      else if Relax_sim.Rng.bool rng 0.5 then Relax_sim.Network.recover net s
-    done;
-    if Relax_sim.Network.up_count net = 0 then Relax_sim.Network.recover net 0
+    let shadow = Relax_chaos.Fault.Shadow.of_network net in
+    List.iter
+      (Relax_chaos.Fault.apply ~replica net)
+      (Relax_chaos.Nemesis.step nemesis rng shadow)
   in
   let run_op inv =
     crash_round ();

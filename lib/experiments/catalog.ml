@@ -17,6 +17,7 @@ let registry ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2))
       Fig42.group ();
       Availability.group ();
       Taxi.group ();
+      Chaos_scenarios.group ();
       Atm.group ();
       Spooler.group ();
       Markov_env.group ();

@@ -1,0 +1,290 @@
+open Relax_core
+open Relax_objects
+open Relax_replica
+module Chaos = Relax_chaos
+
+(* Experiment X-chaos: searched conformance over the relaxation lattice.
+
+   The chaos runner (lib/chaos) is scenario-agnostic; this module wires
+   it to the paper's objects.  A scenario is a lattice point of the
+   replicated priority queue — the four fixed points of X-deg, plus the
+   adaptive client of X-adapt whose histories (with their interleaved
+   Degrade/Restore events) are judged by the Section 2.3 combined
+   automaton — together with the acceptance predicate phi(C) predicts
+   for it.
+
+   [sweep] is the engine behind `rlx chaos run`: [runs] seeded runs fan
+   out over domains (order-preserving, so the report is identical at any
+   --jobs), each generating a nemesis schedule, running it, and checking
+   the completed history against the scenario's language.  A violation
+   is shrunk with ddmin to a 1-minimal replayable trace. *)
+
+type scenario = {
+  name : string;
+  description : string;
+  client : sites:int -> Chaos.Runner.client;
+  accepts : History.t -> bool;
+}
+
+(* The cset of each X-deg lattice point (independent of the site count). *)
+let fixed index name description =
+  let cset = (List.nth (Taxi.points ~n:5) index).Taxi.cset in
+  {
+    name;
+    description;
+    client =
+      (fun ~sites ->
+        Chaos.Runner.Fixed
+          (List.nth (Taxi.points ~n:sites) index).Taxi.assignment);
+    accepts = Taxi.predicted_accepts cset;
+  }
+
+let relaxed_assignment ~n =
+  Relax_quorum.Assignment.make ~n
+    [
+      (Queue_ops.enq_name, { Relax_quorum.Assignment.initial = 0; final = 1 });
+      (Queue_ops.deq_name, { Relax_quorum.Assignment.initial = 1; final = 1 });
+    ]
+
+let all =
+  [
+    fixed 0 "top" "{Q1,Q2}: the preferred priority queue (PQ)";
+    fixed 1 "q1" "{Q1}: duplicates possible (MPQ)";
+    fixed 2 "q2" "{Q2}: reordering possible (OPQ)";
+    fixed 3 "bottom" "{}: any service of any request (DegenPQ)";
+    {
+      name = "adaptive";
+      description =
+        "Section 2.3 adaptive client vs the combined automaton";
+      client =
+        (fun ~sites ->
+          Chaos.Runner.Adaptive
+            {
+              assignment = relaxed_assignment ~n:sites;
+              degrade = Adaptive.degrade_event;
+              restore = Adaptive.restore_event;
+            });
+      accepts = Automaton.accepts Adaptive.combined;
+    };
+  ]
+
+let names = List.map (fun s -> s.name) all
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) all with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Fmt.str "unknown lattice point %S (known: %s)" name
+         (String.concat ", " names))
+
+(* The assumption-preserving mix: every nemesis under which conformance
+   is a theorem.  Amnesia is deliberately absent — it breaks the
+   stable-storage assumption the guarantees rest on, so histories under
+   it may (and should be able to) escape the predicted language. *)
+let default_nemeses =
+  [ "crash"; "partition"; "drop"; "delay"; "dup"; "skew"; "rejoin" ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace construction and replay                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The schedule stream is derived from the run seed but decoupled from
+   the engine ([seed]) and workload ([seed + 77]) streams. *)
+let schedule_rng config = Relax_sim.Rng.create ~seed:(config.Chaos.Runner.seed + 7919)
+
+let make_trace ~point ~nemeses ~config =
+  match (find point, Chaos.Nemesis.of_names nemeses) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok _, Ok nems ->
+    let events =
+      Chaos.Nemesis.generate nems ~rng:(schedule_rng config)
+        ~sites:config.Chaos.Runner.sites
+        ~horizon:(Chaos.Runner.horizon config)
+        ~tick:config.Chaos.Runner.op_window
+    in
+    Ok { Chaos.Trace.point; nemeses; config; events }
+
+let run_trace (trace : Chaos.Trace.t) =
+  match find trace.point with
+  | Error e -> Error e
+  | Ok sc ->
+    let result =
+      Chaos.Runner.run ~config:trace.config
+        ~client:(sc.client ~sites:trace.config.Chaos.Runner.sites)
+        ~respond:Choosers.pq_eta trace.events
+    in
+    Ok (result, Chaos.Oracle.check ~accepts:sc.accepts result.history)
+
+(* Does this schedule, substituted into the trace, still violate?  The
+   probe the shrinker drives; deterministic because the runner is. *)
+let violates (trace : Chaos.Trace.t) events =
+  match run_trace { trace with events } with
+  | Ok (_, Chaos.Oracle.Violation _) -> true
+  | Ok (_, Chaos.Oracle.Conforms) | Error _ -> false
+
+let shrink_trace (trace : Chaos.Trace.t) =
+  let events, probes =
+    Chaos.Shrink.minimize ~violates:(violates trace) trace.events
+  in
+  ({ trace with events }, probes)
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type run_report = {
+  index : int;
+  trace : Chaos.Trace.t;
+  result : Chaos.Runner.result;
+  verdict : Chaos.Oracle.verdict;
+}
+
+type violation = {
+  report : run_report;
+  shrunk : Chaos.Trace.t;
+  probes : int;
+}
+
+type sweep_report = { reports : run_report list; violations : violation list }
+
+let sweep ?jobs ?(config = Chaos.Runner.default_config) ?(shrink = true) ~runs
+    ~seed ~nemeses ~points () =
+  if runs <= 0 then Error "chaos sweep: runs must be positive"
+  else
+    (* validate up front so a bad name fails before the fan-out *)
+    let bad =
+      List.filter_map
+        (fun p -> match find p with Error e -> Some e | Ok _ -> None)
+        points
+    in
+    match (points, bad, Chaos.Nemesis.of_names nemeses) with
+    | [], _, _ -> Error "chaos sweep: no lattice points selected"
+    | _, e :: _, _ -> Error e
+    | _, [], Error e -> Error e
+    | _, [], Ok _ ->
+      let npoints = List.length points in
+      (* per-run seeds and points are fixed before the fan-out, so the
+         report is identical at any --jobs *)
+      let specs =
+        List.init runs (fun i ->
+            (i, List.nth points (i mod npoints), seed + i))
+      in
+      let reports =
+        Relax_parallel.Pool.map ?jobs
+          (fun (index, point, run_seed) ->
+            let config = { config with Chaos.Runner.seed = run_seed } in
+            match make_trace ~point ~nemeses ~config with
+            | Error e -> failwith e (* validated above; impossible *)
+            | Ok trace -> (
+              match run_trace trace with
+              | Error e -> failwith e
+              | Ok (result, verdict) -> { index; trace; result; verdict }))
+          specs
+      in
+      let violations =
+        List.filter_map
+          (fun r ->
+            match r.verdict with
+            | Chaos.Oracle.Conforms -> None
+            | Chaos.Oracle.Violation _ ->
+              if shrink then
+                let shrunk, probes = shrink_trace r.trace in
+                Some { report = r; shrunk; probes }
+              else Some { report = r; shrunk = r.trace; probes = 0 })
+          reports
+      in
+      Ok { reports; violations }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting and the conformance claim                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pp_summary ppf report =
+  let by_point =
+    List.map
+      (fun p ->
+        let rs =
+          List.filter (fun r -> r.trace.Chaos.Trace.point = p) report.reports
+        in
+        let conform =
+          List.length
+            (List.filter (fun r -> Chaos.Oracle.conforms r.verdict) rs)
+        in
+        let completed =
+          List.fold_left (fun acc r -> acc + r.result.Chaos.Runner.completed) 0 rs
+        and unavailable =
+          List.fold_left
+            (fun acc r -> acc + r.result.Chaos.Runner.unavailable)
+            0 rs
+        and retries =
+          List.fold_left
+            (fun acc r -> acc + r.result.Chaos.Runner.retries_used)
+            0 rs
+        and faults =
+          List.fold_left
+            (fun acc r -> acc + List.length r.trace.Chaos.Trace.events)
+            0 rs
+        in
+        (p, List.length rs, conform, completed, unavailable, retries, faults))
+      (List.sort_uniq compare
+         (List.map (fun r -> r.trace.Chaos.Trace.point) report.reports))
+  in
+  List.iter
+    (fun (p, runs, conform, completed, unavailable, retries, faults) ->
+      Fmt.pf ppf
+        "%-10s runs %3d  conform %3d  completed %4d  unavailable %3d  \
+         retries %3d  faults %4d@\n"
+        p runs conform completed unavailable retries faults)
+    by_point;
+  List.iter
+    (fun v ->
+      Fmt.pf ppf
+        "VIOLATION in run %d (point %s, seed %d): shrunk %d -> %d events \
+         (%d probes)@\n"
+        v.report.index v.report.trace.Chaos.Trace.point
+        v.report.trace.Chaos.Trace.config.Chaos.Runner.seed
+        (List.length v.report.trace.Chaos.Trace.events)
+        (List.length v.shrunk.Chaos.Trace.events)
+        v.probes)
+    report.violations
+
+(* The aggregate conformance claim: a small searched sweep — every
+   lattice point, the full assumption-preserving nemesis mix — in which
+   every completed history must lie in its point's predicted language. *)
+let claim_runs = 10
+let claim_seed = 42
+
+let run_body ppf =
+  match
+    sweep ~runs:claim_runs ~seed:claim_seed ~nemeses:default_nemeses
+      ~points:names ()
+  with
+  | Error e ->
+    Fmt.pf ppf "sweep failed: %s@\n" e;
+    false
+  | Ok report ->
+    pp_summary ppf report;
+    report.violations = []
+
+let claims () =
+  [
+    Relax_claims.Claim.report ~id:"chaos/conformance" ~kind:Characterization
+      ~paper:"Sections 2.3 and 3.3 (searched)"
+      ~description:
+        "under searched assumption-preserving fault schedules, every \
+         completed history stays in its lattice point's predicted language"
+      ~detail:
+        (Fmt.str "%d seeded runs, points %s, nemeses %s" claim_runs
+           (String.concat "/" names)
+           (String.concat "/" default_nemeses))
+      run_body;
+  ]
+
+let group () =
+  {
+    Relax_claims.Registry.gid = "chaos";
+    title = "X-chaos: searched lattice conformance under fault injection";
+    header = "== X-chaos: searched conformance (seeded nemesis sweep) ==\n";
+    claims = claims ();
+  }

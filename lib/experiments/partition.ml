@@ -63,7 +63,8 @@ let run_point ?(seed = 21) (point : Taxi.point) =
   Replica.gossip replica;
   Relax_sim.Engine.run ~until:(Relax_sim.Engine.now engine +. 500.0) engine;
   (* partition: majority {0,1,2} vs minority {3,4} *)
-  Relax_sim.Network.partition net [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  Relax_chaos.Fault.apply ~replica net
+    (Relax_chaos.Fault.Partition [ [ 0; 1; 2 ]; [ 3; 4 ] ]);
   let minority_failures = ref 0 and majority_failures = ref 0 in
   (* both sides try to dispatch the two best requests *)
   for _ = 1 to 2 do
@@ -73,7 +74,7 @@ let run_point ?(seed = 21) (point : Taxi.point) =
     then incr majority_failures
   done;
   (* heal and let the logs converge *)
-  Relax_sim.Network.heal net;
+  Relax_chaos.Fault.apply ~replica net Relax_chaos.Fault.Heal;
   for _ = 1 to 2 do
     Replica.gossip replica;
     Relax_sim.Engine.run ~until:(Relax_sim.Engine.now engine +. 500.0) engine

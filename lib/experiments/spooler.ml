@@ -74,8 +74,8 @@ let sweep ?(ks = [ 1; 2; 3; 4 ]) ?(seeds = [ 5; 6; 7 ]) () =
         ks)
     [ Spool.Locking; Spool.Optimistic; Spool.Pessimistic ]
 
-let run_body ppf =
-  let outcomes = sweep () in
+let run_body ?seeds ppf =
+  let outcomes = sweep ?seeds () in
   List.iter (fun o -> Fmt.pf ppf "%a@\n" pp_outcome o) outcomes;
   let all_atomic = List.for_all (fun o -> o.atomic_predicted) outcomes in
   (* the trade-off signature: locking never reorders or duplicates but
@@ -98,7 +98,7 @@ let run_body ppf =
   Fmt.pf ppf "pessimistic never reorders: %b@\n" pessimistic_no_inv;
   all_atomic && locking_clean && optimistic_no_dup && pessimistic_no_inv
 
-let claims () =
+let claims ?seeds () =
   [
     Relax_claims.Claim.report ~id:"spooler/policies" ~kind:Characterization
       ~paper:"Section 4.2 (printing service)"
@@ -106,15 +106,15 @@ let claims () =
         "each concurrency-control policy is atomic at its predicted lattice \
          point with the predicted anomaly signature"
       ~detail:"locking / optimistic / pessimistic, k = 1..4, 3 seeds"
-      (fun ppf -> run_body ppf);
+      (fun ppf -> run_body ?seeds ppf);
   ]
 
-let group () =
+let group ?seeds () =
   {
     Relax_claims.Registry.gid = "spooler";
     title = "Section 4.2 print spooler under three policies";
     header = "== Section 4.2: print spooler under three policies ==\n";
-    claims = claims ();
+    claims = claims ?seeds ();
   }
 
-let run ppf () = Relax_claims.Engine.run_print (group ()) ppf
+let run ?seeds ppf () = Relax_claims.Engine.run_print (group ?seeds ()) ppf

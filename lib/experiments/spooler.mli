@@ -29,9 +29,9 @@ val run_one :
 (** The full policy x concurrency sweep. *)
 val sweep : ?ks:int list -> ?seeds:int list -> unit -> outcome list
 
-val claims : unit -> Relax_claims.Claim.t list
-val group : unit -> Relax_claims.Registry.group
+val claims : ?seeds:int list -> unit -> Relax_claims.Claim.t list
+val group : ?seeds:int list -> unit -> Relax_claims.Registry.group
 
 (** Print the sweep; [true] when every schedule is atomic at its
     predicted point and the anomaly signature matches the paper. *)
-val run : Format.formatter -> unit -> bool
+val run : ?seeds:int list -> Format.formatter -> unit -> bool

@@ -161,17 +161,17 @@ let run_point ?(params = default_params) point =
       if Relax_sim.Rng.bool rng 0.7 then ops := `Deq :: !ops)
     priorities;
   let ops = List.rev !ops in
+  (* faults come from the chaos layer: one nemesis stepped per round,
+     its actions applied through the single fault code path *)
+  let nemesis =
+    Relax_chaos.Nemesis.crash_recover ~crash_p:params.crash_probability
+      ~recover_p:params.recover_probability ()
+  in
   let crash_round () =
-    for s = 0 to params.sites - 1 do
-      if Relax_sim.Network.is_up net s then begin
-        if Relax_sim.Rng.bool rng params.crash_probability then
-          Relax_sim.Network.crash net s
-      end
-      else if Relax_sim.Rng.bool rng params.recover_probability then
-        Relax_sim.Network.recover net s
-    done;
-    (* never let every site die: revive site 0 *)
-    if Relax_sim.Network.up_count net = 0 then Relax_sim.Network.recover net 0
+    let shadow = Relax_chaos.Fault.Shadow.of_network net in
+    List.iter
+      (Relax_chaos.Fault.apply ~replica net)
+      (Relax_chaos.Nemesis.step nemesis rng shadow)
   in
   let unavailable = ref 0 and empty_views = ref 0 in
   let ops_since_gossip = ref 0 in

@@ -36,9 +36,15 @@ type t = {
   assignment : Assignment.t;
   respond : response_chooser;
   timeout : float;
+  retries : int; (* extra attempts after the first one times out *)
+  backoff : float; (* base backoff delay, doubled per retry, jittered *)
+  rng : Relax_sim.Rng.t; (* seeded jitter stream, split at creation *)
+  metrics : Relax_sim.Metrics.t option;
   sites : site array;
   mutable completed : (float * Op.t) list; (* reverse completion order *)
   mutable unavailable : int;
+  mutable attempts_total : int;
+  mutable retries_total : int;
   mutable op_latencies : float list;
   (* Entries of operations that timed out.  The underlying replication
      method (Herlihy '86) runs each operation inside a transaction with
@@ -48,22 +54,33 @@ type t = {
   mutable tombstones : Log.entry list;
 }
 
-let create ?(timeout = 200.0) engine net assignment ~respond =
+let create ?(timeout = 200.0) ?(retries = 2) ?(backoff = 8.0) ?metrics engine
+    net assignment ~respond =
   let n = Relax_sim.Network.sites net in
   if n <> Assignment.sites assignment then
     invalid_arg "Replica.create: network/assignment size mismatch";
+  if retries < 0 then invalid_arg "Replica.create: negative retries";
+  if backoff < 0.0 then invalid_arg "Replica.create: negative backoff";
   {
     engine;
     net;
     assignment;
     respond;
     timeout;
+    retries;
+    backoff;
+    rng = Relax_sim.Rng.split (Relax_sim.Engine.rng engine);
+    metrics;
     sites = Array.init n (fun _ -> { log = Log.empty; clock = Timestamp.zero });
     completed = [];
     unavailable = 0;
+    attempts_total = 0;
+    retries_total = 0;
     op_latencies = [];
     tombstones = [];
   }
+
+let count t name = Option.iter (fun m -> Relax_sim.Metrics.incr m name) t.metrics
 
 let engine t = t.engine
 let network t = t.net
@@ -79,6 +96,8 @@ let completed t = List.rev t.completed
 let completed_history t : History.t = List.map snd (completed t)
 
 let unavailable_count t = t.unavailable
+let attempts_total t = t.attempts_total
+let retries_total t = t.retries_total
 let op_latencies t = List.rev t.op_latencies
 
 let is_tombstoned t e = List.exists (Log.equal_entry e) t.tombstones
@@ -155,94 +174,148 @@ let checkpoint t ~watermark ~summarize =
 
 (* Executes one invocation on behalf of a client attached to
    [client_site].  [callback] fires exactly once, with the response and
-   its latency or with Unavailable. *)
+   its latency or with Unavailable.
+
+   An attempt that times out aborts (its tentative entry is tombstoned
+   everywhere, the 2PC abort of the underlying replication method) and,
+   while attempts remain, the whole operation is retried after a seeded,
+   jittered exponential backoff — a transiently dropped quorum message
+   should not doom the operation.  Only timeouts retry: a [None] from
+   the response chooser is a semantic refusal (e.g. a Deq against an
+   empty view), not a fault, and fails immediately.
+
+   Quorum counting is per-site: duplicate deliveries of the same reply
+   or acknowledgement (the duplication fault) must not let the client
+   believe it assembled a quorum out of fewer distinct sites. *)
 let execute t ~client_site inv callback =
   let op_name = Op.invocation_name inv in
   let initial_need = Assignment.initial_threshold t.assignment op_name in
   let final_need = Assignment.final_threshold t.assignment op_name in
   let started = Relax_sim.Engine.now t.engine in
   let n = Array.length t.sites in
-  let finished = ref false in
-  let written_entry = ref None in
-  let finish r =
-    if not !finished then begin
-      finished := true;
+  let settled = ref false in
+  let conclude r =
+    if not !settled then begin
+      settled := true;
       (match r with
       | Completed (op, latency) ->
+        count t "replica/completed";
         t.completed <- (Relax_sim.Engine.now t.engine, op) :: t.completed;
         t.op_latencies <- latency :: t.op_latencies
       | Unavailable _ ->
-        t.unavailable <- t.unavailable + 1;
-        (* abort: the tentative entry (if any) is discarded everywhere *)
-        Option.iter (abort_entry t) !written_entry);
+        count t "replica/unavailable";
+        t.unavailable <- t.unavailable + 1);
       callback r
     end
   in
-  (* Phase 2+3, entered once the view is assembled. *)
-  let write_phase view_log =
-    match t.respond (Log.to_history view_log) inv with
-    | None ->
-      finish
-        (Unavailable
-           (Fmt.str "no response consistent with the view for %s" op_name))
-    | Some op ->
-      (* Lamport discipline: the new entry's timestamp dominates
-         everything the client observed (its view) and everything its
-         attached site has seen; the site's clock advances in turn.
-         Timestamps need not be globally unique — entries are identified
-         by (timestamp, operation), and the total (ts, op) order keeps
-         log merges deterministic. *)
-      let site = t.sites.(client_site) in
-      let ts =
-        Timestamp.tick
-          (Timestamp.merge (Log.max_ts view_log) site.clock)
-          ~site:client_site
-      in
-      site.clock <- Timestamp.merge site.clock ts;
-      let entry = Log.entry ~ts op in
-      written_entry := Some entry;
-      let updated = Log.insert view_log entry in
-      let acks = ref 0 in
-      (* The update is pushed only to a final quorum's worth of sites the
-         client can currently reach; everybody else learns of it through
-         background gossip.  This is the lazy-propagation model of Locus
-         and Grapevine that the bank-account example relies on: final
-         quorums "grow in time". *)
-      let targets =
-        List.filter
-          (fun s -> Relax_sim.Network.reachable t.net ~src:client_site ~dst:s)
-          (List.init n Fun.id)
-        |> List.filteri (fun i _ -> i < max final_need 1)
-      in
-      if final_need = 0 then
-        finish (Completed (op, Relax_sim.Engine.now t.engine -. started))
-      else
-        List.iter
-          (fun s ->
-            Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
-                absorb t s updated;
-                (* acknowledgement travelling back *)
-                Relax_sim.Network.send t.net ~src:s ~dst:client_site (fun () ->
-                    incr acks;
-                    if !acks = final_need then
-                      finish
-                        (Completed
-                           (op, Relax_sim.Engine.now t.engine -. started)))))
-          targets
+  let rec attempt k =
+    (* [k] is the attempt number, 1-based. *)
+    t.attempts_total <- t.attempts_total + 1;
+    count t "replica/attempts";
+    let attempt_over = ref false in
+    let written_entry = ref None in
+    let fail_attempt ~retryable reason =
+      if (not !attempt_over) && not !settled then begin
+        attempt_over := true;
+        (* abort: the tentative entry (if any) is discarded everywhere *)
+        Option.iter (abort_entry t) !written_entry;
+        if retryable && k <= t.retries then begin
+          t.retries_total <- t.retries_total + 1;
+          count t "replica/retries";
+          let jitter = 1.0 +. (0.5 *. Relax_sim.Rng.unit_float t.rng) in
+          let delay = t.backoff *. (2.0 ** float_of_int (k - 1)) *. jitter in
+          Option.iter
+            (fun m -> Relax_sim.Metrics.observe m "replica/backoff" delay)
+            t.metrics;
+          Relax_sim.Engine.schedule t.engine ~delay (fun () ->
+              if not !settled then attempt (k + 1))
+        end
+        else conclude (Unavailable reason)
+      end
+    in
+    let succeed op =
+      if (not !attempt_over) && not !settled then begin
+        attempt_over := true;
+        conclude (Completed (op, Relax_sim.Engine.now t.engine -. started))
+      end
+    in
+    (* Phase 2+3, entered once the view is assembled. *)
+    let write_phase view_log =
+      if (not !attempt_over) && not !settled then
+        match t.respond (Log.to_history view_log) inv with
+        | None ->
+          fail_attempt ~retryable:false
+            (Fmt.str "no response consistent with the view for %s" op_name)
+        | Some op ->
+          (* Lamport discipline: the new entry's timestamp dominates
+             everything the client observed (its view) and everything its
+             attached site has seen; the site's clock advances in turn.
+             Timestamps need not be globally unique — entries are
+             identified by (timestamp, operation), and the total (ts, op)
+             order keeps log merges deterministic. *)
+          let site = t.sites.(client_site) in
+          let ts =
+            Timestamp.tick
+              (Timestamp.merge (Log.max_ts view_log) site.clock)
+              ~site:client_site
+          in
+          site.clock <- Timestamp.merge site.clock ts;
+          let entry = Log.entry ~ts op in
+          written_entry := Some entry;
+          let updated = Log.insert view_log entry in
+          let acks = ref 0 in
+          let acked = Array.make n false in
+          (* The update is pushed only to a final quorum's worth of sites
+             the client can currently reach; everybody else learns of it
+             through background gossip.  This is the lazy-propagation
+             model of Locus and Grapevine that the bank-account example
+             relies on: final quorums "grow in time". *)
+          let targets =
+            List.filter
+              (fun s ->
+                Relax_sim.Network.reachable t.net ~src:client_site ~dst:s)
+              (List.init n Fun.id)
+            |> List.filteri (fun i _ -> i < max final_need 1)
+          in
+          if final_need = 0 then succeed op
+          else
+            List.iter
+              (fun s ->
+                Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
+                    absorb t s updated;
+                    (* acknowledgement travelling back *)
+                    Relax_sim.Network.send t.net ~src:s ~dst:client_site
+                      (fun () ->
+                        if not acked.(s) then begin
+                          acked.(s) <- true;
+                          incr acks;
+                          if !acks = final_need then succeed op
+                        end)))
+              targets
+    in
+    (* Phase 1: gather an initial quorum of logs. *)
+    let replies = ref 0 in
+    let replied = Array.make n false in
+    let view = ref Log.empty in
+    if initial_need = 0 then write_phase Log.empty
+    else
+      for s = 0 to n - 1 do
+        Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
+            let log = t.sites.(s).log in
+            Relax_sim.Network.send t.net ~src:s ~dst:client_site (fun () ->
+                if (not replied.(s)) && (not !attempt_over) && not !settled
+                then begin
+                  replied.(s) <- true;
+                  incr replies;
+                  view := Log.merge !view log;
+                  if !replies = initial_need then write_phase !view
+                end))
+      done;
+    (* Timeout watchdog for this attempt. *)
+    Relax_sim.Engine.schedule t.engine ~delay:t.timeout (fun () ->
+        if (not !attempt_over) && not !settled then begin
+          count t "replica/timeouts";
+          fail_attempt ~retryable:true (Fmt.str "timeout after %.0f" t.timeout)
+        end)
   in
-  (* Phase 1: gather an initial quorum of logs. *)
-  let replies = ref 0 in
-  let view = ref Log.empty in
-  if initial_need = 0 then write_phase Log.empty
-  else
-    for s = 0 to n - 1 do
-      Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
-          let log = t.sites.(s).log in
-          Relax_sim.Network.send t.net ~src:s ~dst:client_site (fun () ->
-              incr replies;
-              view := Log.merge !view log;
-              if !replies = initial_need then write_phase !view))
-    done;
-  (* Timeout watchdog. *)
-  Relax_sim.Engine.schedule t.engine ~delay:t.timeout (fun () ->
-      finish (Unavailable (Fmt.str "timeout after %.0f" t.timeout)))
+  attempt 1

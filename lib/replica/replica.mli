@@ -8,8 +8,12 @@ open Relax_quorum
     logs of an initial quorum into a view; choose a response consistent
     with the view; record the new entry at a final quorum, with remaining
     updates propagating in the background.  Crashes, partitions and
-    message loss come from the network model; operations that cannot
-    assemble quorums before the timeout report [Unavailable]. *)
+    message loss come from the network model; an attempt that cannot
+    assemble quorums before the timeout aborts (its tentative entry is
+    tombstoned everywhere) and is retried with seeded, jittered
+    exponential backoff up to the configured retry bound, after which
+    the operation reports [Unavailable].  Quorum counting deduplicates
+    per site, so duplicated deliveries never fake a quorum. *)
 
 type result = Completed of Op.t * float  (** response, latency *)
             | Unavailable of string
@@ -21,9 +25,22 @@ type response_chooser = History.t -> Op.invocation -> Op.t option
 
 type t
 
-(** Raises when the network and assignment disagree on the site count. *)
+(** Raises when the network and assignment disagree on the site count,
+    or on a negative [retries]/[backoff].
+
+    [retries] (default 2) bounds the extra attempts after a first
+    timeout; [backoff] (default 8.0) is the base delay before attempt 2,
+    doubled per further attempt and jittered by a factor drawn in
+    [[1, 1.5)] from a stream split off the engine RNG at creation (so
+    backoff is deterministic per seed).  When [metrics] is given, the
+    replica counts [replica/attempts], [replica/retries],
+    [replica/timeouts], [replica/completed] and [replica/unavailable]
+    there and records the [replica/backoff] delays. *)
 val create :
   ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?metrics:Relax_sim.Metrics.t ->
   Relax_sim.Engine.t ->
   Relax_sim.Network.t ->
   Assignment.t ->
@@ -45,6 +62,13 @@ val completed : t -> (float * Op.t) list
 val completed_history : t -> History.t
 
 val unavailable_count : t -> int
+
+(** Total attempts started (first tries and retries). *)
+val attempts_total : t -> int
+
+(** Attempts that were retries of a timed-out predecessor. *)
+val retries_total : t -> int
+
 val op_latencies : t -> float list
 
 (** One anti-entropy round: every up site pushes its log to every

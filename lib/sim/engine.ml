@@ -19,7 +19,13 @@ type t = {
   rng : Rng.t;
 }
 
-let create ?(seed = 42) () =
+(* The one and only default seed.  Every run of every experiment that
+   does not say otherwise is seeded with this constant, so there is no
+   hidden nondeterminism anywhere in the simulator: same binary, same
+   flags, same bytes out. *)
+let default_seed = 42
+
+let create ?(seed = default_seed) () =
   {
     now = 0.0;
     next_seq = 0;

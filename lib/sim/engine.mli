@@ -6,6 +6,10 @@
 
 type t
 
+(** The constant default seed ([42]).  [create] with no [?seed] always
+    uses it — there is no hidden source of nondeterminism. *)
+val default_seed : int
+
 val create : ?seed:int -> unit -> t
 
 (** Current simulation time. *)

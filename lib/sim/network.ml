@@ -5,7 +5,14 @@
    destination is crashed or the two endpoints are in different partition
    cells *at delivery time* — matching the packet-radio intuition of the
    taxi example, where a message sent before a partition may still be lost
-   to it. *)
+   to it.
+
+   Beyond the static construction parameters, every fault knob is
+   runtime-tunable so a chaos schedule can turn faults on and off
+   mid-run: the loss probability, a duplication probability (the message
+   is delivered twice, each copy with its own latency), a uniform extra
+   delay bound, and a per-site clock skew (messages *sent* by a skewed
+   site are late by the skew, modelling a slow timer at the sender). *)
 
 type t = {
   engine : Engine.t;
@@ -14,10 +21,14 @@ type t = {
   mutable up : bool array;
   mutable cell : int array; (* partition cell of each site *)
   mean_latency : float;
-  drop_probability : float;
+  mutable drop_probability : float;
+  mutable dup_probability : float;
+  mutable extra_delay : float; (* per-message uniform extra in [0, extra] *)
+  skew : float array; (* sender-side clock skew per site *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable duplicated : int;
 }
 
 let create ?(mean_latency = 5.0) ?(drop_probability = 0.0) engine ~sites =
@@ -32,9 +43,13 @@ let create ?(mean_latency = 5.0) ?(drop_probability = 0.0) engine ~sites =
     cell = Array.make sites 0;
     mean_latency;
     drop_probability;
+    dup_probability = 0.0;
+    extra_delay = 0.0;
+    skew = Array.make sites 0.0;
     sent = 0;
     delivered = 0;
     dropped = 0;
+    duplicated = 0;
   }
 
 let sites t = t.n
@@ -59,6 +74,7 @@ let partition t cells =
     cells
 
 let heal t = Array.fill t.cell 0 t.n 0
+let partitioned t = Array.exists (fun c -> c <> 0) t.cell
 
 let connected t a b = t.cell.(a) = t.cell.(b)
 
@@ -67,21 +83,66 @@ let reachable t ~src ~dst =
   t.up.(src) && t.up.(dst) && connected t src dst
 
 let stats t = (t.sent, t.delivered, t.dropped)
+let duplicated t = t.duplicated
 
-(* Latency model: exponential around the configured mean, so bursts of
-   reordering occur naturally. *)
-let draw_latency t =
-  if t.mean_latency <= 0.0 then 0.0
-  else Rng.exponential t.rng ~rate:(1.0 /. t.mean_latency)
+(* Runtime fault knobs (the chaos schedule's Set_* actions). *)
+let check_probability name p =
+  if p < 0.0 || p > 1.0 then invalid_arg ("Network." ^ name ^ ": out of range")
+
+let set_drop_probability t p =
+  check_probability "set_drop_probability" p;
+  t.drop_probability <- p
+
+let drop_probability t = t.drop_probability
+
+let set_dup_probability t p =
+  check_probability "set_dup_probability" p;
+  t.dup_probability <- p
+
+let dup_probability t = t.dup_probability
+
+let set_extra_delay t d =
+  if d < 0.0 then invalid_arg "Network.set_extra_delay: negative";
+  t.extra_delay <- d
+
+let extra_delay t = t.extra_delay
+
+let set_skew t s d =
+  if s < 0 || s >= t.n then invalid_arg "Network.set_skew: bad site";
+  if d < 0.0 then invalid_arg "Network.set_skew: negative";
+  t.skew.(s) <- d
+
+let skew t s = t.skew.(s)
+
+(* Latency model: exponential around the configured mean (so bursts of
+   reordering occur naturally), plus the tunable uniform extra delay and
+   the sender's clock skew. *)
+let draw_latency t ~src =
+  let base =
+    if t.mean_latency <= 0.0 then 0.0
+    else Rng.exponential t.rng ~rate:(1.0 /. t.mean_latency)
+  in
+  let extra =
+    if t.extra_delay <= 0.0 then 0.0 else Rng.float t.rng t.extra_delay
+  in
+  base +. extra +. t.skew.(src)
+
+let deliver_after t ~src ~dst deliver =
+  let latency = draw_latency t ~src in
+  Engine.schedule t.engine ~delay:latency (fun () ->
+      if reachable t ~src ~dst then begin
+        t.delivered <- t.delivered + 1;
+        deliver ()
+      end
+      else t.dropped <- t.dropped + 1)
 
 let send t ~src ~dst deliver =
   t.sent <- t.sent + 1;
   if Rng.bool t.rng t.drop_probability then t.dropped <- t.dropped + 1
-  else
-    let latency = draw_latency t in
-    Engine.schedule t.engine ~delay:latency (fun () ->
-        if reachable t ~src ~dst then begin
-          t.delivered <- t.delivered + 1;
-          deliver ()
-        end
-        else t.dropped <- t.dropped + 1)
+  else begin
+    deliver_after t ~src ~dst deliver;
+    if t.dup_probability > 0.0 && Rng.bool t.rng t.dup_probability then begin
+      t.duplicated <- t.duplicated + 1;
+      deliver_after t ~src ~dst deliver
+    end
+  end

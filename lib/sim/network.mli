@@ -3,7 +3,12 @@
     Sites are numbered [0..n-1].  Messages are closures delivered after a
     randomized (exponential) latency, subject to loss; delivery is
     suppressed when the destination is crashed or the endpoints are in
-    different partition cells at delivery time. *)
+    different partition cells at delivery time.
+
+    Every fault knob is also runtime-tunable (loss, duplication, extra
+    delay, per-site sender clock skew) so a chaos schedule can switch
+    faults on and off mid-run; see {!set_drop_probability} and
+    friends. *)
 
 type t
 
@@ -23,6 +28,9 @@ val partition : t -> int list list -> unit
 (** Restore full connectivity. *)
 val heal : t -> unit
 
+(** Whether any partition is currently in force. *)
+val partitioned : t -> bool
+
 val connected : t -> int -> int -> bool
 
 (** Can [src] currently reach [dst]?  (Both up and same cell.) *)
@@ -30,6 +38,35 @@ val reachable : t -> src:int -> dst:int -> bool
 
 (** [(sent, delivered, dropped)] counters. *)
 val stats : t -> int * int * int
+
+(** Messages delivered twice by the duplication fault. *)
+val duplicated : t -> int
+
+(** {1 Runtime fault knobs}
+
+    Raises [Invalid_argument] on probabilities outside [[0,1]], negative
+    delays, or bad site numbers. *)
+
+val set_drop_probability : t -> float -> unit
+val drop_probability : t -> float
+
+(** Probability that a sent message is delivered twice, each copy with
+    its own latency. *)
+val set_dup_probability : t -> float -> unit
+
+val dup_probability : t -> float
+
+(** A uniform extra per-message delay in [[0, d]] — raising it fattens
+    the latency tail, which is what makes reordering bursts likely. *)
+val set_extra_delay : t -> float -> unit
+
+val extra_delay : t -> float
+
+(** Sender-side clock skew: every message {e sent} by the site is late by
+    the skew (a slow timer at the sender). *)
+val set_skew : t -> int -> float -> unit
+
+val skew : t -> int -> float
 
 (** [send t ~src ~dst deliver] schedules [deliver] after the drawn latency
     unless the message is lost. *)

@@ -227,11 +227,11 @@ let registry_tests =
           "group order is the check-all order"
           [
             "pq"; "collapses"; "account"; "prob"; "fig42"; "availability";
-            "taxi"; "atm"; "spooler"; "markov"; "fifo";
+            "taxi"; "chaos"; "atm"; "spooler"; "markov"; "fifo";
           ]
           (Registry.group_ids registry);
         Alcotest.(check int)
-          "claim count" 45
+          "claim count" 46
           (List.length (Registry.all_claims registry));
         let ids = Registry.claim_ids registry in
         Alcotest.(check int)
