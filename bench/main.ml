@@ -3,7 +3,13 @@
    reproduction is tracked.  Estimates are printed as a plain table
    (monotonic clock, OLS against run count).
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe
+
+   Self-profiling mode:  dune exec bench/main.exe -- --trace-dir DIR
+   skips the OLS timing and instead runs every row once under an
+   ambient tracer, writing one Chrome trace_event artifact per row to
+   DIR (open them in Perfetto).  Rows are declared as (name, thunk)
+   pairs so the two modes share the exact same workloads. *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -28,32 +34,30 @@ let bag_term =
 let fifo_term =
   Relax_larch.Parser.expr_of_string "first(rest(ins(ins(ins(emp, 3), 1), 2)))"
 
-let bench_larch =
+let rows_larch =
   [
-    Test.make ~name:"larch/normalize-bag (F2-1)"
-      (Staged.stage (fun () ->
-           ignore (Relax_larch.Trait.normalize bag_theory bag_term)));
-    Test.make ~name:"larch/normalize-fifo (F2-3)"
-      (Staged.stage (fun () ->
-           ignore (Relax_larch.Trait.normalize fifo_theory fifo_term)));
-    Test.make ~name:"larch/parse-and-elaborate-Bag"
-      (Staged.stage (fun () ->
-           let ast =
-             Relax_larch.Parser.trait_of_string Relax_larch.Theories.bag_src
-           in
-           ignore (Relax_larch.Trait.elaborate [] ast)));
+    ( "larch/normalize-bag (F2-1)",
+      fun () -> ignore (Relax_larch.Trait.normalize bag_theory bag_term) );
+    ( "larch/normalize-fifo (F2-3)",
+      fun () -> ignore (Relax_larch.Trait.normalize fifo_theory fifo_term) );
+    ( "larch/parse-and-elaborate-Bag",
+      fun () ->
+        let ast =
+          Relax_larch.Parser.trait_of_string Relax_larch.Theories.bag_src
+        in
+        ignore (Relax_larch.Trait.elaborate [] ast) );
   ]
 
 (* F2-2: conformance of the bag model against Figure 2-2. *)
-let bench_conformance =
+let rows_conformance =
   [
-    Test.make ~name:"larch/conformance-bag (F2-2)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_larch.Conformance.check ~mode:Relax_larch.Conformance.Sound
-                ~theory:bag_theory ~iface:(Relax_larch.Theories.bag_iface ())
-                ~reify:Relax_larch.Reify.multiset ~automaton:Bag.automaton
-                ~alphabet ~depth:3 ())));
+    ( "larch/conformance-bag (F2-2)",
+      fun () ->
+        ignore
+          (Relax_larch.Conformance.check ~mode:Relax_larch.Conformance.Sound
+             ~theory:bag_theory ~iface:(Relax_larch.Theories.bag_iface ())
+             ~reify:Relax_larch.Reify.multiset ~automaton:Bag.automaton
+             ~alphabet ~depth:3 ()) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -87,33 +91,28 @@ let theorem4_memoized depth () =
   let qca = Qca.automaton_views ~alphabet Instances.pq_spec_eta Instances.q1 in
   ignore (Language.equivalent_bool qca Mpq.automaton ~alphabet ~depth)
 
-let bench_core =
+let rows_core =
   [
-    Test.make ~name:"core/enumerate-PQ-depth4"
-      (Staged.stage (fun () ->
-           ignore (Language.enumerate Pqueue.automaton ~alphabet ~depth:4)));
-    Test.make ~name:"core/fig42-behavior-classes (F4-2)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relaxation.behavior_classes (Lattices.semiqueue ~n:3) ~alphabet
-                ~depth:3)));
-    Test.make ~name:"qca/accept-history (T4 membership)"
-      (Staged.stage (fun () ->
-           ignore (Automaton.accepts qca_q1 fixed_history)));
-    Test.make ~name:"qca/theorem4-equivalence-depth3-legacy (T4)"
-      (Staged.stage (theorem4_legacy 3));
-    Test.make ~name:"qca/theorem4-equivalence-depth3 (T4)"
-      (Staged.stage (theorem4_memoized 3));
-    Test.make ~name:"qca/theorem4-equivalence-depth8-legacy (T4)"
-      (Staged.stage (theorem4_legacy 8));
-    Test.make ~name:"qca/theorem4-equivalence-depth8 (T4)"
-      (Staged.stage (theorem4_memoized 8));
-    Test.make ~name:"quorum/serial-dependency-depth3"
-      (Staged.stage (fun () ->
-           ignore
-             (Serial.is_serial_dependency Pqueue.automaton
-                (Relation.union Instances.q1 Instances.q2)
-                ~alphabet ~depth:3)));
+    ( "core/enumerate-PQ-depth4",
+      fun () -> ignore (Language.enumerate Pqueue.automaton ~alphabet ~depth:4)
+    );
+    ( "core/fig42-behavior-classes (F4-2)",
+      fun () ->
+        ignore
+          (Relaxation.behavior_classes (Lattices.semiqueue ~n:3) ~alphabet
+             ~depth:3) );
+    ( "qca/accept-history (T4 membership)",
+      fun () -> ignore (Automaton.accepts qca_q1 fixed_history) );
+    ("qca/theorem4-equivalence-depth3-legacy (T4)", theorem4_legacy 3);
+    ("qca/theorem4-equivalence-depth3 (T4)", theorem4_memoized 3);
+    ("qca/theorem4-equivalence-depth8-legacy (T4)", theorem4_legacy 8);
+    ("qca/theorem4-equivalence-depth8 (T4)", theorem4_memoized 8);
+    ( "quorum/serial-dependency-depth3",
+      fun () ->
+        ignore
+          (Serial.is_serial_dependency Pqueue.automaton
+             (Relation.union Instances.q1 Instances.q2)
+             ~alphabet ~depth:3) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -124,18 +123,17 @@ let updown =
   Relax_prob.Markov.create ~labels:[| "up"; "down" |]
     ~p:(Relax_prob.Matrix.of_rows [ [ 0.9; 0.1 ]; [ 0.5; 0.5 ] ])
 
-let bench_prob =
+let rows_prob =
   [
-    Test.make ~name:"prob/topn-montecarlo-10k (P3-3)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_prob.Topn.estimate ~trials:10_000 ~miss_probability:0.1
-                ~pending:8 2)));
-    Test.make ~name:"prob/availability-exact-table (X-av)"
-      (Staged.stage (fun () ->
-           ignore (Relax_experiments.Availability.exact_table ())));
-    Test.make ~name:"prob/markov-stationary"
-      (Staged.stage (fun () -> ignore (Relax_prob.Markov.stationary updown)));
+    ( "prob/topn-montecarlo-10k (P3-3)",
+      fun () ->
+        ignore
+          (Relax_prob.Topn.estimate ~trials:10_000 ~miss_probability:0.1
+             ~pending:8 2) );
+    ( "prob/availability-exact-table (X-av)",
+      fun () -> ignore (Relax_experiments.Availability.exact_table ()) );
+    ( "prob/markov-stationary",
+      fun () -> ignore (Relax_prob.Markov.stationary updown) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -150,36 +148,36 @@ let taxi_point = List.hd (Relax_experiments.Taxi.points ~n:5)
 let small_atm_params =
   { Relax_experiments.Atm.default_params with rounds = 5; seed = 3 }
 
-let bench_sim =
+let rows_sim =
   [
-    Test.make ~name:"sim/engine-1k-events"
-      (Staged.stage (fun () ->
-           let e = Relax_sim.Engine.create () in
-           for i = 1 to 1_000 do
-             Relax_sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> ())
-           done;
-           Relax_sim.Engine.run e));
-    Test.make ~name:"sim/rng-10k-draws"
-      (Staged.stage (fun () ->
-           let r = Relax_sim.Rng.create ~seed:1 in
-           for _ = 1 to 10_000 do
-             ignore (Relax_sim.Rng.int r 100)
-           done));
-    Test.make ~name:"replica/taxi-point-10req (X-deg)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_experiments.Taxi.run_point ~params:small_taxi_params
-                taxi_point)));
-    Test.make ~name:"replica/atm-5rounds (B3-4)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_experiments.Atm.run_once ~params:small_atm_params
-                ~relax_a2:false ~think_time:10.0 ())));
-    Test.make ~name:"txn/spooler-run+atomic-check (A4-2, X-conc)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_experiments.Spooler.run_one ~items:8 ~seed:4
-                Relax_txn.Spool.Optimistic ~k:2)));
+    ( "sim/engine-1k-events",
+      fun () ->
+        let e = Relax_sim.Engine.create () in
+        for i = 1 to 1_000 do
+          Relax_sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> ())
+        done;
+        Relax_sim.Engine.run e );
+    ( "sim/rng-10k-draws",
+      fun () ->
+        let r = Relax_sim.Rng.create ~seed:1 in
+        for _ = 1 to 10_000 do
+          ignore (Relax_sim.Rng.int r 100)
+        done );
+    ( "replica/taxi-point-10req (X-deg)",
+      fun () ->
+        ignore
+          (Relax_experiments.Taxi.run_point ~params:small_taxi_params
+             taxi_point) );
+    ( "replica/atm-5rounds (B3-4)",
+      fun () ->
+        ignore
+          (Relax_experiments.Atm.run_once ~params:small_atm_params
+             ~relax_a2:false ~think_time:10.0 ()) );
+    ( "txn/spooler-run+atomic-check (A4-2, X-conc)",
+      fun () ->
+        ignore
+          (Relax_experiments.Spooler.run_one ~items:8 ~seed:4
+             Relax_txn.Spool.Optimistic ~k:2) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -188,48 +186,47 @@ let bench_sim =
 
 let fifo_qca = Qca.automaton_views ~alphabet Instances.fifo_spec_eta Instances.q1
 
-let bench_extensions =
+let rows_extensions =
   [
-    Test.make ~name:"fifo/rfq-equivalence-depth3 (X-fifo)"
-      (Staged.stage (fun () ->
-           ignore
-             (Language.equivalent_bool fifo_qca Rfq.automaton ~alphabet
-                ~depth:3)));
-    Test.make ~name:"weighted/exact-availability (X-av)"
-      (Staged.stage (fun () ->
-           ignore (Relax_experiments.Availability.weighted_comparison ())));
-    Test.make ~name:"txn/atomic-automaton-accept (A4-2)"
-      (Staged.stage
-         (let sched =
-            Relax_txn.Atomic_automaton.encode
-              (Relax_txn.Schedule.of_list
-                 [
-                   Relax_txn.Schedule.Exec
-                     (Relax_txn.Tid.of_int 1, Queue_ops.enq_int 1);
-                   Relax_txn.Schedule.Commit (Relax_txn.Tid.of_int 1);
-                   Relax_txn.Schedule.Exec
-                     (Relax_txn.Tid.of_int 2, Queue_ops.deq_int 1);
-                   Relax_txn.Schedule.Commit (Relax_txn.Tid.of_int 2);
-                 ])
-          in
-          let atomic = Relax_txn.Atomic_automaton.automaton Fifo.automaton in
-          fun () -> ignore (Automaton.accepts atomic sched)));
-    Test.make ~name:"replica/adaptive-run (X-adapt)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_experiments.Adaptive.run_once
-                ~params:
-                  {
-                    Relax_experiments.Adaptive.default_params with
-                    requests = 8;
-                    seed = 5;
-                  }
-                ())));
-    Test.make ~name:"replica/partition-run (X-part)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_experiments.Partition.run_point
-                (List.hd (Relax_experiments.Taxi.points ~n:5)))));
+    ( "fifo/rfq-equivalence-depth3 (X-fifo)",
+      fun () ->
+        ignore
+          (Language.equivalent_bool fifo_qca Rfq.automaton ~alphabet ~depth:3)
+    );
+    ( "weighted/exact-availability (X-av)",
+      fun () -> ignore (Relax_experiments.Availability.weighted_comparison ())
+    );
+    ( "txn/atomic-automaton-accept (A4-2)",
+      let sched =
+        Relax_txn.Atomic_automaton.encode
+          (Relax_txn.Schedule.of_list
+             [
+               Relax_txn.Schedule.Exec
+                 (Relax_txn.Tid.of_int 1, Queue_ops.enq_int 1);
+               Relax_txn.Schedule.Commit (Relax_txn.Tid.of_int 1);
+               Relax_txn.Schedule.Exec
+                 (Relax_txn.Tid.of_int 2, Queue_ops.deq_int 1);
+               Relax_txn.Schedule.Commit (Relax_txn.Tid.of_int 2);
+             ])
+      in
+      let atomic = Relax_txn.Atomic_automaton.automaton Fifo.automaton in
+      fun () -> ignore (Automaton.accepts atomic sched) );
+    ( "replica/adaptive-run (X-adapt)",
+      fun () ->
+        ignore
+          (Relax_experiments.Adaptive.run_once
+             ~params:
+               {
+                 Relax_experiments.Adaptive.default_params with
+                 requests = 8;
+                 seed = 5;
+               }
+             ()) );
+    ( "replica/partition-run (X-part)",
+      fun () ->
+        ignore
+          (Relax_experiments.Partition.run_point
+             (List.hd (Relax_experiments.Taxi.points ~n:5))) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -254,24 +251,24 @@ let chaos_history, chaos_accepts =
       (result.Relax_chaos.Runner.history, scenario.Chaos_x.accepts)
   | Error e, _ | _, Error e -> failwith e
 
-let bench_chaos =
+let rows_chaos =
   [
-    Test.make ~name:"chaos/nemesis-schedule (X-chaos)"
-      (Staged.stage (fun () ->
-           ignore
-             (Chaos_x.make_trace ~point:"top" ~nemeses:Chaos_x.default_nemeses
-                ~config:Relax_chaos.Runner.default_config)));
-    Test.make ~name:"chaos/single-run+oracle (X-chaos)"
-      (Staged.stage (fun () -> ignore (Chaos_x.run_trace chaos_trace)));
-    Test.make ~name:"chaos/oracle-check (X-chaos)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_chaos.Oracle.check ~accepts:chaos_accepts chaos_history)));
-    Test.make ~name:"chaos/trace-roundtrip (X-chaos)"
-      (Staged.stage (fun () ->
-           ignore
-             (Relax_chaos.Trace.of_string
-                (Relax_chaos.Trace.to_string chaos_trace))));
+    ( "chaos/nemesis-schedule (X-chaos)",
+      fun () ->
+        ignore
+          (Chaos_x.make_trace ~point:"top" ~nemeses:Chaos_x.default_nemeses
+             ~config:Relax_chaos.Runner.default_config) );
+    ( "chaos/single-run+oracle (X-chaos)",
+      fun () -> ignore (Chaos_x.run_trace chaos_trace) );
+    ( "chaos/oracle-check (X-chaos)",
+      fun () ->
+        ignore (Relax_chaos.Oracle.check ~accepts:chaos_accepts chaos_history)
+    );
+    ( "chaos/trace-roundtrip (X-chaos)",
+      fun () ->
+        ignore
+          (Relax_chaos.Trace.of_string (Relax_chaos.Trace.to_string chaos_trace))
+    );
   ]
 
 (* The CI sweep (`rlx chaos run --runs 200 --seed 42`), once, with the
@@ -313,15 +310,15 @@ let print_chaos_sweep () =
    depth: tracks the per-claim cost of the checks the registry schedules.
    Claim thunks construct their automata and caches internally, so every
    run is cold and comparable. *)
-let bench_claims =
+let rows_claims =
   let memoized = [ "pq"; "collapses"; "account"; "fifo" ] in
   let registry = Relax_experiments.Catalog.registry ~alphabet ~depth:3 () in
   Relax_claims.Registry.groups registry
   |> List.filter (fun g -> List.mem g.Relax_claims.Registry.gid memoized)
   |> List.concat_map (fun g -> g.Relax_claims.Registry.claims)
   |> List.map (fun (c : Relax_claims.Claim.t) ->
-         Test.make ~name:(Fmt.str "claims/%s (depth 3)" c.Relax_claims.Claim.id)
-           (Staged.stage (fun () -> ignore (c.Relax_claims.Claim.check ()))))
+         ( Fmt.str "claims/%s (depth 3)" c.Relax_claims.Claim.id,
+           fun () -> ignore (c.Relax_claims.Claim.check ()) ))
 
 (* The whole registry once, with verdict statistics: how much work each
    claim's checker did (histories enumerated, product states visited,
@@ -349,13 +346,74 @@ let print_claim_stats () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Tracing overhead: the `check all --depth 7` acceptance row          *)
+(* ------------------------------------------------------------------ *)
+
+(* Too coarse for OLS (seconds per run), so reported as wall-clock:
+   the registry once with tracing off (the default), once with a tracer
+   installed and the per-claim trace recorded.  The instrumentation is
+   ambient-gated, so the "off" row is also what a pre-obs binary cost —
+   the delta between the two rows is the price of turning tracing on. *)
+let print_trace_overhead () =
+  let open Relax_claims in
+  Fmt.pr "@.== tracing overhead (check all, depth 7) ==@.";
+  let registry () = Relax_experiments.Catalog.registry ~alphabet ~depth:7 () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let _, off = time (fun () -> Engine.run (registry ())) in
+  let tracer = Relax_obs.Tracer.create () in
+  let _, on =
+    time (fun () ->
+        Relax_obs.Tracer.Ambient.with_tracer tracer (fun () ->
+            let results = Engine.run (registry ()) in
+            Engine.record_trace tracer results))
+  in
+  Fmt.pr "claims/check-all-depth7          %8.1f ms  (tracing off)@."
+    (off *. 1000.);
+  Fmt.pr "claims/check-all-depth7-traced   %8.1f ms  (+%.2f%%, %d events)@."
+    (on *. 1000.)
+    ((on -. off) /. off *. 100.)
+    (Relax_obs.Tracer.event_count tracer)
+
+(* ------------------------------------------------------------------ *)
 (* Harness                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let all_rows =
+  rows_larch @ rows_conformance @ rows_core @ rows_prob @ rows_sim
+  @ rows_extensions @ rows_chaos @ rows_claims
+
 let all_tests =
   Test.make_grouped ~name:"relax"
-    (bench_larch @ bench_conformance @ bench_core @ bench_prob @ bench_sim
-   @ bench_extensions @ bench_chaos @ bench_claims)
+    (List.map
+       (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+       all_rows)
+
+(* --trace-dir: run every row once under an ambient tracer and write a
+   Chrome trace_event artifact per row. *)
+let profile_rows dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let sanitize name =
+    String.map
+      (function
+        | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c
+        | _ -> '_')
+      name
+  in
+  List.iter
+    (fun (name, fn) ->
+      let tracer = Relax_obs.Tracer.create () in
+      Relax_obs.Tracer.Ambient.with_tracer tracer fn;
+      let path = Filename.concat dir (sanitize name ^ ".trace.json") in
+      Relax_obs.Export.write_file path Relax_obs.Export.Chrome
+        (Relax_obs.Tracer.events tracer);
+      Fmt.pr "%-55s %6d events -> %s@." name
+        (Relax_obs.Tracer.event_count tracer)
+        path)
+    all_rows
 
 let benchmark () =
   let ols =
@@ -372,19 +430,26 @@ let benchmark () =
   Analyze.merge ols instances results
 
 let () =
-  Fmt.pr "== relax benchmark harness (ns per run, OLS) ==@.";
-  let results = benchmark () in
-  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
-  let rows =
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Fmt.pr "%-55s %14.1f ns/run@." name est
-      | Some _ | None -> Fmt.pr "%-55s %14s@." name "n/a")
-    rows;
-  print_chaos_sweep ();
-  print_claim_stats ();
-  Fmt.pr "@.done: %d benchmarks@." (List.length rows)
+  match Sys.argv with
+  | [| _; "--trace-dir"; dir |] ->
+    Fmt.pr "== relax bench self-profile (one run per row) ==@.";
+    profile_rows dir;
+    Fmt.pr "@.done: %d trace artifacts in %s@." (List.length all_rows) dir
+  | _ ->
+    Fmt.pr "== relax benchmark harness (ns per run, OLS) ==@.";
+    let results = benchmark () in
+    let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+    let rows =
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    List.iter
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Fmt.pr "%-55s %14.1f ns/run@." name est
+        | Some _ | None -> Fmt.pr "%-55s %14s@." name "n/a")
+      rows;
+    print_chaos_sweep ();
+    print_trace_overhead ();
+    print_claim_stats ();
+    Fmt.pr "@.done: %d benchmarks@." (List.length rows)

@@ -27,6 +27,13 @@
      rlx availability     availability of every lattice point
      rlx compare PQ MPQ   Section 5's comparison of specifications
      rlx trait ...        inspect/normalize the standard traits
+     rlx trace simulate taxi --trace-out t.json
+                          record a Perfetto-loadable trace of a run
+     rlx trace chaos top  trace one chaos run at a lattice point
+     rlx profile check --only 'pq/*'
+                          per-claim wall clock + checker stats as JSON
+     rlx ... --trace-out FILE
+                          simulate/check/chaos also trace in place
 *)
 
 open Cmdliner
@@ -37,18 +44,85 @@ let exit_of b = if b then 0 else 1
 
 let apply_jobs jobs = Option.iter Relax_parallel.Pool.set_default_jobs jobs
 
+(* --- tracing -------------------------------------------------------- *)
+
+(* The export format is picked by extension: .jsonl gives line-diffable
+   JSON lines (the golden-trace format), anything else the Chrome
+   trace_event JSON that Perfetto and chrome://tracing load. *)
+let trace_format_of_path path =
+  if Filename.check_suffix path ".jsonl" then Relax_obs.Export.Jsonl
+  else Relax_obs.Export.Chrome
+
+(* The note goes to stderr so stdout stays clean for --format json etc. *)
+let write_trace path tracer =
+  Relax_obs.Export.write_file path (trace_format_of_path path)
+    (Relax_obs.Tracer.events tracer);
+  Fmt.epr "trace: %d events written to %s@."
+    (Relax_obs.Tracer.event_count tracer)
+    path
+
+(* Run [f] with an ambient tracer installed when --trace-out was given. *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+    let tracer = Relax_obs.Tracer.create () in
+    let code = Relax_obs.Tracer.Ambient.with_tracer tracer f in
+    write_trace path tracer;
+    code
+
+(* Like [with_trace], but always traced: without --trace-out the
+   aggregated table goes to stdout (the `rlx trace` subcommands). *)
+let run_traced trace_out f =
+  let tracer = Relax_obs.Tracer.create () in
+  let code = Relax_obs.Tracer.Ambient.with_tracer tracer f in
+  (match trace_out with
+  | Some path -> write_trace path tracer
+  | None ->
+    Fmt.pr "%a"
+      (Relax_obs.Export.pp Relax_obs.Export.Table)
+      (Relax_obs.Export.sort (Relax_obs.Tracer.events tracer)));
+  code
+
 (* The check command is entirely registry-driven: group dispatch, the
    unknown-check hint and the listing all derive from the claim catalog,
    so a new group registers itself everywhere at once.  Claims are fanned
    out over domains by the engine and rendered by the selected reporter;
    the human format is byte-identical to the historical output at any
    degree of parallelism. *)
-let run_check what only format depth jobs =
+(* Group/glob selection shared by check, profile check and trace check. *)
+let select_registry what only depth =
+  let module R = Relax_claims.Registry in
+  let registry = Relax_experiments.Catalog.registry ~depth () in
+  let known = R.group_ids registry in
+  if what <> "all" && not (List.mem what known) then
+    Error
+      (Fmt.str "unknown check %S (expected %s | all | list)" what
+         (String.concat " | " known))
+  else
+    let selected =
+      let by_group =
+        if what = "all" then registry
+        else R.select registry ~pattern:(what ^ "/*")
+      in
+      match only with
+      | None -> by_group
+      | Some pattern -> R.select by_group ~pattern
+    in
+    if R.all_claims selected = [] then
+      Error
+        (match only with
+        | Some pattern ->
+          Fmt.str "no claims match --only %S (see 'rlx check list')" pattern
+        | None -> "no claims selected")
+    else Ok selected
+
+let run_check what only format depth jobs trace_out =
   apply_jobs jobs;
   let module R = Relax_claims.Registry in
   let module C = Relax_claims.Claim in
-  let registry = Relax_experiments.Catalog.registry ~depth () in
   if what = "list" then begin
+    let registry = Relax_experiments.Catalog.registry ~depth () in
     List.iter
       (fun (g : R.group) ->
         Fmt.pr "%s — %s@." g.R.gid g.R.title;
@@ -62,34 +136,22 @@ let run_check what only format depth jobs =
     0
   end
   else
-    let known = R.group_ids registry in
-    if what <> "all" && not (List.mem what known) then begin
-      Fmt.epr "unknown check %S (expected %s | all | list)@." what
-        (String.concat " | " known);
+    match select_registry what only depth with
+    | Error e ->
+      Fmt.epr "%s@." e;
       2
-    end
-    else
-      let selected =
-        let by_group =
-          if what = "all" then registry
-          else R.select registry ~pattern:(what ^ "/*")
-        in
-        match only with
-        | None -> by_group
-        | Some pattern -> R.select by_group ~pattern
-      in
-      if R.all_claims selected = [] then begin
-        (match only with
-        | Some pattern ->
-          Fmt.epr "no claims match --only %S (see 'rlx check list')@." pattern
-        | None -> Fmt.epr "no claims selected@.");
-        2
-      end
-      else begin
-        let results = Relax_claims.Engine.run selected in
-        Relax_claims.Reporter.pp format out results;
-        exit_of (Relax_claims.Engine.ok results)
-      end
+    | Ok selected ->
+      let results = Relax_claims.Engine.run selected in
+      (* claims fan out over domains, so the trace is synthesized from
+         the measured outcomes rather than recorded ambiently *)
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+        let tracer = Relax_obs.Tracer.create () in
+        Relax_claims.Engine.record_trace tracer results;
+        write_trace path tracer);
+      Relax_claims.Reporter.pp format out results;
+      exit_of (Relax_claims.Engine.ok results)
 
 (* The trait/interface figures print their checked sources; 4-2 and 5-1
    are regenerated from the lattice machinery and the case studies. *)
@@ -128,7 +190,7 @@ let run_figure which =
    historical seeds, so a bare `rlx simulate X` is byte-stable, while
    --seed reseeds the whole fault trace (amnesia and spooler sweep a
    window of consecutive seeds starting at the given one). *)
-let run_simulate which seed =
+let run_simulate_on ppf which seed =
   match which with
   | "taxi" ->
     let params =
@@ -136,31 +198,34 @@ let run_simulate which seed =
         (fun seed -> { Relax_experiments.Taxi.default_params with seed })
         seed
     in
-    exit_of (Relax_experiments.Taxi.run ?params out ())
-  | "partition" -> exit_of (Relax_experiments.Partition.run ?seed out ())
+    exit_of (Relax_experiments.Taxi.run ?params ppf ())
+  | "partition" -> exit_of (Relax_experiments.Partition.run ?seed ppf ())
   | "adaptive" ->
     let params =
       Option.map
         (fun seed -> { Relax_experiments.Adaptive.default_params with seed })
         seed
     in
-    exit_of (Relax_experiments.Adaptive.run ?params out ())
+    exit_of (Relax_experiments.Adaptive.run ?params ppf ())
   | "amnesia" ->
     let seeds = Option.map (fun s -> List.init 5 (fun i -> s + i)) seed in
-    exit_of (Relax_experiments.Amnesia.run ?seeds out ())
+    exit_of (Relax_experiments.Amnesia.run ?seeds ppf ())
   | "atm" ->
     let params =
       Option.map
         (fun seed -> { Relax_experiments.Atm.default_params with seed })
         seed
     in
-    exit_of (Relax_experiments.Atm.run ?params out ())
+    exit_of (Relax_experiments.Atm.run ?params ppf ())
   | "spooler" ->
     let seeds = Option.map (fun s -> List.init 3 (fun i -> s + i)) seed in
-    exit_of (Relax_experiments.Spooler.run ?seeds out ())
+    exit_of (Relax_experiments.Spooler.run ?seeds ppf ())
   | other ->
     Fmt.epr "unknown simulation %S (expected taxi | partition | adaptive | amnesia | atm | spooler)@." other;
     2
+
+let run_simulate which seed trace_out =
+  with_trace trace_out (fun () -> run_simulate_on out which seed)
 
 let depth_arg =
   let doc = "Exploration depth for bounded language checks." in
@@ -184,6 +249,14 @@ let jobs_arg =
 
 let what_arg ~doc =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WHAT" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a trace of the run to $(docv): Chrome trace_event JSON \
+     (loadable in Perfetto or chrome://tracing), or JSON lines when \
+     $(docv) ends in $(b,.jsonl)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let check_cmd =
   let doc = "Run the registered claim checks." in
@@ -232,7 +305,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc ~exits)
-    Term.(const run_check $ what $ only $ format $ depth_arg $ jobs_arg)
+    Term.(
+      const run_check $ what $ only $ format $ depth_arg $ jobs_arg
+      $ trace_out_arg)
 
 let figure_cmd =
   let doc =
@@ -254,7 +329,7 @@ let simulate_cmd =
      atm | spooler)."
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run_simulate $ what_arg ~doc $ seed_arg)
+    Term.(const run_simulate $ what_arg ~doc $ seed_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rlx chaos                                                           *)
@@ -262,13 +337,15 @@ let simulate_cmd =
 
 let module_sep_list = Arg.list Arg.string
 
-let run_chaos_run runs seed nemeses points jobs no_shrink trace_prefix =
+let run_chaos_run runs seed nemeses points jobs no_shrink trace_prefix
+    trace_out =
   apply_jobs jobs;
   let module X = Relax_experiments.Chaos_scenarios in
   let nemeses =
     if nemeses = [] then X.default_nemeses else nemeses
   in
   let points = if points = [] then X.names else points in
+  with_trace trace_out @@ fun () ->
   match
     X.sweep ?jobs ~shrink:(not no_shrink) ~runs ~seed ~nemeses ~points ()
   with
@@ -292,8 +369,9 @@ let run_chaos_run runs seed nemeses points jobs no_shrink trace_prefix =
       (List.length report.X.reports);
     exit_of (report.X.violations = [])
 
-let run_chaos_replay file verbose =
+let run_chaos_replay file verbose trace_out =
   let module X = Relax_experiments.Chaos_scenarios in
+  with_trace trace_out @@ fun () ->
   match Relax_chaos.Trace.load file with
   | exception Sys_error e ->
     Fmt.epr "cannot read trace: %s@." e;
@@ -381,7 +459,8 @@ let chaos_cmd =
     Cmd.v (Cmd.info "run" ~doc)
       Term.(
         const run_chaos_run $ runs_arg $ chaos_seed_arg $ nemesis_arg
-        $ points_arg $ jobs_arg $ no_shrink_arg $ trace_prefix_arg)
+        $ points_arg $ jobs_arg $ no_shrink_arg $ trace_prefix_arg
+        $ trace_out_arg)
   in
   let replay_cmd =
     let doc =
@@ -397,7 +476,7 @@ let chaos_cmd =
       Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
     in
     Cmd.v (Cmd.info "replay" ~doc)
-      Term.(const run_chaos_replay $ file_arg $ verbose_arg)
+      Term.(const run_chaos_replay $ file_arg $ verbose_arg $ trace_out_arg)
   in
   let list_cmd =
     let doc = "List the known lattice points and nemeses." in
@@ -542,6 +621,151 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run_compare $ a_arg $ b_arg $ depth_arg)
 
+(* ------------------------------------------------------------------ *)
+(* rlx trace / rlx profile                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace subcommands run an experiment purely for its trace: the
+   experiment's own report is discarded, and stdout carries either
+   nothing (--trace-out) or the aggregated span table. *)
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let run_trace_simulate which seed trace_out =
+  run_traced trace_out (fun () -> run_simulate_on null_ppf which seed)
+
+let run_trace_chaos point seed nemeses trace_out =
+  let module X = Relax_experiments.Chaos_scenarios in
+  let nemeses = if nemeses = [] then X.default_nemeses else nemeses in
+  let config = { Relax_chaos.Runner.default_config with seed } in
+  run_traced trace_out (fun () ->
+      match X.make_trace ~point ~nemeses ~config with
+      | Error e ->
+        Fmt.epr "%s@." e;
+        2
+      | Ok trace -> (
+        match X.run_trace trace with
+        | Error e ->
+          Fmt.epr "%s@." e;
+          2
+        | Ok (result, verdict) ->
+          Fmt.epr "point %s, seed %d: %d completed, %d unavailable — %a@."
+            point seed result.Relax_chaos.Runner.completed
+            result.Relax_chaos.Runner.unavailable Relax_chaos.Oracle.pp
+            verdict;
+          exit_of (Relax_chaos.Oracle.conforms verdict)))
+
+(* Claims fan out over domains, so both trace check and profile check
+   synthesize the trace from measured outcomes (Engine.record_trace)
+   instead of recording ambiently: durations are wall clock, stats are
+   the deterministic memo/product counters. *)
+let run_claims_trace what only depth jobs trace_out ~json =
+  apply_jobs jobs;
+  match select_registry what only depth with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    2
+  | Ok selected ->
+    let results = Relax_claims.Engine.run selected in
+    let tracer = Relax_obs.Tracer.create () in
+    Relax_claims.Engine.record_trace tracer results;
+    (match trace_out with
+    | Some path -> write_trace path tracer
+    | None when not json ->
+      Fmt.pr "%a"
+        (Relax_obs.Export.pp Relax_obs.Export.Table)
+        (Relax_obs.Export.sort (Relax_obs.Tracer.events tracer))
+    | None -> ());
+    if json then
+      Relax_claims.Reporter.pp Relax_claims.Reporter.Json out results;
+    exit_of (Relax_claims.Engine.ok results)
+
+let run_trace_check what only depth jobs trace_out =
+  run_claims_trace what only depth jobs trace_out ~json:false
+
+let run_profile_check what only depth jobs trace_out =
+  run_claims_trace what only depth jobs trace_out ~json:true
+
+let check_what_arg =
+  let doc = "Claim group to run, $(b,all) by default." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc)
+
+let only_arg =
+  let doc =
+    "Only run claims whose id matches $(docv) ($(b,*) matches any \
+     substring), e.g. $(b,--only 'pq/*')."
+  in
+  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"GLOB" ~doc)
+
+let trace_cmd =
+  let sim_cmd =
+    let doc =
+      "Trace a case-study simulation (taxi | partition | adaptive | \
+       amnesia | atm | spooler): spans and instants from the engine, \
+       network, replica and claims, timestamped in virtual time — \
+       byte-identical for a given seed."
+    in
+    Cmd.v (Cmd.info "simulate" ~doc)
+      Term.(const run_trace_simulate $ what_arg ~doc $ seed_arg $ trace_out_arg)
+  in
+  let chaos_cmd =
+    let point_arg =
+      let doc = "Lattice point (top | q1 | q2 | bottom | adaptive)." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"POINT" ~doc)
+    in
+    let seed_arg =
+      let doc = "Seed of the traced run." in
+      Arg.(
+        value
+        & opt int Relax_sim.Engine.default_seed
+        & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+    in
+    let nemesis_arg =
+      let doc = "Comma-separated nemesis mix (default: every \
+                 assumption-preserving nemesis)." in
+      Arg.(value & opt module_sep_list [] & info [ "nemesis" ] ~docv:"LIST" ~doc)
+    in
+    let doc =
+      "Trace one chaos run at a lattice point: fault applications, mode \
+       switches and the oracle verdict, with the active constraint set \
+       as span attributes."
+    in
+    Cmd.v (Cmd.info "chaos" ~doc)
+      Term.(
+        const run_trace_chaos $ point_arg $ seed_arg $ nemesis_arg
+        $ trace_out_arg)
+  in
+  let check_cmd =
+    let doc =
+      "Trace a claim run: one complete event per claim with its wall \
+       clock and memo/product statistics."
+    in
+    Cmd.v (Cmd.info "check" ~doc)
+      Term.(
+        const run_trace_check $ check_what_arg $ only_arg $ depth_arg
+        $ jobs_arg $ trace_out_arg)
+  in
+  let doc =
+    "Trace an experiment: run it with the observability layer recording \
+     spans, instants and counters, then export them (Chrome trace_event, \
+     JSON lines, or an aggregated table)."
+  in
+  Cmd.group (Cmd.info "trace" ~doc) [ sim_cmd; chaos_cmd; check_cmd ]
+
+let profile_cmd =
+  let check_cmd =
+    let doc =
+      "Profile a claim run: print the JSON report (per-claim status, \
+       wall clock and checker statistics) and optionally write a \
+       per-claim trace artifact."
+    in
+    Cmd.v (Cmd.info "check" ~doc)
+      Term.(
+        const run_profile_check $ check_what_arg $ only_arg $ depth_arg
+        $ jobs_arg $ trace_out_arg)
+  in
+  let doc = "Profile a workload (currently: check)." in
+  Cmd.group (Cmd.info "profile" ~doc) [ check_cmd ]
+
 let behaviors_cmd =
   let doc = "List the named behaviors available to 'rlx compare'." in
   Cmd.v (Cmd.info "behaviors" ~doc)
@@ -561,7 +785,8 @@ let main =
     (Cmd.info "rlx" ~version:"1.0.0" ~doc)
     [
       check_cmd; figure_cmd; simulate_cmd; chaos_cmd; availability_cmd;
-      lattice_cmd; trait_cmd; compare_cmd; behaviors_cmd;
+      lattice_cmd; trait_cmd; compare_cmd; behaviors_cmd; trace_cmd;
+      profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

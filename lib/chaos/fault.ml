@@ -55,6 +55,12 @@ let equal_event a b = Float.equal a.at b.at && equal_action a.action b.action
    a nemesis schedule, a replayed trace, an experiment's hand-placed
    partition — goes through here. *)
 let apply ?replica net action =
+  let module A = Relax_obs.Tracer.Ambient in
+  if A.active () then
+    A.instant
+      ~time:(Relax_sim.Engine.now (Relax_sim.Network.engine net))
+      "chaos/fault"
+      ~attrs:[ Relax_obs.Attr.str "action" (Fmt.str "%a" pp_action action) ];
   match action with
   | Crash s -> Relax_sim.Network.crash net s
   | Recover s -> Relax_sim.Network.recover net s

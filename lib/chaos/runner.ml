@@ -111,6 +111,12 @@ let run ?(config = default_config) ~client ~respond events =
       if d <> !degraded then begin
         degraded := d;
         incr switches;
+        let module A = Relax_obs.Tracer.Ambient in
+        if A.active () then
+          A.instant
+            ~time:(Relax_sim.Engine.now engine)
+            "chaos/mode"
+            ~attrs:[ Relax_obs.Attr.bool "degraded" d ];
         emit (if d then degrade else restore)
       end
   in

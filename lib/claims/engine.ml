@@ -39,10 +39,55 @@ let run_claim (claim : Claim.t) =
         };
   }
 
+module A = Relax_obs.Tracer.Ambient
+module At = Relax_obs.Attr
+
+let stat_attrs (v : Verdict.t) =
+  [
+    At.str "status" (Verdict.status_to_string v.Verdict.status);
+    At.int "histories" v.Verdict.stats.Verdict.histories;
+    At.int "visited" v.Verdict.stats.Verdict.visited;
+    At.int "memo_hits" v.Verdict.stats.Verdict.memo_hits;
+  ]
+
+(* Run one claim under an ambient span carrying its memo/product stats.
+   Deliberately NOT the wall clock: traces of deterministic runs must be
+   byte-identical, and wall time is the one nondeterministic stat. *)
+let run_claim_traced claim =
+  if not (A.active ()) then run_claim claim
+  else begin
+    A.begin_span ("claim/" ^ claim.Claim.id);
+    let o = run_claim claim in
+    List.iter A.set_attr (stat_attrs o.verdict);
+    A.end_span ();
+    o
+  end
+
+(* Synthesize one Complete trace event per outcome, in registry order.
+   Used after a parallel run, where per-domain ambient tracing would
+   record a nondeterministic partial view; here [dur] is the measured
+   wall clock, so these traces are for profiling, not for goldens. *)
+let record_trace tracer results =
+  List.iter
+    (fun ((_ : Registry.group), outcomes) ->
+      List.iter
+        (fun o ->
+          Relax_obs.Tracer.complete tracer
+            ~dur:(o.verdict.Verdict.stats.Verdict.wall_s *. 1000.0)
+            ~attrs:(stat_attrs o.verdict)
+            ("claim/" ^ o.claim.Claim.id))
+        outcomes)
+    results
+
 let run ?jobs registry =
   let groups = Registry.groups registry in
   let claims = List.concat_map (fun (g : Registry.group) -> g.claims) groups in
-  let outcomes = Relax_parallel.Pool.map ?jobs run_claim claims in
+  (* The fan-out never emits ambient events, even at [jobs = 1] where the
+     pool degrades to a sequential map on this very domain: a parallel
+     run records through {!record_trace}, identically at any job count. *)
+  let outcomes =
+    A.without (fun () -> Relax_parallel.Pool.map ?jobs run_claim claims)
+  in
   (* stitch the flat outcome list back into registry groups *)
   let rec regroup groups outcomes =
     match groups with
@@ -67,7 +112,7 @@ let run_print (g : Registry.group) ppf =
   if g.header <> "" then Fmt.string ppf g.header;
   List.fold_left
     (fun acc claim ->
-      let o = run_claim claim in
+      let o = run_claim_traced claim in
       Fmt.string ppf o.verdict.Verdict.human;
       acc && Verdict.ok o.verdict)
     true g.claims

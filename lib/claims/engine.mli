@@ -16,6 +16,14 @@ val run :
 (** [true] iff every verdict passed. *)
 val ok : (Registry.group * outcome list) list -> bool
 
+(** Append one [Complete] trace event per outcome (registry order) to
+    the tracer: span name [claim/<id>], duration the measured wall
+    clock, memo/product stats as attributes.  The profiling export for
+    parallel runs, where ambient per-domain tracing would record a
+    nondeterministic partial view. *)
+val record_trace :
+  Relax_obs.Tracer.t -> (Registry.group * outcome list) list -> unit
+
 (** Sequentially run and print one group in the legacy human format
     (banner, then each claim's rendering); [true] when all pass. *)
 val run_print : Registry.group -> Format.formatter -> bool

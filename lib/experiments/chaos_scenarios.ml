@@ -22,6 +22,7 @@ module Chaos = Relax_chaos
 type scenario = {
   name : string;
   description : string;
+  lattice : string; (* rendered constraint set, or "adaptive" *)
   client : sites:int -> Chaos.Runner.client;
   accepts : History.t -> bool;
 }
@@ -32,6 +33,7 @@ let fixed index name description =
   {
     name;
     description;
+    lattice = Cset.to_string cset;
     client =
       (fun ~sites ->
         Chaos.Runner.Fixed
@@ -56,6 +58,7 @@ let all =
       name = "adaptive";
       description =
         "Section 2.3 adaptive client vs the combined automaton";
+      lattice = "adaptive";
       client =
         (fun ~sites ->
           Chaos.Runner.Adaptive
@@ -109,12 +112,31 @@ let run_trace (trace : Chaos.Trace.t) =
   match find trace.point with
   | Error e -> Error e
   | Ok sc ->
-    let result =
-      Chaos.Runner.run ~config:trace.config
-        ~client:(sc.client ~sites:trace.config.Chaos.Runner.sites)
-        ~respond:Choosers.pq_eta trace.events
-    in
-    Ok (result, Chaos.Oracle.check ~accepts:sc.accepts result.history)
+    let module A = Relax_obs.Tracer.Ambient in
+    let module At = Relax_obs.Attr in
+    A.span "chaos/run"
+      ~attrs:
+        [
+          At.str "point" trace.point;
+          At.str "cset" sc.lattice;
+          At.int "seed" trace.config.Chaos.Runner.seed;
+          At.str "nemeses" (String.concat "," trace.nemeses);
+          At.int "faults" (List.length trace.events);
+        ]
+      (fun () ->
+        let result =
+          Chaos.Runner.run ~config:trace.config
+            ~client:(sc.client ~sites:trace.config.Chaos.Runner.sites)
+            ~respond:Choosers.pq_eta trace.events
+        in
+        let verdict = Chaos.Oracle.check ~accepts:sc.accepts result.history in
+        A.instant "chaos/verdict"
+          ~attrs:
+            [
+              At.str "point" trace.point;
+              At.bool "conforms" (Chaos.Oracle.conforms verdict);
+            ];
+        Ok (result, verdict))
 
 (* Does this schedule, substituted into the trace, still violate?  The
    probe the shrinker drives; deterministic because the runner is. *)

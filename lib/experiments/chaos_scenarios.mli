@@ -13,6 +13,9 @@ module Chaos = Relax_chaos
 type scenario = {
   name : string;
   description : string;
+  lattice : string;
+      (** The point's constraint set rendered ("{Q1,Q2}", ...), or
+          ["adaptive"] — the lattice-point attribute on trace spans. *)
   client : sites:int -> Chaos.Runner.client;
   accepts : History.t -> bool;
 }

@@ -1,0 +1,41 @@
+(* Typed key/value attributes carried by spans, instants and counter
+   samples.  Rendering is deterministic (floats always %.3f) so the
+   exports of a deterministic run are byte-stable. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type t = string * value
+
+let str k v = (k, Str v)
+let int k v = (k, Int v)
+let float k v = (k, Float v)
+let bool k v = (k, Bool v)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.3f" f
+  | Bool b -> if b then "true" else "false"
+
+let pp ppf (k, v) =
+  match v with
+  | Str s -> Fmt.pf ppf "%s=%s" k s
+  | Int i -> Fmt.pf ppf "%s=%d" k i
+  | Float f -> Fmt.pf ppf "%s=%.3f" k f
+  | Bool b -> Fmt.pf ppf "%s=%b" k b

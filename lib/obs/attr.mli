@@ -1,0 +1,22 @@
+(** Span and event attributes: typed key/value pairs.
+
+    Attributes render deterministically — floats always as [%.3f] — so
+    traces of deterministic runs are byte-stable across machines. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type t = string * value
+
+val str : string -> string -> t
+val int : string -> int -> t
+val float : string -> float -> t
+val bool : string -> bool -> t
+
+(** The value as the JSON fragment the exporters embed (strings escaped
+    and quoted, floats as [%.3f], bools as [true]/[false]). *)
+val value_to_json : value -> string
+
+(** Minimal JSON string escaping (quotes, backslash, control chars). *)
+val json_escape : string -> string
+
+val pp : t Fmt.t

@@ -1,0 +1,193 @@
+(* Exporters over a tracer's event list.
+
+   Chrome: the trace_event JSON-object format — {"traceEvents": [...]}
+   with B/E duration events, i instants, C counters and X complete
+   events — one event per line, so the file both loads in Perfetto and
+   diffs linewise.  Timestamps are exported in microseconds (the
+   format's unit); the tracer's abstract milliseconds are scaled by
+   1000.
+
+   Jsonl: one JSON object per event per line, in the tracer's native
+   unit — the golden-trace format, trivially line-diffable.
+
+   Table: per-name aggregation (span count and total/mean duration,
+   instant counts, final counter values) for humans. *)
+
+type format = Chrome | Jsonl | Table
+
+let format_to_string = function
+  | Chrome -> "chrome"
+  | Jsonl -> "jsonl"
+  | Table -> "table"
+
+let format_of_string = function
+  | "chrome" -> Some Chrome
+  | "jsonl" -> Some Jsonl
+  | "table" -> Some Table
+  | _ -> None
+
+let sort events =
+  List.stable_sort
+    (fun (a : Tracer.event) (b : Tracer.event) ->
+      let c = Float.compare a.Tracer.ts b.Tracer.ts in
+      if c <> 0 then c else Int.compare a.Tracer.tid b.Tracer.tid)
+    events
+
+let phase_of = function
+  | Tracer.Begin -> "B"
+  | Tracer.End -> "E"
+  | Tracer.Instant -> "i"
+  | Tracer.Counter _ -> "C"
+  | Tracer.Complete _ -> "X"
+
+let args_json attrs extra =
+  let fields =
+    extra @ List.map (fun (k, v) -> (k, Attr.value_to_json v)) attrs
+  in
+  match fields with
+  | [] -> ""
+  | fields ->
+    ",\"args\":{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> "\"" ^ Attr.json_escape k ^ "\":" ^ v)
+           fields)
+    ^ "}"
+
+let chrome_line (e : Tracer.event) =
+  let extra =
+    match e.kind with
+    | Tracer.Counter v -> [ ("value", Printf.sprintf "%.3f" v) ]
+    | _ -> []
+  in
+  let dur =
+    match e.kind with
+    | Tracer.Complete d -> Printf.sprintf ",\"dur\":%.3f" (d *. 1000.0)
+    | _ -> ""
+  in
+  let scope = match e.kind with Tracer.Instant -> ",\"s\":\"t\"" | _ -> "" in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d%s%s%s}"
+    (Attr.json_escape e.name) (phase_of e.kind)
+    (e.ts *. 1000.0)
+    e.tid dur scope
+    (args_json e.attrs extra)
+
+let pp_chrome ppf events =
+  Fmt.pf ppf "{\"traceEvents\":[@\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Fmt.pf ppf ",@\n";
+      Fmt.string ppf (chrome_line e))
+    events;
+  Fmt.pf ppf "@\n],\"displayTimeUnit\":\"ms\"}@\n"
+
+let jsonl_line (e : Tracer.event) =
+  let extra =
+    match e.kind with
+    | Tracer.Counter v -> [ ("value", Printf.sprintf "%.3f" v) ]
+    | Tracer.Complete d -> [ ("dur", Printf.sprintf "%.3f" d) ]
+    | _ -> []
+  in
+  Printf.sprintf "{\"ts\":%.3f,\"tid\":%d,\"ph\":\"%s\",\"name\":\"%s\"%s}"
+    e.ts e.tid (phase_of e.kind)
+    (Attr.json_escape e.name)
+    (args_json e.attrs extra)
+
+let pp_jsonl ppf events =
+  List.iter (fun e -> Fmt.pf ppf "%s@\n" (jsonl_line e)) events
+
+(* --- table --------------------------------------------------------- *)
+
+type span_agg = { mutable spans : int; mutable total : float }
+
+let pp_table ppf events =
+  let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 16
+  and instants : (string, int ref) Hashtbl.t = Hashtbl.create 16
+  and counters : (string, float ref) Hashtbl.t = Hashtbl.create 16
+  and stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  let span_agg name =
+    match Hashtbl.find_opt spans name with
+    | Some a -> a
+    | None ->
+      let a = { spans = 0; total = 0.0 } in
+      Hashtbl.add spans name a;
+      a
+  in
+  let add_span name dur =
+    let a = span_agg name in
+    a.spans <- a.spans + 1;
+    a.total <- a.total +. dur
+  in
+  List.iter
+    (fun (e : Tracer.event) ->
+      match e.kind with
+      | Tracer.Begin ->
+        let s = stack e.tid in
+        s := (e.name, e.ts) :: !s
+      | Tracer.End -> (
+        let s = stack e.tid in
+        match !s with
+        | [] -> ()
+        | (name, t0) :: rest ->
+          s := rest;
+          add_span name (e.ts -. t0))
+      | Tracer.Complete d -> add_span e.name d
+      | Tracer.Instant -> (
+        match Hashtbl.find_opt instants e.name with
+        | Some r -> Stdlib.incr r
+        | None -> Hashtbl.add instants e.name (ref 1))
+      | Tracer.Counter v -> (
+        match Hashtbl.find_opt counters e.name with
+        | Some r -> r := v
+        | None -> Hashtbl.add counters e.name (ref v)))
+    events;
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare in
+  if Hashtbl.length spans > 0 then begin
+    Fmt.pf ppf "%-40s %8s %12s %12s@\n" "span" "count" "total" "mean";
+    List.iter
+      (fun name ->
+        let a = Hashtbl.find spans name in
+        Fmt.pf ppf "%-40s %8d %12.3f %12.3f@\n" name a.spans a.total
+          (a.total /. float_of_int (max 1 a.spans)))
+      (keys spans)
+  end;
+  if Hashtbl.length instants > 0 then begin
+    Fmt.pf ppf "%-40s %8s@\n" "instant" "count";
+    List.iter
+      (fun name ->
+        Fmt.pf ppf "%-40s %8d@\n" name !(Hashtbl.find instants name))
+      (keys instants)
+  end;
+  if Hashtbl.length counters > 0 then begin
+    Fmt.pf ppf "%-40s %12s@\n" "counter" "last";
+    List.iter
+      (fun name ->
+        Fmt.pf ppf "%-40s %12.3f@\n" name !(Hashtbl.find counters name))
+      (keys counters)
+  end
+
+let pp format ppf events =
+  match format with
+  | Chrome -> pp_chrome ppf events
+  | Jsonl -> pp_jsonl ppf events
+  | Table -> pp_table ppf events
+
+let to_string format events = Fmt.str "%a" (pp format) events
+
+let write_file path format events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      pp format ppf (sort events);
+      Format.pp_print_flush ppf ())

@@ -1,0 +1,18 @@
+(** Trace exporters: Chrome [trace_event] JSON (loads in Perfetto and
+    [chrome://tracing]), JSON lines, and an aggregated human table. *)
+
+type format = Chrome | Jsonl | Table
+
+val format_to_string : format -> string
+val format_of_string : string -> format option
+
+(** Stable sort by [(ts, tid)] — emission order breaks ties, so sorted
+    exports of per-domain tracers merged by concatenation are
+    independent of the merge order. *)
+val sort : Tracer.event list -> Tracer.event list
+
+val pp : format -> Format.formatter -> Tracer.event list -> unit
+val to_string : format -> Tracer.event list -> string
+
+(** Write the sorted events to [path] in the given format. *)
+val write_file : string -> format -> Tracer.event list -> unit

@@ -1,0 +1,163 @@
+(* Span/instant/counter collection over a monotonized timeline.
+
+   The monotonization rule: an event stamped with source time [v]
+   advances the timeline by [v - w] where [w] is the previous source
+   time of the same tracer; a regression of the source clock (a second
+   simulation engine starting over at 0) or an unstamped event advances
+   it by exactly one tick.  Timestamps are thus non-decreasing per
+   tracer, preserve intra-epoch durations, and are a pure function of
+   the emission sequence — deterministic emitters yield byte-identical
+   exports. *)
+
+type kind =
+  | Begin
+  | End
+  | Instant
+  | Counter of float
+  | Complete of float
+
+type event = {
+  ts : float;
+  tid : int;
+  name : string;
+  kind : kind;
+  attrs : Attr.t list;
+}
+
+type open_span = { span_name : string; mutable extra : Attr.t list }
+
+type t = {
+  tid_ : int;
+  mutable rev_events : event list;
+  mutable count : int;
+  mutable last_ts : float;
+  mutable last_time : float option;
+  mutable stack : open_span list;
+}
+
+let create ?(tid = 0) () =
+  { tid_ = tid; rev_events = []; count = 0; last_ts = 0.0; last_time = None; stack = [] }
+
+let tid t = t.tid_
+let events t = List.rev t.rev_events
+let event_count t = t.count
+let depth t = List.length t.stack
+let now t = t.last_ts
+
+let stamp t time =
+  let ts =
+    match (time, t.last_time) with
+    | Some v, Some w when v >= w -> t.last_ts +. (v -. w)
+    | Some v, None -> Float.max t.last_ts v
+    | Some _, Some _ (* source clock regressed: one logical tick *) | None, _ ->
+      t.last_ts +. 1.0
+  in
+  (match time with Some v -> t.last_time <- Some v | None -> ());
+  t.last_ts <- ts;
+  ts
+
+let emit t ?time ?(attrs = []) name kind =
+  let ts = stamp t time in
+  t.rev_events <- { ts; tid = t.tid_; name; kind; attrs } :: t.rev_events;
+  t.count <- t.count + 1
+
+let begin_span t ?time ?attrs name =
+  t.stack <- { span_name = name; extra = [] } :: t.stack;
+  emit t ?time ?attrs name Begin
+
+let end_span t ?time ?(attrs = []) () =
+  match t.stack with
+  | [] -> invalid_arg "Tracer.end_span: no open span"
+  | s :: rest ->
+    t.stack <- rest;
+    emit t ?time ~attrs:(List.rev_append s.extra attrs) s.span_name End
+
+let with_span t ?time ?attrs name f =
+  begin_span t ?time ?attrs name;
+  match f () with
+  | v ->
+    end_span t ();
+    v
+  | exception e ->
+    end_span t ~attrs:[ Attr.bool "raised" true ] ();
+    raise e
+
+let set_attr t attr =
+  match t.stack with
+  | [] -> invalid_arg "Tracer.set_attr: no open span"
+  | s :: _ -> s.extra <- attr :: s.extra
+
+let instant t ?time ?attrs name = emit t ?time ?attrs name Instant
+let counter t ?time name v = emit t ?time name (Counter v)
+let complete t ?time ?attrs ~dur name = emit t ?time ?attrs name (Complete dur)
+
+(* ------------------------------------------------------------------ *)
+(* Ambient                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Ambient = struct
+  (* Fast global short-circuit: the count of installed tracers across
+     all domains.  When zero — the common, tracing-off case — [active]
+     is one atomic read and a comparison, so instrumented hot paths pay
+     essentially nothing. *)
+  let installed = Atomic.make 0
+
+  let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let install o =
+    (match (Domain.DLS.get key, o) with
+    | None, Some _ -> Atomic.incr installed
+    | Some _, None -> Atomic.decr installed
+    | None, None | Some _, Some _ -> ());
+    Domain.DLS.set key o
+
+  let get () = if Atomic.get installed = 0 then None else Domain.DLS.get key
+  let active () = Atomic.get installed > 0 && Domain.DLS.get key <> None
+
+  let with_tracer t f =
+    let prev = Domain.DLS.get key in
+    install (Some t);
+    match f () with
+    | v ->
+      install prev;
+      v
+    | exception e ->
+      install prev;
+      raise e
+
+  let without f =
+    let prev = Domain.DLS.get key in
+    match prev with
+    | None -> f ()
+    | Some _ -> (
+      install None;
+      match f () with
+      | v ->
+        install prev;
+        v
+      | exception e ->
+        install prev;
+        raise e)
+
+  let begin_span ?time ?attrs name =
+    match get () with None -> () | Some t -> begin_span t ?time ?attrs name
+
+  let end_span ?time ?attrs () =
+    match get () with
+    | None -> ()
+    | Some t -> if t.stack <> [] then end_span t ?time ?attrs ()
+
+  let span ?time ?attrs name f =
+    match get () with None -> f () | Some t -> with_span t ?time ?attrs name f
+
+  let set_attr attr =
+    match get () with
+    | None -> ()
+    | Some t -> if t.stack <> [] then set_attr t attr
+
+  let instant ?time ?attrs name =
+    match get () with None -> () | Some t -> instant t ?time ?attrs name
+
+  let counter ?time name v =
+    match get () with None -> () | Some t -> counter t ?time name v
+end

@@ -1,0 +1,103 @@
+(** Hierarchical spans, instants and counter samples over a monotonized
+    timeline.
+
+    A tracer collects a flat, chronological event list.  Emitters may
+    supply a source time (simulation virtual time, or a wall clock);
+    the tracer rebases it onto a per-tracer monotone timeline: within
+    one source-clock epoch, deltas are preserved; when the source clock
+    regresses (a fresh simulation engine starting at 0) or no time is
+    supplied, the timeline advances by one logical tick.  Timestamps
+    are therefore non-decreasing and — for deterministic emitters —
+    byte-reproducible.  Never feed [Unix.gettimeofday] into a tracer on
+    a deterministic path.
+
+    A tracer is single-domain: create one per domain and concatenate
+    the event lists (or use {!Export.sort}) to merge. *)
+
+type kind =
+  | Begin  (** span opens *)
+  | End  (** span closes; the event carries the opening span's name *)
+  | Instant
+  | Counter of float
+  | Complete of float  (** a closed span with an explicit duration *)
+
+type event = {
+  ts : float;  (** monotonized timestamp, abstract "milliseconds" *)
+  tid : int;
+  name : string;
+  kind : kind;
+  attrs : Attr.t list;
+}
+
+type t
+
+val create : ?tid:int -> unit -> t
+val tid : t -> int
+
+(** Events in emission (chronological) order. *)
+val events : t -> event list
+
+val event_count : t -> int
+
+(** Number of currently open spans. *)
+val depth : t -> int
+
+(** The current end of the monotonized timeline. *)
+val now : t -> float
+
+val begin_span : t -> ?time:float -> ?attrs:Attr.t list -> string -> unit
+
+(** Closes the innermost open span, emitting any attributes attached
+    with {!set_attr} plus [attrs].  Raises [Invalid_argument] when no
+    span is open. *)
+val end_span : t -> ?time:float -> ?attrs:Attr.t list -> unit -> unit
+
+(** [with_span t name f] runs [f] inside a [name] span; the span closes
+    even when [f] raises. *)
+val with_span : t -> ?time:float -> ?attrs:Attr.t list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span; it is emitted on the
+    span's [End] event.  Raises [Invalid_argument] when no span is open. *)
+val set_attr : t -> Attr.t -> unit
+
+val instant : t -> ?time:float -> ?attrs:Attr.t list -> string -> unit
+val counter : t -> ?time:float -> string -> float -> unit
+
+(** An already-closed span of duration [dur] starting at the stamped
+    timestamp — used to replay measured work (e.g. per-claim wall
+    clock) into a trace after the fact. *)
+val complete : t -> ?time:float -> ?attrs:Attr.t list -> dur:float -> string -> unit
+
+(** The ambient tracer: a per-domain current tracer, so instrumentation
+    deep inside the simulator needs no plumbing.  Emitting through an
+    ambient helper is a no-op (one atomic read and a branch) when no
+    tracer is installed in the current domain — cheap enough for hot
+    paths, but guard attribute construction with {!Ambient.active}. *)
+module Ambient : sig
+  (** Install (or clear, with [None]) the current domain's tracer. *)
+  val install : t option -> unit
+
+  val get : unit -> t option
+
+  (** [true] iff the current domain has an ambient tracer. *)
+  val active : unit -> bool
+
+  (** Install [t] for the duration of the callback, restoring the
+      previous tracer afterwards (even on exceptions). *)
+  val with_tracer : t -> (unit -> 'a) -> 'a
+
+  (** Run the callback with tracing suppressed in this domain. *)
+  val without : (unit -> 'a) -> 'a
+
+  (** The emitters below are silent no-ops when no tracer is installed.
+      [end_span] and [set_attr] are also silent (rather than raising)
+      when no span is open, so unbalanced instrumentation cannot crash
+      an experiment. *)
+
+  val begin_span : ?time:float -> ?attrs:Attr.t list -> string -> unit
+  val end_span : ?time:float -> ?attrs:Attr.t list -> unit -> unit
+  val span : ?time:float -> ?attrs:Attr.t list -> string -> (unit -> 'a) -> 'a
+  val set_attr : Attr.t -> unit
+  val instant : ?time:float -> ?attrs:Attr.t list -> string -> unit
+  val counter : ?time:float -> string -> float -> unit
+end

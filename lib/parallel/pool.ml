@@ -41,25 +41,51 @@ let map ?jobs f l =
     let inputs = Array.of_list l in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (results.(i) <-
-            (match f inputs.(i) with
-            | v -> Some (Ok v)
-            | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
-          loop ()
-        end
-      in
-      loop ()
+    (* Per-worker task tallies, reported as pool/domain utilization
+       instants when a tracer is installed on the calling domain.  Work
+       distribution is a race, so these appear only in profiling traces
+       — never on a goldened code path. *)
+    let tallies = Array.make jobs 0 in
+    (* Workers run with the ambient tracer suppressed: a task executing
+       on the caller's own domain would otherwise emit a
+       schedule-dependent subset of events into the caller's trace. *)
+    let worker w () =
+      Relax_obs.Tracer.Ambient.without (fun () ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              tallies.(w) <- tallies.(w) + 1;
+              (results.(i) <-
+                (match f inputs.(i) with
+                | v -> Some (Ok v)
+                | exception e ->
+                  Some (Error (e, Printexc.get_raw_backtrace ()))));
+              loop ()
+            end
+          in
+          loop ())
     in
     let rec spawn k acc =
-      if k = 0 then acc else spawn (k - 1) (Domain.spawn worker :: acc)
+      if k = 0 then acc else spawn (k - 1) (Domain.spawn (worker k) :: acc)
     in
     let domains = spawn (jobs - 1) [] in
-    worker ();
+    worker 0 ();
     List.iter Domain.join domains;
+    let module A = Relax_obs.Tracer.Ambient in
+    if A.active () then begin
+      A.instant "pool/map"
+        ~attrs:
+          [ Relax_obs.Attr.int "jobs" jobs; Relax_obs.Attr.int "tasks" n ];
+      Array.iteri
+        (fun w tasks ->
+          A.instant "pool/domain"
+            ~attrs:
+              [
+                Relax_obs.Attr.int "domain" w;
+                Relax_obs.Attr.int "tasks" tasks;
+              ])
+        tallies
+    end;
     (* surface the first failure in input order *)
     Array.to_list results
     |> List.map (function

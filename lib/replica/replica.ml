@@ -22,6 +22,9 @@ open Relax_quorum
    order — the history the verification experiments replay through the
    relaxation lattice's predicted behavior. *)
 
+module Tr = Relax_obs.Tracer.Ambient
+module At = Relax_obs.Attr
+
 type result = Completed of Op.t * float | Unavailable of string
 
 (* Chooses the response to an invocation given the merged view, or [None]
@@ -43,6 +46,7 @@ type t = {
   sites : site array;
   mutable completed : (float * Op.t) list; (* reverse completion order *)
   mutable unavailable : int;
+  mutable ops_started : int; (* trace-visible operation ids *)
   mutable attempts_total : int;
   mutable retries_total : int;
   mutable op_latencies : float list;
@@ -74,6 +78,7 @@ let create ?(timeout = 200.0) ?(retries = 2) ?(backoff = 8.0) ?metrics engine
     sites = Array.init n (fun _ -> { log = Log.empty; clock = Timestamp.zero });
     completed = [];
     unavailable = 0;
+    ops_started = 0;
     attempts_total = 0;
     retries_total = 0;
     op_latencies = [];
@@ -193,6 +198,17 @@ let execute t ~client_site inv callback =
   let final_need = Assignment.final_threshold t.assignment op_name in
   let started = Relax_sim.Engine.now t.engine in
   let n = Array.length t.sites in
+  let op_id = t.ops_started in
+  t.ops_started <- t.ops_started + 1;
+  (* Operations overlap in virtual time, so they trace as correlated
+     instants keyed by [op] rather than as nested spans. *)
+  let trace_op name attrs =
+    if Tr.active () then
+      Tr.instant ~time:(Relax_sim.Engine.now t.engine) name
+        ~attrs:(At.int "op" op_id :: attrs)
+  in
+  trace_op "replica/op"
+    [ At.str "name" op_name; At.int "site" client_site ];
   let settled = ref false in
   let conclude r =
     if not !settled then begin
@@ -200,10 +216,12 @@ let execute t ~client_site inv callback =
       (match r with
       | Completed (op, latency) ->
         count t "replica/completed";
+        trace_op "replica/complete" [ At.float "lat" latency ];
         t.completed <- (Relax_sim.Engine.now t.engine, op) :: t.completed;
         t.op_latencies <- latency :: t.op_latencies
-      | Unavailable _ ->
+      | Unavailable reason ->
         count t "replica/unavailable";
+        trace_op "replica/unavailable" [ At.str "reason" reason ];
         t.unavailable <- t.unavailable + 1);
       callback r
     end
@@ -212,6 +230,7 @@ let execute t ~client_site inv callback =
     (* [k] is the attempt number, 1-based. *)
     t.attempts_total <- t.attempts_total + 1;
     count t "replica/attempts";
+    trace_op "replica/attempt" [ At.int "attempt" k ];
     let attempt_over = ref false in
     let written_entry = ref None in
     let fail_attempt ~retryable reason =
@@ -224,6 +243,7 @@ let execute t ~client_site inv callback =
           count t "replica/retries";
           let jitter = 1.0 +. (0.5 *. Relax_sim.Rng.unit_float t.rng) in
           let delay = t.backoff *. (2.0 ** float_of_int (k - 1)) *. jitter in
+          trace_op "replica/retry" [ At.int "attempt" k; At.float "delay" delay ];
           Option.iter
             (fun m -> Relax_sim.Metrics.observe m "replica/backoff" delay)
             t.metrics;
@@ -241,7 +261,8 @@ let execute t ~client_site inv callback =
     in
     (* Phase 2+3, entered once the view is assembled. *)
     let write_phase view_log =
-      if (not !attempt_over) && not !settled then
+      if (not !attempt_over) && not !settled then begin
+        trace_op "replica/view" [ At.int "attempt" k ];
         match t.respond (Log.to_history view_log) inv with
         | None ->
           fail_attempt ~retryable:false
@@ -292,6 +313,7 @@ let execute t ~client_site inv callback =
                           if !acks = final_need then succeed op
                         end)))
               targets
+      end
     in
     (* Phase 1: gather an initial quorum of logs. *)
     let replies = ref 0 in

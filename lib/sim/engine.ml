@@ -57,6 +57,10 @@ let schedule t ~delay run =
    its delay from the bound, not from the last executed event.  A run cut
    short by [max_events] leaves the clock at the last executed event. *)
 let run ?until ?max_events t =
+  let module A = Relax_obs.Tracer.Ambient in
+  let traced = A.active () in
+  let start_executed = t.executed in
+  if traced then A.begin_span ~time:t.now "engine/run";
   let out_of_budget () =
     match max_events with Some m -> t.executed >= m | None -> false
   in
@@ -73,8 +77,13 @@ let run ?until ?max_events t =
     | Some e ->
       t.now <- e.at;
       t.executed <- t.executed + 1;
+      if traced then A.instant ~time:e.at "engine/dispatch";
       e.run ()
   done;
-  match until with
+  (match until with
   | Some u when not (out_of_budget ()) -> t.now <- max t.now u
-  | _ -> ()
+  | _ -> ());
+  if traced then begin
+    A.set_attr (Relax_obs.Attr.int "events" (t.executed - start_executed));
+    A.end_span ~time:t.now ()
+  end

@@ -1,78 +1,17 @@
-(* Lightweight metrics for simulation experiments: named counters and
-   float series with summary statistics.  The experiment harness prints
-   these as the "measured cost" columns of Figure 5-1. *)
+(* Thin shim over Relax_obs.Metrics, kept so existing callers (the
+   experiment harness, replicas) keep compiling unchanged.  Counters
+   and series delegate directly; the richer registry (histograms,
+   cross-domain merge) lives in Relax_obs.Metrics. *)
 
-type series = { mutable values : float list; mutable n : int }
+type t = Relax_obs.Metrics.t
 
-type t = {
-  counters : (string, int ref) Hashtbl.t;
-  serieses : (string, series) Hashtbl.t;
-}
-
-let create () = { counters = Hashtbl.create 16; serieses = Hashtbl.create 16 }
-
-let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add t.counters name r;
-    r
-
-let incr ?(by = 1) t name =
-  let r = counter t name in
-  r := !r + by
-
-let count t name = !(counter t name)
-
-let series t name =
-  match Hashtbl.find_opt t.serieses name with
-  | Some s -> s
-  | None ->
-    let s = { values = []; n = 0 } in
-    Hashtbl.add t.serieses name s;
-    s
-
-let observe t name v =
-  let s = series t name in
-  s.values <- v :: s.values;
-  s.n <- s.n + 1
-
-let observations t name = List.rev (series t name).values
-
-let mean t name =
-  let s = series t name in
-  if s.n = 0 then None
-  else Some (List.fold_left ( +. ) 0.0 s.values /. float_of_int s.n)
-
-let quantile t name q =
-  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile";
-  let s = series t name in
-  if s.n = 0 then None
-  else
-    let sorted = List.sort Float.compare s.values in
-    let idx =
-      min (s.n - 1) (int_of_float (q *. float_of_int (s.n - 1) +. 0.5))
-    in
-    Some (List.nth sorted idx)
-
-let counter_names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.counters []
-  |> List.sort String.compare
-
-let series_names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.serieses []
-  |> List.sort String.compare
-
-let pp ppf t =
-  List.iter
-    (fun name -> Fmt.pf ppf "%-32s %d@\n" name (count t name))
-    (counter_names t);
-  List.iter
-    (fun name ->
-      match (mean t name, quantile t name 0.5, quantile t name 0.99) with
-      | Some m, Some p50, Some p99 ->
-        Fmt.pf ppf "%-32s n=%d mean=%.3f p50=%.3f p99=%.3f@\n" name
-          (series t name).n m p50 p99
-      | _ -> ())
-    (series_names t)
+let create = Relax_obs.Metrics.create
+let incr = Relax_obs.Metrics.incr
+let count = Relax_obs.Metrics.count
+let observe = Relax_obs.Metrics.observe
+let observations = Relax_obs.Metrics.observations
+let mean = Relax_obs.Metrics.mean
+let quantile = Relax_obs.Metrics.quantile
+let counter_names = Relax_obs.Metrics.counter_names
+let series_names = Relax_obs.Metrics.series_names
+let pp = Relax_obs.Metrics.pp

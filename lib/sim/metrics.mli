@@ -1,7 +1,11 @@
 (** Lightweight metrics for simulation experiments: named counters and
-    float series with summary statistics. *)
+    float series with summary statistics.
 
-type t
+    A thin shim over {!Relax_obs.Metrics} — the type equality is
+    exposed so callers can hand the registry to the observability
+    layer (histograms, cross-domain merge) without conversion. *)
+
+type t = Relax_obs.Metrics.t
 
 val create : unit -> t
 
@@ -19,7 +23,10 @@ val observations : t -> string -> float list
 (** [None] when the series is empty. *)
 val mean : t -> string -> float option
 
-(** Nearest-rank quantile, [q] in [\[0, 1\]]. *)
+(** Nearest-rank quantile, [q] in [\[0, 1\]]: the smallest observation
+    [x] with at least [ceil (q * n)] observations [<= x] ([q = 0]
+    returns the minimum).  [None] when the series is empty; raises
+    [Invalid_argument] when [q] is outside [\[0, 1\]] or NaN. *)
 val quantile : t -> string -> float -> float option
 
 val counter_names : t -> string list

@@ -127,6 +127,17 @@ let draw_latency t ~src =
   in
   base +. extra +. t.skew.(src)
 
+let engine t = t.engine
+
+module A = Relax_obs.Tracer.Ambient
+module Attr = Relax_obs.Attr
+
+let trace_drop t ~src ~dst reason =
+  if A.active () then
+    A.instant ~time:(Engine.now t.engine) "net/drop"
+      ~attrs:
+        [ Attr.int "src" src; Attr.int "dst" dst; Attr.str "reason" reason ]
+
 let deliver_after t ~src ~dst deliver =
   let latency = draw_latency t ~src in
   Engine.schedule t.engine ~delay:latency (fun () ->
@@ -134,15 +145,27 @@ let deliver_after t ~src ~dst deliver =
         t.delivered <- t.delivered + 1;
         deliver ()
       end
-      else t.dropped <- t.dropped + 1)
+      else begin
+        t.dropped <- t.dropped + 1;
+        trace_drop t ~src ~dst "unreachable"
+      end)
 
 let send t ~src ~dst deliver =
   t.sent <- t.sent + 1;
-  if Rng.bool t.rng t.drop_probability then t.dropped <- t.dropped + 1
+  if A.active () then
+    A.instant ~time:(Engine.now t.engine) "net/send"
+      ~attrs:[ Attr.int "src" src; Attr.int "dst" dst ];
+  if Rng.bool t.rng t.drop_probability then begin
+    t.dropped <- t.dropped + 1;
+    trace_drop t ~src ~dst "loss"
+  end
   else begin
     deliver_after t ~src ~dst deliver;
     if t.dup_probability > 0.0 && Rng.bool t.rng t.dup_probability then begin
       t.duplicated <- t.duplicated + 1;
+      if A.active () then
+        A.instant ~time:(Engine.now t.engine) "net/dup"
+          ~attrs:[ Attr.int "src" src; Attr.int "dst" dst ];
       deliver_after t ~src ~dst deliver
     end
   end

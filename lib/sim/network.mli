@@ -15,6 +15,9 @@ type t
 val create :
   ?mean_latency:float -> ?drop_probability:float -> Engine.t -> sites:int -> t
 
+(** The engine the network schedules on (its clock stamps trace events). *)
+val engine : t -> Engine.t
+
 val sites : t -> int
 val is_up : t -> int -> bool
 val up_sites : t -> int list

@@ -1,0 +1,58 @@
+(* Regenerates the committed golden trace exports:
+     dune exec test/gen_golden/gen_golden.exe -- [dir]
+   writes trace_taxi_small.jsonl and trace_chaos_small.jsonl (default
+   dir: test/golden).  Must stay in lockstep with the trace-producing
+   fixtures in test_obs.ml — the golden tests there compare these files
+   byte-for-byte against freshly produced traces at jobs 1 and 4. *)
+
+open Relax_obs
+
+let small_taxi_params =
+  {
+    Relax_experiments.Taxi.default_params with
+    sites = 3;
+    requests = 4;
+    seed = 42;
+  }
+
+let taxi_trace () =
+  let tracer = Tracer.create () in
+  Tracer.Ambient.with_tracer tracer (fun () ->
+      ignore
+        (Relax_experiments.Taxi.run_point ~params:small_taxi_params
+           (List.hd (Relax_experiments.Taxi.points ~n:3))));
+  Export.to_string Export.Jsonl (Export.sort (Tracer.events tracer))
+
+let small_chaos_config =
+  {
+    Relax_chaos.Runner.default_config with
+    sites = 3;
+    requests = 4;
+    gossip_every = 2;
+    seed = 42;
+  }
+
+let chaos_trace () =
+  let module X = Relax_experiments.Chaos_scenarios in
+  let tracer = Tracer.create () in
+  Tracer.Ambient.with_tracer tracer (fun () ->
+      match
+        X.make_trace ~point:"top" ~nemeses:X.default_nemeses
+          ~config:small_chaos_config
+      with
+      | Error e -> failwith e
+      | Ok trace -> (
+        match X.run_trace trace with Error e -> failwith e | Ok _ -> ()));
+  Export.to_string Export.Jsonl (Export.sort (Tracer.events tracer))
+
+let write path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length s)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/golden" in
+  Relax_parallel.Pool.set_default_jobs 1;
+  write (Filename.concat dir "trace_taxi_small.jsonl") (taxi_trace ());
+  write (Filename.concat dir "trace_chaos_small.jsonl") (chaos_trace ())

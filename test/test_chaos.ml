@@ -297,6 +297,47 @@ let shrink_tests =
         in
         let result, _ = Shrink.minimize ~violates:(fun _ -> true) events in
         Alcotest.(check int) "empty" 0 (List.length result));
+    Alcotest.test_case "already-1-minimal schedule is a ddmin fixpoint" `Quick
+      (fun () ->
+        (* both crashes are needed: ddmin must return the input verbatim *)
+        let events =
+          [
+            { Fault.at = 1.0; action = Fault.Crash 0 };
+            { Fault.at = 2.0; action = Fault.Crash 1 };
+          ]
+        in
+        let violates l = List.length l = 2 in
+        let result, probes = Shrink.ddmin ~violates events in
+        Alcotest.(check bool)
+          "unchanged, in order" true
+          (List.length result = List.length events
+          && List.for_all2 Fault.equal_event events result);
+        Alcotest.(check bool) "still probed" true (probes > 0));
+    Alcotest.test_case "single-event schedule survives minimize unchanged"
+      `Quick (fun () ->
+        let events = [ { Fault.at = 1.0; action = Fault.Wipe 0 } ] in
+        let result, _ = Shrink.minimize ~violates:(fun l -> l <> []) events in
+        Alcotest.(check bool)
+          "identity" true
+          (List.length result = 1
+          && List.for_all2 Fault.equal_event events result));
+    Alcotest.test_case "minimize halves knob magnitudes while still violating"
+      `Quick (fun () ->
+        let events = [ { Fault.at = 1.0; action = Fault.Delay 8.0 } ] in
+        let violates l =
+          List.exists
+            (fun e ->
+              match e.Fault.action with
+              | Fault.Delay d -> d >= 3.0
+              | _ -> false)
+            l
+        in
+        let result, _ = Shrink.minimize ~violates events in
+        match result with
+        | [ { Fault.action = Fault.Delay d; _ } ] ->
+          (* 8 -> 4 accepted, 4 -> 2 would stop violating: fixpoint at 4 *)
+          Alcotest.(check (float 0.001)) "halved to the threshold" 4.0 d
+        | _ -> Alcotest.fail "expected a single surviving delay fault");
     Alcotest.test_case "planted amnesia violation shrinks to a 1-minimal \
                         replayable trace"
       `Slow (fun () ->

@@ -406,6 +406,31 @@ let reporter_tests =
           Alcotest.(check bool) "not ok point" true
             (List.exists (fun l -> l = "not ok 2 - x/bad") rest)
         | _ -> Alcotest.fail "truncated TAP output"));
+    Alcotest.test_case "tap output is byte-exact across all statuses" `Quick
+      (fun () ->
+        let pass = fake_claim "x/pass" in
+        let fail_with_detail =
+          Claim.make ~id:"x/fail" ~kind:Claim.Numeric ~paper:"-"
+            ~description:"x/fail" (fun () ->
+              Verdict.of_bool false ~detail:"expected 1 got 2" ~human:"")
+        in
+        let err =
+          Claim.make ~id:"x/err" ~kind:Claim.Numeric ~paper:"-"
+            ~description:"x/err" (fun () -> failwith "boom")
+        in
+        let results =
+          Engine.run
+            (Registry.create [ fake_group [ pass; fail_with_detail; err ] ])
+        in
+        Alcotest.(check string) "exact TAP v14 bytes"
+          "TAP version 14\n\
+           1..3\n\
+           ok 1 - x/pass\n\
+           not ok 2 - x/fail\n\
+           # expected 1 got 2\n\
+           not ok 3 - x/err # error: Failure(\"boom\")\n\
+           # Failure(\"boom\")\n"
+          (render Reporter.Tap results));
     Alcotest.test_case "format names round-trip" `Quick (fun () ->
         List.iter
           (fun f ->

@@ -290,8 +290,9 @@ let metrics_tests =
         let m = Metrics.create () in
         List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 3.0; 4.0 ];
         Alcotest.(check (option (float 0.001))) "mean" (Some 2.5) (Metrics.mean m "lat");
+        (* nearest-rank: rank ceil(0.5 * 4) = 2, so the 2nd smallest *)
         Alcotest.(check (option (float 0.001)))
-          "median" (Some 3.0)
+          "median" (Some 2.0)
           (Metrics.quantile m "lat" 0.5);
         Alcotest.(check (list (float 0.001)))
           "insertion order" [ 1.0; 2.0; 3.0; 4.0 ]
@@ -299,6 +300,45 @@ let metrics_tests =
     Alcotest.test_case "empty series" `Quick (fun () ->
         let m = Metrics.create () in
         Alcotest.(check (option (float 0.001))) "mean" None (Metrics.mean m "none"));
+    (* Nearest-rank edge cases pinned down after the quantile rewrite:
+       the old rounding formula disagreed at interior ranks and let NaN
+       slip through its range guard. *)
+    Alcotest.test_case "quantile edge cases" `Quick (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check (option (float 0.001)))
+          "empty" None
+          (Metrics.quantile m "lat" 0.5);
+        List.iter (Metrics.observe m "lat") [ 4.0; 1.0; 3.0; 2.0 ];
+        Alcotest.(check (option (float 0.001)))
+          "q=0 is the minimum" (Some 1.0)
+          (Metrics.quantile m "lat" 0.0);
+        Alcotest.(check (option (float 0.001)))
+          "q=1 is the maximum" (Some 4.0)
+          (Metrics.quantile m "lat" 1.0);
+        Alcotest.(check (option (float 0.001)))
+          "q=0.75 is the 3rd of 4" (Some 3.0)
+          (Metrics.quantile m "lat" 0.75);
+        Metrics.observe m "one" 7.0;
+        List.iter
+          (fun q ->
+            Alcotest.(check (option (float 0.001)))
+              (Fmt.str "single observation at q=%.2f" q)
+              (Some 7.0)
+              (Metrics.quantile m "one" q))
+          [ 0.0; 0.5; 1.0 ]);
+    Alcotest.test_case "quantile rejects out-of-range and NaN" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        Metrics.observe m "lat" 1.0;
+        let rejects q =
+          Alcotest.check_raises
+            (Fmt.str "q=%f" q)
+            (Invalid_argument "Metrics.quantile")
+            (fun () -> ignore (Metrics.quantile m "lat" q))
+        in
+        rejects (-0.1);
+        rejects 1.5;
+        rejects Float.nan);
   ]
 
 let () =
