@@ -303,6 +303,114 @@ let print_chaos_sweep () =
         (oracle *. 1000.)
 
 (* ------------------------------------------------------------------ *)
+(* X-degrade: the degradation controller                               *)
+(* ------------------------------------------------------------------ *)
+
+module Degrade = Relax_degrade
+module Degrade_x = Relax_experiments.Degrade_x
+module Adaptive_x = Relax_experiments.Adaptive
+
+(* One sampling round of the standard monitor suite (quorum
+   reachability, convergence lag, retry pressure) over a quiet 5-site
+   replica: the marginal cost of a single controller probe. *)
+let degrade_monitors =
+  let engine = Relax_sim.Engine.create ~seed:9 () in
+  let net = Relax_sim.Network.create engine ~sites:5 in
+  let preferred = Adaptive_x.preferred_assignment ~n:5 in
+  let replica =
+    Relax_replica.Replica.create engine net preferred
+      ~respond:Relax_replica.Choosers.pq_eta
+  in
+  [
+    Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+      ~assignment:preferred ();
+    Degrade.Monitor.convergence ~name:"converged" ~replica ();
+    Degrade.Monitor.retry_pressure ~name:"retry-pressure" ~replica ();
+  ]
+
+(* A full controller (sampling loop plus anti-entropy scheduler) over a
+   fixed 1000-tick fault-free horizon at a given probe interval: the
+   overhead of densifying the sampling loop, isolated from any fault
+   handling. *)
+let controller_horizon_run ~sample_every () =
+  let engine = Relax_sim.Engine.create ~seed:9 () in
+  let net = Relax_sim.Network.create engine ~sites:5 in
+  let preferred = Adaptive_x.preferred_assignment ~n:5 in
+  let replica =
+    Relax_replica.Replica.create engine net preferred
+      ~respond:Relax_replica.Choosers.pq_eta
+  in
+  let c =
+    Degrade.Controller.create
+      ~config:{ Degrade.Controller.default_config with sample_every }
+      ~replica
+      ~constraints:
+        [
+          Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+            ~assignment:preferred ();
+          Degrade.Monitor.retry_pressure ~name:"retry-pressure" ~replica ();
+        ]
+      ~restore_gate:
+        [
+          Degrade.Monitor.convergence ~name:"converged" ~replica ();
+          Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+            ~assignment:preferred ();
+        ]
+      ~preferred
+      ~degraded:(Adaptive_x.relaxed_assignment ~n:5)
+      ()
+  in
+  Degrade.Controller.install c;
+  Relax_sim.Engine.run ~until:1_000.0 engine;
+  Degrade.Controller.stop c
+
+let rows_degrade =
+  [
+    ( "degrade/monitor-sample-suite (X-degrade)",
+      fun () ->
+        List.iter (fun m -> ignore (Degrade.Monitor.sample m)) degrade_monitors
+    );
+    ( "degrade/controller-1k-ticks-probe1 (X-degrade)",
+      controller_horizon_run ~sample_every:1.0 );
+    ( "degrade/controller-1k-ticks-probe10 (X-degrade)",
+      controller_horizon_run ~sample_every:10.0 );
+    ( "degrade/controller-1k-ticks-probe100 (X-degrade)",
+      controller_horizon_run ~sample_every:100.0 );
+    ( "degrade/controlled-run-12req (X-degrade)",
+      fun () ->
+        ignore
+          (Degrade_x.run_one
+             ~config:{ Relax_chaos.Runner.default_config with requests = 12 }
+             ~nemeses:[ "partition" ] 42) );
+  ]
+
+(* The CI degrade sweep (`rlx degrade sweep --runs 8`-sized), once, as
+   wall-clock, with the transition-latency quantiles the controller is
+   judged on. *)
+let print_degrade_sweep () =
+  Fmt.pr "@.== degrade sweep (8 controlled-vs-static runs, seed 42) ==@.";
+  let t0 = Unix.gettimeofday () in
+  match Degrade_x.sweep ~runs:8 ~seed:42 ~nemeses:[ "partition" ] () with
+  | Error e -> Fmt.pr "sweep error: %s@." e
+  | Ok report ->
+    let wall = Unix.gettimeofday () -. t0 in
+    let restores = Degrade_x.restore_times report in
+    let degrades = Degrade_x.degrade_times report in
+    Fmt.pr "degrade/sweep-8 wall-clock %8.1f ms  (%d violations, max %d \
+            switches of %d allowed)@."
+      (wall *. 1000.)
+      report.Degrade_x.violations report.Degrade_x.max_switches
+      report.Degrade_x.switch_limit;
+    Fmt.pr "degrade/time-to-degrade   p50 %8.1f  p99 %8.1f  (%d episodes)@."
+      (Degrade_x.quantile 0.5 degrades)
+      (Degrade_x.quantile 0.99 degrades)
+      (List.length degrades);
+    Fmt.pr "degrade/time-to-restore   p50 %8.1f  p99 %8.1f  (%d episodes)@."
+      (Degrade_x.quantile 0.5 restores)
+      (Degrade_x.quantile 0.99 restores)
+      (List.length restores)
+
+(* ------------------------------------------------------------------ *)
 (* Claim registry                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,7 +492,7 @@ let print_trace_overhead () =
 
 let all_rows =
   rows_larch @ rows_conformance @ rows_core @ rows_prob @ rows_sim
-  @ rows_extensions @ rows_chaos @ rows_claims
+  @ rows_extensions @ rows_chaos @ rows_degrade @ rows_claims
 
 let all_tests =
   Test.make_grouped ~name:"relax"
@@ -450,6 +558,7 @@ let () =
         | Some _ | None -> Fmt.pr "%-55s %14s@." name "n/a")
       rows;
     print_chaos_sweep ();
+    print_degrade_sweep ();
     print_trace_overhead ();
     print_claim_stats ();
     Fmt.pr "@.done: %d benchmarks@." (List.length rows)

@@ -4,8 +4,8 @@
 
      rlx check [all]      run every registered claim (default)
      rlx check <group>    one claim group (pq, collapses, account, prob,
-                          fig42, availability, taxi, atm, spooler, markov,
-                          fifo)
+                          fig42, availability, taxi, chaos, degrade, atm,
+                          spooler, markov, fifo)
      rlx check list       list every claim id in the registry
      rlx check --only 'pq/*'         select claims by id glob
      rlx check all --format json     machine-readable verdicts (or tap)
@@ -24,6 +24,13 @@
                           replayable traces
      rlx chaos replay FILE  deterministically replay a recorded trace
      rlx chaos list       the known lattice points and nemeses
+     rlx degrade run      one controller-vs-static comparison with the
+                          mode-switch timeline
+     rlx degrade sweep    seeded degradation sweeps: availability uplift
+                          vs static points, online conformance, bounded
+                          switching
+     rlx simulate taxi --timeout 80 --retries 3 --backoff 4
+                          override the client knobs of any simulation
      rlx availability     availability of every lattice point
      rlx compare PQ MPQ   Section 5's comparison of specifications
      rlx trait ...        inspect/normalize the standard traits
@@ -190,7 +197,7 @@ let run_figure which =
    historical seeds, so a bare `rlx simulate X` is byte-stable, while
    --seed reseeds the whole fault trace (amnesia and spooler sweep a
    window of consecutive seeds starting at the given one). *)
-let run_simulate_on ppf which seed =
+let run_simulate_on ?timeout ?retries ?backoff ppf which seed =
   match which with
   | "taxi" ->
     let params =
@@ -198,34 +205,45 @@ let run_simulate_on ppf which seed =
         (fun seed -> { Relax_experiments.Taxi.default_params with seed })
         seed
     in
-    exit_of (Relax_experiments.Taxi.run ?params ppf ())
-  | "partition" -> exit_of (Relax_experiments.Partition.run ?seed ppf ())
+    exit_of
+      (Relax_experiments.Taxi.run ?params ?timeout ?retries ?backoff ppf ())
+  | "partition" ->
+    exit_of
+      (Relax_experiments.Partition.run ?seed ?timeout ?retries ?backoff ppf ())
   | "adaptive" ->
     let params =
       Option.map
         (fun seed -> { Relax_experiments.Adaptive.default_params with seed })
         seed
     in
-    exit_of (Relax_experiments.Adaptive.run ?params ppf ())
+    exit_of
+      (Relax_experiments.Adaptive.run ?params ?timeout ?retries ?backoff ppf ())
   | "amnesia" ->
     let seeds = Option.map (fun s -> List.init 5 (fun i -> s + i)) seed in
-    exit_of (Relax_experiments.Amnesia.run ?seeds ppf ())
+    exit_of
+      (Relax_experiments.Amnesia.run ?seeds ?timeout ?retries ?backoff ppf ())
   | "atm" ->
     let params =
       Option.map
         (fun seed -> { Relax_experiments.Atm.default_params with seed })
         seed
     in
-    exit_of (Relax_experiments.Atm.run ?params ppf ())
+    exit_of
+      (Relax_experiments.Atm.run ?params ?timeout ?retries ?backoff ppf ())
   | "spooler" ->
+    if timeout <> None || retries <> None || backoff <> None then
+      Fmt.epr
+        "note: --timeout/--retries/--backoff do not apply to the spooler \
+         (no replica client)@.";
     let seeds = Option.map (fun s -> List.init 3 (fun i -> s + i)) seed in
     exit_of (Relax_experiments.Spooler.run ?seeds ppf ())
   | other ->
     Fmt.epr "unknown simulation %S (expected taxi | partition | adaptive | amnesia | atm | spooler)@." other;
     2
 
-let run_simulate which seed trace_out =
-  with_trace trace_out (fun () -> run_simulate_on out which seed)
+let run_simulate which seed timeout retries backoff trace_out =
+  with_trace trace_out (fun () ->
+      run_simulate_on ?timeout ?retries ?backoff out which seed)
 
 let depth_arg =
   let doc = "Exploration depth for bounded language checks." in
@@ -263,8 +281,9 @@ let check_cmd =
   let what =
     let doc =
       "What to check: a claim group (pq | collapses | account | prob | \
-       fig42 | availability | taxi | atm | spooler | markov | fifo), \
-       $(b,all) (the default), or $(b,list) to list every claim id."
+       fig42 | availability | taxi | chaos | degrade | atm | spooler | \
+       markov | fifo), $(b,all) (the default), or $(b,list) to list every \
+       claim id."
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"WHAT" ~doc)
   in
@@ -323,13 +342,40 @@ let seed_arg =
   in
   Arg.(value & opt (some int) None & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
 
+(* The replica client's knobs, exposed uniformly on `rlx simulate` and
+   `rlx chaos run`/`rlx degrade`.  Left unset they keep each
+   experiment's historical values, so default runs stay byte-stable. *)
+let timeout_arg =
+  let doc =
+    "Per-attempt quorum timeout, in engine time units.  Defaults to the \
+     experiment's historical value."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"TIME" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry budget per operation (attempts after the first).  Defaults to \
+     the replica runtime's value."
+  in
+  Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+
+let backoff_arg =
+  let doc =
+    "Base retry backoff in engine time units, doubled on each further \
+     attempt and jittered deterministically per seed.  Defaults to the \
+     replica runtime's value."
+  in
+  Arg.(value & opt (some float) None & info [ "backoff" ] ~docv:"TIME" ~doc)
+
 let simulate_cmd =
   let doc =
     "Run a case-study simulation (taxi | partition | adaptive | amnesia | \
      atm | spooler)."
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run_simulate $ what_arg ~doc $ seed_arg $ trace_out_arg)
+    Term.(
+      const run_simulate $ what_arg ~doc $ seed_arg $ timeout_arg
+      $ retries_arg $ backoff_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rlx chaos                                                           *)
@@ -337,17 +383,31 @@ let simulate_cmd =
 
 let module_sep_list = Arg.list Arg.string
 
-let run_chaos_run runs seed nemeses points jobs no_shrink trace_prefix
-    trace_out =
+(* One Runner.config with the CLI's client knobs folded over the
+   defaults (unset flags keep the historical values). *)
+let chaos_config ?timeout ?retries ?backoff () =
+  let d = Relax_chaos.Runner.default_config in
+  {
+    d with
+    Relax_chaos.Runner.timeout =
+      Option.value timeout ~default:d.Relax_chaos.Runner.timeout;
+    retries = Option.value retries ~default:d.Relax_chaos.Runner.retries;
+    backoff = Option.value backoff ~default:d.Relax_chaos.Runner.backoff;
+  }
+
+let run_chaos_run runs seed nemeses points jobs no_shrink timeout retries
+    backoff trace_prefix trace_out =
   apply_jobs jobs;
   let module X = Relax_experiments.Chaos_scenarios in
   let nemeses =
     if nemeses = [] then X.default_nemeses else nemeses
   in
   let points = if points = [] then X.names else points in
+  let config = chaos_config ?timeout ?retries ?backoff () in
   with_trace trace_out @@ fun () ->
   match
-    X.sweep ?jobs ~shrink:(not no_shrink) ~runs ~seed ~nemeses ~points ()
+    X.sweep ?jobs ~config ~shrink:(not no_shrink) ~runs ~seed ~nemeses ~points
+      ()
   with
   | Error e ->
     Fmt.epr "%s@." e;
@@ -459,8 +519,8 @@ let chaos_cmd =
     Cmd.v (Cmd.info "run" ~doc)
       Term.(
         const run_chaos_run $ runs_arg $ chaos_seed_arg $ nemesis_arg
-        $ points_arg $ jobs_arg $ no_shrink_arg $ trace_prefix_arg
-        $ trace_out_arg)
+        $ points_arg $ jobs_arg $ no_shrink_arg $ timeout_arg $ retries_arg
+        $ backoff_arg $ trace_prefix_arg $ trace_out_arg)
   in
   let replay_cmd =
     let doc =
@@ -488,6 +548,129 @@ let chaos_cmd =
      shrinking."
   in
   Cmd.group (Cmd.info "chaos" ~doc) [ run_cmd; replay_cmd; list_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* rlx degrade                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Success means the controller's three promises all held: every
+   controlled history in the predicted language, the online oracle
+   agreeing with the post-hoc replay, and switching bounded by the
+   hysteresis dwell. *)
+let degrade_ok (report : Relax_experiments.Degrade_x.sweep_report) =
+  report.Relax_experiments.Degrade_x.violations = 0
+  && report.Relax_experiments.Degrade_x.online_disagreements = 0
+  && report.Relax_experiments.Degrade_x.max_switches
+     <= report.Relax_experiments.Degrade_x.switch_limit
+
+let write_timeline path report =
+  let oc = open_out path in
+  output_string oc
+    (Fmt.str "%a" Relax_experiments.Degrade_x.pp_timeline report);
+  close_out oc;
+  Fmt.epr "timeline: %d mode switches written to %s@."
+    (List.fold_left
+       (fun acc (c : Relax_experiments.Degrade_x.comparison) ->
+         acc
+         + List.length c.Relax_experiments.Degrade_x.controlled.Relax_chaos.Runner.transitions)
+       0 report.Relax_experiments.Degrade_x.comparisons)
+    path
+
+let run_degrade_sweep ~print_timeline runs seed nemeses jobs timeout retries
+    backoff timeline trace_out =
+  apply_jobs jobs;
+  let module D = Relax_experiments.Degrade_x in
+  let module X = Relax_experiments.Chaos_scenarios in
+  let nemeses = if nemeses = [] then X.default_nemeses else nemeses in
+  let config = chaos_config ?timeout ?retries ?backoff () in
+  with_trace trace_out @@ fun () ->
+  match D.sweep ?jobs ~config ~runs ~seed ~nemeses () with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    2
+  | Ok report ->
+    Fmt.pr "== degrade: %d controlled-vs-static runs, seed %d, nemeses %s ==@\n"
+      runs seed
+      (String.concat "," nemeses);
+    Fmt.pr "%a" D.pp_summary report;
+    if print_timeline then begin
+      Fmt.pr "mode-switch timeline:@\n";
+      Fmt.pr "%a" D.pp_timeline report
+    end;
+    Option.iter (fun path -> write_timeline path report) timeline;
+    exit_of (degrade_ok report)
+
+let degrade_cmd =
+  let nemesis_arg =
+    let doc =
+      "Comma-separated nemesis mix (crash | partition | drop | delay | dup \
+       | skew | rejoin; see $(b,rlx chaos list)).  Defaults to every \
+       assumption-preserving nemesis."
+    in
+    Arg.(value & opt module_sep_list [] & info [ "nemesis" ] ~docv:"LIST" ~doc)
+  in
+  let degrade_seed_arg =
+    let doc = "Root seed (run $(i,i) uses seed $(i,SEED+i))." in
+    Arg.(
+      value
+      & opt int Relax_sim.Engine.default_seed
+      & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+  in
+  let timeline_arg =
+    let doc =
+      "Write the mode-switch timeline (one line per transition: seed, \
+       engine time, direction, cause) to $(docv) — the artifact the CI \
+       sweep uploads."
+    in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
+  let exits =
+    Cmd.Exit.info
+      ~doc:
+        "zero conformance violations, the online oracle agreed with the \
+         post-hoc replay everywhere, and switching stayed within the \
+         hysteresis bound."
+      0
+    :: Cmd.Exit.info ~doc:"at least one of those promises broke." 1
+    :: List.filter (fun i -> Cmd.Exit.info_code i > 1) Cmd.Exit.defaults
+  in
+  let run_cmd =
+    let doc =
+      "One seeded comparison: the controller-driven client versus static \
+       top and static bottom under an identical fault schedule, with the \
+       availability uplift, conformance verdicts and the mode-switch \
+       timeline."
+    in
+    Cmd.v (Cmd.info "run" ~doc ~exits)
+      Term.(
+        const (run_degrade_sweep ~print_timeline:true 1)
+        $ degrade_seed_arg $ nemesis_arg $ jobs_arg $ timeout_arg
+        $ retries_arg $ backoff_arg $ timeline_arg $ trace_out_arg)
+  in
+  let sweep_cmd =
+    let runs_arg =
+      let doc = "Number of seeded comparisons." in
+      Arg.(value & opt int 100 & info [ "runs"; "n" ] ~docv:"N" ~doc)
+    in
+    let doc =
+      "Seeded degradation sweeps: each run replays one fault schedule \
+       against the live controller and against the static endpoints, \
+       checking online conformance, the availability uplift and the \
+       hysteresis switch bound."
+    in
+    Cmd.v (Cmd.info "sweep" ~doc ~exits)
+      Term.(
+        const (run_degrade_sweep ~print_timeline:false)
+        $ runs_arg $ degrade_seed_arg $ nemesis_arg $ jobs_arg $ timeout_arg
+        $ retries_arg $ backoff_arg $ timeline_arg $ trace_out_arg)
+  in
+  let doc =
+    "The live degradation controller: online constraint monitors move the \
+     replica along the relaxation lattice with hysteresis, every \
+     transition is emitted into the history, and an incremental oracle \
+     checks conformance as the history is produced."
+  in
+  Cmd.group (Cmd.info "degrade" ~doc) [ run_cmd; sweep_cmd ]
 
 let availability_cmd =
   let doc = "Availability of every lattice point (exact + Monte Carlo)." in
@@ -784,9 +967,9 @@ let main =
   Cmd.group
     (Cmd.info "rlx" ~version:"1.0.0" ~doc)
     [
-      check_cmd; figure_cmd; simulate_cmd; chaos_cmd; availability_cmd;
-      lattice_cmd; trait_cmd; compare_cmd; behaviors_cmd; trace_cmd;
-      profile_cmd;
+      check_cmd; figure_cmd; simulate_cmd; chaos_cmd; degrade_cmd;
+      availability_cmd; lattice_cmd; trait_cmd; compare_cmd; behaviors_cmd;
+      trace_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

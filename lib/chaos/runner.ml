@@ -3,22 +3,29 @@
 
    The runner is deliberately generic — it knows nothing about lattice
    points or predicted behaviors.  A scenario (lib/experiments wires
-   them) supplies the client: either a fixed quorum assignment, or an
-   adaptive client that moves between the preferred and degraded modes
-   of the Section 2.3 combined automaton, emitting Degrade/Restore
-   events into the history.  The caller then judges the returned history
-   with {!Oracle.check}.
+   them) supplies the client: either a fixed quorum assignment, or a
+   controlled client that delegates lattice movement to the degradation
+   controller (lib/degrade) — online monitors decide when to shed to the
+   degraded assignment and when the restore gate allows re-strengthening,
+   and every transition is emitted as a Degrade/Restore event into the
+   history, which thus replays through the Section 2.3 combined automaton
+   unchanged.  The caller judges the returned history with
+   {!Oracle.check}; passing an [online] oracle factory additionally
+   checks it incrementally, flagging the violation at the operation that
+   causes it.
 
    Everything observable is deterministic in (config, events): the
    engine, network and replica draw from streams derived from
-   [config.seed], the workload from [config.seed + 77], and the fault
-   schedule is data.  The [digest] field condenses the run into a
-   canonical string so replay equivalence is a string compare. *)
+   [config.seed], the workload from [config.seed + 77], the controller
+   and its anti-entropy scheduler are RNG-free, and the fault schedule is
+   data.  The [digest] field condenses the run into a canonical string so
+   replay equivalence is a string compare. *)
 
 open Relax_core
 open Relax_objects
 open Relax_quorum
 open Relax_replica
+module Degrade = Relax_degrade
 
 type config = {
   sites : int;
@@ -26,7 +33,8 @@ type config = {
   mean_latency : float;
   timeout : float;
   retries : int;
-  gossip_every : int;  (* anti-entropy cadence, in operations *)
+  backoff : float;  (* base retry backoff, doubled per attempt *)
+  gossip_every : int;  (* fixed-client anti-entropy cadence, in operations *)
   op_window : float;  (* engine time budgeted per operation *)
   seed : int;
 }
@@ -38,18 +46,40 @@ let default_config =
     mean_latency = 3.0;
     timeout = 80.0;
     retries = 2;
+    backoff = 8.0;
     gossip_every = 5;
     op_window = 400.0;
     seed = Relax_sim.Engine.default_seed;
   }
 
+(* The engine time actually budgeted per operation: the configured
+   window, stretched when the client knobs need more — every attempt may
+   burn a full timeout, with doubled-and-jittered (at most x1.5) backoff
+   between attempts — so an operation always settles before the next one
+   starts and the workload stays serial.  At the default knobs the
+   stretch is a no-op. *)
+let op_window_for config =
+  let attempts = float_of_int (config.retries + 1) in
+  let backoffs =
+    config.backoff *. ((2.0 ** float_of_int config.retries) -. 1.0) *. 1.5
+  in
+  Float.max config.op_window
+    ((attempts *. config.timeout) +. backoffs +. (4.0 *. config.mean_latency))
+
 (* Enough engine time for every operation window plus reconvergence and
    the final drain — nemesis schedules are generated out to here. *)
-let horizon config = float_of_int ((2 * config.requests) + 4) *. config.op_window
+let horizon config =
+  float_of_int ((2 * config.requests) + 4) *. op_window_for config
 
 type client =
   | Fixed of Assignment.t
-  | Adaptive of { assignment : Assignment.t; degrade : Op.t; restore : Op.t }
+  | Controlled of {
+      preferred : Assignment.t;
+      degraded : Assignment.t;
+      degrade : Op.t;
+      restore : Op.t;
+      controller : Degrade.Controller.config option;
+    }
 
 type result = {
   history : History.t;
@@ -59,6 +89,11 @@ type result = {
   mode_switches : int;
   attempts : int;
   retries_used : int;
+  transitions : Degrade.Controller.transition list;
+  time_to_degrade : float list;
+  time_to_restore : float list;
+  gossip_rounds : int;
+  online_violation : Degrade.Online.violation option;
   metrics : Relax_sim.Metrics.t;
   digest : string;
 }
@@ -68,7 +103,7 @@ type result = {
 let is_empty_view reason =
   String.length reason >= 2 && reason.[0] = 'n' && reason.[1] = 'o'
 
-let run ?(config = default_config) ~client ~respond events =
+let run ?(config = default_config) ?online ~client ~respond events =
   let engine = Relax_sim.Engine.create ~seed:config.seed () in
   let net =
     Relax_sim.Network.create ~mean_latency:config.mean_latency engine
@@ -76,11 +111,11 @@ let run ?(config = default_config) ~client ~respond events =
   in
   let metrics = Relax_sim.Metrics.create () in
   let assignment =
-    match client with Fixed a -> a | Adaptive { assignment; _ } -> assignment
+    match client with Fixed a -> a | Controlled { preferred; _ } -> preferred
   in
   let replica =
-    Replica.create ~timeout:config.timeout ~retries:config.retries ~metrics
-      engine net assignment ~respond
+    Replica.create ~timeout:config.timeout ~retries:config.retries
+      ~backoff:config.backoff ~metrics engine net assignment ~respond
   in
   Fault.install ~replica engine net events;
   let rng = Relax_sim.Rng.create ~seed:(config.seed + 77) in
@@ -101,15 +136,21 @@ let run ?(config = default_config) ~client ~respond events =
   and unavailable = ref 0
   and empty_views = ref 0
   and switches = ref 0 in
-  let degraded = ref false in
-  let adaptive_history = ref [] in
-  let emit p = adaptive_history := p :: !adaptive_history in
-  let set_mode d =
+  let oracle = Option.map (fun make -> make ()) online in
+  let controlled_history = ref [] in
+  (* For a controlled client the oracle consumes the history as it is
+     produced — events and operations in claim order — so a violation is
+     flagged at the causing event.  For a fixed client the history is the
+     replica's completion record, fed to the oracle after the run. *)
+  let emit p =
+    controlled_history := p :: !controlled_history;
+    Option.iter (fun o -> Degrade.Online.step o p) oracle
+  in
+  let controller =
     match client with
-    | Fixed _ -> ()
-    | Adaptive { degrade; restore; _ } ->
-      if d <> !degraded then begin
-        degraded := d;
+    | Fixed _ -> None
+    | Controlled { preferred; degraded; degrade; restore; controller } ->
+      let emit_event ~degraded:d =
         incr switches;
         let module A = Relax_obs.Tracer.Ambient in
         if A.active () then
@@ -118,54 +159,45 @@ let run ?(config = default_config) ~client ~respond events =
             "chaos/mode"
             ~attrs:[ Relax_obs.Attr.bool "degraded" d ];
         emit (if d then degrade else restore)
-      end
-  in
-  let maj = (config.sites / 2) + 1 in
-  let synced () =
-    let global = Replica.global_log replica in
-    List.for_all
-      (fun s -> Log.equal (Replica.site_log replica s) global)
-      (Relax_sim.Network.up_sites net)
-  in
-  let reconverge () =
-    let rec go n =
-      if n > 0 && not (synced ()) then begin
-        Replica.gossip replica;
-        Relax_sim.Engine.run
-          ~until:(Relax_sim.Engine.now engine +. 300.0)
-          engine;
-        go (n - 1)
-      end
-    in
-    go 5
-  in
-  (* Adaptive mode selection before each operation: strict needs a
-     majority up AND reconverged logs (a stale rejoiner silently breaks
-     the intersection guarantee until anti-entropy catches it up). *)
-  let select_mode () =
-    if Relax_sim.Network.up_count net >= maj then begin
-      if not (synced ()) then reconverge ();
-      if synced () && Relax_sim.Network.up_count net >= maj then set_mode false
-      else set_mode true
-    end
-    else set_mode true
+      in
+      let c =
+        Degrade.Controller.create ?config:controller ~replica
+          ~constraints:
+            [
+              Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+                ~assignment:preferred ();
+              Degrade.Monitor.retry_pressure ~name:"retry-pressure" ~replica ();
+            ]
+          ~restore_gate:
+            [
+              Degrade.Monitor.convergence ~name:"converged" ~replica ();
+              Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+                ~assignment:preferred ();
+            ]
+          ~preferred ~degraded ~emit:emit_event ()
+      in
+      Degrade.Controller.install c;
+      Some c
   in
   let ops_since_gossip = ref 0 in
+  let op_window = op_window_for config in
   let run_op op =
-    incr ops_since_gossip;
-    if !ops_since_gossip >= config.gossip_every then begin
-      ops_since_gossip := 0;
-      Replica.gossip replica
-    end;
-    (match client with Adaptive _ -> select_mode () | Fixed _ -> ());
+    (match controller with
+    | Some c -> Degrade.Controller.before_op c
+    | None ->
+      (* fixed clients keep the legacy fixed-cadence anti-entropy *)
+      incr ops_since_gossip;
+      if !ops_since_gossip >= config.gossip_every then begin
+        ops_since_gossip := 0;
+        Replica.gossip replica
+      end);
     match Relax_sim.Network.up_sites net with
     | [] ->
       (* a shrunken schedule may have dropped every Recover: nobody to
          talk to, but time must still pass so later faults fire *)
       incr unavailable;
-      set_mode true;
       Relax_sim.Engine.run
-        ~until:(Relax_sim.Engine.now engine +. config.op_window)
+        ~until:(Relax_sim.Engine.now engine +. op_window)
         engine
     | up ->
       let client_site = Relax_sim.Rng.pick rng up in
@@ -175,50 +207,66 @@ let run ?(config = default_config) ~client ~respond events =
         | `Deq -> Op.inv Queue_ops.deq_name
       in
       let outcome = ref None in
+      Option.iter Degrade.Controller.op_started controller;
       Replica.execute replica ~client_site inv (fun r -> outcome := Some r);
       Relax_sim.Engine.run
-        ~until:(Relax_sim.Engine.now engine +. config.op_window)
+        ~until:(Relax_sim.Engine.now engine +. op_window)
         engine;
+      let finish o = Option.iter (fun c -> Degrade.Controller.op_finished c o) controller in
       (match !outcome with
       | Some (Replica.Completed (p, _)) ->
         incr completed_ops;
-        (match client with
-        | Adaptive _ ->
-          emit p;
-          if not !degraded then begin
-            (* keep the strict-mode invariant for the next operation *)
-            reconverge ();
-            if not (synced ()) then set_mode true
-          end
-        | Fixed _ -> ())
+        finish Degrade.Controller.Op_ok;
+        (match client with Controlled _ -> emit p | Fixed _ -> ())
       | Some (Replica.Unavailable reason) ->
-        if is_empty_view reason then incr empty_views else incr unavailable;
-        set_mode true
+        if is_empty_view reason then begin
+          incr empty_views;
+          finish Degrade.Controller.Op_refused
+        end
+        else begin
+          incr unavailable;
+          finish Degrade.Controller.Op_failed
+        end
       | None ->
         incr unavailable;
-        set_mode true)
+        finish Degrade.Controller.Op_failed)
   in
   List.iter run_op ops;
   (* drain background propagation *)
   Replica.gossip replica;
   Relax_sim.Engine.run
-    ~until:(Relax_sim.Engine.now engine +. config.op_window)
+    ~until:(Relax_sim.Engine.now engine +. op_window)
     engine;
+  Option.iter Degrade.Controller.stop controller;
   let history =
     match client with
     | Fixed _ -> Replica.completed_history replica
-    | Adaptive _ -> List.rev !adaptive_history
+    | Controlled _ -> List.rev !controlled_history
+  in
+  (match (client, oracle) with
+  | Fixed _, Some o -> Degrade.Online.feed o history
+  | _ -> ());
+  let transitions =
+    match controller with
+    | None -> []
+    | Some c -> Degrade.Controller.transitions c
+  in
+  let online_violation =
+    Option.bind oracle (fun o -> Degrade.Online.violation o)
   in
   let sent, delivered, dropped = Relax_sim.Network.stats net in
   let digest =
     Fmt.str
       "completed=%d unavailable=%d empty=%d switches=%d attempts=%d \
-       retries=%d net=%d/%d/%d+%d history=%a"
+       retries=%d net=%d/%d/%d+%d online=%s history=%a"
       !completed_ops !unavailable !empty_views !switches
       (Replica.attempts_total replica)
       (Replica.retries_total replica)
       sent delivered dropped
       (Relax_sim.Network.duplicated net)
+      (match online_violation with
+      | None -> "ok"
+      | Some v -> Fmt.str "viol@%d" v.Degrade.Online.index)
       History.pp history
   in
   {
@@ -229,6 +277,20 @@ let run ?(config = default_config) ~client ~respond events =
     mode_switches = !switches;
     attempts = Replica.attempts_total replica;
     retries_used = Replica.retries_total replica;
+    transitions;
+    time_to_degrade =
+      (match controller with
+      | None -> []
+      | Some c -> Degrade.Controller.time_to_degrade c);
+    time_to_restore =
+      (match controller with
+      | None -> []
+      | Some c -> Degrade.Controller.time_to_restore c);
+    gossip_rounds =
+      (match controller with
+      | None -> 0
+      | Some c -> Degrade.Anti_entropy.rounds (Degrade.Controller.anti_entropy c));
+    online_violation;
     metrics;
     digest;
   }

@@ -2,10 +2,11 @@
     under a pre-generated fault schedule.
 
     The runner is scenario-agnostic: the caller supplies the client (a
-    fixed quorum assignment, or an adaptive client that emits
-    Degrade/Restore events as it moves between modes) and judges the
-    returned history with {!Oracle.check}.  Everything observable is
-    deterministic in [(config, events)]. *)
+    fixed quorum assignment, or a controlled client whose lattice
+    movement is delegated to the degradation controller of lib/degrade,
+    emitting Degrade/Restore events as it moves between modes) and
+    judges the returned history with {!Oracle.check}.  Everything
+    observable is deterministic in [(config, events)]. *)
 
 open Relax_core
 open Relax_quorum
@@ -16,8 +17,12 @@ type config = {
   mean_latency : float;
   timeout : float;
   retries : int;
-  gossip_every : int;  (** anti-entropy cadence, in operations *)
-  op_window : float;  (** engine time budgeted per operation *)
+  backoff : float;  (** base retry backoff, doubled per attempt *)
+  gossip_every : int;  (** fixed-client anti-entropy cadence, in operations *)
+  op_window : float;
+      (** engine time budgeted per operation — a floor: the runner
+          stretches it to fit the whole retry ladder (attempts x timeout
+          plus backoffs) so operations stay serial at any knob setting *)
   seed : int;
 }
 
@@ -29,29 +34,50 @@ val horizon : config -> float
 
 type client =
   | Fixed of Assignment.t
-  | Adaptive of { assignment : Assignment.t; degrade : Op.t; restore : Op.t }
-      (** runs relaxed thresholds; the client claims the preferred mode
-          only while a majority is up and the logs have reconverged,
-          recording mode changes as events in the history *)
+  | Controlled of {
+      preferred : Assignment.t;
+      degraded : Assignment.t;
+      degrade : Op.t;
+      restore : Op.t;
+      controller : Relax_degrade.Controller.config option;
+          (** [None] runs {!Relax_degrade.Controller.default_config} *)
+    }
+      (** delegates lattice movement to the degradation controller:
+          quorum-reachability and retry-pressure monitors decide when to
+          shed to [degraded], a convergence + reachability gate decides
+          when to restore [preferred], and each transition appends the
+          matching event to the history *)
 
 type result = {
   history : History.t;
-      (** completed operations (with interleaved mode events for an
-          adaptive client), in completion order *)
+      (** completed operations (with interleaved mode events for a
+          controlled client), in completion order *)
   completed : int;
   unavailable : int;
   empty_views : int;
   mode_switches : int;
   attempts : int;
   retries_used : int;
+  transitions : Relax_degrade.Controller.transition list;
+      (** the mode-switch timeline ([] for a fixed client) *)
+  time_to_degrade : float list;
+  time_to_restore : float list;
+  gossip_rounds : int;  (** adaptive anti-entropy rounds (controlled) *)
+  online_violation : Relax_degrade.Online.violation option;
+      (** [None] when no online oracle was passed, or it conforms *)
   metrics : Relax_sim.Metrics.t;
   digest : string;
       (** canonical condensation of the run — replay equivalence is
           string equality of digests *)
 }
 
+(** [online], when given, builds a fresh incremental conformance oracle
+    per run: a controlled client's history is streamed through it as it
+    is produced (violations are flagged at the causing event), a fixed
+    client's completion record is fed after the run. *)
 val run :
   ?config:config ->
+  ?online:(unit -> Relax_degrade.Online.t) ->
   client:client ->
   respond:Relax_replica.Replica.response_chooser ->
   Fault.event list ->

@@ -30,6 +30,7 @@ let to_sexp t =
       List [ atom "mean-latency"; float t.config.Runner.mean_latency ];
       List [ atom "timeout"; float t.config.Runner.timeout ];
       List [ atom "retries"; int t.config.Runner.retries ];
+      List [ atom "backoff"; float t.config.Runner.backoff ];
       List [ atom "gossip-every"; int t.config.Runner.gossip_every ];
       List [ atom "op-window"; float t.config.Runner.op_window ];
       List (atom "events" :: List.map Fault.event_to_sexp t.events);
@@ -60,6 +61,12 @@ let of_sexp sx =
         mean_latency = Sexp.get_float "mean-latency" sx;
         timeout = Sexp.get_float "timeout" sx;
         retries = Sexp.get_int "retries" sx;
+        (* absent in traces written before the knob existed: the old
+           hard-wired default applies, keeping them replayable *)
+        backoff =
+          (match Sexp.assoc "backoff" sx with
+          | Some _ -> Sexp.get_float "backoff" sx
+          | None -> 8.0);
         gossip_every = Sexp.get_int "gossip-every" sx;
         op_window = Sexp.get_float "op-window" sx;
       };

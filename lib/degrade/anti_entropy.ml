@@ -1,0 +1,97 @@
+(* Self-healing anti-entropy: adaptive gossip scheduling on the
+   simulation clock.
+
+   The fixed-cadence gossip loops the experiments used either waste
+   rounds when every site is already converged or react too slowly when
+   divergence appears.  This scheduler checks the convergence lag every
+   [check_every] ticks and:
+
+     - stays quiet while converged (backing off to zero gossip cost);
+     - fires a round immediately when divergence appears;
+     - backs off exponentially (up to [max_interval]) while rounds make
+       no progress — flooding a partitioned network cannot help — and
+       snaps back to [min_interval] as soon as a round reduces the lag
+       (the heal just happened; reconverge fast). *)
+
+module Tr = Relax_obs.Tracer.Ambient
+module At = Relax_obs.Attr
+
+type t = {
+  engine : Relax_sim.Engine.t;
+  replica : Relax_replica.Replica.t;
+  check_every : float;
+  min_interval : float;
+  max_interval : float;
+  mutable interval : float; (* current backoff between rounds *)
+  mutable next_round : float; (* earliest time the next round may fire *)
+  mutable last_lag : int; (* lag right after the previous round *)
+  mutable rounds : int;
+  mutable installed : bool;
+  mutable stopped : bool;
+}
+
+let create ?(check_every = 25.0) ?(min_interval = 25.0) ?(max_interval = 400.0)
+    engine replica =
+  if check_every <= 0.0 then invalid_arg "Anti_entropy.create: check_every";
+  if min_interval <= 0.0 || max_interval < min_interval then
+    invalid_arg "Anti_entropy.create: bad interval bounds";
+  {
+    engine;
+    replica;
+    check_every;
+    min_interval;
+    max_interval;
+    interval = min_interval;
+    next_round = 0.0;
+    last_lag = 0;
+    rounds = 0;
+    installed = false;
+    stopped = false;
+  }
+
+let rounds t = t.rounds
+let interval t = t.interval
+
+let fire t ~lag =
+  let now = Relax_sim.Engine.now t.engine in
+  Relax_replica.Replica.gossip t.replica;
+  t.rounds <- t.rounds + 1;
+  if Tr.active () then
+    Tr.instant ~time:now "degrade/gossip"
+      ~attrs:[ At.int "lag" lag; At.float "interval" t.interval ];
+  (* No progress since the last round means the divergence is not
+     gossip's to fix (partition, crashed holders): back off.  Progress
+     resets the backoff so reconvergence after heal runs at full speed. *)
+  if lag >= t.last_lag && t.last_lag > 0 then
+    t.interval <- Float.min t.max_interval (t.interval *. 2.0)
+  else t.interval <- t.min_interval;
+  t.last_lag <- lag;
+  t.next_round <- now +. t.interval
+
+let tick t =
+  let lag = Monitor.lag t.replica in
+  if lag = 0 then begin
+    t.interval <- t.min_interval;
+    t.last_lag <- 0
+  end
+  else if Relax_sim.Engine.now t.engine >= t.next_round then fire t ~lag
+
+(* Force a round now (the controller's restore path calls this to close
+   the last gap before re-strengthening). *)
+let force t =
+  t.interval <- t.min_interval;
+  fire t ~lag:(Monitor.lag t.replica)
+
+let stop t = t.stopped <- true
+
+let install t =
+  if not t.installed then begin
+    t.installed <- true;
+    let rec loop () =
+      if not t.stopped then begin
+        tick t;
+        Relax_sim.Engine.schedule t.engine ~delay:t.check_every loop
+      end
+    in
+    Relax_sim.Engine.schedule t.engine ~delay:t.check_every loop
+  end

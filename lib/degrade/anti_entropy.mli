@@ -1,0 +1,38 @@
+(** Self-healing anti-entropy: adaptive gossip on the simulation clock.
+
+    Checks the convergence lag every [check_every] ticks; stays quiet
+    while converged, fires a gossip round immediately when divergence
+    appears, and backs off exponentially (to [max_interval]) while
+    rounds make no progress — flooding a partitioned network cannot
+    help — snapping back to [min_interval] as soon as a round reduces
+    the lag. *)
+
+type t
+
+(** Raises [Invalid_argument] on non-positive [check_every] or
+    [max_interval < min_interval]. *)
+val create :
+  ?check_every:float ->
+  ?min_interval:float ->
+  ?max_interval:float ->
+  Relax_sim.Engine.t ->
+  Relax_replica.Replica.t ->
+  t
+
+(** Start the recurring check (idempotent). *)
+val install : t -> unit
+
+(** One check right now: gossip if diverged and due. *)
+val tick : t -> unit
+
+(** Gossip now, resetting the backoff. *)
+val force : t -> unit
+
+(** Stop the recurring check. *)
+val stop : t -> unit
+
+(** Gossip rounds fired so far. *)
+val rounds : t -> int
+
+(** Current backoff between rounds. *)
+val interval : t -> float

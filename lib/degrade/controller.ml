@@ -1,0 +1,311 @@
+(* The degradation controller: hysteresis-governed movement along a
+   two-point relaxation lattice, driven by online constraint monitors.
+
+   The controller generalizes the rule lib/experiments/adaptive.ml used
+   to hand-code: run the preferred (strict) behavior while the monitored
+   constraints of C hold, shed to the degraded behavior the moment they
+   do not, and re-strengthen only deliberately.  Mapping through phi is
+   the two-point case of the paper's Section 2.3 combined automaton: all
+   monitored constraints healthy |-> preferred point, anything unhealthy
+   |-> degraded point; each commit is surfaced through [emit] so the
+   client can append the matching Degrade()/Restore() environment event
+   to its history and the run replays through the combined automaton
+   unchanged.
+
+   The two directions are deliberately asymmetric (hysteresis):
+
+   - Degrading is safe at any moment — the preferred behavior's language
+     is contained in the degraded one's stepwise over the shared state —
+     so it is fail-fast: a single unhealthy sample, a fresh unhealthy
+     probe right before an operation, or a tripped retry-budget breaker
+     commits immediately.  Cheap availability lost to hesitation is the
+     only thing a slow degrade buys.
+
+   - Restoring is dangerous when premature (a strict operation against
+     still-diverged replicas reads an incomplete view), so it is slow:
+     [restore_after] consecutive healthy samples, at least [min_dwell]
+     since the last transition (the debounce that bounds flapping), a
+     closed breaker, no operation in flight, and a *fresh* restore-gate
+     pass at commit time.  The gate (by default: anti-entropy lag zero
+     plus preferred-assignment reachability) implies every entry accepted
+     while degraded now sits on every up site — a majority — so the
+     preferred majority quorums of later operations must intersect the
+     holders, and nothing written in degraded mode can be missed.
+
+   Self-healing rides on the same machinery: the controller owns an
+   adaptive [Anti_entropy] scheduler (quiet when converged, immediate on
+   divergence, backing off while partitioned), and the circuit breaker
+   sheds to the weaker point instead of letting clients burn retry
+   budgets into [Unavailable]. *)
+
+open Relax_quorum
+open Relax_replica
+module Tr = Relax_obs.Tracer.Ambient
+module At = Relax_obs.Attr
+
+type config = {
+  sample_every : float;  (** monitor sampling period (simulation clock) *)
+  degrade_after : int;  (** consecutive unhealthy samples that degrade *)
+  restore_after : int;  (** consecutive healthy samples to arm a restore *)
+  min_dwell : float;  (** debounce: minimum time between transitions *)
+  breaker_budget : int;  (** op failures within [breaker_window] that trip *)
+  breaker_window : float;
+  breaker_cooloff : float;  (** forced degraded dwell after a trip *)
+  gossip_check_every : float;
+  gossip_min : float;
+  gossip_max : float;
+}
+
+let default_config =
+  {
+    sample_every = 25.0;
+    degrade_after = 1;
+    restore_after = 3;
+    min_dwell = 150.0;
+    breaker_budget = 3;
+    breaker_window = 1000.0;
+    breaker_cooloff = 400.0;
+    gossip_check_every = 25.0;
+    gossip_min = 25.0;
+    gossip_max = 400.0;
+  }
+
+type transition = { at : float; to_degraded : bool; cause : string }
+
+let pp_transition ppf tr =
+  Fmt.pf ppf "%10.1f  %s  (%s)" tr.at
+    (if tr.to_degraded then "DEGRADE" else "RESTORE")
+    tr.cause
+
+type op_outcome =
+  | Op_ok  (** completed *)
+  | Op_refused  (** semantic refusal (e.g. empty view): not a fault *)
+  | Op_failed  (** timeout / unavailable: counts against the breaker *)
+
+type t = {
+  config : config;
+  engine : Relax_sim.Engine.t;
+  replica : Replica.t;
+  constraints : Monitor.t list;
+  restore_gate : Monitor.t list;
+  preferred : Assignment.t;
+  degraded_assignment : Assignment.t;
+  emit : degraded:bool -> unit;
+  anti_entropy : Anti_entropy.t;
+  mutable degraded : bool;
+  mutable bad_streak : int;
+  mutable good_streak : int;
+  mutable first_bad : float option;  (* start of current unhealthy episode *)
+  mutable first_good : float option;  (* start of current healthy episode *)
+  mutable last_transition : float;
+  mutable breaker_failures : float list;  (* failure times, newest first *)
+  mutable breaker_open_until : float;
+  mutable op_inflight : bool;
+  mutable transitions_rev : transition list;
+  mutable t2d_rev : float list;  (* episode start -> degrade commit *)
+  mutable t2r_rev : float list;  (* health return -> restore commit *)
+  mutable samples : int;
+  mutable stopped : bool;
+  mutable installed : bool;
+}
+
+let create ?(config = default_config) ~replica ~constraints ~restore_gate
+    ~preferred ~degraded ?(emit = fun ~degraded:_ -> ()) () =
+  if constraints = [] then invalid_arg "Controller.create: no constraints";
+  if config.sample_every <= 0.0 then
+    invalid_arg "Controller.create: sample_every must be positive";
+  if config.degrade_after < 1 || config.restore_after < 1 then
+    invalid_arg "Controller.create: streak thresholds must be >= 1";
+  let engine = Replica.engine replica in
+  Replica.set_assignment replica preferred;
+  {
+    config;
+    engine;
+    replica;
+    constraints;
+    restore_gate;
+    preferred;
+    degraded_assignment = degraded;
+    emit;
+    anti_entropy =
+      Anti_entropy.create ~check_every:config.gossip_check_every
+        ~min_interval:config.gossip_min ~max_interval:config.gossip_max engine
+        replica;
+    degraded = false;
+    bad_streak = 0;
+    good_streak = 0;
+    first_bad = None;
+    first_good = None;
+    last_transition = 0.0;
+    breaker_failures = [];
+    breaker_open_until = 0.0;
+    op_inflight = false;
+    transitions_rev = [];
+    t2d_rev = [];
+    t2r_rev = [];
+    samples = 0;
+    stopped = false;
+    installed = false;
+  }
+
+let now t = Relax_sim.Engine.now t.engine
+let degraded t = t.degraded
+let mode t = if t.degraded then `Degraded else `Preferred
+let transitions t = List.rev t.transitions_rev
+let switch_count t = List.length t.transitions_rev
+let samples t = t.samples
+let anti_entropy t = t.anti_entropy
+let time_to_degrade t = List.rev t.t2d_rev
+let time_to_restore t = List.rev t.t2r_rev
+let breaker_open t = now t < t.breaker_open_until
+
+let trace_transition t tr =
+  if Tr.active () then
+    Tr.instant ~time:tr.at "degrade/transition"
+      ~attrs:
+        [
+          At.str "to" (if tr.to_degraded then "degraded" else "preferred");
+          At.str "cause" tr.cause;
+          At.int "switches" (switch_count t);
+        ]
+
+let commit t ~to_degraded ~cause =
+  let at = now t in
+  t.degraded <- to_degraded;
+  Replica.set_assignment t.replica
+    (if to_degraded then t.degraded_assignment else t.preferred);
+  let tr = { at; to_degraded; cause } in
+  t.transitions_rev <- tr :: t.transitions_rev;
+  t.last_transition <- at;
+  (if to_degraded then
+     t.t2d_rev <- (at -. Option.value t.first_bad ~default:at) :: t.t2d_rev
+   else t.t2r_rev <- (at -. Option.value t.first_good ~default:at) :: t.t2r_rev);
+  t.bad_streak <- 0;
+  t.good_streak <- 0;
+  t.first_bad <- None;
+  t.first_good <- None;
+  trace_transition t tr;
+  t.emit ~degraded:to_degraded
+
+let degrade t ~cause = if not t.degraded then commit t ~to_degraded:true ~cause
+
+(* One sampling round over the monitored constraints: all healthy, or the
+   first unhealthy monitor (name and value) as the cause. *)
+let sample_constraints t =
+  let unhealthy =
+    List.filter_map
+      (fun m ->
+        let s = Monitor.sample m in
+        if s.Monitor.healthy then None else Some (m, s))
+      t.constraints
+  in
+  match unhealthy with
+  | [] -> Ok ()
+  | (m, s) :: _ ->
+    Error (Fmt.str "%s %a" (Monitor.name m) Monitor.pp_sample s)
+
+let gate_ok t =
+  List.for_all (fun m -> (Monitor.sample m).Monitor.healthy) t.restore_gate
+
+(* A restore is armed once the healthy streak, the dwell debounce and the
+   breaker cooloff are all satisfied; it commits only against a fresh
+   constraint pass plus a fresh restore-gate pass, with no operation in
+   flight (the in-flight operation still runs on the quorums it started
+   with, but its completion must not interleave with the event emission
+   order the client records). *)
+let try_restore t =
+  if
+    t.degraded
+    && t.good_streak >= t.config.restore_after
+    && now t -. t.last_transition >= t.config.min_dwell
+    && (not (breaker_open t))
+    && (not t.op_inflight)
+    && (match sample_constraints t with Ok () -> true | Error _ -> false)
+    && gate_ok t
+  then commit t ~to_degraded:false ~cause:"monitors healthy, gate passed"
+
+let tick t =
+  t.samples <- t.samples + 1;
+  let verdict = sample_constraints t in
+  if Tr.active () then
+    Tr.instant ~time:(now t) "degrade/sample"
+      ~attrs:
+        [
+          At.bool "healthy" (Result.is_ok verdict);
+          At.bool "degraded" t.degraded;
+          At.int "lag" (Monitor.lag t.replica);
+        ];
+  match verdict with
+  | Error cause ->
+    t.good_streak <- 0;
+    t.first_good <- None;
+    t.bad_streak <- t.bad_streak + 1;
+    if t.first_bad = None then t.first_bad <- Some (now t);
+    if (not t.degraded) && t.bad_streak >= t.config.degrade_after then
+      degrade t ~cause
+  | Ok () ->
+    t.bad_streak <- 0;
+    t.first_bad <- None;
+    if t.degraded then begin
+      t.good_streak <- t.good_streak + 1;
+      if t.first_good = None then t.first_good <- Some (now t);
+      try_restore t
+    end
+
+(* Client hook, called right before issuing an operation: fail-fast
+   degrade on a fresh unhealthy probe (don't burn a timeout to learn what
+   a probe already knows), or commit an armed restore. *)
+let before_op t =
+  if not t.degraded then begin
+    if breaker_open t then degrade t ~cause:"retry budget breaker open"
+    else
+      match sample_constraints t with
+      | Error cause ->
+        if t.first_bad = None then t.first_bad <- Some (now t);
+        degrade t ~cause
+      | Ok () -> ()
+  end
+  else try_restore t
+
+let op_started t = t.op_inflight <- true
+
+let op_finished t outcome =
+  t.op_inflight <- false;
+  match outcome with
+  | Op_ok | Op_refused -> ()
+  | Op_failed ->
+    let at = now t in
+    let horizon = at -. t.config.breaker_window in
+    t.breaker_failures <-
+      at :: List.filter (fun f -> f > horizon) t.breaker_failures;
+    if List.length t.breaker_failures >= t.config.breaker_budget then begin
+      t.breaker_open_until <- at +. t.config.breaker_cooloff;
+      t.breaker_failures <- [];
+      if Tr.active () then
+        Tr.instant ~time:at "degrade/breaker"
+          ~attrs:[ At.float "until" t.breaker_open_until ];
+      if t.first_bad = None then t.first_bad <- Some at;
+      degrade t ~cause:"retry budget exhausted (breaker tripped)"
+    end
+
+let stop t =
+  t.stopped <- true;
+  Anti_entropy.stop t.anti_entropy
+
+let install t =
+  if not t.installed then begin
+    t.installed <- true;
+    Anti_entropy.install t.anti_entropy;
+    let rec loop () =
+      if not t.stopped then begin
+        tick t;
+        Relax_sim.Engine.schedule t.engine ~delay:t.config.sample_every loop
+      end
+    in
+    Relax_sim.Engine.schedule t.engine ~delay:t.config.sample_every loop
+  end
+
+let pp_timeline ppf t =
+  match transitions t with
+  | [] -> Fmt.pf ppf "  (no transitions: stayed preferred)"
+  | trs -> Fmt.(list ~sep:(any "@\n") (fun ppf -> pf ppf "  %a" pp_transition)) ppf trs

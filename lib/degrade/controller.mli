@@ -1,0 +1,100 @@
+open Relax_quorum
+open Relax_replica
+
+(** The degradation controller: hysteresis-governed movement along a
+    two-point relaxation lattice, driven by online constraint monitors.
+
+    While the monitored constraints of [C] hold, the replica runs the
+    [preferred] assignment; the moment they do not — one unhealthy
+    sample, a fresh unhealthy probe before an operation, or a tripped
+    retry-budget circuit breaker — the controller sheds to [degraded]
+    (fail-fast: degrading is always language-safe).  Restoring is slow
+    and gated: a streak of healthy samples, a dwell-time debounce, a
+    closed breaker, no operation in flight, and a fresh restore-gate
+    pass (anti-entropy reconvergence) at commit time.  Every transition
+    is surfaced through [emit] so the client can append the matching
+    Degrade()/Restore() environment event to its history and replay the
+    run through the Section 2.3 combined automaton unchanged.
+
+    The controller owns an adaptive {!Anti_entropy} scheduler (installed
+    with {!install}), the self-healing half of the loop. *)
+
+type config = {
+  sample_every : float;  (** monitor sampling period (simulation clock) *)
+  degrade_after : int;  (** consecutive unhealthy samples that degrade *)
+  restore_after : int;  (** consecutive healthy samples to arm a restore *)
+  min_dwell : float;  (** debounce: minimum time between transitions *)
+  breaker_budget : int;  (** op failures within [breaker_window] that trip *)
+  breaker_window : float;
+  breaker_cooloff : float;  (** forced degraded dwell after a trip *)
+  gossip_check_every : float;
+  gossip_min : float;
+  gossip_max : float;
+}
+
+val default_config : config
+
+type transition = { at : float; to_degraded : bool; cause : string }
+
+val pp_transition : transition Fmt.t
+
+type op_outcome =
+  | Op_ok  (** completed *)
+  | Op_refused  (** semantic refusal (e.g. empty view): not a fault *)
+  | Op_failed  (** timeout / unavailable: counts against the breaker *)
+
+type t
+
+(** The replica is re-pointed at [preferred] immediately.  [constraints]
+    decide degrade/restore health; [restore_gate] additionally gates
+    re-strengthening (typically: convergence lag zero plus preferred
+    reachability).  Raises on empty [constraints] or non-positive
+    periods/streaks. *)
+val create :
+  ?config:config ->
+  replica:Replica.t ->
+  constraints:Monitor.t list ->
+  restore_gate:Monitor.t list ->
+  preferred:Assignment.t ->
+  degraded:Assignment.t ->
+  ?emit:(degraded:bool -> unit) ->
+  unit ->
+  t
+
+(** Start the recurring sampling loop and the anti-entropy scheduler
+    (idempotent). *)
+val install : t -> unit
+
+(** Stop both recurring loops. *)
+val stop : t -> unit
+
+(** One sampling round right now (also driven by {!install}'s loop). *)
+val tick : t -> unit
+
+(** Client hook before issuing an operation: fail-fast degrade on a
+    fresh unhealthy probe, or commit an armed restore. *)
+val before_op : t -> unit
+
+val op_started : t -> unit
+
+(** Client hook after an operation settles; [Op_failed] outcomes feed the
+    circuit breaker. *)
+val op_finished : t -> op_outcome -> unit
+
+val degraded : t -> bool
+val mode : t -> [ `Preferred | `Degraded ]
+val breaker_open : t -> bool
+val transitions : t -> transition list
+val switch_count : t -> int
+val samples : t -> int
+val anti_entropy : t -> Anti_entropy.t
+
+(** Per-degrade: time from the first unhealthy observation of the episode
+    to the commit (fail-fast keeps these near zero). *)
+val time_to_degrade : t -> float list
+
+(** Per-restore: time from health returning to the restore committing
+    (streak + dwell + gate). *)
+val time_to_restore : t -> float list
+
+val pp_timeline : t Fmt.t

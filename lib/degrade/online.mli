@@ -1,0 +1,36 @@
+open Relax_core
+
+(** The online conformance oracle: an incremental [Chaos.Oracle].
+
+    Maintains the predicted behavior's automaton frontier as operations
+    complete; the frontier after a prefix is empty iff the prefix is
+    rejected, so a violation is flagged at the exact operation causing
+    it, with the offending prefix in hand for the shrinker.  For the same
+    operations, {!conforms} agrees with the post-hoc oracle over
+    [Automaton.accepts] of the same automaton (both are frontier
+    emptiness of the same iterated delta). *)
+
+type violation = {
+  index : int;  (** 0-based position of the offending operation *)
+  op : Op.t;
+  prefix : History.t;  (** shortest rejected prefix, ends with [op] *)
+}
+
+type t
+
+val of_automaton : 'v Automaton.t -> t
+val automaton_name : t -> string
+
+(** Consume one completed operation.  A no-op once a violation is
+    flagged: the oracle freezes on its verdict. *)
+val step : t -> Op.t -> unit
+
+val feed : t -> History.t -> unit
+val frontier_size : t -> int
+val violation : t -> violation option
+val conforms : t -> bool
+
+(** Operations consumed before freezing, in order. *)
+val seen : t -> History.t
+
+val pp : t Fmt.t

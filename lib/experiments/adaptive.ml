@@ -2,27 +2,35 @@ open Relax_core
 open Relax_objects
 open Relax_quorum
 open Relax_replica
+module Degrade = Relax_degrade
 
 (* Experiment X-adapt: the combined environment+object automaton of
-   Section 2.3, realized end to end.
+   Section 2.3, realized end to end — now on the live degradation
+   controller (lib/degrade) instead of a hand-scripted client.
 
    An adaptive taxi-dispatch client runs at the top of the lattice while
-   a majority of sites is reachable and the logs have reconverged, and
-   degrades to the bottom ("any available site") otherwise.  The mode
-   changes are recorded as environment events interleaved with the
-   operations:
+   the monitored constraints hold — every up site can assemble the
+   preferred majority quorums — and degrades to the bottom ("any
+   available site") otherwise.  The controller makes the moves: a
+   fail-fast probe before each operation (plus periodic sampling and a
+   retry-budget circuit breaker) degrades the moment quorums become
+   unobtainable, and the restore gate re-strengthens only after adaptive
+   anti-entropy has reconverged the logs.  The mode changes are emitted
+   as environment events interleaved with the operations:
 
      Degrade()/Ok()   subsequent operations run at the bottom
      Restore()/Ok()   propagation caught up; the preferred constraints
                       hold again
 
-   Restore fires only after anti-entropy has reconverged the logs: the
-   paper's constraints are about intersection with *past* final quorums,
-   so a majority being up again does not by itself restore Q2 — degraded
-   writes must first propagate.
+   Restore fires only after reconvergence: the paper's constraints are
+   about intersection with *past* final quorums, so a majority being up
+   again does not by itself restore Q2 — degraded writes must first
+   propagate to a majority.
 
    The event+operation history is then replayed through the combined
-   automaton <2^C x STATE, (c0,s0), EVENT ∪ OP, delta>.  The lattice's
+   automaton <2^C x STATE, (c0,s0), EVENT ∪ OP, delta>, and — new with
+   the controller — judged incrementally by the online conformance
+   oracle as it is produced; the two verdicts must agree.  The lattice's
    two automata share the present/absent state space of the MPQ (so the
    object state survives mode changes):
 
@@ -102,6 +110,10 @@ type outcome = {
   degraded_ops : int;
   mode_switches : int;
   accepted_by_combined : bool;
+  online_agrees : bool;
+      (** the online oracle's incremental verdict matches the post-hoc
+          replay *)
+  transitions : Degrade.Controller.transition list;
   first_rejection : History.t option;
       (** shortest rejected prefix, for diagnostics *)
 }
@@ -113,10 +125,12 @@ let first_rejected_prefix h =
     (History.prefixes h)
 
 let pp_outcome ppf o =
-  Fmt.pf ppf "%d operations (%d served degraded, %d mode switches): %s"
+  Fmt.pf ppf "%d operations (%d served degraded, %d mode switches): %s, %s"
     o.operations o.degraded_ops o.mode_switches
     (if o.accepted_by_combined then "accepted by the combined automaton"
      else "REJECTED by the combined automaton")
+    (if o.online_agrees then "online oracle agrees"
+     else "ONLINE ORACLE DISAGREES")
 
 type params = {
   sites : int;
@@ -135,10 +149,8 @@ let default_params =
     seed = 31;
   }
 
-(* The replica always runs with "any available site" thresholds; strict
-   mode is enforced by the client, which only claims it while a majority
-   is up and the logs are fully reconverged (and re-syncs after every
-   strict operation, mirroring the majority-intersection guarantee). *)
+(* The degraded assignment: "any available site" thresholds — enqueue
+   anywhere, dequeue from whatever single log is reachable. *)
 let relaxed_assignment ~n =
   Assignment.make ~n
     [
@@ -146,28 +158,56 @@ let relaxed_assignment ~n =
       (Queue_ops.deq_name, { Assignment.initial = 1; final = 1 });
     ]
 
-let run_once ?(params = default_params) () =
+(* The preferred assignment: majority quorums for both operations, so
+   every pair of quorums intersects (Q1: maj + maj > n, Q2: likewise)
+   and strict-mode reads cannot miss strict-mode writes. *)
+let preferred_assignment ~n =
+  let maj = (n / 2) + 1 in
+  Assignment.make ~n
+    [
+      (Queue_ops.enq_name, { Assignment.initial = maj; final = maj });
+      (Queue_ops.deq_name, { Assignment.initial = maj; final = maj });
+    ]
+
+let run_once ?(params = default_params) ?(timeout = 80.0) ?retries ?backoff ()
+    =
   let engine = Relax_sim.Engine.create ~seed:params.seed () in
   let net =
     Relax_sim.Network.create ~mean_latency:3.0 engine ~sites:params.sites
   in
+  let preferred = preferred_assignment ~n:params.sites in
   let replica =
-    Replica.create ~timeout:80.0 engine net
-      (relaxed_assignment ~n:params.sites)
+    Replica.create ~timeout ?retries ?backoff engine net preferred
       ~respond:Choosers.pq_eta
   in
   let rng = Relax_sim.Rng.create ~seed:(params.seed + 3) in
-  let maj = (params.sites / 2) + 1 in
   let history = ref [] (* events and operations, reversed *) in
-  let degraded = ref false and degraded_ops = ref 0 and switches = ref 0 in
-  let emit op = history := op :: !history in
-  let set_mode d =
-    if d <> !degraded then begin
-      degraded := d;
-      incr switches;
-      emit (if d then degrade_event else restore_event)
-    end
+  let degraded_ops = ref 0 and switches = ref 0 in
+  let oracle = Degrade.Online.of_automaton combined in
+  let emit op =
+    history := op :: !history;
+    Degrade.Online.step oracle op
   in
+  let controller =
+    Degrade.Controller.create ~replica
+      ~constraints:
+        [
+          Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+            ~assignment:preferred ();
+        ]
+      ~restore_gate:
+        [
+          Degrade.Monitor.convergence ~name:"converged" ~replica ();
+          Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+            ~assignment:preferred ();
+        ]
+      ~preferred ~degraded:(relaxed_assignment ~n:params.sites)
+      ~emit:(fun ~degraded ->
+        incr switches;
+        emit (if degraded then degrade_event else restore_event))
+      ()
+  in
+  Degrade.Controller.install controller;
   let nemesis =
     Relax_chaos.Nemesis.crash_recover ~crash_p:params.crash_probability
       ~recover_p:params.recover_probability ()
@@ -177,24 +217,6 @@ let run_once ?(params = default_params) () =
     List.iter
       (Relax_chaos.Fault.apply ~replica net)
       (Relax_chaos.Nemesis.step nemesis rng shadow)
-  in
-  let synced () =
-    let global = Replica.global_log replica in
-    List.for_all
-      (fun s -> Log.equal (Replica.site_log replica s) global)
-      (Relax_sim.Network.up_sites net)
-  in
-  let reconverge () =
-    let rec go n =
-      if n > 0 && not (synced ()) then begin
-        Replica.gossip replica;
-        Relax_sim.Engine.run
-          ~until:(Relax_sim.Engine.now engine +. 300.0)
-          engine;
-        go (n - 1)
-      end
-    in
-    go 5
   in
   let priorities =
     let arr = Array.init params.requests (fun i -> i + 1) in
@@ -207,49 +229,46 @@ let run_once ?(params = default_params) () =
       ops := `Enq prio :: !ops;
       if Relax_sim.Rng.bool rng 0.6 then ops := `Deq :: !ops)
     priorities;
+  let window = 400.0 in
   List.iter
     (fun op ->
       crash_round ();
-      (* Mode selection, re-evaluated before every operation: strict mode
-         needs a majority up AND converged logs.  The convergence check
-         must be repeated even while nominally strict — a site that
-         crashed earlier can recover here with a stale log, which
-         silently breaks the intersection guarantee until anti-entropy
-         catches it up. *)
-      (if Relax_sim.Network.up_count net >= maj then begin
-         if not (synced ()) then reconverge ();
-         if synced () && Relax_sim.Network.up_count net >= maj then
-           set_mode false
-         else set_mode true
-       end
-       else set_mode true);
-      let inv =
-        match op with
-        | `Enq prio -> Op.inv Queue_ops.enq_name ~args:[ Value.int prio ]
-        | `Deq -> Op.inv Queue_ops.deq_name
-      in
-      let client_site =
-        Relax_sim.Rng.pick rng (Relax_sim.Network.up_sites net)
-      in
-      let completed = ref None in
-      Replica.execute replica ~client_site inv (fun r -> completed := Some r);
-      Relax_sim.Engine.run
-        ~until:(Relax_sim.Engine.now engine +. 400.0)
-        engine;
-      match !completed with
-      | Some (Replica.Completed (p, _)) ->
-        if !degraded then incr degraded_ops;
-        emit p;
-        if not !degraded then begin
-          (* keep the strict-mode invariant for the next operation *)
-          reconverge ();
-          if not (synced ()) then set_mode true
-        end
-      | Some (Replica.Unavailable _) | None ->
-        (* failed even under relaxed thresholds: the request is lost and
-           the system is (or stays) degraded *)
-        set_mode true)
+      (* Fail-fast probe / armed-restore commit, replacing the scripted
+         per-operation mode selection of the previous implementation. *)
+      Degrade.Controller.before_op controller;
+      match Relax_sim.Network.up_sites net with
+      | [] ->
+        (* everything down: time still passes so recoveries can fire *)
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. window)
+          engine
+      | up ->
+        let inv =
+          match op with
+          | `Enq prio -> Op.inv Queue_ops.enq_name ~args:[ Value.int prio ]
+          | `Deq -> Op.inv Queue_ops.deq_name
+        in
+        let client_site = Relax_sim.Rng.pick rng up in
+        let completed = ref None in
+        Degrade.Controller.op_started controller;
+        Replica.execute replica ~client_site inv (fun r -> completed := Some r);
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. window)
+          engine;
+        (match !completed with
+        | Some (Replica.Completed (p, _)) ->
+          Degrade.Controller.op_finished controller Degrade.Controller.Op_ok;
+          if Degrade.Controller.degraded controller then incr degraded_ops;
+          emit p
+        | Some (Replica.Unavailable reason) ->
+          Degrade.Controller.op_finished controller
+            (if String.length reason >= 2 && reason.[0] = 'n' && reason.[1] = 'o'
+             then Degrade.Controller.Op_refused
+             else Degrade.Controller.Op_failed)
+        | None ->
+          Degrade.Controller.op_finished controller Degrade.Controller.Op_failed))
     (List.rev !ops);
+  Degrade.Controller.stop controller;
   let h = List.rev !history in
   let is_event p = List.mem (Op.name p) [ "Degrade"; "Restore" ] in
   let accepted = Automaton.accepts combined h in
@@ -258,18 +277,27 @@ let run_once ?(params = default_params) () =
     degraded_ops = !degraded_ops;
     mode_switches = !switches;
     accepted_by_combined = accepted;
+    online_agrees = Degrade.Online.conforms oracle = accepted;
+    transitions = Degrade.Controller.transitions controller;
     first_rejection = (if accepted then None else first_rejected_prefix h);
   }
 
-let run ?params ppf () =
-  let o = run_once ?params () in
+let run ?params ?timeout ?retries ?backoff ppf () =
+  let o = run_once ?params ?timeout ?retries ?backoff () in
   Fmt.pf ppf
     "== Section 2.3: adaptive replica vs the combined automaton ==@\n";
   Fmt.pf ppf "%a@\n" pp_outcome o;
+  (match o.transitions with
+  | [] -> ()
+  | trs ->
+    Fmt.pf ppf "controller timeline:@\n";
+    List.iter
+      (fun tr -> Fmt.pf ppf "  %a@\n" Degrade.Controller.pp_transition tr)
+      trs);
   Option.iter
     (fun prefix ->
       Fmt.pf ppf "first rejected prefix:@\n  %a@\n" History.pp prefix)
     o.first_rejection;
   let interesting = o.mode_switches >= 2 && o.degraded_ops > 0 in
   Fmt.pf ppf "run exercised both modes: %b@\n" interesting;
-  o.accepted_by_combined && interesting
+  o.accepted_by_combined && o.online_agrees && interesting

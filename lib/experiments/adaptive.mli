@@ -1,12 +1,14 @@
 open Relax_core
 
 (** Experiment X-adapt of EXPERIMENTS.md: the combined environment+object
-    automaton of Section 2.3, realized end to end.  An adaptive client
-    degrades to "any available site" when quorums are unobtainable and
-    restores the preferred mode only after anti-entropy reconverges the
-    logs; the event+operation history must be accepted by the combined
+    automaton of Section 2.3, realized end to end on the live degradation
+    controller (lib/degrade).  The controller degrades to "any available
+    site" when the monitored quorum constraints fail and restores the
+    preferred mode only after its gate sees anti-entropy reconvergence;
+    the event+operation history must be accepted by the combined
     automaton over the two-point sublattice (PQ / tracking-DegenPQ on a
-    shared present/absent state space). *)
+    shared present/absent state space), and the online oracle's
+    incremental verdict must agree with the post-hoc replay. *)
 
 val degrade_event : Op.t
 val restore_event : Op.t
@@ -14,11 +16,20 @@ val restore_event : Op.t
 (** The combined automaton the run is replayed through. *)
 val combined : (Cset.t * Relax_objects.Mpq.state) Automaton.t
 
+(** Majority quorums for both operations — the top of the two-point
+    lattice the controller moves over. *)
+val preferred_assignment : n:int -> Relax_quorum.Assignment.t
+
+(** "Any available site" thresholds — the bottom. *)
+val relaxed_assignment : n:int -> Relax_quorum.Assignment.t
+
 type outcome = {
   operations : int;
   degraded_ops : int;
   mode_switches : int;
   accepted_by_combined : bool;
+  online_agrees : bool;
+  transitions : Relax_degrade.Controller.transition list;
   first_rejection : History.t option;
 }
 
@@ -33,5 +44,22 @@ type params = {
 }
 
 val default_params : params
-val run_once : ?params:params -> unit -> outcome
-val run : ?params:params -> Format.formatter -> unit -> bool
+
+(** The client knobs default to the experiment's historical values
+    ([timeout] 80.0, the replica's retry/backoff defaults). *)
+val run_once :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  outcome
+
+val run :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  Format.formatter ->
+  unit ->
+  bool

@@ -34,7 +34,7 @@ let pp_outcome ppf o =
         (List.filteri (fun i _ -> i < 8) w)
     | true, None -> "PQ VIOLATION")
 
-let run_once ~amnesia ~seed =
+let run_once ?(timeout = 80.0) ?retries ?backoff ~amnesia ~seed () =
   let engine = Relax_sim.Engine.create ~seed () in
   let net = Relax_sim.Network.create ~mean_latency:2.0 engine ~sites:5 in
   let maj = 3 in
@@ -46,7 +46,7 @@ let run_once ~amnesia ~seed =
       ]
   in
   let replica =
-    Replica.create ~timeout:80.0 engine net assignment
+    Replica.create ~timeout ?retries ?backoff engine net assignment
       ~respond:Choosers.pq_eta
   in
   let rng = Relax_sim.Rng.create ~seed:(seed + 1) in
@@ -95,11 +95,19 @@ let run_once ~amnesia ~seed =
 
 (* With stable logs, every seed must stay in L(PQ); with amnesia, some
    seed in the sweep must exhibit a violation. *)
-let run ?(seeds = [ 41; 42; 43; 44; 45 ]) ppf () =
+let run ?(seeds = [ 41; 42; 43; 44; 45 ]) ?timeout ?retries ?backoff ppf () =
   Fmt.pf ppf
     "== The stable-storage assumption (preferred assignment, same faults) ==@\n";
-  let stable = List.map (fun seed -> run_once ~amnesia:false ~seed) seeds in
-  let wiped = List.map (fun seed -> run_once ~amnesia:true ~seed) seeds in
+  let stable =
+    List.map
+      (fun seed -> run_once ?timeout ?retries ?backoff ~amnesia:false ~seed ())
+      seeds
+  in
+  let wiped =
+    List.map
+      (fun seed -> run_once ?timeout ?retries ?backoff ~amnesia:true ~seed ())
+      seeds
+  in
   List.iter2
     (fun a b -> Fmt.pf ppf "seed: %a | %a@\n" pp_outcome a pp_outcome b)
     stable wiped;

@@ -14,8 +14,25 @@ type outcome = {
 }
 
 val pp_outcome : outcome Fmt.t
-val run_once : amnesia:bool -> seed:int -> outcome
+
+(** The client knobs default to the experiment's historical values
+    ([timeout] 80.0, the replica's retry/backoff defaults). *)
+val run_once :
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  amnesia:bool ->
+  seed:int ->
+  unit ->
+  outcome
 
 (** [true] when crash-recovery is safe at every seed and amnesia breaks
     at least one. *)
-val run : ?seeds:int list -> Format.formatter -> unit -> bool
+val run :
+  ?seeds:int list ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  Format.formatter ->
+  unit ->
+  bool

@@ -59,14 +59,15 @@ let pp_outcome ppf o =
 (* One run: [rounds] times, credit 10 at a random branch, wait
    [think_time], then debit 10 at another branch.  With short think times
    the debit outruns the credit's propagation and bounces spuriously. *)
-let run_once ?(params = default_params) ~relax_a2 ~think_time () =
+let run_once ?(params = default_params) ?(timeout = 300.0) ?retries ?backoff
+    ~relax_a2 ~think_time () =
   let engine = Relax_sim.Engine.create ~seed:params.seed () in
   let net =
     Relax_sim.Network.create ~mean_latency:params.mean_latency engine
       ~sites:params.sites
   in
   let replica =
-    Replica.create ~timeout:300.0 engine net
+    Replica.create ~timeout ?retries ?backoff engine net
       (assignment ~relax_a2 ~n:params.sites)
       ~respond:Choosers.account
   in
@@ -74,13 +75,14 @@ let run_once ?(params = default_params) ~relax_a2 ~think_time () =
   let credits = ref 0 and debits_ok = ref 0 and bounces = ref 0 in
   let spurious = ref 0 in
   let true_balance = ref 0 in
-  (* background anti-entropy every 60 time units: credits written to one
-     branch spread to the others on this cadence *)
-  let rec gossip_loop () =
-    Replica.gossip replica;
-    Relax_sim.Engine.schedule engine ~delay:60.0 gossip_loop
+  (* background anti-entropy on a 60-tick check: credits written to one
+     branch spread to the others through the self-healing loop — quiet
+     while the branches agree, a round as soon as they diverge *)
+  let ae =
+    Relax_degrade.Anti_entropy.create ~check_every:60.0 ~min_interval:60.0
+      ~max_interval:480.0 engine replica
   in
-  Relax_sim.Engine.schedule engine ~delay:60.0 gossip_loop;
+  Relax_degrade.Anti_entropy.install ae;
   for _ = 1 to params.rounds do
     let credit_site = Relax_sim.Rng.int rng params.sites in
     let debit_site = Relax_sim.Rng.int rng params.sites in
@@ -137,14 +139,16 @@ let run_once ?(params = default_params) ~relax_a2 ~think_time () =
 
 (* The paper's qualitative claim: the spurious-bounce probability
    diminishes with time since the credit. *)
-let sweep ?(params = default_params) ?(think_times = [ 0.0; 10.0; 40.0; 150.0 ])
-    () =
+let sweep ?(params = default_params) ?timeout ?retries ?backoff
+    ?(think_times = [ 0.0; 10.0; 40.0; 150.0 ]) () =
   List.map
-    (fun tt -> run_once ~params ~relax_a2:false ~think_time:tt ())
+    (fun tt ->
+      run_once ~params ?timeout ?retries ?backoff ~relax_a2:false
+        ~think_time:tt ())
     think_times
 
-let run_body ?params ppf =
-  let outcomes = sweep ?params () in
+let run_body ?params ?timeout ?retries ?backoff ppf =
+  let outcomes = sweep ?params ?timeout ?retries ?backoff () in
   List.iter (fun o -> Fmt.pf ppf "%a@\n" pp_outcome o) outcomes;
   let safe = List.for_all (fun o -> o.never_overdrawn) outcomes in
   (* bounce rate should not increase with think time *)
@@ -159,14 +163,17 @@ let run_body ?params ppf =
   Fmt.pf ppf "safety (never overdrawn): %b@\n" safe;
   Fmt.pf ppf "spurious bounces diminish with think time: %b@\n"
     monotone_decreasing;
-  let unsafe = run_once ?params ~relax_a2:true ~think_time:0.0 () in
+  let unsafe =
+    run_once ?params ?timeout ?retries ?backoff ~relax_a2:true ~think_time:0.0
+      ()
+  in
   Fmt.pf ppf
     "control (A2 relaxed as well): %s — why the bank insists on A2@\n"
     (if unsafe.never_overdrawn then "no overdraft observed at this seed"
      else Fmt.str "OVERDRAFT OBSERVED (%d bad prefixes)" unsafe.overdrafts);
   safe && monotone_decreasing
 
-let claims ?params () =
+let claims ?params ?timeout ?retries ?backoff () =
   [
     Relax_claims.Claim.report ~id:"atm/safety" ~kind:Characterization
       ~paper:"Section 3.4 (ATM example)"
@@ -174,16 +181,17 @@ let claims ?params () =
         "with A2 kept the account is never overdrawn, and spurious bounces \
          diminish with think time"
       ~detail:"replica runtime, think-time sweep plus relax-A2 control"
-      (run_body ?params);
+      (run_body ?params ?timeout ?retries ?backoff);
   ]
 
-let group ?params () =
+let group ?params ?timeout ?retries ?backoff () =
   {
     Relax_claims.Registry.gid = "atm";
     title = "Section 3.4 replicated bank account on the replica runtime";
     header =
       "== Section 3.4: replicated bank account (A2 kept, A1 relaxed) ==\n";
-    claims = claims ?params ();
+    claims = claims ?params ?timeout ?retries ?backoff ();
   }
 
-let run ?params ppf () = Relax_claims.Engine.run_print (group ?params ()) ppf
+let run ?params ?timeout ?retries ?backoff ppf () =
+  Relax_claims.Engine.run_print (group ?params ?timeout ?retries ?backoff ()) ppf

@@ -30,16 +30,52 @@ type outcome = {
 
 val pp_outcome : outcome Fmt.t
 
-(** One run at a fixed think time. *)
+(** One run at a fixed think time.  The client knobs default to the
+    experiment's historical values ([timeout] 300.0, the replica's
+    retry/backoff defaults). *)
 val run_once :
-  ?params:params -> relax_a2:bool -> think_time:float -> unit -> outcome
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  relax_a2:bool ->
+  think_time:float ->
+  unit ->
+  outcome
 
 (** Sweep the think time (A2 kept). *)
-val sweep : ?params:params -> ?think_times:float list -> unit -> outcome list
+val sweep :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?think_times:float list ->
+  unit ->
+  outcome list
 
-val claims : ?params:params -> unit -> Relax_claims.Claim.t list
-val group : ?params:params -> unit -> Relax_claims.Registry.group
+val claims :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  Relax_claims.Claim.t list
+
+val group :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  Relax_claims.Registry.group
 
 (** Print the sweep and the relax-A2 control; [true] when safety and the
     diminishing-bounce trend hold. *)
-val run : ?params:params -> Format.formatter -> unit -> bool
+val run :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  Format.formatter ->
+  unit ->
+  bool

@@ -1,5 +1,4 @@
 open Relax_core
-open Relax_objects
 open Relax_replica
 module Chaos = Relax_chaos
 
@@ -25,6 +24,8 @@ type scenario = {
   lattice : string; (* rendered constraint set, or "adaptive" *)
   client : sites:int -> Chaos.Runner.client;
   accepts : History.t -> bool;
+  online : unit -> Relax_degrade.Online.t;
+      (* fresh incremental oracle over the same predicted behavior *)
 }
 
 (* The cset of each X-deg lattice point (independent of the site count). *)
@@ -39,14 +40,8 @@ let fixed index name description =
         Chaos.Runner.Fixed
           (List.nth (Taxi.points ~n:sites) index).Taxi.assignment);
     accepts = Taxi.predicted_accepts cset;
+    online = (fun () -> Taxi.predicted_online cset);
   }
-
-let relaxed_assignment ~n =
-  Relax_quorum.Assignment.make ~n
-    [
-      (Queue_ops.enq_name, { Relax_quorum.Assignment.initial = 0; final = 1 });
-      (Queue_ops.deq_name, { Relax_quorum.Assignment.initial = 1; final = 1 });
-    ]
 
 let all =
   [
@@ -57,17 +52,20 @@ let all =
     {
       name = "adaptive";
       description =
-        "Section 2.3 adaptive client vs the combined automaton";
+        "Section 2.3 controller-driven client vs the combined automaton";
       lattice = "adaptive";
       client =
         (fun ~sites ->
-          Chaos.Runner.Adaptive
+          Chaos.Runner.Controlled
             {
-              assignment = relaxed_assignment ~n:sites;
+              preferred = Adaptive.preferred_assignment ~n:sites;
+              degraded = Adaptive.relaxed_assignment ~n:sites;
               degrade = Adaptive.degrade_event;
               restore = Adaptive.restore_event;
+              controller = None;
             });
       accepts = Automaton.accepts Adaptive.combined;
+      online = (fun () -> Relax_degrade.Online.of_automaton Adaptive.combined);
     };
   ]
 
@@ -125,7 +123,7 @@ let run_trace (trace : Chaos.Trace.t) =
         ]
       (fun () ->
         let result =
-          Chaos.Runner.run ~config:trace.config
+          Chaos.Runner.run ~config:trace.config ~online:sc.online
             ~client:(sc.client ~sites:trace.config.Chaos.Runner.sites)
             ~respond:Choosers.pq_eta trace.events
         in
@@ -135,6 +133,8 @@ let run_trace (trace : Chaos.Trace.t) =
             [
               At.str "point" trace.point;
               At.bool "conforms" (Chaos.Oracle.conforms verdict);
+              At.bool "online-viol"
+                (Option.is_some result.Chaos.Runner.online_violation);
             ];
         Ok (result, verdict))
 

@@ -18,6 +18,10 @@ type scenario = {
           ["adaptive"] — the lattice-point attribute on trace spans. *)
   client : sites:int -> Chaos.Runner.client;
   accepts : History.t -> bool;
+  online : unit -> Relax_degrade.Online.t;
+      (** a fresh incremental oracle over the same predicted behavior,
+          threaded into each run so violations localize to the causing
+          event *)
 }
 
 val all : scenario list

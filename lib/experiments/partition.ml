@@ -34,11 +34,12 @@ let pp_outcome ppf o =
     o.minority_failures o.majority_failures o.cross_partition_duplicates
     (if o.history_ok then "history=predicted" else "HISTORY MISMATCH")
 
-let run_point ?(seed = 21) (point : Taxi.point) =
+let run_point ?(seed = 21) ?(timeout = 60.0) ?retries ?backoff
+    (point : Taxi.point) =
   let engine = Relax_sim.Engine.create ~seed () in
   let net = Relax_sim.Network.create ~mean_latency:2.0 engine ~sites:5 in
   let replica =
-    Replica.create ~timeout:60.0 engine net point.Taxi.assignment
+    Replica.create ~timeout ?retries ?backoff engine net point.Taxi.assignment
       ~respond:Choosers.pq_eta
   in
   let run_one ~client_site inv =
@@ -88,10 +89,11 @@ let run_point ?(seed = 21) (point : Taxi.point) =
     history_ok = Taxi.predicted_accepts point.Taxi.cset history;
   }
 
-let run ?seed ppf () =
+let run ?seed ?timeout ?retries ?backoff ppf () =
   let points = Taxi.points ~n:5 in
   let preferred = List.hd points and relaxed = List.nth points 3 in
-  let o_pref = run_point ?seed preferred and o_rel = run_point ?seed relaxed in
+  let o_pref = run_point ?seed ?timeout ?retries ?backoff preferred
+  and o_rel = run_point ?seed ?timeout ?retries ?backoff relaxed in
   Fmt.pf ppf "== Network partition: majority {0,1,2} vs minority {3,4} ==@\n";
   Fmt.pf ppf "%a@\n%a@\n" pp_outcome o_pref pp_outcome o_rel;
   let consistent_choice =

@@ -14,5 +14,22 @@ type outcome = {
 }
 
 val pp_outcome : outcome Fmt.t
-val run_point : ?seed:int -> Taxi.point -> outcome
-val run : ?seed:int -> Format.formatter -> unit -> bool
+
+(** The client knobs default to the experiment's historical values
+    ([timeout] 60.0, the replica's retry/backoff defaults). *)
+val run_point :
+  ?seed:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  Taxi.point ->
+  outcome
+
+val run :
+  ?seed:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  Format.formatter ->
+  unit ->
+  bool

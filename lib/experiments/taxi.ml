@@ -111,6 +111,16 @@ let predicted_accepts cset h =
   else if Cset.mem "Q2" cset then Automaton.accepts Opq.automaton h
   else Automaton.accepts Degen.automaton h
 
+(* The same predicted behavior as a fresh incremental oracle (the state
+   type differs per point, so each branch is monomorphic). *)
+let predicted_online cset =
+  let module O = Relax_degrade.Online in
+  if Cset.mem "Q1" cset && Cset.mem "Q2" cset then
+    O.of_automaton Pqueue.automaton
+  else if Cset.mem "Q1" cset then O.of_automaton Mpq.automaton
+  else if Cset.mem "Q2" cset then O.of_automaton Opq.automaton
+  else O.of_automaton Degen.automaton
+
 type params = {
   sites : int;
   requests : int;
@@ -134,14 +144,15 @@ let default_params =
    started when the previous completes or times out) so the completed
    history is directly comparable with the simple-object behaviors; the
    same seed produces the same crash pattern for every point. *)
-let run_point ?(params = default_params) point =
+let run_point ?(params = default_params) ?(timeout = 120.0) ?retries ?backoff
+    point =
   let engine = Relax_sim.Engine.create ~seed:params.seed () in
   let net =
     Relax_sim.Network.create ~mean_latency:params.mean_latency engine
       ~sites:params.sites
   in
   let replica =
-    Replica.create ~timeout:120.0 engine net point.assignment
+    Replica.create ~timeout ?retries ?backoff engine net point.assignment
       ~respond:Choosers.pq_eta
   in
   let rng = Relax_sim.Rng.create ~seed:(params.seed + 77) in
@@ -174,16 +185,17 @@ let run_point ?(params = default_params) point =
       (Relax_chaos.Nemesis.step nemesis rng shadow)
   in
   let unavailable = ref 0 and empty_views = ref 0 in
-  let ops_since_gossip = ref 0 in
+  (* packet-radio relaying: background propagation is the self-healing
+     anti-entropy loop — quiet while the logs agree, a gossip round as
+     soon as they diverge, backing off (up to five op windows) while a
+     round cannot help *)
+  let ae =
+    Relax_degrade.Anti_entropy.create ~check_every:500.0 ~min_interval:500.0
+      ~max_interval:2500.0 engine replica
+  in
+  Relax_degrade.Anti_entropy.install ae;
   let run_op op =
     crash_round ();
-    (* packet-radio relaying: every few requests the up sites exchange
-       logs, modelling asynchronous background propagation *)
-    incr ops_since_gossip;
-    if !ops_since_gossip >= 5 then begin
-      ops_since_gossip := 0;
-      Replica.gossip replica
-    end;
     let client_site = Relax_sim.Rng.pick rng (Relax_sim.Network.up_sites net) in
     let inv =
       match op with
@@ -231,15 +243,17 @@ let run_point ?(params = default_params) point =
     history_ok = predicted_accepts point.cset history;
   }
 
-let run_all ?(params = default_params) () =
-  List.map (run_point ~params) (points ~n:params.sites)
+let run_all ?(params = default_params) ?timeout ?retries ?backoff () =
+  List.map
+    (run_point ~params ?timeout ?retries ?backoff)
+    (points ~n:params.sites)
 
-let run_body ?params ppf =
-  let outcomes = run_all ?params () in
+let run_body ?params ?timeout ?retries ?backoff ppf =
+  let outcomes = run_all ?params ?timeout ?retries ?backoff () in
   List.iter (fun o -> Fmt.pf ppf "%a@\n" pp_outcome o) outcomes;
   List.for_all (fun o -> o.history_ok) outcomes
 
-let claims ?params () =
+let claims ?params ?timeout ?retries ?backoff () =
   [
     Relax_claims.Claim.report ~id:"taxi/degradation" ~kind:Characterization
       ~paper:"Section 3.3 (taxicab example)"
@@ -247,17 +261,18 @@ let claims ?params () =
         "each lattice point's completed history matches its predicted \
          behavior under injected crashes"
       ~detail:"replica runtime, 4 quorum assignments under one fault trace"
-      (run_body ?params);
+      (run_body ?params ?timeout ?retries ?backoff);
   ]
 
-let group ?params () =
+let group ?params ?timeout ?retries ?backoff () =
   {
     Relax_claims.Registry.gid = "taxi";
     title = "Section 3.3 taxi dispatch on the replica runtime";
     header =
       "== Section 3.3: taxi dispatch on the replica runtime (crashes \
        injected) ==\n";
-    claims = claims ?params ();
+    claims = claims ?params ?timeout ?retries ?backoff ();
   }
 
-let run ?params ppf () = Relax_claims.Engine.run_print (group ?params ()) ppf
+let run ?params ?timeout ?retries ?backoff ppf () =
+  Relax_claims.Engine.run_print (group ?params ?timeout ?retries ?backoff ()) ppf

@@ -37,6 +37,10 @@ val count_inversions : History.t -> int
     set (PQ / MPQ / OPQ / DegenPQ). *)
 val predicted_accepts : Cset.t -> History.t -> bool
 
+(** The same predicted behavior as a fresh incremental conformance
+    oracle. *)
+val predicted_online : Cset.t -> Relax_degrade.Online.t
+
 type params = {
   sites : int;
   requests : int;
@@ -48,14 +52,49 @@ type params = {
 
 val default_params : params
 
-(** One lattice point under one (seed-determined) fault trace. *)
-val run_point : ?params:params -> point -> outcome
+(** One lattice point under one (seed-determined) fault trace.  The
+    client knobs default to the experiment's historical values
+    ([timeout] 120.0, the replica's retry/backoff defaults); `rlx
+    simulate taxi --timeout/--retries/--backoff` overrides them. *)
+val run_point :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  point ->
+  outcome
 
 (** All four points under the same fault trace. *)
-val run_all : ?params:params -> unit -> outcome list
+val run_all :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  outcome list
 
-val claims : ?params:params -> unit -> Relax_claims.Claim.t list
-val group : ?params:params -> unit -> Relax_claims.Registry.group
+val claims :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  Relax_claims.Claim.t list
+
+val group :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  unit ->
+  Relax_claims.Registry.group
 
 (** Print the table; [true] when every history matches its prediction. *)
-val run : ?params:params -> Format.formatter -> unit -> bool
+val run :
+  ?params:params ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  Format.formatter ->
+  unit ->
+  bool

@@ -36,7 +36,7 @@ type site = { mutable log : Log.t; mutable clock : Timestamp.t }
 type t = {
   engine : Relax_sim.Engine.t;
   net : Relax_sim.Network.t;
-  assignment : Assignment.t;
+  mutable assignment : Assignment.t;
   respond : response_chooser;
   timeout : float;
   retries : int; (* extra attempts after the first one times out *)
@@ -56,6 +56,10 @@ type t = {
      entries are discarded everywhere; tombstones model the abort records
      and are honored by [absorb]. *)
   mutable tombstones : Log.entry list;
+  (* Entries written by operations still in flight: recorded at some sites
+     but neither concluded nor aborted yet.  Checkpointing must not
+     summarize them away — see [checkpoint]. *)
+  mutable tentative : Log.entry list;
 }
 
 let create ?(timeout = 200.0) ?(retries = 2) ?(backoff = 8.0) ?metrics engine
@@ -83,12 +87,24 @@ let create ?(timeout = 200.0) ?(retries = 2) ?(backoff = 8.0) ?metrics engine
     retries_total = 0;
     op_latencies = [];
     tombstones = [];
+    tentative = [];
   }
 
 let count t name = Option.iter (fun m -> Relax_sim.Metrics.incr m name) t.metrics
 
 let engine t = t.engine
 let network t = t.net
+let assignment t = t.assignment
+
+(* Live lattice movement: the degradation controller re-points the replica
+   at the assignment realizing the new lattice point.  Thresholds are read
+   once at the start of each [execute], so an in-flight operation keeps the
+   quorums it started with and only subsequent operations see the switch. *)
+let set_assignment t assignment =
+  if Assignment.sites assignment <> Relax_sim.Network.sites t.net then
+    invalid_arg "Replica.set_assignment: network/assignment size mismatch";
+  t.assignment <- assignment
+
 let site_log t s = t.sites.(s).log
 
 (* The union of all site logs: what an omniscient observer knows. *)
@@ -115,8 +131,13 @@ let absorb t s log =
     Log.filter (fun e -> not (is_tombstoned t e)) (Log.merge site.log log);
   site.clock <- Timestamp.merge site.clock (Log.max_ts site.log)
 
+let settle_entry t entry =
+  t.tentative <-
+    List.filter (fun e -> not (Log.equal_entry e entry)) t.tentative
+
 (* Abort an operation's tentative entry everywhere. *)
 let abort_entry t entry =
+  settle_entry t entry;
   t.tombstones <- entry :: t.tombstones;
   Array.iter
     (fun site ->
@@ -133,14 +154,22 @@ let wipe_site t s =
   t.sites.(s).clock <- Timestamp.zero
 
 (* One anti-entropy round: every up site pushes its log to every other
-   reachable site.  Called by experiments to model background update
-   propagation while the system is quiet. *)
+   site it can currently reach.  Called by experiments (and the adaptive
+   anti-entropy scheduler) to model background update propagation while
+   the system is quiet.
+
+   Reachability is checked at the call site rather than left to delivery:
+   during a partition a full-mesh push would burn sends (and randomness)
+   on messages the network is guaranteed to drop at the cell boundary.
+   Only the reachable side of a partition converges; [Log.merge]'s
+   idempotence makes the rounds after heal safe — re-pushed entries are
+   recognized as the same event, never double-applied. *)
 let gossip t =
   let n = Array.length t.sites in
   for src = 0 to n - 1 do
     if Relax_sim.Network.is_up t.net src then
       for dst = 0 to n - 1 do
-        if dst <> src then begin
+        if dst <> src && Relax_sim.Network.reachable t.net ~src ~dst then begin
           let log = t.sites.(src).log in
           Relax_sim.Network.send t.net ~src ~dst (fun () -> absorb t dst log)
         end
@@ -155,6 +184,17 @@ let gossip t =
    Returns the number of entries reclaimed per site, or [None] when the
    prefix is not yet stable everywhere. *)
 let checkpoint t ~watermark ~summarize =
+  (* An in-flight operation's tentative entry may sit below the watermark
+     at the sites that already recorded it while its fate (commit or
+     abort) is still open.  Summarizing it away would either launder an
+     aborted entry into the summary or strand the commit; refuse until
+     the race resolves. *)
+  if
+    List.exists
+      (fun e -> Timestamp.compare (Log.entry_ts e) watermark <= 0)
+      t.tentative
+  then None
+  else
   let prefixes =
     Array.map (fun site -> fst (Log.split_at_watermark site.log watermark)) t.sites
   in
@@ -256,6 +296,7 @@ let execute t ~client_site inv callback =
     let succeed op =
       if (not !attempt_over) && not !settled then begin
         attempt_over := true;
+        Option.iter (settle_entry t) !written_entry;
         conclude (Completed (op, Relax_sim.Engine.now t.engine -. started))
       end
     in
@@ -283,6 +324,7 @@ let execute t ~client_site inv callback =
           site.clock <- Timestamp.merge site.clock ts;
           let entry = Log.entry ~ts op in
           written_entry := Some entry;
+          t.tentative <- entry :: t.tentative;
           let updated = Log.insert view_log entry in
           let acks = ref 0 in
           let acked = Array.make n false in

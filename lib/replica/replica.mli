@@ -49,6 +49,17 @@ val create :
 
 val engine : t -> Relax_sim.Engine.t
 val network : t -> Relax_sim.Network.t
+
+(** The assignment currently in force. *)
+val assignment : t -> Assignment.t
+
+(** Live lattice movement: re-point the replica at the assignment realizing
+    a different lattice point.  Thresholds are read once at the start of
+    each {!execute}, so in-flight operations keep the quorums they started
+    with; only subsequent operations see the switch.  Raises on a site
+    count differing from the network's. *)
+val set_assignment : t -> Assignment.t -> unit
+
 val site_log : t -> int -> Log.t
 
 (** The union of all site logs. *)
@@ -71,8 +82,10 @@ val retries_total : t -> int
 
 val op_latencies : t -> float list
 
-(** One anti-entropy round: every up site pushes its log to every
-    reachable peer. *)
+(** One anti-entropy round: every up site pushes its log to every peer it
+    can currently reach — partition-aware, so during a partition only the
+    reachable side converges, and rounds after heal complete convergence
+    without double-applying entries (log merge is idempotent). *)
 val gossip : t -> unit
 
 (** Simulated stable-storage loss: the site forgets its log and clock.
@@ -84,7 +97,9 @@ val wipe_site : t -> int -> unit
     at every site, replace it everywhere by [summarize prefix-history]
     (synthetic operations reconstructing its effect) and return the
     number of entries reclaimed per site; [None] when the prefix is not
-    yet stable. *)
+    yet stable, or when an in-flight operation's tentative entry at or
+    below the watermark could still commit or abort (summarizing it away
+    would prejudge the race). *)
 val checkpoint :
   t ->
   watermark:Timestamp.t ->

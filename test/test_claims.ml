@@ -227,11 +227,11 @@ let registry_tests =
           "group order is the check-all order"
           [
             "pq"; "collapses"; "account"; "prob"; "fig42"; "availability";
-            "taxi"; "chaos"; "atm"; "spooler"; "markov"; "fifo";
+            "taxi"; "chaos"; "degrade"; "atm"; "spooler"; "markov"; "fifo";
           ]
           (Registry.group_ids registry);
         Alcotest.(check int)
-          "claim count" 46
+          "claim count" 49
           (List.length (Registry.all_claims registry));
         let ids = Registry.claim_ids registry in
         Alcotest.(check int)

@@ -429,6 +429,132 @@ let replica_tests =
             "best pending" (Some 4)
             (Option.bind (Queue_ops.element op) Value.to_int)
         | _ -> Alcotest.fail "deq should complete");
+    Alcotest.test_case "gossip respects partitions and reconverges after \
+                        heal without duplicates" `Quick (fun () ->
+        let engine = Relax_sim.Engine.create ~seed:7 () in
+        let net = Relax_sim.Network.create engine ~sites:4 in
+        let replica =
+          Replica.create engine net
+            (Assignment.make ~n:4
+               [
+                 (Queue_ops.enq_name, { Assignment.initial = 0; final = 1 });
+                 (Queue_ops.deq_name, { Assignment.initial = 1; final = 1 });
+               ])
+            ~respond:Choosers.pq_eta
+        in
+        Relax_sim.Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+        ignore
+          (run_ops replica engine
+             [ Op.inv Queue_ops.enq_name ~args:[ Value.int 7 ] ]);
+        for _ = 1 to 2 do
+          Replica.gossip replica;
+          Relax_sim.Engine.run
+            ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+            engine
+        done;
+        List.iter
+          (fun s ->
+            Alcotest.(check int)
+              (Fmt.str "site %d (writer's cell) has the entry" s)
+              1
+              (Log.length (Replica.site_log replica s)))
+          [ 0; 1 ];
+        List.iter
+          (fun s ->
+            Alcotest.(check int)
+              (Fmt.str "site %d (other cell) saw nothing" s)
+              0
+              (Log.length (Replica.site_log replica s)))
+          [ 2; 3 ];
+        Relax_sim.Network.heal net;
+        for _ = 1 to 2 do
+          Replica.gossip replica;
+          Relax_sim.Engine.run
+            ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+            engine
+        done;
+        for s = 0 to 3 do
+          Alcotest.(check int)
+            (Fmt.str "site %d converged on exactly one copy" s)
+            1
+            (Log.length (Replica.site_log replica s))
+        done);
+    Alcotest.test_case "checkpoint refuses while a tentative entry is in \
+                        flight" `Quick (fun () ->
+        let engine = Relax_sim.Engine.create ~seed:8 () in
+        let net = Relax_sim.Network.create engine ~sites:3 in
+        let replica =
+          Replica.create ~timeout:50_000.0 ~retries:0 engine net
+            (pq_assignment ~n:3) ~respond:Choosers.pq_eta
+        in
+        (* settled traffic first (an enqueue-dequeue pair summarization
+           can collapse), spread everywhere, so the watermark prefix is
+           nonempty and otherwise checkpointable *)
+        ignore
+          (run_ops replica engine
+             [
+               Op.inv Queue_ops.enq_name ~args:[ Value.int 1 ];
+               Op.inv Queue_ops.deq_name;
+             ]);
+        for _ = 1 to 2 do
+          Replica.gossip replica;
+          Relax_sim.Engine.run
+            ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+            engine
+        done;
+        (* slow only the ack path: messages *sent* by sites 1 and 2 are
+           skewed late, so the next enqueue's writes land everywhere
+           quickly while its final quorum of acks stays in flight — the
+           prefix then looks stable at every site, and only the
+           tentative-entry guard can refuse the checkpoint *)
+        Relax_sim.Network.set_skew net 1 10_000.0;
+        Relax_sim.Network.set_skew net 2 10_000.0;
+        let result = ref None in
+        Replica.execute replica ~client_site:0
+          (Op.inv Queue_ops.enq_name ~args:[ Value.int 9 ])
+          (fun r -> result := Some r);
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 2_000.0)
+          engine;
+        (* the write is pushed only to a final quorum; one unskewed
+           gossip round from site 0 spreads the tentative entry to the
+           remaining site while the acks are still in flight *)
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 2_000.0)
+          engine;
+        Alcotest.(check bool) "operation still in flight" true (!result = None);
+        for s = 0 to 2 do
+          Alcotest.(check int)
+            (Fmt.str "site %d already recorded the tentative entry" s)
+            3
+            (Log.length (Replica.site_log replica s))
+        done;
+        let watermark = Log.max_ts (Replica.global_log replica) in
+        (match
+           Replica.checkpoint replica ~watermark
+             ~summarize:Choosers.pq_summarize
+         with
+        | None -> ()
+        | Some _ ->
+          Alcotest.fail
+            "checkpoint must refuse: the prefix holds a tentative entry");
+        (* let the acks land and the operation commit; the same watermark
+           is now safe *)
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 60_000.0)
+          engine;
+        Alcotest.(check bool)
+          "operation completed" true
+          (match !result with Some (Replica.Completed _) -> true | _ -> false);
+        match
+          Replica.checkpoint replica ~watermark
+            ~summarize:Choosers.pq_summarize
+        with
+        | Some reclaimed ->
+          Alcotest.(check bool) "reclaimed something" true (reclaimed > 0)
+        | None ->
+          Alcotest.fail "checkpoint should succeed once the entry settles");
   ]
 
 let () =
