@@ -157,12 +157,42 @@ let rows_sim =
           Relax_sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> ())
         done;
         Relax_sim.Engine.run e );
+    ( "sim/engine-100k-events-recycled",
+      fun () ->
+        (* schedule/run in waves so every wave after the first reuses
+           freelist records: the zero-alloc steady state of dispatch *)
+        let e = Relax_sim.Engine.create () in
+        for wave = 0 to 99 do
+          for i = 1 to 1_000 do
+            Relax_sim.Engine.schedule e
+              ~delay:(float_of_int ((wave * 1_000) + i))
+              (fun () -> ())
+          done;
+          Relax_sim.Engine.run e
+        done );
     ( "sim/rng-10k-draws",
       fun () ->
         let r = Relax_sim.Rng.create ~seed:1 in
         for _ = 1 to 10_000 do
           ignore (Relax_sim.Rng.int r 100)
         done );
+    ( "sim/rng-10k-pick-arr",
+      fun () ->
+        let r = Relax_sim.Rng.create ~seed:1 in
+        let arr = Array.init 100 Fun.id in
+        for _ = 1 to 10_000 do
+          ignore (Relax_sim.Rng.pick_arr r arr)
+        done );
+    ( "sim/net-1k-batched-fanouts",
+      fun () ->
+        (* one latency draw + one engine event per 4-target batch *)
+        let e = Relax_sim.Engine.create () in
+        let net = Relax_sim.Network.create e ~sites:5 in
+        for _ = 1 to 1_000 do
+          let targets = Array.init 4 (fun i -> (i + 1, fun () -> ())) in
+          Relax_sim.Network.send_batch net ~src:0 targets
+        done;
+        Relax_sim.Engine.run e );
     ( "replica/taxi-point-10req (X-deg)",
       fun () ->
         ignore
@@ -411,6 +441,40 @@ let print_degrade_sweep () =
       (List.length restores)
 
 (* ------------------------------------------------------------------ *)
+(* X-load: the sharded workload generator                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The load sweep, as wall-clock: each lattice point at shards=1 (the
+   unsharded engine) and shards=4 over the domain pool, same total op
+   count, so the last column is the multicore speedup.  On a single
+   hardware thread the sharded run can only break even; the CI runners
+   have four. *)
+let print_load_sweep () =
+  Fmt.pr "@.== load sweep (100k ops/point, shards 1 vs 4) ==@.";
+  let module Load = Relax_experiments.Load in
+  let params shards =
+    { Load.default_params with Load.ops = 100_000; shards }
+  in
+  let points =
+    (* top, q2, bottom: the strict, middle, and fully degraded points *)
+    match Relax_experiments.Taxi.points ~n:5 with
+    | [ top; _; q2; bottom ] -> [ top; q2; bottom ]
+    | pts -> pts
+  in
+  List.iter
+    (fun pt ->
+      let seq = Load.run_point ~jobs:1 ~params:(params 1) pt in
+      let par = Load.run_point ~jobs:4 ~params:(params 4) pt in
+      Fmt.pr
+        "%-34s avail %5.1f%%  p99 %5.1f  1-shard %9.0f ops/s  4-shard %9.0f \
+         ops/s  (x%.2f)@."
+        pt.Relax_experiments.Taxi.label
+        (100.0 *. par.Load.availability)
+        par.Load.p99 seq.Load.ops_per_sec par.Load.ops_per_sec
+        (par.Load.ops_per_sec /. seq.Load.ops_per_sec))
+    points
+
+(* ------------------------------------------------------------------ *)
 (* Claim registry                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -559,6 +623,7 @@ let () =
       rows;
     print_chaos_sweep ();
     print_degrade_sweep ();
+    print_load_sweep ();
     print_trace_overhead ();
     print_claim_stats ();
     Fmt.pr "@.done: %d benchmarks@." (List.length rows)

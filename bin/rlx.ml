@@ -949,6 +949,117 @@ let profile_cmd =
   let doc = "Profile a workload (currently: check)." in
   Cmd.group (Cmd.info "profile" ~doc) [ check_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* rlx load                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_load ops shards sites rate read_fraction timeout drop no_crash seed
+    point jobs out_file =
+  let params =
+    {
+      Relax_experiments.Load.ops;
+      shards;
+      sites;
+      rate;
+      read_fraction;
+      timeout;
+      drop;
+      crash = not no_crash;
+      seed =
+        Option.value seed ~default:Relax_experiments.Load.default_params.seed;
+    }
+  in
+  let outcomes =
+    match point with
+    | None -> Relax_experiments.Load.run ?jobs ~params ()
+    | Some p -> (
+      let points = Relax_experiments.Taxi.points ~n:params.sites in
+      let matching (pt : Relax_experiments.Taxi.point) =
+        (* match on the canonical short names used by `rlx chaos` *)
+        match p with
+        | "top" -> String.length pt.label >= 7 && String.sub pt.label 0 7 = "{Q1,Q2}"
+        | "q1" -> String.length pt.label >= 5 && String.sub pt.label 0 5 = "{Q1} "
+        | "q2" -> String.length pt.label >= 5 && String.sub pt.label 0 5 = "{Q2} "
+        | "bottom" -> String.length pt.label >= 2 && String.sub pt.label 0 2 = "{}"
+        | _ -> false
+      in
+      match List.filter matching points with
+      | [ pt ] -> [ Relax_experiments.Load.run_point ?jobs ~params pt ]
+      | _ ->
+        Fmt.epr "unknown lattice point %S (expected top | q1 | q2 | bottom)@." p;
+        exit 2)
+  in
+  Fmt.pr "== X-load: open-loop workload over the sharded engine ==@.";
+  Fmt.pr "ops %d  shards %d  sites %d  rate %.2f/ms  reads %.0f%%  drop %.3f  crash %b@."
+    params.ops params.shards params.sites params.rate
+    (100.0 *. params.read_fraction) params.drop params.crash;
+  List.iter (fun o -> Fmt.pr "%a@." Relax_experiments.Load.pp_outcome o) outcomes;
+  (match out_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Relax_experiments.Load.json_of_outcomes outcomes);
+    close_out oc;
+    Fmt.pr "wrote %s@." path);
+  0
+
+let load_cmd =
+  let doc =
+    "Drive the sharded engine with an open-loop YCSB-style workload: \
+     millions of quorum operations across the lattice points, reporting \
+     availability, latency percentiles and throughput."
+  in
+  let d = Relax_experiments.Load.default_params in
+  let ops_arg =
+    let doc = "Total client operations across all shards." in
+    Arg.(value & opt int d.ops & info [ "ops"; "n" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc = "Independent simulation shards (one engine each)." in
+    Arg.(value & opt int d.shards & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let sites_arg =
+    let doc = "Replica sites per shard." in
+    Arg.(value & opt int d.sites & info [ "sites" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Mean arrivals per simulated millisecond, per shard." in
+    Arg.(value & opt float d.rate & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let read_arg =
+    let doc = "Fraction of operations that are reads (Deq)." in
+    Arg.(
+      value & opt float d.read_fraction & info [ "reads" ] ~docv:"FRAC" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Milliseconds before an operation counts as unavailable." in
+    Arg.(value & opt float d.timeout & info [ "timeout" ] ~docv:"MS" ~doc)
+  in
+  let drop_arg =
+    let doc = "Per-leg message loss probability." in
+    Arg.(value & opt float d.drop & info [ "drop" ] ~docv:"P" ~doc)
+  in
+  let no_crash_arg =
+    let doc = "Disable the mid-run crash window." in
+    Arg.(value & flag & info [ "no-crash" ] ~doc)
+  in
+  let point_arg =
+    let doc =
+      "Run a single lattice point (top | q1 | q2 | bottom) instead of the \
+       full sweep."
+    in
+    Arg.(value & opt (some string) None & info [ "point" ] ~docv:"POINT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the outcomes as JSON to $(docv) (the CI artifact)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const run_load $ ops_arg $ shards_arg $ sites_arg $ rate_arg $ read_arg
+      $ timeout_arg $ drop_arg $ no_crash_arg $ seed_arg $ point_arg
+      $ jobs_arg $ out_arg)
+
 let behaviors_cmd =
   let doc = "List the named behaviors available to 'rlx compare'." in
   Cmd.v (Cmd.info "behaviors" ~doc)
@@ -968,8 +1079,8 @@ let main =
     (Cmd.info "rlx" ~version:"1.0.0" ~doc)
     [
       check_cmd; figure_cmd; simulate_cmd; chaos_cmd; degrade_cmd;
-      availability_cmd; lattice_cmd; trait_cmd; compare_cmd; behaviors_cmd;
-      trace_cmd; profile_cmd;
+      availability_cmd; lattice_cmd; load_cmd; trait_cmd; compare_cmd;
+      behaviors_cmd; trace_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

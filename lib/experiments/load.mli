@@ -1,0 +1,50 @@
+(** Experiment X-load: an open-loop YCSB-style workload generator over
+    the sharded engine.
+
+    Millions of client operations per run against the quorum protocol of
+    Section 3.3, at every lattice point: Poisson arrivals, a read
+    fraction, per-leg loss and a mid-run crash window.  Availability and
+    latency percentiles are deterministic in (params, point); wall-clock
+    throughput is the one machine-dependent output. *)
+
+type params = {
+  ops : int;  (** client operations across all shards *)
+  shards : int;
+  sites : int;
+  rate : float;  (** mean arrivals per simulated ms, per shard *)
+  read_fraction : float;
+  timeout : float;  (** ms before an operation counts as unavailable *)
+  drop : float;  (** per-leg loss probability *)
+  crash : bool;
+      (** crash half the sites for the middle fifth of the run *)
+  seed : int;
+}
+
+(** 1M ops, 4 shards, 5 sites, 50% reads, 2% loss, crash window on. *)
+val default_params : params
+
+type outcome = {
+  label : string;
+  ops : int;
+  completed : int;
+  unavailable : int;
+  availability : float;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  mean_latency : float;
+  events : int;
+  wall_s : float;
+  ops_per_sec : float;
+}
+
+val pp_outcome : outcome Fmt.t
+
+(** One lattice point under load; [jobs] bounds the shard fan-out. *)
+val run_point : ?jobs:int -> params:params -> Taxi.point -> outcome
+
+(** Every lattice point of {!Taxi.points} under the identical workload. *)
+val run : ?jobs:int -> params:params -> unit -> outcome list
+
+(** The CI artifact: one JSON object with a [points] array. *)
+val json_of_outcomes : outcome list -> string

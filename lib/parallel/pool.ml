@@ -1,11 +1,21 @@
-(* A small domain fan-out for independent work items.
+(* A persistent domain pool for independent work items.
 
-   The checkers and Monte Carlo estimators fan independent tasks out over
-   OCaml 5 domains.  Results are always collected in input order and every
-   task runs exactly once, so callers observe the same answers no matter
-   how many domains execute them; determinism is the caller's only
-   obligation (tasks must not share mutable state, which in this
-   repository means every task constructs its own automata).
+   The checkers, Monte Carlo estimators, and the sharded simulation
+   engine fan independent tasks out over OCaml 5 domains.  Results are
+   always collected in input order and every task runs exactly once, so
+   callers observe the same answers no matter how many domains execute
+   them; determinism is the caller's only obligation (tasks must not
+   share mutable state, which in this repository means every task
+   constructs its own automata or engines).
+
+   Workers are spawned once, lazily, and parked on a condition variable
+   between calls — [Domain.spawn] costs hundreds of microseconds, which
+   an inner loop issuing thousands of small [map]s (the sharded engine's
+   round loop) cannot afford per call.  A [map] publishes a batch under
+   the mutex, bumps a generation counter to wake the workers, and the
+   caller participates as worker 0, so [map ~jobs:n] uses [n-1] pool
+   domains.  The pool grows on demand when a call asks for more
+   parallelism than any before it, and is torn down from [at_exit].
 
    Nested calls run sequentially: a worker domain that itself calls [map]
    gets a plain [List.map], so parallel checks that internally use
@@ -32,6 +42,115 @@ let default_jobs () =
 
 let map_seq f l = List.map f l
 
+(* One batch of work, published to the workers under [lock].  Tasks are
+   pre-wrapped as [unit -> unit] closures that write their own result
+   slot, so workers need no knowledge of the element types. *)
+type batch = {
+  tasks : (unit -> unit) array;
+  next : int Atomic.t; (* next task index to claim *)
+  left : int Atomic.t; (* tasks not yet finished *)
+  done_ : Mutex.t;
+  all_done : Condition.t;
+}
+
+type pool = {
+  lock : Mutex.t;
+  wake : Condition.t;
+  mutable generation : int; (* bumped per published batch *)
+  mutable current : batch option;
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list; (* parked workers *)
+  mutable size : int; (* List.length domains *)
+}
+
+let pool =
+  {
+    lock = Mutex.create ();
+    wake = Condition.create ();
+    generation = 0;
+    current = None;
+    shutdown = false;
+    domains = [];
+    size = 0;
+  }
+
+(* Claim-and-run loop over a batch; shared by pool workers and the
+   calling domain.  Returns the number of tasks this worker executed. *)
+let drain (b : batch) =
+  let n = Array.length b.tasks in
+  let ran = ref 0 in
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < n then begin
+      incr ran;
+      b.tasks.(i) ();
+      if Atomic.fetch_and_add b.left (-1) = 1 then begin
+        (* last task out signals the caller *)
+        Mutex.lock b.done_;
+        Condition.broadcast b.all_done;
+        Mutex.unlock b.done_
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  !ran
+
+(* A parked worker: wait for the generation to move, drain the published
+   batch, park again.  Workers run with the ambient tracer suppressed —
+   a task executing on a worker would otherwise emit a
+   schedule-dependent subset of events into some caller's trace. *)
+let worker_main () =
+  Relax_obs.Tracer.Ambient.without (fun () ->
+      let seen = ref 0 in
+      let rec park () =
+        Mutex.lock pool.lock;
+        while (not pool.shutdown) && pool.generation = !seen do
+          Condition.wait pool.wake pool.lock
+        done;
+        let job =
+          if pool.shutdown then None
+          else begin
+            seen := pool.generation;
+            pool.current
+          end
+        in
+        Mutex.unlock pool.lock;
+        match job with
+        | None -> if not pool.shutdown then park ()
+        | Some b ->
+          ignore (drain b);
+          park ()
+      in
+      park ())
+
+let shutdown () =
+  Mutex.lock pool.lock;
+  pool.shutdown <- true;
+  Condition.broadcast pool.wake;
+  let domains = pool.domains in
+  pool.domains <- [];
+  pool.size <- 0;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join domains
+
+let installed_at_exit = ref false
+
+(* Grow the pool (under no batch) to at least [n] parked workers. *)
+let ensure_size n =
+  if pool.size < n then begin
+    Mutex.lock pool.lock;
+    if not !installed_at_exit then begin
+      installed_at_exit := true;
+      at_exit shutdown
+    end;
+    while pool.size < n && not pool.shutdown do
+      pool.domains <- Domain.spawn worker_main :: pool.domains;
+      pool.size <- pool.size + 1
+    done;
+    Mutex.unlock pool.lock
+  end
+
 let map ?jobs f l =
   let n = List.length l in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
@@ -40,51 +159,55 @@ let map ?jobs f l =
   else begin
     let inputs = Array.of_list l in
     let results = Array.make n None in
-    let next = Atomic.make 0 in
-    (* Per-worker task tallies, reported as pool/domain utilization
-       instants when a tracer is installed on the calling domain.  Work
-       distribution is a race, so these appear only in profiling traces
-       — never on a goldened code path. *)
-    let tallies = Array.make jobs 0 in
-    (* Workers run with the ambient tracer suppressed: a task executing
-       on the caller's own domain would otherwise emit a
-       schedule-dependent subset of events into the caller's trace. *)
-    let worker w () =
-      Relax_obs.Tracer.Ambient.without (fun () ->
-          let rec loop () =
-            let i = Atomic.fetch_and_add next 1 in
-            if i < n then begin
-              tallies.(w) <- tallies.(w) + 1;
-              (results.(i) <-
-                (match f inputs.(i) with
-                | v -> Some (Ok v)
-                | exception e ->
-                  Some (Error (e, Printexc.get_raw_backtrace ()))));
-              loop ()
-            end
-          in
-          loop ())
+    let tasks =
+      Array.init n (fun i ->
+          fun () ->
+            results.(i) <-
+              (match f inputs.(i) with
+              | v -> Some (Ok v)
+              | exception e ->
+                Some (Error (e, Printexc.get_raw_backtrace ()))))
     in
-    let rec spawn k acc =
-      if k = 0 then acc else spawn (k - 1) (Domain.spawn (worker k) :: acc)
+    let b =
+      {
+        tasks;
+        next = Atomic.make 0;
+        left = Atomic.make n;
+        done_ = Mutex.create ();
+        all_done = Condition.create ();
+      }
     in
-    let domains = spawn (jobs - 1) [] in
-    worker 0 ();
-    List.iter Domain.join domains;
+    ensure_size (jobs - 1);
+    Mutex.lock pool.lock;
+    pool.current <- Some b;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.lock;
+    (* the caller is worker 0 *)
+    let ran_here = drain b in
+    Mutex.lock b.done_;
+    while Atomic.get b.left > 0 do
+      Condition.wait b.all_done b.done_
+    done;
+    Mutex.unlock b.done_;
+    Mutex.lock pool.lock;
+    pool.current <- None;
+    Mutex.unlock pool.lock;
     let module A = Relax_obs.Tracer.Ambient in
     if A.active () then begin
+      (* Work distribution across workers is a race, so per-domain
+         tallies appear only in profiling traces — never on a goldened
+         code path.  With parked anonymous workers we report only the
+         caller's share. *)
       A.instant "pool/map"
         ~attrs:
           [ Relax_obs.Attr.int "jobs" jobs; Relax_obs.Attr.int "tasks" n ];
-      Array.iteri
-        (fun w tasks ->
-          A.instant "pool/domain"
-            ~attrs:
-              [
-                Relax_obs.Attr.int "domain" w;
-                Relax_obs.Attr.int "tasks" tasks;
-              ])
-        tallies
+      A.instant "pool/domain"
+        ~attrs:
+          [
+            Relax_obs.Attr.int "domain" 0;
+            Relax_obs.Attr.int "tasks" ran_here;
+          ]
     end;
     (* surface the first failure in input order *)
     Array.to_list results

@@ -167,13 +167,18 @@ let wipe_site t s =
 let gossip t =
   let n = Array.length t.sites in
   for src = 0 to n - 1 do
-    if Relax_sim.Network.is_up t.net src then
-      for dst = 0 to n - 1 do
-        if dst <> src && Relax_sim.Network.reachable t.net ~src ~dst then begin
-          let log = t.sites.(src).log in
-          Relax_sim.Network.send t.net ~src ~dst (fun () -> absorb t dst log)
-        end
-      done
+    if Relax_sim.Network.is_up t.net src then begin
+      (* the whole fan-out from [src] rides one batched transfer: a
+         single latency draw and engine event instead of n-1 of each *)
+      let log = t.sites.(src).log in
+      let targets = ref [] in
+      for dst = n - 1 downto 0 do
+        if dst <> src && Relax_sim.Network.reachable t.net ~src ~dst then
+          targets := (dst, fun () -> absorb t dst log) :: !targets
+      done;
+      if !targets <> [] then
+        Relax_sim.Network.send_batch t.net ~src (Array.of_list !targets)
+    end
   done
 
 (* Checkpointing: once a log prefix is stable — identical at every site —

@@ -3,9 +3,18 @@
    Time is a float of abstract "milliseconds".  Events are closures
    scheduled at absolute times and executed in (time, sequence) order, the
    sequence number breaking ties FIFO so same-instant events run in the
-   order they were scheduled — which keeps runs deterministic. *)
+   order they were scheduled — which keeps runs deterministic.
 
-type event = { at : float; seq : int; run : unit -> unit }
+   The dispatch loop is a hot path: the load generator pushes tens of
+   millions of events through it per run.  Event records are therefore
+   mutable and recycled through a free stack — a drained-and-refilled
+   engine reaches a steady state where [schedule]/dispatch allocates
+   nothing beyond the caller's closure — and the loop uses the heap's
+   exception-based accessors instead of the option-boxing ones. *)
+
+type event = { mutable at : float; mutable seq : int; mutable run : unit -> unit }
+
+let nop () = ()
 
 let compare_event a b =
   let c = Float.compare a.at b.at in
@@ -17,6 +26,11 @@ type t = {
   mutable executed : int;
   queue : event Heap.t;
   rng : Rng.t;
+  (* Recycled event records: [free.(0 .. nfree-1)] are dead records whose
+     [run] has been reset to [nop] (so a parked record retains nothing);
+     [schedule] pops from here before allocating. *)
+  mutable free : event array;
+  mutable nfree : int;
 }
 
 (* The one and only default seed.  Every run of every experiment that
@@ -32,6 +46,8 @@ let create ?(seed = default_seed) () =
     executed = 0;
     queue = Heap.create ~compare:compare_event ();
     rng = Rng.create ~seed;
+    free = [||];
+    nfree = 0;
   }
 
 let now t = t.now
@@ -39,9 +55,31 @@ let rng t = t.rng
 let executed_events t = t.executed
 let pending_events t = Heap.size t.queue
 
+let recycle t e =
+  e.run <- nop;
+  let cap = Array.length t.free in
+  if t.nfree >= cap then begin
+    let data = Array.make (max 16 (2 * cap)) e in
+    Array.blit t.free 0 data 0 t.nfree;
+    t.free <- data
+  end;
+  t.free.(t.nfree) <- e;
+  t.nfree <- t.nfree + 1
+
 let schedule_at t ~at run =
   if at < t.now then invalid_arg "Engine.schedule_at: event in the past";
-  Heap.push t.queue { at; seq = t.next_seq; run };
+  let ev =
+    if t.nfree > 0 then begin
+      t.nfree <- t.nfree - 1;
+      let ev = t.free.(t.nfree) in
+      ev.at <- at;
+      ev.seq <- t.next_seq;
+      ev.run <- run;
+      ev
+    end
+    else { at; seq = t.next_seq; run }
+  in
+  Heap.push t.queue ev;
   t.next_seq <- t.next_seq + 1
 
 let schedule t ~delay run =
@@ -54,34 +92,38 @@ let schedule t ~delay run =
    Whenever the run stops on the time bound — every event at or before
    [until] has executed, whether or not later events remain queued — the
    clock advances to [until], so a subsequent [schedule ~delay] measures
-   its delay from the bound, not from the last executed event.  A run cut
-   short by [max_events] leaves the clock at the last executed event. *)
+   its delay from the bound, not from the last executed event.  That
+   holds even when [max_events] runs out at the same moment the last
+   in-bound event executes: exhausting the budget with nothing left to do
+   before the bound is still a stop on the time bound.  Only a run cut
+   short by [max_events] with in-bound events still pending leaves the
+   clock at the last executed event. *)
 let run ?until ?max_events t =
   let module A = Relax_obs.Tracer.Ambient in
   let traced = A.active () in
   let start_executed = t.executed in
   if traced then A.begin_span ~time:t.now "engine/run";
-  let out_of_budget () =
-    match max_events with Some m -> t.executed >= m | None -> false
-  in
-  let continue () =
-    (not (out_of_budget ()))
-    &&
-    match Heap.peek t.queue with
-    | None -> false
-    | Some e -> ( match until with Some u -> e.at <= u | None -> true)
-  in
-  while continue () do
-    match Heap.pop t.queue with
-    | None -> ()
-    | Some e ->
-      t.now <- e.at;
-      t.executed <- t.executed + 1;
-      if traced then A.instant ~time:e.at "engine/dispatch";
-      e.run ()
+  let bound = match until with Some u -> u | None -> Float.infinity in
+  let budget = match max_events with Some m -> m | None -> max_int in
+  while
+    t.executed < budget
+    && (not (Heap.is_empty t.queue))
+    && (Heap.min_exn t.queue).at <= bound
+  do
+    let e = Heap.pop_exn t.queue in
+    let at = e.at and run = e.run in
+    (* recycle before dispatch: the event may reschedule into the very
+       record it just vacated *)
+    recycle t e;
+    t.now <- at;
+    t.executed <- t.executed + 1;
+    if traced then A.instant ~time:at "engine/dispatch";
+    run ()
   done;
   (match until with
-  | Some u when not (out_of_budget ()) -> t.now <- max t.now u
+  | Some u
+    when Heap.is_empty t.queue || (Heap.min_exn t.queue).at > u ->
+    t.now <- max t.now u
   | _ -> ());
   if traced then begin
     A.set_attr (Relax_obs.Attr.int "events" (t.executed - start_executed));

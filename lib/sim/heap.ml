@@ -19,11 +19,15 @@ let create ~compare () = { compare; data = [||]; size = 0; witness = None }
 let size t = t.size
 let is_empty t = t.size = 0
 
-let grow t witness =
+let grow t fallback =
   let cap = Array.length t.data in
   if t.size >= cap then begin
     let ncap = max 16 (2 * cap) in
-    let data = Array.make ncap witness in
+    (* fill fresh slots with the witness, not the element being pushed:
+       filling with [fallback] would retain it in every unused slot until
+       the heap next reaches this capacity *)
+    let fill = match t.witness with Some w -> w | None -> fallback in
+    let data = Array.make ncap fill in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -63,8 +67,14 @@ let push t x =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.size = 0 then None
+exception Empty
+
+(* The minimum element without the option box: the engine's dispatch loop
+   peeks and pops millions of times and must not allocate per event. *)
+let min_exn t = if t.size = 0 then raise Empty else t.data.(0)
+
+let pop_exn t =
+  if t.size = 0 then raise Empty
   else begin
     let top = t.data.(0) in
     t.size <- t.size - 1;
@@ -77,8 +87,10 @@ let pop t =
     (match t.witness with
     | Some w -> t.data.(t.size) <- w
     | None -> ());
-    Some top
+    top
   end
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 (* How many physical slots (live or stale) hold an element satisfying
    [pred].  Exposed so tests can assert popped elements are no longer

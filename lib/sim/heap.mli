@@ -14,6 +14,15 @@ val peek : 'a t -> 'a option
 (** Removes and returns the minimum element. *)
 val pop : 'a t -> 'a option
 
+exception Empty
+
+(** {!peek} and {!pop} without the option box — the non-allocating
+    variants the engine's dispatch loop uses.  Raise {!Empty} on an
+    empty heap. *)
+
+val min_exn : 'a t -> 'a
+val pop_exn : 'a t -> 'a
+
 (** Non-destructively drains a copy in ascending order (for tests). *)
 val to_sorted_list : 'a t -> 'a list
 

@@ -18,8 +18,9 @@ type t = {
   engine : Engine.t;
   n : int;
   rng : Rng.t;
-  mutable up : bool array;
-  mutable cell : int array; (* partition cell of each site *)
+  up : bool array;
+  mutable n_up : int; (* maintained count of up sites — no O(n) scans *)
+  cell : int array; (* partition cell of each site *)
   mean_latency : float;
   mutable drop_probability : float;
   mutable dup_probability : float;
@@ -40,6 +41,7 @@ let create ?(mean_latency = 5.0) ?(drop_probability = 0.0) engine ~sites =
     n = sites;
     rng = Rng.split (Engine.rng engine);
     up = Array.make sites true;
+    n_up = sites;
     cell = Array.make sites 0;
     mean_latency;
     drop_probability;
@@ -55,10 +57,26 @@ let create ?(mean_latency = 5.0) ?(drop_probability = 0.0) engine ~sites =
 let sites t = t.n
 let is_up t s = t.up.(s)
 let up_sites t = List.filter (fun s -> t.up.(s)) (List.init t.n Fun.id)
-let up_count t = List.length (up_sites t)
+let up_count t = t.n_up
 
-let crash t s = t.up.(s) <- false
-let recover t s = t.up.(s) <- true
+let check_site t name s =
+  if s < 0 || s >= t.n then invalid_arg ("Network." ^ name ^ ": bad site")
+
+(* Both mutators are idempotent so the maintained up-count cannot drift
+   when a chaos schedule crashes an already-crashed site. *)
+let crash t s =
+  check_site t "crash" s;
+  if t.up.(s) then begin
+    t.up.(s) <- false;
+    t.n_up <- t.n_up - 1
+  end
+
+let recover t s =
+  check_site t "recover" s;
+  if not t.up.(s) then begin
+    t.up.(s) <- true;
+    t.n_up <- t.n_up + 1
+  end
 
 (* Partition the network into the given cells; unassigned sites go to cell
    0.  [heal] restores full connectivity. *)
@@ -108,7 +126,7 @@ let set_extra_delay t d =
 let extra_delay t = t.extra_delay
 
 let set_skew t s d =
-  if s < 0 || s >= t.n then invalid_arg "Network.set_skew: bad site";
+  check_site t "set_skew" s;
   if d < 0.0 then invalid_arg "Network.set_skew: negative";
   t.skew.(s) <- d
 
@@ -150,22 +168,71 @@ let deliver_after t ~src ~dst deliver =
         trace_drop t ~src ~dst "unreachable"
       end)
 
+(* A duplicated message is two physical copies on the wire, and the loss
+   draw applies to each copy independently — the dup copy is not immune
+   to loss, and a lost original does not suppress the dup.  (The earlier
+   asymmetry — dup drawn only for surviving originals, dup copies never
+   subject to the loss draw — made the effective loss probability differ
+   between the two copies.)  Stats count physical copies: every copy ends
+   up in exactly one of [delivered]/[dropped], so
+   delivered + dropped = sent + duplicated once the queue drains.
+
+   Draw order is dup (only when the knob is on), then loss/latency per
+   copy, which keeps runs without the duplication fault on byte-identical
+   random streams. *)
 let send t ~src ~dst deliver =
   t.sent <- t.sent + 1;
   if A.active () then
     A.instant ~time:(Engine.now t.engine) "net/send"
       ~attrs:[ Attr.int "src" src; Attr.int "dst" dst ];
-  if Rng.bool t.rng t.drop_probability then begin
-    t.dropped <- t.dropped + 1;
-    trace_drop t ~src ~dst "loss"
-  end
-  else begin
-    deliver_after t ~src ~dst deliver;
+  let copies =
     if t.dup_probability > 0.0 && Rng.bool t.rng t.dup_probability then begin
       t.duplicated <- t.duplicated + 1;
       if A.active () then
         A.instant ~time:(Engine.now t.engine) "net/dup"
           ~attrs:[ Attr.int "src" src; Attr.int "dst" dst ];
-      deliver_after t ~src ~dst deliver
+      2
     end
+    else 1
+  in
+  for _copy = 1 to copies do
+    if Rng.bool t.rng t.drop_probability then begin
+      t.dropped <- t.dropped + 1;
+      trace_drop t ~src ~dst "loss"
+    end
+    else deliver_after t ~src ~dst deliver
+  done
+
+(* Batched delivery: the whole batch rides one physical transfer — a
+   single latency draw and a single scheduled engine event — while each
+   (dst, deliver) copy is still individually subject to the loss draw and
+   the reachability check at delivery time.  This is the gossip/fan-out
+   fast path: a replica pushing its log to [k] peers costs one heap
+   operation instead of [k].  The duplication fault does not apply to
+   batches (one transfer, one arrival).  The [targets] array is owned by
+   the network after the call. *)
+let send_batch t ~src targets =
+  let k = Array.length targets in
+  if k > 0 then begin
+    t.sent <- t.sent + k;
+    if A.active () then
+      A.instant ~time:(Engine.now t.engine) "net/send"
+        ~attrs:[ Attr.int "src" src; Attr.int "batch" k ];
+    let latency = draw_latency t ~src in
+    Engine.schedule t.engine ~delay:latency (fun () ->
+        Array.iter
+          (fun (dst, deliver) ->
+            if Rng.bool t.rng t.drop_probability then begin
+              t.dropped <- t.dropped + 1;
+              trace_drop t ~src ~dst "loss"
+            end
+            else if reachable t ~src ~dst then begin
+              t.delivered <- t.delivered + 1;
+              deliver ()
+            end
+            else begin
+              t.dropped <- t.dropped + 1;
+              trace_drop t ~src ~dst "unreachable"
+            end)
+          targets)
   end

@@ -22,7 +22,12 @@ val sites : t -> int
 val is_up : t -> int -> bool
 val up_sites : t -> int list
 val up_count : t -> int
+
+(** Take a site down / bring it back.  Idempotent; raise
+    [Invalid_argument] on a bad site number like the other per-site
+    mutators. *)
 val crash : t -> int -> unit
+
 val recover : t -> int -> unit
 
 (** Split the network into cells; unlisted sites share cell 0. *)
@@ -39,10 +44,15 @@ val connected : t -> int -> int -> bool
 (** Can [src] currently reach [dst]?  (Both up and same cell.) *)
 val reachable : t -> src:int -> dst:int -> bool
 
-(** [(sent, delivered, dropped)] counters. *)
+(** [(sent, delivered, dropped)] counters.  [sent] counts logical sends
+    (a batch of [k] targets counts [k]); [delivered] and [dropped] count
+    physical copies, so once the queue drains
+    [delivered + dropped = sent + duplicated]. *)
 val stats : t -> int * int * int
 
-(** Messages delivered twice by the duplication fault. *)
+(** Messages duplicated by the duplication fault (each such message put
+    two physical copies on the wire, each subject to its own loss
+    draw). *)
 val duplicated : t -> int
 
 (** {1 Runtime fault knobs}
@@ -74,3 +84,11 @@ val skew : t -> int -> float
 (** [send t ~src ~dst deliver] schedules [deliver] after the drawn latency
     unless the message is lost. *)
 val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+
+(** [send_batch t ~src targets] sends one message per [(dst, deliver)]
+    pair, all riding a single physical transfer: one latency draw and one
+    scheduled engine event for the whole batch, with loss and
+    reachability still judged per copy at delivery time.  The fan-out
+    fast path for gossip.  Duplication does not apply to batches.  The
+    array is owned by the network after the call. *)
+val send_batch : t -> src:int -> (int * (unit -> unit)) array -> unit

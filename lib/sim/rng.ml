@@ -27,11 +27,23 @@ let split t = { state = next_int64 t }
 let copy t = { state = t.state }
 
 (* Uniform integer in [0, bound).  The draw is truncated to 62 bits so
-   Int64.to_int can never wrap negative on 63-bit OCaml ints. *)
+   Int64.to_int can never wrap negative on 63-bit OCaml ints, then
+   rejection-sampled against the largest multiple of [bound] below 2^62:
+   a bare [mod] would favor the low residues by ~bound/2^62.  2^62
+   itself is unrepresentable (max_int = 2^62 - 1), so the partial-block
+   size is computed as (max_int mod bound + 1) mod bound and the
+   rejection test phrased against max_int.  The rejection branch fires
+   with probability < bound/2^62, so for the simulator's small bounds
+   the draw sequence is unchanged in practice while the bias is gone
+   exactly. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  let partial = ((max_int mod bound) + 1) mod bound in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if partial > 0 && r > max_int - partial then draw () else r mod bound
+  in
+  draw ()
 
 (* Uniform float in [0, 1). *)
 let unit_float t =
@@ -52,9 +64,17 @@ let exponential t ~rate =
   if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
   -.log (1.0 -. unit_float t) /. rate
 
+(* Uniform choice from an array: one bound draw, O(1) indexing.  This is
+   the hot-path variant — the list [pick] below sits on million-op code
+   paths only through legacy callers, and [List.nth] made every choice an
+   O(n) walk on top of the O(n) [List.length]. *)
+let pick_arr t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick_arr: empty array";
+  arr.(int t (Array.length arr))
+
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | l -> List.nth l (int t (List.length l))
+  | l -> pick_arr t (Array.of_list l)
 
 (* In-place Fisher-Yates shuffle. *)
 let shuffle t arr =

@@ -15,7 +15,8 @@ val copy : t -> t
 
 val next_int64 : t -> int64
 
-(** Uniform integer in [\[0, bound)].  Raises on non-positive bounds. *)
+(** Uniform integer in [\[0, bound)], exactly uniform (rejection-sampled,
+    no modulo bias).  Raises on non-positive bounds. *)
 val int : t -> int -> int
 
 (** Uniform float in [\[0, 1)]. *)
@@ -32,6 +33,10 @@ val exponential : t -> rate:float -> float
 
 (** Uniform choice.  Raises on the empty list. *)
 val pick : t -> 'a list -> 'a
+
+(** Uniform choice from an array in O(1) — same draw stream as {!pick}
+    on the equivalent list.  Raises on the empty array. *)
+val pick_arr : t -> 'a array -> 'a
 
 (** In-place Fisher-Yates shuffle. *)
 val shuffle : t -> 'a array -> unit

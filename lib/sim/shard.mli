@@ -1,0 +1,36 @@
+(** Sharded simulation: one independent {!Engine} per shard, run in
+    parallel over the persistent domain pool.
+
+    A single discrete-event world is inherently sequential; the sharded
+    engine replicates the world [S] times with decorrelated seeds and
+    runs the shards on separate domains.  Shard seeds derive from the
+    root seed in shard order and results come back in shard order, so
+    output is a pure function of [(seed, shards)] — independent of the
+    domain count. *)
+
+type 'a t
+
+(** [create ~seed ~shards init] builds [shards] engines with decorrelated
+    seeds and calls [init i engine] to build each shard's state.  Raises
+    [Invalid_argument] on a non-positive shard count. *)
+val create : ?seed:int -> shards:int -> (int -> Engine.t -> 'a) -> 'a t
+
+val shards : 'a t -> int
+val engine : 'a t -> int -> Engine.t
+val state : 'a t -> int -> 'a
+
+(** All shard states, in shard order. *)
+val states : 'a t -> 'a list
+
+(** [run ?until ?max_events ?jobs t step] runs every shard's engine to
+    the same bound — shards in parallel, up to [jobs] domains — then
+    maps [step i engine state] over the shards, returning the results in
+    shard order.  [step] executes on the domain that ran the shard and
+    must touch only that shard's state. *)
+val run :
+  ?until:float ->
+  ?max_events:int ->
+  ?jobs:int ->
+  'a t ->
+  (int -> Engine.t -> 'a -> 'b) ->
+  'b list

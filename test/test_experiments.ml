@@ -102,6 +102,38 @@ let determinism_tests =
              b.Relax_txn.Workload.schedule));
   ]
 
+let load_tests =
+  let strip (o : Load.outcome) =
+    (* wall-clock fields are the one machine-dependent output *)
+    { o with Load.wall_s = 0.0; ops_per_sec = 0.0 }
+  in
+  let small =
+    { Load.default_params with ops = 4_000; shards = 4; seed = 17 }
+  in
+  [
+    Alcotest.test_case "load outcomes are independent of jobs" `Slow (fun () ->
+        let a = List.map strip (Load.run ~jobs:1 ~params:small ())
+        and b = List.map strip (Load.run ~jobs:4 ~params:small ()) in
+        List.iter2
+          (fun (x : Load.outcome) y ->
+            Alcotest.(check string) "label" x.Load.label y.Load.label;
+            Alcotest.(check int) "completed" x.Load.completed y.Load.completed;
+            Alcotest.(check int) "unavailable" x.Load.unavailable
+              y.Load.unavailable;
+            Alcotest.(check (float 1e-9)) "p99" x.Load.p99 y.Load.p99)
+          a b);
+    Alcotest.test_case "every client op is accounted for" `Slow (fun () ->
+        List.iter
+          (fun (o : Load.outcome) ->
+            Alcotest.(check int) "completed + unavailable" o.Load.ops
+              (o.Load.completed + o.Load.unavailable))
+          (Load.run ~jobs:1 ~params:small ()));
+  ]
+
 let () =
   Alcotest.run "experiments"
-    [ ("experiments", experiment_tests); ("determinism", determinism_tests) ]
+    [
+      ("experiments", experiment_tests);
+      ("determinism", determinism_tests);
+      ("load", load_tests);
+    ]

@@ -86,6 +86,40 @@ let rng_tests =
         Alcotest.(check int)
           "distinct" 4
           (List.length (List.sort_uniq Int.compare s)));
+    Alcotest.test_case "int is uniform (chi-square smoke)" `Quick (fun () ->
+        (* regression for the modulo-bias fix: 100k draws over 10 cells;
+           chi-square upper critical value at df=9, p=0.001 is 27.88, so
+           a biased generator fails while a uniform one passes with
+           overwhelming probability at this fixed seed *)
+        let r = Rng.create ~seed:11 in
+        let bound = 10 and n = 100_000 in
+        let cells = Array.make bound 0 in
+        for _ = 1 to n do
+          let x = Rng.int r bound in
+          cells.(x) <- cells.(x) + 1
+        done;
+        let expected = float_of_int n /. float_of_int bound in
+        let chi2 =
+          Array.fold_left
+            (fun acc c ->
+              let d = float_of_int c -. expected in
+              acc +. (d *. d /. expected))
+            0.0 cells
+        in
+        Alcotest.(check bool)
+          (Fmt.str "chi-square %.2f < 27.88" chi2)
+          true (chi2 < 27.88));
+    Alcotest.test_case "pick_arr draws the same stream as pick" `Quick
+      (fun () ->
+        let a = Rng.create ~seed:12 and b = Rng.create ~seed:12 in
+        let l = List.init 17 Fun.id in
+        let arr = Array.of_list l in
+        for _ = 1 to 200 do
+          Alcotest.(check int) "same choice" (Rng.pick a l) (Rng.pick_arr b arr)
+        done;
+        Alcotest.check_raises "empty array"
+          (Invalid_argument "Rng.pick_arr: empty array") (fun () ->
+            ignore (Rng.pick_arr a [||])));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -133,6 +167,36 @@ let heap_tests =
         (* remaining elements still pop correctly *)
         Alcotest.(check (option (pair int string)))
           "next" (Some (5, "witness")) (Heap.pop h));
+    Alcotest.test_case "exn accessors match the option ones" `Quick (fun () ->
+        let h = Heap.create ~compare:Int.compare () in
+        Alcotest.check_raises "min_exn empty" Heap.Empty (fun () ->
+            ignore (Heap.min_exn h));
+        Alcotest.check_raises "pop_exn empty" Heap.Empty (fun () ->
+            ignore (Heap.pop_exn h));
+        List.iter (Heap.push h) [ 3; 1; 2 ];
+        Alcotest.(check int) "min_exn" 1 (Heap.min_exn h);
+        Alcotest.(check int) "pop_exn" 1 (Heap.pop_exn h);
+        Alcotest.(check int) "next min" 2 (Heap.min_exn h));
+    Alcotest.test_case "no retention at load scale" `Quick (fun () ->
+        (* 100k boxed pushes and pops through a drained-and-refilled
+           heap: afterwards no backing slot may alias anything but the
+           single retained witness *)
+        let h = Heap.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) () in
+        let witness = ref None in
+        for wave = 0 to 9 do
+          for i = 1 to 10_000 do
+            let x = ((wave * 10_000) + i, "payload") in
+            if !witness = None then witness := Some x;
+            Heap.push h x
+          done;
+          while not (Heap.is_empty h) do
+            ignore (Heap.pop_exn h)
+          done
+        done;
+        let w = Option.get !witness in
+        Alcotest.(check int)
+          "only witness slots remain" 0
+          (Heap.slots_retaining h (fun x -> not (x == w))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -207,6 +271,44 @@ let engine_tests =
         Engine.schedule e ~delay:2.0 (fun () -> ());
         Engine.run ~until:50.0 ~max_events:1 e;
         Alcotest.(check (float 0.001)) "clock at event" 1.0 (Engine.now e));
+    Alcotest.test_case
+      "budget exhausted on the last in-bound event still reaches until"
+      `Quick (fun () ->
+        (* regression: when max_events runs out exactly as the last event
+           at or before [until] executes, the stop is on the time bound —
+           the clock must advance to [until], not stick at the event.
+           The old loop conflated the two stop reasons and a subsequent
+           schedule ~delay measured from 1.0 instead of 50.0 *)
+        let e = Engine.create () in
+        Engine.schedule e ~delay:1.0 (fun () -> ());
+        Engine.schedule e ~delay:100.0 (fun () -> ());
+        Engine.run ~until:50.0 ~max_events:1 e;
+        Alcotest.(check (float 0.001)) "clock at bound" 50.0 (Engine.now e);
+        Alcotest.(check int) "later event still queued" 1
+          (Engine.pending_events e);
+        let at = ref nan in
+        Engine.schedule e ~delay:10.0 (fun () -> at := Engine.now e);
+        Engine.run e;
+        Alcotest.(check (float 0.001)) "delay from the bound" 60.0 !at);
+    Alcotest.test_case "event records are recycled" `Quick (fun () ->
+        (* drain-and-refill waves reuse freelist records; behavior must
+           be indistinguishable from fresh allocations *)
+        let e = Engine.create () in
+        let count = ref 0 in
+        for wave = 1 to 3 do
+          let log = ref [] in
+          for i = 1 to 100 do
+            Engine.schedule e ~delay:(float_of_int i) (fun () ->
+                incr count;
+                log := i :: !log)
+          done;
+          Engine.run e;
+          Alcotest.(check (list int))
+            (Fmt.str "wave %d in order" wave)
+            (List.init 100 (fun i -> i + 1))
+            (List.rev !log)
+        done;
+        Alcotest.(check int) "all ran" 300 !count);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -272,6 +374,134 @@ let network_tests =
         Network.send net ~src:0 ~dst:1 (fun () -> got := true);
         Engine.run e;
         Alcotest.(check bool) "lost" false !got);
+    Alcotest.test_case "crash and recover reject bad sites" `Quick (fun () ->
+        (* regression: these two mutators skipped the bounds check the
+           other per-site mutators perform *)
+        let e = Engine.create () in
+        let net = Network.create e ~sites:3 in
+        Alcotest.check_raises "crash high"
+          (Invalid_argument "Network.crash: bad site") (fun () ->
+            Network.crash net 3);
+        Alcotest.check_raises "crash negative"
+          (Invalid_argument "Network.crash: bad site") (fun () ->
+            Network.crash net (-1));
+        Alcotest.check_raises "recover high"
+          (Invalid_argument "Network.recover: bad site") (fun () ->
+            Network.recover net 3);
+        Alcotest.check_raises "recover negative"
+          (Invalid_argument "Network.recover: bad site") (fun () ->
+            Network.recover net (-1));
+        (* idempotence: repeated crash/recover cannot drift the up count *)
+        Network.crash net 1;
+        Network.crash net 1;
+        Alcotest.(check int) "one site down" 2 (Network.up_count net);
+        Network.recover net 1;
+        Network.recover net 1;
+        Alcotest.(check int) "all up" 3 (Network.up_count net));
+    Alcotest.test_case "duplicated copies face the same loss draw" `Quick
+      (fun () ->
+        (* regression for the dup/loss asymmetry: with dup certain and
+           drop at 0.5, every send makes exactly two physical copies and
+           each copy independently survives or drops, so the counters
+           must conserve copies: delivered + dropped = sent + duplicated
+           — and at these odds both outcomes must actually occur *)
+        let e = Engine.create () in
+        let net = Network.create ~drop_probability:0.5 e ~sites:2 in
+        Network.set_dup_probability net 1.0;
+        let sends = 400 in
+        for _ = 1 to sends do
+          Network.send net ~src:0 ~dst:1 (fun () -> ())
+        done;
+        Engine.run e;
+        let sent, delivered, dropped = Network.stats net in
+        Alcotest.(check int) "sent" sends sent;
+        Alcotest.(check int) "every send duplicated" sends
+          (Network.duplicated net);
+        Alcotest.(check int)
+          "copies conserved" (sends + sends)
+          (delivered + dropped);
+        Alcotest.(check bool) "some copies survive" true (delivered > 0);
+        Alcotest.(check bool) "some copies drop" true (dropped > 0));
+    Alcotest.test_case "send_batch delivers per copy" `Quick (fun () ->
+        let e = Engine.create () in
+        let net = Network.create e ~sites:4 in
+        Network.crash net 2;
+        let got = Array.make 4 false in
+        Network.send_batch net ~src:0
+          (Array.init 3 (fun i ->
+               let dst = i + 1 in
+               (dst, fun () -> got.(dst) <- true)));
+        Engine.run e;
+        Alcotest.(check bool) "site 1 got it" true got.(1);
+        Alcotest.(check bool) "crashed site 2 did not" false got.(2);
+        Alcotest.(check bool) "site 3 got it" true got.(3);
+        let sent, delivered, dropped = Network.stats net in
+        Alcotest.(check int) "sent counts the batch" 3 sent;
+        Alcotest.(check int) "two delivered" 2 delivered;
+        Alcotest.(check int) "one dropped" 1 dropped);
+    Alcotest.test_case "send_batch rides one engine event" `Quick (fun () ->
+        let e = Engine.create () in
+        let net = Network.create e ~sites:5 in
+        Network.send_batch net ~src:0
+          (Array.init 4 (fun i -> (i + 1, fun () -> ())));
+        Alcotest.(check int) "single delivery event" 1 (Engine.pending_events e);
+        Engine.run e;
+        let _, delivered, _ = Network.stats net in
+        Alcotest.(check int) "all four delivered" 4 delivered);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Shard                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let shard_tests =
+  [
+    Alcotest.test_case "seeds decorrelate and runs are deterministic" `Quick
+      (fun () ->
+        let run () =
+          let sharded =
+            Shard.create ~seed:7 ~shards:4 (fun _ engine ->
+                let rng = Rng.split (Engine.rng engine) in
+                let count = ref 0 in
+                let rec tick () =
+                  incr count;
+                  if !count < 50 then
+                    Engine.schedule engine ~delay:(Rng.exponential rng ~rate:1.0)
+                      tick
+                in
+                Engine.schedule engine ~delay:(Rng.exponential rng ~rate:1.0)
+                  tick;
+                count)
+          in
+          Shard.run sharded (fun _ engine count ->
+              (!count, Engine.now engine))
+        in
+        let a = run () and b = run () in
+        Alcotest.(check (list (pair int (float 0.0)))) "identical reruns" a b;
+        (* distinct shard seeds: the four finish times must not coincide *)
+        let times = List.map snd a |> List.sort_uniq Float.compare in
+        Alcotest.(check int) "four distinct clocks" 4 (List.length times));
+    Alcotest.test_case "jobs count cannot change results" `Quick (fun () ->
+        let work jobs =
+          let sharded =
+            Shard.create ~seed:3 ~shards:8 (fun i engine ->
+                let rng = Rng.split (Engine.rng engine) in
+                let acc = ref i in
+                for _ = 1 to 100 do
+                  Engine.schedule engine
+                    ~delay:(Rng.exponential rng ~rate:2.0)
+                    (fun () -> acc := (7 * !acc) + Rng.int rng 1000)
+                done;
+                acc)
+          in
+          Shard.run ~jobs sharded (fun _ _ acc -> !acc)
+        in
+        Alcotest.(check (list int)) "jobs 1 = jobs 4" (work 1) (work 4));
+    Alcotest.test_case "create rejects a non-positive shard count" `Quick
+      (fun () ->
+        Alcotest.check_raises "zero shards"
+          (Invalid_argument "Shard.create: shards must be positive") (fun () ->
+            ignore (Shard.create ~shards:0 (fun _ _ -> ()))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -348,5 +578,6 @@ let () =
       ("heap", heap_tests);
       ("engine", engine_tests);
       ("network", network_tests);
+      ("shard", shard_tests);
       ("metrics", metrics_tests);
     ]
