@@ -518,6 +518,68 @@ let print_claim_stats () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Proof pipeline: certified simulation vs bounded enumeration         *)
+(* ------------------------------------------------------------------ *)
+
+(* OLS rows for one representative collapse: the same equivalence
+   decided by synthesis + certification (valid at any depth) and by the
+   legacy bounded enumeration (valid up to the depth only). *)
+let rows_proof =
+  let weight = Relax_experiments.Pq_checks.queue_weight in
+  let proved budget () =
+    ignore
+      (Relax_proof.Pipeline.equivalent ~strategy:Relax_proof.Strategy.Simulation
+         ~weight
+         (Semiqueue.automaton 1)
+         Fifo.automaton ~alphabet ~depth:budget)
+  and enumerated depth () =
+    ignore
+      (Relax_core.Language.equivalent
+         (Semiqueue.automaton 1)
+         Fifo.automaton ~alphabet ~depth)
+  in
+  [
+    ("proof/semiqueue1-fifo-sim (budget 5)", proved 5);
+    ("proof/semiqueue1-fifo-enum (depth 5)", enumerated 5);
+    ("proof/semiqueue1-fifo-sim (budget 7)", proved 7);
+    ("proof/semiqueue1-fifo-enum (depth 7)", enumerated 7);
+  ]
+
+(* The check-all acceptance comparison: the whole registry at depth 7
+   under the legacy strategy and under the pipeline default.  Auto must
+   not be slower than Bounded_enum beyond noise — the certified claims
+   trade their enumeration for a saturation of comparable cost. *)
+let print_proof_pipeline () =
+  let open Relax_claims in
+  Fmt.pr "@.== proof pipeline (check all, depth 7) ==@.";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run strategy =
+    time (fun () ->
+        Engine.run
+          (Relax_experiments.Catalog.registry ~alphabet ~depth:7 ~strategy ()))
+  in
+  let _, enum = run Relax_proof.Strategy.Bounded_enum in
+  let results, auto = run Relax_proof.Strategy.Auto in
+  let proved =
+    List.concat_map snd results
+    |> List.filter (fun o ->
+           match o.Engine.verdict.Verdict.proof_method with
+           | Some (Verdict.Proved_simulation _) -> true
+           | _ -> false)
+    |> List.length
+  in
+  Fmt.pr "claims/check-all-depth7-enum     %8.1f ms  (bounded enumeration)@."
+    (enum *. 1000.);
+  Fmt.pr
+    "claims/check-all-depth7-auto     %8.1f ms  (%d claims proved by certified \
+     simulation)@."
+    (auto *. 1000.) proved
+
+(* ------------------------------------------------------------------ *)
 (* Tracing overhead: the `check all --depth 7` acceptance row          *)
 (* ------------------------------------------------------------------ *)
 
@@ -556,7 +618,7 @@ let print_trace_overhead () =
 
 let all_rows =
   rows_larch @ rows_conformance @ rows_core @ rows_prob @ rows_sim
-  @ rows_extensions @ rows_chaos @ rows_degrade @ rows_claims
+  @ rows_extensions @ rows_chaos @ rows_degrade @ rows_claims @ rows_proof
 
 let all_tests =
   Test.make_grouped ~name:"relax"
@@ -624,6 +686,7 @@ let () =
     print_chaos_sweep ();
     print_degrade_sweep ();
     print_load_sweep ();
+    print_proof_pipeline ();
     print_trace_overhead ();
     print_claim_stats ();
     Fmt.pr "@.done: %d benchmarks@." (List.length rows)

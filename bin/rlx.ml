@@ -98,9 +98,9 @@ let run_traced trace_out f =
    the human format is byte-identical to the historical output at any
    degree of parallelism. *)
 (* Group/glob selection shared by check, profile check and trace check. *)
-let select_registry what only depth =
+let select_registry what only depth strategy =
   let module R = Relax_claims.Registry in
-  let registry = Relax_experiments.Catalog.registry ~depth () in
+  let registry = Relax_experiments.Catalog.registry ~depth ~strategy () in
   let known = R.group_ids registry in
   if what <> "all" && not (List.mem what known) then
     Error
@@ -124,12 +124,12 @@ let select_registry what only depth =
         | None -> "no claims selected")
     else Ok selected
 
-let run_check what only format depth jobs trace_out =
+let run_check what only format depth strategy jobs trace_out =
   apply_jobs jobs;
   let module R = Relax_claims.Registry in
   let module C = Relax_claims.Claim in
   if what = "list" then begin
-    let registry = Relax_experiments.Catalog.registry ~depth () in
+    let registry = Relax_experiments.Catalog.registry ~depth ~strategy () in
     List.iter
       (fun (g : R.group) ->
         Fmt.pr "%s — %s@." g.R.gid g.R.title;
@@ -143,7 +143,7 @@ let run_check what only format depth jobs trace_out =
     0
   end
   else
-    match select_registry what only depth with
+    match select_registry what only depth strategy with
     | Error e ->
       Fmt.epr "%s@." e;
       2
@@ -246,8 +246,33 @@ let run_simulate which seed timeout retries backoff trace_out =
       run_simulate_on ?timeout ?retries ?backoff out which seed)
 
 let depth_arg =
-  let doc = "Exploration depth for bounded language checks." in
+  let doc =
+    "Exploration depth for the bounded-enumeration fallback of language \
+     checks (and the default enqueue budget of simulation proofs).  \
+     Claims proved by a certified simulation hold at any depth; $(opt) \
+     only bounds the claims that fall back to enumeration."
+  in
   Arg.(value & opt int 7 & info [ "depth"; "d" ] ~doc)
+
+let method_arg =
+  let doc =
+    "Proof method for language claims: $(b,auto) (default — synthesize a \
+     forward-simulation proof, fall back to bounded enumeration), \
+     $(b,sim) (same pipeline, insisting on simulation; fallbacks are \
+     visible as bounded verdicts) or $(b,enum) (bounded enumeration \
+     only, the legacy checkers)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Relax_proof.Strategy.Auto);
+             ("sim", Relax_proof.Strategy.Simulation);
+             ("enum", Relax_proof.Strategy.Bounded_enum);
+           ])
+        Relax_proof.Strategy.Auto
+    & info [ "method"; "m" ] ~docv:"METHOD" ~doc)
 
 let jobs_arg =
   let doc =
@@ -325,8 +350,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc ~exits)
     Term.(
-      const run_check $ what $ only $ format $ depth_arg $ jobs_arg
-      $ trace_out_arg)
+      const run_check $ what $ only $ format $ depth_arg $ method_arg
+      $ jobs_arg $ trace_out_arg)
 
 let figure_cmd =
   let doc =
@@ -841,9 +866,9 @@ let run_trace_chaos point seed nemeses trace_out =
    synthesize the trace from measured outcomes (Engine.record_trace)
    instead of recording ambiently: durations are wall clock, stats are
    the deterministic memo/product counters. *)
-let run_claims_trace what only depth jobs trace_out ~json =
+let run_claims_trace what only depth strategy jobs trace_out ~json =
   apply_jobs jobs;
-  match select_registry what only depth with
+  match select_registry what only depth strategy with
   | Error e ->
     Fmt.epr "%s@." e;
     2
@@ -862,11 +887,11 @@ let run_claims_trace what only depth jobs trace_out ~json =
       Relax_claims.Reporter.pp Relax_claims.Reporter.Json out results;
     exit_of (Relax_claims.Engine.ok results)
 
-let run_trace_check what only depth jobs trace_out =
-  run_claims_trace what only depth jobs trace_out ~json:false
+let run_trace_check what only depth strategy jobs trace_out =
+  run_claims_trace what only depth strategy jobs trace_out ~json:false
 
-let run_profile_check what only depth jobs trace_out =
-  run_claims_trace what only depth jobs trace_out ~json:true
+let run_profile_check what only depth strategy jobs trace_out =
+  run_claims_trace what only depth strategy jobs trace_out ~json:true
 
 let check_what_arg =
   let doc = "Claim group to run, $(b,all) by default." in
@@ -925,7 +950,7 @@ let trace_cmd =
     Cmd.v (Cmd.info "check" ~doc)
       Term.(
         const run_trace_check $ check_what_arg $ only_arg $ depth_arg
-        $ jobs_arg $ trace_out_arg)
+        $ method_arg $ jobs_arg $ trace_out_arg)
   in
   let doc =
     "Trace an experiment: run it with the observability layer recording \
@@ -944,7 +969,7 @@ let profile_cmd =
     Cmd.v (Cmd.info "check" ~doc)
       Term.(
         const run_profile_check $ check_what_arg $ only_arg $ depth_arg
-        $ jobs_arg $ trace_out_arg)
+        $ method_arg $ jobs_arg $ trace_out_arg)
   in
   let doc = "Profile a workload (currently: check)." in
   Cmd.group (Cmd.info "profile" ~doc) [ check_cmd ]

@@ -35,6 +35,8 @@ let run_claim (claim : Claim.t) =
           Verdict.histories = s.Language.Stats.histories;
           visited = s.Language.Stats.visited;
           memo_hits = s.Language.Stats.memo_hits;
+          obligations = s.Language.Stats.obligations;
+          relation = s.Language.Stats.relation;
           wall_s;
         };
   }
@@ -49,6 +51,18 @@ let stat_attrs (v : Verdict.t) =
     At.int "visited" v.Verdict.stats.Verdict.visited;
     At.int "memo_hits" v.Verdict.stats.Verdict.memo_hits;
   ]
+  @
+  (* only claims routed through the proof pipeline carry a method; the
+     attribute set of legacy claims — and their golden traces — is
+     unchanged *)
+  match v.Verdict.proof_method with
+  | None -> []
+  | Some m ->
+    [
+      At.str "method" (Verdict.proof_method_to_string m);
+      At.int "obligations" v.Verdict.stats.Verdict.obligations;
+      At.int "relation" v.Verdict.stats.Verdict.relation;
+    ]
 
 (* Run one claim under an ambient span carrying its memo/product stats.
    Deliberately NOT the wall clock: traces of deterministic runs must be

@@ -91,11 +91,17 @@ let pp_json ppf results =
         (match v.counterexample with
         | None -> "null"
         | Some w -> json_str w);
+      Fmt.pf ppf "      \"proof_method\": %s,@\n"
+        (match v.proof_method with
+        | None -> "null"
+        | Some m -> json_str (Verdict.proof_method_to_string m));
       Fmt.pf ppf
         "      \"stats\": { \"histories\": %d, \"visited\": %d, \
-         \"memo_hits\": %d, \"wall_ms\": %.3f }@\n"
+         \"memo_hits\": %d, \"obligations\": %d, \"relation\": %d, \
+         \"wall_ms\": %.3f }@\n"
         v.stats.Verdict.histories v.stats.Verdict.visited
-        v.stats.Verdict.memo_hits
+        v.stats.Verdict.memo_hits v.stats.Verdict.obligations
+        v.stats.Verdict.relation
         (v.stats.Verdict.wall_s *. 1000.0);
       Fmt.pf ppf "    }")
     flat;
@@ -116,6 +122,9 @@ let pp_tap ppf results =
       | Verdict.Fail -> Fmt.pf ppf "not ok %d - %s@\n" (i + 1) id
       | Verdict.Error msg ->
         Fmt.pf ppf "not ok %d - %s # error: %s@\n" (i + 1) id msg);
+      (match v.Verdict.proof_method with
+      | None -> ()
+      | Some m -> Fmt.pf ppf "# method: %a@\n" Verdict.pp_proof_method m);
       if (not (Verdict.ok v)) && v.detail <> "" then
         Fmt.pf ppf "# %s@\n" v.detail)
     outcomes

@@ -15,10 +15,27 @@ type alphabet = Op.t list
    exploration stays on one domain); incrementing is branch-free and
    does not perturb any result.  [reset] before a check, [read] after. *)
 module Stats = struct
-  type t = { mutable histories : int; mutable visited : int; mutable memo_hits : int }
+  type t = {
+    mutable histories : int;
+    mutable visited : int;
+    mutable memo_hits : int;
+    mutable obligations : int;
+    mutable relation : int;
+    mutable synthesized : int;
+    mutable fallbacks : int;
+  }
 
   let key =
-    Domain.DLS.new_key (fun () -> { histories = 0; visited = 0; memo_hits = 0 })
+    Domain.DLS.new_key (fun () ->
+        {
+          histories = 0;
+          visited = 0;
+          memo_hits = 0;
+          obligations = 0;
+          relation = 0;
+          synthesized = 0;
+          fallbacks = 0;
+        })
 
   let cell () = Domain.DLS.get key
 
@@ -26,11 +43,23 @@ module Stats = struct
     let c = cell () in
     c.histories <- 0;
     c.visited <- 0;
-    c.memo_hits <- 0
+    c.memo_hits <- 0;
+    c.obligations <- 0;
+    c.relation <- 0;
+    c.synthesized <- 0;
+    c.fallbacks <- 0
 
   let read () =
     let c = cell () in
-    { histories = c.histories; visited = c.visited; memo_hits = c.memo_hits }
+    {
+      histories = c.histories;
+      visited = c.visited;
+      memo_hits = c.memo_hits;
+      obligations = c.obligations;
+      relation = c.relation;
+      synthesized = c.synthesized;
+      fallbacks = c.fallbacks;
+    }
 end
 
 type 'v frontier = { history : History.t; states : 'v list }
@@ -64,7 +93,81 @@ let enumerate (a : 'v Automaton.t) ~(alphabet : alphabet) ~depth =
 let language_set a ~alphabet ~depth =
   History.Set.of_list (enumerate a ~alphabet ~depth)
 
-let size a ~alphabet ~depth = List.length (enumerate a ~alphabet ~depth)
+(* Interning of states by (hash, equal), assigning dense integer ids so a
+   deduplicated state set canonicalizes to a sorted id list.  A collision
+   falls back to [equal] within its bucket, so an imperfect hash costs
+   time, never correctness. *)
+module Intern = struct
+  type 'v t = {
+    hash : 'v -> int;
+    equal : 'v -> 'v -> bool;
+    buckets : (int, ('v * int) list) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let create hash equal = { hash; equal; buckets = Hashtbl.create 256; next = 0 }
+
+  let id t s =
+    let h = t.hash s in
+    let bucket = try Hashtbl.find t.buckets h with Not_found -> [] in
+    match List.find_opt (fun (s', _) -> t.equal s s') bucket with
+    | Some (_, id) -> id
+    | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      Hashtbl.replace t.buckets h ((s, id) :: bucket);
+      id
+
+  let key t states = List.sort_uniq Int.compare (List.map (id t) states)
+end
+
+(* [size] agrees with [List.length (enumerate ...)] but counts by dynamic
+   programming over (state-set, remaining depth) instead of materializing
+   one node per history: many histories re-converge to the same
+   determinized state set, so the table is far smaller than the language.
+   Unhashed state spaces fall back to the reference enumeration. *)
+let size a ~alphabet ~depth =
+  match Automaton.hash_state a with
+  | None -> List.length (enumerate a ~alphabet ~depth)
+  | Some hash ->
+    let stats = Stats.cell () in
+    let intern = Intern.create hash (Automaton.equal_state a) in
+    let steps : (int list * Op.t, 'v list * int list) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let memo : (int list * int, int) Hashtbl.t = Hashtbl.create 256 in
+    (* nodes of the accepted-prefix tree rooted at [states], counting the
+       root itself, cut off [remaining] levels down *)
+    let rec count states key remaining =
+      if remaining = 0 then 1
+      else
+        match Hashtbl.find_opt memo (key, remaining) with
+        | Some n -> n
+        | None ->
+          let n =
+            List.fold_left
+              (fun acc p ->
+                let succ, key' =
+                  match Hashtbl.find_opt steps (key, p) with
+                  | Some r -> r
+                  | None ->
+                    let succ = Automaton.step_set a states p in
+                    let r = (succ, Intern.key intern succ) in
+                    Hashtbl.add steps (key, p) r;
+                    r
+                in
+                match succ with
+                | [] -> acc
+                | _ -> acc + count succ key' (remaining - 1))
+              1 alphabet
+          in
+          Hashtbl.add memo (key, remaining) n;
+          n
+    in
+    let init = [ Automaton.init a ] in
+    let n = count init (Intern.key intern init) depth in
+    stats.Stats.histories <- stats.Stats.histories + n;
+    n
 
 (* Per-depth census of the language: element [i] is the number of accepted
    histories of length exactly [i]. *)
@@ -121,34 +224,6 @@ let included_enum (a : 'v Automaton.t) (b : 'w Automaton.t) ~alphabet ~depth =
     go [ (root, [ Automaton.init b ]) ] depth;
     Ok ()
   with Fail c -> Error c
-
-(* Interning of states by (hash, equal), assigning dense integer ids so a
-   deduplicated state set canonicalizes to a sorted id list.  A collision
-   falls back to [equal] within its bucket, so an imperfect hash costs
-   time, never correctness. *)
-module Intern = struct
-  type 'v t = {
-    hash : 'v -> int;
-    equal : 'v -> 'v -> bool;
-    buckets : (int, ('v * int) list) Hashtbl.t;
-    mutable next : int;
-  }
-
-  let create hash equal = { hash; equal; buckets = Hashtbl.create 256; next = 0 }
-
-  let id t s =
-    let h = t.hash s in
-    let bucket = try Hashtbl.find t.buckets h with Not_found -> [] in
-    match List.find_opt (fun (s', _) -> t.equal s s') bucket with
-    | Some (_, id) -> id
-    | None ->
-      let id = t.next in
-      t.next <- id + 1;
-      Hashtbl.replace t.buckets h ((s, id) :: bucket);
-      id
-
-  let key t states = List.sort_uniq Int.compare (List.map (id t) states)
-end
 
 (* Memoized inclusion: a breadth-first fixpoint over the reachable
    (A-state-set, B-state-set) pairs of the product of the determinized

@@ -21,9 +21,20 @@ module Stats : sig
         (** histories enumerated ({!enumerate} and {!included_enum}) *)
     mutable visited : int;
         (** distinct product state-set pairs visited by the memoized
-            fixpoint of {!included} *)
+            fixpoint of {!included} (and by simulation synthesis) *)
     mutable memo_hits : int;
         (** product pairs skipped because already visited *)
+    mutable obligations : int;
+        (** simulation obligations discharged (init, per-pair step and
+            output-matching checks, reified-state audits) by the proof
+            pipeline of [relax_proof] *)
+    mutable relation : int;
+        (** total size of certified simulation relations *)
+    mutable synthesized : int;
+        (** inclusion directions proved by a certified simulation *)
+    mutable fallbacks : int;
+        (** inclusion directions that fell back to bounded enumeration
+            after synthesis or certification failed *)
   }
 
   (** Zero this domain's counters. *)
@@ -31,6 +42,11 @@ module Stats : sig
 
   (** A snapshot copy of this domain's counters. *)
   val read : unit -> t
+
+  (** The live domain-local counter cell — the instrumentation hook the
+      proof pipeline increments through.  Mutating it never changes any
+      checker result. *)
+  val cell : unit -> t
 end
 
 (** All accepted histories of length [<= depth], shortest first. *)
@@ -53,6 +69,25 @@ type counterexample = {
 }
 
 val pp_counterexample : counterexample Fmt.t
+
+(** Interning of states by (hash, equal): dense integer ids, so a
+    deduplicated state set canonicalizes to a sorted id list.  This is
+    the state abstraction behind the memoized checker below; the
+    forward-simulation synthesizer of [relax_proof] reuses it to
+    represent candidate relations.  A hash collision falls back to
+    [equal] within its bucket, so an imperfect hash costs time, never
+    correctness. *)
+module Intern : sig
+  type 'v t
+
+  val create : ('v -> int) -> ('v -> 'v -> bool) -> 'v t
+
+  (** The dense id of a state, allocated on first sight. *)
+  val id : 'v t -> 'v -> int
+
+  (** The canonical key of a state set: its sorted, deduplicated ids. *)
+  val key : 'v t -> 'v list -> int list
+end
 
 (** [included a b] checks [L(a) ⊆ L(b)] up to [depth].
 

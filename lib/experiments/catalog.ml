@@ -2,16 +2,16 @@ open Relax_objects
 
 (* The claim catalog: every group of the reproduction's checkable claims,
    in the order the legacy `rlx check all` printed them.  The depth bound
-   reaches the groups that honored the CLI depth before (pq, collapses,
-   fifo); the others keep their own defaults, exactly as `check all`
-   always ran them. *)
+   and proof strategy reach the groups that honored the CLI depth before
+   (pq, collapses, fifo); the others keep their own defaults, exactly as
+   `check all` always ran them. *)
 
 let registry ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2))
-    ?(depth = 5) () =
+    ?(depth = 5) ?strategy () =
   Relax_claims.Registry.create
     [
-      Pq_checks.group ~alphabet ~depth ();
-      Collapse_checks.group ~alphabet ~depth ();
+      Pq_checks.group ~alphabet ~depth ?strategy ();
+      Collapse_checks.group ~alphabet ~depth ?strategy ();
       Account_checks.group ();
       Topn_check.group ();
       Fig42.group ();
@@ -22,5 +22,5 @@ let registry ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2))
       Atm.group ();
       Spooler.group ();
       Markov_env.group ();
-      Fifo_checks.group ~alphabet ~depth ();
+      Fifo_checks.group ~alphabet ~depth ?strategy ();
     ]

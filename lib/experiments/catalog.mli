@@ -5,8 +5,14 @@ open Relax_core
     groups (pq, collapses, account, prob, fig42, availability, taxi,
     atm, spooler, markov, fifo).
 
-    [depth] reaches the groups that honor the CLI depth bound (pq,
-    collapses, fifo); the other groups keep their own defaults, exactly
-    as [check all] always ran them.  Defaults: universe {1,2}, depth 5. *)
+    [depth] and [strategy] reach the groups that honor the CLI depth
+    bound (pq, collapses, fifo); the other groups keep their own
+    defaults, exactly as [check all] always ran them.  Defaults:
+    universe {1,2}, depth 5, no strategy (legacy checkers, no method
+    column). *)
 val registry :
-  ?alphabet:Language.alphabet -> ?depth:int -> unit -> Relax_claims.Registry.t
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  ?strategy:Relax_proof.Strategy.t ->
+  unit ->
+  Relax_claims.Registry.t

@@ -26,9 +26,17 @@ type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 let q1_q2 = Relation.union Instances.q1 Instances.q2
 
 let claims ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5)
-    () =
+    ?strategy () =
   let qca rel () = Qca.automaton_views ~alphabet Instances.fifo_spec_eta rel in
-  let point ~id name mk = Pq_checks.equivalence_claim ~id ~paper:"Section 3.1" name mk ~alphabet ~depth in
+  (* The FIFO QCA points have by far the largest envelope-saturated state
+     spaces in the catalog: a certified simulation costs several seconds
+     each where bounded enumeration costs a fraction of one, so under
+     Auto they stay on the enumeration fallback. *)
+  let point ~id name mk =
+    Pq_checks.equivalence_claim ~id
+      ?strategy:(Relax_proof.Strategy.heavy strategy)
+      ~paper:"Section 3.1" name mk ~alphabet ~depth
+  in
   let sd rel () =
     Serial.is_serial_dependency Fifo.automaton rel ~alphabet
       ~depth:(min depth 4)
@@ -61,13 +69,13 @@ let claims ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2)) ?(depth = 5)
         = []);
   ]
 
-let group ?alphabet ?depth () =
+let group ?alphabet ?depth ?strategy () =
   {
     Relax_claims.Registry.gid = "fifo";
     title = "Section 3.1 replicated FIFO queue, fully characterized";
     header = "== Section 3.1: the replicated FIFO queue, fully characterized ==\n";
-    claims = claims ?alphabet ?depth ();
+    claims = claims ?alphabet ?depth ?strategy ();
   }
 
-let run ?alphabet ?depth ppf () =
-  Relax_claims.Engine.run_print (group ?alphabet ?depth ()) ppf
+let run ?alphabet ?depth ?strategy ppf () =
+  Relax_claims.Engine.run_print (group ?alphabet ?depth ?strategy ()) ppf

@@ -4,18 +4,29 @@ open Relax_core
     the paper's Section 3.1 motivating example — fully characterized:
     {Q1,Q2} -> FIFO, {Q1} -> RFQ (replayable FIFO), {Q2} -> Bag,
     {} -> DegenPQ, plus serial-dependency and monotonicity checks —
-    claims under ["fifo/"]. *)
+    claims under ["fifo/"].  With [strategy] the four lattice points
+    route through the proof pipeline of [relax_proof]. *)
 
 type check = Pq_checks.check = { name : string; ok : bool; detail : string }
 
 val claims :
-  ?alphabet:Language.alphabet -> ?depth:int -> unit -> Relax_claims.Claim.t list
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  ?strategy:Relax_proof.Strategy.t ->
+  unit ->
+  Relax_claims.Claim.t list
 
 val group :
   ?alphabet:Language.alphabet ->
   ?depth:int ->
+  ?strategy:Relax_proof.Strategy.t ->
   unit ->
   Relax_claims.Registry.group
 
 val run :
-  ?alphabet:Language.alphabet -> ?depth:int -> Format.formatter -> unit -> bool
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  ?strategy:Relax_proof.Strategy.t ->
+  Format.formatter ->
+  unit ->
+  bool

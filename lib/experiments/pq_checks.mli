@@ -12,8 +12,27 @@ type check = { name : string; ok : bool; detail : string }
 
 val pp_check : check Fmt.t
 
-(** A verdict whose human rendering is the legacy [pp_check] line. *)
-val verdict_of_check : ?counterexample:string -> check -> Relax_claims.Verdict.t
+(** The enqueue-envelope weight of the proof pipeline on the queue
+    alphabets: 1 per enqueue, 0 otherwise. *)
+val queue_weight : Op.t -> int
+
+(** The {!Relax_claims.Verdict.proof_method} view of a pipeline
+    method. *)
+val method_of_pipeline :
+  Relax_proof.Pipeline.method_ -> Relax_claims.Verdict.proof_method
+
+(** The method column of the human reporter ([" [proved: sim, ≤N enqs]"]
+    / [" [bounded: enum]"]); empty for claims outside the pipeline. *)
+val method_suffix : Relax_claims.Verdict.proof_method option -> string
+
+(** A verdict whose human rendering is the legacy [pp_check] line,
+    followed by the method column when the claim routed through the
+    proof pipeline. *)
+val verdict_of_check :
+  ?counterexample:string ->
+  ?proof_method:Relax_claims.Verdict.proof_method ->
+  check ->
+  Relax_claims.Verdict.t
 
 (** A claim decided by a thunk returning a check and an optional rendered
     separating history. *)
@@ -23,6 +42,15 @@ val check_claim :
   paper:string ->
   description:string ->
   (unit -> check * string option) ->
+  Relax_claims.Claim.t
+
+(** {!check_claim} for checks that also report how they were proved. *)
+val proof_claim :
+  id:string ->
+  kind:Relax_claims.Claim.kind ->
+  paper:string ->
+  description:string ->
+  (unit -> check * string option * Relax_claims.Verdict.proof_method option) ->
   Relax_claims.Claim.t
 
 (** A claim decided by a bare boolean thunk; the string names it. *)
@@ -35,10 +63,21 @@ val bool_claim :
   Relax_claims.Claim.t
 
 (** A bounded language-equivalence claim; the thunk builds both automata
-    inside the claim.  [kind] defaults to [Equivalence]. *)
+    inside the claim.  [kind] defaults to [Equivalence].  With
+    [strategy] the decision routes through the proof pipeline of
+    [relax_proof] (simulation synthesis under the enqueue envelope,
+    bounded-enumeration fallback) and the verdict carries the method;
+    without it the claim is decided exactly as before, by
+    {!Relax_core.Language.equivalent}.  [audit] ([audit_rev]) is the
+    reified-equality oracle for the forward (reverse) certification
+    pass — construct it eagerly so the larch theories are elaborated on
+    the main domain, not inside the (possibly parallel) claim thunk. *)
 val equivalence_claim :
   id:string ->
   ?kind:Relax_claims.Claim.kind ->
+  ?strategy:Relax_proof.Strategy.t ->
+  ?audit:('v -> 'w -> [ `Equal | `Unequal | `Unknown ]) ->
+  ?audit_rev:('w -> 'v -> [ `Equal | `Unequal | `Unknown ]) ->
   paper:string ->
   string ->
   (unit -> 'v Automaton.t * 'w Automaton.t) ->
@@ -46,16 +85,27 @@ val equivalence_claim :
   depth:int ->
   Relax_claims.Claim.t
 
-(** All claims; defaults: universe {1,2}, depth 5. *)
+(** All claims; defaults: universe {1,2}, depth 5, no strategy (legacy
+    checkers). *)
 val claims :
-  ?alphabet:Language.alphabet -> ?depth:int -> unit -> Relax_claims.Claim.t list
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  ?strategy:Relax_proof.Strategy.t ->
+  unit ->
+  Relax_claims.Claim.t list
 
 val group :
   ?alphabet:Language.alphabet ->
   ?depth:int ->
+  ?strategy:Relax_proof.Strategy.t ->
   unit ->
   Relax_claims.Registry.group
 
 (** Check and print every claim; [true] when all pass. *)
 val run :
-  ?alphabet:Language.alphabet -> ?depth:int -> Format.formatter -> unit -> bool
+  ?alphabet:Language.alphabet ->
+  ?depth:int ->
+  ?strategy:Relax_proof.Strategy.t ->
+  Format.formatter ->
+  unit ->
+  bool

@@ -1,0 +1,40 @@
+open Relax_core
+
+(* The finite-envelope monitor.
+
+   The queue-family languages are not regular — no finite ground
+   certificate can witness an unbounded language inclusion outright.
+   But every automaton in this reproduction builds its state content
+   solely from the values its history has enqueued (dequeue-driven
+   components — stuttering counts, replay boundaries, absent sets — are
+   bounded by construction), so intersecting a language with the
+   history-level envelope
+
+     E_N = { H | sum of weight(p) over p in H <= N }
+
+   makes the automaton finite-state, and a breadth-first saturation of
+   the product genuinely terminates.  The monitor is a counter product:
+   it applies the *same* restriction to both sides of an inclusion
+   (L(restrict a) = L(a) ∩ E_N), which is always sound — a simulation
+   between the restricted automata proves the inclusion for every
+   history inside the envelope, at any length. *)
+
+let restrict ~(weight : Op.t -> int) ~budget (a : 'v Automaton.t) :
+    ('v * int) Automaton.t =
+  let equal (s, n) (s', n') = n = n' && Automaton.equal_state a s s' in
+  let hash =
+    Option.map
+      (fun h (s, n) -> (h s * 31) + n)
+      (Automaton.hash_state a)
+  in
+  let pp_state ppf (s, n) =
+    Fmt.pf ppf "%a@%d" (Automaton.pp_state a) s n
+  in
+  Automaton.make ~pp_state ?hash
+    ~name:(Automaton.name a)
+    ~init:(Automaton.init a, 0)
+    ~equal
+    (fun (s, n) p ->
+      let n' = n + weight p in
+      if n' > budget then []
+      else List.map (fun s' -> (s', n')) (Automaton.step a s p))

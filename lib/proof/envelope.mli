@@ -1,0 +1,19 @@
+open Relax_core
+
+(** The finite-envelope monitor behind the simulation synthesizer.
+
+    [restrict ~weight ~budget a] accepts exactly the histories of [a]
+    whose accumulated [weight] stays within [budget]:
+    [L(restrict a) = L(a) ∩ E] for the history-level envelope
+    [E = { H | Σ weight(p) ≤ budget }].  Because the envelope depends
+    only on the history, restricting both sides of an inclusion is
+    sound: a forward simulation between the restricted automata proves
+    [L(a) ∩ E ⊆ L(b) ∩ E] — every history inside the envelope, at any
+    length.  With [weight] counting enqueues, every automaton in this
+    reproduction becomes finite-state under the envelope (state content
+    derives from enqueued values only), so saturation terminates.
+
+    The restriction keeps the inner automaton's display name and
+    propagates its hash. *)
+val restrict :
+  weight:(Op.t -> int) -> budget:int -> 'v Automaton.t -> ('v * int) Automaton.t

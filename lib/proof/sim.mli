@@ -1,0 +1,92 @@
+open Relax_core
+
+(** Forward-simulation synthesis and certification over the determinized
+    product of two (envelope-restricted, see {!Envelope}) automata.
+
+    A candidate relation relates reachable A-state-sets to B-state-sets
+    of the subset construction, interned through
+    {!Relax_core.Language.Intern}.  It is a forward simulation when the
+    initial pair is in it, every A-step from a related pair is matched
+    by a B-step on the same invocation/response symbol (output
+    matching), and the successor pair is again in the relation — which
+    proves [L(a) ⊆ L(b)] for every history of any length that both
+    automata are defined on. *)
+
+type reason =
+  | Refuted  (** an A-step with no matching B-step was reached *)
+  | Budget_exhausted  (** more reachable pairs than [max_pairs] *)
+  | Unhashed  (** a side carries no state hash; nothing to intern *)
+
+val reason_to_string : reason -> string
+
+(** A candidate relation.  [pairs] is exposed so adversarial tests can
+    plant a corrupted relation and assert that {!certify} rejects it. *)
+type ('va, 'vb) candidate = {
+  a : 'va Automaton.t;
+  b : 'vb Automaton.t;
+  alphabet : Op.t list;
+  pairs : ('va list * 'vb list) list;  (** BFS order; deterministic *)
+}
+
+type failure =
+  | Init_absent
+  | Output_unmatched of Op.t
+  | Not_closed of Op.t
+  | Audit_refuted
+      (** the larch rewriting engine refuted a matched state pair *)
+
+val failure_to_string : failure -> string
+
+type cert = {
+  relation : int;  (** pairs in the certified relation *)
+  obligations : int;  (** obligations discharged by {!certify} *)
+}
+
+val default_max_pairs : int
+
+(** A memoizing stepper over an interned automaton: each distinct
+    (state-set, operation) edge computes — and hashes — its successor
+    set exactly once; revisits are table lookups on interned keys.
+    Sharing one stepper between synthesis, certification and both
+    directions of an equivalence removes the redundant transition
+    recomputation — the obligations are still discharged against the
+    automaton's own transition function, evaluated once per distinct
+    edge. *)
+module Stepper : sig
+  type 'v t
+
+  val create : 'v Automaton.t -> 'v t
+
+  (** Whether the underlying automaton carries a state hash (memoized
+      stepping and interning need one). *)
+  val hashed : 'v t -> bool
+end
+
+(** Breadth-first saturation of the reachable product pairs — the least
+    candidate simulation.  Deterministic: pair order is BFS order over
+    the caller's alphabet order.  [stepper_a]/[stepper_b] share
+    memoized transitions with other passes over the same automata. *)
+val synthesize :
+  ?max_pairs:int ->
+  ?stepper_a:'va Stepper.t ->
+  ?stepper_b:'vb Stepper.t ->
+  'va Automaton.t ->
+  'vb Automaton.t ->
+  alphabet:Op.t list ->
+  (('va, 'vb) candidate, reason) result
+
+(** Independently re-discharges every obligation of a candidate (init,
+    per-pair output matching, step closure) without trusting how it was
+    produced.  [audit], when given, is a reified-equality oracle
+    (typically {!Relax_larch.Trait.decide_equal} over
+    {!Relax_larch.Reify} terms): every deterministically-matched state
+    pair ([singleton], [singleton]) is compared modulo the theory
+    before the ground closure checks run, and [`Unequal] rejects the
+    candidate.  On success the discharged obligation count and relation
+    size are added to {!Relax_core.Language.Stats}. *)
+val certify :
+  ?audit:('va -> 'vb -> [ `Equal | `Unequal | `Unknown ]) ->
+  ?stepper_a:'va Stepper.t ->
+  ?stepper_b:'vb Stepper.t ->
+  ('va, 'vb) candidate ->
+  (cert, failure) result

@@ -1,0 +1,22 @@
+(** Proof strategies for the language claims (see {!Pipeline}). *)
+
+type t =
+  | Auto  (** try simulation synthesis, fall back to bounded enumeration *)
+  | Simulation
+      (** the same pipeline, requested explicitly — claims that still
+          fall back are visible by their [Bounded] proof method *)
+  | Bounded_enum  (** depth-bounded enumeration only, never synthesize *)
+
+val to_string : t -> string
+
+(** Accepts ["auto" | "sim" | "simulation" | "enum" | "bounded"]. *)
+val of_string : string -> t option
+
+val pp : t Fmt.t
+
+(** [heavy strategy] downgrades [Some Auto] to [Some Bounded_enum],
+    passing every other strategy through.  Claim groups apply it to the
+    few claims whose saturated envelopes dwarf their bounded search, so
+    [Auto] stays as fast as the legacy checkers while an explicit
+    [Simulation] request still attempts the synthesis. *)
+val heavy : t option -> t option

@@ -206,10 +206,13 @@ let fake_claim ?(ok = true) id =
 let fake_group ?(gid = "x") ?(header = "") claims =
   { Registry.gid; title = gid; header; claims }
 
-(* The full catalog at the golden transcript's depth.  Built once; claim
-   thunks construct their automata internally, so one registry value can
-   be run any number of times. *)
-let registry = Relax_experiments.Catalog.registry ~depth:5 ()
+(* The full catalog at the golden transcript's depth, under the CLI's
+   default proof strategy (Auto: simulation with enumeration fallback).
+   Built once; claim thunks construct their automata internally, so one
+   registry value can be run any number of times. *)
+let registry =
+  Relax_experiments.Catalog.registry ~depth:5
+    ~strategy:Relax_proof.Strategy.Auto ()
 
 (* ------------------------------------------------------------------ *)
 (* Registry: validation and selection                                  *)

@@ -1,0 +1,289 @@
+(* The proof pipeline: forward-simulation synthesis, certification,
+   envelope soundness, and the adversarial (planted-candidate) path.
+
+   The load-bearing properties:
+   - a certified simulation and the bounded enumeration agree on every
+     lattice-neighbour verdict, at every depth in 5..8;
+   - verdicts and proof methods are identical at jobs 1 and 4;
+   - a corrupted candidate relation never certifies: the larch audit
+     refutes it, and the pipeline falls back to enumeration instead of
+     reporting a proved simulation. *)
+
+open Relax_core
+open Relax_objects
+module Sim = Relax_proof.Sim
+module Strategy = Relax_proof.Strategy
+module Envelope = Relax_proof.Envelope
+module Pipeline = Relax_proof.Pipeline
+
+let alphabet = Queue_ops.alphabet (Queue_ops.universe 2)
+let weight = Relax_experiments.Pq_checks.queue_weight
+
+let is_proved = function Pipeline.Proved_simulation _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Strategy                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_tests =
+  [
+    Alcotest.test_case "strings round-trip" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) (Strategy.to_string s) true
+              (Strategy.of_string (Strategy.to_string s) = Some s))
+          [ Strategy.Auto; Strategy.Simulation; Strategy.Bounded_enum ];
+        Alcotest.(check bool) "aliases" true
+          (Strategy.of_string "simulation" = Some Strategy.Simulation
+          && Strategy.of_string "bounded" = Some Strategy.Bounded_enum
+          && Strategy.of_string "nonsense" = None));
+    Alcotest.test_case "heavy demotes Auto only" `Quick (fun () ->
+        Alcotest.(check bool) "auto -> enum" true
+          (Strategy.heavy (Some Strategy.Auto) = Some Strategy.Bounded_enum);
+        Alcotest.(check bool) "sim passes through" true
+          (Strategy.heavy (Some Strategy.Simulation) = Some Strategy.Simulation);
+        Alcotest.(check bool) "none passes through" true
+          (Strategy.heavy None = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Envelope soundness                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let envelope_tests =
+  [
+    Alcotest.test_case
+      "restricted language = original language within the envelope" `Quick
+      (fun () ->
+        let a = Semiqueue.automaton 2 in
+        let budget = 2 in
+        let restricted = Envelope.restrict ~weight ~budget a in
+        let inside h =
+          List.fold_left (fun acc p -> acc + weight p) 0 (History.to_list h)
+          <= budget
+        in
+        let expected =
+          List.filter inside (Language.enumerate a ~alphabet ~depth:5)
+        and got = Language.enumerate restricted ~alphabet ~depth:5 in
+        Alcotest.(check (list string))
+          "histories"
+          (List.map History.to_string expected)
+          (List.map History.to_string got));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulation verdicts agree with the bounded enumeration              *)
+(* ------------------------------------------------------------------ *)
+
+(* Heterogeneous state types, so the neighbour matrix fits in one list. *)
+type any = Any : 'v Automaton.t -> any
+
+(* Lattice-neighbour pairs from Section 4.2, in both directions: the
+   holding inclusions must be *proved* by a certified simulation, the
+   failing ones must refute with exactly the legacy counterexample. *)
+let neighbour_pairs () =
+  [
+    ("semiqueue1 <= fifo", Any (Semiqueue.automaton 1), Any Fifo.automaton);
+    ("fifo <= semiqueue1", Any Fifo.automaton, Any (Semiqueue.automaton 1));
+    ("semiqueue1 <= semiqueue2", Any (Semiqueue.automaton 1), Any (Semiqueue.automaton 2));
+    ("semiqueue2 <= semiqueue3", Any (Semiqueue.automaton 2), Any (Semiqueue.automaton 3));
+    ("semiqueue2 <= semiqueue1 (fails)", Any (Semiqueue.automaton 2), Any (Semiqueue.automaton 1));
+    ("stuttering1 <= stuttering2", Any (Stuttering.automaton 1), Any (Stuttering.automaton 2));
+    ("stuttering2 <= stuttering1 (fails)", Any (Stuttering.automaton 2), Any (Stuttering.automaton 1));
+    ("fifo <= bag", Any Fifo.automaton, Any Bag.automaton);
+    ("bag <= fifo (fails)", Any Bag.automaton, Any Fifo.automaton);
+  ]
+
+let agreement_at ~depth =
+  List.iter
+    (fun (label, Any a, Any b) ->
+      let label = Fmt.str "%s @ depth %d" label depth in
+      let enum = Language.included a b ~alphabet ~depth in
+      let sim, meth =
+        Pipeline.included ~strategy:Strategy.Simulation ~weight a b ~alphabet
+          ~depth
+      in
+      (match (enum, sim) with
+      | Ok (), Ok () ->
+        (* a verdict that holds must come out of the synthesizer as a
+           certified, depth-unbounded proof, not a silent fallback *)
+        Alcotest.(check bool) (label ^ ": proved by simulation") true
+          (is_proved meth)
+      | Error e, Error s ->
+        Alcotest.(check string)
+          (label ^ ": identical counterexample")
+          (History.to_string e.Language.history)
+          (History.to_string s.Language.history)
+      | Ok (), Error _ | Error _, Ok () ->
+        Alcotest.fail (label ^ ": simulation and enumeration disagree")))
+    (neighbour_pairs ())
+
+let agreement_tests =
+  [
+    Alcotest.test_case "neighbour verdicts agree at depths 5..8" `Slow
+      (fun () ->
+        List.iter (fun depth -> agreement_at ~depth) [ 5; 6; 7; 8 ]);
+    Alcotest.test_case "equivalence: both directions certified" `Quick
+      (fun () ->
+        let r, meth =
+          Pipeline.equivalent ~strategy:Strategy.Simulation ~weight
+            (Semiqueue.automaton 1) Fifo.automaton ~alphabet ~depth:5
+        in
+        Alcotest.(check bool) "holds" true (r = Ok ());
+        match meth with
+        | Pipeline.Proved_simulation { enqs; relation; obligations } ->
+          Alcotest.(check int) "budget is the depth" 5 enqs;
+          Alcotest.(check bool) "both relations counted" true (relation > 0);
+          Alcotest.(check bool) "obligations discharged" true
+            (obligations > relation)
+        | Pipeline.Bounded _ -> Alcotest.fail "expected a simulation proof");
+    Alcotest.test_case "strict inclusion carries a real witness" `Quick
+      (fun () ->
+        let r, meth =
+          Pipeline.strictly_included ~strategy:Strategy.Simulation ~weight
+            (Semiqueue.automaton 1)
+            (Semiqueue.automaton 2)
+            ~alphabet ~depth:5
+        in
+        Alcotest.(check bool) "proved" true (is_proved meth);
+        match r with
+        | Ok (Some w) ->
+          Alcotest.(check bool) "non-empty witness" true (History.length w > 0)
+        | _ -> Alcotest.fail "expected a strictness witness");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across job counts                                       *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_fingerprint results =
+  List.concat_map
+    (fun (_, outcomes) ->
+      List.map
+        (fun o ->
+          Fmt.str "%s ok=%b method=%a" o.Relax_claims.Engine.claim.Relax_claims.Claim.id
+            (Relax_claims.Verdict.ok o.Relax_claims.Engine.verdict)
+            Fmt.(option ~none:(any "-") Relax_claims.Verdict.pp_proof_method)
+            o.Relax_claims.Engine.verdict.Relax_claims.Verdict.proof_method)
+        outcomes)
+    results
+
+let determinism_tests =
+  [
+    Alcotest.test_case "verdicts and methods identical at jobs 1 and 4" `Slow
+      (fun () ->
+        let registry () =
+          Relax_experiments.Catalog.registry ~depth:5
+            ~strategy:Strategy.Auto ()
+        in
+        let one = outcome_fingerprint (Relax_claims.Engine.run ~jobs:1 (registry ()))
+        and four = outcome_fingerprint (Relax_claims.Engine.run ~jobs:4 (registry ())) in
+        Alcotest.(check (list string)) "fingerprints" one four);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial certification: planted wrong candidates                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Corrupt a candidate by swapping the B-sides of two deterministically
+   matched pairs with different B contents.  The swap preserves the
+   multiset of relation keys (reordering alone would be invisible: keys
+   are set-canonical), but mismatches what the states claim to equal.
+   The initial pair (BFS head) is left alone so the corruption reaches
+   the audit sweep instead of tripping the init obligation. *)
+let swap_b_sides pairs =
+  let non_init = match pairs with [] -> [] | _ :: tl -> tl in
+  let singletons =
+    List.filter
+      (fun (sa, sb) -> List.length sa = 1 && List.length sb = 1)
+      non_init
+  in
+  match
+    List.find_map
+      (fun (_, sb1) ->
+        List.find_map
+          (fun (sa2, sb2) -> if sb1 <> sb2 then Some (sb1, sa2, sb2) else None)
+          singletons)
+      singletons
+  with
+  | None -> Alcotest.fail "no two distinct singleton pairs to corrupt"
+  | Some (sb1, sa2, sb2) ->
+    List.map
+      (fun (sa, sb) ->
+        if sb == sb1 then (sa, sb2)
+        else if sa == sa2 && sb == sb2 then (sa, sb1)
+        else (sa, sb))
+      pairs
+
+let fifoq_audit =
+  lazy
+    (let fifoq = Relax_larch.Theories.fifoq () in
+     fun (x, _) (y, _) ->
+       Relax_larch.Trait.decide_equal fifoq
+         (Relax_larch.Reify.semiqueue x)
+         (Relax_larch.Reify.fifo y))
+
+let restricted_pair ~budget =
+  ( Envelope.restrict ~weight ~budget (Semiqueue.automaton 1),
+    Envelope.restrict ~weight ~budget Fifo.automaton )
+
+let adversarial_tests =
+  [
+    Alcotest.test_case "pristine candidate certifies, with audit" `Quick
+      (fun () ->
+        let ea, eb = restricted_pair ~budget:5 in
+        match Sim.synthesize ea eb ~alphabet with
+        | Error r -> Alcotest.fail (Sim.reason_to_string r)
+        | Ok cand -> (
+          match Sim.certify ~audit:(Lazy.force fifoq_audit) cand with
+          | Ok cert ->
+            Alcotest.(check bool) "relation non-trivial" true
+              (cert.Sim.relation > 1)
+          | Error f -> Alcotest.fail (Sim.failure_to_string f)));
+    Alcotest.test_case "planted candidate is refuted by the larch audit"
+      `Quick (fun () ->
+        let ea, eb = restricted_pair ~budget:5 in
+        match Sim.synthesize ea eb ~alphabet with
+        | Error r -> Alcotest.fail (Sim.reason_to_string r)
+        | Ok cand -> (
+          let planted = { cand with Sim.pairs = swap_b_sides cand.Sim.pairs } in
+          match Sim.certify ~audit:(Lazy.force fifoq_audit) planted with
+          | Ok _ -> Alcotest.fail "corrupted relation certified"
+          | Error f ->
+            Alcotest.(check string) "audit refutes before ground closure"
+              (Sim.failure_to_string Sim.Audit_refuted)
+              (Sim.failure_to_string f)));
+    Alcotest.test_case "planted candidate fails even without the audit"
+      `Quick (fun () ->
+        let ea, eb = restricted_pair ~budget:5 in
+        match Sim.synthesize ea eb ~alphabet with
+        | Error r -> Alcotest.fail (Sim.reason_to_string r)
+        | Ok cand -> (
+          let planted = { cand with Sim.pairs = swap_b_sides cand.Sim.pairs } in
+          match Sim.certify planted with
+          | Ok _ -> Alcotest.fail "corrupted relation certified"
+          | Error _ -> ()));
+    Alcotest.test_case "pipeline falls back to enumeration, not PROVED"
+      `Quick (fun () ->
+        let r, meth =
+          Pipeline.included ~strategy:Strategy.Simulation
+            ~tamper:swap_b_sides ~weight (Semiqueue.automaton 1)
+            Fifo.automaton ~alphabet ~depth:5
+        in
+        Alcotest.(check bool) "inclusion still holds (via enumeration)" true
+          (r = Ok ());
+        match meth with
+        | Pipeline.Bounded { depth } -> Alcotest.(check int) "depth" 5 depth
+        | Pipeline.Proved_simulation _ ->
+          Alcotest.fail "tampered run must not report a simulation proof");
+  ]
+
+let () =
+  Alcotest.run "proof"
+    [
+      ("strategy", strategy_tests);
+      ("envelope", envelope_tests);
+      ("agreement", agreement_tests);
+      ("determinism", determinism_tests);
+      ("adversarial", adversarial_tests);
+    ]
