@@ -333,6 +333,104 @@ let print_chaos_sweep () =
         (oracle *. 1000.)
 
 (* ------------------------------------------------------------------ *)
+(* X-ldfi: lineage-driven fault injection                              *)
+(* ------------------------------------------------------------------ *)
+
+module Ldfi = Relax_ldfi
+module Ldfi_x = Relax_experiments.Ldfi_x
+
+(* Lineage-extraction overhead: the same conforming run untraced (what
+   each random-sweep execution pays) and traced into a support graph
+   (what each LDFI execution pays) — the delta between the two rows is
+   the per-run price of lineage. *)
+let ldfi_events =
+  let tracer = Relax_obs.Tracer.create () in
+  Relax_obs.Tracer.Ambient.with_tracer tracer (fun () ->
+      ignore (Chaos_x.run_trace chaos_trace));
+  Relax_obs.Tracer.events tracer
+
+let rows_ldfi_lineage =
+  [
+    ( "ldfi/run-untraced (X-ldfi)",
+      fun () -> ignore (Chaos_x.run_trace chaos_trace) );
+    ( "ldfi/run+lineage-extraction (X-ldfi)",
+      fun () ->
+        let tracer = Relax_obs.Tracer.create () in
+        Relax_obs.Tracer.Ambient.with_tracer tracer (fun () ->
+            ignore (Chaos_x.run_trace chaos_trace));
+        ignore (Ldfi.Support.of_events (Relax_obs.Tracer.events tracer)) );
+    ( "ldfi/support-of-events (X-ldfi)",
+      fun () -> ignore (Ldfi.Support.of_events ldfi_events) );
+  ]
+
+(* Solver wall-clock vs failure budget.  The CNF is synthetic but
+   lineage-shaped: one clause per goal mixing a few coarse (crash-like,
+   < 100) variables with several fine (drop-like, >= 100) ones, the
+   positive monotone structure {!Relax_ldfi.Solver} is specialized to.
+   Budget rows widen the crash allowance the way `rlx ldfi hunt` does. *)
+let ldfi_cnf =
+  List.init 60 (fun g ->
+      let crash i = (g + (5 * i)) mod 15 in
+      let drop i = 100 + (((7 * g) + (3 * i)) mod 240) in
+      [ crash 0; crash 1; crash 2; drop 0; drop 1; drop 2; drop 3 ])
+
+let ldfi_solver_cfg ~max_crashes ~max_drops =
+  {
+    Ldfi.Solver.compare = Int.compare;
+    admissible =
+      (fun vars ->
+        let crashes = List.length (List.filter (fun v -> v < 100) vars) in
+        crashes <= max_crashes && List.length vars - crashes <= max_drops);
+    max_size = max_crashes + max_drops;
+    max_models = 100_000;
+  }
+
+let rows_ldfi_solver =
+  let row ~max_crashes ~max_drops =
+    let cfg = ldfi_solver_cfg ~max_crashes ~max_drops in
+    ( Fmt.str "ldfi/solver-budget-%dc%dd (X-ldfi)" max_crashes max_drops,
+      fun () -> ignore (Ldfi.Solver.models cfg ldfi_cnf) )
+  in
+  [
+    row ~max_crashes:1 ~max_drops:1;
+    row ~max_crashes:2 ~max_drops:1;
+    row ~max_crashes:3 ~max_drops:1;
+  ]
+
+(* The hunt (`rlx ldfi hunt`) at a reduced workload, as wall-clock:
+   executions-to-violation for the guided search vs the random baseline
+   over the same fault space and budget.  The baseline gets ten times
+   the guided execution count; finding nothing within that cap is the
+   >=10x speedup holding by construction. *)
+let print_ldfi_hunt () =
+  Fmt.pr "@.== ldfi hunt (wipe nemesis, guided vs random) ==@.";
+  let config = { Ldfi_x.hunt_config with Relax_chaos.Runner.requests = 4 } in
+  let t0 = Unix.gettimeofday () in
+  match Ldfi_x.hunt ~config "top" with
+  | Error e -> Fmt.pr "hunt error: %s@." e
+  | Ok h ->
+    let wall = Unix.gettimeofday () -. t0 in
+    let g = h.Ldfi_x.guided and r = h.Ldfi_x.random in
+    (match g.Ldfi_x.violation with
+    | Some v ->
+      Fmt.pr "ldfi/guided-to-violation  %6d executions  {%s}@."
+        g.Ldfi_x.stats.Ldfi.Search.executions
+        (String.concat "; " v.Ldfi_x.fault_set)
+    | None ->
+      Fmt.pr "ldfi/guided-to-violation  none within %d executions@."
+        g.Ldfi_x.stats.Ldfi.Search.executions);
+    (match (r.Ldfi_x.violation, h.Ldfi_x.speedup) with
+    | Some _, Some x ->
+      Fmt.pr "ldfi/random-to-violation  %6d executions  (guided %.1fx faster)@."
+        r.Ldfi_x.stats.Ldfi.Search.executions x
+    | _ ->
+      Fmt.pr
+        "ldfi/random-to-violation  none within the %d-execution cap (>=10x by \
+         construction)@."
+        h.Ldfi_x.random_cap);
+    Fmt.pr "ldfi/hunt wall-clock      %8.1f ms@." (wall *. 1000.)
+
+(* ------------------------------------------------------------------ *)
 (* X-degrade: the degradation controller                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -618,7 +716,8 @@ let print_trace_overhead () =
 
 let all_rows =
   rows_larch @ rows_conformance @ rows_core @ rows_prob @ rows_sim
-  @ rows_extensions @ rows_chaos @ rows_degrade @ rows_claims @ rows_proof
+  @ rows_extensions @ rows_chaos @ rows_ldfi_lineage @ rows_ldfi_solver
+  @ rows_degrade @ rows_claims @ rows_proof
 
 let all_tests =
   Test.make_grouped ~name:"relax"
@@ -684,6 +783,7 @@ let () =
         | Some _ | None -> Fmt.pr "%-55s %14s@." name "n/a")
       rows;
     print_chaos_sweep ();
+    print_ldfi_hunt ();
     print_degrade_sweep ();
     print_load_sweep ();
     print_proof_pipeline ();

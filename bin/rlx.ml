@@ -24,6 +24,12 @@
                           replayable traces
      rlx chaos replay FILE  deterministically replay a recorded trace
      rlx chaos list       the known lattice points and nemeses
+     rlx ldfi run         lineage-driven fault injection: exhaustive
+                          fault coverage within a failure budget, or a
+                          shrunken counterexample
+     rlx ldfi hunt        guided vs random executions-to-violation on
+                          the planted volatile-logs bug
+     rlx ldfi report FILE re-render a recorded coverage document
      rlx degrade run      one controller-vs-static comparison with the
                           mode-switch timeline
      rlx degrade sweep    seeded degradation sweeps: availability uplift
@@ -697,6 +703,307 @@ let degrade_cmd =
   in
   Cmd.group (Cmd.info "degrade" ~doc) [ run_cmd; sweep_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* rlx ldfi                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* LDFI's workload is shorter than the sweep default (many executions
+   per point), so the base config comes from Ldfi_x, with the same
+   client knobs folded over it. *)
+let ldfi_config ?(base = Relax_experiments.Ldfi_x.default_config) ?sites
+    ?requests ?timeout ?retries ?backoff () =
+  let d = base in
+  {
+    d with
+    Relax_chaos.Runner.sites =
+      Option.value sites ~default:d.Relax_chaos.Runner.sites;
+    requests = Option.value requests ~default:d.Relax_chaos.Runner.requests;
+    timeout = Option.value timeout ~default:d.Relax_chaos.Runner.timeout;
+    retries = Option.value retries ~default:d.Relax_chaos.Runner.retries;
+    backoff = Option.value backoff ~default:d.Relax_chaos.Runner.backoff;
+  }
+
+let save_ldfi_violation trace_prefix point (v : Relax_experiments.Ldfi_x.violation) =
+  let path = Fmt.str "%s-%s.trace" trace_prefix point in
+  Relax_chaos.Trace.save path v.Relax_experiments.Ldfi_x.shrunk;
+  Fmt.pr "shrunken trace written to %s (replay with 'rlx chaos replay %s')@\n"
+    path path
+
+let ldfi_outcome_ok (o : Relax_experiments.Ldfi_x.outcome) =
+  o.Relax_experiments.Ldfi_x.violation = None
+  && (o.Relax_experiments.Ldfi_x.strategy <> "guided"
+     || o.Relax_experiments.Ldfi_x.stats.Relax_ldfi.Search.exhausted)
+
+let run_ldfi_run points jobs sites requests max_crashes max_drops
+    max_injections wipe strategy seed format out_file trace_prefix timeout
+    retries backoff =
+  apply_jobs jobs;
+  let module L = Relax_experiments.Ldfi_x in
+  let module S = Relax_ldfi.Search in
+  let module X = Relax_experiments.Chaos_scenarios in
+  let points = if points = [] then X.names else points in
+  let config = ldfi_config ?sites ?requests ?timeout ?retries ?backoff () in
+  let budget = { S.max_crashes; max_drops; max_injections } in
+  let strategy =
+    match strategy with `Guided -> `Guided | `Random -> `Random seed
+  in
+  match L.run_points ?jobs ~config ~wipe ~budget ~strategy points with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    2
+  | Ok outcomes ->
+    (match format with
+    | `Json -> Fmt.pr "%s@." (L.coverage_json ~budget ~wipe outcomes)
+    | `Tap -> L.coverage_tap Fmt.stdout outcomes
+    | `Human ->
+      Fmt.pr
+        "== ldfi: budget %d crash / %d drop (cap %d injections), %d sites, \
+         %d requests, wipe %b ==@\n"
+        max_crashes max_drops max_injections
+        config.Relax_chaos.Runner.sites config.Relax_chaos.Runner.requests
+        wipe;
+      List.iter (fun o -> Fmt.pr "%a@\n" L.pp_outcome o) outcomes;
+      List.iter
+        (fun (o : L.outcome) ->
+          Option.iter
+            (save_ldfi_violation trace_prefix o.L.point)
+            o.L.violation)
+        outcomes;
+      let exhausted = List.filter ldfi_outcome_ok outcomes in
+      Fmt.pr "coverage: %d/%d points exhausted with 0 violations@."
+        (List.length exhausted) (List.length outcomes));
+    (match out_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (L.coverage_json ~budget ~wipe outcomes);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.epr "coverage document written to %s@." path);
+    exit_of (List.for_all ldfi_outcome_ok outcomes)
+
+let run_ldfi_hunt point sites requests max_crashes max_drops max_injections
+    seed trace_prefix timeout retries backoff =
+  let module L = Relax_experiments.Ldfi_x in
+  let module S = Relax_ldfi.Search in
+  let config =
+    ldfi_config ~base:L.hunt_config ?sites ?requests ?timeout ?retries
+      ?backoff ()
+  in
+  let budget = { S.max_crashes; max_drops; max_injections } in
+  match L.hunt ~config ~budget ~random_seed:seed point with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    2
+  | Ok r ->
+    Fmt.pr
+      "== ldfi hunt: planted volatile-logs bug at %s (every crash wipes the \
+       site) ==@\n"
+      point;
+    Fmt.pr "%a@\n" L.pp_outcome r.L.guided;
+    Fmt.pr "%a@\n" L.pp_outcome r.L.random;
+    Option.iter (save_ldfi_violation trace_prefix point) r.L.guided.L.violation;
+    let guided_execs = r.L.guided.L.stats.S.executions in
+    (match (r.L.guided.L.violation, r.L.speedup) with
+    | None, _ ->
+      Fmt.pr "guided search found no violation — the bug escaped@."
+    | Some _, Some x ->
+      Fmt.pr
+        "guided found it in %d executions, random in %d: %.1fx fewer@."
+        guided_execs r.L.random.L.stats.S.executions x
+    | Some _, None ->
+      Fmt.pr
+        "guided found it in %d executions; random found nothing within its \
+         %d-execution cap (>= %.0fx fewer)@."
+        guided_execs r.L.random_cap
+        (float_of_int r.L.random_cap /. float_of_int (max guided_execs 1)));
+    let ok =
+      r.L.guided.L.violation <> None
+      && match r.L.speedup with None -> true | Some x -> x >= 10.0
+    in
+    exit_of ok
+
+let run_ldfi_report file =
+  let module L = Relax_experiments.Ldfi_x in
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e ->
+    Fmt.epr "cannot read coverage document: %s@." e;
+    2
+  | doc -> (
+    match L.read_coverage doc with
+    | Error e ->
+      Fmt.epr "malformed coverage document %s: %s@." file e;
+      2
+    | Ok r ->
+      Fmt.pr "%a" L.pp_read_coverage r;
+      exit_of (L.read_ok r))
+
+let ldfi_cmd =
+  let points_arg =
+    let doc =
+      "Comma-separated lattice points to search (top | q1 | q2 | bottom | \
+       adaptive).  Defaults to all."
+    in
+    Arg.(value & opt module_sep_list [] & info [ "points" ] ~docv:"LIST" ~doc)
+  in
+  let sites_arg =
+    let doc = "Replica sites." in
+    Arg.(value & opt (some int) None & info [ "sites" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Client operations per run (the workload slots)." in
+    Arg.(value & opt (some int) None & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let budget_args ~crashes ~drops ~injections =
+    let crashes_arg =
+      let doc = "Failure budget: crash-window variables per fault set." in
+      Arg.(value & opt int crashes & info [ "max-crashes" ] ~docv:"N" ~doc)
+    in
+    let drops_arg =
+      let doc = "Failure budget: omitted message copies per fault set." in
+      Arg.(value & opt int drops & info [ "max-drops" ] ~docv:"N" ~doc)
+    in
+    let injections_arg =
+      let doc = "Cap on injected runs before the search gives up." in
+      Arg.(
+        value & opt int injections & info [ "max-injections" ] ~docv:"N" ~doc)
+    in
+    (crashes_arg, drops_arg, injections_arg)
+  in
+  let trace_prefix_arg =
+    let doc = "Filename prefix for shrunken violation traces." in
+    Arg.(
+      value & opt string "ldfi-violation"
+      & info [ "trace-prefix" ] ~docv:"PREFIX" ~doc)
+  in
+  let run_cmd =
+    let ci = Relax_ldfi.Search.ci_budget in
+    let crashes_arg, drops_arg, injections_arg =
+      budget_args ~crashes:ci.Relax_ldfi.Search.max_crashes
+        ~drops:ci.Relax_ldfi.Search.max_drops
+        ~injections:ci.Relax_ldfi.Search.max_injections
+    in
+    let wipe_arg =
+      let doc =
+        "Volatile-logs realization: every injected crash also wipes the \
+         site's log, deliberately breaking the stable-storage assumption \
+         (the planted bug `rlx ldfi hunt` searches for)."
+      in
+      Arg.(value & flag & info [ "wipe" ] ~doc)
+    in
+    let strategy_arg =
+      let doc =
+        "$(b,guided) (lineage-driven search, the default) or $(b,random) \
+         (the seeded baseline: same fault space and budget, no lineage)."
+      in
+      Arg.(
+        value
+        & opt (enum [ ("guided", `Guided); ("random", `Random) ]) `Guided
+        & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+    in
+    let ldfi_seed_arg =
+      let doc = "Seed of the $(b,random) baseline's sampling stream." in
+      Arg.(
+        value
+        & opt int Relax_sim.Engine.default_seed
+        & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+    in
+    let format_arg =
+      let doc =
+        "Output format: $(b,human), $(b,json) (the coverage document CI \
+         diffs) or $(b,tap) (TAP v14, one test per point)."
+      in
+      Arg.(
+        value
+        & opt (enum [ ("human", `Human); ("json", `Json); ("tap", `Tap) ])
+            `Human
+        & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+    in
+    let out_arg =
+      let doc =
+        "Also write the JSON coverage document to $(docv) (the CI artifact), \
+         whatever $(b,--format) prints."
+      in
+      Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    let exits =
+      Cmd.Exit.info
+        ~doc:
+          "every searched point reached exhaustive fault coverage: all \
+           candidate fault sets within the budget injected, 0 violations."
+        0
+      :: Cmd.Exit.info
+           ~doc:"a violation was found, or the injection cap was hit." 1
+      :: List.filter (fun i -> Cmd.Exit.info_code i > 1) Cmd.Exit.defaults
+    in
+    let doc =
+      "Search the fault space instead of sampling it: extract the lineage \
+       of a conforming run, solve for the minimal fault sets that could \
+       break it, inject exactly those, and iterate to exhaustive coverage \
+       or a shrunken counterexample."
+    in
+    Cmd.v (Cmd.info "run" ~doc ~exits)
+      Term.(
+        const run_ldfi_run $ points_arg $ jobs_arg $ sites_arg $ requests_arg
+        $ crashes_arg $ drops_arg $ injections_arg $ wipe_arg $ strategy_arg
+        $ ldfi_seed_arg $ format_arg $ out_arg $ trace_prefix_arg
+        $ timeout_arg $ retries_arg $ backoff_arg)
+  in
+  let hunt_cmd =
+    let hb = Relax_experiments.Ldfi_x.hunt_budget in
+    let crashes_arg, drops_arg, injections_arg =
+      budget_args ~crashes:hb.Relax_ldfi.Search.max_crashes
+        ~drops:hb.Relax_ldfi.Search.max_drops
+        ~injections:hb.Relax_ldfi.Search.max_injections
+    in
+    let point_arg =
+      let doc = "Lattice point to hunt at (top | q1 | q2 | bottom)." in
+      Arg.(value & pos 0 string "top" & info [] ~docv:"POINT" ~doc)
+    in
+    let hunt_seed_arg =
+      let doc = "Seed of the random baseline." in
+      Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+    in
+    let exits =
+      Cmd.Exit.info
+        ~doc:
+          "the guided search found a shrunken violating trace at least 10x \
+           faster (executions to first violation) than the random baseline."
+        0
+      :: Cmd.Exit.info ~doc:"it did not." 1
+      :: List.filter (fun i -> Cmd.Exit.info_code i > 1) Cmd.Exit.defaults
+    in
+    let doc =
+      "Race guided against random on the planted volatile-logs bug: with \
+       every crash wiping its site (breaking the stable-storage \
+       assumption), compare executions-to-first-violation.  The baseline \
+       gets ten times the guided execution count before giving up."
+    in
+    Cmd.v (Cmd.info "hunt" ~doc ~exits)
+      Term.(
+        const run_ldfi_hunt $ point_arg $ sites_arg $ requests_arg
+        $ crashes_arg $ drops_arg $ injections_arg $ hunt_seed_arg
+        $ trace_prefix_arg $ timeout_arg $ retries_arg $ backoff_arg)
+  in
+  let report_cmd =
+    let file_arg =
+      let doc = "A coverage document written by $(b,rlx ldfi run --out)." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    in
+    let doc =
+      "Render a recorded JSON coverage document and re-state its verdict \
+       (exit 0 iff every point reached exhaustive coverage with 0 \
+       violations)."
+    in
+    Cmd.v (Cmd.info "report" ~doc) Term.(const run_ldfi_report $ file_arg)
+  in
+  let doc =
+    "Lineage-driven fault injection: turn the chaos oracle from sampled \
+     into searched — per-point exhaustive fault coverage within a failure \
+     budget, or a minimal counterexample."
+  in
+  Cmd.group (Cmd.info "ldfi" ~doc) [ run_cmd; hunt_cmd; report_cmd ]
+
 let availability_cmd =
   let doc = "Availability of every lattice point (exact + Monte Carlo)." in
   Cmd.v
@@ -1103,7 +1410,7 @@ let main =
   Cmd.group
     (Cmd.info "rlx" ~version:"1.0.0" ~doc)
     [
-      check_cmd; figure_cmd; simulate_cmd; chaos_cmd; degrade_cmd;
+      check_cmd; figure_cmd; simulate_cmd; chaos_cmd; ldfi_cmd; degrade_cmd;
       availability_cmd; lattice_cmd; load_cmd; trait_cmd; compare_cmd;
       behaviors_cmd; trace_cmd; profile_cmd;
     ]

@@ -20,6 +20,7 @@ type action =
   | Duplicate of float (* message duplication probability from now on *)
   | Delay of float (* uniform extra per-message delay bound *)
   | Skew of int * float (* sender-side clock skew of one site *)
+  | Omit of int * int * int (* omit one delivery: src, dst, per-pair seq *)
 
 type event = { at : float; action : action }
 
@@ -36,6 +37,7 @@ let pp_action ppf = function
   | Duplicate p -> Fmt.pf ppf "dup %.3f" p
   | Delay d -> Fmt.pf ppf "delay %.1f" d
   | Skew (s, d) -> Fmt.pf ppf "skew %d %.1f" s d
+  | Omit (src, dst, seq) -> Fmt.pf ppf "omit %d>%d#%d" src dst seq
 
 let pp_event ppf e = Fmt.pf ppf "@[%8.1f %a@]" e.at pp_action e.action
 
@@ -47,6 +49,7 @@ let equal_action a b =
   | Drop x, Drop y | Duplicate x, Duplicate y | Delay x, Delay y ->
     Float.equal x y
   | Skew (s, x), Skew (s', y) -> s = s' && Float.equal x y
+  | Omit (a, b, c), Omit (a', b', c') -> a = a' && b = b' && c = c'
   | _ -> false
 
 let equal_event a b = Float.equal a.at b.at && equal_action a.action b.action
@@ -71,6 +74,7 @@ let apply ?replica net action =
   | Duplicate p -> Relax_sim.Network.set_dup_probability net p
   | Delay d -> Relax_sim.Network.set_extra_delay net d
   | Skew (s, d) -> Relax_sim.Network.set_skew net s d
+  | Omit (src, dst, seq) -> Relax_sim.Network.deny net ~src ~dst ~seq
 
 (* Schedule every event of a fault schedule on the engine.  Events in
    the past of the engine clock are applied immediately (replaying into
@@ -121,7 +125,7 @@ module Shadow = struct
     | Recover s -> t.up.(s) <- true
     | Partition _ -> t.partitioned <- true
     | Heal -> t.partitioned <- false
-    | Wipe _ | Drop _ | Duplicate _ | Delay _ | Skew _ -> ()
+    | Wipe _ | Drop _ | Duplicate _ | Delay _ | Skew _ | Omit _ -> ()
 end
 
 (* ------------------------------------------------------------------ *)
@@ -141,6 +145,7 @@ let action_to_sexp action =
   | Duplicate p -> List [ atom "dup"; float p ]
   | Delay d -> List [ atom "delay"; float d ]
   | Skew (s, d) -> List [ atom "skew"; int s; float d ]
+  | Omit (src, dst, seq) -> List [ atom "omit"; int src; int dst; int seq ]
 
 let int_of_sexp = function
   | Sexp.Atom a -> (
@@ -175,6 +180,8 @@ let action_of_sexp sx =
     | "dup", [ p ] -> Duplicate (float_of_sexp p)
     | "delay", [ d ] -> Delay (float_of_sexp d)
     | "skew", [ s; d ] -> Skew (int_of_sexp s, float_of_sexp d)
+    | "omit", [ src; dst; seq ] ->
+      Omit (int_of_sexp src, int_of_sexp dst, int_of_sexp seq)
     | _ -> raise (Sexp.Parse_error ("unknown action " ^ tag)))
   | _ -> raise (Sexp.Parse_error "expected action")
 

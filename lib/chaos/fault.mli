@@ -15,6 +15,9 @@ type action =
   | Duplicate of float  (** message duplication probability from now on *)
   | Delay of float  (** uniform extra per-message delay bound *)
   | Skew of int * float  (** sender-side clock skew of one site *)
+  | Omit of int * int * int
+      (** omit one physical delivery, named [(src, dst, seq)] by its
+          send-time per-pair sequence number — the LDFI drop fault *)
 
 type event = { at : float; action : action }
 

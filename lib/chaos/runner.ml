@@ -181,7 +181,20 @@ let run ?(config = default_config) ?online ~client ~respond events =
   in
   let ops_since_gossip = ref 0 in
   let op_window = op_window_for config in
-  let run_op op =
+  (* Lineage landmark: one instant per workload slot, carrying the slot
+     index and its engine start time.  The LDFI planner uses these to
+     translate "crash site s during op k's window" into schedule times. *)
+  let trace_window idx =
+    let module A = Relax_obs.Tracer.Ambient in
+    if A.active () then begin
+      let now = Relax_sim.Engine.now engine in
+      A.instant ~time:now "chaos/op-window"
+        ~attrs:
+          [ Relax_obs.Attr.int "index" idx; Relax_obs.Attr.float "at" now ]
+    end
+  in
+  let run_op idx op =
+    trace_window idx;
     (match controller with
     | Some c -> Degrade.Controller.before_op c
     | None ->
@@ -231,8 +244,14 @@ let run ?(config = default_config) ?online ~client ~respond events =
         incr unavailable;
         finish Degrade.Controller.Op_failed)
   in
-  List.iter run_op ops;
+  List.iteri run_op ops;
   (* drain background propagation *)
+  (let module A = Relax_obs.Tracer.Ambient in
+   if A.active () then begin
+     let now = Relax_sim.Engine.now engine in
+     A.instant ~time:now "chaos/quiesce"
+       ~attrs:[ Relax_obs.Attr.float "at" now ]
+   end);
   Replica.gossip replica;
   Relax_sim.Engine.run
     ~until:(Relax_sim.Engine.now engine +. op_window)

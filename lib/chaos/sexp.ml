@@ -16,12 +16,14 @@ let int n = Atom (string_of_int n)
 (* %.17g round-trips every finite double through float_of_string. *)
 let float f = Atom (Printf.sprintf "%.17g" f)
 
+(* ';' must force quoting: a bare atom starting with ';' would re-read
+   as a comment (found by the codec fuzz test). *)
 let needs_quoting s =
   s = ""
   || String.exists
        (fun c ->
          match c with
-         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' | ';' -> true
          | _ -> false)
        s
 

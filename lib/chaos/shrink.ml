@@ -96,9 +96,40 @@ let weaken_counted ~probes ~violates events =
   done;
   Array.to_list arr
 
+(* The canonical replay key of a candidate schedule: its serialized
+   form, which is exactly what record/replay would run.  Two candidates
+   with the same key are the same run. *)
+let schedule_key events =
+  Sexp.to_string (Sexp.List (List.map Fault.event_to_sexp events))
+
+(* Memoize a deterministic [violates] on the canonical key.  ddmin's
+   complement phases and the post-weakening re-run revisit schedules they
+   have already probed; since every probe is a full simulated replay, a
+   cache turns those into table lookups. *)
+let memoized violates =
+  let seen : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  fun events ->
+    let key = schedule_key events in
+    match Hashtbl.find_opt seen key with
+    | Some v -> v
+    | None ->
+      let v = violates events in
+      Hashtbl.add seen key v;
+      v
+
 let minimize ~violates events =
+  (* [probes] counts distinct oracle replays: the memo table absorbs
+     every repeat, so each candidate schedule is replayed at most once
+     across all three phases (ddmin → weaken → ddmin). *)
   let probes = ref 0 in
-  let reduced = ddmin_counted ~probes ~violates events in
-  let weakened = weaken_counted ~probes ~violates reduced in
-  let final = ddmin_counted ~probes ~violates weakened in
+  let violates =
+    memoized (fun l ->
+        incr probes;
+        violates l)
+  in
+  (* the phase counters would double-count cache hits; discard them *)
+  let scratch = ref 0 in
+  let reduced = ddmin_counted ~probes:scratch ~violates events in
+  let weakened = weaken_counted ~probes:scratch ~violates reduced in
+  let final = ddmin_counted ~probes:scratch ~violates weakened in
   (final, !probes)

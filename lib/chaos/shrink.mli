@@ -13,8 +13,15 @@ val ddmin :
   Fault.event list * int
 
 (** ddmin, then halve the magnitudes of surviving knob faults (drop,
-    dup, delay, skew) to a fixpoint, then ddmin again. *)
+    dup, delay, skew) to a fixpoint, then ddmin again.  Probes are
+    memoized on {!schedule_key}, so the reported count is the number of
+    {e distinct} schedules actually replayed — a candidate revisited in a
+    later round costs nothing. *)
 val minimize :
   violates:(Fault.event list -> bool) ->
   Fault.event list ->
   Fault.event list * int
+
+(** The canonical replay key of a candidate schedule (its serialized
+    form): two schedules with equal keys are the same run. *)
+val schedule_key : Fault.event list -> string

@@ -18,6 +18,7 @@ let registry ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2))
       Availability.group ();
       Taxi.group ();
       Chaos_scenarios.group ();
+      Ldfi_x.group ();
       Degrade_x.group ();
       Atm.group ();
       Spooler.group ();

@@ -1,0 +1,479 @@
+(* The counterexample-guided fault-space search (LDFI, after Alvaro et
+   al.'s Molly).
+
+   One round: run the system, extract the lineage of everything that
+   succeeded (lib/ldfi/support), turn each goal's lineage into CNF
+   clauses over injectable fault variables, and ask the solver for the
+   minimal fault sets that could break some goal within the failure
+   budget.  Inject each candidate through the ordinary fault pipeline
+   (Fault.Omit for message copies, Crash/Wipe/Recover for up-windows).
+   A surviving run reveals the redundancy that saved it — its lineage
+   joins the CNF as new clauses — and the next round's candidates must
+   defeat that too.  The loop reaches a fixpoint when every candidate
+   within budget has been tried: exhaustive fault coverage at that
+   budget.  A violating run stops the search and is the counterexample.
+
+   Everything is deterministic: candidate order is (size, then
+   lexicographic), the tried-set is keyed canonically, and the only
+   randomness (the [Random_walk] baseline) draws from a seeded stream. *)
+
+module Chaos = Relax_chaos
+
+(* ------------------------------------------------------------------ *)
+(* Fault variables                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type var =
+  | Drop of Support.dkey (* omit one physical message copy *)
+  | Crash of { window : int; site : int }
+      (* take the site down for workload slot [window] (with wipe, when
+         the volatile-logs realization is on) *)
+
+(* Crashes order before drops: a crash window is the coarser fault (it
+   perturbs every delivery its site touches), so among same-size
+   candidates the pool tries the big hammers — and the earliest
+   windows — first.  Purely a tie-break heuristic: the model set and
+   exhaustiveness are order-independent. *)
+let compare_var a b =
+  match (a, b) with
+  | Drop k, Drop k' -> Support.compare_dkey k k'
+  | Crash c, Crash c' -> (
+    match compare c.window c'.window with
+    | 0 -> compare c.site c'.site
+    | n -> n)
+  | Crash _, Drop _ -> -1
+  | Drop _, Crash _ -> 1
+
+let pp_var ppf = function
+  | Drop k -> Fmt.pf ppf "drop %s" (Support.dkey_to_string k)
+  | Crash { window; site } -> Fmt.pf ppf "crash %d@w%d" site window
+
+let var_key v = Fmt.str "%a" pp_var v
+let set_key vars = String.concat ";" (List.map var_key vars)
+
+(* ------------------------------------------------------------------ *)
+(* Budget and realization                                              *)
+(* ------------------------------------------------------------------ *)
+
+type budget = {
+  max_crashes : int; (* distinct crash windows per candidate set *)
+  max_drops : int; (* distinct omitted copies per candidate set *)
+  max_injections : int; (* total injected runs before giving up *)
+}
+
+let ci_budget = { max_crashes = 1; max_drops = 1; max_injections = 1000 }
+
+let admissible budget vars =
+  let crashes, drops =
+    List.fold_left
+      (fun (c, d) -> function Crash _ -> (c + 1, d) | Drop _ -> (c, d + 1))
+      (0, 0) vars
+  in
+  crashes <= budget.max_crashes && drops <= budget.max_drops
+
+(* Translate a candidate fault set into a schedule for the single
+   [Fault.apply] pipeline, using the base run's slot boundaries.
+   Adjacent crash windows of one site coalesce into one down-interval;
+   with [wipe] on, the crash also wipes the site's log — the
+   volatile-storage realization that breaks the paper's stable-storage
+   assumption.  No event is scheduled at or past quiescence. *)
+let realize ~(support : Support.t) ~wipe vars =
+  let slot_start w = support.Support.slot_starts.(w) in
+  let slot_end w =
+    if w + 1 < support.Support.nslots then support.Support.slot_starts.(w + 1)
+    else support.Support.quiesce
+  in
+  let drops, crashes =
+    List.partition_map
+      (function
+        | Drop k -> Left k
+        | Crash { window; site } -> Right (site, window))
+      (List.sort compare_var vars)
+  in
+  let events = ref [] in
+  List.iter
+    (fun k ->
+      events :=
+        {
+          Chaos.Fault.at = 0.0;
+          action = Chaos.Fault.Omit (k.Support.src, k.Support.dst, k.Support.seq);
+        }
+        :: !events)
+    drops;
+  (* per site: sorted windows, coalesced into maximal runs *)
+  let sites = List.sort_uniq compare (List.map fst crashes) in
+  List.iter
+    (fun site ->
+      let windows =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (s, w) -> if s = site then Some w else None)
+             crashes)
+      in
+      let rec runs = function
+        | [] -> []
+        | w :: rest ->
+          let rec extend last = function
+            | w' :: rest' when w' = last + 1 -> extend w' rest'
+            | rest' -> (last, rest')
+          in
+          let last, rest' = extend w rest in
+          (w, last) :: runs rest'
+      in
+      List.iter
+        (fun (w0, w1) ->
+          let at = slot_start w0 in
+          events := { Chaos.Fault.at; action = Chaos.Fault.Crash site } :: !events;
+          if wipe then
+            events := { Chaos.Fault.at; action = Chaos.Fault.Wipe site } :: !events;
+          events :=
+            { Chaos.Fault.at = slot_end w1; action = Chaos.Fault.Recover site }
+            :: !events)
+        (runs windows))
+    sites;
+  List.stable_sort
+    (fun a b -> compare a.Chaos.Fault.at b.Chaos.Fault.at)
+    (List.rev !events)
+
+(* ------------------------------------------------------------------ *)
+(* Goals and their CNF                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Goals are indexed by workload slot — the only operation identity
+   stable across divergent runs.  [Completion s] is "the op in slot s
+   completes"; [Durability s] is "the entry written by the op in slot s
+   survives somewhere". *)
+type goal = Completion of int | Durability of int
+
+let pp_goal ppf = function
+  | Completion s -> Fmt.pf ppf "completion@%d" s
+  | Durability s -> Fmt.pf ppf "durability@%d" s
+
+type goal_state = { goal : goal; mutable clauses : var list list }
+
+(* The whole observed quorum bundle of a completed op is one derivation:
+   one clause, "at least one of these faults would have perturbed it". *)
+let completion_clause (o : Support.op_support) =
+  let member (m : Support.member) =
+    Crash { window = o.Support.slot; site = m.site }
+    :: List.map (fun k -> Drop k) m.carry
+  in
+  List.sort_uniq compare_var
+    (Crash { window = o.Support.slot; site = o.Support.client }
+    :: List.concat_map member (o.Support.replies @ o.Support.acks))
+
+(* Each surviving copy of an entry is a derivation of its durability:
+   to destroy the entry, every copy must be killed — one clause per
+   copy, "drop the delivery that carried it, or crash(+wipe) its holder
+   in any window from its arrival on". *)
+let durability_clauses ~nslots (copies : Support.placement list) =
+  List.map
+    (fun (p : Support.placement) ->
+      let drops =
+        match p.Support.via with Some k -> [ Drop k ] | None -> []
+      in
+      let crashes =
+        if p.Support.from_slot >= nslots then []
+        else
+          List.init
+            (nslots - p.Support.from_slot)
+            (fun i -> Crash { window = p.Support.from_slot + i; site = p.Support.site })
+      in
+      List.sort_uniq compare_var (drops @ crashes))
+    copies
+
+let clause_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> compare_var x y = 0) a b
+
+let add_clause gs clause =
+  if clause <> [] && not (List.exists (clause_equal clause) gs.clauses) then
+    gs.clauses <- gs.clauses @ [ clause ]
+
+(* Fold a (new) run's lineage into the goal table.  Only goals fixed by
+   the base run accumulate clauses; ops that exist only under injection
+   are not obligations. *)
+let merge_support goals (s : Support.t) =
+  List.iter
+    (fun gs ->
+      match gs.goal with
+      | Completion slot -> (
+        match
+          List.find_opt (fun o -> o.Support.slot = slot) s.Support.completed
+        with
+        | Some o -> add_clause gs (completion_clause o)
+        | None -> ())
+      | Durability slot -> (
+        match List.assoc_opt slot s.Support.durable with
+        | Some copies ->
+          List.iter (add_clause gs)
+            (durability_clauses ~nslots:s.Support.nslots copies)
+        | None -> ()))
+    goals
+
+(* ------------------------------------------------------------------ *)
+(* The search                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The system under search: run one schedule, say whether the oracle
+   accepted the history, and (for conforming runs) hand back the
+   extracted lineage. *)
+type run = { conforms : bool; support : Support.t }
+
+type system = { exec : Chaos.Fault.event list -> run }
+
+type stats = {
+  executions : int; (* simulated runs, including the base lineage run *)
+  injections : int; (* injected candidate fault sets *)
+  candidates : int; (* distinct candidate sets the solver proposed *)
+  vars : int; (* distinct fault variables across the final CNF *)
+  clauses : int;
+  rounds : int;
+  exhausted : bool; (* every candidate within budget was tried *)
+}
+
+type found = { fault_set : var list; events : Chaos.Fault.event list }
+type result = { stats : stats; violation : found option }
+
+let cnf_stats goals =
+  let all = List.concat_map (fun (g : goal_state) -> g.clauses) goals in
+  let vars = List.sort_uniq compare_var (List.concat all) in
+  (List.length vars, List.length all)
+
+let solver_cfg budget =
+  {
+    Solver.compare = compare_var;
+    admissible = admissible budget;
+    max_size = budget.max_crashes + budget.max_drops;
+    max_models = 4096;
+  }
+
+(* smallest first, then lexicographic — the deterministic pool order *)
+let compare_candidate a b =
+  match compare (List.length a) (List.length b) with
+  | 0 ->
+    let rec go a b =
+      match (a, b) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | x :: a', y :: b' -> (
+        match compare_var x y with 0 -> go a' b' | c -> c)
+    in
+    go a b
+  | c -> c
+
+(* 1-minimize a violating fault set by re-execution: drop each variable
+   in turn and keep the drop whenever the remainder still violates.  At
+   most |vars| extra runs, so the reported set — not just the realized
+   event schedule the ddmin shrinker later minimizes — is 1-minimal:
+   removing any member yields a conforming run. *)
+let minimize_fault_set ~support ~wipe ~exec vars =
+  let still_violates c =
+    c <> [] && not (exec (realize ~support ~wipe c)).conforms
+  in
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | v :: rest ->
+      let without = List.rev_append kept rest in
+      if still_violates without then prune kept rest
+      else prune (v :: kept) rest
+  in
+  let vars = prune [] vars in
+  { fault_set = vars; events = realize ~support ~wipe vars }
+
+let guided ?(wipe = false) ~budget (system : system) =
+  let executions = ref 0 in
+  let exec events =
+    incr executions;
+    system.exec events
+  in
+  let base = exec [] in
+  let finish ?violation ~rounds ~injections ~tried ~exhausted goals =
+    let vars, clauses = cnf_stats goals in
+    {
+      stats =
+        {
+          executions = !executions;
+          injections;
+          candidates = tried;
+          vars;
+          clauses;
+          rounds;
+          exhausted;
+        };
+      violation;
+    }
+  in
+  if not base.conforms then
+    (* the fault-free run already violates: nothing to search *)
+    finish ~violation:{ fault_set = []; events = [] } ~rounds:0 ~injections:0
+      ~tried:0 ~exhausted:false []
+  else begin
+    let support0 = base.support in
+    let goals =
+      List.map
+        (fun (o : Support.op_support) ->
+          { goal = Completion o.Support.slot; clauses = [] })
+        support0.Support.completed
+      @ List.map
+          (fun (slot, _) -> { goal = Durability slot; clauses = [] })
+          support0.Support.durable
+    in
+    merge_support goals support0;
+    let tried : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+    let cfg = solver_cfg budget in
+    let candidates_of_cnf () =
+      let pool =
+        List.concat_map (fun (gs : goal_state) -> fst (Solver.models cfg gs.clauses)) goals
+      in
+      let pool = List.sort_uniq compare_candidate pool in
+      List.filter (fun c -> not (Hashtbl.mem tried (set_key c))) pool
+    in
+    let injections = ref 0 and rounds = ref 0 in
+    let violation = ref None in
+    let out_of_budget = ref false in
+    (* Round structure: solve once per round, inject the whole pool, and
+       re-solve only after the pool drains — each surviving injection has
+       already folded its lineage in, so the next round's candidates must
+       defeat everything observed so far. *)
+    let continue = ref true in
+    while !continue do
+      match candidates_of_cnf () with
+      | [] -> continue := false
+      | pool ->
+        incr rounds;
+        let rec inject = function
+          | [] -> ()
+          | c :: rest ->
+            if !injections >= budget.max_injections then begin
+              out_of_budget := true;
+              continue := false
+            end
+            else begin
+              Hashtbl.replace tried (set_key c) ();
+              incr injections;
+              let events = realize ~support:support0 ~wipe c in
+              let r = exec events in
+              if r.conforms then begin
+                merge_support goals r.support;
+                inject rest
+              end
+              else begin
+                violation :=
+                  Some (minimize_fault_set ~support:support0 ~wipe ~exec c);
+                continue := false
+              end
+            end
+        in
+        inject pool
+    done;
+    finish ?violation:!violation ~rounds:!rounds ~injections:!injections
+      ~tried:(Hashtbl.length tried)
+      ~exhausted:(!violation = None && not !out_of_budget)
+      goals
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The random baseline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Same fault space, same budget, no lineage: sample candidate sets
+   uniformly from the variables the base run exposes.  The comparison
+   behind the "searched vs sampled" claim — and behind X-ldfi's
+   executions-to-violation table. *)
+let random_walk ?(wipe = false) ~budget ~seed (system : system) =
+  let executions = ref 0 in
+  let exec events =
+    incr executions;
+    system.exec events
+  in
+  let base = exec [] in
+  if not base.conforms then
+    {
+      stats =
+        {
+          executions = !executions;
+          injections = 0;
+          candidates = 0;
+          vars = 0;
+          clauses = 0;
+          rounds = 0;
+          exhausted = false;
+        };
+      violation = Some { fault_set = []; events = [] };
+    }
+  else begin
+    let support0 = base.support in
+    let goals =
+      List.map
+        (fun (o : Support.op_support) ->
+          { goal = Completion o.Support.slot; clauses = [] })
+        support0.Support.completed
+      @ List.map
+          (fun (slot, _) -> { goal = Durability slot; clauses = [] })
+          support0.Support.durable
+    in
+    merge_support goals support0;
+    let space =
+      Array.of_list
+        (List.sort_uniq compare_var
+           (List.concat (List.concat_map (fun (g : goal_state) -> g.clauses) goals)))
+    in
+    let nvars, nclauses = cnf_stats goals in
+    let rng = Relax_sim.Rng.create ~seed in
+    let tried : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+    let max_size = budget.max_crashes + budget.max_drops in
+    let violation = ref None in
+    let injections = ref 0 in
+    let stuck = ref false in
+    (* draw an untried admissible set, or give up after a bounded number
+       of rejections (the space is effectively exhausted) *)
+    let draw () =
+      let attempts = ref 0 and out = ref None in
+      while !out = None && !attempts < 1000 do
+        incr attempts;
+        let k = 1 + Relax_sim.Rng.int rng (max max_size 1) in
+        let picked = ref [] in
+        for _ = 1 to k do
+          let v = space.(Relax_sim.Rng.int rng (Array.length space)) in
+          if not (List.exists (fun u -> compare_var u v = 0) !picked) then
+            picked := v :: !picked
+        done;
+        let c = List.sort compare_var !picked in
+        if admissible budget c && not (Hashtbl.mem tried (set_key c)) then
+          out := Some c
+      done;
+      !out
+    in
+    while
+      (not !stuck)
+      && !violation = None
+      && !injections < budget.max_injections
+      && Array.length space > 0
+    do
+      match draw () with
+      | None -> stuck := true
+      | Some c ->
+        Hashtbl.replace tried (set_key c) ();
+        incr injections;
+        let events = realize ~support:support0 ~wipe c in
+        let r = exec events in
+        if not r.conforms then
+          violation :=
+            Some (minimize_fault_set ~support:support0 ~wipe ~exec c)
+    done;
+    {
+      stats =
+        {
+          executions = !executions;
+          injections = !injections;
+          candidates = Hashtbl.length tried;
+          vars = nvars;
+          clauses = nclauses;
+          rounds = !injections;
+          exhausted = false;
+        };
+      violation = !violation;
+    }
+  end

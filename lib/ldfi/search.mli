@@ -1,0 +1,70 @@
+(** The counterexample-guided fault-space search (LDFI, after Alvaro et
+    al.'s Molly): run, extract lineage, solve for minimal fault sets
+    that could break a goal, inject exactly those, fold each survivor's
+    lineage back in, iterate to fixpoint or counterexample. *)
+
+module Chaos = Relax_chaos
+
+(** An injectable fault variable: omit one physical message copy, or
+    take one site down for one workload slot. *)
+type var = Drop of Support.dkey | Crash of { window : int; site : int }
+
+val compare_var : var -> var -> int
+val pp_var : var Fmt.t
+
+(** Rendered form of one variable, e.g. ["drop 1>4#2"] or
+    ["crash 3@w5"]. *)
+val var_key : var -> string
+
+(** Canonical key of a candidate fault set (used for the tried-set and
+    for reporting). *)
+val set_key : var list -> string
+
+type budget = {
+  max_crashes : int;  (** crash-window variables per candidate set *)
+  max_drops : int;  (** omitted copies per candidate set *)
+  max_injections : int;  (** total injected runs before giving up *)
+}
+
+(** The fixed CI failure budget: one crash window, one dropped copy. *)
+val ci_budget : budget
+
+val admissible : budget -> var list -> bool
+
+(** Translate a candidate set into a fault schedule against the base
+    run's slot grid.  Adjacent crash windows of a site coalesce; with
+    [wipe], every crash also wipes the site's log (the volatile-storage
+    realization — the planted bug). *)
+val realize : support:Support.t -> wipe:bool -> var list -> Chaos.Fault.event list
+
+(** Search goals, indexed by workload slot. *)
+type goal = Completion of int | Durability of int
+
+val pp_goal : goal Fmt.t
+
+(** One run of the system under a fault schedule: did the oracle accept,
+    and (for conforming runs) the extracted lineage. *)
+type run = { conforms : bool; support : Support.t }
+
+type system = { exec : Chaos.Fault.event list -> run }
+
+type stats = {
+  executions : int;  (** simulated runs, including the base lineage run *)
+  injections : int;
+  candidates : int;  (** distinct candidate sets attempted *)
+  vars : int;  (** distinct fault variables across the final CNF *)
+  clauses : int;
+  rounds : int;
+  exhausted : bool;  (** every candidate within budget was tried *)
+}
+
+type found = { fault_set : var list; events : Chaos.Fault.event list }
+type result = { stats : stats; violation : found option }
+
+(** The guided loop.  Deterministic in the system. *)
+val guided : ?wipe:bool -> budget:budget -> system -> result
+
+(** The random baseline: same fault space and budget, no lineage —
+    candidate sets sampled from a stream seeded with [seed]. *)
+val random_walk : ?wipe:bool -> budget:budget -> seed:int -> system -> result
+

@@ -1,0 +1,92 @@
+(* A small budgeted hitting-set solver — the "SAT core" of LDFI.
+
+   A goal's accumulated lineage is a CNF over fault variables: one
+   clause per observed derivation, "to break this derivation, cause at
+   least one of these faults".  A model is a set of variables hitting
+   every clause — a fault set that (according to everything observed so
+   far) could break the goal.  The solver enumerates all minimal models
+   within a budget, smallest first, deterministically.
+
+   This is branch-and-bound DPLL specialized to positive monotone CNF
+   (no negative literals: injecting *more* faults never un-breaks a
+   derivation), which is exactly the hitting-set problem.  Branching on
+   the first unhit clause keeps the search complete for minimal models;
+   an admissibility callback prunes branches that exceed the per-kind
+   failure budget.  Scale is tiny (tens of clauses, hundreds of
+   variables), so clarity wins over clever data structures. *)
+
+type 'v clause = 'v list
+
+type 'v config = {
+  compare : 'v -> 'v -> int;
+  admissible : 'v list -> bool;
+      (* may this partial assignment still grow into a model? must be
+         monotone: inadmissible sets have only inadmissible supersets *)
+  max_size : int;
+  max_models : int; (* safety valve; enumeration order is deterministic *)
+}
+
+let mem cfg v l = List.exists (fun u -> cfg.compare u v = 0) l
+let hit cfg chosen c = List.exists (fun v -> mem cfg v chosen) c
+
+let compare_model cfg a b =
+  match compare (List.length a) (List.length b) with
+  | 0 ->
+    let rec go a b =
+      match (a, b) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | x :: a', y :: b' -> (
+        match cfg.compare x y with 0 -> go a' b' | c -> c)
+    in
+    go a b
+  | c -> c
+
+(* All minimal hitting sets of [clauses] within the budget, sorted by
+   (size, lexicographic).  A clause that is empty after deduplication
+   makes the goal unbreakable: no models.  Returns [models, complete]
+   where [complete] is false iff the [max_models] valve truncated the
+   enumeration. *)
+let models cfg clauses =
+  let clauses = List.map (List.sort_uniq cfg.compare) clauses in
+  if List.exists (fun c -> c = []) clauses then ([], true)
+  else begin
+    let found = ref [] and n_found = ref 0 in
+    let truncated = ref false in
+    let rec go chosen remaining =
+      if !n_found >= cfg.max_models then truncated := true
+      else
+        match remaining with
+        | [] ->
+          found := List.sort cfg.compare chosen :: !found;
+          incr n_found
+        | c :: _ ->
+          if List.length chosen < cfg.max_size then
+            List.iter
+              (fun v ->
+                if not (mem cfg v chosen) then begin
+                  let chosen' = v :: chosen in
+                  if cfg.admissible chosen' then
+                    go chosen'
+                      (List.filter (fun cl -> not (hit cfg chosen' cl)) remaining)
+                end)
+              c
+    in
+    go [] (List.filter (fun c -> c <> []) clauses);
+    (* Deduplicate (the same set can be reached through different clause
+       orders) and drop non-minimal models: a model containing a smaller
+       model tells us nothing the smaller one does not. *)
+    let all = List.sort_uniq (compare_model cfg) !found in
+    let subset a b = List.for_all (fun v -> mem cfg v b) a in
+    let minimal =
+      List.filter
+        (fun m ->
+          not
+            (List.exists
+               (fun m' -> List.length m' < List.length m && subset m' m)
+               all))
+        all
+    in
+    (minimal, not !truncated)
+  end

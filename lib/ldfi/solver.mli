@@ -1,0 +1,29 @@
+(** A small budgeted hitting-set solver — DPLL specialized to the
+    positive monotone CNF of fault lineage.
+
+    Clauses are disjunctions of fault variables ("cause at least one of
+    these"); a model is a variable set hitting every clause.  {!models}
+    enumerates all {e minimal} models within a size bound, smallest
+    first, deterministically.  No external dependencies. *)
+
+type 'v clause = 'v list
+
+type 'v config = {
+  compare : 'v -> 'v -> int;
+  admissible : 'v list -> bool;
+      (** budget check; must be monotone (supersets of an inadmissible
+          set stay inadmissible) *)
+  max_size : int;
+  max_models : int;  (** enumeration safety valve (deterministic) *)
+}
+
+(** Total order on canonical (sorted) models: size, then lexicographic
+    by [compare]. *)
+val compare_model : 'v config -> 'v list -> 'v list -> int
+
+(** [models cfg clauses] is [(minimal_models, complete)]: every minimal
+    admissible hitting set of size at most [max_size], sorted smallest
+    first; [complete] is [false] iff [max_models] truncated the
+    enumeration.  An empty clause (after dedup) makes the formula
+    unbreakable: no models. *)
+val models : 'v config -> 'v clause list -> 'v list list * bool

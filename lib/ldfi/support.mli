@@ -1,0 +1,53 @@
+(** Lineage extraction: the support graph of a traced chaos run.
+
+    Parses the instants emitted by the instrumented runner, network and
+    replica ([chaos/op-window], [replica/reply], [replica/ack],
+    [replica/absorb], …) into: the workload slot grid, the quorum bundle
+    each completed operation's success rode on, and the placements (site
+    + carrying delivery) of each completed operation's log entry.
+    Operations are identified across divergent runs by workload slot. *)
+
+(** The identity of one physical message copy, assigned at send time by
+    {!Relax_sim.Network}: source, destination, per-ordered-pair sequence
+    number. *)
+type dkey = { src : int; dst : int; seq : int }
+
+val compare_dkey : dkey -> dkey -> int
+
+(** ["src>dst#seq"], the form carried in trace attributes. *)
+val dkey_to_string : dkey -> string
+
+val dkey_of_string : string -> dkey option
+
+(** A counted quorum member: the site, and the message copies its
+    contribution rode on (request+reply, or update+ack). *)
+type member = { site : int; carry : dkey list }
+
+(** The support of one completed operation: the quorum bundles of its
+    completing attempt. *)
+type op_support = {
+  slot : int;
+  client : int;
+  attempt : int;
+  replies : member list;
+  acks : member list;
+}
+
+(** One live copy of a completed op's entry.  [from_slot = nslots] means
+    the copy appeared during the post-quiescence drain (unreachable by
+    any budgeted fault). *)
+type placement = { site : int; via : dkey option; from_slot : int }
+
+type t = {
+  nslots : int;
+  slot_starts : float array;
+  quiesce : float;
+  completed : op_support list;
+  durable : (int * placement list) list;
+}
+
+(** Extract the support graph from a tracer's chronological event
+    list. *)
+val of_events : Relax_obs.Tracer.event list -> t
+
+val pp : t Fmt.t

@@ -123,13 +123,46 @@ let op_latencies t = List.rev t.op_latencies
 
 let is_tombstoned t e = List.exists (Log.equal_entry e) t.tombstones
 
+(* Lineage instrumentation.  A stable textual key for an entry (entries
+   are identified by (timestamp, operation)) and for the physical network
+   copy whose delivery callback is currently running.  Both feed the
+   support-graph extractor in [lib/ldfi]; everything is guarded by
+   [Tr.active] so untraced runs pay nothing. *)
+let entry_key e =
+  Fmt.str "%a@%s" Op.pp (Log.entry_op e) (Timestamp.to_string (Log.entry_ts e))
+
+let copy_key net =
+  match Relax_sim.Network.delivering net with
+  | Some (src, dst, seq) -> Fmt.str "%d>%d#%d" src dst seq
+  | None -> "-"
+
 (* Merge [log] into site [s], advancing its clock past everything seen;
-   aborted entries are filtered out. *)
+   aborted entries are filtered out.  When tracing, every entry new to
+   the site is reported with the delivery that carried it — the
+   durability lineage: which copies an entry's presence at [s] depends
+   on. *)
 let absorb t s log =
   let site = t.sites.(s) in
+  let before = if Tr.active () then Log.entries site.log else [] in
   site.log <-
     Log.filter (fun e -> not (is_tombstoned t e)) (Log.merge site.log log);
-  site.clock <- Timestamp.merge site.clock (Log.max_ts site.log)
+  site.clock <- Timestamp.merge site.clock (Log.max_ts site.log);
+  if Tr.active () then begin
+    let via = copy_key t.net in
+    let now = Relax_sim.Engine.now t.engine in
+    List.iter
+      (fun e ->
+        if not (List.exists (Log.equal_entry e) before) then
+          Tr.instant ~time:now "replica/absorb"
+            ~attrs:
+              [
+                At.int "site" s;
+                At.str "entry" (entry_key e);
+                At.str "via" via;
+                At.float "at" now;
+              ])
+      (Log.entries site.log)
+  end
 
 let settle_entry t entry =
   t.tentative <-
@@ -255,13 +288,15 @@ let execute t ~client_site inv callback =
   trace_op "replica/op"
     [ At.str "name" op_name; At.int "site" client_site ];
   let settled = ref false in
+  let attempt_no = ref 0 in
   let conclude r =
     if not !settled then begin
       settled := true;
       (match r with
       | Completed (op, latency) ->
         count t "replica/completed";
-        trace_op "replica/complete" [ At.float "lat" latency ];
+        trace_op "replica/complete"
+          [ At.float "lat" latency; At.int "attempt" !attempt_no ];
         t.completed <- (Relax_sim.Engine.now t.engine, op) :: t.completed;
         t.op_latencies <- latency :: t.op_latencies
       | Unavailable reason ->
@@ -273,6 +308,7 @@ let execute t ~client_site inv callback =
   in
   let rec attempt k =
     (* [k] is the attempt number, 1-based. *)
+    attempt_no := k;
     t.attempts_total <- t.attempts_total + 1;
     count t "replica/attempts";
     trace_op "replica/attempt" [ At.int "attempt" k ];
@@ -328,6 +364,8 @@ let execute t ~client_site inv callback =
           in
           site.clock <- Timestamp.merge site.clock ts;
           let entry = Log.entry ~ts op in
+          trace_op "replica/entry"
+            [ At.int "attempt" k; At.str "entry" (entry_key entry) ];
           written_entry := Some entry;
           t.tentative <- entry :: t.tentative;
           let updated = Log.insert view_log entry in
@@ -350,6 +388,9 @@ let execute t ~client_site inv callback =
             List.iter
               (fun s ->
                 Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
+                    (* the copy that carried the update to [s]: part of the
+                       op's completion lineage through the ack below *)
+                    let upd = if Tr.active () then copy_key t.net else "-" in
                     absorb t s updated;
                     (* acknowledgement travelling back *)
                     Relax_sim.Network.send t.net ~src:s ~dst:client_site
@@ -357,6 +398,14 @@ let execute t ~client_site inv callback =
                         if not acked.(s) then begin
                           acked.(s) <- true;
                           incr acks;
+                          if Tr.active () && !acks <= final_need then
+                            trace_op "replica/ack"
+                              [
+                                At.int "attempt" k;
+                                At.int "site" s;
+                                At.str "upd" upd;
+                                At.str "ack" (copy_key t.net);
+                              ];
                           if !acks = final_need then succeed op
                         end)))
               targets
@@ -370,12 +419,25 @@ let execute t ~client_site inv callback =
     else
       for s = 0 to n - 1 do
         Relax_sim.Network.send t.net ~src:client_site ~dst:s (fun () ->
+            (* the copy that carried the read request to [s] *)
+            let req = if Tr.active () then copy_key t.net else "-" in
             let log = t.sites.(s).log in
             Relax_sim.Network.send t.net ~src:s ~dst:client_site (fun () ->
                 if (not replied.(s)) && (not !attempt_over) && not !settled
                 then begin
                   replied.(s) <- true;
                   incr replies;
+                  (* counted toward the view: this reply (and the request
+                     that provoked it) is part of the op's completion
+                     lineage *)
+                  if Tr.active () && !replies <= initial_need then
+                    trace_op "replica/reply"
+                      [
+                        At.int "attempt" k;
+                        At.int "site" s;
+                        At.str "req" req;
+                        At.str "rep" (copy_key t.net);
+                      ];
                   view := Log.merge !view log;
                   if !replies = initial_need then write_phase !view
                 end))

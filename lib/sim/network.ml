@@ -12,7 +12,16 @@
    mid-run: the loss probability, a duplication probability (the message
    is delivered twice, each copy with its own latency), a uniform extra
    delay bound, and a per-site clock skew (messages *sent* by a skewed
-   site are late by the skew, modelling a slow timer at the sender). *)
+   site are late by the skew, modelling a slow timer at the sender).
+
+   Every physical copy additionally carries a deterministic identity
+   [(src, dst, seq)] where [seq] is a per-ordered-pair counter assigned
+   at send time.  Two runs that agree on their prefix assign identical
+   identities, which is what lets lineage-driven fault injection name "the
+   3rd message from site 1 to site 4" across divergent executions.  A
+   denied identity is suppressed at delivery time — after the loss and
+   latency draws have been consumed — so targeted omission never perturbs
+   the random streams of the surrounding run. *)
 
 type t = {
   engine : Engine.t;
@@ -30,6 +39,14 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable duplicated : int;
+  seq : int array; (* per ordered pair (src,dst): next copy sequence number *)
+  denied : (int * int * int, unit) Hashtbl.t; (* identities to omit *)
+  mutable deny_count : int; (* = Hashtbl.length denied, O(1) fast path *)
+  (* identity of the copy currently being delivered; src = -1 outside a
+     delivery callback.  Plain ints so the hot path allocates nothing. *)
+  mutable delivering_src : int;
+  mutable delivering_dst : int;
+  mutable delivering_seq : int;
 }
 
 let create ?(mean_latency = 5.0) ?(drop_probability = 0.0) engine ~sites =
@@ -52,6 +69,12 @@ let create ?(mean_latency = 5.0) ?(drop_probability = 0.0) engine ~sites =
     delivered = 0;
     dropped = 0;
     duplicated = 0;
+    seq = Array.make (sites * sites) 0;
+    denied = Hashtbl.create 7;
+    deny_count = 0;
+    delivering_src = -1;
+    delivering_dst = -1;
+    delivering_seq = -1;
   }
 
 let sites t = t.n
@@ -132,6 +155,35 @@ let set_skew t s d =
 
 let skew t s = t.skew.(s)
 
+(* Per-copy identities and targeted omission. *)
+let next_seq t ~src ~dst =
+  let i = (src * t.n) + dst in
+  let s = t.seq.(i) in
+  t.seq.(i) <- s + 1;
+  s
+
+let deny t ~src ~dst ~seq =
+  check_site t "deny" src;
+  check_site t "deny" dst;
+  if seq < 0 then invalid_arg "Network.deny: negative seq";
+  if not (Hashtbl.mem t.denied (src, dst, seq)) then begin
+    Hashtbl.add t.denied (src, dst, seq) ();
+    t.deny_count <- t.deny_count + 1
+  end
+
+let allow_all t =
+  Hashtbl.reset t.denied;
+  t.deny_count <- 0
+
+let denied_count t = t.deny_count
+
+let is_denied t ~src ~dst ~seq =
+  t.deny_count > 0 && Hashtbl.mem t.denied (src, dst, seq)
+
+let delivering t =
+  if t.delivering_src < 0 then None
+  else Some (t.delivering_src, t.delivering_dst, t.delivering_seq)
+
 (* Latency model: exponential around the configured mean (so bursts of
    reordering occur naturally), plus the tunable uniform extra delay and
    the sender's clock skew. *)
@@ -150,23 +202,53 @@ let engine t = t.engine
 module A = Relax_obs.Tracer.Ambient
 module Attr = Relax_obs.Attr
 
-let trace_drop t ~src ~dst reason =
+let trace_drop t ~src ~dst ~seq reason =
   if A.active () then
     A.instant ~time:(Engine.now t.engine) "net/drop"
       ~attrs:
-        [ Attr.int "src" src; Attr.int "dst" dst; Attr.str "reason" reason ]
+        [
+          Attr.int "src" src;
+          Attr.int "dst" dst;
+          Attr.int "seq" seq;
+          Attr.str "reason" reason;
+        ]
 
-let deliver_after t ~src ~dst deliver =
+(* Deliver one physical copy: honour denial first (the copy "vanishes on
+   the wire"), then the usual reachability check.  The identity is
+   published through [delivering] for the duration of the callback so
+   instrumented receivers can cite which copy triggered them; the
+   "net/deliver" instant precedes the callback so consequent trace events
+   sort after their cause. *)
+let deliver_copy t ~src ~dst ~seq deliver =
+  if is_denied t ~src ~dst ~seq then begin
+    t.dropped <- t.dropped + 1;
+    trace_drop t ~src ~dst ~seq "omitted"
+  end
+  else if reachable t ~src ~dst then begin
+    t.delivered <- t.delivered + 1;
+    if A.active () then
+      A.instant ~time:(Engine.now t.engine) "net/deliver"
+        ~attrs:[ Attr.int "src" src; Attr.int "dst" dst; Attr.int "seq" seq ];
+    let psrc = t.delivering_src
+    and pdst = t.delivering_dst
+    and pseq = t.delivering_seq in
+    t.delivering_src <- src;
+    t.delivering_dst <- dst;
+    t.delivering_seq <- seq;
+    deliver ();
+    t.delivering_src <- psrc;
+    t.delivering_dst <- pdst;
+    t.delivering_seq <- pseq
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    trace_drop t ~src ~dst ~seq "unreachable"
+  end
+
+let deliver_after t ~src ~dst ~seq deliver =
   let latency = draw_latency t ~src in
   Engine.schedule t.engine ~delay:latency (fun () ->
-      if reachable t ~src ~dst then begin
-        t.delivered <- t.delivered + 1;
-        deliver ()
-      end
-      else begin
-        t.dropped <- t.dropped + 1;
-        trace_drop t ~src ~dst "unreachable"
-      end)
+      deliver_copy t ~src ~dst ~seq deliver)
 
 (* A duplicated message is two physical copies on the wire, and the loss
    draw applies to each copy independently — the dup copy is not immune
@@ -196,11 +278,12 @@ let send t ~src ~dst deliver =
     else 1
   in
   for _copy = 1 to copies do
+    let seq = next_seq t ~src ~dst in
     if Rng.bool t.rng t.drop_probability then begin
       t.dropped <- t.dropped + 1;
-      trace_drop t ~src ~dst "loss"
+      trace_drop t ~src ~dst ~seq "loss"
     end
-    else deliver_after t ~src ~dst deliver
+    else deliver_after t ~src ~dst ~seq deliver
   done
 
 (* Batched delivery: the whole batch rides one physical transfer — a
@@ -218,21 +301,19 @@ let send_batch t ~src targets =
     if A.active () then
       A.instant ~time:(Engine.now t.engine) "net/send"
         ~attrs:[ Attr.int "src" src; Attr.int "batch" k ];
+    (* Sequence numbers are assigned at send time, in target-array order,
+       so a batch copy's identity does not depend on when the transfer
+       lands. *)
+    let seqs = Array.map (fun (dst, _) -> next_seq t ~src ~dst) targets in
     let latency = draw_latency t ~src in
     Engine.schedule t.engine ~delay:latency (fun () ->
-        Array.iter
-          (fun (dst, deliver) ->
+        Array.iteri
+          (fun i (dst, deliver) ->
+            let seq = seqs.(i) in
             if Rng.bool t.rng t.drop_probability then begin
               t.dropped <- t.dropped + 1;
-              trace_drop t ~src ~dst "loss"
+              trace_drop t ~src ~dst ~seq "loss"
             end
-            else if reachable t ~src ~dst then begin
-              t.delivered <- t.delivered + 1;
-              deliver ()
-            end
-            else begin
-              t.dropped <- t.dropped + 1;
-              trace_drop t ~src ~dst "unreachable"
-            end)
+            else deliver_copy t ~src ~dst ~seq deliver)
           targets)
   end

@@ -81,6 +81,32 @@ val set_skew : t -> int -> float -> unit
 
 val skew : t -> int -> float
 
+(** {1 Per-copy identities and targeted omission}
+
+    Every physical copy carries the identity [(src, dst, seq)], where
+    [seq] is a per-ordered-pair counter assigned at send time (batch
+    copies in target-array order, duplicated copies each their own seq).
+    Runs that agree on a prefix assign identical identities, so a fault
+    planner can name a specific delivery across divergent executions. *)
+
+(** Suppress the copy with the given identity at delivery time — after
+    its loss and latency draws have been consumed, so denial never
+    perturbs the random streams of the surrounding run.  The copy counts
+    as dropped.  Idempotent.  Raises [Invalid_argument] on a bad site or
+    negative [seq]. *)
+val deny : t -> src:int -> dst:int -> seq:int -> unit
+
+(** Clear all denials. *)
+val allow_all : t -> unit
+
+(** Number of identities currently denied. *)
+val denied_count : t -> int
+
+(** The identity of the copy whose [deliver] callback is currently
+    running, or [None] outside a delivery.  Lets instrumented receivers
+    cite the copy that triggered them. *)
+val delivering : t -> (int * int * int) option
+
 (** [send t ~src ~dst deliver] schedules [deliver] after the drawn latency
     unless the message is lost. *)
 val send : t -> src:int -> dst:int -> (unit -> unit) -> unit

@@ -56,7 +56,58 @@ let sexp_tests =
             match Sexp.of_string s with
             | exception Sexp.Parse_error _ -> ()
             | _ -> Alcotest.fail ("should not parse: " ^ s))
-          [ "("; ")"; "(a))"; "\"unterminated"; ""; "a b" ]);
+          [
+            "("; ")"; "(a))"; "\"unterminated"; ""; "a b"; "; only comment";
+            "(a \"b)"; "(\"x\\"; "   \t\n  ";
+          ]);
+    Alcotest.test_case "atoms starting with ';' quote instead of commenting"
+      `Quick (fun () ->
+        (* a bare leading ';' would re-read as a line comment and
+           swallow the rest of the line — the printer must quote it *)
+        List.iter
+          (fun a ->
+            let t = Sexp.List [ Sexp.atom a; Sexp.int 1 ] in
+            match Sexp.of_string (Sexp.to_string t) with
+            | Sexp.List [ Sexp.Atom a'; Sexp.Atom "1" ] ->
+              Alcotest.(check string) "atom preserved" a a'
+            | _ -> Alcotest.fail ("unexpected shape for atom " ^ a))
+          [ ";"; ";comment"; "a;b"; ";;" ]);
+    (let rec sexp_equal a b =
+       match (a, b) with
+       | Sexp.Atom x, Sexp.Atom y -> String.equal x y
+       | Sexp.List xs, Sexp.List ys ->
+         List.length xs = List.length ys && List.for_all2 sexp_equal xs ys
+       | _ -> false
+     in
+     let nasty_atom =
+       (* every character class the codec treats specially: quoting
+          triggers, escapes, comment starts, digits and floats *)
+       QCheck.Gen.(
+         string_size ~gen:
+           (oneofl
+              [
+                'a'; 'z'; 'A'; '0'; '9'; '-'; '.'; '_'; '#'; '>'; '@'; ' ';
+                '('; ')'; '"'; ';'; '\\'; '\n'; '\t';
+              ])
+           (0 -- 10))
+     in
+     let sexp_gen =
+       QCheck.Gen.(
+         sized @@ fix (fun self n ->
+             if n = 0 then map Sexp.atom nasty_atom
+             else
+               frequency
+                 [
+                   (2, map Sexp.atom nasty_atom);
+                   (1, map (fun l -> Sexp.List l)
+                        (list_size (0 -- 4) (self (n / 2))));
+                 ]))
+     in
+     qtest
+       (QCheck.Test.make ~count:1000
+          ~name:"fuzz: print/parse round-trips any tree structurally"
+          (QCheck.make ~print:Sexp.to_string sexp_gen)
+          (fun t -> sexp_equal t (Sexp.of_string (Sexp.to_string t)))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -290,6 +341,29 @@ let shrink_tests =
         Alcotest.(check int) "minimal size" 2 (List.length result);
         Alcotest.(check bool) "kept the cause" true (List.for_all needs result);
         Alcotest.(check bool) "probes counted" true (probes > 0));
+    Alcotest.test_case "minimize probes each distinct schedule exactly once"
+      `Quick (fun () ->
+        (* the memoized oracle must never replay a canonical schedule
+           twice across the ddmin / weaken / ddmin phases, and the
+           reported probe count is the distinct-schedule count *)
+        let events =
+          List.init 8 (fun i ->
+              { Fault.at = float_of_int (i + 1); action = Fault.Crash i })
+        in
+        let needs e = List.mem e.Fault.at [ 3.0; 6.0 ] in
+        let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+        let violates l =
+          let key = Shrink.schedule_key l in
+          Alcotest.(check bool)
+            (Fmt.str "schedule %s probed once" key)
+            false (Hashtbl.mem seen key);
+          Hashtbl.replace seen key ();
+          List.length (List.filter needs l) = 2
+        in
+        let result, probes = Shrink.minimize ~violates events in
+        Alcotest.(check int) "minimal size" 2 (List.length result);
+        Alcotest.(check int)
+          "probes = distinct schedules" (Hashtbl.length seen) probes);
     Alcotest.test_case "empty schedule already violating shrinks to nothing"
       `Quick (fun () ->
         let events =
