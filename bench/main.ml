@@ -512,6 +512,88 @@ let rows_degrade =
              ~nemeses:[ "partition" ] 42) );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* X-relax: live multicore relaxed queues                              *)
+(* ------------------------------------------------------------------ *)
+
+module Relax = Relax_relax
+
+(* Single-domain op-pair cost of each live structure (the uncontended
+   fast path), plus one full recorded-and-checked harness run. *)
+let rows_relax =
+  let rq = Relax.Rqueue.create ~width:4 () in
+  let lq = Relax.Lockq.create () in
+  let sq = Relax.Stutq.create ~j:3 in
+  List.iter (Relax.Rqueue.enqueue rq ~hint:0) [ 1; 2 ];
+  List.iter (Relax.Lockq.enqueue lq) [ 1; 2 ];
+  List.iter (Relax.Stutq.enqueue sq) [ 1; 2 ];
+  [
+    ( "relax/rqueue-enq-deq-pair (X-relax)",
+      fun () ->
+        Relax.Rqueue.enqueue rq ~hint:0 3;
+        ignore (Relax.Rqueue.dequeue rq ~hint:0) );
+    ( "relax/lockq-enq-deq-pair (X-relax)",
+      fun () ->
+        Relax.Lockq.enqueue lq 3;
+        ignore (Relax.Lockq.dequeue lq) );
+    ( "relax/stutq-enq-deq-pair (X-relax)",
+      fun () ->
+        Relax.Stutq.enqueue sq 3;
+        ignore (Relax.Stutq.dequeue sq) );
+    ( "relax/recorded-run-2dom-120ops (X-relax)",
+      fun () -> ignore (Relax.Harness.run Relax.Harness.default_params) );
+  ]
+
+(* The relaxed-vs-locked scaling table.  Each cell is the median of
+   three repetitions, and the repetitions interleave every configuration
+   so a noisy scheduler burst degrades one rep of each cell instead of
+   every rep of one cell. *)
+let print_relax_throughput () =
+  let ops_per_domain = 30_000 and reps = 3 in
+  let bench impl ~k d =
+    Relax.Harness.bench impl ~domains:d ~ops_per_domain ~k ~j:3 ~seed:42
+  in
+  let configs =
+    [
+      ("relaxed k=4", bench Relax.Harness.Relaxed ~k:4);
+      ("relaxed k=16", bench Relax.Harness.Relaxed ~k:16);
+      ("locked", bench Relax.Harness.Locked ~k:4);
+      ("stuttering j=3", bench Relax.Harness.Stuttering ~k:4);
+    ]
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let tbl = Hashtbl.create 16 in
+  for _rep = 1 to reps do
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (label, f) ->
+            let prior = try Hashtbl.find tbl (label, d) with Not_found -> [] in
+            Hashtbl.replace tbl (label, d) (f d :: prior))
+          configs)
+      domain_counts
+  done;
+  let median key =
+    let xs = List.sort compare (Hashtbl.find tbl key) in
+    List.nth xs (List.length xs / 2)
+  in
+  Fmt.pr "@.== relax throughput (Mops/s, median of %d interleaved reps, %d \
+          ops/domain) ==@."
+    reps ops_per_domain;
+  Fmt.pr "%-16s %s@." "impl"
+    (String.concat "  "
+       (List.map (fun d -> Fmt.str "%6d dom" d) domain_counts));
+  List.iter
+    (fun (label, _) ->
+      Fmt.pr "%-16s %s@." label
+        (String.concat "  "
+           (List.map (fun d -> Fmt.str "%10.2f" (median (label, d)))
+              domain_counts)))
+    configs;
+  let r = median ("relaxed k=16", 4) and l = median ("locked", 4) in
+  Fmt.pr "relaxed (k=16) vs locked at 4 domains: %.2fx %s@." (r /. l)
+    (if r > l then "— relaxed ahead" else "— locked ahead")
+
 (* The CI degrade sweep (`rlx degrade sweep --runs 8`-sized), once, as
    wall-clock, with the transition-latency quantiles the controller is
    judged on. *)
@@ -717,7 +799,7 @@ let print_trace_overhead () =
 let all_rows =
   rows_larch @ rows_conformance @ rows_core @ rows_prob @ rows_sim
   @ rows_extensions @ rows_chaos @ rows_ldfi_lineage @ rows_ldfi_solver
-  @ rows_degrade @ rows_claims @ rows_proof
+  @ rows_degrade @ rows_relax @ rows_claims @ rows_proof
 
 let all_tests =
   Test.make_grouped ~name:"relax"
@@ -785,6 +867,7 @@ let () =
     print_chaos_sweep ();
     print_ldfi_hunt ();
     print_degrade_sweep ();
+    print_relax_throughput ();
     print_load_sweep ();
     print_proof_pipeline ();
     print_trace_overhead ();

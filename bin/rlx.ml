@@ -1392,6 +1392,243 @@ let load_cmd =
       $ timeout_arg $ drop_arg $ no_crash_arg $ seed_arg $ point_arg
       $ jobs_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* rlx relax                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The live multicore loop: real domains race on the lock-free
+   structures of lib/relax, and the recorded histories are decided
+   against the Section 4 automata.  `run` is one seeded workload,
+   `check` is the CI-budget conformance gate (sweep + planted negative
+   + elastic trajectory), `bench` is the unrecorded scaling table. *)
+
+let relax_impl_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "relaxed" -> Ok Relax_relax.Harness.Relaxed
+    | "planted" -> Ok Relax_relax.Harness.Planted
+    | "locked" -> Ok Relax_relax.Harness.Locked
+    | "stuttering" -> Ok Relax_relax.Harness.Stuttering
+    | _ ->
+      Error
+        (`Msg
+          (Fmt.str "unknown impl %S (relaxed | planted | locked | stuttering)"
+             s))
+  in
+  let print ppf i = Fmt.string ppf (Relax_relax.Harness.impl_name i) in
+  Arg.conv (parse, print)
+
+let run_relax_run impl domains ops k j prefill bias seed show_events =
+  let module H = Relax_relax.Harness in
+  let module C = Relax_relax.Conformance in
+  let params =
+    {
+      H.impl;
+      domains;
+      ops_per_domain = ops;
+      k;
+      j;
+      prefill;
+      enq_bias = bias;
+      seed = Option.value seed ~default:H.default_params.seed;
+    }
+  in
+  let o = H.run params in
+  Fmt.pr "== relax run: %s, %d domains x %d ops, k=%d j=%d, seed %d ==@."
+    (H.impl_name impl) domains ops k j params.seed;
+  if show_events then
+    List.iter (fun c -> Fmt.pr "%a@." Relax_relax.Record.pp_completed c)
+      o.H.events;
+  Fmt.pr "recorded %d ops in %.4f s (%.3f Mops/s)@." o.H.ops o.H.wall_s
+    o.H.mops;
+  Fmt.pr "%a@." C.pp_verdict o.H.verdict;
+  let conforms = C.conforms o.H.verdict in
+  match impl with
+  | H.Planted ->
+    (* the negative control succeeds by being caught *)
+    Fmt.pr "planted overtake: %s@."
+      (if conforms then "ESCAPED the checker" else "caught");
+    exit_of (not conforms)
+  | _ -> exit_of conforms
+
+let run_relax_check domains ops k j seeds seed0 =
+  let module H = Relax_relax.Harness in
+  let module C = Relax_relax.Conformance in
+  let module X = Relax_experiments.Relax_x in
+  let params =
+    { H.default_params with domains; ops_per_domain = ops; k; j }
+  in
+  let seed_list = List.init seeds (fun i -> seed0 + i) in
+  Fmt.pr "== relax check: %d domains x %d ops, k=%d, seeds %d..%d ==@." domains
+    ops k seed0
+    (seed0 + seeds - 1);
+  let sweep = X.conformance_sweep params seed_list in
+  Fmt.pr "relaxed vs Semiqueue_%d: %d/%d accepted@." k sweep.X.accepted seeds;
+  List.iter
+    (fun (seed, v) -> Fmt.pr "  seed %d REJECTED: %s@." seed v)
+    sweep.X.rejections;
+  let _events, at_claimed, at_doubled = X.planted_exhibit ~width:2 in
+  let planted_ok =
+    (not (C.conforms at_claimed)) && C.conforms at_doubled
+  in
+  Fmt.pr "planted overtake: %s at k=2, %s at k=4@."
+    (if C.conforms at_claimed then "accepted (BUG MISSED)" else "rejected")
+    (if C.conforms at_doubled then "accepted" else "rejected (BUG)");
+  let el = H.run_elastic H.default_elastic_params in
+  let widened =
+    List.exists
+      (fun (tr : Relax_relax.Controller.transition) -> tr.widened)
+      el.H.etransitions
+  and narrowed =
+    List.exists
+      (fun (tr : Relax_relax.Controller.transition) -> not tr.widened)
+      el.H.etransitions
+  in
+  let elastic_ok =
+    widened && narrowed && el.H.set_k_events >= 1 && C.conforms el.H.everdict
+  in
+  Fmt.pr "elastic: k %a, %d shift events, %s@."
+    Fmt.(list ~sep:(any " -> ") int)
+    el.H.evisited el.H.set_k_events
+    (if C.conforms el.H.everdict then "accepted" else "REJECTED");
+  exit_of (sweep.X.rejections = [] && planted_ok && elastic_ok)
+
+let run_relax_bench domain_counts ops k j seed out =
+  let module X = Relax_experiments.Relax_x in
+  let rows = X.bench_rows ~domain_counts ~ops_per_domain:ops ~k ~j ~seed () in
+  Fmt.pr "== relax bench: %d ops/domain, k=%d j=%d, seed %d ==@." ops k j seed;
+  Fmt.pr "%a" X.pp_bench rows;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (X.bench_to_json rows);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "wrote %s@." path);
+  0
+
+let relax_cmd =
+  let d = Relax_relax.Harness.default_params in
+  let domains_arg =
+    let doc = "Number of domains racing on the structure." in
+    Arg.(value & opt int d.domains & info [ "domains"; "d" ] ~docv:"N" ~doc)
+  in
+  let ops_arg ~default =
+    let doc = "Operations per domain." in
+    Arg.(value & opt int default & info [ "ops"; "n" ] ~docv:"N" ~doc)
+  in
+  let k_arg =
+    let doc = "Relaxation bound: segment width of the k-relaxed queue." in
+    Arg.(value & opt int d.k & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let j_arg =
+    let doc = "Stutter budget of the j-stuttering queue." in
+    Arg.(value & opt int d.j & info [ "j" ] ~docv:"J" ~doc)
+  in
+  let relax_seed_arg =
+    let doc = "Base seed (run $(i,i) of a sweep uses $(i,SEED+i))." in
+    Arg.(value & opt int d.seed & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+  in
+  let run_cmd =
+    let impl_arg =
+      let doc = "Implementation: relaxed | planted | locked | stuttering." in
+      Arg.(
+        value
+        & opt relax_impl_conv Relax_relax.Harness.Relaxed
+        & info [ "impl"; "i" ] ~docv:"IMPL" ~doc)
+    in
+    let prefill_arg =
+      let doc = "Items enqueued (and recorded) before spawning domains." in
+      Arg.(value & opt int d.prefill & info [ "prefill" ] ~docv:"N" ~doc)
+    in
+    let bias_arg =
+      let doc = "Probability an operation is an enqueue." in
+      Arg.(value & opt float d.enq_bias & info [ "bias" ] ~docv:"P" ~doc)
+    in
+    let events_arg =
+      let doc = "Print the recorded history (one completed op per line)." in
+      Arg.(value & flag & info [ "events" ] ~doc)
+    in
+    let exits =
+      Cmd.Exit.info
+        ~doc:
+          "the recorded history conforms (for $(b,--impl planted): the \
+           checker caught the planted overtake)."
+        0
+      :: Cmd.Exit.info ~doc:"the conformance verdict went the wrong way." 1
+      :: List.filter (fun i -> Cmd.Exit.info_code i > 1) Cmd.Exit.defaults
+    in
+    let doc =
+      "One seeded multi-domain workload against a live structure, recorded \
+       and conformance-checked against its lattice automaton."
+    in
+    Cmd.v (Cmd.info "run" ~doc ~exits)
+      Term.(
+        const run_relax_run $ impl_arg $ domains_arg
+        $ ops_arg ~default:d.ops_per_domain $ k_arg $ j_arg $ prefill_arg
+        $ bias_arg
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Workload seed.")
+        $ events_arg)
+  in
+  let check_cmd =
+    let seeds_arg =
+      let doc = "Number of seeded runs in the conformance sweep." in
+      Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc)
+    in
+    let doc =
+      "The conformance gate: a pinned-seed multi-domain sweep against \
+       Semiqueue_k, the planted-overtake negative control, and one elastic \
+       trajectory under the combined automaton."
+    in
+    let exits =
+      Cmd.Exit.info
+        ~doc:
+          "every sweep run accepted, the planted variant rejected at its \
+           claimed bound, and the elastic trajectory (with at least one \
+           widen and one narrow) accepted."
+        0
+      :: Cmd.Exit.info ~doc:"at least one of those gates failed." 1
+      :: List.filter (fun i -> Cmd.Exit.info_code i > 1) Cmd.Exit.defaults
+    in
+    Cmd.v (Cmd.info "check" ~doc ~exits)
+      Term.(
+        const run_relax_check $ domains_arg $ ops_arg ~default:60 $ k_arg
+        $ j_arg $ seeds_arg
+        $ Arg.(
+            value & opt int 0
+            & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"First seed of the sweep."))
+  in
+  let bench_cmd =
+    let domain_counts_arg =
+      let doc = "Comma-separated domain counts to scale across." in
+      Arg.(
+        value
+        & opt (list int) [ 1; 2; 4; 8 ]
+        & info [ "domains"; "d" ] ~docv:"LIST" ~doc)
+    in
+    let out_arg =
+      let doc = "Write the rows as JSON to $(docv) (the CI artifact)." in
+      Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    let doc =
+      "Unrecorded throughput: the segment-window relaxed queue versus the \
+       locked baseline (and the stuttering queue) across domain counts."
+    in
+    Cmd.v (Cmd.info "bench" ~doc)
+      Term.(
+        const run_relax_bench $ domain_counts_arg $ ops_arg ~default:50_000
+        $ k_arg $ j_arg $ relax_seed_arg $ out_arg)
+  in
+  let doc =
+    "Live multicore relaxed queues: run, conformance-check and benchmark \
+     the lock-free structures of lib/relax against the Section 4 lattice."
+  in
+  Cmd.group (Cmd.info "relax" ~doc) [ run_cmd; check_cmd; bench_cmd ]
+
 let behaviors_cmd =
   let doc = "List the named behaviors available to 'rlx compare'." in
   Cmd.v (Cmd.info "behaviors" ~doc)
@@ -1411,7 +1648,7 @@ let main =
     (Cmd.info "rlx" ~version:"1.0.0" ~doc)
     [
       check_cmd; figure_cmd; simulate_cmd; chaos_cmd; ldfi_cmd; degrade_cmd;
-      availability_cmd; lattice_cmd; load_cmd; trait_cmd; compare_cmd;
+      availability_cmd; lattice_cmd; load_cmd; relax_cmd; trait_cmd; compare_cmd;
       behaviors_cmd; trace_cmd; profile_cmd;
     ]
 

@@ -73,6 +73,22 @@ let step_set t states p =
       dedup_hashed hash t.equal successors
     | _ -> dedup t.equal successors)
 
+(* Order-insensitive equality of deduplicated state sets: the frontier
+   comparison the memoizing checkers (and the concurrent-history checker
+   of lib/relax) key their tables on.  Both arguments must already be
+   deduplicated (step_set's output is). *)
+let set_equal t s1 s2 =
+  List.compare_lengths s1 s2 = 0
+  && List.for_all (fun a -> List.exists (t.equal a) s2) s1
+
+(* Order-insensitive hash of a state set, consistent with [set_equal]:
+   commutative combination of the per-state hashes.  0 for unhashed
+   automata, so callers degrade to pure [set_equal] probing. *)
+let set_hash t states =
+  match t.hash with
+  | None -> 0
+  | Some h -> List.fold_left (fun acc s -> acc + (h s land max_int)) 0 states
+
 (* delta* extended to histories (Section 2.1): the set of states reachable
    from the initial state by the whole history, empty iff rejected. *)
 let run t h = List.fold_left (fun states p -> step_set t states p) [ t.init ] h

@@ -52,6 +52,15 @@ val step : 'v t -> 'v -> Op.t -> 'v list
     the successor sets. *)
 val step_set : 'v t -> 'v list -> Op.t -> 'v list
 
+(** Order-insensitive equality of deduplicated state sets (such as
+    {!step_set} outputs) — the frontier comparison memoizing checkers key
+    on. *)
+val set_equal : 'v t -> 'v list -> 'v list -> bool
+
+(** Order-insensitive hash consistent with {!set_equal}; [0] when the
+    automaton carries no hash (callers then probe by equality alone). *)
+val set_hash : 'v t -> 'v list -> int
+
 (** [run t h] is [delta*(s0, h)]: every state reachable by [h], empty iff
     [h] is rejected. *)
 val run : 'v t -> History.t -> 'v list

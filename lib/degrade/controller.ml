@@ -92,12 +92,8 @@ type t = {
   degraded_assignment : Assignment.t;
   emit : degraded:bool -> unit;
   anti_entropy : Anti_entropy.t;
+  hysteresis : Hysteresis.t;  (* streaks, dwell, episode latency *)
   mutable degraded : bool;
-  mutable bad_streak : int;
-  mutable good_streak : int;
-  mutable first_bad : float option;  (* start of current unhealthy episode *)
-  mutable first_good : float option;  (* start of current healthy episode *)
-  mutable last_transition : float;
   mutable breaker_failures : float list;  (* failure times, newest first *)
   mutable breaker_open_until : float;
   mutable op_inflight : bool;
@@ -114,8 +110,8 @@ let create ?(config = default_config) ~replica ~constraints ~restore_gate
   if constraints = [] then invalid_arg "Controller.create: no constraints";
   if config.sample_every <= 0.0 then
     invalid_arg "Controller.create: sample_every must be positive";
-  if config.degrade_after < 1 || config.restore_after < 1 then
-    invalid_arg "Controller.create: streak thresholds must be >= 1";
+  (if config.degrade_after < 1 || config.restore_after < 1 then
+     invalid_arg "Controller.create: streak thresholds must be >= 1");
   let engine = Replica.engine replica in
   Replica.set_assignment replica preferred;
   {
@@ -131,12 +127,14 @@ let create ?(config = default_config) ~replica ~constraints ~restore_gate
       Anti_entropy.create ~check_every:config.gossip_check_every
         ~min_interval:config.gossip_min ~max_interval:config.gossip_max engine
         replica;
+    hysteresis =
+      Hysteresis.create
+        {
+          Hysteresis.degrade_after = config.degrade_after;
+          restore_after = config.restore_after;
+          min_dwell = config.min_dwell;
+        };
     degraded = false;
-    bad_streak = 0;
-    good_streak = 0;
-    first_bad = None;
-    first_good = None;
-    last_transition = 0.0;
     breaker_failures = [];
     breaker_open_until = 0.0;
     op_inflight = false;
@@ -176,14 +174,12 @@ let commit t ~to_degraded ~cause =
     (if to_degraded then t.degraded_assignment else t.preferred);
   let tr = { at; to_degraded; cause } in
   t.transitions_rev <- tr :: t.transitions_rev;
-  t.last_transition <- at;
-  (if to_degraded then
-     t.t2d_rev <- (at -. Option.value t.first_bad ~default:at) :: t.t2d_rev
-   else t.t2r_rev <- (at -. Option.value t.first_good ~default:at) :: t.t2r_rev);
-  t.bad_streak <- 0;
-  t.good_streak <- 0;
-  t.first_bad <- None;
-  t.first_good <- None;
+  let latency =
+    Hysteresis.commit t.hysteresis ~now:at
+      (if to_degraded then `Degrade else `Restore)
+  in
+  if to_degraded then t.t2d_rev <- latency :: t.t2d_rev
+  else t.t2r_rev <- latency :: t.t2r_rev;
   trace_transition t tr;
   t.emit ~degraded:to_degraded
 
@@ -216,8 +212,7 @@ let gate_ok t =
 let try_restore t =
   if
     t.degraded
-    && t.good_streak >= t.config.restore_after
-    && now t -. t.last_transition >= t.config.min_dwell
+    && Hysteresis.restore_ready t.hysteresis ~now:(now t)
     && (not (breaker_open t))
     && (not t.op_inflight)
     && (match sample_constraints t with Ok () -> true | Error _ -> false)
@@ -235,22 +230,13 @@ let tick t =
           At.bool "degraded" t.degraded;
           At.int "lag" (Monitor.lag t.replica);
         ];
+  Hysteresis.sample t.hysteresis ~now:(now t)
+    ~healthy:(Result.is_ok verdict);
   match verdict with
   | Error cause ->
-    t.good_streak <- 0;
-    t.first_good <- None;
-    t.bad_streak <- t.bad_streak + 1;
-    if t.first_bad = None then t.first_bad <- Some (now t);
-    if (not t.degraded) && t.bad_streak >= t.config.degrade_after then
+    if (not t.degraded) && Hysteresis.degrade_ready t.hysteresis then
       degrade t ~cause
-  | Ok () ->
-    t.bad_streak <- 0;
-    t.first_bad <- None;
-    if t.degraded then begin
-      t.good_streak <- t.good_streak + 1;
-      if t.first_good = None then t.first_good <- Some (now t);
-      try_restore t
-    end
+  | Ok () -> if t.degraded then try_restore t
 
 (* Client hook, called right before issuing an operation: fail-fast
    degrade on a fresh unhealthy probe (don't burn a timeout to learn what
@@ -261,7 +247,7 @@ let before_op t =
     else
       match sample_constraints t with
       | Error cause ->
-        if t.first_bad = None then t.first_bad <- Some (now t);
+        Hysteresis.mark_unhealthy t.hysteresis ~now:(now t);
         degrade t ~cause
       | Ok () -> ()
   end
@@ -284,7 +270,7 @@ let op_finished t outcome =
       if Tr.active () then
         Tr.instant ~time:at "degrade/breaker"
           ~attrs:[ At.float "until" t.breaker_open_until ];
-      if t.first_bad = None then t.first_bad <- Some at;
+      Hysteresis.mark_unhealthy t.hysteresis ~now:at;
       degrade t ~cause:"retry budget exhausted (breaker tripped)"
     end
 

@@ -1,0 +1,81 @@
+(* The hysteresis core shared by the degradation controller and the
+   elastic relaxed-queue controller: streaks, dwell, episode latency.
+
+   Mode is deliberately not tracked here.  The two-point controller keeps
+   its own degraded flag; the elastic controller walks a whole ladder of
+   relaxation bounds and re-arms the same instance after every committed
+   step.  Both rely on the same asymmetry: shedding fires on a streak
+   alone (fail-fast), strengthening additionally waits out the dwell
+   debounce that bounds flapping. *)
+
+type config = {
+  degrade_after : int;
+  restore_after : int;
+  min_dwell : float;
+}
+
+let validate config =
+  if config.degrade_after < 1 || config.restore_after < 1 then
+    invalid_arg "Hysteresis: streak thresholds must be >= 1";
+  if config.min_dwell < 0.0 then
+    invalid_arg "Hysteresis: min_dwell must be non-negative"
+
+type t = {
+  config : config;
+  mutable bad_streak : int;
+  mutable good_streak : int;
+  mutable first_bad : float option;  (* start of current unhealthy episode *)
+  mutable first_good : float option;  (* start of current healthy episode *)
+  mutable last_transition : float;
+}
+
+let create ?(at = 0.0) config =
+  validate config;
+  {
+    config;
+    bad_streak = 0;
+    good_streak = 0;
+    first_bad = None;
+    first_good = None;
+    last_transition = at;
+  }
+
+let config t = t.config
+let bad_streak t = t.bad_streak
+let good_streak t = t.good_streak
+let last_transition t = t.last_transition
+
+let mark_unhealthy t ~now =
+  if t.first_bad = None then t.first_bad <- Some now
+
+let sample t ~now ~healthy =
+  if healthy then begin
+    t.bad_streak <- 0;
+    t.first_bad <- None;
+    t.good_streak <- t.good_streak + 1;
+    if t.first_good = None then t.first_good <- Some now
+  end
+  else begin
+    t.good_streak <- 0;
+    t.first_good <- None;
+    t.bad_streak <- t.bad_streak + 1;
+    mark_unhealthy t ~now
+  end
+
+let degrade_ready t = t.bad_streak >= t.config.degrade_after
+
+let restore_ready t ~now =
+  t.good_streak >= t.config.restore_after
+  && now -. t.last_transition >= t.config.min_dwell
+
+let commit t ~now direction =
+  let episode =
+    match direction with `Degrade -> t.first_bad | `Restore -> t.first_good
+  in
+  let latency = now -. Option.value episode ~default:now in
+  t.bad_streak <- 0;
+  t.good_streak <- 0;
+  t.first_bad <- None;
+  t.first_good <- None;
+  t.last_transition <- now;
+  latency

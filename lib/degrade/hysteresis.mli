@@ -1,0 +1,63 @@
+(** The hysteresis core of the degradation controller, factored out so
+    other adaptive loops (the elastic relaxed-queue controller of
+    [lib/relax]) can reuse it: asymmetric streak thresholds, a dwell-time
+    debounce, and per-episode latency bookkeeping.
+
+    The module tracks streaks and episodes only — the mode itself
+    (degraded/preferred, or a position on a wider ladder) belongs to the
+    caller, which is what lets a multi-level controller re-arm the same
+    instance after every step.  The shedding direction is fail-fast
+    ({!degrade_ready} ignores the dwell); the strengthening direction is
+    slow ({!restore_ready} requires the full streak plus the dwell since
+    the last committed transition). *)
+
+type config = {
+  degrade_after : int;  (** consecutive unhealthy samples that shed *)
+  restore_after : int;  (** consecutive healthy samples that arm a restore *)
+  min_dwell : float;  (** debounce: minimum time between transitions *)
+}
+
+(** Raises [Invalid_argument] on non-positive streak thresholds or a
+    negative dwell. *)
+val validate : config -> unit
+
+type t
+
+(** [create ?at config] starts with empty streaks; [at] (default 0) seeds
+    the last-transition clock for the dwell debounce. *)
+val create : ?at:float -> config -> t
+
+val config : t -> config
+
+(** Record one monitor sample.  An unhealthy sample resets the healthy
+    streak (and vice versa); the first sample of an episode stamps the
+    episode start used by {!commit}'s latency. *)
+val sample : t -> now:float -> healthy:bool -> unit
+
+(** Open an unhealthy episode without counting a sample — the fail-fast
+    paths (a fresh unhealthy probe before an operation, a tripped
+    breaker) that commit a shed immediately. *)
+val mark_unhealthy : t -> now:float -> unit
+
+val bad_streak : t -> int
+val good_streak : t -> int
+
+(** The unhealthy streak has reached [degrade_after].  No dwell gate:
+    shedding is always language-safe, so hesitation only loses
+    availability. *)
+val degrade_ready : t -> bool
+
+(** The healthy streak has reached [restore_after] and at least
+    [min_dwell] has passed since the last committed transition.  Callers
+    typically add their own gates (breaker closed, reconvergence) before
+    committing. *)
+val restore_ready : t -> now:float -> bool
+
+(** Commit a transition: stamps the transition time (restarting the
+    dwell), clears both streaks and episodes, and returns the episode
+    latency — time from the matching episode's start ([`Degrade]: first
+    unhealthy observation; [`Restore]: health returning) to [now], 0 when
+    no episode was open. *)
+val commit : t -> now:float -> [ `Degrade | `Restore ] -> float
+
+val last_transition : t -> float

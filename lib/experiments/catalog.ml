@@ -20,6 +20,7 @@ let registry ?(alphabet = Queue_ops.alphabet (Queue_ops.universe 2))
       Chaos_scenarios.group ();
       Ldfi_x.group ();
       Degrade_x.group ();
+      Relax_x.group ();
       Atm.group ();
       Spooler.group ();
       Markov_env.group ();

@@ -1,0 +1,49 @@
+module Relax = Relax_relax
+
+(** Experiment X-relax: live multicore relaxed queues conformance-checked
+    against the Section 4 lattice — the engine behind `rlx relax
+    run|bench|check`.
+
+    Real OCaml 5 domains hammer the segment-window k-relaxed queue, the
+    j-stuttering queue, the locked FIFO baseline and the planted
+    over-relaxed variant; every recorded history goes through the
+    relaxed-conformance checker against the matching automaton
+    ([Semiqueue_k], [Stuttering_j], [Semiqueue_1], and the combined
+    elastic automaton for runs where the controller moves [k]). *)
+
+type sweep = {
+  seeds : int list;
+  accepted : int;
+  rejections : (int * string) list;  (** seed, rendered verdict *)
+}
+
+(** [conformance_sweep params seeds] runs one seeded workload per seed
+    (overriding [params.seed]) and tallies the verdicts. *)
+val conformance_sweep : Relax.Harness.params -> int list -> sweep
+
+(** The deterministic planted-bug exhibit: enqueue [width + 1] values
+    sequentially, dequeue once through the overtaking path, and return
+    the recorded counterexample history with its verdicts at the claimed
+    and at the doubled bound. *)
+val planted_exhibit :
+  width:int ->
+  Relax.Record.completed list * Relax.Conformance.verdict * Relax.Conformance.verdict
+
+(** Throughput rows for `rlx relax bench`: [(impl, domains, mops)]. *)
+val bench_rows :
+  ?impls:Relax.Harness.impl list ->
+  ?domain_counts:int list ->
+  ops_per_domain:int ->
+  k:int ->
+  j:int ->
+  seed:int ->
+  unit ->
+  (Relax.Harness.impl * int * float) list
+
+val pp_bench : (Relax.Harness.impl * int * float) list Fmt.t
+
+(** The bench rows as a JSON object (the CI artifact). *)
+val bench_to_json : (Relax.Harness.impl * int * float) list -> string
+
+val claims : unit -> Relax_claims.Claim.t list
+val group : unit -> Relax_claims.Registry.group

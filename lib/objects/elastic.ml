@@ -1,0 +1,40 @@
+open Relax_core
+
+(* The elastic semiqueue: Semiqueue_k with the bound k lifted into the
+   state and moved by a SetK environment operation — the combined
+   automaton of Section 2.3 instantiated for the Figure 4-1 family.  A
+   history with SetK markers is accepted iff every Deq removes one of
+   the first k items under the bound in force at its linearization
+   point. *)
+
+type state = { items : Value.t list; k : int }
+
+let set_k_name = "SetK"
+
+let set_k w = Op.make ~args:[ Value.int w ] set_k_name
+
+let is_set_k p = String.equal (Op.name p) set_k_name
+
+let set_k_width p =
+  if not (is_set_k p) then None
+  else match Op.args p with [ w ] -> Value.to_int w | _ -> None
+
+let equal a b = a.k = b.k && Fifo.equal a.items b.items
+let hash s = (Fifo.hash s.items * 65599) + s.k
+
+let pp ppf s = Fmt.pf ppf "<items=%a, k=%d>" Fifo.pp s.items s.k
+
+let step (s : state) p =
+  if is_set_k p then
+    match set_k_width p with
+    | Some w when w >= 1 -> [ { s with k = w } ]
+    | _ -> []
+  else
+    List.map (fun items -> { s with items }) (Semiqueue.step ~k:s.k s.items p)
+
+let automaton ~k =
+  if k < 1 then invalid_arg "Elastic.automaton: k must be positive";
+  Automaton.make
+    ~name:(Fmt.str "Elastic(%d)" k)
+    ~init:{ items = []; k }
+    ~equal ~hash ~pp_state:pp step

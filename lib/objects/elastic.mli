@@ -1,0 +1,35 @@
+open Relax_core
+
+(** The elastic semiqueue: Section 2.3's combined-automaton construction
+    applied to the Semiqueue_k family.  The state carries the live
+    relaxation bound [k] alongside the queue contents; the environment
+    operation [SetK(w)] moves the bound, and Enq/Deq step exactly as
+    [Semiqueue.step] at the current [k].
+
+    This is the specification the live elastic relaxed queue of
+    [lib/relax] is checked against: the implementation emits a [SetK]
+    event whenever its effective relaxation changes (the head of the
+    segment window advancing onto a segment of a different width), and
+    the recorded concurrent history — client Enq/Deq plus the [SetK]
+    markers — must be accepted here. *)
+
+type state = { items : Value.t list; k : int }
+
+val set_k_name : string
+
+(** [set_k w] is the environment execution [SetK(w)/Ok()]. *)
+val set_k : int -> Op.t
+
+val is_set_k : Op.t -> bool
+
+(** The requested bound of a [SetK], [None] for other operations. *)
+val set_k_width : Op.t -> int option
+
+val equal : state -> state -> bool
+val hash : state -> int
+val pp : state Fmt.t
+val step : state -> Op.t -> state list
+
+(** [automaton ~k] starts empty at bound [k].  Raises [Invalid_argument]
+    when [k < 1]. *)
+val automaton : k:int -> state Automaton.t

@@ -1,0 +1,242 @@
+open Relax_core
+
+type 'v spec = { automaton : 'v Automaton.t; empty_at : ('v -> bool) option }
+
+let spec ?empty_at automaton = { automaton; empty_at }
+
+let empty_term = "Empty"
+let deq_empty = Op.make ~term:empty_term Relax_objects.Queue_ops.deq_name
+let is_empty_probe op = String.equal (Op.term op) empty_term
+
+let fifo () =
+  spec
+    ~empty_at:(function [] -> true | _ :: _ -> false)
+    (Relax_objects.Semiqueue.automaton 1)
+
+let semiqueue ~k =
+  spec
+    ~empty_at:(function [] -> true | _ :: _ -> false)
+    (Relax_objects.Semiqueue.automaton k)
+
+let stuttering ~j =
+  spec
+    ~empty_at:(fun (s : Relax_objects.Stuttering.state) ->
+      match s.items with [] -> true | _ :: _ -> false)
+    (Relax_objects.Stuttering.automaton j)
+
+let elastic ~k =
+  spec
+    ~empty_at:(fun (s : Relax_objects.Elastic.state) ->
+      match s.items with [] -> true | _ :: _ -> false)
+    (Relax_objects.Elastic.automaton ~k)
+
+let step spec states p =
+  if is_empty_probe p then
+    match spec.empty_at with
+    | Some empty -> List.filter empty states
+    | None -> []
+  else Automaton.step_set spec.automaton states p
+
+type stats = { ops : int; window_peak : int; configs_peak : int; retired : int }
+
+type verdict =
+  | Accepted of stats
+  | Rejected of {
+      stats : stats;
+      culprit : Record.completed;
+      witness : History.t;
+    }
+
+let conforms = function Accepted _ -> true | Rejected _ -> false
+let verdict_stats = function Accepted s -> s | Rejected r -> r.stats
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d ops, window<=%d, frontier<=%d, %d retired" s.ops s.window_peak
+    s.configs_peak s.retired
+
+let pp_verdict ppf = function
+  | Accepted s -> Fmt.pf ppf "@[<h>accepted (%a)@]" pp_stats s
+  | Rejected r ->
+      Fmt.pf ppf
+        "@[<v>rejected at %a (%a)@,best linearization attempt: %a@]"
+        Record.pp_completed r.culprit pp_stats r.stats History.pp r.witness
+
+(* A configuration: which live operations some precedence-consistent
+   order has already linearized (bitmask over window slots), the
+   automaton states that order can reach, and the order itself (kept in
+   reverse for the rejection witness). *)
+type 'v config = { mask : int; states : 'v list; lin_rev : Op.t list }
+
+exception Reject of Record.completed * History.t
+
+let max_slots = 62
+
+let check spec events =
+  let ops = Array.of_list events in
+  let n = Array.length ops in
+  (* Every ticket is unique (one fetch-and-add clock), so sorting the 2n
+     invocation/response points by ticket replays the wall order. *)
+  let points = Array.make (2 * n) (0, 0, false) in
+  Array.iteri
+    (fun i (c : Record.completed) ->
+      points.(2 * i) <- (c.inv, i, true);
+      points.((2 * i) + 1) <- (c.res, i, false))
+    ops;
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) points;
+  let slot_of = Array.make n (-1) in
+  let responded = Array.make n false in
+  let used = ref 0 (* bitmask of occupied window slots *) in
+  let live = ref [] (* (slot, op index) of invoked, unretired ops *) in
+  let configs =
+    ref [ { mask = 0; states = [ Automaton.init spec.automaton ]; lin_rev = [] } ]
+  in
+  let window_peak = ref 0 and configs_peak = ref 0 and retired = ref 0 in
+  let key c = (c.mask * 1_000_003) lxor Automaton.set_hash spec.automaton c.states in
+  let same a b =
+    a.mask = b.mask && Automaton.set_equal spec.automaton a.states b.states
+  in
+  let dedup_into tbl q c =
+    if not (List.exists (same c) (Hashtbl.find_all tbl (key c))) then begin
+      Hashtbl.add tbl (key c) c;
+      Queue.push c q
+    end
+  in
+  (* Saturate the frontier: linearize live, not-yet-linearized ops in
+     every order the automaton admits. *)
+  let closure () =
+    let tbl = Hashtbl.create 64 in
+    let q = Queue.create () in
+    List.iter (dedup_into tbl q) !configs;
+    let out = ref [] in
+    while not (Queue.is_empty q) do
+      let c = Queue.pop q in
+      out := c :: !out;
+      List.iter
+        (fun (slot, i) ->
+          let bit = 1 lsl slot in
+          if c.mask land bit = 0 then begin
+            let succ = step spec c.states ops.(i).Record.op in
+            if succ <> [] then
+              dedup_into tbl q
+                {
+                  mask = c.mask lor bit;
+                  states = succ;
+                  lin_rev = ops.(i).Record.op :: c.lin_rev;
+                }
+          end)
+        !live
+    done;
+    configs := !out;
+    if List.length !configs > !configs_peak then
+      configs_peak := List.length !configs
+  in
+  let dedup_list cs =
+    let tbl = Hashtbl.create 64 in
+    let q = Queue.create () in
+    List.iter (dedup_into tbl q) cs;
+    List.of_seq (Queue.to_seq q)
+  in
+  let longest_witness cs =
+    let best =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | Some b when List.length b.lin_rev >= List.length c.lin_rev -> acc
+          | _ -> Some c)
+        None cs
+    in
+    match best with
+    | None -> History.empty
+    | Some c -> History.of_list (List.rev c.lin_rev)
+  in
+  let on_invocation i =
+    let rec free s =
+      if s = max_slots then
+        invalid_arg "Conformance.check: more than 62 simultaneously live ops"
+      else if !used land (1 lsl s) = 0 then s
+      else free (s + 1)
+    in
+    let slot = free 0 in
+    used := !used lor (1 lsl slot);
+    slot_of.(i) <- slot;
+    live := (slot, i) :: !live;
+    let width = List.length !live in
+    if width > !window_peak then window_peak := width;
+    closure ()
+  in
+  let on_response i =
+    let bit = 1 lsl slot_of.(i) in
+    let survivors = List.filter (fun c -> c.mask land bit <> 0) !configs in
+    if survivors = [] then raise (Reject (ops.(i), longest_witness !configs));
+    responded.(i) <- true;
+    configs := survivors;
+    (* Retire ops linearized in every surviving configuration: their
+       window slots (and mask bits) are no longer informative. *)
+    let everywhere =
+      List.fold_left (fun m c -> m land c.mask) (lnot 0) !configs
+    in
+    let gone, kept =
+      List.partition
+        (fun (s, j) -> responded.(j) && everywhere land (1 lsl s) <> 0)
+        !live
+    in
+    if gone <> [] then begin
+      let cleared = List.fold_left (fun m (s, _) -> m lor (1 lsl s)) 0 gone in
+      live := kept;
+      List.iter
+        (fun (s, j) ->
+          used := !used land lnot (1 lsl s);
+          slot_of.(j) <- -1;
+          incr retired)
+        gone;
+      configs :=
+        dedup_list
+          (List.map (fun c -> { c with mask = c.mask land lnot cleared }) !configs)
+    end
+  in
+  let stats () =
+    {
+      ops = n;
+      window_peak = !window_peak;
+      configs_peak = !configs_peak;
+      retired = !retired;
+    }
+  in
+  try
+    Array.iter
+      (fun (_, i, is_inv) -> if is_inv then on_invocation i else on_response i)
+      points;
+    Accepted (stats ())
+  with Reject (culprit, witness) ->
+    Rejected { stats = stats (); culprit; witness }
+
+let check_naive spec events =
+  let ops = Array.of_list events in
+  let n = Array.length ops in
+  let chosen = Array.make n false in
+  (* Backtracking over precedence-consistent orders: an op may go next
+     iff no unchosen op responded before its invocation. *)
+  let rec extend states picked =
+    if picked = n then true
+    else
+      let candidate i =
+        (not chosen.(i))
+        && Array.to_seq ops
+           |> Seq.mapi (fun j c -> (j, c))
+           |> Seq.for_all (fun (j, c) ->
+                  chosen.(j) || j = i || not (Record.precedes c ops.(i)))
+      in
+      let rec try_ops i =
+        if i = n then false
+        else if candidate i then begin
+          let succ = step spec states ops.(i).Record.op in
+          chosen.(i) <- true;
+          let ok = succ <> [] && extend succ (picked + 1) in
+          chosen.(i) <- false;
+          ok || try_ops (i + 1)
+        end
+        else try_ops (i + 1)
+      in
+      try_ops 0
+  in
+  extend [ Automaton.init spec.automaton ] 0

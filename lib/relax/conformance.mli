@@ -1,0 +1,86 @@
+open Relax_core
+
+(** Deciding whether a recorded concurrent history is accepted by a
+    relaxed-object automaton.
+
+    This generalizes linearizability checking (Wing–Gong / Lowe's
+    just-in-time configurations) from deterministic sequential objects
+    to the paper's nondeterministic automata: a history conforms iff
+    there is a total order of its operations, consistent with the
+    real-time precedence of {!Record.precedes}, that the automaton
+    accepts.  The checker sweeps invocation/response events in ticket
+    order, maintaining a frontier of {e configurations} — a set of
+    linearized-so-far operations (a bitmask over a sliding window of
+    live operations) paired with the automaton state-set reachable by
+    some order of them.  Responses prune configurations that failed to
+    linearize the responding operation; operations linearized in every
+    surviving configuration retire from the window, so the window (and
+    the bitmask width) is bounded by the run's actual overlap, not its
+    length.  Exhaustive within the window, sound pruning across it:
+    a verdict of [Accepted] always exhibits a witness order, and
+    [Rejected] means no consistent order exists. *)
+
+type 'v spec
+
+(** [spec ?empty_at automaton] checks against [automaton]'s language.
+    [empty_at] tells the checker which automaton states count as
+    "nothing to return", enabling it to linearize {!deq_empty}
+    responses; without it any empty-returning dequeue rejects. *)
+val spec : ?empty_at:('v -> bool) -> 'v Automaton.t -> 'v spec
+
+(** {1 Specs for the lattice objects of Section 4} *)
+
+val fifo : unit -> Relax_objects.Semiqueue.state spec
+val semiqueue : k:int -> Relax_objects.Semiqueue.state spec
+val stuttering : j:int -> Relax_objects.Stuttering.state spec
+
+(** The combined automaton: client Enq/Deq plus [SetK] bound changes,
+    starting at bound [k]. *)
+val elastic : k:int -> Relax_objects.Elastic.state spec
+
+(** {1 Recording empty dequeues} *)
+
+(** The execution [Deq()/Empty()]: a dequeue that found nothing.  Not in
+    the paper's queue alphabet — the checker linearizes it at a state
+    satisfying the spec's [empty_at]. *)
+val deq_empty : Op.t
+
+val is_empty_probe : Op.t -> bool
+
+(** [step s states p] is one spec transition applied to a state set —
+    the automaton's [step_set] extended with the [empty_at] rule.
+    Exposed for the brute-force cross-check in the test suite. *)
+val step : 'v spec -> 'v list -> Op.t -> 'v list
+
+(** {1 Checking} *)
+
+type stats = {
+  ops : int;
+  window_peak : int;  (** most simultaneously live (unretired) ops *)
+  configs_peak : int;  (** widest frontier *)
+  retired : int;  (** ops proven linearized in every surviving config *)
+}
+
+type verdict =
+  | Accepted of stats
+  | Rejected of {
+      stats : stats;
+      culprit : Record.completed;
+          (** the response no surviving configuration had linearized *)
+      witness : History.t;
+          (** a longest linearization attempt at the point of failure *)
+    }
+
+(** [check spec events] expects [events] sorted by invocation ticket
+    (as {!Record.completed} returns them).  Raises [Invalid_argument]
+    if more than 62 operations are ever simultaneously live. *)
+val check : 'v spec -> Record.completed list -> verdict
+
+val conforms : verdict -> bool
+val verdict_stats : verdict -> stats
+val pp_verdict : verdict Fmt.t
+
+(** Brute-force reference: backtracking over every precedence-consistent
+    total order.  Exponential — for cross-checking {!check} on small
+    histories only. *)
+val check_naive : 'v spec -> Record.completed list -> bool

@@ -1,0 +1,109 @@
+type config = {
+  k_min : int;
+  k_max : int;
+  widen_after : int;
+  narrow_after : int;
+  min_dwell : float;
+  high_occupancy : int;
+  high_cas_rate : float;
+}
+
+let default_config =
+  {
+    k_min = 1;
+    k_max = 16;
+    widen_after = 2;
+    narrow_after = 4;
+    min_dwell = 2.0;
+    high_occupancy = 64;
+    high_cas_rate = 0.05;
+  }
+
+let validate c =
+  if c.k_min < 1 then invalid_arg "Controller: k_min must be positive";
+  if c.k_max < c.k_min then invalid_arg "Controller: k_max < k_min";
+  if c.widen_after < 1 then invalid_arg "Controller: widen_after must be positive";
+  if c.narrow_after < 1 then invalid_arg "Controller: narrow_after must be positive";
+  if c.min_dwell < 0.0 then invalid_arg "Controller: min_dwell must be non-negative";
+  if c.high_occupancy < 1 then invalid_arg "Controller: high_occupancy must be positive";
+  if c.high_cas_rate <= 0.0 then invalid_arg "Controller: high_cas_rate must be positive"
+
+type transition = { at : float; k : int; widened : bool; cause : string }
+
+type t = {
+  config : config;
+  hysteresis : Relax_degrade.Hysteresis.t;
+  mutable k : int;
+  mutable transitions_rev : transition list;
+  mutable visited_rev : int list;
+}
+
+let clamp c k = min c.k_max (max c.k_min k)
+
+let create ?(config = default_config) ~initial () =
+  validate config;
+  let k = clamp config initial in
+  {
+    config;
+    hysteresis =
+      Relax_degrade.Hysteresis.create
+        {
+          Relax_degrade.Hysteresis.degrade_after = config.widen_after;
+          restore_after = config.narrow_after;
+          min_dwell = config.min_dwell;
+        };
+    k;
+    transitions_rev = [];
+    visited_rev = [ k ];
+  }
+
+let config t = t.config
+let k t = t.k
+
+let move t ~now ~widened ~cause =
+  let k =
+    clamp t.config (if widened then t.k * 2 else t.k / 2)
+  in
+  ignore
+    (Relax_degrade.Hysteresis.commit t.hysteresis ~now
+       (if widened then `Degrade else `Restore));
+  t.k <- k;
+  if not (List.mem k t.visited_rev) then t.visited_rev <- k :: t.visited_rev;
+  let tr = { at = now; k; widened; cause } in
+  t.transitions_rev <- tr :: t.transitions_rev;
+  Relax_obs.Tracer.Ambient.instant "relax.set_k"
+    ~attrs:[ Relax_obs.Attr.int "k" k; Relax_obs.Attr.str "cause" cause ];
+  Some tr
+
+let observe t ~now ~occupancy ~cas_failures ~ops =
+  let backlog = occupancy >= t.config.high_occupancy in
+  let rate =
+    if ops <= 0 then 0.0 else float_of_int cas_failures /. float_of_int ops
+  in
+  let contended = rate >= t.config.high_cas_rate in
+  let pressured = backlog || contended in
+  Relax_degrade.Hysteresis.sample t.hysteresis ~now ~healthy:(not pressured);
+  if
+    pressured && t.k < t.config.k_max
+    && Relax_degrade.Hysteresis.degrade_ready t.hysteresis
+  then
+    let cause =
+      match (backlog, contended) with
+      | true, true -> Fmt.str "backlog=%d cas_rate=%.3f" occupancy rate
+      | true, false -> Fmt.str "backlog=%d" occupancy
+      | _ -> Fmt.str "cas_rate=%.3f" rate
+    in
+    move t ~now ~widened:true ~cause
+  else if
+    (not pressured) && t.k > t.config.k_min
+    && Relax_degrade.Hysteresis.restore_ready t.hysteresis ~now
+  then move t ~now ~widened:false ~cause:"calm"
+  else None
+
+let transitions t = List.rev t.transitions_rev
+let visited t = List.rev t.visited_rev
+
+let pp_transition ppf tr =
+  Fmt.pf ppf "@[<h>t=%.0f %s k=%d (%s)@]" tr.at
+    (if tr.widened then "widen" else "narrow")
+    tr.k tr.cause

@@ -1,0 +1,63 @@
+(** The elastic controller: moves the relaxed queue's bound [k] along
+    the [Semiqueue_k] chain of the Section 4 lattice in response to
+    measured pressure, with the same asymmetric hysteresis the
+    degradation controller applies to modes — widen (degrade: give up
+    ordering for throughput) after a short streak of pressured samples,
+    narrow (restore) only after a long calm streak {e and} a dwell
+    period, so the bound does not thrash.
+
+    Pressure is backlog ([occupancy >= high_occupancy]) or contention
+    (slot-CAS failures per completed operation [>= high_cas_rate]).
+    The controller only picks the target bound; the caller applies it
+    with [Rqueue.set_width], whose recorded [SetK] shift events put
+    every visited bound under online conformance checking. *)
+
+type config = {
+  k_min : int;
+  k_max : int;
+  widen_after : int;  (** pressured samples before widening *)
+  narrow_after : int;  (** calm samples before narrowing *)
+  min_dwell : float;  (** min time between moves, caller's clock *)
+  high_occupancy : int;
+  high_cas_rate : float;
+}
+
+val default_config : config
+
+(** Raises [Invalid_argument] on non-positive bounds, [k_min > k_max],
+    or thresholds that could never fire. *)
+val validate : config -> unit
+
+type transition = {
+  at : float;
+  k : int;  (** the bound after the move *)
+  widened : bool;
+  cause : string;
+}
+
+type t
+
+(** [create ?config ~initial ()] starts at bound [initial] (clamped into
+    [k_min, k_max]). *)
+val create : ?config:config -> initial:int -> unit -> t
+
+val config : t -> config
+
+(** The bound currently requested. *)
+val k : t -> int
+
+(** Feed one quiescent-point sample ([occupancy], and [cas_failures]
+    over [ops] completed operations, both as deltas or totals —
+    the rate uses them as given).  Returns the move to apply, if any. *)
+val observe :
+  t -> now:float -> occupancy:int -> cas_failures:int -> ops:int ->
+  transition option
+
+(** Every move made, oldest first. *)
+val transitions : t -> transition list
+
+(** Distinct bounds visited in first-visit order, starting with the
+    initial one. *)
+val visited : t -> int list
+
+val pp_transition : transition Fmt.t

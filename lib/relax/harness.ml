@@ -1,0 +1,280 @@
+module Rng = Relax_sim.Rng
+module Qops = Relax_objects.Queue_ops
+
+type impl = Relaxed | Planted | Locked | Stuttering
+
+let impl_name = function
+  | Relaxed -> "relaxed"
+  | Planted -> "planted"
+  | Locked -> "locked"
+  | Stuttering -> "stuttering"
+
+type params = {
+  impl : impl;
+  domains : int;
+  ops_per_domain : int;
+  k : int;
+  j : int;
+  prefill : int;
+  enq_bias : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    impl = Relaxed;
+    domains = 2;
+    ops_per_domain = 120;
+    k = 4;
+    j = 3;
+    prefill = 8;
+    enq_bias = 0.55;
+    seed = 42;
+  }
+
+let validate_params p =
+  if p.domains < 1 then invalid_arg "Harness.run: domains must be positive";
+  if p.ops_per_domain < 0 then invalid_arg "Harness.run: negative ops_per_domain";
+  if p.k < 1 then invalid_arg "Harness.run: k must be positive";
+  if p.j < 1 then invalid_arg "Harness.run: j must be positive";
+  if p.prefill < 0 then invalid_arg "Harness.run: negative prefill";
+  if p.enq_bias < 0.0 || p.enq_bias > 1.0 then
+    invalid_arg "Harness.run: enq_bias outside [0, 1]"
+
+(* A queue as the workload sees it: domain-hinted closures over whichever
+   structure is under test. *)
+type queue = {
+  enq : domain:int -> int -> unit;
+  deq : domain:int -> int option;
+}
+
+let make_queue ?hook ~k ~j impl =
+  match impl with
+  | Relaxed | Planted ->
+      let q =
+        Rqueue.create ?hook ~planted_overtake:(impl = Planted) ~width:k ()
+      in
+      {
+        enq = (fun ~domain v -> Rqueue.enqueue q ~hint:domain v);
+        deq = (fun ~domain -> Rqueue.dequeue q ~hint:domain);
+      }
+  | Locked ->
+      let q = Lockq.create () in
+      {
+        enq = (fun ~domain:_ v -> Lockq.enqueue q v);
+        deq = (fun ~domain:_ -> Lockq.dequeue q);
+      }
+  | Stuttering ->
+      let q = Stutq.create ~j in
+      {
+        enq = (fun ~domain:_ v -> Stutq.enqueue q v);
+        deq = (fun ~domain:_ -> Stutq.dequeue q);
+      }
+
+(* One domain's share of a recorded workload.  Values are globally
+   unique (one shared counter), which keeps the checked automata's
+   nondeterminism to the genuinely relaxed choices. *)
+let worker recorder queue ~domain ~ops ~bias ~rng ~counter =
+  for _ = 1 to ops do
+    if Rng.unit_float rng < bias then begin
+      let v = Atomic.fetch_and_add counter 1 in
+      Record.record recorder ~domain (fun () ->
+          queue.enq ~domain v;
+          Qops.enq_int v)
+    end
+    else
+      Record.record recorder ~domain (fun () ->
+          match queue.deq ~domain with
+          | Some v -> Qops.deq_int v
+          | None -> Conformance.deq_empty)
+  done
+
+let spawn_round recorder queue ~domains ~ops ~bias ~counter rngs =
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            worker recorder queue ~domain:d ~ops ~bias ~rng:rngs.(d) ~counter))
+  in
+  Array.iter Domain.join workers
+
+type outcome = {
+  params : params;
+  events : Record.completed list;
+  ops : int;
+  wall_s : float;
+  mops : float;
+  verdict : Conformance.verdict;
+}
+
+let run p =
+  validate_params p;
+  let recorder = Record.create ~domains:p.domains () in
+  let counter = Atomic.make 1 in
+  let queue = make_queue ~k:p.k ~j:p.j p.impl in
+  for _ = 1 to p.prefill do
+    let v = Atomic.fetch_and_add counter 1 in
+    Record.record recorder ~domain:0 (fun () ->
+        queue.enq ~domain:0 v;
+        Qops.enq_int v)
+  done;
+  let rngs = Rng.split_n (Rng.create ~seed:p.seed) p.domains in
+  let t0 = Unix.gettimeofday () in
+  spawn_round recorder queue ~domains:p.domains ~ops:p.ops_per_domain
+    ~bias:p.enq_bias ~counter rngs;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events = Record.completed recorder in
+  let verdict =
+    match p.impl with
+    | Relaxed | Planted -> Conformance.check (Conformance.semiqueue ~k:p.k) events
+    | Locked -> Conformance.check (Conformance.fifo ()) events
+    | Stuttering -> Conformance.check (Conformance.stuttering ~j:p.j) events
+  in
+  let measured = p.domains * p.ops_per_domain in
+  let mops =
+    if wall_s > 0.0 then float_of_int measured /. wall_s /. 1e6 else 0.0
+  in
+  { params = p; events; ops = List.length events; wall_s; mops; verdict }
+
+type elastic_params = {
+  domains : int;
+  rounds : int;
+  ops_per_round : int;
+  initial_k : int;
+  ctl : Controller.config;
+  build_bias : float;
+  drain_bias : float;
+  elastic_seed : int;
+}
+
+let default_elastic_params =
+  {
+    domains = 2;
+    rounds = 12;
+    ops_per_round = 100;
+    initial_k = 2;
+    ctl =
+      {
+        Controller.k_min = 2;
+        k_max = 8;
+        widen_after = 1;
+        narrow_after = 2;
+        min_dwell = 2.0;
+        high_occupancy = 120;
+        (* Pressure stays occupancy-driven by default: occupancy is a
+           deterministic function of the seeded op mix under phased
+           workloads, so the k trajectory is reproducible; CAS rates are
+           schedule-dependent. *)
+        high_cas_rate = 1e9;
+      };
+    build_bias = 0.9;
+    drain_bias = 0.0;
+    elastic_seed = 7;
+  }
+
+type elastic_outcome = {
+  eparams : elastic_params;
+  everdict : Conformance.verdict;
+  etransitions : Controller.transition list;
+  evisited : int list;
+  final_k : int;
+  eops : int;
+  set_k_events : int;
+}
+
+let run_elastic ep =
+  if ep.domains < 1 then invalid_arg "Harness.run_elastic: domains must be positive";
+  if ep.rounds < 1 then invalid_arg "Harness.run_elastic: rounds must be positive";
+  if ep.ops_per_round < 0 then
+    invalid_arg "Harness.run_elastic: negative ops_per_round";
+  Controller.validate ep.ctl;
+  let recorder = Record.create ~domains:ep.domains () in
+  let ctl = Controller.create ~config:ep.ctl ~initial:ep.initial_k () in
+  (* The recorder's clock brackets the head-advance CAS: the token is
+     drawn before it, the response after, so the SetK interval overlaps
+     every dequeue whose bound it could change. *)
+  let hook =
+    {
+      Rqueue.pre = (fun () -> Record.tick recorder);
+      post =
+        (fun token w ->
+          let res = Record.tick recorder in
+          Record.add_system recorder ~inv:token ~res
+            (Relax_objects.Elastic.set_k w));
+    }
+  in
+  let q = Rqueue.create ~hook ~width:(Controller.k ctl) () in
+  let queue =
+    {
+      enq = (fun ~domain v -> Rqueue.enqueue q ~hint:domain v);
+      deq = (fun ~domain -> Rqueue.dequeue q ~hint:domain);
+    }
+  in
+  let counter = Atomic.make 1 in
+  let rng = Rng.create ~seed:ep.elastic_seed in
+  let prev_cas = ref 0 in
+  let prev_ops = ref 0 in
+  for r = 0 to ep.rounds - 1 do
+    let bias =
+      if r < ep.rounds / 2 then ep.build_bias else ep.drain_bias
+    in
+    let rngs = Rng.split_n rng ep.domains in
+    spawn_round recorder queue ~domains:ep.domains ~ops:ep.ops_per_round ~bias
+      ~counter rngs;
+    let st : Rqueue.stats = Rqueue.stats q in
+    let ops_now = st.enqueued + st.dequeued + st.empty_polls in
+    (match
+       Controller.observe ctl ~now:(float_of_int r)
+         ~occupancy:(Rqueue.occupancy q)
+         ~cas_failures:(st.cas_failures - !prev_cas)
+         ~ops:(max 1 (ops_now - !prev_ops))
+     with
+    | Some tr -> Rqueue.set_width q tr.k
+    | None -> ());
+    prev_cas := st.cas_failures;
+    prev_ops := ops_now
+  done;
+  let events = Record.completed recorder in
+  let everdict =
+    Conformance.check (Conformance.elastic ~k:ep.initial_k) events
+  in
+  let set_k_events =
+    List.length
+      (List.filter
+         (fun (c : Record.completed) -> Relax_objects.Elastic.is_set_k c.op)
+         events)
+  in
+  {
+    eparams = ep;
+    everdict;
+    etransitions = Controller.transitions ctl;
+    evisited = Controller.visited ctl;
+    final_k = Controller.k ctl;
+    eops = List.length events;
+    set_k_events;
+  }
+
+let bench impl ~domains ~ops_per_domain ~k ~j ~seed =
+  let queue = make_queue ~k ~j impl in
+  for v = 1 to k * domains do
+    queue.enq ~domain:0 v
+  done;
+  let rngs = Rng.split_n (Rng.create ~seed) domains in
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let rng = rngs.(d) in
+            (* Values are unique per (domain, op) without a shared
+               counter: a cross-domain fetch-and-add would serialize the
+               loop on its own cache line and mask the difference
+               between the structures under test. *)
+            let base = (d + 1) * ops_per_domain in
+            for i = 1 to ops_per_domain do
+              if Rng.unit_float rng < 0.5 then queue.enq ~domain:d (base + i)
+              else ignore (queue.deq ~domain:d)
+            done))
+  in
+  Array.iter Domain.join workers;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  if wall_s > 0.0 then float_of_int (domains * ops_per_domain) /. wall_s /. 1e6
+  else 0.0

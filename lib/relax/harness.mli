@@ -1,0 +1,86 @@
+(** Seeded multi-domain workloads driving the live structures, recording
+    every operation, and checking the recorded history against the
+    matching lattice automaton.  This is the experimental loop of the
+    PR: run real domains against a real lock-free structure, then put
+    the wall-ordered history in front of the paper's specification. *)
+
+type impl =
+  | Relaxed  (** {!Rqueue} at bound [k], checked against [Semiqueue_k] *)
+  | Planted
+      (** {!Rqueue} with the planted overtake bug — must be {e rejected}
+          by [Semiqueue_k] (and accepted by [Semiqueue_2k], since the
+          two-segment window bounds overtakes by [2k - 1]) *)
+  | Locked  (** {!Lockq}, checked against [Semiqueue_1] *)
+  | Stuttering  (** {!Stutq} at budget [j], checked against [Stuttering_j] *)
+
+val impl_name : impl -> string
+
+type params = {
+  impl : impl;
+  domains : int;
+  ops_per_domain : int;
+  k : int;  (** Rqueue width / Semiqueue bound *)
+  j : int;  (** Stutq budget / Stuttering bound *)
+  prefill : int;  (** items enqueued (and recorded) before spawning *)
+  enq_bias : float;  (** probability an op is an enqueue *)
+  seed : int;
+}
+
+val default_params : params
+
+type outcome = {
+  params : params;
+  events : Record.completed list;
+  ops : int;
+  wall_s : float;
+  mops : float;  (** recorded throughput, million ops per second *)
+  verdict : Conformance.verdict;
+}
+
+(** Run one seeded workload: [domains] domains each performing
+    [ops_per_domain] operations (enqueues of globally unique values, or
+    dequeues — empty dequeues record {!Conformance.deq_empty}), with
+    per-domain [Sim.Rng.split_n] streams, then check conformance. *)
+val run : params -> outcome
+
+(** {1 Elastic runs} *)
+
+type elastic_params = {
+  domains : int;
+  rounds : int;
+  ops_per_round : int;  (** per domain, per round *)
+  initial_k : int;
+  ctl : Controller.config;
+  build_bias : float;  (** enq bias for the first half of the rounds *)
+  drain_bias : float;  (** enq bias for the second half *)
+  elastic_seed : int;
+}
+
+val default_elastic_params : elastic_params
+
+type elastic_outcome = {
+  eparams : elastic_params;
+  everdict : Conformance.verdict;
+  etransitions : Controller.transition list;
+  evisited : int list;  (** bounds visited, in order *)
+  final_k : int;
+  eops : int;
+  set_k_events : int;  (** recorded effective-width shifts *)
+}
+
+(** Drive the elastic queue through an enqueue-heavy build phase and a
+    dequeue-heavy drain phase.  Between rounds (quiescent points) the
+    {!Controller} observes occupancy and contention and moves the bound;
+    {!Rqueue.set_width} applies it, and the recorded [SetK] shift events
+    put the whole trajectory under one conformance check against
+    [Elastic(initial_k)]. *)
+val run_elastic : elastic_params -> elastic_outcome
+
+(** {1 Unrecorded throughput} *)
+
+(** [bench impl ~domains ~ops_per_domain ~seed] runs the same workload
+    shape without recording and returns million ops per second —
+    the relaxed-vs-locked scaling numbers. *)
+val bench :
+  impl -> domains:int -> ops_per_domain:int -> k:int -> j:int -> seed:int ->
+  float

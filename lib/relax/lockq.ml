@@ -1,0 +1,43 @@
+type 'a t = {
+  lock : Mutex.t;
+  items : 'a Queue.t;
+  mutable enqueued : int;
+  mutable dequeued : int;
+  mutable empty_polls : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    items = Queue.create ();
+    enqueued = 0;
+    dequeued = 0;
+    empty_polls = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let enqueue t v =
+  with_lock t (fun () ->
+      Queue.push v t.items;
+      t.enqueued <- t.enqueued + 1)
+
+let dequeue t =
+  with_lock t (fun () ->
+      match Queue.take_opt t.items with
+      | Some v ->
+          t.dequeued <- t.dequeued + 1;
+          Some v
+      | None ->
+          t.empty_polls <- t.empty_polls + 1;
+          None)
+
+type stats = { enqueued : int; dequeued : int; empty_polls : int }
+
+let stats (t : _ t) =
+  with_lock t (fun () ->
+      { enqueued = t.enqueued; dequeued = t.dequeued; empty_polls = t.empty_polls })
+
+let occupancy t = with_lock t (fun () -> t.enqueued - t.dequeued)

@@ -1,0 +1,15 @@
+(** The unrelaxed baseline: a strict FIFO queue under one mutex.  Its
+    recorded histories must conform to [Semiqueue_1] (= Fifo), and its
+    throughput under multi-domain load is the denominator the relaxed
+    queue's benchmarks are reported against. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val enqueue : 'a t -> 'a -> unit
+val dequeue : 'a t -> 'a option
+
+type stats = { enqueued : int; dequeued : int; empty_polls : int }
+
+val stats : 'a t -> stats
+val occupancy : 'a t -> int

@@ -1,0 +1,60 @@
+open Relax_core
+
+type completed = { op : Op.t; domain : int; inv : int; res : int }
+
+let precedes a b = a.res < b.inv
+
+type t = {
+  clock : int Atomic.t;
+  logs : completed list ref array;  (* single writer: the owning domain *)
+  system : completed list Atomic.t;  (* multi-writer, CAS-pushed *)
+}
+
+let create ~domains () =
+  if domains < 1 then invalid_arg "Record.create: domains must be positive";
+  {
+    clock = Atomic.make 0;
+    logs = Array.init domains (fun _ -> ref []);
+    system = Atomic.make [];
+  }
+
+let tick t = Atomic.fetch_and_add t.clock 1
+
+let add t ~domain ~inv ~res op =
+  let log = t.logs.(domain) in
+  log := { op; domain; inv; res } :: !log
+
+let record t ~domain f =
+  let inv = tick t in
+  let op = f () in
+  let res = tick t in
+  add t ~domain ~inv ~res op
+
+let add_system t ~inv ~res op =
+  let entry = { op; domain = -1; inv; res } in
+  let rec push () =
+    let old = Atomic.get t.system in
+    if not (Atomic.compare_and_set t.system old (entry :: old)) then push ()
+  in
+  push ()
+
+let completed t =
+  let all =
+    Array.fold_left
+      (fun acc log -> List.rev_append !log acc)
+      (Atomic.get t.system) t.logs
+  in
+  List.sort (fun a b -> compare a.inv b.inv) all
+
+let size t =
+  Array.fold_left (fun n log -> n + List.length !log) 0 t.logs
+  + List.length (Atomic.get t.system)
+
+let wall_history t =
+  completed t
+  |> List.sort (fun a b -> compare a.res b.res)
+  |> List.map (fun c -> c.op)
+  |> History.of_list
+
+let pp_completed ppf c =
+  Fmt.pf ppf "@[<h>[%d,%d]@ d%d@ %a@]" c.inv c.res c.domain Op.pp c.op

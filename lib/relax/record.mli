@@ -1,0 +1,57 @@
+open Relax_core
+
+(** Concurrent-history recording.
+
+    Every invocation and response draws a ticket from one global
+    fetch-and-add clock, so tickets totally order the wall-clock
+    invocation/response events of a run: operation [a] precedes [b]
+    (in the real-time order the conformance checker must respect) iff
+    [a.res < b.inv].  Each domain appends completed operations to its
+    own log — single writer, read by the coordinator only after the
+    domain is joined — so recording adds one atomic increment per event
+    and no locks to the measured structure. *)
+
+(** A completed operation execution: the sequential [Op.t] it claims to
+    be, who ran it, and its invocation/response tickets. *)
+type completed = { op : Op.t; domain : int; inv : int; res : int }
+
+(** [a] finished before [b] started. *)
+val precedes : completed -> completed -> bool
+
+type t
+
+(** [create ~domains ()] prepares per-domain logs for domain indices
+    [0 .. domains - 1]. *)
+val create : domains:int -> unit -> t
+
+(** Draw the next ticket. *)
+val tick : t -> int
+
+(** [add t ~domain ~inv ~res op] appends to [domain]'s log.  Only that
+    domain may call it. *)
+val add : t -> domain:int -> inv:int -> res:int -> Op.t -> unit
+
+(** [record t ~domain f] runs [f], bracketing it with tickets: [f] does
+    the real work and returns the [Op.t] describing what happened. *)
+val record : t -> domain:int -> (unit -> Op.t) -> unit
+
+(** Append to the shared system log — for environment events (such as a
+    width shift's [SetK]) whose emitting domain is whichever dequeuer
+    won the race; safe from any domain. *)
+val add_system : t -> inv:int -> res:int -> Op.t -> unit
+
+(** All completed operations sorted by invocation ticket — the
+    conformance checker's input.  Call only after every recording domain
+    is joined. *)
+val completed : t -> completed list
+
+(** Total recorded operations (coordinator-side, after joining). *)
+val size : t -> int
+
+(** The response-ordered projection: the sequential history obtained by
+    linearizing every operation at its response.  Useful for diagnostics
+    — conformance of the concurrent history does {e not} reduce to this
+    projection being accepted. *)
+val wall_history : t -> History.t
+
+val pp_completed : completed Fmt.t

@@ -1,0 +1,287 @@
+(* Segment-window k-relaxed queue.  The structural invariant carrying
+   the relaxation bound: a segment acquires a successor only after every
+   one of its slots was observed non-empty, and slots never return to
+   Empty.  Hence only the last segment can hold empty slots, segments
+   drain strictly in order at the head, and a dequeue — which consumes
+   from the head segment alone — can skip at most [width - 1] older
+   items.  That is Semiqueue_width verbatim.
+
+   Slot lifecycle is monotone (Empty -> Value -> Taken), which is what
+   makes both the full-segment conclusion and the linearizable emptiness
+   scan sound: any conclusion drawn from "this slot is past Empty" or
+   "this slot held no value when I looked" is stable against races in
+   exactly the direction each scan needs. *)
+
+type 'a slot = Empty | Value of 'a | Taken
+
+(* [enq_from]/[deq_from] are monotone scan cursors: every slot below
+   [enq_from] was observed past Empty, every slot below [deq_from] was
+   observed Taken.  Because slot states only move forward, any value
+   ever legitimately written to a cursor stays sound, so cursors are
+   maintained with plain stores — a racy regression (an older, smaller
+   value landing last) merely re-scans consumed slots, it never skips
+   live ones. *)
+type 'a segment = {
+  slots : 'a slot Atomic.t array;
+  next : 'a segment option Atomic.t;
+  enq_from : int Atomic.t;
+  deq_from : int Atomic.t;
+}
+
+type hook = { pre : unit -> int; post : int -> int -> unit }
+
+(* The operation counters are striped by the caller's [hint]: each
+   domain writes plain mutable fields in its own stripe (no RMW, no
+   fence on the hot path) and readers sum the stripes.  With at most
+   [stripe_count] domains and honest hints the totals are exact; beyond
+   that, racy plain writes can lose updates — acceptable, the counters
+   feed pressure estimates and reports, never correctness. *)
+type stripe = {
+  mutable s_enqueued : int;
+  mutable s_dequeued : int;
+  mutable s_empty_polls : int;
+  mutable s_cas_failures : int;
+}
+
+let stripe_count = 16 (* power of two: stripe = hint land (count - 1) *)
+
+type 'a t = {
+  head : 'a segment Atomic.t;
+  tail : 'a segment Atomic.t;
+  growth : int Atomic.t;  (* width for segments created from now on *)
+  hook : hook option;
+  planted_overtake : bool;
+  stripes : stripe array;
+  segments : int Atomic.t;
+  head_advances : int Atomic.t;
+}
+
+let segment width =
+  {
+    slots = Array.init width (fun _ -> Atomic.make Empty);
+    next = Atomic.make None;
+    enq_from = Atomic.make 0;
+    deq_from = Atomic.make 0;
+  }
+
+let seg_width s = Array.length s.slots
+
+let create ?hook ?(planted_overtake = false) ~width () =
+  if width < 1 then invalid_arg "Rqueue.create: width must be positive";
+  let s0 = segment width in
+  {
+    head = Atomic.make s0;
+    tail = Atomic.make s0;
+    growth = Atomic.make width;
+    hook;
+    planted_overtake;
+    stripes =
+      Array.init stripe_count (fun _ ->
+          {
+            s_enqueued = 0;
+            s_dequeued = 0;
+            s_empty_polls = 0;
+            s_cas_failures = 0;
+          });
+    segments = Atomic.make 0;
+    head_advances = Atomic.make 0;
+  }
+
+let width t = Atomic.get t.growth
+
+let effective_width t = seg_width (Atomic.get t.head)
+
+let set_width t w =
+  if w < 1 then invalid_arg "Rqueue.set_width: width must be positive";
+  Atomic.set t.growth w
+
+let bump c = Atomic.incr c
+
+let stripe_of t hint = t.stripes.(hint land (stripe_count - 1))
+
+(* Claim the first Empty slot at or after the claim cursor.  Returns
+   false when every slot was observed past Empty (slots below the cursor
+   by its invariant, the rest by this scan) — stable, since slots never
+   revert.  A successful claim at [i] has observed [cursor..i-1]
+   non-Empty and made [i] non-Empty, licensing the cursor store. *)
+let try_claim st seg v =
+  let w = seg_width seg in
+  let start = Atomic.get seg.enq_from in
+  let rec scan i =
+    if i >= w then false
+    else
+      let slot = seg.slots.(i) in
+      match Atomic.get slot with
+      | Empty ->
+          if Atomic.compare_and_set slot Empty (Value v) then begin
+            (* Publishing the cursor is a full-fence store; skip it when
+               it would advance by a single slot — the next scan re-skips
+               that slot for free and publishes a bigger stride. *)
+            if i - start >= 1 then Atomic.set seg.enq_from (i + 1);
+            true
+          end
+          else begin
+            st.s_cas_failures <- st.s_cas_failures + 1;
+            scan i
+          end
+      | Value _ | Taken -> scan (i + 1)
+  in
+  scan start
+
+let rec enqueue t ~hint v =
+  let st = stripe_of t hint in
+  let seg = Atomic.get t.tail in
+  match Atomic.get seg.next with
+  | Some nxt ->
+      (* Stale tail: help it forward. *)
+      ignore (Atomic.compare_and_set t.tail seg nxt);
+      enqueue t ~hint v
+  | None ->
+      if try_claim st seg v then st.s_enqueued <- st.s_enqueued + 1
+      else begin
+        (* Segment full: link a fresh one at the current growth width.
+           The link CAS is the only way a segment gains a successor, so
+           the full observation above is what licenses it. *)
+        let fresh = segment (Atomic.get t.growth) in
+        if Atomic.compare_and_set seg.next None (Some fresh) then begin
+          bump t.segments;
+          ignore (Atomic.compare_and_set t.tail seg fresh)
+        end
+        else st.s_cas_failures <- st.s_cas_failures + 1;
+        enqueue t ~hint v
+      end
+
+(* Take the first filled slot at or after the take cursor.  [`Taken v]
+   on success; [`Drained] when every slot is past Value (the segment is
+   exhausted and the head may advance); [`Empty] when a never-filled slot
+   remains — by the linking invariant the segment then has no successor,
+   and the scan itself witnesses an empty point (see dequeue).
+
+   [taken_to] tracks the contiguous run of Taken slots from [start]: the
+   cursor may only advance across that run, never across a skipped Empty
+   slot, whose enqueue is still in flight. *)
+let try_take st seg =
+  let w = seg_width seg in
+  let start = Atomic.get seg.deq_from in
+  let rec scan i taken_to saw_empty =
+    if i >= w then begin
+      if taken_to > start then Atomic.set seg.deq_from taken_to;
+      if saw_empty then `Empty else `Drained
+    end
+    else
+      let slot = seg.slots.(i) in
+      (* CAS against the very cell we read: [Value _] is boxed, so a
+         reconstructed witness would never be physically equal. *)
+      let cur = Atomic.get slot in
+      match cur with
+      | Value v ->
+          if Atomic.compare_and_set slot cur Taken then begin
+            let taken_to = if taken_to = i then i + 1 else taken_to in
+            (* Same single-slot-stride elision as the claim cursor. *)
+            if taken_to - start >= 2 then Atomic.set seg.deq_from taken_to;
+            `Taken v
+          end
+          else begin
+            st.s_cas_failures <- st.s_cas_failures + 1;
+            scan i taken_to saw_empty
+          end
+      | Empty -> scan (i + 1) taken_to true
+      | Taken ->
+          let taken_to = if taken_to = i then i + 1 else taken_to in
+          scan (i + 1) taken_to saw_empty
+  in
+  scan start start false
+
+(* Advance the head from the drained [seg] to [nxt], reporting the width
+   shift through the hook.  The pre-token is drawn before the CAS so
+   that any dequeue served from [nxt] — which must have read [head]
+   after the CAS — responds after the shift's invocation timestamp;
+   dually a dequeue from [seg] invoked before its last slot was taken,
+   so before the CAS, so before the post-token.  The recorded SetK
+   interval therefore overlaps (never wrongly precedes or follows) every
+   dequeue it could affect. *)
+let advance_head t seg nxt =
+  match t.hook with
+  | Some h when seg_width nxt <> seg_width seg ->
+      let token = h.pre () in
+      if Atomic.compare_and_set t.head seg nxt then begin
+        bump t.head_advances;
+        h.post token (seg_width nxt)
+      end
+  | _ ->
+      if Atomic.compare_and_set t.head seg nxt then bump t.head_advances
+
+let rec dequeue t ~hint =
+  let st = stripe_of t hint in
+  let seg = Atomic.get t.head in
+  let seg =
+    (* Negative control: prefer the successor segment, breaking the
+       at-most-[width - 1]-overtakes bound on purpose. *)
+    if t.planted_overtake then
+      match Atomic.get seg.next with Some nxt -> nxt | None -> seg
+    else seg
+  in
+  match try_take st seg with
+  | `Taken v ->
+      st.s_dequeued <- st.s_dequeued + 1;
+      Some v
+  | `Empty ->
+      (* Slots are write-once, so every item alive throughout the scan
+         would have been seen; missing them all pins a moment during the
+         scan when the segment — and, since a segment with empty slots
+         has no successor, the queue — held nothing. *)
+      st.s_empty_polls <- st.s_empty_polls + 1;
+      None
+  | `Drained -> (
+      match Atomic.get seg.next with
+      | None ->
+          (* Fully consumed and nothing after it: empty at the instant
+             [next] was read. *)
+          st.s_empty_polls <- st.s_empty_polls + 1;
+          None
+      | Some nxt ->
+          (if t.planted_overtake then begin
+             (* The negative control never drains the overtaken head
+                segment: progress comes from abandoning it wholesale, so
+                whatever it still holds is overtaken by every later
+                dequeue — the unbounded violation the checker must
+                catch.  (Without this the preferred segment, once
+                drained, would recurse forever.) *)
+             let h = Atomic.get t.head in
+             match Atomic.get h.next with
+             | Some hn -> ignore (Atomic.compare_and_set t.head h hn)
+             | None -> ()
+           end
+           else advance_head t seg nxt);
+          dequeue t ~hint)
+
+type stats = {
+  enqueued : int;
+  dequeued : int;
+  empty_polls : int;
+  cas_failures : int;
+  segments : int;
+  head_advances : int;
+}
+
+let stats (t : _ t) =
+  let enq = ref 0 and deq = ref 0 and empty = ref 0 and cas = ref 0 in
+  Array.iter
+    (fun st ->
+      enq := !enq + st.s_enqueued;
+      deq := !deq + st.s_dequeued;
+      empty := !empty + st.s_empty_polls;
+      cas := !cas + st.s_cas_failures)
+    t.stripes;
+  {
+    enqueued = !enq;
+    dequeued = !deq;
+    empty_polls = !empty;
+    cas_failures = !cas;
+    segments = Atomic.get t.segments;
+    head_advances = Atomic.get t.head_advances;
+  }
+
+let occupancy (t : _ t) =
+  let s = stats t in
+  max 0 (s.enqueued - s.dequeued)

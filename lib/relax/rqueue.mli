@@ -1,0 +1,85 @@
+(** A live segment-based elastic k-relaxed MPMC queue on OCaml 5 domains
+    (after von Geijer & Tsigas, "How to Relax Instantly").
+
+    The queue is a linked list of fixed-width segments.  Enqueuers claim
+    an empty slot in the last segment with a CAS (appending a fresh
+    segment when it is full); dequeuers take any filled slot of the
+    {e first} segment, advancing the head once every slot is consumed.
+    Because a dequeue only ever returns an element of the head segment,
+    and the head segment holds the oldest at-most-[width] live elements,
+    every dequeue returns one of the first [width] items — the structure
+    implements [Semiqueue_width] (Figure 4-1) by construction, and its
+    recorded concurrent histories are checked against exactly that
+    automaton by {!Conformance}.
+
+    The queue is {e elastic}: {!set_width} changes the width of segments
+    created from then on, so the effective relaxation bound follows the
+    head onto new segments as the old ones drain.  An optional
+    {!type:hook} observes those shifts — the recorder uses it to emit the
+    [SetK] environment events of [Relax_objects.Elastic], timestamping
+    {e before} the head moves so no dequeue from the new segment can be
+    wall-ordered ahead of the bound change.
+
+    All operations are lock-free: a stalled domain can delay its own
+    operation but never blocks others. *)
+
+type 'a t
+
+(** Observes effective-width shifts.  When a dequeuer is about to advance
+    the head onto a segment of a different width, it calls [pre] (the
+    recorder draws a timestamp); if its CAS wins it calls [post token
+    width] with [pre]'s token and the new width.  A lost race discards
+    the token. *)
+type hook = { pre : unit -> int; post : int -> int -> unit }
+
+(** [create ~width ()] starts with one empty segment of [width] slots.
+    [planted_overtake] (default false) deliberately breaks the bound for
+    the negative tests: dequeuers prefer the {e second} segment, so a
+    [width+1]-st item can overtake the whole head segment.  Raises
+    [Invalid_argument] when [width < 1]. *)
+val create : ?hook:hook -> ?planted_overtake:bool -> width:int -> unit -> 'a t
+
+(** [enqueue t ~hint v] appends [v].  [hint] (any int, normally the
+    calling domain's index) selects the caller's statistics stripe; slot
+    scans themselves start at a per-segment monotone cursor, so a claim
+    is O(1) amortized rather than a rescan of the consumed prefix. *)
+val enqueue : 'a t -> hint:int -> 'a -> unit
+
+(** [dequeue t ~hint] removes and returns one of the first [width] live
+    elements, or [None] when the queue is observed empty (the emptiness
+    check is linearizable: slots are write-once, so a full scan finding
+    no value pins an empty point inside the scan). *)
+val dequeue : 'a t -> hint:int -> 'a option
+
+(** The width used for segments created from now on. *)
+val width : 'a t -> int
+
+(** The width of the current head segment — the relaxation bound in
+    force right now. *)
+val effective_width : 'a t -> int
+
+(** Change the width of future segments (the elastic knob).  Raises
+    [Invalid_argument] when [w < 1]. *)
+val set_width : 'a t -> int -> unit
+
+(** {1 Contention counters}
+
+    Monotone, racily-read totals for the elastic controller's pressure
+    monitors.  Counters are striped by [hint] (plain per-stripe writes,
+    no read-modify-write on the operation path) and summed on read:
+    exact while distinct domains use distinct hints modulo the stripe
+    count (16), approximate beyond that. *)
+
+type stats = {
+  enqueued : int;
+  dequeued : int;
+  empty_polls : int;
+  cas_failures : int;  (** slot CAS losses plus segment-link losses *)
+  segments : int;  (** segments appended after the initial one *)
+  head_advances : int;
+}
+
+val stats : 'a t -> stats
+
+(** Live elements: {!stats}.enqueued - dequeued (racy, never negative). *)
+val occupancy : 'a t -> int

@@ -1,0 +1,127 @@
+(* Michael–Scott queue with a per-node stutter budget.  A dequeuer that
+   loses the head CAS bumps the front node's counter with a bounded CAS
+   (never past j - 1), re-validates that the node is still at the front,
+   and only then returns its value without removing it.  A validated
+   bump is never released, so at most j - 1 stutters of an element can
+   ever validate: the m-th one moved the counter to at least m, which
+   the bounded CAS keeps <= j - 1.  A bump whose validation fails (the
+   element was removed underneath it) is rolled back and the dequeue
+   retried, so a stutter is only ever reported for the element at the
+   head — exactly the Stuttering_j transition. *)
+
+type 'a node = {
+  value : 'a option;  (* None only on the sentinel *)
+  stutter : int Atomic.t;
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  j : int;
+  head : 'a node Atomic.t;  (* sentinel; head.next is the front *)
+  tail : 'a node Atomic.t;
+  enqueued : int Atomic.t;
+  dequeued : int Atomic.t;
+  stutters : int Atomic.t;
+  empty_polls : int Atomic.t;
+  cas_failures : int Atomic.t;
+}
+
+let node value = { value; stutter = Atomic.make 0; next = Atomic.make None }
+
+let create ~j =
+  if j < 1 then invalid_arg "Stutq.create: j must be positive";
+  let sentinel = node None in
+  {
+    j;
+    head = Atomic.make sentinel;
+    tail = Atomic.make sentinel;
+    enqueued = Atomic.make 0;
+    dequeued = Atomic.make 0;
+    stutters = Atomic.make 0;
+    empty_polls = Atomic.make 0;
+    cas_failures = Atomic.make 0;
+  }
+
+let j t = t.j
+
+let enqueue t v =
+  let n = node (Some v) in
+  let rec link () =
+    let tl = Atomic.get t.tail in
+    match Atomic.get tl.next with
+    | Some nxt ->
+        ignore (Atomic.compare_and_set t.tail tl nxt);
+        link ()
+    | None ->
+        if Atomic.compare_and_set tl.next None (Some n) then
+          ignore (Atomic.compare_and_set t.tail tl n)
+        else begin
+          Atomic.incr t.cas_failures;
+          link ()
+        end
+  in
+  link ();
+  Atomic.incr t.enqueued
+
+(* Bounded increment: false once the budget is spent. *)
+let rec try_bump counter ~limit =
+  let c = Atomic.get counter in
+  if c >= limit then false
+  else if Atomic.compare_and_set counter c (c + 1) then true
+  else try_bump counter ~limit
+
+let value_exn n =
+  match n.value with Some v -> v | None -> assert false
+
+let rec dequeue t =
+  let sentinel = Atomic.get t.head in
+  match Atomic.get sentinel.next with
+  | None ->
+      Atomic.incr t.empty_polls;
+      None
+  | Some front ->
+      if Atomic.compare_and_set t.head sentinel front then begin
+        (* [front] becomes the new sentinel; its value leaves the queue. *)
+        Atomic.incr t.dequeued;
+        Some (value_exn front)
+      end
+      else begin
+        Atomic.incr t.cas_failures;
+        (* Lost the removal race: try to stutter on the current front
+           instead of spinning on the head CAS. *)
+        let h = Atomic.get t.head in
+        match Atomic.get h.next with
+        | None -> dequeue t
+        | Some f ->
+            if not (try_bump f.stutter ~limit:(t.j - 1)) then dequeue t
+            else if Atomic.get t.head == h then begin
+              (* Still the front at validation: the stutter linearizes
+                 here, before any later removal of [f]. *)
+              Atomic.incr t.stutters;
+              Some (value_exn f)
+            end
+            else begin
+              (* [f] was removed under us; give the budget back. *)
+              ignore (Atomic.fetch_and_add f.stutter (-1));
+              dequeue t
+            end
+      end
+
+type stats = {
+  enqueued : int;
+  dequeued : int;
+  stutters : int;
+  empty_polls : int;
+  cas_failures : int;
+}
+
+let stats (t : _ t) =
+  {
+    enqueued = Atomic.get t.enqueued;
+    dequeued = Atomic.get t.dequeued;
+    stutters = Atomic.get t.stutters;
+    empty_polls = Atomic.get t.empty_polls;
+    cas_failures = Atomic.get t.cas_failures;
+  }
+
+let occupancy (t : _ t) = max 0 (Atomic.get t.enqueued - Atomic.get t.dequeued)

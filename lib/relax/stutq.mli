@@ -1,0 +1,31 @@
+(** A j-stuttering FIFO queue (Figure 4-2): a Michael–Scott queue whose
+    dequeuers, on losing the head race, may return the current front
+    element {e without} removing it — at most [j - 1] times per element,
+    enforced by a bounded per-node counter.  Contended reads trade
+    at-most-once delivery for progress; the recorded histories must
+    conform to [Stuttering_j]. *)
+
+type 'a t
+
+(** Raises [Invalid_argument] when [j < 1].  [j = 1] permits no
+    stuttering and degenerates to a plain lock-free FIFO. *)
+val create : j:int -> 'a t
+
+val j : 'a t -> int
+val enqueue : 'a t -> 'a -> unit
+
+(** [dequeue t] removes and returns the front element, returns it while
+    leaving it in place (a stutter, under contention, at most [j - 1]
+    times per element), or returns [None] on an empty queue. *)
+val dequeue : 'a t -> 'a option
+
+type stats = {
+  enqueued : int;
+  dequeued : int;  (** true removals *)
+  stutters : int;  (** repeat deliveries *)
+  empty_polls : int;
+  cas_failures : int;
+}
+
+val stats : 'a t -> stats
+val occupancy : 'a t -> int

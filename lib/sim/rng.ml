@@ -6,7 +6,7 @@
    independent processes (sites, clients, the network) can draw from
    decorrelated streams. *)
 
-type t = { mutable state : int64 }
+type t = { mutable state : int64; gamma : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -15,16 +15,55 @@ let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ~seed = { state = Int64.of_int seed }
+let create ~seed = { state = Int64.of_int seed; gamma = golden_gamma }
 
 let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
+  t.state <- Int64.add t.state t.gamma;
   mix t.state
 
-(* A decorrelated child stream. *)
-let split t = { state = next_int64 t }
+(* A decorrelated child stream.  The child keeps the parent's gamma, so
+   every historical draw sequence is unchanged; use [split_n] when the
+   children are handed to different domains. *)
+let split t = { state = next_int64 t; gamma = t.gamma }
 
-let copy t = { state = t.state }
+let copy t = { state = t.state; gamma = t.gamma }
+
+(* Stafford's mix13 variant, used to derive child gammas. *)
+let mix64variant13 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount64 z =
+  let rec go acc z =
+    if Int64.equal z 0L then acc
+    else go (acc + 1) (Int64.logand z (Int64.sub z 1L))
+  in
+  go 0 z
+
+(* An odd gamma with enough bit transitions — the reference SplitMix64
+   gamma derivation (Steele, Lea & Flood 2014).  A gamma too close to
+   0...0 or 1...1 weakens the Weyl sequence; the xor with alternating
+   bits repairs those. *)
+let mix_gamma z =
+  let z = Int64.logor (mix64variant13 z) 1L in
+  if popcount64 (Int64.logxor z (Int64.shift_right_logical z 1)) < 24 then
+    Int64.logxor z 0xAAAAAAAAAAAAAAAAL
+  else z
+
+(* Per-domain streams: each child gets a fresh state AND a fresh gamma,
+   so the children's Weyl sequences never collide no matter how many
+   draws each domain makes — [split]'s shared-gamma children can run
+   into each other's subsequences when consumed at different rates.
+   The parent advances 2n draws; each (parent position, i) pair yields
+   the same child stream on every run, independent of how the children
+   are later interleaved across domains. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: n must be non-negative";
+  Array.init n (fun _ ->
+      let state = next_int64 t in
+      let gamma = mix_gamma (next_int64 t) in
+      { state; gamma })
 
 (* Uniform integer in [0, bound).  The draw is truncated to 62 bits so
    Int64.to_int can never wrap negative on 63-bit OCaml ints, then

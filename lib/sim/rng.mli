@@ -7,8 +7,21 @@ type t
 
 val create : seed:int -> t
 
-(** A decorrelated child stream (advances the parent). *)
+(** A decorrelated child stream (advances the parent).  The child shares
+    the parent's Weyl increment, which is fine for streams consumed by a
+    single domain in a deterministic order; hand {!split_n} streams to
+    concurrent domains instead. *)
 val split : t -> t
+
+(** [split_n t n] is [n] decorrelated child streams for per-domain use:
+    each child draws a fresh state {e and} a fresh Weyl increment (the
+    reference SplitMix64 gamma derivation), so no two children can wander
+    into each other's subsequences regardless of how many draws each
+    domain makes.  Advances the parent [2n] draws; the children are a
+    pure function of (parent state, index), independent of the domains'
+    later interleaving.  A [t] is not itself safe to share across
+    domains — split first, then hand each domain its own stream. *)
+val split_n : t -> int -> t array
 
 (** An independent copy at the current position. *)
 val copy : t -> t

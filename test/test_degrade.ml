@@ -452,10 +452,81 @@ let degrade_x_tests =
           (Float.is_nan (Degrade_x.quantile 0.5 [])));
   ]
 
+let hysteresis_tests =
+  let config =
+    { D.Hysteresis.degrade_after = 2; restore_after = 3; min_dwell = 5.0 }
+  in
+  [
+    Alcotest.test_case "streaks reset each other" `Quick (fun () ->
+        let h = D.Hysteresis.create config in
+        D.Hysteresis.sample h ~now:1.0 ~healthy:false;
+        D.Hysteresis.sample h ~now:2.0 ~healthy:false;
+        Alcotest.(check int) "bad streak" 2 (D.Hysteresis.bad_streak h);
+        D.Hysteresis.sample h ~now:3.0 ~healthy:true;
+        Alcotest.(check int) "bad cleared" 0 (D.Hysteresis.bad_streak h);
+        Alcotest.(check int) "good started" 1 (D.Hysteresis.good_streak h));
+    Alcotest.test_case "degrade is fail-fast, restore dwells" `Quick
+      (fun () ->
+        let h = D.Hysteresis.create config in
+        D.Hysteresis.sample h ~now:0.5 ~healthy:false;
+        Alcotest.(check bool) "one bad not enough" false
+          (D.Hysteresis.degrade_ready h);
+        D.Hysteresis.sample h ~now:1.0 ~healthy:false;
+        (* No dwell gate on the shedding side, even this early. *)
+        Alcotest.(check bool) "two bad shed" true (D.Hysteresis.degrade_ready h);
+        let latency = D.Hysteresis.commit h ~now:1.0 `Degrade in
+        Alcotest.(check (float 1e-9)) "episode latency" 0.5 latency;
+        List.iter
+          (fun now -> D.Hysteresis.sample h ~now ~healthy:true)
+          [ 2.0; 3.0; 4.0 ];
+        Alcotest.(check bool)
+          "streak met but dwelling" false
+          (D.Hysteresis.restore_ready h ~now:4.0);
+        Alcotest.(check bool)
+          "past the dwell" true
+          (D.Hysteresis.restore_ready h ~now:6.5));
+    Alcotest.test_case "commit clears state for the next episode" `Quick
+      (fun () ->
+        let h = D.Hysteresis.create config in
+        List.iter
+          (fun now -> D.Hysteresis.sample h ~now ~healthy:true)
+          [ 6.0; 7.0; 8.0 ];
+        ignore (D.Hysteresis.commit h ~now:8.0 `Restore);
+        Alcotest.(check int) "good cleared" 0 (D.Hysteresis.good_streak h);
+        Alcotest.(check (float 1e-9))
+          "transition stamped" 8.0
+          (D.Hysteresis.last_transition h);
+        D.Hysteresis.sample h ~now:9.0 ~healthy:false;
+        D.Hysteresis.sample h ~now:9.5 ~healthy:false;
+        Alcotest.(check bool) "re-armed" true (D.Hysteresis.degrade_ready h));
+    Alcotest.test_case "mark_unhealthy opens an episode without a streak"
+      `Quick (fun () ->
+        let h = D.Hysteresis.create config in
+        D.Hysteresis.mark_unhealthy h ~now:3.0;
+        Alcotest.(check int) "no streak" 0 (D.Hysteresis.bad_streak h);
+        Alcotest.(check (float 1e-9))
+          "episode start carried into commit" 1.5
+          (D.Hysteresis.commit h ~now:4.5 `Degrade));
+    Alcotest.test_case "validate rejects bad configs" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            Alcotest.(check bool)
+              "rejected" true
+              (match D.Hysteresis.validate bad with
+              | () -> false
+              | exception Invalid_argument _ -> true))
+          [
+            { config with D.Hysteresis.degrade_after = 0 };
+            { config with D.Hysteresis.restore_after = 0 };
+            { config with D.Hysteresis.min_dwell = -1.0 };
+          ]);
+  ]
+
 let () =
   Alcotest.run "degrade"
     [
       ("monitor", monitor_tests);
+      ("hysteresis", hysteresis_tests);
       ("anti-entropy", anti_entropy_tests);
       ("online", online_tests);
       ("controller", controller_tests);

@@ -1,0 +1,374 @@
+open Relax_core
+open Relax_relax
+
+(* The live half of the repo: lock-free relaxed structures on real
+   domains, the history recorder, and the relaxed-conformance checker —
+   cross-checked against a brute-force linearization search on small
+   histories and against the planted over-relaxed queue variant. *)
+
+let enq = Relax_objects.Queue_ops.enq_int
+let deq = Relax_objects.Queue_ops.deq_int
+
+(* A strictly sequential completed history: op i runs in [2i, 2i+1]. *)
+let seq ops =
+  List.mapi
+    (fun i op -> { Record.op; domain = 0; inv = 2 * i; res = (2 * i) + 1 })
+    ops
+
+(* Fully concurrent: every op spans the whole run. *)
+let all_overlap ops =
+  let n = List.length ops in
+  List.mapi
+    (fun i op -> { Record.op; domain = i; inv = i; res = n + i })
+    ops
+
+let conforms spec events = Conformance.conforms (Conformance.check spec events)
+
+(* ------------------------------------------------------------------ *)
+(* Checker on crafted histories                                        *)
+(* ------------------------------------------------------------------ *)
+
+let checker_tests =
+  [
+    Alcotest.test_case "sequential fifo accepted" `Quick (fun () ->
+        Alcotest.(check bool)
+          "in order" true
+          (conforms (Conformance.fifo ()) (seq [ enq 1; enq 2; deq 1; deq 2 ]));
+        Alcotest.(check bool)
+          "out of order" false
+          (conforms (Conformance.fifo ()) (seq [ enq 1; enq 2; deq 2 ])));
+    Alcotest.test_case "overlap permits reordering" `Quick (fun () ->
+        (* Enq(1) and Enq(2) overlap, so Deq may see either order; the
+           sequential projection 1-then-2 would reject deq 2 first. *)
+        let events =
+          all_overlap [ enq 1; enq 2 ]
+          @ [
+              { Record.op = deq 2; domain = 0; inv = 10; res = 11 };
+              { Record.op = deq 1; domain = 0; inv = 12; res = 13 };
+            ]
+        in
+        Alcotest.(check bool)
+          "accepted" true
+          (conforms (Conformance.fifo ()) events));
+    Alcotest.test_case "real-time order is enforced" `Quick (fun () ->
+        (* Same ops, but Enq(1) finished before Enq(2) started. *)
+        Alcotest.(check bool)
+          "rejected" false
+          (conforms (Conformance.fifo ()) (seq [ enq 1; enq 2; deq 2; deq 1 ])));
+    Alcotest.test_case "empty dequeue linearizes at empty states" `Quick
+      (fun () ->
+        Alcotest.(check bool)
+          "before any enq" true
+          (conforms (Conformance.fifo ())
+             (seq [ Conformance.deq_empty; enq 1; deq 1 ]));
+        Alcotest.(check bool)
+          "between deq and enq" true
+          (conforms (Conformance.fifo ())
+             (seq [ enq 1; deq 1; Conformance.deq_empty ]));
+        Alcotest.(check bool)
+          "provably non-empty" false
+          (conforms (Conformance.fifo ())
+             (seq [ enq 1; Conformance.deq_empty; deq 1 ])));
+    Alcotest.test_case "semiqueue bound separates k from k+1" `Quick
+      (fun () ->
+        (* One overtake needs k >= 2; overtaking two items needs k >= 3. *)
+        let one = seq [ enq 1; enq 2; deq 2; deq 1 ] in
+        let two = seq [ enq 1; enq 2; enq 3; deq 3 ] in
+        Alcotest.(check bool)
+          "k=2 accepts single overtake" true
+          (conforms (Conformance.semiqueue ~k:2) one);
+        Alcotest.(check bool)
+          "k=2 rejects double overtake" false
+          (conforms (Conformance.semiqueue ~k:2) two);
+        Alcotest.(check bool)
+          "k=3 accepts double overtake" true
+          (conforms (Conformance.semiqueue ~k:3) two));
+    Alcotest.test_case "stuttering bound separates j from j+1" `Quick
+      (fun () ->
+        let once = seq [ enq 1; deq 1; deq 1; enq 2; deq 2 ] in
+        Alcotest.(check bool)
+          "j=1 rejects stutter" false
+          (conforms (Conformance.stuttering ~j:1) once);
+        Alcotest.(check bool)
+          "j=2 accepts one stutter" true
+          (conforms (Conformance.stuttering ~j:2) once);
+        Alcotest.(check bool)
+          "j=2 rejects two stutters" false
+          (conforms (Conformance.stuttering ~j:2)
+             (seq [ enq 1; deq 1; deq 1; deq 1 ])));
+    Alcotest.test_case "elastic bound moves with SetK" `Quick (fun () ->
+        let widen = Relax_objects.Elastic.set_k 3 in
+        Alcotest.(check bool)
+          "k=1 rejects overtake" false
+          (conforms (Conformance.elastic ~k:1) (seq [ enq 1; enq 2; enq 3; deq 3 ]));
+        Alcotest.(check bool)
+          "SetK 3 allows it" true
+          (conforms (Conformance.elastic ~k:1)
+             (seq [ enq 1; enq 2; enq 3; widen; deq 3 ]));
+        Alcotest.(check bool)
+          "SetK after the deq is too late" false
+          (conforms (Conformance.elastic ~k:1)
+             (seq [ enq 1; enq 2; enq 3; deq 3; widen ])));
+    Alcotest.test_case "rejection names a culprit and witness" `Quick
+      (fun () ->
+        match
+          Conformance.check (Conformance.fifo ()) (seq [ enq 1; enq 2; deq 2 ])
+        with
+        | Conformance.Accepted _ -> Alcotest.fail "expected rejection"
+        | Conformance.Rejected { culprit; witness; _ } ->
+            Alcotest.(check bool) "culprit is the deq" true
+              (Op.equal culprit.op (deq 2));
+            Alcotest.(check int)
+              "witness linearized both enqueues" 2
+              (History.length witness));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Checker vs brute force                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Random histories of at most 8 operations with arbitrary interval
+   overlap: values are drawn from a tiny universe so dequeues of
+   never-enqueued or doubly-dequeued values (and genuine relaxed
+   overtakes, including planted k+1 ones) all occur. *)
+let arb_history =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 8 >>= fun n ->
+      list_repeat n
+        (frequency
+           [
+             (4, map (fun v -> `Enq (1 + v)) (int_bound 3));
+             (4, map (fun v -> `Deq (1 + v)) (int_bound 3));
+             (1, return `Empty);
+           ])
+      >>= fun kinds ->
+      (* Random interval structure: shuffle the 2n endpoint tickets,
+         then give each op the (sorted) pair at positions 2i, 2i+1. *)
+      let tickets = Array.init (2 * n) Fun.id in
+      shuffle_a tickets >>= fun () ->
+      let ops =
+        List.mapi
+          (fun i kind ->
+            let a = tickets.(2 * i) and b = tickets.((2 * i) + 1) in
+            let inv = min a b and res = max a b in
+            let op =
+              match kind with
+              | `Enq v -> enq v
+              | `Deq v -> deq v
+              | `Empty -> Conformance.deq_empty
+            in
+            { Record.op; domain = i; inv; res })
+          kinds
+      in
+      Gen.return (List.sort (fun a b -> compare a.Record.inv b.Record.inv) ops))
+  in
+  let print events =
+    String.concat " "
+      (List.map (fun c -> Fmt.str "%a" Record.pp_completed c) events)
+  in
+  QCheck.make ~print gen
+
+let agreement_test name spec =
+  QCheck.Test.make ~name ~count:300 arb_history (fun events ->
+      Bool.equal
+        (conforms spec events)
+        (Conformance.check_naive spec events))
+
+let brute_force_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      agreement_test "checker agrees with brute force (fifo)"
+        (Conformance.fifo ());
+      agreement_test "checker agrees with brute force (semiqueue 2)"
+        (Conformance.semiqueue ~k:2);
+      agreement_test "checker agrees with brute force (semiqueue 3)"
+        (Conformance.semiqueue ~k:3);
+      agreement_test "checker agrees with brute force (stuttering 2)"
+        (Conformance.stuttering ~j:2);
+      QCheck.Test.make ~name:"semiqueue acceptance is monotone in k" ~count:300
+        arb_history (fun events ->
+          (not (conforms (Conformance.semiqueue ~k:2) events))
+          || conforms (Conformance.semiqueue ~k:3) events);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Structures, sequentially                                            *)
+(* ------------------------------------------------------------------ *)
+
+let structure_tests =
+  [
+    Alcotest.test_case "rqueue at width 1 is fifo" `Quick (fun () ->
+        let q = Rqueue.create ~width:1 () in
+        List.iter (Rqueue.enqueue q ~hint:0) [ 1; 2; 3 ];
+        Alcotest.(check (list (option int)))
+          "drain in order"
+          [ Some 1; Some 2; Some 3; None ]
+          (List.init 4 (fun _ -> Rqueue.dequeue q ~hint:0)));
+    Alcotest.test_case "rqueue sequential drain is fifo" `Quick (fun () ->
+        let q = Rqueue.create ~width:3 () in
+        List.iter (Rqueue.enqueue q ~hint:0) [ 1; 2; 3; 4 ];
+        (* The take cursor serves the oldest live slot, so without slot
+           races the relaxed queue degenerates to fifo — overtakes only
+           arise from lost CASes under real contention (and stay within
+           the head window; the live suites check that bound).  The
+           hint is advisory and must not reorder a sequential drain. *)
+        Alcotest.(check (option int)) "first item" (Some 1)
+          (Rqueue.dequeue q ~hint:2);
+        Alcotest.(check int) "occupancy" 3 (Rqueue.occupancy q));
+    Alcotest.test_case "rqueue elasticity takes effect at segment grain"
+      `Quick (fun () ->
+        let q = Rqueue.create ~width:2 () in
+        List.iter (Rqueue.enqueue q ~hint:0) [ 1; 2 ];
+        Rqueue.set_width q 4;
+        List.iter (Rqueue.enqueue q ~hint:0) [ 3; 4; 5; 6 ];
+        Alcotest.(check int) "head still narrow" 2 (Rqueue.effective_width q);
+        Alcotest.(check (option int)) "fifo at head" (Some 1)
+          (Rqueue.dequeue q ~hint:0);
+        ignore (Rqueue.dequeue q ~hint:0);
+        (* Draining the old segment advances onto the wide one. *)
+        Alcotest.(check (option int)) "next item" (Some 3)
+          (Rqueue.dequeue q ~hint:0);
+        Alcotest.(check int) "head now wide" 4 (Rqueue.effective_width q));
+    Alcotest.test_case "planted variant overtakes the whole window" `Quick
+      (fun () ->
+        let recorder = Record.create ~domains:1 () in
+        let q = Rqueue.create ~planted_overtake:true ~width:2 () in
+        List.iter
+          (fun v ->
+            Record.record recorder ~domain:0 (fun () ->
+                Rqueue.enqueue q ~hint:0 v;
+                enq v))
+          [ 1; 2; 3 ];
+        Record.record recorder ~domain:0 (fun () ->
+            match Rqueue.dequeue q ~hint:0 with
+            | Some v -> deq v
+            | None -> Conformance.deq_empty);
+        let events = Record.completed recorder in
+        (* The bug: rank-3 overtake from a width-2 queue.  Rejected at
+           the claimed bound, accepted once the bound covers both
+           segments — a concrete counterexample history, not a crash. *)
+        Alcotest.(check bool)
+          "rejected at k=2" false
+          (conforms (Conformance.semiqueue ~k:2) events);
+        Alcotest.(check bool)
+          "accepted at k=4" true
+          (conforms (Conformance.semiqueue ~k:4) events));
+    Alcotest.test_case "stutq with budget 1 is fifo" `Quick (fun () ->
+        let q = Stutq.create ~j:1 in
+        List.iter (Stutq.enqueue q) [ 1; 2 ];
+        Alcotest.(check (list (option int)))
+          "drain" [ Some 1; Some 2; None ]
+          (List.init 3 (fun _ -> Stutq.dequeue q));
+        Alcotest.(check int) "no stutters" 0 (Stutq.stats q).stutters);
+    Alcotest.test_case "lockq is fifo" `Quick (fun () ->
+        let q = Lockq.create () in
+        List.iter (Lockq.enqueue q) [ 1; 2 ];
+        Alcotest.(check (list (option int)))
+          "drain" [ Some 1; Some 2; None ]
+          (List.init 3 (fun _ -> Lockq.dequeue q)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Live multi-domain conformance                                       *)
+(* ------------------------------------------------------------------ *)
+
+let live_params =
+  { Harness.default_params with ops_per_domain = 60; prefill = 4 }
+
+let live_tests =
+  [
+    Alcotest.test_case "relaxed queue conforms across 20 seeds" `Slow
+      (fun () ->
+        for seed = 0 to 19 do
+          let outcome = Harness.run { live_params with seed } in
+          match outcome.verdict with
+          | Conformance.Accepted _ -> ()
+          | Conformance.Rejected _ as v ->
+              Alcotest.failf "seed %d: %a" seed Conformance.pp_verdict v
+        done);
+    Alcotest.test_case "locked queue conforms to fifo" `Quick (fun () ->
+        let outcome =
+          Harness.run { live_params with impl = Harness.Locked; seed = 3 }
+        in
+        Alcotest.(check bool)
+          "accepted" true
+          (Conformance.conforms outcome.verdict));
+    Alcotest.test_case "stuttering queue conforms" `Quick (fun () ->
+        let outcome =
+          Harness.run { live_params with impl = Harness.Stuttering; seed = 5 }
+        in
+        Alcotest.(check bool)
+          "accepted" true
+          (Conformance.conforms outcome.verdict));
+    Alcotest.test_case "four domains still conform" `Slow (fun () ->
+        let outcome =
+          Harness.run { live_params with domains = 4; ops_per_domain = 40 }
+        in
+        Alcotest.(check bool)
+          "accepted" true
+          (Conformance.conforms outcome.verdict));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Elastic end to end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let elastic_tests =
+  [
+    Alcotest.test_case "controller widens under pressure, narrows calm"
+      `Quick (fun () ->
+        let ctl = Controller.create ~initial:2 () in
+        let feed ~now ~occ =
+          Controller.observe ctl ~now ~occupancy:occ ~cas_failures:0 ~ops:100
+        in
+        Alcotest.(check bool) "first pressured round arms" true
+          (feed ~now:0.0 ~occ:1000 = None);
+        (match feed ~now:1.0 ~occ:1000 with
+        | Some tr ->
+            Alcotest.(check bool) "widened" true tr.widened;
+            Alcotest.(check int) "doubled" 4 tr.k
+        | None -> Alcotest.fail "expected widen after two pressured rounds");
+        (* Narrowing needs the calm streak and the dwell. *)
+        Alcotest.(check bool) "calm 1" true (feed ~now:2.0 ~occ:0 = None);
+        Alcotest.(check bool) "calm 2" true (feed ~now:2.5 ~occ:0 = None);
+        Alcotest.(check bool) "calm 3" true (feed ~now:2.8 ~occ:0 = None);
+        Alcotest.(check bool) "still dwelling" true
+          (feed ~now:2.9 ~occ:0 = None);
+        match feed ~now:3.5 ~occ:0 with
+        | Some tr ->
+            Alcotest.(check bool) "narrowed" true (not tr.widened);
+            Alcotest.(check int) "halved" 2 tr.k
+        | None -> Alcotest.fail "expected narrow after dwell");
+    Alcotest.test_case "elastic run: k moves, history conforms" `Slow
+      (fun () ->
+        let outcome = Harness.run_elastic Harness.default_elastic_params in
+        Alcotest.(check bool)
+          "widened at least once" true
+          (List.exists
+             (fun (tr : Controller.transition) -> tr.widened)
+             outcome.etransitions);
+        Alcotest.(check bool)
+          "narrowed at least once" true
+          (List.exists
+             (fun (tr : Controller.transition) -> not tr.widened)
+             outcome.etransitions);
+        Alcotest.(check bool)
+          "shift events recorded" true
+          (outcome.set_k_events >= 1);
+        match outcome.everdict with
+        | Conformance.Accepted _ -> ()
+        | Conformance.Rejected _ as v ->
+            Alcotest.failf "elastic run rejected: %a" Conformance.pp_verdict v);
+  ]
+
+let () =
+  Alcotest.run "relax"
+    [
+      ("checker", checker_tests);
+      ("brute-force", brute_force_tests);
+      ("structures", structure_tests);
+      ("live", live_tests);
+      ("elastic", elastic_tests);
+    ]

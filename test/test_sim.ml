@@ -29,6 +29,51 @@ let rng_tests =
         Alcotest.(check bool)
           "differ" true
           (not (Int64.equal (Rng.next_int64 parent) (Rng.next_int64 child))));
+    Alcotest.test_case "split_n children are pure and decorrelated" `Quick
+      (fun () ->
+        (* Each child is a function of (parent state, index) only: the
+           order in which children are later drained must not matter. *)
+        let drain rng = List.init 20 (fun _ -> Rng.next_int64 rng) in
+        let a = Rng.split_n (Rng.create ~seed:11) 4 in
+        let b = Rng.split_n (Rng.create ~seed:11) 4 in
+        let fwd = Array.map drain a in
+        let bwd = Array.map drain (Array.init 4 (fun i -> b.(3 - i))) in
+        Array.iteri
+          (fun i seq ->
+            Alcotest.(check (list int64))
+              (Fmt.str "child %d" i) seq
+              bwd.(3 - i))
+          fwd;
+        for i = 0 to 3 do
+          for j = i + 1 to 3 do
+            Alcotest.(check bool)
+              (Fmt.str "children %d and %d diverge" i j)
+              true
+              (List.exists2 (fun x y -> not (Int64.equal x y)) fwd.(i) fwd.(j))
+          done
+        done);
+    Alcotest.test_case "split_n streams are domain-independent" `Quick
+      (fun () ->
+        (* The per-domain determinism regression: a child handed to a
+           spawned domain yields the same sequence it would on the main
+           domain, whatever the interleaving. *)
+        let domains = 3 in
+        let expect =
+          Array.map
+            (fun rng -> Array.init 25 (fun _ -> Rng.next_int64 rng))
+            (Rng.split_n (Rng.create ~seed:12) domains)
+        in
+        let streams = Rng.split_n (Rng.create ~seed:12) domains in
+        let got =
+          Array.init domains (fun d ->
+              Domain.spawn (fun () ->
+                  Array.init 25 (fun _ -> Rng.next_int64 streams.(d))))
+          |> Array.map Domain.join
+        in
+        Array.iteri
+          (fun d seq ->
+            Alcotest.(check (array int64)) (Fmt.str "domain %d" d) expect.(d) seq)
+          got);
     Alcotest.test_case "int respects bounds" `Quick (fun () ->
         let r = Rng.create ~seed:3 in
         for _ = 1 to 1000 do
