@@ -431,6 +431,65 @@ let print_ldfi_hunt () =
     Fmt.pr "ldfi/hunt wall-clock      %8.1f ms@." (wall *. 1000.)
 
 (* ------------------------------------------------------------------ *)
+(* X-recover: the write-ahead journal                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Relax_journal.Journal
+module Jdevice = Relax_journal.Device
+
+let journal_payload = String.make 128 'j'
+
+(* A synced two-segment journal to re-attach: the warm recovery path
+   (scan + CRC of every record, no truncation work). *)
+let journal_attach_dev =
+  let dev = Jdevice.memory () in
+  let j, _, _ = Journal.attach ~segment_size:8192 dev ~name:"wal" in
+  for _ = 1 to 1_000 do
+    Journal.append j journal_payload
+  done;
+  Journal.sync j;
+  dev
+
+let rows_journal =
+  [
+    ( "journal/append+sync-100rec (X-recover)",
+      fun () ->
+        let dev = Jdevice.memory () in
+        let j, _, _ = Journal.attach dev ~name:"wal" in
+        for _ = 1 to 100 do
+          Journal.append j journal_payload
+        done;
+        Journal.sync j );
+    ( "journal/attach-1k-records (X-recover)",
+      fun () ->
+        ignore (Journal.attach ~segment_size:8192 journal_attach_dev ~name:"wal")
+    );
+    ( "journal/crash-recovery-200rec (X-recover)",
+      fun () ->
+        (* the cold path: power loss with an unsynced tail, then the
+           truncating re-attach *)
+        let dev = Jdevice.memory () in
+        let j, _, _ = Journal.attach ~segment_size:8192 dev ~name:"wal" in
+        for _ = 1 to 200 do
+          Journal.append j journal_payload
+        done;
+        Journal.sync j;
+        for _ = 1 to 20 do
+          Journal.append j journal_payload
+        done;
+        Jdevice.crash dev;
+        ignore (Journal.attach ~segment_size:8192 dev ~name:"wal") );
+    ( "chaos/recover-point-run (X-recover)",
+      fun () ->
+        match
+          Chaos_x.make_trace ~point:"recover" ~nemeses:Chaos_x.default_nemeses
+            ~config:Relax_chaos.Runner.default_config
+        with
+        | Error e -> failwith e
+        | Ok t -> ignore (Chaos_x.run_trace t) );
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* X-degrade: the degradation controller                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -799,7 +858,7 @@ let print_trace_overhead () =
 let all_rows =
   rows_larch @ rows_conformance @ rows_core @ rows_prob @ rows_sim
   @ rows_extensions @ rows_chaos @ rows_ldfi_lineage @ rows_ldfi_solver
-  @ rows_degrade @ rows_relax @ rows_claims @ rows_proof
+  @ rows_journal @ rows_degrade @ rows_relax @ rows_claims @ rows_proof
 
 let all_tests =
   Test.make_grouped ~name:"relax"

@@ -581,6 +581,98 @@ let chaos_cmd =
   Cmd.group (Cmd.info "chaos" ~doc) [ run_cmd; replay_cmd; list_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* rlx debug                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_debug file point seed nemeses script record_out =
+  let module X = Relax_experiments.Chaos_scenarios in
+  let module D = Relax_experiments.Debug in
+  let trace =
+    match file with
+    | Some f ->
+      if D.is_recording f then D.load_recording f
+      else (
+        match Relax_chaos.Trace.load f with
+        | t -> Ok t
+        | exception Sys_error e -> Error ("cannot read trace: " ^ e)
+        | exception Relax_chaos.Sexp.Parse_error e ->
+          Error (Fmt.str "malformed trace %s: %s" f e))
+    | None ->
+      let nemeses = if nemeses = [] then X.default_nemeses else nemeses in
+      let config = { Relax_chaos.Runner.default_config with seed } in
+      X.make_trace ~point ~nemeses ~config
+  in
+  match trace with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    2
+  | Ok trace -> (
+    Option.iter
+      (fun path ->
+        D.save_recording path trace;
+        Fmt.pr "recording written to %s@." path)
+      record_out;
+    match D.session_of_trace trace with
+    | Error e ->
+      Fmt.epr "%s@." e;
+      2
+    | Ok session ->
+      (match script with
+      | Some s -> D.run_script Fmt.stdout session s
+      | None -> D.run_interactive Fmt.stdout session);
+      0)
+
+let debug_cmd =
+  let file_arg =
+    let doc =
+      "A recorded run to debug: either a checksummed recording written \
+       with $(b,--record), or a bare $(b,.trace) file from $(b,rlx chaos \
+       run).  When omitted, a run is generated from $(b,--point), \
+       $(b,--seed) and $(b,--nemesis)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let point_arg =
+    let doc = "Lattice point of the generated run (no $(i,FILE))." in
+    Arg.(value & opt string "top" & info [ "point" ] ~docv:"POINT" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed of the generated run (no $(i,FILE))." in
+    Arg.(
+      value
+      & opt int Relax_sim.Engine.default_seed
+      & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+  in
+  let nemesis_arg =
+    let doc = "Comma-separated nemesis mix of the generated run." in
+    Arg.(value & opt module_sep_list [] & info [ "nemesis" ] ~docv:"LIST" ~doc)
+  in
+  let script_arg =
+    let doc =
+      "Read debugger commands from $(docv) instead of stdin, echoing each \
+       as a prompt line — the transcript is byte-deterministic."
+    in
+    Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE" ~doc)
+  in
+  let record_arg =
+    let doc =
+      "Also write the run as a checksummed single-file recording to \
+       $(docv) (replayable with $(b,rlx debug) $(docv))."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Time-travel through a recorded chaos run: step forwards and \
+     backwards over faults, mode switches, completions and recoveries, \
+     inspecting the oracle's automaton frontier and the message copies \
+     in flight at any point."
+  in
+  Cmd.v (Cmd.info "debug" ~doc)
+    Term.(
+      const run_debug $ file_arg $ point_arg $ seed_arg $ nemesis_arg
+      $ script_arg $ record_arg)
+
+(* ------------------------------------------------------------------ *)
 (* rlx degrade                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1285,8 +1377,8 @@ let profile_cmd =
 (* rlx load                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_load ops shards sites rate read_fraction timeout drop no_crash seed
-    point jobs out_file =
+let run_load ops shards sites rate read_fraction timeout drop no_crash closed
+    concurrency seed point jobs out_file =
   let params =
     {
       Relax_experiments.Load.ops;
@@ -1297,6 +1389,8 @@ let run_load ops shards sites rate read_fraction timeout drop no_crash seed
       timeout;
       drop;
       crash = not no_crash;
+      closed;
+      concurrency;
       seed =
         Option.value seed ~default:Relax_experiments.Load.default_params.seed;
     }
@@ -1321,10 +1415,14 @@ let run_load ops shards sites rate read_fraction timeout drop no_crash seed
         Fmt.epr "unknown lattice point %S (expected top | q1 | q2 | bottom)@." p;
         exit 2)
   in
-  Fmt.pr "== X-load: open-loop workload over the sharded engine ==@.";
+  Fmt.pr "== X-load: %s workload over the sharded engine ==@."
+    (if params.closed then "closed-loop" else "open-loop");
   Fmt.pr "ops %d  shards %d  sites %d  rate %.2f/ms  reads %.0f%%  drop %.3f  crash %b@."
     params.ops params.shards params.sites params.rate
     (100.0 *. params.read_fraction) params.drop params.crash;
+  if params.closed then
+    Fmt.pr "closed loop: at most %d in-flight operations per shard@."
+      params.concurrency;
   List.iter (fun o -> Fmt.pr "%a@." Relax_experiments.Load.pp_outcome o) outcomes;
   (match out_file with
   | None -> ()
@@ -1375,6 +1473,20 @@ let load_cmd =
     let doc = "Disable the mid-run crash window." in
     Arg.(value & flag & info [ "no-crash" ] ~doc)
   in
+  let closed_arg =
+    let doc =
+      "Closed-loop mode: a bounded pool of clients (see $(b,--concurrency)) \
+       replaces Poisson arrivals; each client issues its next operation \
+       only when the previous one settles, so overload is absorbed as \
+       reduced offered rate instead of queueing."
+    in
+    Arg.(value & flag & info [ "closed" ] ~doc)
+  in
+  let concurrency_arg =
+    let doc = "In-flight operation bound per shard (closed loop only)." in
+    Arg.(
+      value & opt int d.concurrency & info [ "concurrency" ] ~docv:"N" ~doc)
+  in
   let point_arg =
     let doc =
       "Run a single lattice point (top | q1 | q2 | bottom) instead of the \
@@ -1389,8 +1501,8 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc)
     Term.(
       const run_load $ ops_arg $ shards_arg $ sites_arg $ rate_arg $ read_arg
-      $ timeout_arg $ drop_arg $ no_crash_arg $ seed_arg $ point_arg
-      $ jobs_arg $ out_arg)
+      $ timeout_arg $ drop_arg $ no_crash_arg $ closed_arg $ concurrency_arg
+      $ seed_arg $ point_arg $ jobs_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* rlx relax                                                           *)
@@ -1647,9 +1759,9 @@ let main =
   Cmd.group
     (Cmd.info "rlx" ~version:"1.0.0" ~doc)
     [
-      check_cmd; figure_cmd; simulate_cmd; chaos_cmd; ldfi_cmd; degrade_cmd;
-      availability_cmd; lattice_cmd; load_cmd; relax_cmd; trait_cmd; compare_cmd;
-      behaviors_cmd; trace_cmd; profile_cmd;
+      check_cmd; figure_cmd; simulate_cmd; chaos_cmd; debug_cmd; ldfi_cmd;
+      degrade_cmd; availability_cmd; lattice_cmd; load_cmd; relax_cmd;
+      trait_cmd; compare_cmd; behaviors_cmd; trace_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -65,8 +65,20 @@ let apply ?replica net action =
       "chaos/fault"
       ~attrs:[ Relax_obs.Attr.str "action" (Fmt.str "%a" pp_action action) ];
   match action with
-  | Crash s -> Relax_sim.Network.crash net s
-  | Recover s -> Relax_sim.Network.recover net s
+  | Crash s ->
+    Relax_sim.Network.crash net s;
+    (* on a journaled replica a crash also loses the site's volatile
+       log, keeping only the journal's synced prefix (plus torn tail);
+       journal-free replicas keep the legacy stable-log semantics *)
+    Option.iter (fun r -> Replica.crash_site r s) replica
+  | Recover s ->
+    (* only a site that actually went down restarts from its journal: a
+       Recover aimed at an up site (the rejoin nemesis picks targets
+       blindly) must not re-attach the journal — replay would regress
+       the live clock below timestamps the site has already issued *)
+    let was_down = not (Relax_sim.Network.is_up net s) in
+    Relax_sim.Network.recover net s;
+    if was_down then Option.iter (fun r -> Replica.recover_site r s) replica
   | Wipe s -> Option.iter (fun r -> Replica.wipe_site r s) replica
   | Partition cells -> Relax_sim.Network.partition net cells
   | Heal -> Relax_sim.Network.heal net

@@ -94,6 +94,7 @@ type result = {
   time_to_restore : float list;
   gossip_rounds : int;
   online_violation : Degrade.Online.violation option;
+  recoveries : int;  (** journal recoveries performed (durable runs) *)
   metrics : Relax_sim.Metrics.t;
   digest : string;
 }
@@ -103,7 +104,8 @@ type result = {
 let is_empty_view reason =
   String.length reason >= 2 && reason.[0] = 'n' && reason.[1] = 'o'
 
-let run ?(config = default_config) ?online ~client ~respond events =
+let run ?(config = default_config) ?(durable = false) ?online ~client ~respond
+    events =
   let engine = Relax_sim.Engine.create ~seed:config.seed () in
   let net =
     Relax_sim.Network.create ~mean_latency:config.mean_latency engine
@@ -117,6 +119,10 @@ let run ?(config = default_config) ?online ~client ~respond events =
     Replica.create ~timeout:config.timeout ~retries:config.retries
       ~backoff:config.backoff ~metrics engine net assignment ~respond
   in
+  (* Durable runs give every site a write-ahead journal, so a Crash in
+     the schedule loses volatile state but Recover replays the journal;
+     non-durable runs keep the legacy stable-by-fiat log semantics. *)
+  if durable then Replica.enable_journals replica;
   Fault.install ~replica engine net events;
   let rng = Relax_sim.Rng.create ~seed:(config.seed + 77) in
   (* Distinct shuffled priorities; each enqueue is followed by a dequeue
@@ -169,11 +175,20 @@ let run ?(config = default_config) ?online ~client ~respond events =
               Degrade.Monitor.retry_pressure ~name:"retry-pressure" ~replica ();
             ]
           ~restore_gate:
-            [
-              Degrade.Monitor.convergence ~name:"converged" ~replica ();
-              Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
-                ~assignment:preferred ();
-            ]
+            ([
+               Degrade.Monitor.convergence ~name:"converged" ~replica ();
+               Degrade.Monitor.quorum_reachability ~name:"quorums" ~net
+                 ~assignment:preferred ();
+             ]
+            @
+            (* durable runs must not re-strengthen while a site is still
+               running on its journal's view, pre-anti-entropy *)
+            if durable then
+              [
+                Degrade.Monitor.recovery_settled ~name:"recovery-settled"
+                  ~replica ();
+              ]
+            else [])
           ~preferred ~degraded ~emit:emit_event ()
       in
       Degrade.Controller.install c;
@@ -310,6 +325,7 @@ let run ?(config = default_config) ?online ~client ~respond events =
       | None -> 0
       | Some c -> Degrade.Anti_entropy.rounds (Degrade.Controller.anti_entropy c));
     online_violation;
+    recoveries = Replica.recoveries replica;
     metrics;
     digest;
   }

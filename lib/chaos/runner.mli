@@ -65,6 +65,8 @@ type result = {
   gossip_rounds : int;  (** adaptive anti-entropy rounds (controlled) *)
   online_violation : Relax_degrade.Online.violation option;
       (** [None] when no online oracle was passed, or it conforms *)
+  recoveries : int;
+      (** journal recoveries performed (0 unless the run was durable) *)
   metrics : Relax_sim.Metrics.t;
   digest : string;
       (** canonical condensation of the run — replay equivalence is
@@ -74,9 +76,16 @@ type result = {
 (** [online], when given, builds a fresh incremental conformance oracle
     per run: a controlled client's history is streamed through it as it
     is produced (violations are flagged at the causing event), a fixed
-    client's completion record is fed after the run. *)
+    client's completion record is fed after the run.
+
+    [durable] (default false) gives every site a write-ahead journal:
+    Crash faults then lose volatile state but keep stable storage (with
+    a torn tail), Recover replays the journal, and — for a controlled
+    client — the restore gate additionally waits until every recovered
+    site has re-joined the anti-entropy flow. *)
 val run :
   ?config:config ->
+  ?durable:bool ->
   ?online:(unit -> Relax_degrade.Online.t) ->
   client:client ->
   respond:Relax_replica.Replica.response_chooser ->

@@ -101,3 +101,16 @@ let retry_pressure ~name ?(budget = 3) ~replica () =
       let delta = total - !seen in
       seen := total;
       { healthy = delta < budget; value = float_of_int delta })
+
+(* Recovery settling: a restarted-from-journal site that has not yet
+   absorbed a post-recovery transfer is running on its journal's view of
+   the world; restoring a stronger lattice point before anti-entropy
+   re-joins it would trust a log that may be arbitrarily stale. *)
+let recovery_settled ~name ?(max_recovering = 0) ~replica () =
+  make ~name
+    ~describe:
+      (Fmt.str "%s: at most %d sites recovering from their journals" name
+         max_recovering)
+    (fun () ->
+      let n = Replica.recovering_count replica in
+      { healthy = n <= max_recovering; value = float_of_int n })

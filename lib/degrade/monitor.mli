@@ -49,3 +49,9 @@ val convergence : name:string -> ?max_lag:int -> replica:Replica.t -> unit -> t
     baseline internally, so construct a fresh one per run. *)
 val retry_pressure :
   name:string -> ?budget:int -> replica:Replica.t -> unit -> t
+
+(** Healthy while at most [max_recovering] (default 0) sites have
+    restarted from their journal without yet absorbing a post-recovery
+    transfer — gate restoration until anti-entropy has re-joined them. *)
+val recovery_settled :
+  name:string -> ?max_recovering:int -> replica:Replica.t -> unit -> t

@@ -27,6 +27,7 @@ type t = {
   automaton_name : string;
   step_ : Op.t -> unit;
   frontier_size : unit -> int;
+  frontier_ : unit -> string list;
   violation_ : unit -> violation option;
   seen_ : unit -> History.t;
 }
@@ -61,6 +62,9 @@ let of_automaton (type v) (a : v Automaton.t) =
     automaton_name = Automaton.name a;
     step_;
     frontier_size = (fun () -> List.length !frontier);
+    frontier_ =
+      (fun () ->
+        List.map (fun v -> Fmt.str "%a" (Automaton.pp_state a) v) !frontier);
     violation_ = (fun () -> !violation);
     seen_ = (fun () -> List.rev !seen_rev);
   }
@@ -69,6 +73,7 @@ let automaton_name t = t.automaton_name
 let step t op = t.step_ op
 let feed t ops = List.iter t.step_ ops
 let frontier_size t = t.frontier_size ()
+let frontier t = t.frontier_ ()
 let violation t = t.violation_ ()
 let conforms t = Option.is_none (t.violation_ ())
 let seen t = t.seen_ ()

@@ -27,6 +27,10 @@ val step : t -> Op.t -> unit
 
 val feed : t -> History.t -> unit
 val frontier_size : t -> int
+
+(** The frontier's states, rendered via the automaton's state printer —
+    what the time-travel debugger shows at each step. *)
+val frontier : t -> string list
 val violation : t -> violation option
 val conforms : t -> bool
 

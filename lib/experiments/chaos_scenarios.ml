@@ -22,6 +22,7 @@ type scenario = {
   name : string;
   description : string;
   lattice : string; (* rendered constraint set, or "adaptive" *)
+  durable : bool; (* sites keep write-ahead journals; Crash = power loss *)
   client : sites:int -> Chaos.Runner.client;
   accepts : History.t -> bool;
   online : unit -> Relax_degrade.Online.t;
@@ -29,12 +30,14 @@ type scenario = {
 }
 
 (* The cset of each X-deg lattice point (independent of the site count). *)
-let fixed index name description =
-  let cset = (List.nth (Taxi.points ~n:5) index).Taxi.cset in
+let fixed ?(durable = false) ?judged_by index name description =
+  let cset_of i = (List.nth (Taxi.points ~n:5) i).Taxi.cset in
+  let cset = cset_of (Option.value judged_by ~default:index) in
   {
     name;
     description;
     lattice = Cset.to_string cset;
+    durable;
     client =
       (fun ~sites ->
         Chaos.Runner.Fixed
@@ -49,11 +52,25 @@ let all =
     fixed 1 "q1" "{Q1}: duplicates possible (MPQ)";
     fixed 2 "q2" "{Q2}: reordering possible (OPQ)";
     fixed 3 "bottom" "{}: any service of any request (DegenPQ)";
+    (* The journal-intact constraint point: the top assignment with
+       write-ahead journals, so a crash is a power loss — volatile logs
+       evaporate — yet recovery from stable storage must keep histories
+       inside the same {Q1,Q2} language as top. *)
+    fixed ~durable:true 0 "recover"
+      "{Q1,Q2} with journals: crash = power loss, recovery replays the WAL";
+    (* The journal-lost point: same durable setup, but judged against
+       the empty constraint set — the honest lattice position once
+       stable storage itself can be lost (the amnesia nemesis).  Its
+       claim sweeps with amnesia enabled: conformance to anything
+       stronger is exactly the assumption amnesia breaks. *)
+    fixed ~durable:true ~judged_by:3 0 "lost"
+      "{} with journals: stable-storage loss degrades to DegenPQ honestly";
     {
       name = "adaptive";
       description =
         "Section 2.3 controller-driven client vs the combined automaton";
       lattice = "adaptive";
+      durable = false;
       client =
         (fun ~sites ->
           Chaos.Runner.Controlled
@@ -123,7 +140,8 @@ let run_trace (trace : Chaos.Trace.t) =
         ]
       (fun () ->
         let result =
-          Chaos.Runner.run ~config:trace.config ~online:sc.online
+          Chaos.Runner.run ~config:trace.config ~durable:sc.durable
+            ~online:sc.online
             ~client:(sc.client ~sites:trace.config.Chaos.Runner.sites)
             ~respond:Choosers.pq_eta trace.events
         in
@@ -289,6 +307,44 @@ let run_body ppf =
     pp_summary ppf report;
     report.violations = []
 
+(* The journal-intact claim: at the "recover" point a crash is a power
+   loss, so conformance additionally depends on the WAL recovery path —
+   which the claim also requires to have actually run. *)
+let recovery_body ppf =
+  match
+    sweep ~runs:claim_runs ~seed:claim_seed ~nemeses:default_nemeses
+      ~points:[ "recover" ] ()
+  with
+  | Error e ->
+    Fmt.pf ppf "sweep failed: %s@\n" e;
+    false
+  | Ok report ->
+    pp_summary ppf report;
+    let recoveries =
+      List.fold_left
+        (fun acc r -> acc + r.result.Chaos.Runner.recoveries)
+        0 report.reports
+    in
+    Fmt.pf ppf "journal recoveries across the sweep: %d@\n" recoveries;
+    report.violations = [] && recoveries > 0
+
+(* The journal-lost claim: with amnesia in the mix even journaled sites
+   can lose stable storage, and the honest constraint point is the empty
+   cset — which the "lost" scenario's histories must still satisfy. *)
+let lost_nemeses = default_nemeses @ [ "amnesia" ]
+
+let lost_body ppf =
+  match
+    sweep ~runs:claim_runs ~seed:claim_seed ~nemeses:lost_nemeses
+      ~points:[ "lost" ] ()
+  with
+  | Error e ->
+    Fmt.pf ppf "sweep failed: %s@\n" e;
+    false
+  | Ok report ->
+    pp_summary ppf report;
+    report.violations = []
+
 let claims () =
   [
     Relax_claims.Claim.report ~id:"chaos/conformance" ~kind:Characterization
@@ -301,6 +357,28 @@ let claims () =
            (String.concat "/" names)
            (String.concat "/" default_nemeses))
       run_body;
+    Relax_claims.Claim.report ~id:"chaos/recovery" ~kind:Characterization
+      ~paper:"Section 3.1 (stable storage, executed)"
+      ~description:
+        "with write-ahead journals, crashes that lose volatile state \
+         recover from stable storage and histories stay in the top \
+         point's language"
+      ~detail:
+        (Fmt.str
+           "%d seeded runs at point recover, nemeses %s, requiring >0 \
+            journal recoveries"
+           claim_runs
+           (String.concat "/" default_nemeses))
+      recovery_body;
+    Relax_claims.Claim.report ~id:"chaos/journal-lost" ~kind:Characterization
+      ~paper:"Section 3.3 (assumption violation, judged honestly)"
+      ~description:
+        "when stable storage itself can be lost (amnesia), the honest \
+         constraint point is the empty cset and histories satisfy it"
+      ~detail:
+        (Fmt.str "%d seeded runs at point lost, nemeses %s" claim_runs
+           (String.concat "/" lost_nemeses))
+      lost_body;
   ]
 
 let group () =

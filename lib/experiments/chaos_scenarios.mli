@@ -16,6 +16,13 @@ type scenario = {
   lattice : string;
       (** The point's constraint set rendered ("{Q1,Q2}", ...), or
           ["adaptive"] — the lattice-point attribute on trace spans. *)
+  durable : bool;
+      (** Sites keep write-ahead journals: Crash faults are power
+          losses (volatile logs evaporate, the journal keeps its synced
+          prefix), Recover replays the journal.  The "recover" point is
+          judged against top's {Q1,Q2}; "lost" — swept with amnesia —
+          against the empty cset, the honest position once stable
+          storage itself can vanish. *)
   client : sites:int -> Chaos.Runner.client;
   accepts : History.t -> bool;
   online : unit -> Relax_degrade.Online.t;

@@ -77,12 +77,16 @@ let run_point ?(config = default_config) ?(wipe = false) ~budget ~strategy
     point =
   match Chaos_scenarios.find point with
   | Error e -> Error e
-  | Ok _ ->
+  | Ok sc ->
+    (* a durable scenario changes the storage model the clauses reason
+       about: crashes restart journaled sites, only wipes destroy their
+       entry copies *)
+    let durable = sc.Chaos_scenarios.durable in
     let sys = system ~config point in
     let result =
       match strategy with
-      | `Guided -> Ldfi.Search.guided ~wipe ~budget sys
-      | `Random seed -> Ldfi.Search.random_walk ~wipe ~budget ~seed sys
+      | `Guided -> Ldfi.Search.guided ~wipe ~durable ~budget sys
+      | `Random seed -> Ldfi.Search.random_walk ~wipe ~durable ~budget ~seed sys
     in
     let violation =
       Option.map

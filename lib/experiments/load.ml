@@ -41,6 +41,8 @@ type params = {
   timeout : float; (* ms before an operation counts as unavailable *)
   drop : float; (* per-leg loss probability *)
   crash : bool; (* crash half the sites for the middle fifth of the run *)
+  closed : bool; (* closed loop: a bounded client pool replaces Poisson *)
+  concurrency : int; (* in-flight bound per shard, closed loop only *)
   seed : int;
 }
 
@@ -54,6 +56,8 @@ let default_params =
     timeout = 120.0;
     drop = 0.02;
     crash = true;
+    closed = false;
+    concurrency = 32;
     seed = Relax_sim.Engine.default_seed;
   }
 
@@ -129,14 +133,16 @@ let quorum_targets net ~home ~k deliver =
    then [final] pushes + acks, every leg subject to loss; the op
    completes when the final acks are in, or becomes unavailable at
    [timeout]. *)
-let start_op engine sh ~timeout { Assignment.initial; final } =
+let start_op ?(on_settle = fun () -> ()) engine sh ~timeout
+    { Assignment.initial; final } =
   sh.arrived <- sh.arrived + 1;
   let t0 = Relax_sim.Engine.now engine in
   let op = { finished = false } in
   Relax_sim.Engine.schedule engine ~delay:timeout (fun () ->
       if not op.finished then begin
         op.finished <- true;
-        sh.unavailable <- sh.unavailable + 1
+        sh.unavailable <- sh.unavailable + 1;
+        on_settle ()
       end);
   let home = Relax_sim.Rng.int sh.client_rng (Relax_sim.Network.sites sh.net) in
   let complete () =
@@ -144,7 +150,8 @@ let start_op engine sh ~timeout { Assignment.initial; final } =
       op.finished <- true;
       sh.completed <- sh.completed + 1;
       Relax_obs.Metrics.Histogram.observe sh.hist
-        (Relax_sim.Engine.now engine -. t0)
+        (Relax_sim.Engine.now engine -. t0);
+      on_settle ()
     end
   in
   let phase ~k ~next =
@@ -188,6 +195,34 @@ let arrivals engine sh ~params ~assignment ~n_ops =
       ~delay:(Relax_sim.Rng.exponential sh.client_rng ~rate:params.rate)
       (arrive 0)
 
+(* The closed loop: a pool of [concurrency] client threads is the
+   admission valve — each issues one operation, waits for it to settle
+   (complete or time out), then immediately claims the next from the
+   shared remainder.  In-flight operations never exceed the pool size,
+   so the generator absorbs overload as reduced offered rate instead of
+   queueing it; [rate] only staggers the pool start-up (and places the
+   crash window), it does not pace steady state.  Deterministic in
+   (params, point): every rng draw happens in engine-event order. *)
+let closed_clients engine sh ~params ~assignment ~n_ops =
+  let enq = Assignment.thresholds assignment Queue_ops.enq_name in
+  let deq = Assignment.thresholds assignment Queue_ops.deq_name in
+  let remaining = ref n_ops in
+  let rec issue () =
+    if !remaining > 0 then begin
+      decr remaining;
+      let th =
+        if Relax_sim.Rng.bool sh.client_rng params.read_fraction then deq
+        else enq
+      in
+      start_op engine sh ~timeout:params.timeout ~on_settle:issue th
+    end
+  in
+  for _ = 1 to min params.concurrency n_ops do
+    Relax_sim.Engine.schedule engine
+      ~delay:(Relax_sim.Rng.exponential sh.client_rng ~rate:params.rate)
+      issue
+  done
+
 (* The crash window: half the sites (the top half by index) go down for
    the middle fifth of the nominal run, the same schedule in every
    shard's virtual time. *)
@@ -218,6 +253,8 @@ let run_point ?jobs ~(params : params) (point : Taxi.point) =
   if params.ops < 0 then invalid_arg "Load.run_point: negative ops";
   if params.shards <= 0 then invalid_arg "Load.run_point: shards must be positive";
   if params.rate <= 0.0 then invalid_arg "Load.run_point: rate must be positive";
+  if params.closed && params.concurrency <= 0 then
+    invalid_arg "Load.run_point: closed loop needs positive concurrency";
   let per_shard i =
     (params.ops / params.shards)
     + if i < params.ops mod params.shards then 1 else 0
@@ -241,7 +278,8 @@ let run_point ?jobs ~(params : params) (point : Taxi.point) =
             unavailable = 0;
           }
         in
-        arrivals engine sh ~params ~assignment:point.Taxi.assignment
+        (if params.closed then closed_clients else arrivals)
+          engine sh ~params ~assignment:point.Taxi.assignment
           ~n_ops:(per_shard i);
         if params.crash then schedule_crash_window engine net ~horizon;
         sh)

@@ -17,10 +17,19 @@ type params = {
   drop : float;  (** per-leg loss probability *)
   crash : bool;
       (** crash half the sites for the middle fifth of the run *)
+  closed : bool;
+      (** closed loop: a bounded pool of clients replaces Poisson
+          arrivals — each issues its next operation only when the
+          previous one settles, so in-flight work never exceeds
+          [concurrency] per shard and overload is absorbed as reduced
+          offered rate rather than queued.  [rate] then only staggers
+          the pool start-up and places the crash window. *)
+  concurrency : int;  (** in-flight bound per shard, closed loop only *)
   seed : int;
 }
 
-(** 1M ops, 4 shards, 5 sites, 50% reads, 2% loss, crash window on. *)
+(** 1M ops, 4 shards, 5 sites, 50% reads, 2% loss, crash window on,
+    open loop (closed off, concurrency 32 when enabled). *)
 val default_params : params
 
 type outcome = {

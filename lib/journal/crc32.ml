@@ -1,0 +1,24 @@
+(* CRC-32, reflected polynomial 0xEDB88320 (zlib/Ethernet).  The byte
+   table is built once, lazily; digests stay within 32 bits, so plain
+   OCaml ints (63-bit) carry them without boxing. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.digest_sub";
+  let tbl = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := tbl.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)

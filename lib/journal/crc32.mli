@@ -1,0 +1,9 @@
+(** CRC-32 (the IEEE 802.3 polynomial, reflected: 0xEDB88320) over byte
+    strings — the checksum guarding every journal record.  Table-driven,
+    dependency-free; returns the 32-bit digest as a non-negative [int]. *)
+
+val digest : string -> int
+
+(** [digest_sub s pos len] checksums the slice [s.[pos .. pos+len-1]].
+    Raises [Invalid_argument] when the slice is out of bounds. *)
+val digest_sub : string -> pos:int -> len:int -> int

@@ -1,0 +1,145 @@
+(* Storage backends for the journal: a deterministic in-memory device
+   (simulation) and a directory of real files (recorded-run artifacts).
+   Both keep the segment contents in a Buffer with a synced watermark;
+   the dir backend additionally mirrors synced bytes to disk, so the
+   two backends agree byte-for-byte on every observable. *)
+
+type segment = { buf : Buffer.t; mutable synced : int }
+
+type backend = Memory | Dir of string
+
+type t = { backend : backend; segments : (string, segment) Hashtbl.t }
+
+let memory () = { backend = Memory; segments = Hashtbl.create 8 }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let dir path =
+  (if not (Sys.file_exists path) then
+     try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let t = { backend = Dir path; segments = Hashtbl.create 8 } in
+  Array.iter
+    (fun name ->
+      let file = Filename.concat path name in
+      if not (Sys.is_directory file) then begin
+        let contents = read_file file in
+        let buf = Buffer.create (String.length contents + 64) in
+        Buffer.add_string buf contents;
+        (* on-disk bytes are by definition the synced prefix *)
+        Hashtbl.replace t.segments name { buf; synced = Buffer.length buf }
+      end)
+    (Sys.readdir path);
+  t
+
+let list t =
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.segments [])
+
+let exists t name = Hashtbl.mem t.segments name
+
+let find t name = Hashtbl.find_opt t.segments name
+
+let read t name =
+  match find t name with None -> "" | Some s -> Buffer.contents s.buf
+
+let length t name =
+  match find t name with None -> 0 | Some s -> Buffer.length s.buf
+
+let get t name =
+  match find t name with
+  | Some s -> s
+  | None ->
+    let s = { buf = Buffer.create 256; synced = 0 } in
+    Hashtbl.replace t.segments name s;
+    s
+
+let append t name data =
+  let s = get t name in
+  Buffer.add_string s.buf data
+
+let file_of t name =
+  match t.backend with
+  | Memory -> None
+  | Dir path -> Some (Filename.concat path name)
+
+let sync t name =
+  match find t name with
+  | None -> ()
+  | Some s ->
+    let len = Buffer.length s.buf in
+    if len > s.synced then begin
+      (match file_of t name with
+      | None -> ()
+      | Some file ->
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ]
+            0o644 file
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Buffer.sub s.buf s.synced (len - s.synced));
+            flush oc;
+            Unix.fsync (Unix.descr_of_out_channel oc)));
+      s.synced <- len
+    end
+
+let delete t name =
+  (match file_of t name with
+  | Some file when Sys.file_exists file -> Sys.remove file
+  | _ -> ());
+  Hashtbl.remove t.segments name
+
+(* Power loss: the synced prefix survives; of the unsynced suffix, the
+   torn half (rounded up) is still on the platter.  Deterministic by
+   construction — the chaos layer injects no extra randomness — and
+   guaranteed to leave a partial record behind whenever anything was
+   unsynced, so recovery's truncation path runs under every crash. *)
+let crash t =
+  match t.backend with
+  | Dir _ -> ()
+  | Memory ->
+    Hashtbl.iter
+      (fun _ s ->
+        let len = Buffer.length s.buf in
+        if len > s.synced then
+          Buffer.truncate s.buf (s.synced + ((len - s.synced + 1) / 2)))
+      t.segments
+
+let wipe t = List.iter (delete t) (list t)
+
+(* ------------------------------------------------------------------ *)
+(* Test hooks: corrupting stored bytes                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite t name contents =
+  match find t name with
+  | None -> ()
+  | Some s ->
+    Buffer.clear s.buf;
+    Buffer.add_string s.buf contents;
+    s.synced <- min s.synced (Buffer.length s.buf);
+    (match file_of t name with
+    | None -> ()
+    | Some file ->
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (String.sub contents 0 s.synced)))
+
+let truncate t name len =
+  let contents = read t name in
+  if len < String.length contents then
+    rewrite t name (String.sub contents 0 (max len 0))
+
+let flip_bit t name off =
+  let contents = read t name in
+  if off >= 0 && off < String.length contents then begin
+    let b = Bytes.of_string contents in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 1));
+    rewrite t name (Bytes.to_string b)
+  end

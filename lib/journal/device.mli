@@ -1,0 +1,63 @@
+(** Pluggable storage under the write-ahead journal.
+
+    A device is a small set of named append-only segments with an
+    explicit durability watermark: {!append} buffers, {!sync} is the
+    fsync barrier.  Two backends share the interface:
+
+    - {!memory}: a deterministic in-memory device for the simulator.
+      {!crash} models power loss: each segment keeps its synced prefix
+      plus a {e torn tail} — a deterministic half of the unsynced
+      suffix — so every simulated crash-recovery exercises the
+      journal's torn-record truncation without any extra randomness.
+    - {!dir}: real files under a directory, synced with [Unix.fsync]
+      — the backend behind recorded-run artifacts and `rlx debug`.
+
+    Segment names must be usable as file names; {!list} returns them
+    in lexicographic order, which the journal arranges to coincide
+    with creation order (zero-padded indices). *)
+
+type t
+
+val memory : unit -> t
+
+(** [dir path] opens (creating [path] if needed) a directory-backed
+    device and loads every existing segment file in it. *)
+val dir : string -> t
+
+(** Segment names, lexicographically sorted. *)
+val list : t -> string list
+
+val exists : t -> string -> bool
+
+(** Full current contents, including unsynced bytes. Empty-string for
+    absent segments. *)
+val read : t -> string -> string
+
+val length : t -> string -> int
+
+(** Buffered append; creates the segment on first write. *)
+val append : t -> string -> string -> unit
+
+(** Durability barrier: after [sync d name] returns, every byte
+    appended to [name] so far survives {!crash}.  On the [dir] backend
+    this writes the delta and calls [Unix.fsync]. *)
+val sync : t -> string -> unit
+
+val delete : t -> string -> unit
+
+(** Simulated power loss (memory backend; no-op on [dir]): every
+    segment is cut back to its synced prefix plus half of the unsynced
+    suffix, rounded up — a deterministic torn tail for the journal's
+    open-time truncation to digest. *)
+val crash : t -> unit
+
+(** Stable-storage loss: every segment is gone. *)
+val wipe : t -> unit
+
+(** {1 Test hooks} *)
+
+(** [truncate d name len] cuts the segment to its first [len] bytes. *)
+val truncate : t -> string -> int -> unit
+
+(** [flip_bit d name off] XORs bit 0 of byte [off]. *)
+val flip_bit : t -> string -> int -> unit

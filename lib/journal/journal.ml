@@ -1,0 +1,293 @@
+(* The write-ahead journal proper: checksummed records over rotating
+   device segments.  Layout of a segment:
+
+     magic (8 bytes) . record* . seal?   record = len:4 LE . crc:4 LE . payload
+
+   [attach] is the only read path and doubles as crash recovery: it
+   walks the segments oldest-first and keeps the longest prefix of
+   records whose lengths and checksums verify, physically truncating
+   the first bad byte and everything after it (later segments
+   included).  A torn record therefore can neither be returned nor
+   linger on the device to confuse a later recovery.
+
+   Rotation appends a synced *seal* marker (a header-only record with a
+   reserved length flag) to the outgoing segment.  Recovery demands the
+   seal on every non-final segment: without it, a corrupted middle
+   segment that happens to end cleanly on a record boundary would scan
+   as valid and recovery would continue into the next segment —
+   resurrecting records that come *after* lost ones.  An unsealed
+   non-final segment is therefore treated as torn at its end, and
+   everything after it is discarded. *)
+
+let magic = "RLXJRNL1"
+let magic_len = String.length magic
+let header_len = 8 (* len + crc *)
+
+(* Segments rarely exceed the rotation threshold by much; a record an
+   order of magnitude past any sane segment size is corruption, not
+   data. *)
+let max_record_len = 1 lsl 26
+
+type t = {
+  device : Device.t;
+  name : string;
+  segment_size : int;
+  mutable index : int; (* index of the segment being appended to *)
+  mutable live : int; (* segments currently on the device *)
+}
+
+type stats = { segments : int; records : int; dropped_bytes : int }
+
+let device t = t.device
+let name t = t.name
+let segments t = t.live
+let segment_name t i = Fmt.str "%s-%06d.seg" t.name i
+
+let le32 b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF))
+
+let read_le32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let encode_record payload =
+  let b = Buffer.create (String.length payload + header_len) in
+  le32 b (String.length payload);
+  le32 b (Crc32.digest payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* The seal marker: a header-only record whose length field carries a
+   reserved flag (far above [max_record_len], so it can never be
+   mistaken for data) over the empty-payload checksum. *)
+let seal_flag = 1 lsl 30
+let crc_empty = Crc32.digest ""
+
+let seal_record =
+  let b = Buffer.create header_len in
+  le32 b seal_flag;
+  le32 b crc_empty;
+  Buffer.contents b
+
+(* Longest valid prefix of one segment's contents.  Returns the records
+   in order, the byte offset the valid prefix ends at, and the
+   segment's condition: [`Sealed] (rotation finished it), [`Clean]
+   (every byte verified but no seal — only acceptable for the final,
+   still-live segment) or [`Torn] (a bad byte). *)
+let scan contents =
+  let total = String.length contents in
+  if total < magic_len || String.sub contents 0 magic_len <> magic then
+    ([], 0, `Torn)
+  else begin
+    let records = ref [] in
+    let pos = ref magic_len in
+    let status = ref `Clean in
+    let stop = ref false in
+    while not !stop do
+      if !pos = total then stop := true
+      else if !pos + header_len > total then begin
+        status := `Torn;
+        stop := true
+      end
+      else begin
+        let len = read_le32 contents !pos in
+        let crc = read_le32 contents (!pos + 4) in
+        if len = seal_flag && crc = crc_empty then begin
+          status := `Sealed;
+          pos := !pos + header_len;
+          stop := true
+        end
+        else if len < 0 || len > max_record_len || !pos + header_len + len > total
+        then begin
+          status := `Torn;
+          stop := true
+        end
+        else if
+          Crc32.digest_sub contents ~pos:(!pos + header_len) ~len <> crc
+        then begin
+          status := `Torn;
+          stop := true
+        end
+        else begin
+          records :=
+            String.sub contents (!pos + header_len) len :: !records;
+          pos := !pos + header_len + len
+        end
+      end
+    done;
+    (List.rev !records, !pos, !status)
+  end
+
+let index_of_segment t seg =
+  (* "<name>-NNNNNN.seg" *)
+  let prefix = t.name ^ "-" in
+  let plen = String.length prefix in
+  if
+    String.length seg = plen + 10
+    && String.sub seg 0 plen = prefix
+    && String.sub seg (plen + 6) 4 = ".seg"
+  then int_of_string_opt (String.sub seg plen 6)
+  else None
+
+let own_segments t =
+  List.filter_map
+    (fun seg ->
+      match index_of_segment t seg with
+      | Some i -> Some (i, seg)
+      | None -> None)
+    (Device.list t.device)
+
+let fresh_segment t i =
+  t.index <- i;
+  Device.append t.device (segment_name t i) magic;
+  t.live <- t.live + 1
+
+let attach ?(segment_size = 65536) device ~name =
+  let t = { device; name; segment_size; index = 0; live = 0 } in
+  let segs = own_segments t in
+  let nsegs = List.length segs in
+  let records = ref [] in
+  let nrecords = ref 0 in
+  let dropped = ref 0 in
+  let torn = ref false in
+  (* is the segment appends would currently land in sealed?  (happens
+     when a crash hit between sealing the old segment and creating the
+     new one — recovery must then open a fresh segment) *)
+  let tip_sealed = ref false in
+  List.iteri
+    (fun pos (i, seg) ->
+      if !torn then begin
+        (* everything after the first torn point is unreachable *)
+        dropped := !dropped + Device.length device seg;
+        Device.delete device seg
+      end
+      else begin
+        let contents = Device.read device seg in
+        let payloads, valid, status = scan contents in
+        List.iter
+          (fun p ->
+            records := p :: !records;
+            incr nrecords)
+          payloads;
+        match status with
+        | `Sealed ->
+          (* rotation finished this segment; anything a corruptor put
+             after the seal is garbage *)
+          if String.length contents > valid then begin
+            dropped := !dropped + (String.length contents - valid);
+            Device.truncate device seg valid;
+            Device.sync device seg
+          end;
+          t.index <- i;
+          t.live <- t.live + 1;
+          tip_sealed := true
+        | `Clean when pos = nsegs - 1 ->
+          (* the live segment legitimately has no seal yet *)
+          t.index <- i;
+          t.live <- t.live + 1;
+          tip_sealed := false
+        | `Clean ->
+          (* a non-final segment without its seal: it lost its tail in
+             a way that happens to end on a record boundary — later
+             segments would resurrect records after the loss *)
+          torn := true;
+          t.index <- i;
+          t.live <- t.live + 1;
+          tip_sealed := false
+        | `Torn ->
+          torn := true;
+          dropped := !dropped + (String.length contents - valid);
+          if valid < magic_len then (* not even a readable header *)
+            Device.delete device seg
+          else begin
+            Device.truncate device seg valid;
+            Device.sync device seg;
+            t.index <- i;
+            t.live <- t.live + 1;
+            tip_sealed := false
+          end
+      end)
+    segs;
+  if t.live = 0 then fresh_segment t 0
+  else if !tip_sealed then fresh_segment t (t.index + 1);
+  (t, List.rev !records, { segments = t.live; records = !nrecords;
+                           dropped_bytes = !dropped })
+
+let current t = segment_name t t.index
+
+let rotate t =
+  (* seal the outgoing segment so recovery can tell "complete" from
+     "lost its tail at a record boundary" *)
+  Device.append t.device (current t) seal_record;
+  Device.sync t.device (current t);
+  fresh_segment t (t.index + 1)
+
+let append t payload =
+  let seg = current t in
+  if
+    Device.length t.device seg > magic_len
+    && Device.length t.device seg + header_len + String.length payload
+       > t.segment_size
+  then rotate t;
+  Device.append t.device (current t) (encode_record payload)
+
+let sync t = Device.sync t.device (current t)
+
+let checkpoint t snapshot =
+  let older = own_segments t in
+  fresh_segment t (t.index + 1);
+  Device.append t.device (current t) (encode_record snapshot);
+  Device.sync t.device (current t);
+  List.iter
+    (fun (_, seg) ->
+      Device.delete t.device seg;
+      t.live <- t.live - 1)
+    older
+
+let reset t =
+  List.iter (fun (_, seg) -> Device.delete t.device seg) (own_segments t);
+  t.live <- 0;
+  fresh_segment t 0
+
+(* ------------------------------------------------------------------ *)
+(* Single-file recordings                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path payloads =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      List.iter (fun p -> output_string oc (encode_record p)) payloads)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file path =
+  match read_whole path with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    if
+      String.length contents < magic_len
+      || String.sub contents 0 magic_len <> magic
+    then Error (Fmt.str "%s: not a journal recording (bad magic)" path)
+    else begin
+      let payloads, valid, _ok = scan contents in
+      Ok (payloads, String.length contents - valid)
+    end
+
+let file_has_magic path =
+  match read_whole path with
+  | exception Sys_error _ -> false
+  | contents ->
+    String.length contents >= magic_len
+    && String.sub contents 0 magic_len = magic

@@ -1,0 +1,71 @@
+(** The crash-safe write-ahead journal (ROADMAP item 5).
+
+    A journal is an ordered sequence of opaque payload records striped
+    over fixed-capacity segments on a {!Device}.  Every record is
+    length-prefixed and CRC-32-checksummed; every segment leads with an
+    8-byte magic.  {!append} buffers, {!sync} is the durability barrier
+    (replicas place it at op-commit points, before acknowledging), and
+    {!attach} is recovery: it scans the segments in order and returns
+    the longest valid prefix of records, truncating the torn tail a
+    crash left behind — a partially-written record can never be
+    resurrected, because its checksum cannot match.
+
+    Segments rotate once they exceed [segment_size]; {!checkpoint}
+    starts a fresh segment whose first record is a state snapshot and
+    reclaims every older segment, bounding recovery work the same way
+    log compaction bounds the replica's logs. *)
+
+type t
+
+(** What {!attach} found: surviving segment and record counts, and the
+    bytes of torn or corrupt tail it discarded. *)
+type stats = { segments : int; records : int; dropped_bytes : int }
+
+(** The 8-byte segment header, ["RLXJRNL1"]. *)
+val magic : string
+
+(** [attach ?segment_size device ~name] opens (or creates) the journal
+    [name] on [device], recovering the longest valid prefix of records.
+    Returns the journal positioned for appending, the recovered
+    payloads in append order, and recovery stats.  Records after the
+    first torn or corrupt one — including whole later segments — are
+    discarded from the device. *)
+val attach :
+  ?segment_size:int -> Device.t -> name:string -> t * string list * stats
+
+val device : t -> Device.t
+val name : t -> string
+
+(** Number of live segments. *)
+val segments : t -> int
+
+(** Buffered append of one record; rotates segments as needed.  The
+    record is not durable until the next {!sync}. *)
+val append : t -> string -> unit
+
+(** The fsync barrier: everything appended so far survives a crash. *)
+val sync : t -> unit
+
+(** [checkpoint t snapshot] seals the current segment, starts a fresh
+    one whose first (synced) record is [snapshot], and deletes every
+    older segment.  Recovery then replays from the snapshot on. *)
+val checkpoint : t -> string -> unit
+
+(** Stable-storage loss: delete every segment and start empty. *)
+val reset : t -> unit
+
+(** {1 Single-file recordings}
+
+    The same record format in one standalone file — the container for
+    recorded runs that `rlx debug` replays. *)
+
+(** [write_file path payloads] writes magic + records to [path]. *)
+val write_file : string -> string list -> unit
+
+(** [read_file path] recovers the longest valid prefix of records and
+    the count of discarded tail bytes.  Errors with a message when the
+    file is unreadable or carries no journal magic. *)
+val read_file : string -> (string list * int, string) result
+
+(** Does [path] start with the journal magic? *)
+val file_has_magic : string -> bool

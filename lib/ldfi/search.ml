@@ -28,12 +28,15 @@ type var =
   | Crash of { window : int; site : int }
       (* take the site down for workload slot [window] (with wipe, when
          the volatile-logs realization is on) *)
+  | Wipe of { window : int; site : int }
+      (* destroy the site's stable storage in workload slot [window] —
+         the only fault that kills a journaled site's entry copies *)
 
-(* Crashes order before drops: a crash window is the coarser fault (it
-   perturbs every delivery its site touches), so among same-size
-   candidates the pool tries the big hammers — and the earliest
-   windows — first.  Purely a tie-break heuristic: the model set and
-   exhaustiveness are order-independent. *)
+(* Wipes order before crashes order before drops: the coarser the
+   fault, the earlier the pool tries it (wipes perturb everything a
+   site will ever hold, crashes everything it touches while down).
+   Purely a tie-break heuristic: the model set and exhaustiveness are
+   order-independent. *)
 let compare_var a b =
   match (a, b) with
   | Drop k, Drop k' -> Support.compare_dkey k k'
@@ -41,12 +44,19 @@ let compare_var a b =
     match compare c.window c'.window with
     | 0 -> compare c.site c'.site
     | n -> n)
+  | Wipe c, Wipe c' -> (
+    match compare c.window c'.window with
+    | 0 -> compare c.site c'.site
+    | n -> n)
+  | Wipe _, (Crash _ | Drop _) -> -1
+  | (Crash _ | Drop _), Wipe _ -> 1
   | Crash _, Drop _ -> -1
   | Drop _, Crash _ -> 1
 
 let pp_var ppf = function
   | Drop k -> Fmt.pf ppf "drop %s" (Support.dkey_to_string k)
   | Crash { window; site } -> Fmt.pf ppf "crash %d@w%d" site window
+  | Wipe { window; site } -> Fmt.pf ppf "wipe %d@w%d" site window
 
 let var_key v = Fmt.str "%a" pp_var v
 let set_key vars = String.concat ";" (List.map var_key vars)
@@ -66,7 +76,9 @@ let ci_budget = { max_crashes = 1; max_drops = 1; max_injections = 1000 }
 let admissible budget vars =
   let crashes, drops =
     List.fold_left
-      (fun (c, d) -> function Crash _ -> (c + 1, d) | Drop _ -> (c, d + 1))
+      (fun (c, d) -> function
+        | Crash _ | Wipe _ -> (c + 1, d) (* wipes spend the crash budget *)
+        | Drop _ -> (c, d + 1))
       (0, 0) vars
   in
   crashes <= budget.max_crashes && drops <= budget.max_drops
@@ -83,14 +95,25 @@ let realize ~(support : Support.t) ~wipe vars =
     if w + 1 < support.Support.nslots then support.Support.slot_starts.(w + 1)
     else support.Support.quiesce
   in
-  let drops, crashes =
-    List.partition_map
-      (function
-        | Drop k -> Left k
-        | Crash { window; site } -> Right (site, window))
-      (List.sort compare_var vars)
-  in
+  let drops = ref [] and crashes = ref [] and wipes = ref [] in
+  List.iter
+    (function
+      | Drop k -> drops := k :: !drops
+      | Crash { window; site } -> crashes := (site, window) :: !crashes
+      | Wipe { window; site } -> wipes := (site, window) :: !wipes)
+    (List.sort compare_var vars);
+  let drops = List.rev !drops
+  and crashes = List.rev !crashes
+  and wipes = List.sort_uniq compare (List.rev !wipes) in
   let events = ref [] in
+  (* a wipe is instantaneous stable-storage loss: the site stays up,
+     its log and journal are gone at the window's start *)
+  List.iter
+    (fun (site, w) ->
+      events :=
+        { Chaos.Fault.at = slot_start w; action = Chaos.Fault.Wipe site }
+        :: !events)
+    wipes;
   List.iter
     (fun k ->
       events :=
@@ -151,35 +174,69 @@ let pp_goal ppf = function
 
 type goal_state = { goal : goal; mutable clauses : var list list }
 
-(* The whole observed quorum bundle of a completed op is one derivation:
-   one clause, "at least one of these faults would have perturbed it". *)
-let completion_clause (o : Support.op_support) =
-  let member (m : Support.member) =
-    Crash { window = o.Support.slot; site = m.site }
-    :: List.map (fun k -> Drop k) m.carry
+(* Each way the observed quorum bundle could have succeeded is its own
+   derivation — its own clause, "at least one of these faults would
+   have perturbed it".  Without duplicated deliveries there is exactly
+   one: the counted carries.  A member with alternative carriers (a dup
+   re-making its contribution) multiplies the derivations: dropping the
+   counted reply alone is masked by the surviving dup, so the solver
+   must be told upfront that each carrier choice succeeds on its own.
+   The cross-product is capped: past [max_derivations] the remaining
+   members contribute the union of their bundles in one clause — weaker
+   (the CEGAR loop still refines it by re-execution), never unsound,
+   since clauses only propose candidates. *)
+let max_derivations = 32
+
+let completion_clauses (o : Support.op_support) =
+  let members = o.Support.replies @ o.Support.acks in
+  let base = [ [ Crash { window = o.Support.slot; site = o.Support.client } ] ] in
+  let clauses =
+    List.fold_left
+      (fun partials (m : Support.member) ->
+        let site_crash = Crash { window = o.Support.slot; site = m.site } in
+        let bundles = m.Support.carry :: m.Support.alts in
+        let options =
+          if List.length partials * List.length bundles > max_derivations then
+            [ List.concat bundles ]
+          else bundles
+        in
+        List.concat_map
+          (fun partial ->
+            List.map
+              (fun bundle ->
+                (site_crash :: List.map (fun k -> Drop k) bundle) @ partial)
+              options)
+          partials)
+      base members
   in
-  List.sort_uniq compare_var
-    (Crash { window = o.Support.slot; site = o.Support.client }
-    :: List.concat_map member (o.Support.replies @ o.Support.acks))
+  List.sort_uniq
+    (fun a b -> compare (List.map var_key a) (List.map var_key b))
+    (List.map (List.sort_uniq compare_var) clauses)
 
 (* Each surviving copy of an entry is a derivation of its durability:
    to destroy the entry, every copy must be killed — one clause per
-   copy, "drop the delivery that carried it, or crash(+wipe) its holder
-   in any window from its arrival on". *)
-let durability_clauses ~nslots (copies : Support.placement list) =
+   copy, "drop the delivery that carried it, or kill its holder in any
+   window from its arrival on".  What kills a holder depends on the
+   storage model: a crash(+wipe) when logs are volatile, but on a
+   journaled (durable) replica a crash merely restarts the site — only
+   a stable-storage Wipe destroys the copy. *)
+let durability_clauses ~nslots ~durable (copies : Support.placement list) =
+  let kill window site =
+    if durable then Wipe { window; site } else Crash { window; site }
+  in
   List.map
     (fun (p : Support.placement) ->
       let drops =
         match p.Support.via with Some k -> [ Drop k ] | None -> []
       in
-      let crashes =
+      let kills =
         if p.Support.from_slot >= nslots then []
         else
           List.init
             (nslots - p.Support.from_slot)
-            (fun i -> Crash { window = p.Support.from_slot + i; site = p.Support.site })
+            (fun i -> kill (p.Support.from_slot + i) p.Support.site)
       in
-      List.sort_uniq compare_var (drops @ crashes))
+      List.sort_uniq compare_var (drops @ kills))
     copies
 
 let clause_equal a b =
@@ -193,7 +250,7 @@ let add_clause gs clause =
 (* Fold a (new) run's lineage into the goal table.  Only goals fixed by
    the base run accumulate clauses; ops that exist only under injection
    are not obligations. *)
-let merge_support goals (s : Support.t) =
+let merge_support ~durable goals (s : Support.t) =
   List.iter
     (fun gs ->
       match gs.goal with
@@ -201,13 +258,13 @@ let merge_support goals (s : Support.t) =
         match
           List.find_opt (fun o -> o.Support.slot = slot) s.Support.completed
         with
-        | Some o -> add_clause gs (completion_clause o)
+        | Some o -> List.iter (add_clause gs) (completion_clauses o)
         | None -> ())
       | Durability slot -> (
         match List.assoc_opt slot s.Support.durable with
         | Some copies ->
           List.iter (add_clause gs)
-            (durability_clauses ~nslots:s.Support.nslots copies)
+            (durability_clauses ~nslots:s.Support.nslots ~durable copies)
         | None -> ()))
     goals
 
@@ -282,7 +339,7 @@ let minimize_fault_set ~support ~wipe ~exec vars =
   let vars = prune [] vars in
   { fault_set = vars; events = realize ~support ~wipe vars }
 
-let guided ?(wipe = false) ~budget (system : system) =
+let guided ?(wipe = false) ?(durable = false) ~budget (system : system) =
   let executions = ref 0 in
   let exec events =
     incr executions;
@@ -320,7 +377,7 @@ let guided ?(wipe = false) ~budget (system : system) =
           (fun (slot, _) -> { goal = Durability slot; clauses = [] })
           support0.Support.durable
     in
-    merge_support goals support0;
+    merge_support ~durable goals support0;
     let tried : (string, unit) Hashtbl.t = Hashtbl.create 256 in
     let cfg = solver_cfg budget in
     let candidates_of_cnf () =
@@ -356,7 +413,7 @@ let guided ?(wipe = false) ~budget (system : system) =
               let events = realize ~support:support0 ~wipe c in
               let r = exec events in
               if r.conforms then begin
-                merge_support goals r.support;
+                merge_support ~durable goals r.support;
                 inject rest
               end
               else begin
@@ -382,7 +439,8 @@ let guided ?(wipe = false) ~budget (system : system) =
    uniformly from the variables the base run exposes.  The comparison
    behind the "searched vs sampled" claim — and behind X-ldfi's
    executions-to-violation table. *)
-let random_walk ?(wipe = false) ~budget ~seed (system : system) =
+let random_walk ?(wipe = false) ?(durable = false) ~budget ~seed
+    (system : system) =
   let executions = ref 0 in
   let exec events =
     incr executions;
@@ -414,7 +472,7 @@ let random_walk ?(wipe = false) ~budget ~seed (system : system) =
           (fun (slot, _) -> { goal = Durability slot; clauses = [] })
           support0.Support.durable
     in
-    merge_support goals support0;
+    merge_support ~durable goals support0;
     let space =
       Array.of_list
         (List.sort_uniq compare_var

@@ -5,9 +5,14 @@
 
 module Chaos = Relax_chaos
 
-(** An injectable fault variable: omit one physical message copy, or
-    take one site down for one workload slot. *)
-type var = Drop of Support.dkey | Crash of { window : int; site : int }
+(** An injectable fault variable: omit one physical message copy, take
+    one site down for one workload slot, or destroy one site's stable
+    storage in one workload slot (the only fault that kills a journaled
+    site's entry copies; spends the crash budget). *)
+type var =
+  | Drop of Support.dkey
+  | Crash of { window : int; site : int }
+  | Wipe of { window : int; site : int }
 
 val compare_var : var -> var -> int
 val pp_var : var Fmt.t
@@ -37,6 +42,25 @@ val admissible : budget -> var list -> bool
     realization — the planted bug). *)
 val realize : support:Support.t -> wipe:bool -> var list -> Chaos.Fault.event list
 
+(** The CNF clauses asserting "this completed operation could have been
+    stopped": crash the client, or — per counted quorum member — crash
+    the member's site or drop one full carrier bundle (the counted
+    copies, {e or} any duplicated delivery that re-made the same
+    contribution: a dropped counted copy masked by a surviving dup must
+    appear as its own derivation, or the solver proposes fault sets the
+    dup silently defeats).  The cross-product over members is capped;
+    past the cap the bundles collapse into their union (weaker but
+    sound — CEGAR refines by re-execution). *)
+val completion_clauses : Support.op_support -> var list list
+
+(** Per surviving copy of an entry: the faults that could have
+    destroyed it — drop the delivery that carried it, or kill the
+    holding site in any window from its arrival on.  [durable] selects
+    the kill: [Wipe] for journaled sites (a crash merely restarts
+    them), [Crash] otherwise. *)
+val durability_clauses :
+  nslots:int -> durable:bool -> Support.placement list -> var list list
+
 (** Search goals, indexed by workload slot. *)
 type goal = Completion of int | Durability of int
 
@@ -61,10 +85,14 @@ type stats = {
 type found = { fault_set : var list; events : Chaos.Fault.event list }
 type result = { stats : stats; violation : found option }
 
-(** The guided loop.  Deterministic in the system. *)
-val guided : ?wipe:bool -> budget:budget -> system -> result
+(** The guided loop.  Deterministic in the system.  [durable] selects
+    the journaled storage model: durability clauses then use [Wipe]
+    variables (a crash merely restarts a journaled site) instead of
+    [Crash]. *)
+val guided : ?wipe:bool -> ?durable:bool -> budget:budget -> system -> result
 
 (** The random baseline: same fault space and budget, no lineage —
     candidate sets sampled from a stream seeded with [seed]. *)
-val random_walk : ?wipe:bool -> budget:budget -> seed:int -> system -> result
+val random_walk :
+  ?wipe:bool -> ?durable:bool -> budget:budget -> seed:int -> system -> result
 

@@ -53,9 +53,12 @@ let dkey_of_string s =
       | _ -> None)
     | Some _ -> None)
 
-(* One counted quorum member: the site, and the message copies its
-   contribution rode on (request+reply, or update+ack). *)
-type member = { site : int; carry : dkey list }
+(* One counted quorum member: the site, the message copies its
+   contribution rode on (request+reply, or update+ack), and the carrier
+   bundles of any duplicated deliveries that would have made the same
+   contribution — a dropped counted copy is masked by a surviving
+   dup. *)
+type member = { site : int; carry : dkey list; alts : dkey list list }
 
 (* The support of one completed operation. *)
 type op_support = {
@@ -102,6 +105,10 @@ type op_acc = {
   mutable o_client : int;
   mutable o_replies : (int * member) list; (* attempt, member — reversed *)
   mutable o_acks : (int * member) list;
+  (* duplicate deliveries re-making a counted contribution:
+     (attempt, site, alternative carry) — reversed *)
+  mutable o_reply_dups : (int * int * dkey list) list;
+  mutable o_ack_dups : (int * int * dkey list) list;
   mutable o_entries : (int * string) list; (* attempt, entry key *)
   mutable o_done : int option; (* completing attempt *)
 }
@@ -123,6 +130,8 @@ let of_events (events : Tracer.event list) =
           o_client = -1;
           o_replies = [];
           o_acks = [];
+          o_reply_dups = [];
+          o_ack_dups = [];
           o_entries = [];
           o_done = None;
         }
@@ -161,7 +170,21 @@ let of_events (events : Tracer.event list) =
                 [ attr_key "req" e.attrs; attr_key "rep" e.attrs ]
             in
             let a = get_op id in
-            a.o_replies <- (k, { site; carry }) :: a.o_replies
+            a.o_replies <- (k, { site; carry; alts = [] }) :: a.o_replies
+          | _ -> ())
+        | "replica/reply-dup" -> (
+          match
+            ( attr_int "op" e.attrs,
+              attr_int "attempt" e.attrs,
+              attr_int "site" e.attrs )
+          with
+          | Some id, Some k, Some site ->
+            let carry =
+              List.filter_map Fun.id
+                [ attr_key "req" e.attrs; attr_key "rep" e.attrs ]
+            in
+            let a = get_op id in
+            a.o_reply_dups <- (k, site, carry) :: a.o_reply_dups
           | _ -> ())
         | "replica/ack" -> (
           match
@@ -175,7 +198,21 @@ let of_events (events : Tracer.event list) =
                 [ attr_key "upd" e.attrs; attr_key "ack" e.attrs ]
             in
             let a = get_op id in
-            a.o_acks <- (k, { site; carry }) :: a.o_acks
+            a.o_acks <- (k, { site; carry; alts = [] }) :: a.o_acks
+          | _ -> ())
+        | "replica/ack-dup" -> (
+          match
+            ( attr_int "op" e.attrs,
+              attr_int "attempt" e.attrs,
+              attr_int "site" e.attrs )
+          with
+          | Some id, Some k, Some site ->
+            let carry =
+              List.filter_map Fun.id
+                [ attr_key "upd" e.attrs; attr_key "ack" e.attrs ]
+            in
+            let a = get_op id in
+            a.o_ack_dups <- (k, site, carry) :: a.o_ack_dups
           | _ -> ())
         | "replica/entry" -> (
           match
@@ -230,16 +267,31 @@ let of_events (events : Tracer.event list) =
         match a.o_done with
         | None -> None
         | Some k ->
-          let keep l =
-            List.rev_map snd (List.filter (fun (k', _) -> k' = k) l)
+          let keep l dups =
+            List.rev_map
+              (fun (_, (m : member)) ->
+                (* duplicated deliveries re-making this member's
+                   contribution: alternative carrier bundles a drop
+                   clause must also cut *)
+                let alts =
+                  List.rev
+                    (List.filter_map
+                       (fun (k', site, carry) ->
+                         if k' = k && site = m.site && carry <> [] then
+                           Some carry
+                         else None)
+                       dups)
+                in
+                { m with alts })
+              (List.filter (fun (k', _) -> k' = k) l)
           in
           Some
             {
               slot = a.o_slot;
               client = a.o_client;
               attempt = k;
-              replies = keep a.o_replies;
-              acks = keep a.o_acks;
+              replies = keep a.o_replies a.o_reply_dups;
+              acks = keep a.o_acks a.o_ack_dups;
             })
       (List.rev !op_order)
   in

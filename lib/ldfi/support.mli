@@ -19,9 +19,13 @@ val dkey_to_string : dkey -> string
 
 val dkey_of_string : string -> dkey option
 
-(** A counted quorum member: the site, and the message copies its
-    contribution rode on (request+reply, or update+ack). *)
-type member = { site : int; carry : dkey list }
+(** A counted quorum member: the site, the message copies its
+    contribution rode on (request+reply, or update+ack), and any
+    alternative carrier bundles observed — duplicated deliveries that
+    would have made the same contribution had the counted copy been
+    dropped.  A sound drop clause must name the counted carries {e and}
+    every alternative's. *)
+type member = { site : int; carry : dkey list; alts : dkey list list }
 
 (** The support of one completed operation: the quorum bundles of its
     completing attempt. *)

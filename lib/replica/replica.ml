@@ -33,6 +33,14 @@ type response_chooser = History.t -> Op.invocation -> Op.t option
 
 type site = { mutable log : Log.t; mutable clock : Timestamp.t }
 
+module Journal = Relax_journal.Journal
+module Device = Relax_journal.Device
+
+(* A site's stable storage: the device survives crashes (modulo the torn
+   tail), the journal handle is re-attached — i.e. recovered — after
+   each one. *)
+type jstate = { dev : Device.t; mutable jr : Journal.t }
+
 type t = {
   engine : Relax_sim.Engine.t;
   net : Relax_sim.Network.t;
@@ -60,6 +68,13 @@ type t = {
      but neither concluded nor aborted yet.  Checkpointing must not
      summarize them away — see [checkpoint]. *)
   mutable tentative : Log.entry list;
+  (* Per-site write-ahead journals; [None] keeps the legacy volatile
+     semantics (logs survive crashes by fiat, Wipe loses them). *)
+  journals : jstate option array;
+  (* Sites that restarted from their journal and have not yet absorbed
+     a post-recovery transfer — the re-join window anti-entropy closes. *)
+  recovering : bool array;
+  mutable recoveries : int;
 }
 
 let create ?(timeout = 200.0) ?(retries = 2) ?(backoff = 8.0) ?metrics engine
@@ -88,7 +103,38 @@ let create ?(timeout = 200.0) ?(retries = 2) ?(backoff = 8.0) ?metrics engine
     op_latencies = [];
     tombstones = [];
     tentative = [];
+    journals = Array.make n None;
+    recovering = Array.make n false;
+    recoveries = 0;
   }
+
+(* Durability opt-in: give every site a write-ahead journal on its own
+   (crash-faithful) in-memory device.  From here on, [Fault.Crash]
+   loses the site's volatile log but [recover_site] rebuilds it from
+   the journal; [Fault.Wipe] is the only way to lose stable storage. *)
+let enable_journals ?segment_size t =
+  Array.iteri
+    (fun s _ ->
+      if t.journals.(s) = None then begin
+        let dev = Device.memory () in
+        let jr, _, _ = Journal.attach ?segment_size dev ~name:"wal" in
+        t.journals.(s) <- Some { dev; jr }
+      end)
+    t.journals
+
+let journaled t s = t.journals.(s) <> None
+let recoveries t = t.recoveries
+
+let recovering_count t =
+  Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.recovering
+
+let journal_append t s record =
+  match t.journals.(s) with
+  | None -> ()
+  | Some j -> Journal.append j.jr (Wal.encode record)
+
+let journal_sync t s =
+  match t.journals.(s) with None -> () | Some j -> Journal.sync j.jr
 
 let count t name = Option.iter (fun m -> Relax_sim.Metrics.incr m name) t.metrics
 
@@ -137,30 +183,39 @@ let copy_key net =
   | None -> "-"
 
 (* Merge [log] into site [s], advancing its clock past everything seen;
-   aborted entries are filtered out.  When tracing, every entry new to
-   the site is reported with the delivery that carried it — the
-   durability lineage: which copies an entry's presence at [s] depends
-   on. *)
+   aborted entries are filtered out.  Every entry new to the site is
+   appended to its journal (write-ahead: callers place the sync
+   barrier before externalizing, e.g. before acknowledging).  When
+   tracing, new entries are also reported with the delivery that
+   carried them — the durability lineage: which copies an entry's
+   presence at [s] depends on.  Any absorbed transfer also settles a
+   recovering site: it has re-joined the anti-entropy flow. *)
 let absorb t s log =
   let site = t.sites.(s) in
-  let before = if Tr.active () then Log.entries site.log else [] in
+  let watch = Tr.active () || journaled t s in
+  let before = if watch then Log.entries site.log else [] in
   site.log <-
     Log.filter (fun e -> not (is_tombstoned t e)) (Log.merge site.log log);
   site.clock <- Timestamp.merge site.clock (Log.max_ts site.log);
-  if Tr.active () then begin
-    let via = copy_key t.net in
+  t.recovering.(s) <- false;
+  if watch then begin
+    let traced = Tr.active () in
+    let via = if traced then copy_key t.net else "-" in
     let now = Relax_sim.Engine.now t.engine in
     List.iter
       (fun e ->
-        if not (List.exists (Log.equal_entry e) before) then
-          Tr.instant ~time:now "replica/absorb"
-            ~attrs:
-              [
-                At.int "site" s;
-                At.str "entry" (entry_key e);
-                At.str "via" via;
-                At.float "at" now;
-              ])
+        if not (List.exists (Log.equal_entry e) before) then begin
+          journal_append t s (Wal.Entry e);
+          if traced then
+            Tr.instant ~time:now "replica/absorb"
+              ~attrs:
+                [
+                  At.int "site" s;
+                  At.str "entry" (entry_key e);
+                  At.str "via" via;
+                  At.float "at" now;
+                ]
+        end)
       (Log.entries site.log)
   end
 
@@ -168,23 +223,101 @@ let settle_entry t entry =
   t.tentative <-
     List.filter (fun e -> not (Log.equal_entry e entry)) t.tentative
 
-(* Abort an operation's tentative entry everywhere. *)
+(* Abort an operation's tentative entry everywhere.  The tombstone is
+   journaled too (unsynced — aborts are not commit points), but crash
+   recovery additionally filters through [t.tombstones], so a torn-off
+   tombstone still cannot resurrect the aborted entry. *)
 let abort_entry t entry =
   settle_entry t entry;
   t.tombstones <- entry :: t.tombstones;
-  Array.iter
-    (fun site ->
-      site.log <- Log.filter (fun e -> not (Log.equal_entry e entry)) site.log)
+  Array.iteri
+    (fun s site ->
+      site.log <- Log.filter (fun e -> not (Log.equal_entry e entry)) site.log;
+      journal_append t s (Wal.Tomb entry))
     t.sites
 
-(* Simulated stable-storage loss: the site forgets its log and clock, as
-   a crash would wipe them if logs were kept in volatile memory.  The
-   quorum-consensus guarantees assume logs survive crashes; the amnesia
-   experiment uses this to demonstrate that the assumption is
+(* Stable-storage loss: the site forgets its log and clock — and its
+   journal, when it has one.  For journal-free replicas this doubles as
+   the crash model (logs kept in volatile memory); the amnesia
+   experiment uses it to show the stable-logs assumption is
    load-bearing. *)
 let wipe_site t s =
   t.sites.(s).log <- Log.empty;
-  t.sites.(s).clock <- Timestamp.zero
+  t.sites.(s).clock <- Timestamp.zero;
+  t.recovering.(s) <- false;
+  match t.journals.(s) with None -> () | Some j -> Journal.reset j.jr
+
+(* Power loss at a journaled site: volatile state (log, clock) is gone
+   and the journal device keeps only its synced prefix plus a torn
+   tail.  Without a journal this is a no-op — the legacy crash model
+   where logs are assumed stable and only the network notices. *)
+let crash_site t s =
+  match t.journals.(s) with
+  | None -> ()
+  | Some j ->
+    Device.crash j.dev;
+    t.sites.(s).log <- Log.empty;
+    t.sites.(s).clock <- Timestamp.zero;
+    t.recovering.(s) <- false
+
+(* Restart from stable storage: re-attach the journal (truncating the
+   torn tail), replay its records into a fresh log, and mark the site
+   as recovering until anti-entropy re-joins it.  Replay honors
+   tombstones from the journal and — because an abort's tombstone may
+   itself have been torn off — the replica-global tombstone list. *)
+let recover_site t s =
+  match t.journals.(s) with
+  | None -> ()
+  | Some j ->
+    let jr, payloads, stats = Journal.attach j.dev ~name:"wal" in
+    j.jr <- jr;
+    let log = ref Log.empty in
+    let tombs = ref [] in
+    let epoch = ref 0 in
+    let clock = ref Timestamp.zero in
+    (* the restored clock merges every timestamp the journal has seen —
+       entries, tombstones and clock reservations — not just the
+       surviving log's maximum: it must dominate anything the site
+       issued before the crash, including aborted tentatives *)
+    let see ts = clock := Timestamp.merge !clock ts in
+    List.iter
+      (fun payload ->
+        match Wal.decode payload with
+        | None -> () (* CRC-valid but unknown: a future record kind *)
+        | Some (Wal.Entry e) ->
+          see (Log.entry_ts e);
+          if not (List.exists (Log.equal_entry e) !tombs) then
+            log := Log.insert !log e
+        | Some (Wal.Tomb e) ->
+          see (Log.entry_ts e);
+          tombs := e :: !tombs;
+          log := Log.filter (fun e' -> not (Log.equal_entry e e')) !log
+        | Some (Wal.Checkpoint es) ->
+          List.iter (fun e -> see (Log.entry_ts e)) es;
+          log := Log.of_entries es;
+          tombs := []
+        | Some (Wal.Epoch n) -> epoch := max !epoch n
+        | Some (Wal.Clock ts) -> see ts)
+      payloads;
+    let site = t.sites.(s) in
+    site.log <- Log.filter (fun e -> not (is_tombstoned t e)) !log;
+    site.clock <- Timestamp.merge !clock (Log.max_ts site.log);
+    t.recovering.(s) <- true;
+    t.recoveries <- t.recoveries + 1;
+    Journal.append j.jr (Wal.encode (Wal.Epoch (!epoch + 1)));
+    Journal.sync j.jr;
+    if Tr.active () then
+      Tr.instant
+        ~time:(Relax_sim.Engine.now t.engine)
+        "replica/recover"
+        ~attrs:
+          [
+            At.int "site" s;
+            At.int "entries" (Log.length site.log);
+            At.int "records" stats.Journal.records;
+            At.int "dropped" stats.Journal.dropped_bytes;
+            At.int "epoch" (!epoch + 1);
+          ]
 
 (* One anti-entropy round: every up site pushes its log to every other
    site it can currently reach.  Called by experiments (and the adaptive
@@ -249,8 +382,16 @@ let checkpoint t ~watermark ~summarize =
     let history = List.map Log.entry_op reference in
     let summary = summarize history in
     let reclaimed = List.length reference - List.length summary in
-    Array.iter
-      (fun site -> site.log <- Log.compact site.log ~watermark ~summary)
+    Array.iteri
+      (fun s site ->
+        site.log <- Log.compact site.log ~watermark ~summary;
+        (* the journal compacts with the log: snapshot the compacted
+           state into a fresh segment and reclaim the older ones *)
+        match t.journals.(s) with
+        | None -> ()
+        | Some j ->
+          Journal.checkpoint j.jr
+            (Wal.encode (Wal.Checkpoint (Log.entries site.log))))
       t.sites;
     Some reclaimed
   end
@@ -363,6 +504,16 @@ let execute t ~client_site inv callback =
               ~site:client_site
           in
           site.clock <- Timestamp.merge site.clock ts;
+          (* clock-reservation barrier: persist the issued timestamp
+             before the tentative entry leaves the site.  A recovered
+             clock must dominate every timestamp the site ever issued,
+             or a post-recovery attempt could mint the same (ts, op)
+             identity as an aborted tentative entry and be annihilated
+             by its tombstone. *)
+          if journaled t client_site then begin
+            journal_append t client_site (Wal.Clock ts);
+            journal_sync t client_site
+          end;
           let entry = Log.entry ~ts op in
           trace_op "replica/entry"
             [ At.int "attempt" k; At.str "entry" (entry_key entry) ];
@@ -392,6 +543,10 @@ let execute t ~client_site inv callback =
                        op's completion lineage through the ack below *)
                     let upd = if Tr.active () then copy_key t.net else "-" in
                     absorb t s updated;
+                    (* op-commit durability barrier: the entry must be on
+                       stable storage before the site's acknowledgement
+                       can count toward the final quorum *)
+                    journal_sync t s;
                     (* acknowledgement travelling back *)
                     Relax_sim.Network.send t.net ~src:s ~dst:client_site
                       (fun () ->
@@ -407,7 +562,21 @@ let execute t ~client_site inv callback =
                                 At.str "ack" (copy_key t.net);
                               ];
                           if !acks = final_need then succeed op
-                        end)))
+                        end
+                        else if
+                          Tr.active () && (not !attempt_over)
+                          && not !settled
+                        then
+                          (* a duplicated delivery re-acknowledging [s]:
+                             an alternative carrier for the same quorum
+                             contribution — drop lineage for LDFI *)
+                          trace_op "replica/ack-dup"
+                            [
+                              At.int "attempt" k;
+                              At.int "site" s;
+                              At.str "upd" upd;
+                              At.str "ack" (copy_key t.net);
+                            ])))
               targets
       end
     in
@@ -440,7 +609,20 @@ let execute t ~client_site inv callback =
                       ];
                   view := Log.merge !view log;
                   if !replies = initial_need then write_phase !view
-                end))
+                end
+                else if
+                  replied.(s) && Tr.active () && (not !attempt_over)
+                  && not !settled
+                then
+                  (* a duplicated delivery re-answering site [s]'s read:
+                     an alternative carrier for its view contribution *)
+                  trace_op "replica/reply-dup"
+                    [
+                      At.int "attempt" k;
+                      At.int "site" s;
+                      At.str "req" req;
+                      At.str "rep" (copy_key t.net);
+                    ]))
       done;
     (* Timeout watchdog for this attempt. *)
     Relax_sim.Engine.schedule t.engine ~delay:t.timeout (fun () ->

@@ -88,10 +88,43 @@ val op_latencies : t -> float list
     without double-applying entries (log merge is idempotent). *)
 val gossip : t -> unit
 
-(** Simulated stable-storage loss: the site forgets its log and clock.
-    The quorum-consensus guarantees assume logs survive crashes; see the
-    amnesia experiment. *)
+(** Stable-storage loss: the site forgets its log, its clock and (when
+    journaled) its journal.  For journal-free replicas this doubles as
+    the crash model — the quorum-consensus guarantees assume logs
+    survive crashes; see the amnesia experiment. *)
 val wipe_site : t -> int -> unit
+
+(** {1 Durability: write-ahead journals}
+
+    With {!enable_journals}, every site gets a crash-faithful journal:
+    absorbed entries are written ahead, synced before the site
+    acknowledges an update (the op-commit barrier), tombstoned on
+    abort, and snapshotted at checkpoints.  {!crash_site} then models
+    power loss (volatile log gone, journal keeps its synced prefix
+    plus a torn tail) and {!recover_site} restarts the site from the
+    journal, after which anti-entropy re-joins it. *)
+
+(** Give every site a write-ahead journal (idempotent).  [segment_size]
+    is the journal rotation threshold in bytes. *)
+val enable_journals : ?segment_size:int -> t -> unit
+
+val journaled : t -> int -> bool
+
+(** Power loss at site [s]: a no-op unless the site is journaled. *)
+val crash_site : t -> int -> unit
+
+(** Restart site [s] from its journal: truncate the torn tail, replay
+    entries/tombstones/checkpoints (also honoring the replica-global
+    tombstones, in case an abort's own record was torn off), restore
+    the clock, and mark the site recovering until it absorbs its first
+    post-restart transfer.  A no-op unless the site is journaled. *)
+val recover_site : t -> int -> unit
+
+(** Sites currently restarted-but-not-yet-re-joined. *)
+val recovering_count : t -> int
+
+(** Total successful journal recoveries so far. *)
+val recoveries : t -> int
 
 (** Log compaction: when the prefix at or before [watermark] is identical
     at every site, replace it everywhere by [summarize prefix-history]

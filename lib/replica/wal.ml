@@ -1,0 +1,157 @@
+open Relax_core
+open Relax_quorum
+
+(* Journal records and their codec.  Values serialize to a compact
+   self-delimiting form (a tag character, then length- or
+   terminator-delimited contents); entries and operations ride on top
+   as plain values, so one decoder covers the whole vocabulary.
+   Corruption detection lives a layer down (the journal's CRCs): here
+   decoding is merely total, returning [None] on any malformed
+   input. *)
+
+type record =
+  | Entry of Log.entry
+  | Tomb of Log.entry
+  | Checkpoint of Log.entry list
+  | Epoch of int
+  | Clock of Timestamp.t
+
+(* ------------------------------------------------------------------ *)
+(* Value codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec add_value b (v : Value.t) =
+  match v with
+  | Unit -> Buffer.add_char b 'u'
+  | Bool true -> Buffer.add_char b 't'
+  | Bool false -> Buffer.add_char b 'f'
+  | Int i ->
+    Buffer.add_char b 'i';
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b ';'
+  | Str s ->
+    Buffer.add_char b 's';
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  | Pair (x, y) ->
+    Buffer.add_char b 'p';
+    add_value b x;
+    add_value b y
+  | List vs ->
+    Buffer.add_char b 'l';
+    Buffer.add_string b (string_of_int (List.length vs));
+    Buffer.add_char b ';';
+    List.iter (add_value b) vs
+
+let encode_value v =
+  let b = Buffer.create 64 in
+  add_value b v;
+  Buffer.contents b
+
+exception Bad
+
+let parse_int s pos stop =
+  (* digits (optionally '-'-signed) up to the [stop] character *)
+  let j = ref !pos in
+  let n = String.length s in
+  while !j < n && s.[!j] <> stop do
+    incr j
+  done;
+  if !j >= n then raise Bad;
+  let digits = String.sub s !pos (!j - !pos) in
+  pos := !j + 1;
+  match int_of_string_opt digits with Some i -> i | None -> raise Bad
+
+let rec parse_value s pos : Value.t =
+  let n = String.length s in
+  if !pos >= n then raise Bad;
+  let tag = s.[!pos] in
+  incr pos;
+  match tag with
+  | 'u' -> Unit
+  | 't' -> Bool true
+  | 'f' -> Bool false
+  | 'i' -> Int (parse_int s pos ';')
+  | 's' ->
+    let len = parse_int s pos ':' in
+    if len < 0 || !pos + len > n then raise Bad;
+    let v = Value.Str (String.sub s !pos len) in
+    pos := !pos + len;
+    v
+  | 'p' ->
+    let x = parse_value s pos in
+    let y = parse_value s pos in
+    Pair (x, y)
+  | 'l' ->
+    let count = parse_int s pos ';' in
+    if count < 0 || count > n then raise Bad;
+    List (List.init count (fun _ -> parse_value s pos))
+  | _ -> raise Bad
+
+let decode_value s =
+  let pos = ref 0 in
+  match parse_value s pos with
+  | v when !pos = String.length s -> Some v
+  | _ -> None
+  | exception Bad -> None
+
+(* ------------------------------------------------------------------ *)
+(* Entries and operations as values                                    *)
+(* ------------------------------------------------------------------ *)
+
+let value_of_op (op : Op.t) : Value.t =
+  List [ Str op.name; Str op.term; List op.args; List op.results ]
+
+let op_of_value : Value.t -> Op.t = function
+  | List [ Str name; Str term; List args; List results ] ->
+    Op.make ~term ~args ~results name
+  | _ -> raise Bad
+
+let value_of_entry e : Value.t =
+  let ts = Log.entry_ts e in
+  List
+    [
+      Int (Timestamp.time ts);
+      Int (Timestamp.site ts);
+      value_of_op (Log.entry_op e);
+    ]
+
+let entry_of_value : Value.t -> Log.entry = function
+  | List [ Int time; Int site; opv ] when time >= 0 && site >= 0 ->
+    Log.entry ~ts:(Timestamp.make ~time ~site) (op_of_value opv)
+  | _ -> raise Bad
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode = function
+  | Entry e -> "E" ^ encode_value (value_of_entry e)
+  | Tomb e -> "T" ^ encode_value (value_of_entry e)
+  | Checkpoint es ->
+    "C" ^ encode_value (Value.List (List.map value_of_entry es))
+  | Epoch n -> "V" ^ encode_value (Value.Int n)
+  | Clock ts ->
+    "K"
+    ^ encode_value
+        (Value.Pair (Int (Timestamp.time ts), Int (Timestamp.site ts)))
+
+let decode s =
+  if String.length s < 1 then None
+  else begin
+    let body = String.sub s 1 (String.length s - 1) in
+    match decode_value body with
+    | None -> None
+    | Some v -> (
+      match (s.[0], v) with
+      | 'E', v -> ( try Some (Entry (entry_of_value v)) with Bad -> None)
+      | 'T', v -> ( try Some (Tomb (entry_of_value v)) with Bad -> None)
+      | 'C', List vs -> (
+        try Some (Checkpoint (List.map entry_of_value vs))
+        with Bad -> None)
+      | 'V', Int n -> Some (Epoch n)
+      | 'K', Pair (Int time, Int site) when time >= 0 && site >= 0 ->
+        Some (Clock (Timestamp.make ~time ~site))
+      | _ -> None)
+  end

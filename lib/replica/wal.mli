@@ -1,0 +1,35 @@
+open Relax_core
+open Relax_quorum
+
+(** The replica's journal record vocabulary and its byte codec.
+
+    Everything a site must survive a crash with fits in five records:
+    log entries as they commit, tombstones for aborted transaction
+    entries, checkpoint snapshots that reset the replay prefix, epoch
+    markers counting recoveries, and clock reservations persisting
+    every timestamp the site issues.  Payloads are self-delimiting
+    byte strings; integrity is the journal layer's job (CRC per
+    record), so decoding here only has to be total — [decode] returns
+    [None] on anything it does not understand rather than raising. *)
+
+type record =
+  | Entry of Log.entry  (** one committed log entry *)
+  | Tomb of Log.entry  (** the entry was aborted; never resurrect it *)
+  | Checkpoint of Log.entry list
+      (** full compacted log; replay restarts here *)
+  | Epoch of int  (** recovery marker: the site's restart count *)
+  | Clock of Timestamp.t
+      (** issuance reservation: the site handed out this timestamp.
+          Synced before the tentative entry leaves the site, so a
+          recovered clock always dominates every timestamp the site
+          ever issued — without it, a post-recovery operation could
+          reissue the (timestamp, operation) identity of an aborted
+          tentative entry and be annihilated by its tombstone. *)
+
+val encode : record -> string
+val decode : string -> record option
+
+(** Exposed for tests: the self-delimiting value codec underneath. *)
+val encode_value : Value.t -> string
+
+val decode_value : string -> Value.t option

@@ -264,9 +264,6 @@ let deliver_after t ~src ~dst ~seq deliver =
    random streams. *)
 let send t ~src ~dst deliver =
   t.sent <- t.sent + 1;
-  if A.active () then
-    A.instant ~time:(Engine.now t.engine) "net/send"
-      ~attrs:[ Attr.int "src" src; Attr.int "dst" dst ];
   let copies =
     if t.dup_probability > 0.0 && Rng.bool t.rng t.dup_probability then begin
       t.duplicated <- t.duplicated + 1;
@@ -279,6 +276,12 @@ let send t ~src ~dst deliver =
   in
   for _copy = 1 to copies do
     let seq = next_seq t ~src ~dst in
+    (* one instant per physical copy, carrying its identity: the trace
+       consumer (e.g. the time-travel debugger's pending-copy set) can
+       match it against the copy's eventual net/deliver or net/drop *)
+    if A.active () then
+      A.instant ~time:(Engine.now t.engine) "net/send"
+        ~attrs:[ Attr.int "src" src; Attr.int "dst" dst; Attr.int "seq" seq ];
     if Rng.bool t.rng t.drop_probability then begin
       t.dropped <- t.dropped + 1;
       trace_drop t ~src ~dst ~seq "loss"
@@ -298,13 +301,23 @@ let send_batch t ~src targets =
   let k = Array.length targets in
   if k > 0 then begin
     t.sent <- t.sent + k;
-    if A.active () then
-      A.instant ~time:(Engine.now t.engine) "net/send"
-        ~attrs:[ Attr.int "src" src; Attr.int "batch" k ];
     (* Sequence numbers are assigned at send time, in target-array order,
        so a batch copy's identity does not depend on when the transfer
-       lands. *)
+       lands.  Each copy gets its own identified send instant (plus the
+       batch size, to keep the single-transfer structure visible). *)
     let seqs = Array.map (fun (dst, _) -> next_seq t ~src ~dst) targets in
+    if A.active () then
+      Array.iteri
+        (fun i (dst, _) ->
+          A.instant ~time:(Engine.now t.engine) "net/send"
+            ~attrs:
+              [
+                Attr.int "src" src;
+                Attr.int "dst" dst;
+                Attr.int "seq" seqs.(i);
+                Attr.int "batch" k;
+              ])
+        targets;
     let latency = draw_latency t ~src in
     Engine.schedule t.engine ~delay:latency (fun () ->
         Array.iteri

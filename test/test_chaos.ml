@@ -510,6 +510,45 @@ let conformance_tests =
               report.Scenarios.reports
         in
         Alcotest.(check (list string)) "digests" (sweep 1) (sweep 4));
+    Alcotest.test_case "recover point performs recoveries and conforms"
+      `Slow (fun () ->
+        (* the durable scenario must actually exercise the journal path
+           under the crash nemesis — a sweep with zero recoveries would
+           be vacuously conformant *)
+        let recoveries = ref 0 in
+        List.iter
+          (fun seed ->
+            let result, verdict = replay (make_trace ~point:"recover" seed) in
+            recoveries := !recoveries + result.Runner.recoveries;
+            match verdict with
+            | Oracle.Conforms -> ()
+            | Oracle.Violation _ ->
+              Alcotest.fail
+                (Fmt.str "recover point violated at seed %d" seed))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+        Alcotest.(check bool)
+          "journals were replayed" true (!recoveries > 0));
+    Alcotest.test_case "non-durable points never recover" `Quick (fun () ->
+        let result, _ = replay (make_trace ~point:"top" 42) in
+        Alcotest.(check int)
+          "no journals, no recoveries" 0 result.Runner.recoveries);
+    Alcotest.test_case
+      "lost point survives amnesia under the empty constraint set" `Slow
+      (fun () ->
+        let nemeses = Scenarios.default_nemeses @ [ "amnesia" ] in
+        (match Scenarios.find "lost" with
+        | Error e -> Alcotest.fail e
+        | Ok sc ->
+          Alcotest.(check bool) "lost is durable" true sc.Scenarios.durable;
+          Alcotest.(check string)
+            "judged by the empty cset" "{}" sc.Scenarios.lattice);
+        List.iter
+          (fun seed ->
+            match replay (make_trace ~point:"lost" ~nemeses seed) with
+            | _, Oracle.Conforms -> ()
+            | _, Oracle.Violation _ ->
+              Alcotest.fail (Fmt.str "lost point violated at seed %d" seed))
+          [ 1; 2; 3; 4; 5 ]);
   ]
 
 let () =

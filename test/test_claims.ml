@@ -235,7 +235,7 @@ let registry_tests =
           ]
           (Registry.group_ids registry);
         Alcotest.(check int)
-          "claim count" 55
+          "claim count" 57
           (List.length (Registry.all_claims registry));
         let ids = Registry.claim_ids registry in
         Alcotest.(check int)

@@ -139,6 +139,47 @@ let monitor_tests =
         Alcotest.(check bool)
           "no fresh traffic healthy again" true
           (D.Monitor.sample m).D.Monitor.healthy);
+    Alcotest.test_case "recovery settles only after anti-entropy re-joins"
+      `Quick (fun () ->
+        let engine = Relax_sim.Engine.create ~seed:14 () in
+        let net = Relax_sim.Network.create engine ~sites:3 in
+        let replica =
+          Replica.create engine net (pq_assignment ~n:3)
+            ~respond:Choosers.pq_eta
+        in
+        Replica.enable_journals replica;
+        let m = D.Monitor.recovery_settled ~name:"recovered" ~replica () in
+        Alcotest.(check bool)
+          "no recoveries healthy" true
+          (D.Monitor.sample m).D.Monitor.healthy;
+        ignore
+          (run_op replica engine
+             (Op.inv Queue_ops.enq_name ~args:[ Value.int 5 ]));
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+          engine;
+        Replica.crash_site replica 1;
+        Replica.recover_site replica 1;
+        let s = D.Monitor.sample m in
+        Alcotest.(check bool)
+          "recovering site blocks restoration" false s.D.Monitor.healthy;
+        Alcotest.(check (float 0.0)) "one site recovering" 1.0
+          s.D.Monitor.value;
+        (* a laxer gate tolerates it *)
+        let lax =
+          D.Monitor.recovery_settled ~name:"lax" ~max_recovering:1 ~replica ()
+        in
+        Alcotest.(check bool)
+          "within the allowance" true
+          (D.Monitor.sample lax).D.Monitor.healthy;
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+          engine;
+        Alcotest.(check bool)
+          "settled after re-join" true
+          (D.Monitor.sample m).D.Monitor.healthy);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -128,6 +128,152 @@ let load_tests =
             Alcotest.(check int) "completed + unavailable" o.Load.ops
               (o.Load.completed + o.Load.unavailable))
           (Load.run ~jobs:1 ~params:small ()));
+    Alcotest.test_case "closed-loop outcomes are independent of jobs" `Slow
+      (fun () ->
+        let closed = { small with Load.closed = true; concurrency = 8 } in
+        let a = List.map strip (Load.run ~jobs:1 ~params:closed ())
+        and b = List.map strip (Load.run ~jobs:4 ~params:closed ()) in
+        List.iter2
+          (fun (x : Load.outcome) y ->
+            Alcotest.(check string) "label" x.Load.label y.Load.label;
+            Alcotest.(check int) "completed" x.Load.completed y.Load.completed;
+            Alcotest.(check int) "unavailable" x.Load.unavailable
+              y.Load.unavailable;
+            Alcotest.(check (float 1e-9)) "p99" x.Load.p99 y.Load.p99)
+          a b);
+    Alcotest.test_case "closed loop accounts for every op and admits" `Slow
+      (fun () ->
+        let closed = { small with Load.closed = true; concurrency = 8 } in
+        List.iter
+          (fun (o : Load.outcome) ->
+            Alcotest.(check int) "completed + unavailable" o.Load.ops
+              (o.Load.completed + o.Load.unavailable))
+          (Load.run ~jobs:1 ~params:closed ()));
+    Alcotest.test_case "closed and open loops are different schedules" `Slow
+      (fun () ->
+        (* the admission valve must actually change the run: a closed
+           loop with one client serializes everything *)
+        let serial = { small with Load.closed = true; concurrency = 1 } in
+        let a = List.map strip (Load.run ~jobs:1 ~params:serial ())
+        and b = List.map strip (Load.run ~jobs:1 ~params:small ()) in
+        Alcotest.(check bool) "some point differs" true (a <> b));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The time-travel debugger                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact fixture of test/gen_golden/gen_golden.ml: a small
+   recover-point run and a script that walks the timeline forwards and
+   backwards.  The transcript must match the committed golden
+   byte-for-byte. *)
+let debug_script_lines =
+  [ "i"; "n 5"; "f"; "p"; "b 2"; "f"; "g 0"; "l"; "n 200"; "q" ]
+
+let debug_session () =
+  let module X = Chaos_scenarios in
+  let config =
+    {
+      Relax_chaos.Runner.default_config with
+      sites = 3;
+      requests = 4;
+      gossip_every = 2;
+      seed = 7;
+    }
+  in
+  match
+    X.make_trace ~point:"recover" ~nemeses:X.default_nemeses ~config
+  with
+  | Error e -> Alcotest.fail e
+  | Ok trace -> (
+    match Debug.session_of_trace trace with
+    | Error e -> Alcotest.fail e
+    | Ok session -> (trace, session))
+
+let run_debug_script session =
+  let script = Filename.temp_file "rlx-debug" ".script" in
+  let oc = open_out script in
+  List.iter (fun l -> output_string oc (l ^ "\n")) debug_script_lines;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove script)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      Debug.run_script ppf session script;
+      Format.pp_print_flush ppf ();
+      Buffer.contents buf)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let debug_tests =
+  [
+    Alcotest.test_case "scripted session matches the golden transcript" `Slow
+      (fun () ->
+        let _, session = debug_session () in
+        Alcotest.(check string)
+          "matches golden/debug_script.txt"
+          (read_file "golden/debug_script.txt")
+          (run_debug_script session));
+    Alcotest.test_case "the timeline's state snapshots are coherent" `Slow
+      (fun () ->
+        (* every step snapshots the state *after* it, so stepping to any
+           index — in either direction — is a plain array read.  The
+           snapshots must therefore satisfy the run's invariants on
+           their own, with no walk-order to hide behind. *)
+        let _, session = debug_session () in
+        let steps = session.Debug.steps in
+        let n = Array.length steps in
+        Alcotest.(check bool) "timeline is non-trivial" true (n > 10);
+        (* the history prefix only ever grows *)
+        for i = 1 to n - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "hist monotone at %d" i)
+            true
+            (steps.(i).Debug.hist >= steps.(i - 1).Debug.hist)
+        done;
+        (* by the end of the run every copy was delivered or dropped and
+           the whole judged history has been consumed *)
+        Alcotest.(check (list string))
+          "no copy left in flight" []
+          (List.map Debug.copy_to_string steps.(n - 1).Debug.pending);
+        Alcotest.(check int)
+          "final prefix is the whole history"
+          (Array.length session.Debug.ops)
+          steps.(n - 1).Debug.hist;
+        (* every prefix's frontier is precomputed, including the empty
+           one, and a conforming run never hits an empty frontier *)
+        Alcotest.(check int)
+          "frontiers cover every prefix"
+          (Array.length session.Debug.ops + 1)
+          (Array.length session.Debug.frontiers);
+        Array.iteri
+          (fun k f ->
+            Alcotest.(check bool)
+              (Printf.sprintf "frontier %d non-empty" k)
+              true (f <> []))
+          session.Debug.frontiers);
+    Alcotest.test_case "recordings round-trip through the journal file" `Slow
+      (fun () ->
+        let trace, _ = debug_session () in
+        let path = Filename.temp_file "rlx-rec" ".rec" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Debug.save_recording path trace;
+            Alcotest.(check bool)
+              "file is a recording" true (Debug.is_recording path);
+            match Debug.load_recording path with
+            | Error e -> Alcotest.fail e
+            | Ok trace' ->
+              Alcotest.(check string)
+                "trace survives the round-trip"
+                (Relax_chaos.Trace.to_string trace)
+                (Relax_chaos.Trace.to_string trace')));
   ]
 
 let () =
@@ -136,4 +282,5 @@ let () =
       ("experiments", experiment_tests);
       ("determinism", determinism_tests);
       ("load", load_tests);
+      ("debug", debug_tests);
     ]

@@ -273,6 +273,101 @@ let support_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Duplicated deliveries as alternative carriers                       *)
+(* ------------------------------------------------------------------ *)
+
+let dup_tests =
+  [
+    Alcotest.test_case
+      "full duplication surfaces alternative carrier bundles" `Quick
+      (fun () ->
+        (* with every message duplicated, some counted contribution is
+           re-made by the dup copy — the member must record it *)
+        let sys = X.system ~config:X.claim_config "top" in
+        let run =
+          sys.Search.exec
+            [ { Fault.at = 0.0; action = Fault.Duplicate 1.0 } ]
+        in
+        let members =
+          List.concat_map
+            (fun (o : Support.op_support) ->
+              o.Support.replies @ o.Support.acks)
+            run.Search.support.Support.completed
+        in
+        Alcotest.(check bool) "completed something" true (members <> []);
+        Alcotest.(check bool)
+          "some member carries an alternative bundle" true
+          (List.exists (fun (m : Support.member) -> m.Support.alts <> []) members));
+    Alcotest.test_case
+      "a dup-masked drop needs both bundles in the clauses" `Quick
+      (fun () ->
+        (* synthetic lineage: op at slot 0, client 0, one counted ack
+           from site 1 carried by k1, with a duplicate delivery k2 that
+           re-made the contribution.  A drop-only fault set must name
+           BOTH copies, so the clause set must offer each bundle as its
+           own derivation. *)
+        let k1 = dkey 0 1 5 and k2 = dkey 0 1 6 in
+        let o =
+          {
+            Support.slot = 0;
+            client = 0;
+            attempt = 1;
+            replies = [];
+            acks = [ { Support.site = 1; carry = [ k1 ]; alts = [ [ k2 ] ] } ];
+          }
+        in
+        let clauses = Search.completion_clauses o in
+        let has_drop k =
+          List.exists (List.exists (fun v -> v = Search.Drop k)) clauses
+        in
+        Alcotest.(check bool) "counted copy proposed" true (has_drop k1);
+        Alcotest.(check bool) "dup copy proposed too" true (has_drop k2);
+        (* and the two bundles are separate derivations: no clause
+           mixes k1 and k2 (each clause cuts one full bundle) *)
+        Alcotest.(check bool)
+          "bundles stay separate derivations" true
+          (not
+             (List.exists
+                (fun c ->
+                  List.mem (Search.Drop k1) c && List.mem (Search.Drop k2) c)
+                clauses)));
+    Alcotest.test_case "durability kills are wipes under journals" `Quick
+      (fun () ->
+        let copies =
+          [ { Support.site = 2; via = Some (dkey 0 2 3); from_slot = 1 } ]
+        in
+        let volatile =
+          Search.durability_clauses ~nslots:3 ~durable:false copies
+        in
+        let journaled =
+          Search.durability_clauses ~nslots:3 ~durable:true copies
+        in
+        let kinds clauses =
+          List.concat clauses
+          |> List.filter_map (function
+               | Search.Crash _ -> Some `Crash
+               | Search.Wipe _ -> Some `Wipe
+               | Search.Drop _ -> None)
+          |> List.sort_uniq compare
+        in
+        Alcotest.(check bool)
+          "volatile storage dies to crashes" true
+          (kinds volatile = [ `Crash ]);
+        Alcotest.(check bool)
+          "journaled storage dies only to wipes" true
+          (kinds journaled = [ `Wipe ]);
+        (* both models still propose dropping the carrying delivery *)
+        List.iter
+          (fun clauses ->
+            Alcotest.(check bool)
+              "carrier drop proposed" true
+              (List.exists
+                 (List.exists (function Search.Drop _ -> true | _ -> false))
+                 clauses))
+          [ volatile; journaled ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Coverage on the unmodified tree                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -436,6 +531,7 @@ let () =
       ("solver", solver_tests);
       ("search", search_tests);
       ("support", support_tests);
+      ("duplication", dup_tests);
       ("coverage", coverage_tests);
       ("hunt", hunt_tests);
     ]

@@ -557,6 +557,125 @@ let replica_tests =
           Alcotest.fail "checkpoint should succeed once the entry settles");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Durability: crash and recovery through the write-ahead journal       *)
+(* ------------------------------------------------------------------ *)
+
+let journal_tests =
+  [
+    Alcotest.test_case "crash + recover round-trips through the journal"
+      `Quick (fun () ->
+        let engine = Relax_sim.Engine.create ~seed:11 () in
+        let net = Relax_sim.Network.create engine ~sites:3 in
+        let replica =
+          Replica.create engine net (pq_assignment ~n:3)
+            ~respond:Choosers.pq_eta
+        in
+        Replica.enable_journals replica;
+        Alcotest.(check bool) "journaled" true (Replica.journaled replica 1);
+        let results =
+          run_ops replica engine
+            [
+              Op.inv Queue_ops.enq_name ~args:[ Value.int 1 ];
+              Op.inv Queue_ops.enq_name ~args:[ Value.int 3 ];
+            ]
+        in
+        Alcotest.(check int)
+          "both enqueues completed" 2
+          (List.length
+             (List.filter
+                (function Some (Replica.Completed _) -> true | _ -> false)
+                results));
+        (* let background propagation put both entries everywhere *)
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+          engine;
+        let before = Log.length (Replica.site_log replica 1) in
+        Alcotest.(check int) "site 1 holds both entries" 2 before;
+        Replica.crash_site replica 1;
+        Alcotest.(check int)
+          "power loss empties the volatile log" 0
+          (Log.length (Replica.site_log replica 1));
+        Replica.recover_site replica 1;
+        Alcotest.(check int)
+          "journal replay restores the entries" before
+          (Log.length (Replica.site_log replica 1));
+        Alcotest.(check int) "one recovery counted" 1
+          (Replica.recoveries replica);
+        Alcotest.(check int)
+          "site is recovering until re-joined" 1
+          (Replica.recovering_count replica);
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+          engine;
+        Alcotest.(check int)
+          "anti-entropy re-joins the site" 0
+          (Replica.recovering_count replica);
+        (* the recovered system still serves correct answers *)
+        match run_ops replica engine [ Op.inv Queue_ops.deq_name ] with
+        | [ Some (Replica.Completed (op, _)) ] ->
+          Alcotest.(check (option int))
+            "deq returns the best item" (Some 3)
+            (Option.bind (Queue_ops.element op) Value.to_int)
+        | _ -> Alcotest.fail "deq should complete");
+    Alcotest.test_case "wipe destroys the journal, crash does not" `Quick
+      (fun () ->
+        let engine = Relax_sim.Engine.create ~seed:12 () in
+        let net = Relax_sim.Network.create engine ~sites:3 in
+        let replica =
+          Replica.create engine net (pq_assignment ~n:3)
+            ~respond:Choosers.pq_eta
+        in
+        Replica.enable_journals replica;
+        ignore
+          (run_ops replica engine
+             [ Op.inv Queue_ops.enq_name ~args:[ Value.int 2 ] ]);
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+          engine;
+        Alcotest.(check bool)
+          "entry landed at site 2" true
+          (Log.length (Replica.site_log replica 2) > 0);
+        (* amnesia: stable storage itself is lost *)
+        Replica.wipe_site replica 2;
+        Replica.recover_site replica 2;
+        Alcotest.(check int)
+          "nothing to replay after a wipe" 0
+          (Log.length (Replica.site_log replica 2));
+        (* power loss at another site keeps its synced journal *)
+        Replica.crash_site replica 0;
+        Replica.recover_site replica 0;
+        Alcotest.(check bool)
+          "crash keeps the synced prefix" true
+          (Log.length (Replica.site_log replica 0) > 0));
+    Alcotest.test_case "crash and recover are no-ops without journals"
+      `Quick (fun () ->
+        let engine = Relax_sim.Engine.create ~seed:13 () in
+        let net = Relax_sim.Network.create engine ~sites:3 in
+        let replica =
+          Replica.create engine net (pq_assignment ~n:3)
+            ~respond:Choosers.pq_eta
+        in
+        ignore
+          (run_ops replica engine
+             [ Op.inv Queue_ops.enq_name ~args:[ Value.int 5 ] ]);
+        Replica.gossip replica;
+        Relax_sim.Engine.run
+          ~until:(Relax_sim.Engine.now engine +. 1_000.0)
+          engine;
+        let before = Log.length (Replica.site_log replica 0) in
+        Replica.crash_site replica 0;
+        Replica.recover_site replica 0;
+        Alcotest.(check int)
+          "legacy crash model: logs assumed stable" before
+          (Log.length (Replica.site_log replica 0));
+        Alcotest.(check int) "no recovery counted" 0
+          (Replica.recoveries replica));
+  ]
+
 let () =
   Alcotest.run "replica"
     [
@@ -566,4 +685,5 @@ let () =
       ("serial-dependency", serial_tests);
       ("assignment", assignment_tests);
       ("replica", replica_tests);
+      ("journal", journal_tests);
     ]
